@@ -1,0 +1,106 @@
+// Reproduces Fig 10: cold start latency.
+//   (a) pre-warming the SQL node process cuts p50/p99 cold start by more
+//       than half (production prober measured 650ms p99 optimized);
+//   (b) a region-aware system database gives sub-second cold starts in
+//       every region (p50 <= 0.73s), while leaseholders pinned to
+//       asia-southeast1 push other regions to multiple seconds.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/histogram.h"
+#include "serverless/cluster.h"
+#include "serverless/multiregion.h"
+
+namespace veloce {
+namespace {
+
+/// Measures one cold start: connect to a suspended tenant, run one query.
+Nanos ProbeOnce(serverless::ServerlessCluster* cluster, kv::TenantId tenant) {
+  const Nanos start = cluster->loop()->Now();
+  auto conn = cluster->ConnectSync(tenant);
+  VELOCE_CHECK(conn.ok()) << conn.status().ToString();
+  // First query (prober does SELECT of one row; schema ops equivalent here).
+  VELOCE_CHECK((*conn)->session->Execute("SELECT 1").ok());
+  const Nanos elapsed = cluster->loop()->Now() - start;
+  // Tear back down to the suspended state for the next probe.
+  VELOCE_CHECK_OK(cluster->proxy()->Disconnect((*conn)->id));
+  for (auto* node : cluster->pool()->NodesForTenant(tenant)) {
+    cluster->pool()->Remove(node);
+  }
+  cluster->loop()->RunFor(kSecond);
+  return elapsed;
+}
+
+Histogram ProbeMany(bool prewarm, int probes) {
+  serverless::ServerlessCluster::Options opts;
+  opts.kv.num_nodes = 3;
+  opts.pool.prewarm_process = prewarm;
+  opts.pool.stamp_jitter = 150 * kMilli;
+  opts.kube.latency_jitter = 400 * kMilli;
+  serverless::ServerlessCluster cluster(opts);
+  auto meta = cluster.CreateTenant("probed");
+  VELOCE_CHECK(meta.ok());
+  Histogram hist;
+  for (int i = 0; i < probes; ++i) {
+    hist.Record(ProbeOnce(&cluster, meta->id));
+  }
+  return hist;
+}
+
+}  // namespace
+}  // namespace veloce
+
+int main() {
+  using namespace veloce;
+
+  // --- Fig 10a ---------------------------------------------------------------
+  bench::PrintHeader("Fig 10a: cold start latency, unoptimized vs pre-warmed");
+  const int probes = 150;
+  Histogram unoptimized = ProbeMany(/*prewarm=*/false, probes);
+  Histogram optimized = ProbeMany(/*prewarm=*/true, probes);
+  std::printf("%-14s %10s %10s\n", "config", "p50", "p99");
+  std::printf("%-14s %10s %10s\n", "unoptimized",
+              Histogram::FormatNanos(unoptimized.P50()).c_str(),
+              Histogram::FormatNanos(unoptimized.P99()).c_str());
+  std::printf("%-14s %10s %10s\n", "optimized",
+              Histogram::FormatNanos(optimized.P50()).c_str(),
+              Histogram::FormatNanos(optimized.P99()).c_str());
+  std::printf("shape check: pre-warming reduces p50 by %.1fx (paper: >2x; "
+              "optimized p99 ~650ms)\n",
+              static_cast<double>(unoptimized.P50()) /
+                  static_cast<double>(optimized.P50()));
+
+  // --- Fig 10b ---------------------------------------------------------------
+  bench::PrintHeader(
+      "Fig 10b: multi-region cold start, per region and system-db config");
+  sim::RegionTopology topology = sim::RegionTopology::PaperDefaults();
+  serverless::ColdStartLatencyModel unopt_model(
+      &topology, {.region_aware = false, .lease_region = "asia-southeast1"});
+  serverless::ColdStartLatencyModel aware_model(&topology, {.region_aware = true});
+
+  std::printf("%-18s %16s %16s\n", "prober region", "unoptimized p50",
+              "optimized p50");
+  Random rng(17);
+  for (const auto& region : topology.regions()) {
+    // End-to-end = local pod/stamp path (pre-warmed pool, with jitter) +
+    // the blocking system-database accesses per config.
+    Histogram unopt_hist, aware_hist;
+    for (int i = 0; i < 200; ++i) {
+      const Nanos local_path =
+          120 * kMilli +  // cert stamp + fs watch + KV connect
+          static_cast<Nanos>(rng.Uniform(150 * kMilli)) +  // stamp jitter
+          50 * kMilli;    // proxy connect + auth round trips
+      unopt_hist.Record(local_path + unopt_model.TotalNetworkLatency(region));
+      aware_hist.Record(local_path + aware_model.TotalNetworkLatency(region));
+    }
+    std::printf("%-18s %16s %16s\n", region.c_str(),
+                Histogram::FormatNanos(unopt_hist.P50()).c_str(),
+                Histogram::FormatNanos(aware_hist.P50()).c_str());
+  }
+  std::printf("shape check: region-aware config is sub-second in every region "
+              "(paper: p50 <= 0.73s); lease-in-asia penalizes europe/us by the "
+              "cross-region RTT per blocking access\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Table 1: p50/p99 latency and throughput of a well-behaved
+// tenant sharing a cluster with three noisy tenants, under No Limits,
+// admission control only, and admission control + per-tenant eCPU limits.
+
+#include "bench/noisy_harness.h"
+
+int main() {
+  using namespace veloce;
+  using bench::IsolationMode;
+
+  std::printf("\n=== Table 1: well-behaved tenant vs noisy neighbors ===\n");
+  std::printf("(3 noisy tenants in tight loops, test tenant with think time; "
+              "2 min sim each)\n\n");
+  std::printf("%-10s %16s %16s %16s\n", "", "No Limits", "AC only",
+              "AC & eCPU Limits");
+
+  struct Row {
+    Nanos p50, p99;
+    double tpm;
+    int liveness_failures;
+  };
+  std::vector<Row> rows;
+  for (IsolationMode mode : {IsolationMode::kNoLimits, IsolationMode::kAcOnly,
+                             IsolationMode::kAcPlusEcpu}) {
+    bench::NoisyNeighborHarness harness(mode);
+    bench::NoisyResult result = harness.Run(2 * kMinute);
+    rows.push_back({result.test_latency.P50(), result.test_latency.P99(),
+                    result.test_tpm, result.liveness_failures});
+  }
+
+  auto print_latency_row = [&](const char* label, Nanos Row::*field) {
+    std::printf("%-10s", label);
+    for (const Row& row : rows) {
+      std::printf(" %16s", Histogram::FormatNanos(row.*field).c_str());
+    }
+    std::printf("\n");
+  };
+  print_latency_row("p50", &Row::p50);
+  print_latency_row("p99", &Row::p99);
+  std::printf("%-10s", "tpmC");
+  for (const Row& row : rows) std::printf(" %16.1f", row.tpm);
+  std::printf("\n%-10s", "liveness");
+  for (const Row& row : rows) std::printf(" %16d", row.liveness_failures);
+  std::printf("   (node liveness failures)\n");
+
+  std::printf("\nshape check (paper): p50 3.18s/0.19s/0.019s, p99 "
+              "24.8s/0.98s/0.037s, tpmC 182/207/209 — each control layer "
+              "cuts tail latency by an order of magnitude and throughput "
+              "recovers slightly.\n");
+  const bool ordered = rows[0].p99 > rows[1].p99 && rows[1].p99 > rows[2].p99 &&
+                       rows[0].tpm <= rows[2].tpm + 30;
+  std::printf("ordering holds: %s\n", ordered ? "YES ✓" : "NO ✗");
+  return 0;
+}

@@ -1,0 +1,83 @@
+#ifndef VELOCE_BENCH_BENCH_UTIL_H_
+#define VELOCE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/logging.h"
+#include "common/sysinfo.h"
+#include "kv/keys.h"
+#include "sql/row.h"
+#include "sql/sql_node.h"
+#include "tenant/controller.h"
+
+namespace veloce::bench {
+
+/// A complete single-tenant SQL-over-KV stack for real-clock benches.
+struct SqlStack {
+  std::unique_ptr<kv::KVCluster> cluster;
+  tenant::CertificateAuthority ca;
+  std::unique_ptr<tenant::TenantController> controller;
+  std::unique_ptr<tenant::AuthorizedKvService> service;
+  std::unique_ptr<sql::SqlNode> node;
+  sql::Session* session = nullptr;
+  kv::TenantId tenant = 0;
+};
+
+inline std::unique_ptr<SqlStack> MakeSqlStack(sql::ProcessMode mode,
+                                              int kv_nodes = 3) {
+  auto stack = std::make_unique<SqlStack>();
+  kv::KVClusterOptions opts;
+  opts.num_nodes = kv_nodes;
+  opts.replication_factor = kv_nodes < 3 ? kv_nodes : 3;
+  stack->cluster = std::make_unique<kv::KVCluster>(opts);
+  stack->controller =
+      std::make_unique<tenant::TenantController>(stack->cluster.get(), &stack->ca);
+  stack->service = std::make_unique<tenant::AuthorizedKvService>(stack->cluster.get(),
+                                                                 &stack->ca);
+  auto meta = stack->controller->CreateTenant("bench");
+  VELOCE_CHECK(meta.ok());
+  stack->tenant = meta->id;
+  auto cert = stack->controller->IssueCert(stack->tenant);
+  VELOCE_CHECK(cert.ok());
+  sql::SqlNode::Options node_opts;
+  node_opts.mode = mode;
+  stack->node = std::make_unique<sql::SqlNode>(1, node_opts,
+                                               stack->cluster->clock());
+  VELOCE_CHECK_OK(stack->node->StartProcess());
+  VELOCE_CHECK_OK(stack->node->StampTenant(stack->service.get(),
+                                           stack->cluster.get(), *cert));
+  auto session = stack->node->NewSession();
+  VELOCE_CHECK(session.ok());
+  stack->session = *session;
+  return stack;
+}
+
+/// Splits the tenant's keyspace at each table boundary (catalog table ids
+/// start at 100) and spreads leases across the KV nodes — the paper's
+/// "ranges are scattered randomly across the cluster", which makes most
+/// point lookups remote RPCs even in the Traditional deployment.
+inline void ScatterRanges(SqlStack* stack, int num_tables) {
+  for (int t = 0; t < num_tables; ++t) {
+    const std::string key = kv::AddTenantPrefix(
+        stack->tenant, sql::IndexPrefix(static_cast<sql::TableId>(100 + t),
+                                        sql::kPrimaryIndexId));
+    VELOCE_CHECK_OK(stack->cluster->SplitRange(key));
+  }
+  stack->cluster->BalanceLeases();
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline std::string FormatMs(Nanos ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+}  // namespace veloce::bench
+
+#endif  // VELOCE_BENCH_BENCH_UTIL_H_

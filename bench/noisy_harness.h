@@ -1,0 +1,286 @@
+#ifndef VELOCE_BENCH_NOISY_HARNESS_H_
+#define VELOCE_BENCH_NOISY_HARNESS_H_
+
+// Shared harness for the noisy-neighbor experiments (Table 1, Fig 12,
+// Fig 13): three 32-vCPU KV nodes (one per VM, as in the paper's
+// n2-standard-32 deployment), three noisy tenants running a no-wait TPC-C
+// shape in a tight closed loop, and one well-behaved test tenant with
+// think time. Work is simulated KV work (cpu-milliseconds on the node's
+// VirtualCpu) routed to range leaseholders through the KV directory, so
+// lease movement is real.
+//
+// Modes:
+//   kNoLimits   — admission control off. Overloaded nodes fail their
+//                 liveness checks and shed leases; operations that land on
+//                 a dead/moved leaseholder pay retry penalties. Chaos.
+//   kAcOnly     — per-node admission control keeps the runnable queue
+//                 short; nodes stay live; CPU ~100% (work-conserving).
+//   kAcPlusEcpu — additionally, each noisy tenant is capped at 10 eCPU by
+//                 the distributed token bucket; per-VM CPU settles ~40%.
+
+#include <array>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "admission/controller.h"
+#include "billing/ecpu_model.h"
+#include "billing/token_bucket.h"
+#include "common/histogram.h"
+#include "common/logging.h"
+#include "kv/cluster.h"
+#include "sim/event_loop.h"
+#include "sim/virtual_cpu.h"
+
+namespace veloce::bench {
+
+enum class IsolationMode { kNoLimits, kAcOnly, kAcPlusEcpu };
+
+inline const char* ModeName(IsolationMode mode) {
+  switch (mode) {
+    case IsolationMode::kNoLimits: return "No Limits";
+    case IsolationMode::kAcOnly: return "AC only";
+    case IsolationMode::kAcPlusEcpu: return "AC & eCPU Limits";
+  }
+  return "?";
+}
+
+struct NoisyResult {
+  Histogram test_latency;           ///< test-tenant transaction latency
+  uint64_t test_txns = 0;
+  double test_tpm = 0;              ///< test-tenant txns/minute ("tpmC" role)
+  /// Time series, one entry per 10 s: per-node cores used and lease count.
+  std::vector<std::array<double, 3>> node_cores;
+  std::vector<std::array<int, 3>> node_leases;
+  /// Per-tenant vCPUs used per 10s interval: [noisy1, noisy2, noisy3, test].
+  std::vector<std::array<double, 4>> tenant_vcpus;
+  int liveness_failures = 0;
+};
+
+class NoisyNeighborHarness {
+ public:
+  static constexpr int kNodes = 3;
+  static constexpr int kVcpusPerNode = 32;
+  static constexpr int kNoisyTenants = 3;
+  static constexpr Nanos kTestThinkMean = 2 * kSecond;
+  static constexpr int kTestWorkers = 10;
+  static constexpr int kNoisyWorkersPerTenant = 64;
+  static constexpr Nanos kOpCpu = 2 * kMilli;     // per KV op
+  static constexpr int kOpsPerTxn = 8;
+  static constexpr double kNoisyEcpuLimit = 10.0;  // vCPUs (paper's limit)
+
+  explicit NoisyNeighborHarness(IsolationMode mode) : mode_(mode) {
+    kv::KVClusterOptions kv_opts;
+    kv_opts.num_nodes = kNodes;
+    kv_opts.clock = loop_.clock();
+    cluster_ = std::make_unique<kv::KVCluster>(kv_opts);
+    for (int n = 0; n < kNodes; ++n) {
+      cpus_.push_back(std::make_unique<sim::VirtualCpu>(&loop_, kVcpusPerNode));
+      admission::NodeAdmissionController::Options ac_opts;
+      ac_opts.vcpus = kVcpusPerNode;
+      ac_opts.enabled = mode != IsolationMode::kNoLimits;
+      acs_.push_back(std::make_unique<admission::NodeAdmissionController>(
+          &loop_, cpus_.back().get(), ac_opts));
+    }
+    // Tenants 0..2 noisy, 3 = test. Each gets a keyspace split into several
+    // ranges so leases spread across nodes.
+    for (int t = 0; t < kNoisyTenants + 1; ++t) {
+      const kv::TenantId id = 10 + static_cast<kv::TenantId>(t);
+      tenant_ids_[static_cast<size_t>(t)] = id;
+      VELOCE_CHECK_OK(cluster_->CreateTenantKeyspace(id));
+      for (int split = 1; split < 6; ++split) {
+        VELOCE_CHECK_OK(cluster_->SplitRange(
+            kv::AddTenantPrefix(id, "shard" + std::to_string(split))));
+      }
+    }
+    cluster_->BalanceLeases();
+    // eCPU buckets: limited for noisy tenants in kAcPlusEcpu mode.
+    for (int t = 0; t < kNoisyTenants + 1; ++t) {
+      const double quota = (mode == IsolationMode::kAcPlusEcpu && t < kNoisyTenants)
+                               ? kNoisyEcpuLimit
+                               : 0.0;  // 0 = unlimited
+      buckets_.push_back(std::make_unique<billing::TokenBucketServer>(loop_.clock(), quota));
+      bucket_clients_.push_back(std::make_unique<billing::TokenBucketClient>(
+          buckets_.back().get(), static_cast<uint64_t>(t), loop_.clock()));
+    }
+  }
+
+  NoisyResult Run(Nanos duration) {
+    // Start workers.
+    for (int t = 0; t < kNoisyTenants; ++t) {
+      for (int w = 0; w < kNoisyWorkersPerTenant; ++w) {
+        StartWorker(t, /*think_mean=*/0, w * 7 + t);
+      }
+    }
+    for (int w = 0; w < kTestWorkers; ++w) {
+      StartWorker(kNoisyTenants, kTestThinkMean, 1000 + w);
+    }
+    // Health monitor (liveness checks) every second.
+    sim::PeriodicTask health(&loop_, kSecond, [this] { HealthCheck(); });
+    health.Start();
+    // Metrics every 10 seconds.
+    sim::PeriodicTask metrics(&loop_, 10 * kSecond, [this] { SampleMetrics(); });
+    metrics.Start();
+
+    const Nanos start = loop_.Now();
+    loop_.RunUntil(start + duration);
+    health.Cancel();
+    metrics.Cancel();
+    stopped_ = true;
+
+    result_.test_tpm = static_cast<double>(result_.test_txns) /
+                       (static_cast<double>(duration) / kMinute);
+    return std::move(result_);
+  }
+
+ private:
+  struct WorkerState {
+    int tenant_idx;
+    Nanos think_mean;
+    Random rng;
+    Nanos txn_started = 0;
+    int ops_left = 0;
+  };
+
+  void StartWorker(int tenant_idx, Nanos think_mean, uint64_t seed) {
+    auto worker = std::make_shared<WorkerState>();
+    worker->tenant_idx = tenant_idx;
+    worker->think_mean = think_mean;
+    worker->rng = Random(seed * 2654435761 + 1);
+    ScheduleNextTxn(worker, /*initial=*/true);
+  }
+
+  void ScheduleNextTxn(std::shared_ptr<WorkerState> worker, bool initial) {
+    Nanos delay = 0;
+    if (worker->think_mean > 0) {
+      delay = static_cast<Nanos>(
+          worker->rng.Exponential(static_cast<double>(worker->think_mean)));
+    } else if (initial) {
+      delay = static_cast<Nanos>(worker->rng.Uniform(100 * kMilli));
+    }
+    // eCPU pacing: consume the estimated transaction cost up front; the
+    // client returns the throttle delay implied by trickle grants.
+    const double txn_ecpu_tokens =
+        static_cast<double>(kOpsPerTxn * kOpCpu) / kMilli;  // 1 token = 1ms
+    const Nanos throttle =
+        bucket_clients_[static_cast<size_t>(worker->tenant_idx)]->Consume(
+            txn_ecpu_tokens);
+    loop_.Schedule(delay + throttle, [this, worker] {
+      worker->txn_started = loop_.Now();
+      worker->ops_left = kOpsPerTxn;
+      RunNextOp(worker, /*attempt=*/0);
+    });
+  }
+
+  void RunNextOp(std::shared_ptr<WorkerState> worker, int attempt) {
+    if (stopped_) return;
+    const kv::TenantId tenant = tenant_ids_[static_cast<size_t>(worker->tenant_idx)];
+    // Route to the leaseholder of a random key in the tenant's keyspace.
+    const std::string key = kv::AddTenantPrefix(
+        tenant, "shard" + std::to_string(worker->rng.Uniform(6)) + "/k" +
+                    std::to_string(worker->rng.Uniform(1000)));
+    auto range = cluster_->LookupRange(key);
+    VELOCE_CHECK(range.ok());
+    const kv::NodeId node = range->leaseholder;
+    if (!cluster_->node(node)->live()) {
+      // Leaseholder is failing liveness: back off and retry (the paper's
+      // chaotic no-limits regime).
+      if (attempt < 20) {
+        loop_.Schedule(250 * kMilli, [this, worker, attempt] {
+          RunNextOp(worker, attempt + 1);
+        });
+        return;
+      }
+      // Give up on this txn (counts as latency but not a commit).
+      ScheduleNextTxn(worker, false);
+      return;
+    }
+    admission::KvWork work;
+    work.tenant_id = tenant;
+    work.is_write = worker->rng.Bernoulli(0.4);
+    work.write_bytes = 256;
+    work.cpu_cost = kOpCpu;
+    work.txn_start = worker->txn_started;
+    work.done = [this, worker] {
+      if (stopped_) return;
+      if (--worker->ops_left > 0) {
+        RunNextOp(worker, 0);
+        return;
+      }
+      // Transaction complete.
+      if (worker->tenant_idx == kNoisyTenants) {
+        result_.test_latency.Record(loop_.Now() - worker->txn_started);
+        ++result_.test_txns;
+      }
+      ScheduleNextTxn(worker, false);
+    };
+    acs_[node]->Submit(std::move(work));
+  }
+
+  void HealthCheck() {
+    for (int n = 0; n < kNodes; ++n) {
+      const int runnable = cpus_[static_cast<size_t>(n)]->runnable_queue_length();
+      kv::KVNode* node = cluster_->node(static_cast<kv::NodeId>(n));
+      if (node->live() && runnable > 2 * kVcpusPerNode) {
+        // Overloaded: the node misses its liveness heartbeats and sheds
+        // its leases (paper Fig 12, "no limits" regime).
+        cluster_->SetNodeLive(static_cast<kv::NodeId>(n), false);
+        ++result_.liveness_failures;
+        const kv::NodeId id = static_cast<kv::NodeId>(n);
+        loop_.Schedule(3 * kSecond, [this, id] {
+          cluster_->SetNodeLive(id, true);
+          // Recovered nodes pull leases back, redistributing load (and, in
+          // the chaotic regime, re-starting the cycle).
+          cluster_->BalanceLeases();
+        });
+      }
+    }
+  }
+
+  void SampleMetrics() {
+    std::array<double, 3> cores{};
+    std::array<int, 3> leases{};
+    for (int n = 0; n < kNodes; ++n) {
+      const Nanos busy = cpus_[static_cast<size_t>(n)]->total_busy();
+      cores[static_cast<size_t>(n)] =
+          static_cast<double>(busy - prev_busy_[static_cast<size_t>(n)]) /
+          (10.0 * kSecond);
+      prev_busy_[static_cast<size_t>(n)] = busy;
+      leases[static_cast<size_t>(n)] =
+          cluster_->CountLeases(static_cast<kv::NodeId>(n));
+    }
+    result_.node_cores.push_back(cores);
+    result_.node_leases.push_back(leases);
+
+    std::array<double, 4> tenant_vcpus{};
+    for (int t = 0; t < kNoisyTenants + 1; ++t) {
+      Nanos busy = 0;
+      for (int n = 0; n < kNodes; ++n) {
+        busy += cpus_[static_cast<size_t>(n)]->tenant_busy(
+            tenant_ids_[static_cast<size_t>(t)]);
+      }
+      tenant_vcpus[static_cast<size_t>(t)] =
+          static_cast<double>(busy - prev_tenant_busy_[static_cast<size_t>(t)]) /
+          (10.0 * kSecond);
+      prev_tenant_busy_[static_cast<size_t>(t)] = busy;
+    }
+    result_.tenant_vcpus.push_back(tenant_vcpus);
+  }
+
+  IsolationMode mode_;
+  sim::EventLoop loop_;
+  std::unique_ptr<kv::KVCluster> cluster_;
+  std::vector<std::unique_ptr<sim::VirtualCpu>> cpus_;
+  std::vector<std::unique_ptr<admission::NodeAdmissionController>> acs_;
+  std::vector<std::unique_ptr<billing::TokenBucketServer>> buckets_;
+  std::vector<std::unique_ptr<billing::TokenBucketClient>> bucket_clients_;
+  std::array<kv::TenantId, 4> tenant_ids_{};
+  std::array<Nanos, 3> prev_busy_{};
+  std::array<Nanos, 4> prev_tenant_busy_{};
+  NoisyResult result_;
+  bool stopped_ = false;
+};
+
+}  // namespace veloce::bench
+
+#endif  // VELOCE_BENCH_NOISY_HARNESS_H_

@@ -1,0 +1,55 @@
+// Multi-region demo: a virtual cluster spanning three regions, and how the
+// system-database configuration determines cold start latency in each
+// (Section 3.2.5 / Fig 10b). Shows per-region first-query latency with the
+// default (single lease region) layout vs the region-aware layout (GLOBAL
+// descriptor tables + REGIONAL BY ROW sql_instances).
+//
+//   ./build/examples/multiregion_demo
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "serverless/cluster.h"
+#include "serverless/multiregion.h"
+
+int main() {
+  using namespace veloce;
+
+  sim::RegionTopology topology = sim::RegionTopology::PaperDefaults();
+  std::printf("host cluster regions:");
+  for (const auto& region : topology.regions()) std::printf(" %s", region.c_str());
+  std::printf("\nRTTs: us<->eu %lldms, us<->asia %lldms, eu<->asia %lldms\n\n",
+              static_cast<long long>(topology.Rtt("us-central1", "europe-west1") / kMilli),
+              static_cast<long long>(topology.Rtt("us-central1", "asia-southeast1") / kMilli),
+              static_cast<long long>(topology.Rtt("europe-west1", "asia-southeast1") / kMilli));
+
+  // Create a multi-region tenant (regions recorded in its metadata).
+  serverless::ServerlessCluster cluster;
+  auto meta = cluster.tenants()->CreateTenant(
+      "global-app", {"us-central1", "europe-west1", "asia-southeast1"});
+  VELOCE_CHECK(meta.ok());
+  auto loaded = cluster.tenants()->GetTenant(meta->id);
+  std::printf("virtual cluster '%s' spans %zu regions\n\n", loaded->name.c_str(),
+              loaded->regions.size());
+
+  // Cold-start latency model per region and per system-database layout.
+  serverless::ColdStartLatencyModel unoptimized(
+      &topology, {.region_aware = false, .lease_region = "asia-southeast1"});
+  serverless::ColdStartLatencyModel region_aware(&topology, {.region_aware = true});
+
+  const Nanos local_path = 170 * kMilli;  // pod stamp + proxy + auth (pre-warmed)
+  std::printf("%-18s %26s %26s\n", "connect from", "leases in asia (default)",
+              "region-aware system db");
+  for (const auto& region : topology.regions()) {
+    std::printf("%-18s %23.0f ms %23.0f ms\n", region.c_str(),
+                static_cast<double>(local_path +
+                                    unoptimized.TotalNetworkLatency(region)) / 1e6,
+                static_cast<double>(local_path +
+                                    region_aware.TotalNetworkLatency(region)) / 1e6);
+  }
+  std::printf("\nGLOBAL tables serve the schema reads locally in every region; "
+              "REGIONAL BY ROW gives each node a local leaseholder for its "
+              "sql_instances row; META lookups use follower reads. Result: "
+              "sub-second cold starts everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Noisy-neighbor demo: two tenants share one KV node. Tenant "noisy"
+// floods it; tenant "polite" sends occasional small operations. With
+// admission control the polite tenant's operations are admitted ahead of
+// the flood (tenant-fair hierarchy of heaps); an eCPU limit additionally
+// caps the noisy tenant's total consumption.
+//
+//   ./build/examples/noisy_neighbor
+
+#include <cstdio>
+
+#include "admission/controller.h"
+#include "billing/token_bucket.h"
+#include "common/histogram.h"
+#include "common/logging.h"
+#include "sim/event_loop.h"
+#include "sim/virtual_cpu.h"
+
+using namespace veloce;
+
+namespace {
+
+struct RunResult {
+  Histogram polite_latency;
+  Nanos noisy_cpu = 0;
+  double node_utilization = 0;
+};
+
+RunResult RunScenario(bool admission_enabled, double noisy_ecpu_limit) {
+  sim::EventLoop loop;
+  sim::VirtualCpu cpu(&loop, /*vcpus=*/8);
+  admission::NodeAdmissionController ac(
+      &loop, &cpu, {.vcpus = 8, .enabled = admission_enabled});
+  billing::TokenBucketServer bucket(loop.clock(), noisy_ecpu_limit);
+  billing::TokenBucketClient bucket_client(&bucket, 1, loop.clock());
+
+  // Noisy tenant: 32 closed-loop workers, 5ms ops.
+  struct Worker {
+    Random rng{1};
+  };
+  std::function<void()> noisy_op = [&]() {
+    const Nanos throttle = bucket_client.Consume(5.0);  // 5ms = 5 tokens
+    loop.Schedule(throttle, [&] {
+      admission::KvWork work;
+      work.tenant_id = 1;
+      work.cpu_cost = 5 * kMilli;
+      work.done = [&] { noisy_op(); };
+      ac.Submit(std::move(work));
+    });
+  };
+  for (int i = 0; i < 32; ++i) noisy_op();
+
+  // Polite tenant: one op every ~100ms, 1ms each.
+  auto result = std::make_shared<RunResult>();
+  std::function<void()> polite_op = [&loop, &ac, result, &polite_op]() {
+    loop.Schedule(100 * kMilli, [&loop, &ac, result, &polite_op] {
+      const Nanos start = loop.Now();
+      admission::KvWork work;
+      work.tenant_id = 2;
+      work.cpu_cost = kMilli;
+      work.done = [&loop, result, start, &polite_op] {
+        result->polite_latency.Record(loop.Now() - start);
+        polite_op();
+      };
+      ac.Submit(std::move(work));
+    });
+  };
+  polite_op();
+
+  loop.RunUntil(30 * kSecond);
+  result->noisy_cpu = cpu.tenant_busy(1);
+  result->node_utilization =
+      static_cast<double>(cpu.total_busy()) / (30.0 * kSecond * 8);
+  return *result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("two tenants on one 8-vCPU KV node; noisy floods, polite sends "
+              "1ms ops every 100ms (30s sim)\n\n");
+  std::printf("%-26s %12s %12s %14s %12s\n", "configuration", "polite p50",
+              "polite p99", "noisy vCPUs", "node util");
+  struct Config {
+    const char* name;
+    bool ac;
+    double limit;
+  };
+  const Config configs[] = {
+      {"no limits", false, 0},
+      {"admission control", true, 0},
+      {"AC + eCPU limit (2 vCPU)", true, 2.0},
+  };
+  for (const auto& config : configs) {
+    RunResult result = RunScenario(config.ac, config.limit);
+    std::printf("%-26s %12s %12s %14.1f %11.0f%%\n", config.name,
+                Histogram::FormatNanos(result.polite_latency.P50()).c_str(),
+                Histogram::FormatNanos(result.polite_latency.P99()).c_str(),
+                static_cast<double>(result.noisy_cpu) / (30.0 * kSecond),
+                result.node_utilization * 100);
+  }
+  std::printf("\nadmission control keeps the polite tenant's latency flat "
+              "while staying work-conserving; the eCPU limit additionally "
+              "caps what the noisy tenant can consume.\n");
+  return 0;
+}

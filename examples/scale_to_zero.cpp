@@ -1,0 +1,62 @@
+// Scale-to-zero demo: a tenant sees load, the autoscaler provisions SQL
+// nodes (4x-average / 1.33x-peak rule), the load stops, the tenant is
+// suspended to zero compute, and a later connection cold-starts it again
+// in under a second. Prints a timeline.
+//
+//   ./build/examples/scale_to_zero
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "serverless/cluster.h"
+
+int main() {
+  using namespace veloce;
+  serverless::ServerlessCluster cluster;
+  auto tenant = cluster.CreateTenant("bursty-app");
+  VELOCE_CHECK(tenant.ok());
+  cluster.autoscaler()->Start();
+
+  auto report = [&](const char* event) {
+    std::printf("[t=%6.1f min] %-28s nodes=%d suspended=%s\n",
+                static_cast<double>(cluster.loop()->Now()) / kMinute, event,
+                cluster.autoscaler()->CurrentNodes(tenant->id),
+                cluster.autoscaler()->suspended(tenant->id) ? "yes" : "no");
+  };
+
+  report("tenant created (no load)");
+
+  // Light load appears.
+  cluster.SetTenantCpuUsage(tenant->id, 1.5);
+  cluster.loop()->RunFor(2 * kMinute);
+  report("1.5 vCPU of load");
+
+  // Load grows: the 4x-average rule provisions more nodes.
+  cluster.SetTenantCpuUsage(tenant->id, 6.0);
+  cluster.loop()->RunFor(6 * kMinute);
+  report("6 vCPU sustained");
+
+  // A sharp spike: the 1.33x-peak rule reacts within seconds.
+  cluster.SetTenantCpuUsage(tenant->id, 14.0);
+  cluster.loop()->RunFor(30 * kSecond);
+  report("spike to 14 vCPU (30s later)");
+
+  // Load stops entirely.
+  cluster.SetTenantCpuUsage(tenant->id, 0.0);
+  cluster.loop()->RunFor(7 * kMinute);
+  report("idle 7 min (window draining)");
+  cluster.loop()->RunFor(18 * kMinute);
+  report("idle 25 min -> suspended");
+
+  // Cold start from zero.
+  const Nanos t0 = cluster.loop()->Now();
+  auto conn = cluster.ConnectSync(tenant->id);
+  VELOCE_CHECK(conn.ok());
+  std::printf("[t=%6.1f min] reconnect after suspend: cold start %.0f ms\n",
+              static_cast<double>(cluster.loop()->Now()) / kMinute,
+              static_cast<double>(cluster.loop()->Now() - t0) / 1e6);
+  VELOCE_CHECK((*conn)->session->Execute("SELECT 1").ok());
+  cluster.loop()->RunFor(10 * kSecond);  // let the autoscaler observe the resume
+  report("first query served");
+  return 0;
+}

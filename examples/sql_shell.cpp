@@ -1,0 +1,77 @@
+// Interactive SQL shell over a Serverless virtual cluster: the quickest way
+// to poke at the engine by hand.
+//
+//   ./build/examples/sql_shell
+//   veloce> CREATE TABLE t (id INT PRIMARY KEY, v STRING);
+//   veloce> INSERT INTO t VALUES (1, 'hello');
+//   veloce> SELECT * FROM t;
+//   veloce> \q
+//
+// Meta-commands: \q quit, \tables list tables, \stats connector counters,
+// \pushdown on|off toggle the KV push-down.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/logging.h"
+#include "serverless/cluster.h"
+
+int main() {
+  using namespace veloce;
+  serverless::ServerlessCluster cluster;
+  auto tenant = cluster.CreateTenant("shell");
+  VELOCE_CHECK(tenant.ok());
+  auto conn = cluster.ConnectSync(tenant->id);
+  VELOCE_CHECK(conn.ok());
+  sql::Session* session = (*conn)->session;
+
+  std::printf("veloce sql shell — virtual cluster '%s'. \\q to quit.\n",
+              tenant->name.c_str());
+  std::string line;
+  std::string buffer;
+  while (true) {
+    std::printf(buffer.empty() ? "veloce> " : "   ...> ");
+    if (!std::getline(std::cin, line)) break;
+    if (line == "\\q" || line == "quit" || line == "exit") break;
+    if (line == "\\tables") {
+      auto tables = (*conn)->node->catalog()->ListTables();
+      if (tables.ok()) {
+        for (const auto& name : *tables) std::printf("  %s\n", name.c_str());
+      }
+      continue;
+    }
+    if (line == "\\stats") {
+      const auto& f = (*conn)->node->connector()->features();
+      std::printf("  read batches %.0f (%.0f reqs, %.0f bytes); write batches "
+                  "%.0f (%.0f reqs, %.0f bytes); marshaled %llu bytes\n",
+                  f.read_batches, f.read_requests, f.read_bytes, f.write_batches,
+                  f.write_requests, f.write_bytes,
+                  static_cast<unsigned long long>(
+                      (*conn)->node->connector()->marshaled_bytes()));
+      continue;
+    }
+    if (line.rfind("\\pushdown", 0) == 0) {
+      const bool on = line.find("on") != std::string::npos;
+      session->SetSetting("kv_pushdown", on ? "on" : "off");
+      std::printf("  kv_pushdown = %s\n", on ? "on" : "off");
+      continue;
+    }
+    buffer += line;
+    // Execute once the statement is terminated (or the line is non-empty
+    // and has no trailing continuation).
+    if (buffer.find(';') == std::string::npos && !line.empty()) {
+      buffer += " ";
+      continue;
+    }
+    if (buffer.empty()) continue;
+    auto result = session->Execute(buffer);
+    buffer.clear();
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s", result->ToString().c_str());
+  }
+  return 0;
+}

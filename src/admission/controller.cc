@@ -1,0 +1,140 @@
+#include "admission/controller.h"
+
+namespace veloce::admission {
+
+NodeAdmissionController::NodeAdmissionController(sim::EventLoop* loop,
+                                                 sim::VirtualCpu* cpu,
+                                                 Options options)
+    : loop_(loop),
+      cpu_(cpu),
+      options_(options),
+      cq_(loop->clock()),
+      wq_(loop->clock()),
+      slots_({.vcpus = options.vcpus}),
+      write_bucket_(loop->clock()) {
+  if (options_.enabled) {
+    sampler_ = std::make_unique<sim::PeriodicTask>(loop_, options_.sample_period, [this] {
+      slots_.Sample(cpu_->runnable_queue_length(), !cq_.empty());
+      DispatchCq();
+    });
+    sampler_->Start();
+    wq_pump_ = std::make_unique<sim::PeriodicTask>(loop_, options_.wq_pump_period,
+                                                   [this] { PumpWq(); });
+    wq_pump_->Start();
+    decayer_ = std::make_unique<sim::PeriodicTask>(loop_, options_.decay_period, [this] {
+      cq_.Decay();
+      wq_.Decay();
+    });
+    decayer_->Start();
+  }
+}
+
+void NodeAdmissionController::Submit(KvWork work) {
+  if (!options_.enabled) {
+    auto done = std::move(work.done);
+    cpu_->Submit(work.tenant_id, work.cpu_cost, std::move(done));
+    return;
+  }
+  if (work.is_write) {
+    const uint64_t amplified =
+        static_cast<uint64_t>(write_model_.Predict(static_cast<double>(work.write_bytes)));
+    if (!write_bucket_.TryConsume(amplified)) {
+      // Queue in the WQ; the pump admits it as tokens refill.
+      WorkItem item;
+      item.tenant_id = work.tenant_id;
+      item.priority = work.priority;
+      item.txn_start = work.txn_start;
+      item.deadline = work.deadline;
+      item.cost = amplified;
+      auto shared = std::make_shared<KvWork>(std::move(work));
+      item.run = [this, shared]() mutable { EnqueueCq(std::move(*shared)); };
+      wq_.Enqueue(std::move(item));
+      return;
+    }
+    wq_.RecordConsumption(work.tenant_id, amplified);
+  }
+  EnqueueCq(std::move(work));
+}
+
+void NodeAdmissionController::EnqueueCq(KvWork work) {
+  if (slots_.TryAcquire()) {
+    auto shared = std::make_shared<KvWork>(std::move(work));
+    RunSlice(shared, shared->cpu_cost);
+    return;
+  }
+  WorkItem item;
+  item.tenant_id = work.tenant_id;
+  item.priority = work.priority;
+  item.txn_start = work.txn_start;
+  item.deadline = work.deadline;
+  auto shared = std::make_shared<KvWork>(std::move(work));
+  item.run = [this, shared]() { RunSlice(shared, shared->cpu_cost); };
+  cq_.Enqueue(std::move(item));
+}
+
+void NodeAdmissionController::DispatchCq() {
+  while (!cq_.empty() && slots_.TryAcquire()) {
+    auto item = cq_.Dequeue();
+    if (!item.has_value()) {
+      slots_.Release();
+      return;
+    }
+    item->run();  // RunSlice takes ownership of the already-acquired slot
+  }
+}
+
+void NodeAdmissionController::PumpWq() {
+  while (!wq_.empty()) {
+    // Dequeue-and-maybe-admit: if the bucket can't cover the item's
+    // amplified cost, put it back and wait for the next pump (fairness is
+    // preserved by the consumption counters, not FIFO position).
+    auto item = wq_.Dequeue();
+    if (!item.has_value()) return;
+    if (!write_bucket_.TryConsume(item->cost)) {
+      wq_.Enqueue(std::move(*item));
+      return;  // bucket dry; try next pump
+    }
+    wq_.RecordConsumption(item->tenant_id, item->cost);
+    item->run();
+  }
+}
+
+void NodeAdmissionController::RunSlice(std::shared_ptr<KvWork> work, Nanos remaining) {
+  // Occupies one already-acquired CPU slot. Slices bound how long a single
+  // operation holds the slot; between slices the op re-queues behind other
+  // tenants (resumption marker semantics).
+  const Nanos slice = remaining < options_.max_slice_cpu ? remaining
+                                                         : options_.max_slice_cpu;
+  cpu_->Submit(work->tenant_id, slice, [this, work, remaining, slice]() {
+    cq_.RecordConsumption(work->tenant_id, static_cast<uint64_t>(slice));
+    slots_.Release();
+    const Nanos left = remaining - slice;
+    if (left > 0) {
+      // Re-admit the remainder through the fair queue.
+      if (slots_.TryAcquire()) {
+        RunSlice(work, left);
+      } else {
+        WorkItem item;
+        item.tenant_id = work->tenant_id;
+        item.priority = work->priority;
+        item.txn_start = work->txn_start;
+        item.deadline = work->deadline;
+        item.run = [this, work, left]() { RunSlice(work, left); };
+        cq_.Enqueue(std::move(item));
+      }
+      return;
+    }
+    if (work->done) loop_->Schedule(0, work->done);
+    DispatchCq();
+  });
+}
+
+void NodeAdmissionController::UpdateWriteCapacity(const storage::EngineStats& stats,
+                                                  int l0_files) {
+  write_bucket_.UpdateCapacity(stats, l0_files);
+  // Refresh the write model with the same interval's observations.
+  write_model_.AddSample(static_cast<double>(stats.ingest_bytes),
+                         static_cast<double>(stats.total_bytes_written()));
+}
+
+}  // namespace veloce::admission

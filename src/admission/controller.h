@@ -1,0 +1,85 @@
+#ifndef VELOCE_ADMISSION_CONTROLLER_H_
+#define VELOCE_ADMISSION_CONTROLLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "admission/cpu_controller.h"
+#include "admission/work_queue.h"
+#include "admission/write_controller.h"
+#include "sim/event_loop.h"
+#include "sim/virtual_cpu.h"
+#include "storage/engine.h"
+
+namespace veloce::admission {
+
+/// One unit of KV work submitted for admission.
+struct KvWork {
+  uint64_t tenant_id = 0;
+  int32_t priority = 0;
+  Nanos txn_start = 0;
+  Nanos deadline = 0;          ///< 0 = none
+  bool is_write = false;
+  uint64_t write_bytes = 0;    ///< payload bytes for the write model
+  Nanos cpu_cost = 0;          ///< CPU the operation will consume
+  std::function<void()> done;  ///< fires (on the loop) when work completes
+};
+
+/// Per-node admission control (Section 5.1): write operations pass the
+/// write-bandwidth queue (WQ) and then the CPU queue (CQ); reads pass only
+/// the CQ. Admitted operations execute on the node's simulated CPU; slots
+/// return when they finish. Long operations are sliced so no single op
+/// monopolizes a slot (cooperative resumption markers).
+///
+/// Drive entirely from one sim::EventLoop.
+class NodeAdmissionController {
+ public:
+  struct Options {
+    int vcpus = 32;
+    bool enabled = true;
+    Nanos sample_period = kMilli;         ///< 1000 Hz runnable-queue sampling
+    Nanos wq_pump_period = 10 * kMilli;
+    Nanos decay_period = kSecond;         ///< fairness window decay
+    Nanos max_slice_cpu = 10 * kMilli;    ///< cooperative yield threshold
+  };
+
+  NodeAdmissionController(sim::EventLoop* loop, sim::VirtualCpu* cpu,
+                          Options options);
+
+  void Submit(KvWork work);
+
+  bool enabled() const { return options_.enabled; }
+  /// Feeds fresh engine counters into the write token bucket's capacity
+  /// estimation (call on the 15 s cadence, or whenever stats refresh).
+  void UpdateWriteCapacity(const storage::EngineStats& stats, int l0_files);
+
+  const CpuSlotController& slots() const { return slots_; }
+  const WriteTokenBucket& write_bucket() const { return write_bucket_; }
+  LinearWriteModel* write_model() { return &write_model_; }
+  size_t cq_queued() const { return cq_.queued(); }
+  size_t wq_queued() const { return wq_.queued(); }
+  uint64_t tenant_cpu_consumed(uint64_t tenant) const { return cq_.consumption(tenant); }
+
+ private:
+  void EnqueueCq(KvWork work);
+  void DispatchCq();
+  void PumpWq();
+  void RunSlice(std::shared_ptr<KvWork> work, Nanos remaining);
+
+  sim::EventLoop* loop_;
+  sim::VirtualCpu* cpu_;
+  Options options_;
+  TenantFairQueue cq_;
+  TenantFairQueue wq_;
+  CpuSlotController slots_;
+  WriteTokenBucket write_bucket_;
+  LinearWriteModel write_model_;
+  std::unique_ptr<sim::PeriodicTask> sampler_;
+  std::unique_ptr<sim::PeriodicTask> wq_pump_;
+  std::unique_ptr<sim::PeriodicTask> decayer_;
+};
+
+}  // namespace veloce::admission
+
+#endif  // VELOCE_ADMISSION_CONTROLLER_H_

@@ -1,0 +1,38 @@
+#include "admission/cpu_controller.h"
+
+#include "common/logging.h"
+
+namespace veloce::admission {
+
+CpuSlotController::CpuSlotController(Options options)
+    : options_(options), total_slots_(options.vcpus) {
+  VELOCE_CHECK(options_.vcpus > 0);
+  VELOCE_CHECK(options_.min_slots >= 1);
+}
+
+void CpuSlotController::Sample(int runnable_queue_len, bool work_waiting) {
+  const double runnable_per_vcpu =
+      static_cast<double>(runnable_queue_len) / options_.vcpus;
+  if (runnable_per_vcpu > options_.runnable_per_vcpu_high) {
+    // Scheduler backlog: admit less (additive decrease).
+    if (total_slots_ > options_.min_slots) --total_slots_;
+  } else if (runnable_per_vcpu < options_.runnable_per_vcpu_low && work_waiting &&
+             used_slots_ >= total_slots_) {
+    // CPU has headroom and work is queued: admit more (additive increase).
+    const int max_slots = options_.vcpus * options_.max_slots_per_vcpu;
+    if (total_slots_ < max_slots) ++total_slots_;
+  }
+}
+
+bool CpuSlotController::TryAcquire() {
+  if (used_slots_ >= total_slots_) return false;
+  ++used_slots_;
+  return true;
+}
+
+void CpuSlotController::Release() {
+  VELOCE_CHECK(used_slots_ > 0);
+  --used_slots_;
+}
+
+}  // namespace veloce::admission

@@ -1,0 +1,50 @@
+#ifndef VELOCE_ADMISSION_CPU_CONTROLLER_H_
+#define VELOCE_ADMISSION_CPU_CONTROLLER_H_
+
+#include <cstdint>
+
+namespace veloce::admission {
+
+/// CPU admission slots (Section 5.1.3): the controller estimates how many
+/// concurrently admitted operations keep CPU utilization high (90%+, work
+/// conserving) while keeping the scheduler's runnable queue short. It is
+/// driven by high-frequency samples of the runnable queue length and an
+/// additive increase / additive decrease feedback loop.
+class CpuSlotController {
+ public:
+  struct Options {
+    int vcpus = 4;
+    int min_slots = 1;
+    /// Upper bound on slots per vCPU (runaway protection).
+    int max_slots_per_vcpu = 16;
+    /// Runnable threads per vCPU above which the node counts as overloaded
+    /// and slots shrink.
+    double runnable_per_vcpu_high = 2.0;
+    /// Below this runnable load, slots may grow if work is waiting.
+    double runnable_per_vcpu_low = 1.0;
+  };
+
+  explicit CpuSlotController(Options options);
+
+  /// Feeds one 1000 Hz sample: the scheduler's runnable queue length and
+  /// whether admission work is waiting for a slot. Adjusts total slots.
+  void Sample(int runnable_queue_len, bool work_waiting);
+
+  /// Attempts to occupy a slot; pair with Release() when the operation
+  /// finishes or yields with a resumption marker.
+  bool TryAcquire();
+  void Release();
+
+  int total_slots() const { return total_slots_; }
+  int used_slots() const { return used_slots_; }
+  int available_slots() const { return total_slots_ - used_slots_; }
+
+ private:
+  Options options_;
+  int total_slots_;
+  int used_slots_ = 0;
+};
+
+}  // namespace veloce::admission
+
+#endif  // VELOCE_ADMISSION_CPU_CONTROLLER_H_

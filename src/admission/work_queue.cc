@@ -1,0 +1,69 @@
+#include "admission/work_queue.h"
+
+namespace veloce::admission {
+
+void TenantFairQueue::Enqueue(WorkItem item) {
+  TenantQueue& tq = tenants_[item.tenant_id];
+  const bool had_work = !tq.items.empty();
+  const auto key = std::make_tuple(-static_cast<int64_t>(item.priority),
+                                   item.txn_start, next_seq_++);
+  const uint64_t tenant_id = item.tenant_id;
+  tq.items.emplace(key, std::move(item));
+  ++total_queued_;
+  if (!had_work) {
+    heap_.insert({tq.consumption, tenant_id});
+  }
+}
+
+std::optional<WorkItem> TenantFairQueue::Dequeue() {
+  const Nanos now = clock_->Now();
+  while (!heap_.empty()) {
+    const auto [consumption, tenant_id] = *heap_.begin();
+    TenantQueue& tq = tenants_[tenant_id];
+    // Drop expired items from the front of this tenant's queue.
+    while (!tq.items.empty()) {
+      auto it = tq.items.begin();
+      if (it->second.deadline != 0 && it->second.deadline < now) {
+        tq.items.erase(it);
+        --total_queued_;
+        continue;
+      }
+      WorkItem item = std::move(it->second);
+      tq.items.erase(it);
+      --total_queued_;
+      if (tq.items.empty()) heap_.erase(heap_.begin());
+      return item;
+    }
+    heap_.erase(heap_.begin());
+  }
+  return std::nullopt;
+}
+
+void TenantFairQueue::RecordConsumption(uint64_t tenant_id, uint64_t amount) {
+  TenantQueue& tq = tenants_[tenant_id];
+  const bool in_heap = !tq.items.empty();
+  if (in_heap) heap_.erase({tq.consumption, tenant_id});
+  tq.consumption += amount;
+  if (in_heap) heap_.insert({tq.consumption, tenant_id});
+}
+
+void TenantFairQueue::Decay() {
+  std::set<std::pair<uint64_t, uint64_t>> rebuilt;
+  for (auto& [tenant_id, tq] : tenants_) {
+    tq.consumption /= 2;
+    if (!tq.items.empty()) rebuilt.insert({tq.consumption, tenant_id});
+  }
+  heap_ = std::move(rebuilt);
+}
+
+uint64_t TenantFairQueue::consumption(uint64_t tenant_id) const {
+  auto it = tenants_.find(tenant_id);
+  return it == tenants_.end() ? 0 : it->second.consumption;
+}
+
+size_t TenantFairQueue::queued_for_tenant(uint64_t tenant_id) const {
+  auto it = tenants_.find(tenant_id);
+  return it == tenants_.end() ? 0 : it->second.items.size();
+}
+
+}  // namespace veloce::admission

@@ -1,0 +1,78 @@
+#ifndef VELOCE_ADMISSION_WORK_QUEUE_H_
+#define VELOCE_ADMISSION_WORK_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/clock.h"
+
+namespace veloce::admission {
+
+/// One queued KV operation awaiting admission.
+struct WorkItem {
+  uint64_t tenant_id = 0;
+  int32_t priority = 0;      ///< higher admits first within a tenant
+  Nanos txn_start = 0;       ///< earlier transactions first within a priority
+  Nanos deadline = 0;        ///< 0 = none; expired items are dropped
+  uint64_t cost = 0;         ///< resource units this item will consume on admission
+  std::function<void()> run; ///< invoked by the controller upon admission
+};
+
+/// The paper's admission queue (Section 5.1.2): a hierarchy of heaps. The
+/// top level orders *tenants* by how much of the resource each consumed
+/// over a recent interval — the least-consuming tenant is served first,
+/// which is what makes allocation fair across tenants. Within a tenant,
+/// operations order by (priority desc, transaction start asc).
+///
+/// Consumption decays by halving at a fixed cadence (call Decay()
+/// periodically) so "recent interval" is an exponentially weighted window.
+///
+/// Not thread-safe: drive from one event loop (sim) or under an external
+/// mutex.
+class TenantFairQueue {
+ public:
+  explicit TenantFairQueue(Clock* clock) : clock_(clock) {}
+
+  void Enqueue(WorkItem item);
+
+  /// Pops the next admissible item: least-consuming tenant, then its
+  /// highest-priority/oldest operation. Skips (and drops) expired items.
+  std::optional<WorkItem> Dequeue();
+
+  /// Records resource consumption (cpu-nanos or write bytes) for fairness.
+  void RecordConsumption(uint64_t tenant_id, uint64_t amount);
+
+  /// Halves all consumption counters (exponential decay of the window).
+  void Decay();
+
+  uint64_t consumption(uint64_t tenant_id) const;
+  size_t queued() const { return total_queued_; }
+  size_t queued_for_tenant(uint64_t tenant_id) const;
+  bool empty() const { return total_queued_ == 0; }
+
+ private:
+  struct TenantQueue {
+    uint64_t consumption = 0;
+    // Ordered by (-priority, txn_start, seq) => highest priority, oldest
+    // first.
+    std::map<std::tuple<int64_t, Nanos, uint64_t>, WorkItem> items;
+  };
+
+  // Key in the tenant heap: (consumption, tenant_id). Rebuilt on every
+  // consumption change for the affected tenant.
+  void ReindexTenant(uint64_t tenant_id);
+
+  Clock* clock_;
+  std::map<uint64_t, TenantQueue> tenants_;
+  std::set<std::pair<uint64_t, uint64_t>> heap_;  // (consumption, tenant) with work
+  size_t total_queued_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace veloce::admission
+
+#endif  // VELOCE_ADMISSION_WORK_QUEUE_H_

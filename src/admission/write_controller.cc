@@ -1,0 +1,101 @@
+#include "admission/write_controller.h"
+
+#include <algorithm>
+
+namespace veloce::admission {
+
+void LinearWriteModel::AddSample(double ingest, double written) {
+  // Exponentially decay history so the model tracks workload shifts.
+  constexpr double kDecay = 0.95;
+  n_ = n_ * kDecay + 1;
+  sum_x_ = sum_x_ * kDecay + ingest;
+  sum_y_ = sum_y_ * kDecay + written;
+  sum_xx_ = sum_xx_ * kDecay + ingest * ingest;
+  sum_xy_ = sum_xy_ * kDecay + ingest * written;
+  // Spread the fixed per-interval cost across a nominal op count.
+  b_per_op_ = b() / 1000.0;
+}
+
+double LinearWriteModel::a() const {
+  const double denom = n_ * sum_xx_ - sum_x_ * sum_x_;
+  if (denom <= 1e-9 || n_ < 2) {
+    // Untrained: assume 3x amplification (WAL + flush + one compaction).
+    return 3.0;
+  }
+  const double slope = (n_ * sum_xy_ - sum_x_ * sum_y_) / denom;
+  return std::clamp(slope, 1.0, 64.0);
+}
+
+double LinearWriteModel::b() const {
+  if (n_ < 2) return 0;
+  return std::max(0.0, (sum_y_ - a() * sum_x_) / n_);
+}
+
+WriteTokenBucket::WriteTokenBucket(Clock* clock)
+    : clock_(clock), last_refill_(clock->Now()) {}
+
+void WriteTokenBucket::UpdateCapacity(const storage::EngineStats& stats,
+                                      int l0_files) {
+  const Nanos now = clock_->Now();
+  if (!has_baseline_) {
+    has_baseline_ = true;
+    last_capacity_update_ = now;
+    prev_stats_ = stats;
+    return;
+  }
+  const Nanos elapsed = now - last_capacity_update_;
+  if (elapsed < kCapacityInterval) return;
+  const double secs = static_cast<double>(elapsed) / kSecond;
+
+  // Observable write bottlenecks: memtable flush bandwidth and the rate at
+  // which compactions drain L0. Capacity is the larger of what the engine
+  // demonstrated it can absorb, with a floor to avoid collapsing to zero in
+  // an idle interval.
+  const double flush_rate =
+      static_cast<double>(stats.flush_bytes - prev_stats_.flush_bytes) / secs;
+  const double compact_rate =
+      static_cast<double>(stats.compact_write_bytes - prev_stats_.compact_write_bytes) /
+      secs;
+  const double ingest_rate =
+      static_cast<double>(stats.ingest_bytes - prev_stats_.ingest_bytes) / secs;
+  double capacity = std::max({flush_rate, compact_rate, ingest_rate});
+  if (capacity < 1.0) capacity = refill_per_sec_;  // idle interval: keep prior
+
+  // L0 backlog discount: an unhealthy L0 means compactions are behind, so
+  // admit less than the demonstrated rate until it drains.
+  constexpr int kHealthyL0 = 8;
+  if (l0_files > kHealthyL0) {
+    capacity *= static_cast<double>(kHealthyL0) / l0_files;
+  }
+  if (capacity > 0) {
+    refill_per_sec_ = capacity;
+    burst_bytes_ = refill_per_sec_;  // one second of burst
+    calibrated_ = true;
+  }
+  last_capacity_update_ = now;
+  prev_stats_ = stats;
+}
+
+void WriteTokenBucket::Refill() {
+  const Nanos now = clock_->Now();
+  const Nanos elapsed = now - last_refill_;
+  if (elapsed <= 0) return;
+  tokens_ += refill_per_sec_ * static_cast<double>(elapsed) / kSecond;
+  if (tokens_ > burst_bytes_) tokens_ = burst_bytes_;
+  last_refill_ = now;
+}
+
+bool WriteTokenBucket::TryConsume(uint64_t bytes) {
+  if (!calibrated_) return true;  // admit freely until first estimate
+  Refill();
+  if (tokens_ < static_cast<double>(bytes)) return false;
+  tokens_ -= static_cast<double>(bytes);
+  return true;
+}
+
+void WriteTokenBucket::Deduct(uint64_t bytes) {
+  Refill();
+  tokens_ -= static_cast<double>(bytes);
+}
+
+}  // namespace veloce::admission

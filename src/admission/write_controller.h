@@ -1,0 +1,77 @@
+#ifndef VELOCE_ADMISSION_WRITE_CONTROLLER_H_
+#define VELOCE_ADMISSION_WRITE_CONTROLLER_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "storage/engine.h"
+
+namespace veloce::admission {
+
+/// Incrementally fitted linear model y = a*x + b (Section 5.1.4): estimates
+/// the actual LSM bytes written (WAL + flush + compaction) for an operation
+/// ingesting x payload bytes. Fit over an exponentially weighted window of
+/// (x, y) interval samples.
+class LinearWriteModel {
+ public:
+  /// Adds an observation aggregated over an interval: `ingest` payload
+  /// bytes produced `written` total bytes.
+  void AddSample(double ingest, double written);
+
+  double a() const;  ///< amplification slope (bytes written per byte)
+  double b() const;  ///< per-interval fixed cost share
+
+  /// Predicted total write bytes for one operation ingesting x bytes.
+  double Predict(double x) const { return a() * x + b_per_op_; }
+
+  bool trained() const { return n_ > 1; }
+
+ private:
+  double n_ = 0, sum_x_ = 0, sum_y_ = 0, sum_xx_ = 0, sum_xy_ = 0;
+  double b_per_op_ = 0;
+};
+
+/// The write-bandwidth token bucket (WQ, Section 5.1.3). Each token is one
+/// byte of LSM write capacity. The refill rate is re-estimated every
+/// `kCapacityInterval` from the engine's flush and compaction throughput —
+/// the two observable write bottlenecks — discounted when L0 builds up a
+/// backlog (read amplification pressure).
+class WriteTokenBucket {
+ public:
+  static constexpr Nanos kCapacityInterval = 15 * kSecond;
+
+  explicit WriteTokenBucket(Clock* clock);
+
+  /// Re-estimates capacity from engine counters; call every 15 s (or when
+  /// convenient — it no-ops if called early). `l0_files` discounts capacity
+  /// when the L0 backlog exceeds the healthy threshold.
+  void UpdateCapacity(const storage::EngineStats& stats, int l0_files);
+
+  /// Attempts to take `bytes` tokens; refills lazily from elapsed time.
+  bool TryConsume(uint64_t bytes);
+  /// Forcibly deducts (for work-conserving debt accounting).
+  void Deduct(uint64_t bytes);
+
+  double tokens() const { return tokens_; }
+  double refill_bytes_per_sec() const { return refill_per_sec_; }
+
+  /// Until capacity is first estimated, the bucket admits freely.
+  bool calibrated() const { return calibrated_; }
+
+ private:
+  void Refill();
+
+  Clock* clock_;
+  double tokens_ = 0;
+  double refill_per_sec_ = 0;
+  double burst_bytes_ = 0;
+  bool calibrated_ = false;
+  bool has_baseline_ = false;
+  Nanos last_refill_;
+  Nanos last_capacity_update_ = 0;
+  storage::EngineStats prev_stats_;
+};
+
+}  // namespace veloce::admission
+
+#endif  // VELOCE_ADMISSION_WRITE_CONTROLLER_H_

@@ -1,0 +1,135 @@
+#include "billing/ecpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace veloce::billing {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<Point> points)
+    : points_(std::move(points)) {
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) { return a.x < b.x; });
+}
+
+double PiecewiseLinear::Eval(double x) const {
+  if (points_.empty()) return 0;
+  if (x <= points_.front().x) return points_.front().y;
+  if (x >= points_.back().x) return points_.back().y;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (x <= points_[i].x) {
+      const Point& a = points_[i - 1];
+      const Point& b = points_[i];
+      const double t = (x - a.x) / (b.x - a.x);
+      return a.y + t * (b.y - a.y);
+    }
+  }
+  return points_.back().y;
+}
+
+PiecewiseLinear PiecewiseLinear::Fit(std::vector<Point> samples, int segments) {
+  VELOCE_CHECK(segments >= 1);
+  if (samples.empty()) return PiecewiseLinear();
+  std::sort(samples.begin(), samples.end(),
+            [](const Point& a, const Point& b) { return a.x < b.x; });
+  std::vector<Point> knots;
+  const size_t n = samples.size();
+  const int k = std::min<int>(segments + 1, static_cast<int>(n));
+  for (int i = 0; i < k; ++i) {
+    // Knot at the i-th x-quantile; y = average of a neighborhood.
+    const size_t center = (n - 1) * static_cast<size_t>(i) / (k - 1 == 0 ? 1 : k - 1);
+    const size_t radius = std::max<size_t>(1, n / (2 * static_cast<size_t>(k)));
+    const size_t lo = center >= radius ? center - radius : 0;
+    const size_t hi = std::min(n - 1, center + radius);
+    double sum = 0;
+    for (size_t j = lo; j <= hi; ++j) sum += samples[j].y;
+    knots.push_back({samples[center].x, sum / static_cast<double>(hi - lo + 1)});
+  }
+  return PiecewiseLinear(std::move(knots));
+}
+
+std::string_view FeatureName(Feature f) {
+  switch (f) {
+    case Feature::kReadBatches: return "read_batches";
+    case Feature::kReadRequests: return "read_requests";
+    case Feature::kReadBytes: return "read_bytes";
+    case Feature::kWriteBatches: return "write_batches";
+    case Feature::kWriteRequests: return "write_requests";
+    case Feature::kWriteBytes: return "write_bytes";
+  }
+  return "unknown";
+}
+
+double IntervalFeatures::Get(Feature f) const {
+  switch (f) {
+    case Feature::kReadBatches: return read_batches;
+    case Feature::kReadRequests: return read_requests;
+    case Feature::kReadBytes: return read_bytes;
+    case Feature::kWriteBatches: return write_batches;
+    case Feature::kWriteRequests: return write_requests;
+    case Feature::kWriteBytes: return write_bytes;
+  }
+  return 0;
+}
+
+void EstimatedCpuModel::SetSubModel(Feature f, PiecewiseLinear cost) {
+  sub_models_[static_cast<int>(f)] = std::move(cost);
+}
+
+const PiecewiseLinear& EstimatedCpuModel::sub_model(Feature f) const {
+  return sub_models_[static_cast<int>(f)];
+}
+
+double EstimatedCpuModel::EstimateKvCpuSeconds(const IntervalFeatures& features,
+                                               double secs) const {
+  if (secs <= 0) return 0;
+  double total = 0;
+  for (int i = 0; i < kNumFeatures; ++i) {
+    const double count = features.Get(static_cast<Feature>(i));
+    if (count <= 0 || sub_models_[i].empty()) continue;
+    const double rate = count / secs;
+    // Sub-model output: CPU seconds per unit at this rate.
+    total += count * sub_models_[i].Eval(rate);
+  }
+  return total;
+}
+
+EstimatedCpuModel EstimatedCpuModel::Default() {
+  EstimatedCpuModel model;
+  // Batch fixed costs fall with batch rate (Fig 5's efficiency curve):
+  // marshalling, raft proposal, and grant-chaining overheads amortize.
+  model.SetSubModel(Feature::kWriteBatches,
+                    PiecewiseLinear({{10, 180e-6},
+                                     {100, 120e-6},
+                                     {1000, 70e-6},
+                                     {10000, 42e-6},
+                                     {100000, 30e-6}}));
+  model.SetSubModel(Feature::kReadBatches,
+                    PiecewiseLinear({{10, 60e-6},
+                                     {100, 45e-6},
+                                     {1000, 28e-6},
+                                     {10000, 16e-6},
+                                     {100000, 11e-6}}));
+  // Per-request costs shrink mildly with rate.
+  model.SetSubModel(Feature::kWriteRequests,
+                    PiecewiseLinear({{100, 8e-6}, {10000, 6e-6}, {1000000, 5e-6}}));
+  model.SetSubModel(Feature::kReadRequests,
+                    PiecewiseLinear({{100, 4e-6}, {10000, 3e-6}, {1000000, 2.5e-6}}));
+  // Byte costs are nearly flat; writes cost more (raft log + compactions).
+  model.SetSubModel(Feature::kWriteBytes,
+                    PiecewiseLinear({{1e3, 30e-9}, {1e6, 25e-9}, {1e9, 22e-9}}));
+  model.SetSubModel(Feature::kReadBytes,
+                    PiecewiseLinear({{1e3, 12e-9}, {1e6, 10e-9}, {1e9, 9e-9}}));
+  return model;
+}
+
+double EcpuSecondsToRequestUnits(double ecpu_seconds) {
+  // 1 RU == a prepared point read of a 64-byte row. Under the default
+  // model, at moderate rates that read costs roughly 20 microseconds of
+  // eCPU (batch share + request + 64 bytes), so 1 RU ~= 20e-6 eCPU-seconds.
+  constexpr double kEcpuSecondsPerRu = 20e-6;
+  return ecpu_seconds / kEcpuSecondsPerRu;
+}
+
+}  // namespace veloce::billing

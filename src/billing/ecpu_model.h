@@ -1,0 +1,101 @@
+#ifndef VELOCE_BILLING_ECPU_MODEL_H_
+#define VELOCE_BILLING_ECPU_MODEL_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace veloce::billing {
+
+/// Monotone piecewise-linear function: the shape used to approximate each
+/// of the estimated-CPU model's non-linear feature curves (Fig 5). Defined
+/// by (x, y) control points; evaluation interpolates and clamps at the
+/// extremes.
+class PiecewiseLinear {
+ public:
+  struct Point {
+    double x, y;
+  };
+
+  PiecewiseLinear() = default;
+  explicit PiecewiseLinear(std::vector<Point> points);
+
+  double Eval(double x) const;
+  bool empty() const { return points_.empty(); }
+  const std::vector<Point>& points() const { return points_; }
+
+  /// Least-squares-ish fit: given (x, y) samples, places `segments`+1 knots
+  /// at x-quantiles and sets knot y to the local average. Good enough for
+  /// the calibration bench; not a general regression.
+  static PiecewiseLinear Fit(std::vector<Point> samples, int segments);
+
+ private:
+  std::vector<Point> points_;  // sorted by x
+};
+
+/// The six input features of the estimated-CPU model (Section 5.2.1).
+enum class Feature : int {
+  kReadBatches = 0,
+  kReadRequests = 1,
+  kReadBytes = 2,
+  kWriteBatches = 3,
+  kWriteRequests = 4,
+  kWriteBytes = 5,
+};
+constexpr int kNumFeatures = 6;
+std::string_view FeatureName(Feature f);
+
+/// Aggregated feature counts over an accounting interval (per tenant).
+struct IntervalFeatures {
+  double read_batches = 0;
+  double read_requests = 0;
+  double read_bytes = 0;
+  double write_batches = 0;
+  double write_requests = 0;
+  double write_bytes = 0;
+
+  double Get(Feature f) const;
+};
+
+/// Estimated-CPU model: estimated_cpu = actual_sql_cpu + estimated_kv_cpu,
+/// where the KV part is the sum of six per-feature sub-models. Each
+/// sub-model maps the feature's *rate* (units/sec) to a per-unit CPU cost
+/// in seconds — capturing the batching efficiencies of Fig 5 (higher batch
+/// rates amortize fixed costs, so per-unit cost falls with rate).
+class EstimatedCpuModel {
+ public:
+  EstimatedCpuModel() = default;
+
+  void SetSubModel(Feature f, PiecewiseLinear cost_per_unit_vs_rate);
+  const PiecewiseLinear& sub_model(Feature f) const;
+
+  /// Estimated KV CPU seconds consumed during an interval of `secs`
+  /// seconds in which `features` were observed.
+  double EstimateKvCpuSeconds(const IntervalFeatures& features, double secs) const;
+
+  /// Total eCPU (vCPU-seconds): measured SQL CPU plus modelled KV CPU.
+  double EstimateTotalCpuSeconds(double actual_sql_cpu_seconds,
+                                 const IntervalFeatures& features,
+                                 double secs) const {
+    return actual_sql_cpu_seconds + EstimateKvCpuSeconds(features, secs);
+  }
+
+  /// The production default, shaped like the paper's trained model: batch
+  /// costs fall with batch rate (Fig 5), request and byte costs are nearly
+  /// flat. Calibrate with bench_fig5_write_batch_model for your hardware.
+  static EstimatedCpuModel Default();
+
+ private:
+  std::array<PiecewiseLinear, kNumFeatures> sub_models_;
+};
+
+/// Legacy pricing unit: 1 RU = the cost of a prepared point read of a
+/// 64-byte row (Section 7). Retained for comparison with the eCPU metric.
+double EcpuSecondsToRequestUnits(double ecpu_seconds);
+
+}  // namespace veloce::billing
+
+#endif  // VELOCE_BILLING_ECPU_MODEL_H_

@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace veloce {
+
+RealClock* RealClock::Instance() {
+  static RealClock* clock = new RealClock();
+  return clock;
+}
+
+}  // namespace veloce

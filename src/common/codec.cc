@@ -1,0 +1,197 @@
+#include "common/codec.h"
+
+#include <cstring>
+
+namespace veloce {
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v);
+  buf[1] = static_cast<char>(v >> 8);
+  buf[2] = static_cast<char>(v >> 16);
+  buf[3] = static_cast<char>(v >> 24);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  dst->append(buf, 8);
+}
+
+void PutVarint32(std::string* dst, uint32_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+void PutLengthPrefixed(std::string* dst, Slice value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+bool GetFixed32(Slice* input, uint32_t* v) {
+  if (input->size() < 4) return false;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(input->data());
+  *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+       (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+  input->RemovePrefix(4);
+  return true;
+}
+
+bool GetFixed64(Slice* input, uint64_t* v) {
+  if (input->size() < 8) return false;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(input->data());
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) out |= static_cast<uint64_t>(p[i]) << (8 * i);
+  *v = out;
+  input->RemovePrefix(8);
+  return true;
+}
+
+bool GetVarint64(Slice* input, uint64_t* v) {
+  uint64_t out = 0;
+  for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    const unsigned char byte = static_cast<unsigned char>((*input)[0]);
+    input->RemovePrefix(1);
+    if (byte & 0x80) {
+      out |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    } else {
+      out |= static_cast<uint64_t>(byte) << shift;
+      *v = out;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetVarint32(Slice* input, uint32_t* v) {
+  uint64_t v64;
+  if (!GetVarint64(input, &v64) || v64 > UINT32_MAX) return false;
+  *v = static_cast<uint32_t>(v64);
+  return true;
+}
+
+bool GetLengthPrefixed(Slice* input, Slice* value) {
+  uint64_t len;
+  if (!GetVarint64(input, &len) || input->size() < len) return false;
+  *value = Slice(input->data(), static_cast<size_t>(len));
+  input->RemovePrefix(static_cast<size_t>(len));
+  return true;
+}
+
+void OrderedPutUint64(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * (7 - i)));
+  dst->append(buf, 8);
+}
+
+void OrderedPutInt64(std::string* dst, int64_t v) {
+  OrderedPutUint64(dst, static_cast<uint64_t>(v) ^ (1ULL << 63));
+}
+
+void OrderedPutString(std::string* dst, Slice s) {
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\x00') {
+      dst->push_back('\x00');
+      dst->push_back('\xFF');
+    } else {
+      dst->push_back(s[i]);
+    }
+  }
+  dst->push_back('\x00');
+  dst->push_back('\x01');
+}
+
+void OrderedPutDouble(std::string* dst, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  // Positive doubles: flip the sign bit so they sort above negatives.
+  // Negative doubles: flip all bits so magnitude order reverses correctly.
+  if (bits & (1ULL << 63)) {
+    bits = ~bits;
+  } else {
+    bits |= (1ULL << 63);
+  }
+  OrderedPutUint64(dst, bits);
+}
+
+bool OrderedGetUint64(Slice* input, uint64_t* v) {
+  if (input->size() < 8) return false;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(input->data());
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) out = (out << 8) | p[i];
+  *v = out;
+  input->RemovePrefix(8);
+  return true;
+}
+
+bool OrderedGetInt64(Slice* input, int64_t* v) {
+  uint64_t u;
+  if (!OrderedGetUint64(input, &u)) return false;
+  *v = static_cast<int64_t>(u ^ (1ULL << 63));
+  return true;
+}
+
+bool OrderedGetString(Slice* input, std::string* s) {
+  s->clear();
+  size_t i = 0;
+  while (i < input->size()) {
+    const char c = (*input)[i];
+    if (c != '\x00') {
+      s->push_back(c);
+      ++i;
+      continue;
+    }
+    if (i + 1 >= input->size()) return false;
+    const char next = (*input)[i + 1];
+    if (next == '\x01') {  // terminator
+      input->RemovePrefix(i + 2);
+      return true;
+    }
+    if (next == '\xFF') {  // escaped 0x00
+      s->push_back('\x00');
+      i += 2;
+      continue;
+    }
+    return false;
+  }
+  return false;
+}
+
+bool OrderedGetDouble(Slice* input, double* v) {
+  uint64_t bits;
+  if (!OrderedGetUint64(input, &bits)) return false;
+  if (bits & (1ULL << 63)) {
+    bits &= ~(1ULL << 63);
+  } else {
+    bits = ~bits;
+  }
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+std::string PrefixEnd(Slice prefix) {
+  std::string end = prefix.ToString();
+  while (!end.empty()) {
+    const unsigned char c = static_cast<unsigned char>(end.back());
+    if (c != 0xFF) {
+      end.back() = static_cast<char>(c + 1);
+      return end;
+    }
+    end.pop_back();
+  }
+  return end;  // empty: unbounded
+}
+
+}  // namespace veloce

@@ -1,0 +1,67 @@
+#ifndef VELOCE_COMMON_CODEC_H_
+#define VELOCE_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace veloce {
+
+/// Byte-level encoders shared by the storage, KV, and SQL layers.
+///
+/// Two families live here:
+///  * Plain encoders (fixed/varint/length-prefixed) for file formats and the
+///    wire protocol — compact, not order-preserving.
+///  * Ordered encoders for keys — the encoded bytes sort in the same order as
+///    the source values, which is what lets the SQL layer map table rows onto
+///    the KV layer's single linear keyspace (Fig 2 of the paper).
+
+// ---------------------------------------------------------------------------
+// Plain encoders.
+// ---------------------------------------------------------------------------
+
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+/// Varint length followed by the raw bytes.
+void PutLengthPrefixed(std::string* dst, Slice value);
+
+/// Each Get* consumes from the front of *input. Returns false on malformed
+/// or truncated input (callers translate to Status::Corruption).
+bool GetFixed32(Slice* input, uint32_t* v);
+bool GetFixed64(Slice* input, uint64_t* v);
+bool GetVarint32(Slice* input, uint32_t* v);
+bool GetVarint64(Slice* input, uint64_t* v);
+bool GetLengthPrefixed(Slice* input, Slice* value);
+
+// ---------------------------------------------------------------------------
+// Ordered (key) encoders. memcmp order of the encoding == value order.
+// ---------------------------------------------------------------------------
+
+/// Big-endian unsigned 64-bit: natural memcmp order.
+void OrderedPutUint64(std::string* dst, uint64_t v);
+/// Sign-flipped big-endian: negative < positive in memcmp order.
+void OrderedPutInt64(std::string* dst, int64_t v);
+/// Escaped string: 0x00 bytes become {0x00, 0xFF}; terminated by
+/// {0x00, 0x01}. Order-preserving and self-delimiting, so strings can be
+/// followed by further key components (the CockroachDB scheme).
+void OrderedPutString(std::string* dst, Slice s);
+/// IEEE-754 double mapped to an order-preserving 64-bit pattern.
+void OrderedPutDouble(std::string* dst, double v);
+
+bool OrderedGetUint64(Slice* input, uint64_t* v);
+bool OrderedGetInt64(Slice* input, int64_t* v);
+bool OrderedGetString(Slice* input, std::string* s);
+bool OrderedGetDouble(Slice* input, double* v);
+
+/// Returns the smallest key strictly greater than every key having `prefix`
+/// as a prefix (the exclusive end of the prefix's keyspan). Empty result
+/// means "no upper bound" (prefix was all 0xFF).
+std::string PrefixEnd(Slice prefix);
+
+}  // namespace veloce
+
+#endif  // VELOCE_COMMON_CODEC_H_

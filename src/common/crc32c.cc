@@ -1,0 +1,38 @@
+#include "common/crc32c.h"
+
+namespace veloce::crc32c {
+
+namespace {
+
+// Table-driven CRC-32C, generated at first use from the Castagnoli
+// polynomial (reflected form 0x82F63B78).
+struct Table {
+  uint32_t t[256];
+  Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+      }
+      t[i] = crc;
+    }
+  }
+};
+
+const Table& GetTable() {
+  static const Table* table = new Table();
+  return *table;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  const Table& table = GetTable();
+  uint32_t crc = init_crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table.t[(crc ^ static_cast<unsigned char>(data[i])) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace veloce::crc32c

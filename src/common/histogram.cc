@@ -1,0 +1,107 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace veloce {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(int64_t v) {
+  if (v < 0) v = 0;
+  if (v < 32) return static_cast<int>(v);  // exact buckets for tiny values
+  const uint64_t uv = static_cast<uint64_t>(v);
+  const int e = 63 - std::countl_zero(uv);  // floor(log2(v)), e >= 5 here
+  const int sub = static_cast<int>((uv >> (e - 4)) & 15);
+  int idx = 32 + (e - 5) * kSubBuckets + sub;
+  if (idx >= kNumBuckets) idx = kNumBuckets - 1;
+  return idx;
+}
+
+int64_t Histogram::BucketUpperBound(int b) {
+  if (b < 32) return b;
+  const int e = 5 + (b - 32) / kSubBuckets;
+  const int sub = (b - 32) % kSubBuckets;
+  return ((static_cast<int64_t>(16 + sub + 1)) << (e - 4)) - 1;
+}
+
+void Histogram::Record(int64_t v) {
+  if (v < 0) v = 0;
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += static_cast<double>(v);
+  ++buckets_[BucketFor(v)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0u);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::FormatNanos(int64_t ns) {
+  char buf[64];
+  if (ns < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(ns));
+  } else if (ns < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 10'000'000'000LL) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+std::string Histogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%s p50=%s p95=%s p99=%s max=%s",
+                static_cast<unsigned long long>(count_),
+                FormatNanos(static_cast<int64_t>(Mean())).c_str(),
+                FormatNanos(P50()).c_str(), FormatNanos(P95()).c_str(),
+                FormatNanos(P99()).c_str(), FormatNanos(max_).c_str());
+  return buf;
+}
+
+}  // namespace veloce

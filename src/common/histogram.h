@@ -1,0 +1,57 @@
+#ifndef VELOCE_COMMON_HISTOGRAM_H_
+#define VELOCE_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace veloce {
+
+/// Log-bucketed latency histogram (HDR-style) used to report the p50/p99
+/// numbers that the paper's tables quote. Values are recorded in nanoseconds;
+/// buckets grow geometrically so relative error is bounded (~4%) across nine
+/// orders of magnitude. Not thread-safe; shard per-thread and Merge().
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value_ns);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return max_; }
+  double Mean() const;
+
+  /// Value at quantile q in [0, 1], e.g. 0.50, 0.99. Returns the upper bound
+  /// of the containing bucket.
+  int64_t Quantile(double q) const;
+
+  int64_t P50() const { return Quantile(0.50); }
+  int64_t P95() const { return Quantile(0.95); }
+  int64_t P99() const { return Quantile(0.99); }
+
+  /// One-line summary like "n=1000 mean=1.2ms p50=1.1ms p99=4.0ms".
+  std::string ToString() const;
+
+  /// Formats a nanosecond duration with an adaptive unit.
+  static std::string FormatNanos(int64_t ns);
+
+ private:
+  static constexpr int kSubBuckets = 16;  // per power of two
+  static constexpr int kNumBuckets = 64 * kSubBuckets;
+
+  static int BucketFor(int64_t v);
+  static int64_t BucketUpperBound(int b);
+
+  std::vector<uint32_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace veloce
+
+#endif  // VELOCE_COMMON_HISTOGRAM_H_

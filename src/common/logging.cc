@@ -1,0 +1,30 @@
+#include "common/logging.h"
+
+namespace veloce {
+namespace log_internal {
+
+Severity& MinLogSeverity() {
+  static Severity severity = Severity::kWarning;
+  return severity;
+}
+
+LogMessage::LogMessage(Severity severity, const char* file, int line)
+    : severity_(severity) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity() || severity_ == Severity::kFatal) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+  if (severity_ == Severity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace log_internal
+}  // namespace veloce

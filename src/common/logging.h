@@ -1,0 +1,60 @@
+#ifndef VELOCE_COMMON_LOGGING_H_
+#define VELOCE_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace veloce {
+namespace log_internal {
+
+enum class Severity { kInfo, kWarning, kError, kFatal };
+
+/// Minimum severity that is actually emitted; default drops kInfo so tests
+/// and benches stay quiet. Not thread-safe to mutate concurrently with logs.
+Severity& MinLogSeverity();
+
+/// Stream-style log sink. Fatal severity aborts the process on destruction
+/// (programmer-error invariants only; operational errors use Status).
+class LogMessage {
+ public:
+  LogMessage(Severity severity, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  Severity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define VLOG_INFO \
+  ::veloce::log_internal::LogMessage(::veloce::log_internal::Severity::kInfo, __FILE__, __LINE__).stream()
+#define VLOG_WARN \
+  ::veloce::log_internal::LogMessage(::veloce::log_internal::Severity::kWarning, __FILE__, __LINE__).stream()
+#define VLOG_ERROR \
+  ::veloce::log_internal::LogMessage(::veloce::log_internal::Severity::kError, __FILE__, __LINE__).stream()
+
+/// Invariant check: aborts with a message if `cond` is false. For programmer
+/// errors, never for data-dependent failures (those return Status).
+#define VELOCE_CHECK(cond)                                                   \
+  if (!(cond))                                                               \
+  ::veloce::log_internal::LogMessage(::veloce::log_internal::Severity::kFatal, \
+                                     __FILE__, __LINE__)                     \
+          .stream()                                                          \
+      << "Check failed: " #cond " "
+
+#define VELOCE_CHECK_OK(expr)                                   \
+  do {                                                          \
+    ::veloce::Status _chk = (expr);                             \
+    VELOCE_CHECK(_chk.ok()) << _chk.ToString();                 \
+  } while (0)
+
+}  // namespace veloce
+
+#endif  // VELOCE_COMMON_LOGGING_H_

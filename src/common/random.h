@@ -1,0 +1,105 @@
+#ifndef VELOCE_COMMON_RANDOM_H_
+#define VELOCE_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace veloce {
+
+/// Fast deterministic PRNG (xorshift128+). Workloads and simulations need
+/// reproducible randomness; std::mt19937_64 is heavier than necessary for
+/// per-operation draws in benches.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    s0_ = seed ^ 0x853C49E6748FEA9BULL;
+    s1_ = (seed << 1) | 1;
+    // Warm up so nearby seeds diverge.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed with the given mean (for think times and
+  /// inter-arrival gaps in open-loop workloads).
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u >= 1.0) u = 0.9999999999;
+    return -mean * std::log(1.0 - u);
+  }
+
+  /// Random printable-ASCII string of the given length.
+  std::string String(size_t len) {
+    std::string out(len, '\0');
+    for (size_t i = 0; i < len; ++i) out[i] = static_cast<char>('a' + Uniform(26));
+    return out;
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// Zipfian generator over [0, n) with parameter theta, per the YCSB
+/// formulation (Gray et al.). Used by the YCSB workload and hot-key tests.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 7)
+      : n_(n), theta_(theta), rng_(seed) {
+    zetan_ = Zeta(n_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(static_cast<double>(n_) *
+                                 std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Random rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace veloce
+
+#endif  // VELOCE_COMMON_RANDOM_H_

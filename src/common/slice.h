@@ -1,0 +1,57 @@
+#ifndef VELOCE_COMMON_SLICE_H_
+#define VELOCE_COMMON_SLICE_H_
+
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace veloce {
+
+/// Slice is a non-owning view of a byte sequence, used throughout the KV and
+/// storage layers for keys and values. It is a thin alias layer over
+/// std::string_view with byte-oriented helpers; callers own the backing
+/// memory and must keep it alive while the Slice is in use.
+class Slice {
+ public:
+  Slice() = default;
+  Slice(const char* data, size_t size) : view_(data, size) {}
+  Slice(const std::string& s) : view_(s) {}        // NOLINT(google-explicit-constructor)
+  Slice(std::string_view v) : view_(v) {}          // NOLINT(google-explicit-constructor)
+  Slice(const char* cstr) : view_(cstr) {}         // NOLINT(google-explicit-constructor)
+
+  const char* data() const { return view_.data(); }
+  size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+  char operator[](size_t i) const { return view_[i]; }
+
+  std::string_view view() const { return view_; }
+  std::string ToString() const { return std::string(view_); }
+
+  /// Drops the first n bytes (n must be <= size()).
+  void RemovePrefix(size_t n) { view_.remove_prefix(n); }
+
+  bool StartsWith(Slice prefix) const {
+    return view_.size() >= prefix.size() &&
+           memcmp(view_.data(), prefix.data(), prefix.size()) == 0;
+  }
+
+  /// Three-way bytewise comparison: <0, 0, >0.
+  int Compare(Slice other) const {
+    int r = view_.compare(other.view_);
+    return r < 0 ? -1 : (r > 0 ? 1 : 0);
+  }
+
+  friend bool operator==(Slice a, Slice b) { return a.view_ == b.view_; }
+  friend bool operator!=(Slice a, Slice b) { return a.view_ != b.view_; }
+  friend bool operator<(Slice a, Slice b) { return a.view_ < b.view_; }
+  friend bool operator<=(Slice a, Slice b) { return a.view_ <= b.view_; }
+  friend bool operator>(Slice a, Slice b) { return a.view_ > b.view_; }
+  friend bool operator>=(Slice a, Slice b) { return a.view_ >= b.view_; }
+
+ private:
+  std::string_view view_;
+};
+
+}  // namespace veloce
+
+#endif  // VELOCE_COMMON_SLICE_H_

@@ -1,0 +1,35 @@
+#include "common/status.h"
+
+namespace veloce {
+
+std::string_view CodeName(Code code) {
+  switch (code) {
+    case Code::kOk: return "OK";
+    case Code::kNotFound: return "NotFound";
+    case Code::kAlreadyExists: return "AlreadyExists";
+    case Code::kInvalidArgument: return "InvalidArgument";
+    case Code::kCorruption: return "Corruption";
+    case Code::kIOError: return "IOError";
+    case Code::kUnauthorized: return "Unauthorized";
+    case Code::kUnavailable: return "Unavailable";
+    case Code::kRangeKeyMismatch: return "RangeKeyMismatch";
+    case Code::kTransactionRetry: return "TransactionRetry";
+    case Code::kTransactionAborted: return "TransactionAborted";
+    case Code::kWriteIntentError: return "WriteIntentError";
+    case Code::kResourceExhausted: return "ResourceExhausted";
+    case Code::kDeadlineExceeded: return "DeadlineExceeded";
+    case Code::kNotSupported: return "NotSupported";
+    case Code::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(CodeName(code_));
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+}  // namespace veloce

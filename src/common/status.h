@@ -1,0 +1,185 @@
+#ifndef VELOCE_COMMON_STATUS_H_
+#define VELOCE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <new>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace veloce {
+
+/// Error codes used across the library. The set mirrors the failure domains
+/// of the system: storage, KV routing/transactions, tenancy/authorization,
+/// SQL, and resource control.
+enum class Code : int {
+  kOk = 0,
+  kNotFound = 1,
+  kAlreadyExists = 2,
+  kInvalidArgument = 3,
+  kCorruption = 4,
+  kIOError = 5,
+  kUnauthorized = 6,         // tenant keyspace violation, bad credential
+  kUnavailable = 7,          // node down, lease not held, draining
+  kRangeKeyMismatch = 8,     // request routed to wrong range; retry with fresh directory
+  kTransactionRetry = 9,     // serializability conflict; client must retry
+  kTransactionAborted = 10,  // txn record aborted by a conflicting pusher
+  kWriteIntentError = 11,    // blocked on another txn's intent
+  kResourceExhausted = 12,   // quota exceeded / admission rejection
+  kDeadlineExceeded = 13,
+  kNotSupported = 14,
+  kInternal = 15,
+};
+
+/// Human-readable name of a code ("NotFound", "Unauthorized", ...).
+std::string_view CodeName(Code code);
+
+/// Status is the library-wide error type: a cheap value type carrying a Code
+/// and, for errors, a message. OK statuses allocate nothing. The library is
+/// built without exceptions; every fallible operation returns Status or
+/// StatusOr<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg) { return Status(Code::kNotFound, msg); }
+  static Status AlreadyExists(std::string_view msg) { return Status(Code::kAlreadyExists, msg); }
+  static Status InvalidArgument(std::string_view msg) { return Status(Code::kInvalidArgument, msg); }
+  static Status Corruption(std::string_view msg) { return Status(Code::kCorruption, msg); }
+  static Status IOError(std::string_view msg) { return Status(Code::kIOError, msg); }
+  static Status Unauthorized(std::string_view msg) { return Status(Code::kUnauthorized, msg); }
+  static Status Unavailable(std::string_view msg) { return Status(Code::kUnavailable, msg); }
+  static Status RangeKeyMismatch(std::string_view msg) { return Status(Code::kRangeKeyMismatch, msg); }
+  static Status TransactionRetry(std::string_view msg) { return Status(Code::kTransactionRetry, msg); }
+  static Status TransactionAborted(std::string_view msg) { return Status(Code::kTransactionAborted, msg); }
+  static Status WriteIntentError(std::string_view msg) { return Status(Code::kWriteIntentError, msg); }
+  static Status ResourceExhausted(std::string_view msg) { return Status(Code::kResourceExhausted, msg); }
+  static Status DeadlineExceeded(std::string_view msg) { return Status(Code::kDeadlineExceeded, msg); }
+  static Status NotSupported(std::string_view msg) { return Status(Code::kNotSupported, msg); }
+  static Status Internal(std::string_view msg) { return Status(Code::kInternal, msg); }
+
+  Status(Code code, std::string_view msg) : code_(code), msg_(msg) {}
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsUnauthorized() const { return code_ == Code::kUnauthorized; }
+  bool IsRangeKeyMismatch() const { return code_ == Code::kRangeKeyMismatch; }
+  bool IsTransactionRetry() const { return code_ == Code::kTransactionRetry; }
+  bool IsWriteIntentError() const { return code_ == Code::kWriteIntentError; }
+  bool IsResourceExhausted() const { return code_ == Code::kResourceExhausted; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Code code_;
+  std::string msg_;
+};
+
+/// StatusOr<T> holds either a value or an error status. Mirrors
+/// absl::StatusOr in spirit: check ok() (or status()) before dereferencing.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok());
+  }
+  /// Constructs from a value; the result is OK.
+  StatusOr(T value) : status_(Status::OK()) {  // NOLINT(google-explicit-constructor)
+    new (&storage_) T(std::move(value));
+  }
+  StatusOr(const StatusOr& other) : status_(other.status_) {
+    if (status_.ok()) new (&storage_) T(other.value());
+  }
+  StatusOr(StatusOr&& other) noexcept : status_(std::move(other.status_)) {
+    if (status_.ok()) new (&storage_) T(std::move(other.MutableValue()));
+  }
+  StatusOr& operator=(const StatusOr& other) {
+    if (this != &other) {
+      Destroy();
+      status_ = other.status_;
+      if (status_.ok()) new (&storage_) T(other.value());
+    }
+    return *this;
+  }
+  StatusOr& operator=(StatusOr&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      status_ = std::move(other.status_);
+      if (status_.ok()) new (&storage_) T(std::move(other.MutableValue()));
+    }
+    return *this;
+  }
+  ~StatusOr() { Destroy(); }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(status_.ok());
+    return *Ptr();
+  }
+  T& value() & {
+    assert(status_.ok());
+    return *Ptr();
+  }
+  T&& value() && {
+    assert(status_.ok());
+    return std::move(*Ptr());
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  T* Ptr() { return std::launder(reinterpret_cast<T*>(&storage_)); }
+  const T* Ptr() const { return std::launder(reinterpret_cast<const T*>(&storage_)); }
+  T& MutableValue() { return *Ptr(); }
+  void Destroy() {
+    if (status_.ok()) Ptr()->~T();
+  }
+
+  Status status_;
+  alignas(T) unsigned char storage_[sizeof(T)];
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define VELOCE_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::veloce::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates a StatusOr expression; on error returns the status, otherwise
+/// assigns the value to `lhs`. `lhs` may include a declaration.
+#define VELOCE_ASSIGN_OR_RETURN(lhs, expr)                      \
+  VELOCE_ASSIGN_OR_RETURN_IMPL_(                                \
+      VELOCE_STATUS_CONCAT_(_status_or, __LINE__), lhs, expr)
+#define VELOCE_STATUS_CONCAT_INNER_(a, b) a##b
+#define VELOCE_STATUS_CONCAT_(a, b) VELOCE_STATUS_CONCAT_INNER_(a, b)
+#define VELOCE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace veloce
+
+#endif  // VELOCE_COMMON_STATUS_H_

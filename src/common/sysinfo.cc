@@ -1,0 +1,43 @@
+#include "common/sysinfo.h"
+
+#include <malloc.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace veloce {
+
+namespace {
+Nanos ClockNanos(clockid_t id) {
+  struct timespec ts;
+  if (clock_gettime(id, &ts) != 0) return 0;
+  return static_cast<Nanos>(ts.tv_sec) * kSecond + ts.tv_nsec;
+}
+}  // namespace
+
+Nanos ThreadCpuNanos() { return ClockNanos(CLOCK_THREAD_CPUTIME_ID); }
+
+Nanos ProcessCpuNanos() { return ClockNanos(CLOCK_PROCESS_CPUTIME_ID); }
+
+uint64_t CurrentRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long size = 0, resident = 0;
+  const int got = std::fscanf(f, "%lu %lu", &size, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<uint64_t>(resident) *
+         static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
+}
+
+uint64_t CurrentHeapBytes() {
+#if defined(__GLIBC__)
+  struct mallinfo2 info = mallinfo2();
+  return static_cast<uint64_t>(info.uordblks) + static_cast<uint64_t>(info.hblkhd);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace veloce

@@ -1,0 +1,29 @@
+#ifndef VELOCE_COMMON_SYSINFO_H_
+#define VELOCE_COMMON_SYSINFO_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace veloce {
+
+/// CPU time consumed by the calling thread (CLOCK_THREAD_CPUTIME_ID). The
+/// benches use deltas of this to measure real SQL/KV CPU cost — the
+/// "actual CPU" side of the estimated-CPU model evaluation.
+Nanos ThreadCpuNanos();
+
+/// CPU time consumed by the whole process.
+Nanos ProcessCpuNanos();
+
+/// Resident set size of the process in bytes (from /proc/self/statm); 0 if
+/// unavailable. Used for the per-tenant memory overhead measurements.
+uint64_t CurrentRssBytes();
+
+/// Bytes currently allocated from the heap (mallinfo2); unlike RSS this is
+/// not confused by allocator page caching, so small per-object deltas are
+/// visible. 0 if unavailable.
+uint64_t CurrentHeapBytes();
+
+}  // namespace veloce
+
+#endif  // VELOCE_COMMON_SYSINFO_H_

@@ -1,0 +1,96 @@
+#ifndef VELOCE_KV_BATCH_H_
+#define VELOCE_KV_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "kv/mvcc.h"
+#include "kv/timestamp.h"
+
+namespace veloce::kv {
+
+/// Tenant identifier. Tenant 1 is the privileged system tenant.
+using TenantId = uint64_t;
+constexpr TenantId kSystemTenantId = 1;
+
+/// The KV API request types the SQL layer issues (the paper's GET/PUT/
+/// DELETE/SCAN vocabulary). A BatchRequest groups several into one RPC —
+/// the batching whose cost behaviour Fig 5 models.
+enum class RequestType : uint8_t {
+  kGet = 0,
+  kPut = 1,
+  kDelete = 2,
+  kScan = 3,
+};
+
+struct RequestUnion {
+  RequestType type = RequestType::kGet;
+  std::string key;
+  std::string end_key;   ///< scans only (exclusive)
+  std::string value;     ///< puts only
+  uint64_t limit = 0;    ///< scans only; 0 = unlimited
+  /// Opaque filter/projection spec evaluated at the KV node via the
+  /// cluster's registered pushdown hook (the paper's future-work row
+  /// filtering and projection push-down; empty = none).
+  std::string pushdown;
+};
+
+/// One KV RPC. When the SQL layer runs in a separate process (Serverless
+/// mode) this is marshalled through Encode()/Decode() — that serialization
+/// is the extra CPU the paper measures for OLAP scans (Fig 6).
+struct BatchRequest {
+  TenantId tenant_id = 0;
+  Timestamp ts;            ///< read/write timestamp
+  TxnId txn_id = 0;        ///< 0 = non-transactional
+  int32_t txn_priority = 0;
+  /// Stale reads at ts <= the closed timestamp may be served by any live
+  /// replica instead of the leaseholder (Section 3.2.5: follower reads,
+  /// used for META-range lookups during multi-region cold starts).
+  bool allow_follower_reads = false;
+
+  std::vector<RequestUnion> requests;
+
+  void AddGet(Slice key);
+  void AddPut(Slice key, Slice value);
+  void AddDelete(Slice key);
+  void AddScan(Slice start, Slice end, uint64_t limit = 0);
+  /// Scan with a pushdown spec (see RequestUnion::pushdown).
+  void AddScanWithPushdown(Slice start, Slice end, uint64_t limit,
+                           Slice pushdown_spec);
+
+  bool IsReadOnly() const;
+  /// Total request payload bytes (keys + values) — eCPU model feature.
+  size_t PayloadBytes() const;
+
+  std::string Encode() const;
+  static StatusOr<BatchRequest> Decode(Slice data);
+};
+
+struct ResponseUnion {
+  bool found = false;           ///< gets: value present
+  std::string value;            ///< gets
+  std::vector<MvccScanEntry> rows;  ///< scans
+  std::string resume_key;       ///< scans: non-empty if limit hit
+};
+
+struct BatchResponse {
+  std::vector<ResponseUnion> responses;
+  /// Server-observed timestamp; clients fold into their HLC.
+  Timestamp now;
+  /// If the batch's writes were pushed above the request timestamp by the
+  /// timestamp cache, the new write timestamp (txn must commit at or above).
+  Timestamp bumped_write_ts;
+
+  /// Total response payload bytes — eCPU model feature.
+  size_t PayloadBytes() const;
+
+  std::string Encode() const;
+  static StatusOr<BatchResponse> Decode(Slice data);
+};
+
+}  // namespace veloce::kv
+
+#endif  // VELOCE_KV_BATCH_H_

@@ -1,0 +1,716 @@
+#include "kv/cluster.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace veloce::kv {
+
+namespace {
+constexpr int kMaxConflictRetries = 16;
+}  // namespace
+
+KVCluster::KVCluster(KVClusterOptions options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : RealClock::Instance()),
+      hlc_(clock_),
+      txn_registry_(clock_) {
+  VELOCE_CHECK(options_.num_nodes >= 1);
+  VELOCE_CHECK(options_.replication_factor >= 1);
+  VELOCE_CHECK(options_.replication_factor <= options_.num_nodes);
+  for (int i = 0; i < options_.num_nodes; ++i) {
+    std::string region = "local";
+    if (static_cast<size_t>(i) < options_.node_regions.size()) {
+      region = options_.node_regions[i];
+    }
+    nodes_.push_back(std::make_unique<KVNode>(static_cast<NodeId>(i), region,
+                                              options_.engine_options));
+  }
+  // One range covering the whole keyspace, replicated on the first RF nodes.
+  RangeDescriptor desc;
+  desc.range_id = next_range_id_++;
+  desc.start_key = "";
+  desc.end_key = "";
+  desc.tenant_id = 0;
+  for (int i = 0; i < options_.replication_factor; ++i) {
+    desc.replicas.push_back(static_cast<NodeId>(i));
+  }
+  desc.leaseholder = 0;
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  VELOCE_CHECK_OK(AddRangeLocked(desc));
+}
+
+KVCluster::~KVCluster() = default;
+
+Status KVCluster::AddRangeLocked(RangeDescriptor desc) {
+  auto state = std::make_unique<RangeState>();
+  state->desc = std::move(desc);
+  by_start_[state->desc.start_key] = state->desc.range_id;
+  ranges_[state->desc.range_id] = std::move(state);
+  return Status::OK();
+}
+
+KVCluster::RangeState* KVCluster::LookupRangeLocked(Slice key) {
+  auto it = by_start_.upper_bound(key.ToString());
+  if (it == by_start_.begin()) return nullptr;
+  --it;
+  RangeState* range = ranges_[it->second].get();
+  if (!range->desc.Contains(key)) return nullptr;
+  return range;
+}
+
+StatusOr<RangeDescriptor> KVCluster::LookupRange(Slice key) const {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  auto* self = const_cast<KVCluster*>(this);
+  RangeState* range = self->LookupRangeLocked(key);
+  if (range == nullptr) return Status::NotFound("no range for key");
+  return range->desc;
+}
+
+Status KVCluster::CheckTenantBoundsLocked(const BatchRequest& req, Slice key,
+                                          Slice end_key) const {
+  if (req.tenant_id == kSystemTenantId) return Status::OK();  // operator path
+  if (!KeyInTenantKeyspace(key, req.tenant_id)) {
+    return Status::Unauthorized("request key outside tenant keyspace");
+  }
+  if (!end_key.empty()) {
+    // The end key is exclusive; it must not exceed the tenant's prefix end.
+    const std::string limit = TenantPrefixEnd(req.tenant_id);
+    if (Slice(end_key) > Slice(limit)) {
+      return Status::Unauthorized("scan end outside tenant keyspace");
+    }
+  }
+  return Status::OK();
+}
+
+storage::Engine* KVCluster::LeaseholderEngineLocked(const RangeState& range) {
+  return nodes_[range.desc.leaseholder]->engine();
+}
+
+StatusOr<NodeId> KVCluster::PickReadNodeLocked(const RangeState& range,
+                                               const BatchRequest& req,
+                                               const RequestUnion& r) const {
+  const NodeId leaseholder = range.desc.leaseholder;
+  if (nodes_[leaseholder]->live()) return leaseholder;
+  // Follower read: stale enough and explicitly allowed.
+  const bool is_read = r.type == RequestType::kGet || r.type == RequestType::kScan;
+  if (is_read && req.allow_follower_reads && !req.ts.IsEmpty() &&
+      req.ts <= ClosedTimestamp()) {
+    for (NodeId n : range.desc.replicas) {
+      if (nodes_[n]->live()) return n;
+    }
+  }
+  return Status::Unavailable("leaseholder node is not live");
+}
+
+StatusOr<BatchResponse> KVCluster::Send(const BatchRequest& req) {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  BatchResponse resp;
+  const bool read_only = req.IsReadOnly();
+  std::vector<bool> counted(nodes_.size(), false);
+
+  for (const auto& r : req.requests) {
+    RangeState* range = LookupRangeLocked(r.key);
+    if (range == nullptr) return Status::NotFound("no range for key");
+    VELOCE_RETURN_IF_ERROR(CheckTenantBoundsLocked(req, r.key, r.end_key));
+    VELOCE_ASSIGN_OR_RETURN(NodeId serving_node, PickReadNodeLocked(*range, req, r));
+    if ((r.type == RequestType::kPut || r.type == RequestType::kDelete) &&
+        !nodes_[range->desc.leaseholder]->live()) {
+      return Status::Unavailable("leaseholder node is not live");
+    }
+    KVNode* leaseholder = nodes_[serving_node].get();
+    if (interceptor_ && !counted[leaseholder->id()]) {
+      VELOCE_RETURN_IF_ERROR(interceptor_(leaseholder->id(), req));
+    }
+    // Per-node batch statistics: count the batch once per node, every
+    // request individually.
+    NodeBatchStats& stats = leaseholder->stats();
+    if (!counted[leaseholder->id()]) {
+      counted[leaseholder->id()] = true;
+      if (read_only) {
+        ++stats.read_batches;
+      } else {
+        ++stats.write_batches;
+      }
+    }
+
+    ResponseUnion out;
+    switch (r.type) {
+      case RequestType::kGet:
+      case RequestType::kScan: {
+        ++stats.read_requests;
+        VELOCE_RETURN_IF_ERROR(ExecuteReadLocked(range, req, r, &out, serving_node));
+        stats.read_bytes += out.value.size();
+        for (const auto& row : out.rows) {
+          stats.read_bytes += row.key.size() + row.value.size();
+        }
+        break;
+      }
+      case RequestType::kPut:
+      case RequestType::kDelete: {
+        ++stats.write_requests;
+        stats.write_bytes += r.key.size() + r.value.size();
+        VELOCE_RETURN_IF_ERROR(ExecuteWriteLocked(range, req, r, &resp));
+        break;
+      }
+    }
+    resp.responses.push_back(std::move(out));
+  }
+  resp.now = hlc_.Now();
+  return resp;
+}
+
+Status KVCluster::HandleConflictLocked(RangeState* range, Slice key,
+                                       const IntentMeta& intent,
+                                       const BatchRequest& req, bool for_write) {
+  const auto push_type = for_write ? TxnRegistry::PushType::kAbort
+                                   : TxnRegistry::PushType::kTimestamp;
+  PushResult pr = txn_registry_.Push(intent.txn_id, req.txn_priority, push_type, req.ts);
+  if (!pr.pushed) {
+    return Status::WriteIntentError("conflicting intent of txn " +
+                                    std::to_string(intent.txn_id));
+  }
+  // Apply the outcome to every live replica's engine.
+  for (NodeId n : range->desc.replicas) {
+    if (!nodes_[n]->live()) continue;
+    storage::Engine* engine = nodes_[n]->engine();
+    switch (pr.pushee_status) {
+      case TxnStatus::kCommitted:
+        VELOCE_RETURN_IF_ERROR(
+            MvccResolveIntent(engine, key, intent.txn_id, true, pr.commit_ts));
+        break;
+      case TxnStatus::kAborted:
+        VELOCE_RETURN_IF_ERROR(
+            MvccResolveIntent(engine, key, intent.txn_id, false, Timestamp()));
+        break;
+      case TxnStatus::kPending: {
+        // Timestamp push: rewrite the intent above the reader.
+        VELOCE_RETURN_IF_ERROR(MvccUpdateIntentTimestamp(engine, key, intent.txn_id,
+                                                         req.ts.Next()));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status KVCluster::ExecuteReadLocked(RangeState* range, const BatchRequest& req,
+                                    const RequestUnion& r, ResponseUnion* out,
+                                    NodeId serving_node) {
+  const Timestamp read_ts = req.ts.IsEmpty() ? hlc_.Now() : req.ts;
+  const bool follower = serving_node != range->desc.leaseholder;
+  storage::Engine* engine = nodes_[serving_node]->engine();
+
+  if (r.type == RequestType::kGet) {
+    for (int attempt = 0; attempt < kMaxConflictRetries; ++attempt) {
+      VELOCE_ASSIGN_OR_RETURN(MvccGetResult res,
+                              MvccGet(engine, r.key, read_ts, req.txn_id));
+      if (res.conflict.has_value()) {
+        VELOCE_RETURN_IF_ERROR(
+            HandleConflictLocked(range, r.key, *res.conflict, req, false));
+        continue;
+      }
+      // Follower reads are below the closed timestamp; no writer can land
+      // under them, so they need no timestamp-cache entry.
+      if (!follower) range->tscache.RecordRead(r.key, read_ts);
+      out->found = res.value.has_value();
+      if (res.value.has_value()) out->value = std::move(*res.value);
+      return Status::OK();
+    }
+    return Status::WriteIntentError("too many conflict retries");
+  }
+
+  // Scan: may span ranges; walk them left to right.
+  std::string cursor = r.key;
+  uint64_t remaining = r.limit;
+  RangeState* cur_range = range;
+  while (true) {
+    VELOCE_ASSIGN_OR_RETURN(NodeId cur_node, PickReadNodeLocked(*cur_range, req, r));
+    const bool cur_follower = cur_node != cur_range->desc.leaseholder;
+    storage::Engine* cur_engine = nodes_[cur_node]->engine();
+    // Clamp the scan to this range.
+    std::string scan_end = r.end_key;
+    const std::string& range_end = cur_range->desc.end_key;
+    if (!range_end.empty() && (scan_end.empty() || Slice(range_end) < Slice(scan_end))) {
+      scan_end = range_end;
+    }
+    MvccScanResult res;
+    bool done = false;
+    for (int attempt = 0; attempt < kMaxConflictRetries; ++attempt) {
+      VELOCE_ASSIGN_OR_RETURN(res, MvccScan(cur_engine, cursor, scan_end, read_ts,
+                                            remaining, req.txn_id));
+      if (res.conflict.has_value()) {
+        VELOCE_RETURN_IF_ERROR(HandleConflictLocked(
+            cur_range, Slice(res.entries.empty() ? cursor : res.entries.back().key),
+            *res.conflict, req, false));
+        continue;
+      }
+      done = true;
+      break;
+    }
+    if (!done) return Status::WriteIntentError("too many conflict retries");
+    if (!cur_follower) cur_range->tscache.RecordReadSpan(cursor, scan_end, read_ts);
+    if (!r.pushdown.empty()) {
+      // Row filtering / projection push-down: evaluate at the KV node so
+      // filtered rows and projected-away columns never cross the boundary.
+      if (!pushdown_hook_) {
+        return Status::NotSupported("scan pushdown requested but no hook registered");
+      }
+      for (auto& e : res.entries) {
+        VELOCE_ASSIGN_OR_RETURN(std::optional<std::string> kept,
+                                pushdown_hook_(Slice(e.value), Slice(r.pushdown)));
+        if (!kept.has_value()) continue;
+        out->rows.push_back({std::move(e.key), std::move(*kept)});
+      }
+    } else {
+      for (auto& e : res.entries) out->rows.push_back(std::move(e));
+    }
+    if (!res.resume_key.empty()) {
+      out->resume_key = res.resume_key;  // limit reached
+      return Status::OK();
+    }
+    if (remaining != 0) {
+      const uint64_t got = out->rows.size();
+      if (got >= r.limit) return Status::OK();
+      remaining = r.limit - got;
+    }
+    // Move to the next range, if the scan extends past this one.
+    if (range_end.empty()) return Status::OK();
+    if (!r.end_key.empty() && Slice(range_end) >= Slice(r.end_key)) {
+      return Status::OK();
+    }
+    cursor = range_end;
+    cur_range = LookupRangeLocked(cursor);
+    if (cur_range == nullptr) return Status::NotFound("range gap during scan");
+  }
+}
+
+Status KVCluster::ExecuteWriteLocked(RangeState* range, const BatchRequest& req,
+                                     const RequestUnion& r, BatchResponse* resp) {
+  storage::Engine* engine = LeaseholderEngineLocked(*range);
+  Timestamp write_ts = req.ts.IsEmpty() ? hlc_.Now() : req.ts;
+  // Serializability: never write below a timestamp someone already read at,
+  // nor at or below the closed timestamp (follower reads rely on it).
+  const Timestamp max_read = range->tscache.MaxReadTimestamp(r.key);
+  if (write_ts <= max_read) write_ts = max_read.Next();
+  const Timestamp closed = ClosedTimestamp();
+  if (write_ts <= closed) write_ts = closed.Next();
+
+  // Foreign intents block writers (write-write conflicts abort or wait).
+  for (int attempt = 0;; ++attempt) {
+    VELOCE_ASSIGN_OR_RETURN(auto intent, MvccGetIntent(engine, r.key));
+    if (!intent.has_value() || intent->txn_id == req.txn_id) break;
+    if (attempt >= kMaxConflictRetries) {
+      return Status::WriteIntentError("too many conflict retries");
+    }
+    VELOCE_RETURN_IF_ERROR(HandleConflictLocked(range, r.key, *intent, req, true));
+  }
+
+  storage::WriteBatch batch;
+  const bool tombstone = r.type == RequestType::kDelete;
+  if (req.txn_id != 0) {
+    Status s = txn_registry_.BumpWriteTimestamp(req.txn_id, write_ts);
+    if (!s.ok()) return s;
+    MvccPutIntent(&batch, r.key, req.txn_id, write_ts, tombstone, r.value);
+  } else if (tombstone) {
+    MvccPutTombstone(&batch, r.key, write_ts);
+  } else {
+    MvccPutValue(&batch, r.key, write_ts, r.value);
+  }
+  VELOCE_RETURN_IF_ERROR(ReplicateLocked(range, batch, req.tenant_id));
+  range->approx_bytes += r.key.size() + r.value.size();
+  if (write_ts > req.ts && resp->bumped_write_ts < write_ts) {
+    resp->bumped_write_ts = write_ts;
+  }
+  hlc_.Update(write_ts);
+  return Status::OK();
+}
+
+Status KVCluster::ReplicateLocked(RangeState* range, const storage::WriteBatch& batch,
+                                  TenantId tenant) {
+  int live = 0;
+  for (NodeId n : range->desc.replicas) {
+    if (nodes_[n]->live()) ++live;
+  }
+  const int quorum = static_cast<int>(range->desc.replicas.size()) / 2 + 1;
+  if (live < quorum) {
+    return Status::Unavailable("quorum unavailable for range " +
+                               std::to_string(range->desc.range_id));
+  }
+  range->log.Append(batch.rep());
+  for (NodeId n : range->desc.replicas) {
+    if (!nodes_[n]->live()) continue;  // will catch up on restart (not modeled)
+    VELOCE_RETURN_IF_ERROR(nodes_[n]->engine()->Write(batch));
+    nodes_[n]->AddTenantWriteBytes(tenant, batch.PayloadBytes());
+  }
+  return Status::OK();
+}
+
+// --- Node scaling ------------------------------------------------------------
+
+StatusOr<NodeId> KVCluster::AddNode(const std::string& region) {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<KVNode>(id, region, options_.engine_options));
+  return id;
+}
+
+Status KVCluster::MoveReplica(RangeId range_id, NodeId from, NodeId to) {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  auto it = ranges_.find(range_id);
+  if (it == ranges_.end()) return Status::NotFound("no such range");
+  RangeState* range = it->second.get();
+  if (!range->desc.HasReplica(from)) {
+    return Status::InvalidArgument("source node holds no replica");
+  }
+  if (range->desc.HasReplica(to)) {
+    return Status::InvalidArgument("target node already holds a replica");
+  }
+  if (to >= nodes_.size() || !nodes_[to]->live()) {
+    return Status::Unavailable("target node not available");
+  }
+  // Snapshot transfer: copy the range's engine keyspan from a live replica
+  // (prefer the leaseholder) into the target engine.
+  NodeId source = range->desc.leaseholder;
+  if (!nodes_[source]->live()) {
+    source = from;
+    if (!nodes_[source]->live()) {
+      return Status::Unavailable("no live source replica for snapshot");
+    }
+  }
+  storage::Engine* src_engine = nodes_[source]->engine();
+  storage::Engine* dst_engine = nodes_[to]->engine();
+  auto iter = src_engine->NewIterator();
+  const std::string start_engine = EncodeIntentKey(range->desc.start_key);
+  std::string end_engine;
+  if (!range->desc.end_key.empty()) {
+    OrderedPutString(&end_engine, range->desc.end_key);
+  }
+  storage::WriteBatch batch;
+  for (iter->Seek(start_engine); iter->Valid(); iter->Next()) {
+    if (!end_engine.empty() && iter->key() >= Slice(end_engine)) break;
+    batch.Put(iter->key(), iter->value());
+    if (batch.ByteSize() > (1 << 20)) {  // apply in ~1MB chunks
+      VELOCE_RETURN_IF_ERROR(dst_engine->Write(batch));
+      batch.Clear();
+    }
+  }
+  if (batch.Count() > 0) {
+    VELOCE_RETURN_IF_ERROR(dst_engine->Write(batch));
+  }
+  // Swap the descriptor entry.
+  for (NodeId& replica : range->desc.replicas) {
+    if (replica == from) replica = to;
+  }
+  if (range->desc.leaseholder == from) {
+    range->desc.leaseholder = to;
+    range->log.BumpTerm();
+  }
+  return Status::OK();
+}
+
+StatusOr<int> KVCluster::RebalanceReplicas() {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  // Count replicas per live node.
+  auto replica_counts = [&] {
+    std::vector<int> counts(nodes_.size(), 0);
+    for (const auto& [rid, state] : ranges_) {
+      for (NodeId n : state->desc.replicas) counts[n]++;
+    }
+    return counts;
+  };
+  int moves = 0;
+  for (int iteration = 0; iteration < 256; ++iteration) {
+    std::vector<int> counts = replica_counts();
+    NodeId most = 0, least = 0;
+    bool have_most = false, have_least = false;
+    for (NodeId n = 0; n < nodes_.size(); ++n) {
+      if (!nodes_[n]->live()) continue;
+      if (!have_most || counts[n] > counts[most]) {
+        most = n;
+        have_most = true;
+      }
+      if (!have_least || counts[n] < counts[least]) {
+        least = n;
+        have_least = true;
+      }
+    }
+    if (!have_most || counts[most] <= counts[least] + 1) break;
+    // Move one range replica from `most` to `least`.
+    bool moved = false;
+    for (auto& [rid, state] : ranges_) {
+      if (!state->desc.HasReplica(most) || state->desc.HasReplica(least)) continue;
+      VELOCE_RETURN_IF_ERROR(MoveReplica(rid, most, least));
+      ++moves;
+      moved = true;
+      break;
+    }
+    if (!moved) break;
+  }
+  return moves;
+}
+
+StatusOr<uint64_t> KVCluster::GarbageCollectTenant(TenantId tenant,
+                                                   Timestamp threshold) {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  const std::string start = TenantPrefix(tenant);
+  const std::string end = TenantPrefixEnd(tenant);
+  uint64_t removed = 0;
+  for (auto& node : nodes_) {
+    if (!node->live()) continue;
+    VELOCE_ASSIGN_OR_RETURN(
+        uint64_t n, MvccGarbageCollect(node->engine(), start, end, threshold));
+    removed += n;
+  }
+  return removed;
+}
+
+// --- Tenant keyspaces -------------------------------------------------------
+
+Status KVCluster::CreateTenantKeyspace(TenantId id) {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  const std::string prefix = TenantPrefix(id);
+  const std::string prefix_end = TenantPrefixEnd(id);
+  RangeState* range = LookupRangeLocked(prefix);
+  if (range == nullptr) return Status::Internal("no range covers tenant prefix");
+  if (range->desc.start_key != prefix) {
+    VELOCE_RETURN_IF_ERROR(SplitRangeLocked(prefix));
+  }
+  RangeState* end_range = LookupRangeLocked(prefix_end);
+  if (end_range != nullptr && end_range->desc.start_key != prefix_end) {
+    // Only split if the prefix-end falls inside an existing range (it is
+    // the boundary already when tenants are created in id order).
+    RangeState* covering = LookupRangeLocked(prefix);
+    if (covering->desc.end_key.empty() ||
+        Slice(prefix_end) < Slice(covering->desc.end_key)) {
+      VELOCE_RETURN_IF_ERROR(SplitRangeLocked(prefix_end));
+    }
+  }
+  RangeState* tenant_range = LookupRangeLocked(prefix);
+  VELOCE_CHECK(tenant_range != nullptr);
+  tenant_range->desc.tenant_id = id;
+  return Status::OK();
+}
+
+Status KVCluster::DestroyTenantKeyspace(TenantId id) {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  const std::string prefix = TenantPrefix(id);
+  const std::string prefix_end = TenantPrefixEnd(id);
+  // Delete the data from every node (tombstones via a range deletion scan).
+  for (auto& node : nodes_) {
+    auto it = node->engine()->NewIterator();
+    std::string start_engine = EncodeIntentKey(prefix);
+    std::string end_engine;
+    OrderedPutString(&end_engine, prefix_end);
+    storage::WriteBatch batch;
+    for (it->Seek(start_engine); it->Valid(); it->Next()) {
+      if (it->key() >= Slice(end_engine)) break;
+      batch.Delete(it->key());
+    }
+    if (batch.Count() > 0) {
+      VELOCE_RETURN_IF_ERROR(node->engine()->Write(batch));
+    }
+  }
+  // Merge directory entries: mark the tenant's ranges as unowned.
+  for (auto& [rid, state] : ranges_) {
+    if (state->desc.tenant_id == id) state->desc.tenant_id = 0;
+  }
+  return Status::OK();
+}
+
+// --- Transactions -----------------------------------------------------------
+
+TxnRecord KVCluster::BeginTxn(int32_t priority) {
+  return txn_registry_.Begin(hlc_.Now(), priority);
+}
+
+Status KVCluster::CommitTxn(TxnId id, const std::vector<std::string>& intent_keys,
+                            Timestamp* commit_ts) {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  VELOCE_ASSIGN_OR_RETURN(TxnRecord rec, txn_registry_.Get(id));
+  const Timestamp ts = rec.write_ts;
+  VELOCE_RETURN_IF_ERROR(txn_registry_.Commit(id, ts));
+  for (const auto& key : intent_keys) {
+    RangeState* range = LookupRangeLocked(key);
+    if (range == nullptr) continue;
+    for (NodeId n : range->desc.replicas) {
+      if (!nodes_[n]->live()) continue;
+      VELOCE_RETURN_IF_ERROR(
+          MvccResolveIntent(nodes_[n]->engine(), key, id, true, ts));
+    }
+  }
+  if (commit_ts != nullptr) *commit_ts = ts;
+  hlc_.Update(ts);
+  return Status::OK();
+}
+
+Status KVCluster::AbortTxn(TxnId id, const std::vector<std::string>& intent_keys) {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  Status s = txn_registry_.Abort(id);
+  if (!s.ok() && !s.IsNotFound()) return s;
+  for (const auto& key : intent_keys) {
+    RangeState* range = LookupRangeLocked(key);
+    if (range == nullptr) continue;
+    for (NodeId n : range->desc.replicas) {
+      if (!nodes_[n]->live()) continue;
+      VELOCE_RETURN_IF_ERROR(
+          MvccResolveIntent(nodes_[n]->engine(), key, id, false, Timestamp()));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> KVCluster::AnyNewerVersions(TenantId tenant, Slice start, Slice end,
+                                           Timestamp after, Timestamp upto) {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  (void)tenant;
+  std::string cursor = start.ToString();
+  while (true) {
+    RangeState* range = LookupRangeLocked(cursor);
+    if (range == nullptr) return Status::NotFound("no range for refresh span");
+    std::string span_end = end.ToString();
+    const std::string& range_end = range->desc.end_key;
+    if (!range_end.empty() && (span_end.empty() || Slice(range_end) < Slice(span_end))) {
+      span_end = range_end;
+    }
+    VELOCE_ASSIGN_OR_RETURN(bool any,
+                            MvccAnyNewerVersions(LeaseholderEngineLocked(*range),
+                                                 cursor, span_end, after, upto));
+    if (any) return true;
+    if (range_end.empty()) return false;
+    if (!end.empty() && Slice(range_end) >= end) return false;
+    cursor = range_end;
+  }
+}
+
+// --- Ranges / leases ---------------------------------------------------------
+
+std::vector<RangeDescriptor> KVCluster::Ranges() const {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  std::vector<RangeDescriptor> out;
+  out.reserve(ranges_.size());
+  for (const auto& [start, rid] : by_start_) {
+    out.push_back(ranges_.at(rid)->desc);
+  }
+  return out;
+}
+
+int KVCluster::CountLeases(NodeId node) const {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  int count = 0;
+  for (const auto& [rid, state] : ranges_) {
+    if (state->desc.leaseholder == node) ++count;
+  }
+  return count;
+}
+
+uint64_t KVCluster::RangeLogCommittedIndex(RangeId id) const {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  auto it = ranges_.find(id);
+  return it == ranges_.end() ? 0 : it->second->log.committed_index();
+}
+
+void KVCluster::SetNodeLive(NodeId id, bool live) {
+  nodes_[id]->SetLive(live);
+  if (!live) ShedLeases(id);
+}
+
+void KVCluster::ShedLeases(NodeId id) {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  for (auto& [rid, state] : ranges_) {
+    if (state->desc.leaseholder != id) continue;
+    for (NodeId n : state->desc.replicas) {
+      if (n != id && nodes_[n]->live()) {
+        state->desc.leaseholder = n;
+        state->log.BumpTerm();
+        break;
+      }
+    }
+  }
+}
+
+void KVCluster::BalanceLeases() {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  size_t next = 0;
+  for (auto& [start, rid] : by_start_) {
+    RangeState* state = ranges_[rid].get();
+    // Pick the next live replica in round-robin order over the replica set.
+    for (size_t i = 0; i < state->desc.replicas.size(); ++i) {
+      const NodeId candidate =
+          state->desc.replicas[(next + i) % state->desc.replicas.size()];
+      if (nodes_[candidate]->live()) {
+        if (state->desc.leaseholder != candidate) {
+          state->desc.leaseholder = candidate;
+          state->log.BumpTerm();
+        }
+        break;
+      }
+    }
+    ++next;
+  }
+}
+
+Status KVCluster::SplitRange(Slice split_key) {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  return SplitRangeLocked(split_key);
+}
+
+Status KVCluster::SplitRangeLocked(Slice split_key) {
+  RangeState* range = LookupRangeLocked(split_key);
+  if (range == nullptr) return Status::NotFound("no range for split key");
+  if (range->desc.start_key == split_key.ToString()) {
+    return Status::OK();  // already a boundary
+  }
+  RangeDescriptor right = range->desc;
+  right.range_id = next_range_id_++;
+  right.start_key = split_key.ToString();
+  range->desc.end_key = split_key.ToString();
+  range->approx_bytes /= 2;  // rough: data divides between halves
+  VELOCE_RETURN_IF_ERROR(AddRangeLocked(right));
+  ranges_[right.range_id]->approx_bytes = range->approx_bytes;
+  return Status::OK();
+}
+
+StatusOr<int> KVCluster::MaybeSplitRanges() {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  int splits = 0;
+  // Collect candidates first; splitting mutates the maps.
+  std::vector<RangeId> oversized;
+  for (const auto& [rid, state] : ranges_) {
+    if (state->approx_bytes > options_.range_split_bytes) oversized.push_back(rid);
+  }
+  for (RangeId rid : oversized) {
+    RangeState* state = ranges_[rid].get();
+    // Find an approximate midpoint key by scanning the leaseholder engine.
+    storage::Engine* engine = LeaseholderEngineLocked(*state);
+    auto it = engine->NewIterator();
+    it->Seek(EncodeIntentKey(state->desc.start_key));
+    std::string end_bound;
+    if (!state->desc.end_key.empty()) {
+      OrderedPutString(&end_bound, state->desc.end_key);
+    }
+    uint64_t seen = 0;
+    std::string mid_key;
+    const uint64_t target = state->approx_bytes / 2;
+    for (; it->Valid(); it->Next()) {
+      if (!end_bound.empty() && it->key() >= Slice(end_bound)) break;
+      seen += it->key().size() + it->value().size();
+      if (seen >= target) {
+        std::string user_key;
+        Timestamp ts;
+        bool is_intent;
+        if (DecodeMvccKey(it->key(), &user_key, &ts, &is_intent) &&
+            user_key > state->desc.start_key) {
+          mid_key = user_key;
+        }
+        break;
+      }
+    }
+    if (mid_key.empty()) continue;
+    VELOCE_RETURN_IF_ERROR(SplitRangeLocked(mid_key));
+    ++splits;
+  }
+  return splits;
+}
+
+}  // namespace veloce::kv

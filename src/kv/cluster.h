@@ -1,0 +1,212 @@
+#ifndef VELOCE_KV_CLUSTER_H_
+#define VELOCE_KV_CLUSTER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "kv/batch.h"
+#include "kv/keys.h"
+#include "kv/node.h"
+#include "kv/range.h"
+#include "kv/txn.h"
+
+namespace veloce::kv {
+
+struct KVClusterOptions {
+  int num_nodes = 3;
+  int replication_factor = 3;
+  /// Clock for HLC, txn expiration, leases. Null = process RealClock.
+  Clock* clock = nullptr;
+  /// Ranges larger than this (approximate ingested bytes) are split by
+  /// MaybeSplitRanges().
+  uint64_t range_split_bytes = 64ull << 20;
+  /// Region per node; sized to num_nodes or empty (all "local").
+  std::vector<std::string> node_regions;
+  /// Template for each node's engine (dir is overridden per node).
+  storage::EngineOptions engine_options;
+  /// Reads at or below now - this interval are "closed" and may be served
+  /// by follower replicas; writes are always pushed above the closed
+  /// timestamp so follower reads stay consistent.
+  Nanos closed_timestamp_interval = 3 * kSecond;
+};
+
+/// Hook invoked for every batch executed at a leaseholder, before the work
+/// runs. Admission control and the eCPU metering attach here. Returning a
+/// non-OK status rejects the batch.
+using BatchInterceptor =
+    std::function<Status(NodeId leaseholder, const BatchRequest&)>;
+
+/// Row filter/projection evaluator for pushdown scans (the paper's
+/// future-work Section 8). Invoked at the KV node for every visible scan
+/// row when the request carries a spec. Returns:
+///   * nullopt            — the row is filtered out (not returned);
+///   * a (possibly projected/trimmed) value to return instead.
+/// The spec format is owned by whoever registers the hook (the SQL layer
+/// in this repository), keeping the KV layer schema-agnostic — in
+/// production both layers ship in the same binary, as here.
+using ScanPushdownHook = std::function<StatusOr<std::optional<std::string>>(
+    Slice row_value, Slice spec)>;
+
+/// KVCluster is the shared, multi-tenant KV layer: nodes, ranges, the range
+/// directory, the transaction registry, and the client routing logic
+/// (DistSender). In production these are separate processes exchanging
+/// RPCs; here they are one object graph, with the process boundary's
+/// marshaling cost modeled explicitly at the SQL/KV connector.
+class KVCluster {
+ public:
+  explicit KVCluster(KVClusterOptions options);
+  ~KVCluster();
+
+  KVCluster(const KVCluster&) = delete;
+  KVCluster& operator=(const KVCluster&) = delete;
+
+  // --- Topology -----------------------------------------------------------
+  size_t num_nodes() const { return nodes_.size(); }
+  KVNode* node(NodeId id) { return nodes_[id].get(); }
+  Clock* clock() const { return clock_; }
+  HybridLogicalClock* hlc() { return &hlc_; }
+  TxnRegistry* txn_registry() { return &txn_registry_; }
+
+  /// Adds a KV node at runtime (the paper's future-work automatic KV
+  /// scaling, Section 8). The node starts empty; move replicas onto it
+  /// with MoveReplica/RebalanceReplicas.
+  StatusOr<NodeId> AddNode(const std::string& region = "local");
+
+  /// Moves one replica of `range_id` from node `from` to node `to`:
+  /// copies the range's keyspan into the target engine (snapshot
+  /// transfer), then swaps the descriptor entry. The leaseholder moves too
+  /// if it was `from`.
+  Status MoveReplica(RangeId range_id, NodeId from, NodeId to);
+
+  /// Spreads replicas across all live nodes: ranges on overloaded nodes
+  /// move one replica each toward the emptiest nodes. Returns moves made.
+  StatusOr<int> RebalanceReplicas();
+
+  // --- Tenant keyspaces ---------------------------------------------------
+  /// Carves out the tenant's keyspan as dedicated ranges (ranges never span
+  /// tenants). Idempotent.
+  Status CreateTenantKeyspace(TenantId id);
+  /// Drops directory entries and data for a tenant's keyspan.
+  Status DestroyTenantKeyspace(TenantId id);
+
+  // --- Data path ----------------------------------------------------------
+  /// Executes a batch. `req.tenant_id` is the *authenticated* identity (the
+  /// transport validated the tenant's certificate); the KV boundary check
+  /// rejects any key outside that tenant's keyspace unless the identity is
+  /// the system tenant. Scans may span ranges transparently.
+  StatusOr<BatchResponse> Send(const BatchRequest& req);
+
+  /// Current HLC time (helper for clients).
+  Timestamp Now() { return hlc_.Now(); }
+
+  /// Highest timestamp at which follower reads are allowed (Section
+  /// 3.2.5): writes may no longer commit at or below this.
+  Timestamp ClosedTimestamp() const {
+    return Timestamp{clock_->Now() - options_.closed_timestamp_interval, 0};
+  }
+
+  // --- Transactions (client-side coordination) -----------------------------
+  TxnRecord BeginTxn(int32_t priority = 0);
+  /// Commits: finalizes the record, then resolves the given intents.
+  /// commit_ts receives the final commit timestamp.
+  Status CommitTxn(TxnId id, const std::vector<std::string>& intent_keys,
+                   Timestamp* commit_ts);
+  Status AbortTxn(TxnId id, const std::vector<std::string>& intent_keys);
+  /// True if any key in [start,end) has a committed version in (after, upto]
+  /// — the read-refresh check used to move a txn's read timestamp forward.
+  StatusOr<bool> AnyNewerVersions(TenantId tenant, Slice start, Slice end,
+                                  Timestamp after, Timestamp upto);
+
+  // --- Ranges / leases (introspection & experiment control) ---------------
+  std::vector<RangeDescriptor> Ranges() const;
+  StatusOr<RangeDescriptor> LookupRange(Slice key) const;
+  int CountLeases(NodeId node) const;
+  uint64_t RangeLogCommittedIndex(RangeId id) const;
+  void SetNodeLive(NodeId id, bool live);
+  /// Moves leases off `node` to another live replica (liveness failure).
+  void ShedLeases(NodeId id);
+  /// Rebalances leases evenly across live nodes (round-robin).
+  void BalanceLeases();
+  /// Splits the range containing `split_key` at that key.
+  Status SplitRange(Slice split_key);
+  /// Size-triggered splits across all ranges; returns number of splits.
+  StatusOr<int> MaybeSplitRanges();
+
+  /// Garbage-collects MVCC versions older than `threshold` across the
+  /// tenant's keyspace, on every node's engine. Returns versions removed
+  /// (summed across replicas).
+  StatusOr<uint64_t> GarbageCollectTenant(TenantId tenant, Timestamp threshold);
+
+  /// Interceptor called before every per-range execution (see
+  /// BatchInterceptor). Not thread-safe to set while serving.
+  void set_batch_interceptor(BatchInterceptor interceptor) {
+    interceptor_ = std::move(interceptor);
+  }
+
+  /// Registers the scan pushdown evaluator (see ScanPushdownHook). Scans
+  /// carrying a spec while no hook is registered fail with NotSupported.
+  void set_scan_pushdown_hook(ScanPushdownHook hook) {
+    pushdown_hook_ = std::move(hook);
+  }
+
+ private:
+  struct RangeState {
+    RangeDescriptor desc;
+    TimestampCache tscache;
+    ReplicationLog log;
+    uint64_t approx_bytes = 0;
+  };
+
+  // All Locked methods require mu_.
+  RangeState* LookupRangeLocked(Slice key);
+  Status CheckTenantBoundsLocked(const BatchRequest& req, Slice key,
+                                 Slice end_key) const;
+  Status ExecuteReadLocked(RangeState* range, const BatchRequest& req,
+                           const RequestUnion& r, ResponseUnion* out,
+                           NodeId serving_node);
+  /// Picks the node to serve a read: the leaseholder, or — for follower-
+  /// eligible stale reads — any live replica. NotFound when unservable.
+  StatusOr<NodeId> PickReadNodeLocked(const RangeState& range,
+                                      const BatchRequest& req,
+                                      const RequestUnion& r) const;
+  Status ExecuteWriteLocked(RangeState* range, const BatchRequest& req,
+                            const RequestUnion& r, BatchResponse* resp);
+  /// Replicates a storage batch to the range's live replicas (quorum
+  /// required). Attributes payload bytes to the tenant on each node.
+  Status ReplicateLocked(RangeState* range, const storage::WriteBatch& batch,
+                         TenantId tenant);
+  /// Handles a foreign intent encountered by a read/write. Pushes the owner
+  /// and resolves the intent if the push succeeds. Returns OK if the caller
+  /// should retry its operation, WriteIntentError if it must back off.
+  Status HandleConflictLocked(RangeState* range, Slice key,
+                              const IntentMeta& intent, const BatchRequest& req,
+                              bool for_write);
+  Status AddRangeLocked(RangeDescriptor desc);
+  Status SplitRangeLocked(Slice split_key);
+  storage::Engine* LeaseholderEngineLocked(const RangeState& range);
+
+  KVClusterOptions options_;
+  Clock* clock_;
+  HybridLogicalClock hlc_;
+  TxnRegistry txn_registry_;
+  std::vector<std::unique_ptr<KVNode>> nodes_;
+
+  mutable std::recursive_mutex mu_;
+  std::map<RangeId, std::unique_ptr<RangeState>> ranges_;
+  std::map<std::string, RangeId> by_start_;  // start_key -> range
+  RangeId next_range_id_ = 1;
+  NodeId next_replica_target_ = 0;  // round-robin placement
+  BatchInterceptor interceptor_;
+  ScanPushdownHook pushdown_hook_;
+};
+
+}  // namespace veloce::kv
+
+#endif  // VELOCE_KV_CLUSTER_H_

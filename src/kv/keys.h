@@ -1,0 +1,67 @@
+#ifndef VELOCE_KV_KEYS_H_
+#define VELOCE_KV_KEYS_H_
+
+#include <string>
+
+#include "common/codec.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "kv/batch.h"
+
+namespace veloce::kv {
+
+/// Tenant keyspace layout (Fig 2 of the paper): every tenant owns the span
+///   [ 0xFE . big_endian(tenant_id),  0xFE . big_endian(tenant_id + 1) )
+/// of the single linear KV keyspace. The prefix is prepended by the tenant's
+/// SQL layer on every request and checked by the KV authorization boundary.
+/// Keys below 0xFE belong to cluster-level system state.
+
+inline std::string TenantPrefix(TenantId id) {
+  std::string out;
+  out.push_back('\xFE');
+  OrderedPutUint64(&out, id);
+  return out;
+}
+
+inline std::string TenantPrefixEnd(TenantId id) {
+  return PrefixEnd(TenantPrefix(id));
+}
+
+inline bool KeyInTenantKeyspace(Slice key, TenantId id) {
+  const std::string prefix = TenantPrefix(id);
+  return key.StartsWith(prefix);
+}
+
+/// Extracts the owning tenant from a prefixed key.
+inline StatusOr<TenantId> DecodeTenantFromKey(Slice key) {
+  if (key.size() < 9 || key[0] != '\xFE') {
+    return Status::InvalidArgument("key lacks tenant prefix");
+  }
+  key.RemovePrefix(1);
+  uint64_t id = 0;
+  if (!OrderedGetUint64(&key, &id)) {
+    return Status::InvalidArgument("bad tenant prefix");
+  }
+  return id;
+}
+
+/// Prepends the tenant prefix to a logical key (what the SQL layer does on
+/// the way down) and strips it (on the way back up).
+inline std::string AddTenantPrefix(TenantId id, Slice logical_key) {
+  std::string out = TenantPrefix(id);
+  out.append(logical_key.data(), logical_key.size());
+  return out;
+}
+
+inline StatusOr<std::string> StripTenantPrefix(TenantId id, Slice prefixed_key) {
+  const std::string prefix = TenantPrefix(id);
+  if (!prefixed_key.StartsWith(prefix)) {
+    return Status::Unauthorized("key outside tenant keyspace");
+  }
+  prefixed_key.RemovePrefix(prefix.size());
+  return prefixed_key.ToString();
+}
+
+}  // namespace veloce::kv
+
+#endif  // VELOCE_KV_KEYS_H_

@@ -1,0 +1,15 @@
+#include "kv/node.h"
+
+#include "common/logging.h"
+
+namespace veloce::kv {
+
+KVNode::KVNode(NodeId id, std::string region, storage::EngineOptions engine_options)
+    : id_(id), region_(std::move(region)) {
+  engine_options.dir = "kvnode-" + std::to_string(id);
+  auto engine_or = storage::Engine::Open(engine_options);
+  VELOCE_CHECK(engine_or.ok()) << engine_or.status().ToString();
+  engine_ = std::move(engine_or).value();
+}
+
+}  // namespace veloce::kv

@@ -1,0 +1,69 @@
+#ifndef VELOCE_KV_NODE_H_
+#define VELOCE_KV_NODE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "kv/batch.h"
+#include "kv/range.h"
+#include "storage/engine.h"
+
+namespace veloce::kv {
+
+/// Per-node batch counters, broken down the same way the estimated-CPU
+/// model's six input features are (Section 5.2.1): read/write batches,
+/// requests per batch, bytes per batch.
+struct NodeBatchStats {
+  uint64_t read_batches = 0;
+  uint64_t write_batches = 0;
+  uint64_t read_requests = 0;
+  uint64_t write_requests = 0;
+  uint64_t read_bytes = 0;   ///< bytes returned by reads
+  uint64_t write_bytes = 0;  ///< bytes ingested by writes
+};
+
+/// One KV (storage) node: an LSM engine plus liveness state. KV nodes are
+/// shared by all tenants — the multi-tenant half of the paper's hybrid
+/// process model. Ranges place replicas on nodes; each replica's data lives
+/// in that node's engine.
+class KVNode {
+ public:
+  KVNode(NodeId id, std::string region, storage::EngineOptions engine_options);
+
+  NodeId id() const { return id_; }
+  const std::string& region() const { return region_; }
+  storage::Engine* engine() { return engine_.get(); }
+
+  /// Liveness: an overloaded node fails its liveness checks and sheds
+  /// leases (Fig 12). The experiment harness toggles this.
+  bool live() const { return live_.load(std::memory_order_acquire); }
+  void SetLive(bool live) { live_.store(live, std::memory_order_release); }
+
+  NodeBatchStats& stats() { return stats_; }
+  const NodeBatchStats& stats() const { return stats_; }
+
+  /// Per-tenant cumulative engine payload bytes written via this node
+  /// (storage attribution for billing).
+  void AddTenantWriteBytes(TenantId tenant, uint64_t bytes) {
+    tenant_write_bytes_[tenant] += bytes;
+  }
+  uint64_t TenantWriteBytes(TenantId tenant) const {
+    auto it = tenant_write_bytes_.find(tenant);
+    return it == tenant_write_bytes_.end() ? 0 : it->second;
+  }
+
+ private:
+  const NodeId id_;
+  const std::string region_;
+  std::unique_ptr<storage::Engine> engine_;
+  std::atomic<bool> live_{true};
+  NodeBatchStats stats_;
+  std::unordered_map<TenantId, uint64_t> tenant_write_bytes_;
+};
+
+}  // namespace veloce::kv
+
+#endif  // VELOCE_KV_NODE_H_

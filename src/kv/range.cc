@@ -1,0 +1,47 @@
+#include "kv/range.h"
+
+namespace veloce::kv {
+
+void TimestampCache::RecordRead(Slice key, Timestamp ts) {
+  if (ts <= low_water_) return;
+  auto it = points_.find(key.view());
+  if (it == points_.end()) {
+    if (points_.size() >= kMaxPoints) {
+      // Fold everything into the low-water mark and start over.
+      for (const auto& [k, t] : points_) {
+        if (low_water_ < t) low_water_ = t;
+      }
+      points_.clear();
+      if (ts <= low_water_) return;
+    }
+    points_.emplace(key.ToString(), ts);
+  } else if (it->second < ts) {
+    it->second = ts;
+  }
+}
+
+void TimestampCache::RecordReadSpan(Slice start, Slice end, Timestamp ts) {
+  if (ts <= low_water_) return;
+  if (spans_.size() >= kMaxSpans) {
+    for (const auto& span : spans_) {
+      if (low_water_ < span.ts) low_water_ = span.ts;
+    }
+    spans_.clear();
+    if (ts <= low_water_) return;
+  }
+  spans_.push_back({start.ToString(), end.ToString(), ts});
+}
+
+Timestamp TimestampCache::MaxReadTimestamp(Slice key) const {
+  Timestamp max = low_water_;
+  auto it = points_.find(key.view());
+  if (it != points_.end() && max < it->second) max = it->second;
+  for (const auto& span : spans_) {
+    if (Slice(span.start) <= key && (span.end.empty() || key < Slice(span.end))) {
+      if (max < span.ts) max = span.ts;
+    }
+  }
+  return max;
+}
+
+}  // namespace veloce::kv

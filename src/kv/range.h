@@ -1,0 +1,100 @@
+#ifndef VELOCE_KV_RANGE_H_
+#define VELOCE_KV_RANGE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kv/batch.h"
+#include "kv/timestamp.h"
+
+namespace veloce::kv {
+
+using RangeId = uint64_t;
+using NodeId = uint32_t;
+
+/// Descriptor of one range (shard): its keyspan, replica placement, and
+/// current leaseholder. Ranges never span tenant boundaries (the KV layer
+/// enforces this at creation/split time) — the storage-partitioning
+/// invariant of cluster virtualization.
+struct RangeDescriptor {
+  RangeId range_id = 0;
+  std::string start_key;  ///< inclusive
+  std::string end_key;    ///< exclusive; empty = +infinity
+  TenantId tenant_id = 0; ///< owning tenant (0 for pre-tenant system ranges)
+  std::vector<NodeId> replicas;
+  NodeId leaseholder = 0;
+
+  bool Contains(Slice key) const {
+    if (Slice(key) < Slice(start_key)) return false;
+    return end_key.empty() || Slice(key) < Slice(end_key);
+  }
+  bool HasReplica(NodeId node) const {
+    for (NodeId n : replicas) {
+      if (n == node) return true;
+    }
+    return false;
+  }
+};
+
+/// The replication log of one range — a deliberately compact Raft: a single
+/// stable leader (the leaseholder), a term that bumps on lease transfer,
+/// and synchronous quorum commit. Enough structure to exercise lease
+/// movement and per-node lease counting (Fig 12) without full Raft
+/// machinery; documented as a substitution in DESIGN.md.
+class ReplicationLog {
+ public:
+  uint64_t Append(const std::string& payload) {
+    entries_committed_++;
+    bytes_committed_ += payload.size();
+    return entries_committed_;
+  }
+  void BumpTerm() { ++term_; }
+
+  uint64_t term() const { return term_; }
+  uint64_t committed_index() const { return entries_committed_; }
+  uint64_t committed_bytes() const { return bytes_committed_; }
+
+ private:
+  uint64_t term_ = 1;
+  uint64_t entries_committed_ = 0;
+  uint64_t bytes_committed_ = 0;
+};
+
+/// Read-timestamp cache for one range: remembers the maximum timestamp at
+/// which each key (or span) was read, so later writes below that timestamp
+/// are pushed forward — the mechanism that gives serializable isolation for
+/// read-write conflicts.
+class TimestampCache {
+ public:
+  /// Spans are folded into a range-wide low-water mark once the list grows
+  /// past this, trading precision (spurious pushes) for bounded memory.
+  static constexpr size_t kMaxSpans = 128;
+  static constexpr size_t kMaxPoints = 4096;
+
+  void RecordRead(Slice key, Timestamp ts);
+  void RecordReadSpan(Slice start, Slice end, Timestamp ts);
+
+  /// Highest read timestamp recorded for `key`.
+  Timestamp MaxReadTimestamp(Slice key) const;
+
+  Timestamp low_water() const { return low_water_; }
+
+ private:
+  struct SpanRead {
+    std::string start, end;
+    Timestamp ts;
+  };
+
+  std::map<std::string, Timestamp, std::less<>> points_;
+  std::vector<SpanRead> spans_;
+  Timestamp low_water_;
+};
+
+}  // namespace veloce::kv
+
+#endif  // VELOCE_KV_RANGE_H_

@@ -1,0 +1,80 @@
+#ifndef VELOCE_KV_TIMESTAMP_H_
+#define VELOCE_KV_TIMESTAMP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+
+namespace veloce::kv {
+
+/// MVCC timestamp: wall-clock nanoseconds plus a logical counter for
+/// ordering events within the same nanosecond (the hybrid-logical-clock
+/// shape CockroachDB uses).
+struct Timestamp {
+  Nanos wall = 0;
+  uint32_t logical = 0;
+
+  static Timestamp Min() { return {0, 0}; }
+  static Timestamp Max() { return {INT64_MAX, UINT32_MAX}; }
+
+  bool IsEmpty() const { return wall == 0 && logical == 0; }
+
+  Timestamp Next() const {
+    if (logical == UINT32_MAX) return {wall + 1, 0};
+    return {wall, logical + 1};
+  }
+  Timestamp Prev() const {
+    if (logical == 0) return {wall - 1, UINT32_MAX};
+    return {wall, logical - 1};
+  }
+
+  friend bool operator==(const Timestamp& a, const Timestamp& b) {
+    return a.wall == b.wall && a.logical == b.logical;
+  }
+  friend bool operator!=(const Timestamp& a, const Timestamp& b) { return !(a == b); }
+  friend bool operator<(const Timestamp& a, const Timestamp& b) {
+    return a.wall != b.wall ? a.wall < b.wall : a.logical < b.logical;
+  }
+  friend bool operator<=(const Timestamp& a, const Timestamp& b) {
+    return a < b || a == b;
+  }
+  friend bool operator>(const Timestamp& a, const Timestamp& b) { return b < a; }
+  friend bool operator>=(const Timestamp& a, const Timestamp& b) { return b <= a; }
+
+  std::string ToString() const {
+    return std::to_string(wall) + "." + std::to_string(logical);
+  }
+};
+
+/// Hybrid logical clock: monotonic, never behind the physical clock, and
+/// advanced by observed remote timestamps so causally-related events order
+/// correctly across nodes.
+class HybridLogicalClock {
+ public:
+  explicit HybridLogicalClock(Clock* physical) : physical_(physical) {}
+
+  /// Returns a timestamp strictly greater than any previously returned.
+  Timestamp Now() {
+    const Nanos wall = physical_->Now();
+    if (wall > last_.wall) {
+      last_ = {wall, 0};
+    } else {
+      last_ = last_.Next();
+    }
+    return last_;
+  }
+
+  /// Folds in a timestamp observed from another node.
+  void Update(Timestamp remote) {
+    if (last_ < remote) last_ = remote;
+  }
+
+ private:
+  Clock* physical_;
+  Timestamp last_;
+};
+
+}  // namespace veloce::kv
+
+#endif  // VELOCE_KV_TIMESTAMP_H_

@@ -1,0 +1,111 @@
+#include "kv/transaction.h"
+
+namespace veloce::kv {
+
+Transaction::Transaction(KVCluster* cluster, TenantId tenant, int32_t priority,
+                         Sender sender)
+    : cluster_(cluster), sender_(std::move(sender)), tenant_(tenant) {
+  record_ = cluster_->BeginTxn(priority);
+  max_write_ts_ = record_.write_ts;
+}
+
+Transaction::~Transaction() {
+  if (!finalized_) (void)Rollback();
+}
+
+BatchRequest Transaction::MakeRequest() const {
+  BatchRequest req;
+  req.tenant_id = tenant_;
+  req.ts = record_.read_ts;
+  req.txn_id = record_.id;
+  req.txn_priority = record_.priority;
+  return req;
+}
+
+StatusOr<BatchResponse> Transaction::SendTracked(const BatchRequest& req) {
+  ++batches_sent_;
+  auto resp = sender_ ? sender_(req) : cluster_->Send(req);
+  if (resp.ok() && max_write_ts_ < resp->bumped_write_ts) {
+    max_write_ts_ = resp->bumped_write_ts;
+  }
+  return resp;
+}
+
+Status Transaction::Get(Slice key, std::optional<std::string>* value) {
+  BatchRequest req = MakeRequest();
+  req.AddGet(key);
+  VELOCE_ASSIGN_OR_RETURN(BatchResponse resp, SendTracked(req));
+  read_spans_.emplace_back(key.ToString(), key.ToString() + std::string(1, '\0'));
+  if (resp.responses[0].found) {
+    *value = std::move(resp.responses[0].value);
+  } else {
+    value->reset();
+  }
+  return Status::OK();
+}
+
+Status Transaction::Put(Slice key, Slice value) {
+  BatchRequest req = MakeRequest();
+  req.AddPut(key, value);
+  VELOCE_ASSIGN_OR_RETURN(BatchResponse resp, SendTracked(req));
+  (void)resp;
+  intent_keys_.insert(key.ToString());
+  return Status::OK();
+}
+
+Status Transaction::Delete(Slice key) {
+  BatchRequest req = MakeRequest();
+  req.AddDelete(key);
+  VELOCE_ASSIGN_OR_RETURN(BatchResponse resp, SendTracked(req));
+  (void)resp;
+  intent_keys_.insert(key.ToString());
+  return Status::OK();
+}
+
+Status Transaction::Scan(Slice start, Slice end, uint64_t limit,
+                         std::vector<MvccScanEntry>* rows, std::string* resume_key) {
+  BatchRequest req = MakeRequest();
+  req.AddScan(start, end, limit);
+  VELOCE_ASSIGN_OR_RETURN(BatchResponse resp, SendTracked(req));
+  read_spans_.emplace_back(start.ToString(), end.ToString());
+  *rows = std::move(resp.responses[0].rows);
+  if (resume_key != nullptr) *resume_key = resp.responses[0].resume_key;
+  return Status::OK();
+}
+
+Status Transaction::Commit() {
+  if (finalized_) return Status::Internal("txn already finalized");
+  // Refresh: if our write timestamp was pushed above our read timestamp, we
+  // may commit only if nothing we read changed in between.
+  if (max_write_ts_ > record_.read_ts && !read_spans_.empty()) {
+    for (const auto& [start, end] : read_spans_) {
+      VELOCE_ASSIGN_OR_RETURN(bool changed,
+                              cluster_->AnyNewerVersions(tenant_, start, end,
+                                                         record_.read_ts,
+                                                         max_write_ts_));
+      if (changed) {
+        (void)Rollback();
+        return Status::TransactionRetry("read refresh failed; retry txn");
+      }
+    }
+  }
+  std::vector<std::string> keys(intent_keys_.begin(), intent_keys_.end());
+  Status s = cluster_->CommitTxn(record_.id, keys, &commit_ts_);
+  if (!s.ok()) {
+    if (s.code() == Code::kTransactionAborted) {
+      (void)Rollback();
+    }
+    return s;
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+Status Transaction::Rollback() {
+  if (finalized_) return Status::OK();
+  finalized_ = true;
+  std::vector<std::string> keys(intent_keys_.begin(), intent_keys_.end());
+  return cluster_->AbortTxn(record_.id, keys);
+}
+
+}  // namespace veloce::kv

@@ -1,0 +1,79 @@
+#ifndef VELOCE_KV_TRANSACTION_H_
+#define VELOCE_KV_TRANSACTION_H_
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kv/cluster.h"
+
+namespace veloce::kv {
+
+/// Client-side transaction coordinator: tracks the keys it wrote (for
+/// intent resolution at commit/rollback) and the spans it read (for the
+/// read-refresh that validates a commit whose write timestamp was pushed
+/// above its read timestamp). This is the interface the SQL layer's
+/// executor drives.
+///
+/// Serializable isolation:
+///  * reads happen at read_ts; the range timestamp cache pushes later
+///    conflicting writes above read_ts;
+///  * writes lay intents at write_ts >= read_ts;
+///  * commit at write_ts; if write_ts > read_ts the txn first verifies no
+///    foreign commit landed in its read spans within (read_ts, write_ts]
+///    (refresh), else it must retry.
+class Transaction {
+ public:
+  /// Pluggable transport: how batches reach the KV layer. The default sends
+  /// in-process; the SQL layer substitutes a sender that marshals through
+  /// the authorized service (modeling the separate-process boundary).
+  using Sender = std::function<StatusOr<BatchResponse>(const BatchRequest&)>;
+
+  Transaction(KVCluster* cluster, TenantId tenant, int32_t priority = 0,
+              Sender sender = nullptr);
+  ~Transaction();
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  Status Get(Slice key, std::optional<std::string>* value);
+  Status Put(Slice key, Slice value);
+  Status Delete(Slice key);
+  /// Scan with limit (0 = unlimited); resume_key set when the limit stopped
+  /// the scan early.
+  Status Scan(Slice start, Slice end, uint64_t limit,
+              std::vector<MvccScanEntry>* rows, std::string* resume_key = nullptr);
+
+  /// Commits; returns TransactionRetry if refresh fails (caller re-runs) or
+  /// TransactionAborted if a pusher won.
+  Status Commit();
+  Status Rollback();
+
+  TxnId id() const { return record_.id; }
+  Timestamp read_ts() const { return record_.read_ts; }
+  Timestamp commit_ts() const { return commit_ts_; }
+  bool finalized() const { return finalized_; }
+  /// Number of KV batches this transaction issued (eCPU feature probe).
+  uint64_t batches_sent() const { return batches_sent_; }
+
+ private:
+  BatchRequest MakeRequest() const;
+  StatusOr<BatchResponse> SendTracked(const BatchRequest& req);
+
+  KVCluster* cluster_;
+  Sender sender_;
+  TenantId tenant_;
+  TxnRecord record_;
+  Timestamp max_write_ts_;  ///< highest bumped write timestamp observed
+  std::set<std::string> intent_keys_;
+  std::vector<std::pair<std::string, std::string>> read_spans_;  // [start,end)
+  Timestamp commit_ts_;
+  bool finalized_ = false;
+  uint64_t batches_sent_ = 0;
+};
+
+}  // namespace veloce::kv
+
+#endif  // VELOCE_KV_TRANSACTION_H_

@@ -1,0 +1,94 @@
+#ifndef VELOCE_KV_TXN_H_
+#define VELOCE_KV_TXN_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "kv/mvcc.h"
+#include "kv/timestamp.h"
+
+namespace veloce::kv {
+
+enum class TxnStatus : uint8_t { kPending = 0, kCommitted = 1, kAborted = 2 };
+
+/// A transaction record: the authoritative state used to resolve intent
+/// conflicts. In CockroachDB these live in the range holding the txn's
+/// anchor key; here they are centralized in an in-process registry — a
+/// documented substitution that preserves push/resolve semantics while
+/// avoiding a second replicated keyspace.
+struct TxnRecord {
+  TxnId id = 0;
+  TxnStatus status = TxnStatus::kPending;
+  Timestamp read_ts;     ///< timestamp reads observe
+  Timestamp write_ts;    ///< provisional commit timestamp (>= read_ts)
+  int32_t priority = 0;
+  Nanos last_heartbeat = 0;
+};
+
+/// Outcome of a PushTxn attempt.
+struct PushResult {
+  /// Final status of the pushee after the push.
+  TxnStatus pushee_status = TxnStatus::kPending;
+  /// True if the push succeeded (pushee aborted, finalized, or its
+  /// timestamp moved above the pusher's).
+  bool pushed = false;
+  /// Commit timestamp when pushee_status == kCommitted.
+  Timestamp commit_ts;
+};
+
+/// Thread-safe registry of transaction records.
+class TxnRegistry {
+ public:
+  /// Transactions whose heartbeat is older than this are considered
+  /// abandoned and may be aborted by any pusher.
+  static constexpr Nanos kExpiration = 5 * kSecond;
+
+  explicit TxnRegistry(Clock* clock) : clock_(clock) {}
+
+  /// Creates a new pending transaction reading at `ts`.
+  TxnRecord Begin(Timestamp ts, int32_t priority);
+
+  StatusOr<TxnRecord> Get(TxnId id) const;
+
+  /// Refreshes liveness; returns the current record.
+  StatusOr<TxnRecord> Heartbeat(TxnId id);
+
+  /// Moves write_ts forward (never backward) for a pending txn.
+  Status BumpWriteTimestamp(TxnId id, Timestamp ts);
+
+  /// Transitions pending -> committed at `commit_ts`. Fails with
+  /// TransactionAborted if the record was aborted by a pusher.
+  Status Commit(TxnId id, Timestamp commit_ts);
+
+  /// Transitions pending -> aborted (idempotent; committed stays committed).
+  Status Abort(TxnId id);
+
+  /// Push: attempts to resolve a conflict with `pushee`. An expired pushee
+  /// is aborted outright. Otherwise a higher-priority pusher aborts the
+  /// pushee (kPushAbort) or bumps its timestamp above push_to (kPushTs);
+  /// ties break toward the pushee (writers win, matching the default CRDB
+  /// behaviour of making readers wait).
+  enum class PushType { kAbort, kTimestamp };
+  PushResult Push(TxnId pushee, int32_t pusher_priority, PushType type,
+                  Timestamp push_to);
+
+  /// Removes finalized records older than kExpiration (GC).
+  size_t GarbageCollect();
+
+  size_t size() const;
+
+ private:
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::unordered_map<TxnId, TxnRecord> records_;
+  TxnId next_id_ = 1;
+};
+
+}  // namespace veloce::kv
+
+#endif  // VELOCE_KV_TXN_H_

@@ -1,0 +1,77 @@
+#include "serverless/cluster.h"
+
+namespace veloce::serverless {
+
+ServerlessCluster::ServerlessCluster(Options options)
+    : options_(options),
+      kube_(&loop_, options.kube),
+      meter_(loop_.clock(), billing::EstimatedCpuModel::Default()) {
+  options_.kv.clock = loop_.clock();
+  kv_ = std::make_unique<kv::KVCluster>(options_.kv);
+  controller_ = std::make_unique<tenant::TenantController>(kv_.get(), &ca_);
+  service_ = std::make_unique<tenant::AuthorizedKvService>(kv_.get(), &ca_);
+  pool_ = std::make_unique<SqlNodePool>(&loop_, &kube_, service_.get(), kv_.get(),
+                                        controller_.get(), options_.pool);
+  proxy_ = std::make_unique<Proxy>(&loop_, pool_.get(), options_.proxy);
+  autoscaler_ = std::make_unique<Autoscaler>(
+      &loop_, pool_.get(), proxy_.get(),
+      [this](kv::TenantId tenant) {
+        auto it = cpu_usage_.find(tenant);
+        return it == cpu_usage_.end() ? 0.0 : it->second;
+      },
+      options_.autoscaler);
+  // Let the warm pool finish its initial provisioning.
+  loop_.Run();
+  // The proxy's periodic connection re-balance pass (opt-in: it keeps the
+  // event queue non-empty, so loop_.Run() callers must use RunFor/RunUntil).
+  if (options_.proxy_rebalance_interval > 0) {
+    rebalancer_ = std::make_unique<sim::PeriodicTask>(
+        &loop_, options_.proxy_rebalance_interval,
+        [this] { proxy_->RebalanceAll(); });
+    rebalancer_->Start();
+  }
+}
+
+void ServerlessCluster::HarvestUsage() {
+  auto tenants = controller_->ListTenants();
+  if (!tenants.ok()) return;
+  for (const auto& meta : *tenants) {
+    const kv::TenantId tenant = meta.id;
+    for (sql::SqlNode* node : pool_->NodesForTenant(tenant)) {
+      sql::KvConnector* connector = node->connector();
+      if (connector == nullptr) continue;
+      const Nanos total_sql = node->sql_cpu();
+      Nanos& billed = harvested_sql_cpu_[node->id()];
+      const double sql_secs = static_cast<double>(total_sql - billed) / 1e9;
+      billed = total_sql;
+      meter_.Record(tenant, connector->features(), sql_secs);
+      connector->ResetFeatures();
+    }
+  }
+}
+
+StatusOr<tenant::TenantMetadata> ServerlessCluster::CreateTenant(
+    const std::string& name) {
+  VELOCE_ASSIGN_OR_RETURN(tenant::TenantMetadata meta,
+                          controller_->CreateTenant(name));
+  autoscaler_->WatchTenant(meta.id);
+  return meta;
+}
+
+StatusOr<Proxy::Connection*> ServerlessCluster::ConnectSync(
+    kv::TenantId tenant, const std::string& client_ip) {
+  StatusOr<Proxy::Connection*> result = Status::DeadlineExceeded("connect never completed");
+  bool done = false;
+  proxy_->Connect(tenant, client_ip, [&](StatusOr<Proxy::Connection*> conn) {
+    result = std::move(conn);
+    done = true;
+  });
+  // Run the loop until the callback fires (bounded by a sim-time cap).
+  const Nanos deadline = loop_.Now() + 10 * kMinute;
+  while (!done && loop_.Now() < deadline && loop_.pending_events() > 0) {
+    loop_.Step();
+  }
+  return result;
+}
+
+}  // namespace veloce::serverless

@@ -1,0 +1,90 @@
+#ifndef VELOCE_SERVERLESS_CLUSTER_H_
+#define VELOCE_SERVERLESS_CLUSTER_H_
+
+#include <memory>
+#include <string>
+
+#include "billing/meter.h"
+#include "serverless/autoscaler.h"
+#include "serverless/kube_sim.h"
+#include "serverless/node_pool.h"
+#include "serverless/proxy.h"
+#include "tenant/controller.h"
+
+namespace veloce::serverless {
+
+/// Facade wiring the whole Serverless deployment of one region (Fig 4):
+/// the shared KV cluster, the tenant control plane, KubeSim, the warm SQL
+/// node pool, the proxy, and the autoscaler — all driven by one simulated
+/// event loop. Examples and benches build on this.
+class ServerlessCluster {
+ public:
+  struct Options {
+    kv::KVClusterOptions kv;
+    KubeSim::Options kube;
+    SqlNodePool::Options pool;
+    Proxy::Options proxy;
+    Autoscaler::Options autoscaler;
+    /// Proxy connection re-balance cadence (Section 4.2.2). 0 disables the
+    /// periodic task (the default here, because a perpetual timer keeps the
+    /// sim event queue non-empty; scale events still rebalance eagerly).
+    Nanos proxy_rebalance_interval = 0;
+  };
+
+  ServerlessCluster() : ServerlessCluster(Options()) {}
+  explicit ServerlessCluster(Options options);
+
+  sim::EventLoop* loop() { return &loop_; }
+  kv::KVCluster* kv_cluster() { return kv_.get(); }
+  tenant::TenantController* tenants() { return controller_.get(); }
+  tenant::AuthorizedKvService* kv_service() { return service_.get(); }
+  KubeSim* kube() { return &kube_; }
+  SqlNodePool* pool() { return pool_.get(); }
+  Proxy* proxy() { return proxy_.get(); }
+  Autoscaler* autoscaler() { return autoscaler_.get(); }
+
+  /// Creates a virtual cluster and registers it with the autoscaler.
+  StatusOr<tenant::TenantMetadata> CreateTenant(const std::string& name);
+
+  /// Synchronous convenience: connects through the proxy and runs the sim
+  /// loop until the connection (incl. any cold start) completes.
+  StatusOr<Proxy::Connection*> ConnectSync(kv::TenantId tenant,
+                                           const std::string& client_ip = "10.0.0.1");
+
+  /// Reports the tenant's current SQL CPU usage to the autoscaler's scrape
+  /// path. Benches inject synthetic load curves here.
+  void SetTenantCpuUsage(kv::TenantId tenant, double vcpus) {
+    cpu_usage_[tenant] = vcpus;
+  }
+
+  // --- billing -------------------------------------------------------------
+  billing::TenantMeter* meter() { return &meter_; }
+  /// Scrapes every ready SQL node's feature counters and measured SQL CPU
+  /// into the meter (resets the node-local counters).
+  void HarvestUsage();
+  /// Convenience: harvest, then the tenant's usage in the open interval.
+  billing::UsageReport TenantUsage(kv::TenantId tenant) {
+    HarvestUsage();
+    return meter_.Current(tenant);
+  }
+
+ private:
+  Options options_;
+  sim::EventLoop loop_;
+  std::unique_ptr<kv::KVCluster> kv_;
+  tenant::CertificateAuthority ca_;
+  std::unique_ptr<tenant::TenantController> controller_;
+  std::unique_ptr<tenant::AuthorizedKvService> service_;
+  KubeSim kube_;
+  std::unique_ptr<SqlNodePool> pool_;
+  std::unique_ptr<Proxy> proxy_;
+  std::unique_ptr<Autoscaler> autoscaler_;
+  billing::TenantMeter meter_;
+  std::unique_ptr<sim::PeriodicTask> rebalancer_;
+  std::map<kv::TenantId, double> cpu_usage_;
+  std::map<uint64_t, Nanos> harvested_sql_cpu_;  // node id -> already-billed
+};
+
+}  // namespace veloce::serverless
+
+#endif  // VELOCE_SERVERLESS_CLUSTER_H_

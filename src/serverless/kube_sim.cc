@@ -1,0 +1,34 @@
+#include "serverless/kube_sim.h"
+
+namespace veloce::serverless {
+
+Nanos KubeSim::Jittered(Nanos base) {
+  if (options_.latency_jitter <= 0) return base;
+  return base + static_cast<Nanos>(
+                    rng_.Uniform(static_cast<uint64_t>(options_.latency_jitter)));
+}
+
+void KubeSim::CreatePod(std::function<void(PodId)> on_ready) {
+  const PodId id = next_pod_id_++;
+  pods_[id] = Pod{id, /*vm=*/(id - 1) / static_cast<uint64_t>(options_.pods_per_vm),
+                  /*process_running=*/false};
+  loop_->Schedule(Jittered(options_.pod_create_latency),
+                  [id, cb = std::move(on_ready)] { cb(id); });
+}
+
+void KubeSim::StartProcess(PodId pod, std::function<void()> on_started) {
+  loop_->Schedule(Jittered(options_.process_start_latency), [this, pod, cb = std::move(on_started)] {
+    auto it = pods_.find(pod);
+    if (it != pods_.end()) it->second.process_running = true;
+    cb();
+  });
+}
+
+void KubeSim::DeletePod(PodId pod) { pods_.erase(pod); }
+
+bool KubeSim::ProcessRunning(PodId pod) const {
+  auto it = pods_.find(pod);
+  return it != pods_.end() && it->second.process_running;
+}
+
+}  // namespace veloce::serverless

@@ -1,0 +1,77 @@
+#ifndef VELOCE_SERVERLESS_KUBE_SIM_H_
+#define VELOCE_SERVERLESS_KUBE_SIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "sim/event_loop.h"
+
+namespace veloce::serverless {
+
+using PodId = uint64_t;
+
+/// Simulated Kubernetes substrate (the paper runs one K8s cluster per
+/// region). It models exactly what the cold-start and autoscaling
+/// experiments depend on: pod scheduling latency onto shared VMs, container
+/// process start latency, and VM packing (many SQL pods per VM is what
+/// amortizes the long tail of idle tenants, Section 4.2.1).
+class KubeSim {
+ public:
+  struct Options {
+    std::string region = "local";
+    int vm_vcpus = 32;
+    /// Pods (SQL nodes) packed per VM; oversubscribed like production.
+    int pods_per_vm = 16;
+    /// Scheduling + container create latency for a new pod.
+    Nanos pod_create_latency = 2 * kSecond;
+    /// Starting the SQL process inside an existing container (cold path).
+    Nanos process_start_latency = 900 * kMilli;
+    /// Uniform jitter added to both latencies (real pod/process start
+    /// times vary with node load and image cache state).
+    Nanos latency_jitter = 0;
+  };
+
+  struct Pod {
+    PodId id = 0;
+    uint64_t vm = 0;
+    bool process_running = false;
+  };
+
+  KubeSim(sim::EventLoop* loop, Options options) : loop_(loop), options_(options) {}
+
+  const Options& options() const { return options_; }
+  const std::string& region() const { return options_.region; }
+
+  /// Schedules a pod; `on_ready` fires after the create latency.
+  void CreatePod(std::function<void(PodId)> on_ready);
+
+  /// Starts the process inside the pod (pre-warming step); `on_started`
+  /// fires after the process start latency.
+  void StartProcess(PodId pod, std::function<void()> on_started);
+
+  void DeletePod(PodId pod);
+  bool ProcessRunning(PodId pod) const;
+
+  size_t num_pods() const { return pods_.size(); }
+  /// Number of VMs currently backing the pods (ceil(pods / pods_per_vm)).
+  size_t num_vms() const {
+    return (pods_.size() + options_.pods_per_vm - 1) /
+           static_cast<size_t>(options_.pods_per_vm);
+  }
+
+ private:
+  Nanos Jittered(Nanos base);
+
+  sim::EventLoop* loop_;
+  Options options_;
+  Random rng_{0xCAFEBABE};
+  std::map<PodId, Pod> pods_;
+  PodId next_pod_id_ = 1;
+};
+
+}  // namespace veloce::serverless
+
+#endif  // VELOCE_SERVERLESS_KUBE_SIM_H_

@@ -1,0 +1,87 @@
+#ifndef VELOCE_SERVERLESS_MULTIREGION_H_
+#define VELOCE_SERVERLESS_MULTIREGION_H_
+
+#include <string>
+
+#include "sim/region_topology.h"
+
+namespace veloce::serverless {
+
+/// How a tenant's system database is laid out across regions (Section
+/// 3.2.5). The unoptimized configuration places every leaseholder in
+/// `lease_region`; the region-aware configuration converts
+/// system.descriptor-style tables to GLOBAL (consistent local reads
+/// everywhere) and system.sql_instances-style tables to REGIONAL BY ROW
+/// (local leaseholder for each node's own row).
+struct SystemDatabaseConfig {
+  bool region_aware = false;
+  std::string lease_region = "asia-southeast1";
+  /// Blocking reads of system tables during SQL node startup (descriptor,
+  /// settings, users/auth, zone configs).
+  int blocking_schema_reads = 4;
+  /// Blocking writes (the node's system.sql_instances row).
+  int blocking_instance_writes = 1;
+};
+
+/// Latency model for the network-bound part of a multi-region cold start
+/// (Fig 10b): the blocking system-database accesses a starting SQL node
+/// performs before it can serve its first query. META-range lookups use
+/// follower reads and are always region-local in both configurations.
+class ColdStartLatencyModel {
+ public:
+  ColdStartLatencyModel(const sim::RegionTopology* topology,
+                        SystemDatabaseConfig config)
+      : topology_(topology), config_(config) {}
+
+  /// Network time for one schema read issued from `region`: GLOBAL tables
+  /// serve consistent reads locally; otherwise a round trip to the
+  /// leaseholder's region.
+  Nanos SchemaReadLatency(const std::string& region) const {
+    if (config_.region_aware) return topology_->Rtt(region, region);
+    return topology_->Rtt(region, config_.lease_region);
+  }
+
+  /// Network time for the sql_instances row write: REGIONAL BY ROW places
+  /// the row's leaseholder locally (quorum replication still crosses
+  /// regions but commit waits only on the nearest quorum — approximated as
+  /// one local round trip plus half the RTT to the nearest other region);
+  /// otherwise the write round-trips to the lease region.
+  Nanos InstanceWriteLatency(const std::string& region) const {
+    if (!config_.region_aware) {
+      return topology_->Rtt(region, config_.lease_region);
+    }
+    Nanos nearest = 0;
+    bool found = false;
+    for (const auto& other : topology_->regions()) {
+      if (other == region) continue;
+      const Nanos rtt = topology_->Rtt(region, other);
+      if (!found || rtt < nearest) {
+        nearest = rtt;
+        found = true;
+      }
+    }
+    return topology_->Rtt(region, region) + (found ? nearest / 2 : 0);
+  }
+
+  /// Follower read against the META range (always local).
+  Nanos MetaLookupLatency(const std::string& region) const {
+    return topology_->Rtt(region, region);
+  }
+
+  /// Total network-bound startup latency from `region`.
+  Nanos TotalNetworkLatency(const std::string& region) const {
+    return MetaLookupLatency(region) +
+           config_.blocking_schema_reads * SchemaReadLatency(region) +
+           config_.blocking_instance_writes * InstanceWriteLatency(region);
+  }
+
+  const SystemDatabaseConfig& config() const { return config_; }
+
+ private:
+  const sim::RegionTopology* topology_;
+  SystemDatabaseConfig config_;
+};
+
+}  // namespace veloce::serverless
+
+#endif  // VELOCE_SERVERLESS_MULTIREGION_H_

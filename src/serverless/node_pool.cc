@@ -1,0 +1,182 @@
+#include "serverless/node_pool.h"
+
+#include "common/logging.h"
+
+namespace veloce::serverless {
+
+SqlNodePool::SqlNodePool(sim::EventLoop* loop, KubeSim* kube,
+                         tenant::AuthorizedKvService* service,
+                         kv::KVCluster* cluster, tenant::TenantController* controller,
+                         Options options)
+    : loop_(loop),
+      kube_(kube),
+      service_(service),
+      cluster_(cluster),
+      controller_(controller),
+      options_(options) {
+  Replenish();
+}
+
+void SqlNodePool::Replenish() {
+  while (warm_.size() + static_cast<size_t>(replenish_inflight_) <
+         options_.warm_pool_target) {
+    ++replenish_inflight_;
+    kube_->CreatePod([this](PodId pod) {
+      auto finish = [this, pod]() {
+        auto managed = std::make_unique<ManagedNode>();
+        managed->pod = pod;
+        managed->node = std::make_unique<sql::SqlNode>(
+            next_node_id_++, options_.node_options, loop_->clock());
+        if (options_.prewarm_process) {
+          // Optimized flow: the process boots *before* a tenant is known.
+          VELOCE_CHECK_OK(managed->node->StartProcess());
+        }
+        warm_.push_back(std::move(managed));
+        --replenish_inflight_;
+      };
+      if (options_.prewarm_process) {
+        kube_->StartProcess(pod, finish);
+      } else {
+        finish();
+      }
+    });
+  }
+}
+
+Nanos SqlNodePool::StampLatency() {
+  Nanos latency = options_.stamp_latency;
+  if (options_.stamp_jitter > 0) {
+    latency += static_cast<Nanos>(
+        rng_.Uniform(static_cast<uint64_t>(options_.stamp_jitter)));
+  }
+  return latency;
+}
+
+void SqlNodePool::Acquire(kv::TenantId tenant,
+                          std::function<void(StatusOr<sql::SqlNode*>)> on_ready) {
+  // (1) Un-drain a draining node of this tenant.
+  for (auto& [node, managed] : active_) {
+    if (managed->draining && node->tenant_id() == tenant &&
+        node->state() == sql::SqlNode::State::kDraining) {
+      managed->draining = false;
+      node->Undrain();
+      loop_->Schedule(0, [node = node, cb = std::move(on_ready)]() mutable { cb(node); });
+      return;
+    }
+  }
+
+  // (2) Pre-warmed node.
+  if (!warm_.empty()) {
+    std::unique_ptr<ManagedNode> managed = std::move(warm_.front());
+    warm_.pop_front();
+    Replenish();
+    ManagedNode* raw = managed.get();
+    sql::SqlNode* node = raw->node.get();
+    active_[node] = std::move(managed);
+    if (options_.prewarm_process) {
+      // Certificate write + fs watch + KV init.
+      loop_->Schedule(StampLatency(), [this, raw, tenant,
+                                               cb = std::move(on_ready)]() mutable {
+        FinishStamp(raw, tenant, std::move(cb));
+      });
+    } else {
+      // Unoptimized: boot the process now, plus the TCP-reset retry
+      // penalty (the proxy's connection attempts bounce until the
+      // listener opens, roughly doubling observed startup).
+      const Nanos penalty = kube_->options().process_start_latency;
+      kube_->StartProcess(raw->pod, [this, raw, tenant, penalty,
+                                     cb = std::move(on_ready)]() mutable {
+        VELOCE_CHECK_OK(raw->node->StartProcess());
+        loop_->Schedule(penalty + StampLatency(),
+                        [this, raw, tenant, cb = std::move(cb)]() mutable {
+                          FinishStamp(raw, tenant, std::move(cb));
+                        });
+      });
+    }
+    return;
+  }
+
+  // (3) Pool empty: create a cold pod end to end.
+  kube_->CreatePod([this, tenant, cb = std::move(on_ready)](PodId pod) mutable {
+    kube_->StartProcess(pod, [this, pod, tenant, cb = std::move(cb)]() mutable {
+      auto managed = std::make_unique<ManagedNode>();
+      managed->pod = pod;
+      managed->node = std::make_unique<sql::SqlNode>(next_node_id_++,
+                                                     options_.node_options,
+                                                     loop_->clock());
+      VELOCE_CHECK_OK(managed->node->StartProcess());
+      ManagedNode* raw = managed.get();
+      active_[raw->node.get()] = std::move(managed);
+      loop_->Schedule(StampLatency(),
+                      [this, raw, tenant, cb = std::move(cb)]() mutable {
+                        FinishStamp(raw, tenant, std::move(cb));
+                      });
+    });
+  });
+}
+
+void SqlNodePool::FinishStamp(ManagedNode* managed, kv::TenantId tenant,
+                              std::function<void(StatusOr<sql::SqlNode*>)> on_ready) {
+  auto cert_or = controller_->IssueCert(tenant);
+  if (!cert_or.ok()) {
+    on_ready(cert_or.status());
+    return;
+  }
+  Status s = managed->node->StampTenant(service_, cluster_, *cert_or);
+  if (!s.ok()) {
+    on_ready(s);
+    return;
+  }
+  on_ready(managed->node.get());
+}
+
+void SqlNodePool::StartDraining(sql::SqlNode* node) {
+  auto it = active_.find(node);
+  if (it == active_.end()) return;
+  it->second->draining = true;
+  it->second->drain_started = loop_->Now();
+  node->StartDraining();
+  // Poll until sessions are gone or the drain timeout passes; a reused
+  // (un-drained) or removed node cancels the poll implicitly.
+  const Nanos deadline = loop_->Now() + options_.drain_timeout;
+  auto check = std::make_shared<std::function<void()>>();
+  *check = [this, node, deadline, check]() {
+    auto it2 = active_.find(node);
+    if (it2 == active_.end() || !it2->second->draining) return;
+    if (node->num_sessions() == 0 || loop_->Now() >= deadline) {
+      Remove(node);
+      return;
+    }
+    loop_->Schedule(10 * kSecond, *check);
+  };
+  loop_->Schedule(10 * kSecond, *check);
+}
+
+void SqlNodePool::Remove(sql::SqlNode* node) {
+  auto it = active_.find(node);
+  if (it == active_.end()) return;
+  kube_->DeletePod(it->second->pod);
+  node->Stop();
+  active_.erase(it);
+}
+
+std::vector<sql::SqlNode*> SqlNodePool::NodesForTenant(kv::TenantId tenant) const {
+  std::vector<sql::SqlNode*> out;
+  for (const auto& [node, managed] : active_) {
+    if (node->tenant_id() == tenant && !managed->draining &&
+        node->state() == sql::SqlNode::State::kReady) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+size_t SqlNodePool::num_ready_nodes() const {
+  size_t count = 0;
+  for (const auto& [node, managed] : active_) {
+    if (node->state() == sql::SqlNode::State::kReady && !managed->draining) ++count;
+  }
+  return count;
+}
+
+}  // namespace veloce::serverless

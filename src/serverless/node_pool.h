@@ -1,0 +1,100 @@
+#ifndef VELOCE_SERVERLESS_NODE_POOL_H_
+#define VELOCE_SERVERLESS_NODE_POOL_H_
+
+#include <deque>
+
+#include "common/random.h"
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "serverless/kube_sim.h"
+#include "sql/sql_node.h"
+#include "tenant/controller.h"
+
+namespace veloce::serverless {
+
+/// Manages the region's SQL nodes: the pre-warmed pool, tenant stamping,
+/// draining, and reuse (Sections 4.2.3 and 4.3.1).
+///
+/// Acquisition latency depends on the pool state and configuration:
+///  * optimized (prewarm_process=true): warm nodes already run their
+///    process with the TCP listener open — stamping writes the tenant's
+///    certificate, the file watch fires, and the node finishes KV
+///    initialization. Sub-second.
+///  * unoptimized: the pod exists but the process must boot first, and the
+///    client's early TCP connection attempts are RST'd and retried with
+///    exponential backoff, roughly doubling observed latency (Section
+///    6.5.1). Modeled as an extra penalty equal to the process start time.
+class SqlNodePool {
+ public:
+  struct Options {
+    size_t warm_pool_target = 4;
+    bool prewarm_process = true;
+    /// Certificate write + filesystem watch + KV connect, excluding the
+    /// schema warmup reads (those depend on the region topology).
+    Nanos stamp_latency = 120 * kMilli;
+    /// Uniform jitter on the stamp step (cert distribution, fs watch
+    /// wakeup, and KV connect times vary).
+    Nanos stamp_jitter = 0;
+    /// Idle draining nodes shut down after this long (paper: 10 minutes).
+    Nanos drain_timeout = 10 * kMinute;
+    sql::SqlNode::Options node_options;
+  };
+
+  SqlNodePool(sim::EventLoop* loop, KubeSim* kube,
+              tenant::AuthorizedKvService* service, kv::KVCluster* cluster,
+              tenant::TenantController* controller, Options options);
+
+  /// Asynchronously acquires a ready SQL node for `tenant`. Prefers (1) a
+  /// draining node of the same tenant (cheapest — instant un-drain), then
+  /// (2) a pre-warmed node, then (3) a cold pod. The pool replenishes
+  /// itself in the background.
+  void Acquire(kv::TenantId tenant,
+               std::function<void(StatusOr<sql::SqlNode*>)> on_ready);
+
+  /// Marks a node draining; it stops once its sessions are gone or the
+  /// drain timeout passes. Draining nodes of the same tenant are reused by
+  /// Acquire before warm ones.
+  void StartDraining(sql::SqlNode* node);
+
+  /// Immediately removes the node (rolling upgrade / scale-to-zero end).
+  void Remove(sql::SqlNode* node);
+
+  std::vector<sql::SqlNode*> NodesForTenant(kv::TenantId tenant) const;
+  size_t warm_available() const { return warm_.size(); }
+  size_t num_ready_nodes() const;
+
+  /// Refills the warm pool up to the target (runs automatically after each
+  /// acquisition; exposed for tests).
+  void Replenish();
+
+ private:
+  struct ManagedNode {
+    std::unique_ptr<sql::SqlNode> node;
+    PodId pod = 0;
+    bool draining = false;
+    Nanos drain_started = 0;
+  };
+
+  void FinishStamp(ManagedNode* managed, kv::TenantId tenant,
+                   std::function<void(StatusOr<sql::SqlNode*>)> on_ready);
+  Nanos StampLatency();
+
+  sim::EventLoop* loop_;
+  KubeSim* kube_;
+  tenant::AuthorizedKvService* service_;
+  kv::KVCluster* cluster_;
+  tenant::TenantController* controller_;
+  Options options_;
+  Random rng_{0xB00157ED};
+  uint64_t next_node_id_ = 1;
+  std::deque<std::unique_ptr<ManagedNode>> warm_;
+  std::map<sql::SqlNode*, std::unique_ptr<ManagedNode>> active_;
+  int replenish_inflight_ = 0;
+};
+
+}  // namespace veloce::serverless
+
+#endif  // VELOCE_SERVERLESS_NODE_POOL_H_

@@ -1,0 +1,205 @@
+#include "serverless/proxy.h"
+
+#include <algorithm>
+
+namespace veloce::serverless {
+
+Proxy::Proxy(sim::EventLoop* loop, SqlNodePool* pool, Options options)
+    : loop_(loop), pool_(pool), options_(options) {}
+
+void Proxy::SetAllowlist(kv::TenantId tenant, std::vector<std::string> ips) {
+  allowlists_[tenant] = std::set<std::string>(ips.begin(), ips.end());
+}
+
+void Proxy::AddToDenylist(kv::TenantId tenant, const std::string& ip) {
+  denylists_[tenant].insert(ip);
+}
+
+void Proxy::RecordAuthFailure(const std::string& client_ip) {
+  ThrottleState& state = throttle_[client_ip];
+  ++state.failures;
+  if (state.failures >= options_.auth_failures_before_throttle) {
+    const int excess = state.failures - options_.auth_failures_before_throttle;
+    const Nanos backoff = options_.auth_backoff_base
+                          << std::min(excess, 16);  // exponential, capped
+    state.blocked_until = loop_->Now() + backoff;
+  }
+}
+
+void Proxy::RecordAuthSuccess(const std::string& client_ip) {
+  throttle_.erase(client_ip);
+}
+
+bool Proxy::IsThrottled(const std::string& client_ip) const {
+  auto it = throttle_.find(client_ip);
+  return it != throttle_.end() && it->second.blocked_until > loop_->Now();
+}
+
+sql::SqlNode* Proxy::PickLeastConnections(
+    const std::vector<sql::SqlNode*>& nodes) const {
+  sql::SqlNode* best = nullptr;
+  size_t best_count = 0;
+  for (sql::SqlNode* node : nodes) {
+    const size_t count = ConnectionsOnNode(node);
+    if (best == nullptr || count < best_count) {
+      best = node;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+Status Proxy::FinishConnect(kv::TenantId tenant, sql::SqlNode* node,
+                            std::function<void(StatusOr<Connection*>)>& on_connected) {
+  auto session_or = node->NewSession();
+  if (!session_or.ok()) return session_or.status();
+  auto conn = std::make_unique<Connection>();
+  conn->id = next_connection_id_++;
+  conn->tenant = tenant;
+  conn->node = node;
+  conn->session = *session_or;
+  Connection* raw = conn.get();
+  connections_[raw->id] = std::move(conn);
+  on_connected(raw);
+  return Status::OK();
+}
+
+void Proxy::Connect(kv::TenantId tenant, const std::string& client_ip,
+                    std::function<void(StatusOr<Connection*>)> on_connected) {
+  // Security gates first.
+  if (IsThrottled(client_ip)) {
+    on_connected(Status::ResourceExhausted("origin throttled after auth failures"));
+    return;
+  }
+  auto deny = denylists_.find(tenant);
+  if (deny != denylists_.end() && deny->second.count(client_ip)) {
+    on_connected(Status::Unauthorized("client IP denied"));
+    return;
+  }
+  auto allow = allowlists_.find(tenant);
+  if (allow != allowlists_.end() && !allow->second.empty() &&
+      !allow->second.count(client_ip)) {
+    on_connected(Status::Unauthorized("client IP not in allowlist"));
+    return;
+  }
+
+  const std::vector<sql::SqlNode*> nodes = pool_->NodesForTenant(tenant);
+  if (!nodes.empty()) {
+    sql::SqlNode* node = PickLeastConnections(nodes);
+    Status s = FinishConnect(tenant, node, on_connected);
+    if (!s.ok()) on_connected(s);
+    return;
+  }
+  // Scale-from-zero: pull a node through the pool (the cold start path).
+  pool_->Acquire(tenant, [this, tenant, on_connected = std::move(on_connected)](
+                             StatusOr<sql::SqlNode*> node_or) mutable {
+    if (!node_or.ok()) {
+      on_connected(node_or.status());
+      return;
+    }
+    Status s = FinishConnect(tenant, *node_or, on_connected);
+    if (!s.ok()) on_connected(s);
+  });
+}
+
+Status Proxy::Disconnect(uint64_t connection_id) {
+  auto it = connections_.find(connection_id);
+  if (it == connections_.end()) return Status::NotFound("no such connection");
+  Connection* conn = it->second.get();
+  if (conn->node != nullptr && conn->session != nullptr) {
+    (void)conn->node->CloseSession(conn->session->id());
+  }
+  connections_.erase(it);
+  return Status::OK();
+}
+
+Status Proxy::MigrateConnection(Connection* conn, sql::SqlNode* target) {
+  if (conn->node == target) return Status::OK();
+  if (!conn->session->idle()) {
+    return Status::Unavailable("session busy (open transaction)");
+  }
+  // Serialize with a fresh revival token; the token authenticates the
+  // restore so the client needs no re-authentication.
+  const uint64_t token = rng_.Next();
+  VELOCE_ASSIGN_OR_RETURN(std::string blob, conn->session->Serialize(token));
+  VELOCE_ASSIGN_OR_RETURN(sql::Session * restored,
+                          target->RestoreSession(blob, token));
+  (void)conn->node->CloseSession(conn->session->id());
+  conn->node = target;
+  conn->session = restored;
+  ++conn->migrations;
+  ++total_migrations_;
+  return Status::OK();
+}
+
+int Proxy::RebalanceTenant(kv::TenantId tenant) {
+  const std::vector<sql::SqlNode*> ready = pool_->NodesForTenant(tenant);
+  if (ready.empty()) return 0;
+  int migrated = 0;
+  // First: evacuate draining/stopped nodes.
+  for (auto& [id, conn] : connections_) {
+    if (conn->tenant != tenant) continue;
+    if (conn->node->state() == sql::SqlNode::State::kReady) continue;
+    sql::SqlNode* target = PickLeastConnections(ready);
+    if (target != nullptr && MigrateConnection(conn.get(), target).ok()) {
+      ++migrated;
+    }
+  }
+  // Then: even out across ready nodes (move from the most to the least
+  // loaded while the imbalance exceeds one connection).
+  for (int iter = 0; iter < 256; ++iter) {
+    sql::SqlNode* max_node = nullptr;
+    sql::SqlNode* min_node = nullptr;
+    size_t max_count = 0, min_count = 0;
+    for (sql::SqlNode* node : ready) {
+      const size_t count = ConnectionsOnNode(node);
+      if (max_node == nullptr || count > max_count) {
+        max_node = node;
+        max_count = count;
+      }
+      if (min_node == nullptr || count < min_count) {
+        min_node = node;
+        min_count = count;
+      }
+    }
+    if (max_node == nullptr || max_count <= min_count + 1) break;
+    // Move one idle connection from max to min.
+    bool moved = false;
+    for (auto& [id, conn] : connections_) {
+      if (conn->tenant != tenant || conn->node != max_node) continue;
+      if (MigrateConnection(conn.get(), min_node).ok()) {
+        ++migrated;
+        moved = true;
+        break;
+      }
+    }
+    if (!moved) break;  // everything on the hot node is busy
+  }
+  return migrated;
+}
+
+int Proxy::RebalanceAll() {
+  std::set<kv::TenantId> tenants;
+  for (const auto& [id, conn] : connections_) tenants.insert(conn->tenant);
+  int migrated = 0;
+  for (kv::TenantId tenant : tenants) migrated += RebalanceTenant(tenant);
+  return migrated;
+}
+
+size_t Proxy::ConnectionsForTenant(kv::TenantId tenant) const {
+  size_t count = 0;
+  for (const auto& [id, conn] : connections_) {
+    if (conn->tenant == tenant) ++count;
+  }
+  return count;
+}
+
+size_t Proxy::ConnectionsOnNode(const sql::SqlNode* node) const {
+  size_t count = 0;
+  for (const auto& [id, conn] : connections_) {
+    if (conn->node == node) ++count;
+  }
+  return count;
+}
+
+}  // namespace veloce::serverless

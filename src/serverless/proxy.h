@@ -1,0 +1,99 @@
+#ifndef VELOCE_SERVERLESS_PROXY_H_
+#define VELOCE_SERVERLESS_PROXY_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "serverless/node_pool.h"
+
+namespace veloce::serverless {
+
+/// The routing proxy (Section 4.2.2). Clients connect here; the proxy
+/// identifies the tenant from the startup message, enforces IP allow/deny
+/// lists and auth-failure throttling, picks a SQL node by least
+/// connections (resuming suspended tenants through the warm pool), and
+/// transparently migrates idle sessions between nodes for rebalancing and
+/// drains (Section 4.2.4).
+class Proxy {
+ public:
+  struct Options {
+    /// Failed-auth throttling: exponential backoff starting here.
+    Nanos auth_backoff_base = kSecond;
+    int auth_failures_before_throttle = 3;
+  };
+
+  /// One proxied client connection. The session pointer moves when the
+  /// proxy migrates the connection; clients keep using the Connection.
+  struct Connection {
+    uint64_t id = 0;
+    kv::TenantId tenant = 0;
+    sql::SqlNode* node = nullptr;
+    sql::Session* session = nullptr;
+    uint64_t migrations = 0;
+  };
+
+  Proxy(sim::EventLoop* loop, SqlNodePool* pool) : Proxy(loop, pool, Options()) {}
+  Proxy(sim::EventLoop* loop, SqlNodePool* pool, Options options);
+
+  /// Client connect: `client_ip` feeds the allow/deny and throttle checks.
+  /// If the tenant has no SQL nodes (suspended / scaled to zero), the
+  /// proxy triggers the cold-start flow through the pool.
+  void Connect(kv::TenantId tenant, const std::string& client_ip,
+               std::function<void(StatusOr<Connection*>)> on_connected);
+
+  Status Disconnect(uint64_t connection_id);
+
+  // --- security controls ---------------------------------------------------
+  /// Empty allowlist = all IPs allowed.
+  void SetAllowlist(kv::TenantId tenant, std::vector<std::string> ips);
+  void AddToDenylist(kv::TenantId tenant, const std::string& ip);
+  /// Reported by the backend on bad credentials; throttles the origin.
+  void RecordAuthFailure(const std::string& client_ip);
+  void RecordAuthSuccess(const std::string& client_ip);
+  bool IsThrottled(const std::string& client_ip) const;
+
+  // --- migration & balancing ------------------------------------------------
+  /// Migrates one idle connection to `target`. Busy sessions (open txn)
+  /// are skipped (returns Unavailable); callers retry when idle.
+  Status MigrateConnection(Connection* conn, sql::SqlNode* target);
+  /// Moves connections off draining nodes and evens out counts across the
+  /// tenant's ready nodes. Returns the number of migrations performed.
+  int RebalanceTenant(kv::TenantId tenant);
+  /// Rebalances every tenant that has proxied connections (the proxy's
+  /// periodic re-balance pass, Section 4.2.2).
+  int RebalanceAll();
+
+  size_t ConnectionsForTenant(kv::TenantId tenant) const;
+  size_t ConnectionsOnNode(const sql::SqlNode* node) const;
+  uint64_t total_migrations() const { return total_migrations_; }
+  uint64_t total_connections_served() const { return next_connection_id_ - 1; }
+
+ private:
+  sql::SqlNode* PickLeastConnections(const std::vector<sql::SqlNode*>& nodes) const;
+  Status FinishConnect(kv::TenantId tenant, sql::SqlNode* node,
+                       std::function<void(StatusOr<Connection*>)>& on_connected);
+
+  sim::EventLoop* loop_;
+  SqlNodePool* pool_;
+  Options options_;
+  Random rng_{0xFACADE};
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_connection_id_ = 1;
+  uint64_t total_migrations_ = 0;
+
+  std::map<kv::TenantId, std::set<std::string>> allowlists_;
+  std::map<kv::TenantId, std::set<std::string>> denylists_;
+  struct ThrottleState {
+    int failures = 0;
+    Nanos blocked_until = 0;
+  };
+  std::map<std::string, ThrottleState> throttle_;
+};
+
+}  // namespace veloce::serverless
+
+#endif  // VELOCE_SERVERLESS_PROXY_H_

@@ -1,0 +1,50 @@
+#include "sim/event_loop.h"
+
+#include <memory>
+
+namespace veloce::sim {
+
+void EventLoop::Run() {
+  while (Step()) {
+  }
+}
+
+bool EventLoop::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the function object must be moved out,
+  // so copy the metadata and const_cast the payload (safe: popped next).
+  Event& top = const_cast<Event&>(queue_.top());
+  const Nanos when = top.when;
+  std::function<void()> fn = std::move(top.fn);
+  queue_.pop();
+  clock_.SetTime(when);
+  fn();
+  return true;
+}
+
+void EventLoop::RunUntil(Nanos deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Step();
+  }
+  if (Now() < deadline) clock_.SetTime(deadline);
+}
+
+PeriodicTask::PeriodicTask(EventLoop* loop, Nanos period, std::function<void()> fn)
+    : loop_(loop), period_(period), fn_(std::move(fn)),
+      alive_(std::make_shared<bool>(false)) {}
+
+void PeriodicTask::Start() {
+  *alive_ = true;
+  Arm();
+}
+
+void PeriodicTask::Arm() {
+  std::shared_ptr<bool> alive = alive_;
+  loop_->Schedule(period_, [this, alive]() {
+    if (!*alive) return;
+    fn_();
+    if (*alive) Arm();
+  });
+}
+
+}  // namespace veloce::sim

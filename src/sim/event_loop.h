@@ -1,0 +1,100 @@
+#ifndef VELOCE_SIM_EVENT_LOOP_H_
+#define VELOCE_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace veloce::sim {
+
+/// Single-threaded discrete-event loop with its own simulated clock.
+///
+/// The serverless control plane experiments (autoscaler windows, 10-minute
+/// drains, hours of production load, cross-region RTTs) are all functions of
+/// time; running them against this loop reproduces the paper's behaviour in
+/// milliseconds of real time. Determinism: events at the same instant fire
+/// in scheduling order.
+class EventLoop {
+ public:
+  explicit EventLoop(Nanos start_time = 0) : clock_(start_time) {}
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// The loop's clock; components running under simulation receive this.
+  Clock* clock() { return &clock_; }
+  Nanos Now() const { return clock_.Now(); }
+
+  /// Schedules `fn` to run `delay` nanoseconds from now (>= 0).
+  void Schedule(Nanos delay, std::function<void()> fn) {
+    ScheduleAt(Now() + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `when` (clamped to now).
+  void ScheduleAt(Nanos when, std::function<void()> fn) {
+    if (when < Now()) when = Now();
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  /// Runs events until the queue is empty.
+  void Run();
+
+  /// Runs events with time <= deadline, then advances the clock to deadline.
+  void RunUntil(Nanos deadline);
+
+  /// Runs events for `delta` nanoseconds from the current time.
+  void RunFor(Nanos delta) { RunUntil(Now() + delta); }
+
+  /// Runs a single event if one is pending; returns false when idle.
+  bool Step();
+
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Nanos when;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  ManualClock clock_;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// Repeating timer helper: reschedules `fn` every `period` until Cancel().
+/// `fn` observes the loop's clock; the first firing is one period from
+/// Start().
+class PeriodicTask {
+ public:
+  PeriodicTask(EventLoop* loop, Nanos period, std::function<void()> fn);
+  ~PeriodicTask() { Cancel(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void Start();
+  void Cancel() { *alive_ = false; }
+
+ private:
+  void Arm();
+
+  EventLoop* loop_;
+  Nanos period_;
+  std::function<void()> fn_;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace veloce::sim
+
+#endif  // VELOCE_SIM_EVENT_LOOP_H_

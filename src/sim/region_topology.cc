@@ -1,0 +1,48 @@
+#include "sim/region_topology.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace veloce::sim {
+
+namespace {
+std::pair<std::string, std::string> Key(const std::string& a, const std::string& b) {
+  return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+}  // namespace
+
+void RegionTopology::AddRegion(const std::string& name, Nanos intra_rtt) {
+  if (HasRegion(name)) return;
+  regions_.push_back(name);
+  rtt_[Key(name, name)] = intra_rtt;
+}
+
+void RegionTopology::SetRtt(const std::string& a, const std::string& b, Nanos rtt) {
+  VELOCE_CHECK(HasRegion(a)) << a;
+  VELOCE_CHECK(HasRegion(b)) << b;
+  rtt_[Key(a, b)] = rtt;
+}
+
+Nanos RegionTopology::Rtt(const std::string& a, const std::string& b) const {
+  auto it = rtt_.find(Key(a, b));
+  VELOCE_CHECK(it != rtt_.end()) << "no RTT for " << a << " <-> " << b;
+  return it->second;
+}
+
+bool RegionTopology::HasRegion(const std::string& name) const {
+  return std::find(regions_.begin(), regions_.end(), name) != regions_.end();
+}
+
+RegionTopology RegionTopology::PaperDefaults() {
+  RegionTopology t;
+  t.AddRegion("us-central1");
+  t.AddRegion("europe-west1");
+  t.AddRegion("asia-southeast1");
+  t.SetRtt("us-central1", "europe-west1", 90 * kMilli);
+  t.SetRtt("us-central1", "asia-southeast1", 160 * kMilli);
+  t.SetRtt("europe-west1", "asia-southeast1", 230 * kMilli);
+  return t;
+}
+
+}  // namespace veloce::sim

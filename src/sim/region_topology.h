@@ -1,0 +1,45 @@
+#ifndef VELOCE_SIM_REGION_TOPOLOGY_H_
+#define VELOCE_SIM_REGION_TOPOLOGY_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace veloce::sim {
+
+/// Inter-region network model: a symmetric RTT matrix over named regions.
+/// Stands in for the real cross-continent links in the multi-region cold
+/// start experiment (Fig 10b): cold start latency there is the number of
+/// blocking cross-region round trips times these RTTs.
+class RegionTopology {
+ public:
+  /// Adds a region; intra-region RTT defaults to `intra_rtt`.
+  void AddRegion(const std::string& name, Nanos intra_rtt = kMilli / 2);
+
+  /// Sets the RTT between two regions (stored symmetrically).
+  void SetRtt(const std::string& a, const std::string& b, Nanos rtt);
+
+  /// Round-trip time between regions; one hop of an RPC costs Rtt/2 each way.
+  Nanos Rtt(const std::string& a, const std::string& b) const;
+  Nanos OneWay(const std::string& a, const std::string& b) const {
+    return Rtt(a, b) / 2;
+  }
+
+  const std::vector<std::string>& regions() const { return regions_; }
+  bool HasRegion(const std::string& name) const;
+
+  /// The three-region topology the paper's multi-region evaluation uses
+  /// (asia-southeast1, europe-west1, us-central1) with representative RTTs.
+  static RegionTopology PaperDefaults();
+
+ private:
+  std::vector<std::string> regions_;
+  std::map<std::pair<std::string, std::string>, Nanos> rtt_;
+};
+
+}  // namespace veloce::sim
+
+#endif  // VELOCE_SIM_REGION_TOPOLOGY_H_

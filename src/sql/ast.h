@@ -1,0 +1,183 @@
+#ifndef VELOCE_SQL_AST_H_
+#define VELOCE_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/datum.h"
+
+namespace veloce::sql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class AggFunc { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression node. A small closed union (no visitors needed at this size).
+struct Expr {
+  enum class Kind {
+    kLiteral,     // datum
+    kColumnRef,   // [table.]column
+    kBinary,      // left op right
+    kNot,         // NOT child
+    kIsNull,      // child IS [NOT] NULL (negated via is_not)
+    kParam,       // $N placeholder
+    kAggregate,   // agg(child) or COUNT(*)
+    kStar,        // * (inside COUNT(*))
+  };
+
+  Kind kind;
+  // kLiteral
+  Datum literal;
+  // kColumnRef
+  std::string table_name;  // optional qualifier
+  std::string column_name;
+  // kBinary
+  BinOp op = BinOp::kEq;
+  ExprPtr left, right;
+  // kNot / kIsNull / kAggregate operand
+  ExprPtr child;
+  bool is_not = false;     // for IS NOT NULL
+  // kParam
+  int param_index = 0;     // 1-based
+  // kAggregate
+  AggFunc agg = AggFunc::kNone;
+
+  static ExprPtr Literal(Datum d) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kLiteral;
+    e->literal = std::move(d);
+    return e;
+  }
+  static ExprPtr Column(std::string table, std::string column) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kColumnRef;
+    e->table_name = std::move(table);
+    e->column_name = std::move(column);
+    return e;
+  }
+  static ExprPtr Binary(BinOp op, ExprPtr l, ExprPtr r) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kBinary;
+    e->op = op;
+    e->left = std::move(l);
+    e->right = std::move(r);
+    return e;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct ColumnDef {
+  std::string name;
+  TypeKind type;
+  bool not_null = false;
+  bool primary_key = false;  // inline PRIMARY KEY
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<ColumnDef> columns;
+  std::vector<std::string> primary_key;  // explicit PRIMARY KEY (...)
+  bool if_not_exists = false;
+};
+
+struct CreateIndexStmt {
+  std::string index;
+  std::string table;
+  std::vector<std::string> columns;
+};
+
+struct DropTableStmt {
+  std::string table;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;             // empty = all in order
+  std::vector<std::vector<ExprPtr>> values;     // one vector per row
+  bool upsert = false;                          // UPSERT / INSERT ... ON CONFLICT
+};
+
+struct SelectItem {
+  ExprPtr expr;       // null for *
+  std::string alias;  // optional AS alias
+};
+
+struct JoinClause {
+  std::string table;
+  std::string alias;
+  ExprPtr on;  // join predicate
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool desc = false;
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;   // empty = SELECT *
+  std::string table;               // FROM (empty = table-less SELECT)
+  std::string table_alias;
+  std::vector<JoinClause> joins;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  std::vector<OrderByItem> order_by;
+  int64_t limit = -1;              // -1 = none
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;
+};
+
+struct TxnStmt {
+  enum class Kind { kBegin, kCommit, kRollback } kind;
+};
+
+struct SetStmt {
+  std::string name;
+  std::string value;
+};
+
+/// A parsed statement: exactly one member is set, per `kind`.
+struct Statement {
+  enum class Kind {
+    kCreateTable, kCreateIndex, kDropTable,
+    kInsert, kSelect, kUpdate, kDelete,
+    kTxn, kSet,
+  };
+  Kind kind;
+  CreateTableStmt create_table;
+  CreateIndexStmt create_index;
+  DropTableStmt drop_table;
+  InsertStmt insert;
+  SelectStmt select;
+  UpdateStmt update;
+  DeleteStmt del;
+  TxnStmt txn;
+  SetStmt set;
+};
+
+}  // namespace veloce::sql
+
+#endif  // VELOCE_SQL_AST_H_

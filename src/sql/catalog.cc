@@ -1,0 +1,203 @@
+#include "sql/catalog.h"
+
+#include "common/codec.h"
+
+namespace veloce::sql {
+
+namespace {
+
+std::string DescKey(TableId id) {
+  std::string key = "sys/desc/";
+  OrderedPutUint64(&key, id);
+  return key;
+}
+
+std::string NameKey(const std::string& name) { return "sys/descname/" + name; }
+
+constexpr char kIdSeqKey[] = "sys/desc_id_seq";
+
+}  // namespace
+
+StatusOr<TableId> Catalog::AllocateTableId() {
+  // Transactional read-modify-write on the id sequence.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    auto txn = connector_->BeginTransaction();
+    std::optional<std::string> cur;
+    VELOCE_RETURN_IF_ERROR(txn->Get(kIdSeqKey, &cur));
+    uint64_t next = 100;  // table ids start at 100 (below reserved for system)
+    if (cur.has_value()) {
+      Slice in(*cur);
+      if (!GetFixed64(&in, &next)) return Status::Corruption("bad id sequence");
+    }
+    std::string updated;
+    PutFixed64(&updated, next + 1);
+    Status s = txn->Put(kIdSeqKey, updated);
+    if (s.IsWriteIntentError()) continue;
+    VELOCE_RETURN_IF_ERROR(s);
+    s = txn->Commit();
+    if (s.IsTransactionRetry() || s.code() == Code::kTransactionAborted) continue;
+    VELOCE_RETURN_IF_ERROR(s);
+    return next;
+  }
+  return Status::TransactionRetry("could not allocate table id");
+}
+
+Status Catalog::PersistDescriptor(const TableDescriptor& desc) {
+  kv::BatchRequest req;
+  std::string id_value;
+  PutFixed64(&id_value, desc.id);
+  req.AddPut(DescKey(desc.id), desc.Encode());
+  req.AddPut(NameKey(desc.name), id_value);
+  return connector_->Send(req).status();
+}
+
+StatusOr<TableDescriptor> Catalog::CreateTable(const TableDescriptor& proto) {
+  std::lock_guard<std::mutex> l(mu_);
+  // Reject duplicates.
+  {
+    kv::BatchRequest req;
+    req.AddGet(NameKey(proto.name));
+    VELOCE_ASSIGN_OR_RETURN(kv::BatchResponse resp, connector_->Send(req));
+    if (resp.responses[0].found) {
+      return Status::AlreadyExists("table already exists: " + proto.name);
+    }
+  }
+  TableDescriptor desc = proto;
+  VELOCE_ASSIGN_OR_RETURN(desc.id, AllocateTableId());
+  // Assign column ids by position if unset.
+  for (size_t i = 0; i < desc.columns.size(); ++i) {
+    if (desc.columns[i].id == 0) desc.columns[i].id = static_cast<uint32_t>(i + 1);
+  }
+  desc.primary.id = kPrimaryIndexId;
+  if (desc.primary.name.empty()) desc.primary.name = "primary";
+  VELOCE_RETURN_IF_ERROR(PersistDescriptor(desc));
+  cache_[desc.name] = desc;
+  return desc;
+}
+
+StatusOr<TableDescriptor> Catalog::GetTable(const std::string& name) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = cache_.find(name);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  kv::BatchRequest req;
+  req.AddGet(NameKey(name));
+  VELOCE_ASSIGN_OR_RETURN(kv::BatchResponse resp, connector_->Send(req));
+  if (!resp.responses[0].found) return Status::NotFound("no such table: " + name);
+  Slice in(resp.responses[0].value);
+  uint64_t id = 0;
+  if (!GetFixed64(&in, &id)) return Status::Corruption("bad table name entry");
+
+  kv::BatchRequest desc_req;
+  desc_req.AddGet(DescKey(id));
+  VELOCE_ASSIGN_OR_RETURN(kv::BatchResponse desc_resp, connector_->Send(desc_req));
+  if (!desc_resp.responses[0].found) {
+    return Status::Corruption("dangling table name entry: " + name);
+  }
+  VELOCE_ASSIGN_OR_RETURN(TableDescriptor desc,
+                          TableDescriptor::Decode(desc_resp.responses[0].value));
+  cache_[name] = desc;
+  return desc;
+}
+
+StatusOr<TableDescriptor> Catalog::GetTableById(TableId id) {
+  std::lock_guard<std::mutex> l(mu_);
+  for (const auto& [name, desc] : cache_) {
+    if (desc.id == id) {
+      ++cache_hits_;
+      return desc;
+    }
+  }
+  kv::BatchRequest req;
+  req.AddGet(DescKey(id));
+  VELOCE_ASSIGN_OR_RETURN(kv::BatchResponse resp, connector_->Send(req));
+  if (!resp.responses[0].found) {
+    return Status::NotFound("no table with id " + std::to_string(id));
+  }
+  VELOCE_ASSIGN_OR_RETURN(TableDescriptor desc,
+                          TableDescriptor::Decode(resp.responses[0].value));
+  cache_[desc.name] = desc;
+  return desc;
+}
+
+StatusOr<std::vector<std::string>> Catalog::ListTables() {
+  kv::BatchRequest req;
+  req.AddScan("sys/descname/", PrefixEnd("sys/descname/"), 0);
+  VELOCE_ASSIGN_OR_RETURN(kv::BatchResponse resp, connector_->Send(req));
+  std::vector<std::string> names;
+  const std::string prefix = "sys/descname/";
+  for (const auto& row : resp.responses[0].rows) {
+    names.push_back(row.key.substr(prefix.size()));
+  }
+  return names;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> l(mu_);
+  VELOCE_ASSIGN_OR_RETURN(TableDescriptor desc, [&]() -> StatusOr<TableDescriptor> {
+    auto it = cache_.find(name);
+    if (it != cache_.end()) return it->second;
+    kv::BatchRequest req;
+    req.AddGet(NameKey(name));
+    VELOCE_ASSIGN_OR_RETURN(kv::BatchResponse resp, connector_->Send(req));
+    if (!resp.responses[0].found) return Status::NotFound("no such table: " + name);
+    Slice in(resp.responses[0].value);
+    uint64_t id = 0;
+    if (!GetFixed64(&in, &id)) return Status::Corruption("bad table name entry");
+    kv::BatchRequest dreq;
+    dreq.AddGet(DescKey(id));
+    VELOCE_ASSIGN_OR_RETURN(kv::BatchResponse dresp, connector_->Send(dreq));
+    if (!dresp.responses[0].found) return Status::Corruption("dangling name entry");
+    return TableDescriptor::Decode(dresp.responses[0].value);
+  }());
+
+  // Delete the data (primary + all secondary indexes), then the metadata.
+  kv::BatchRequest scan;
+  const std::string data_prefix = [&] {
+    std::string p = "tbl";
+    OrderedPutUint64(&p, desc.id);
+    return p;
+  }();
+  scan.AddScan(data_prefix, PrefixEnd(data_prefix), 0);
+  VELOCE_ASSIGN_OR_RETURN(kv::BatchResponse rows, connector_->Send(scan));
+  kv::BatchRequest del;
+  for (const auto& row : rows.responses[0].rows) del.AddDelete(row.key);
+  del.AddDelete(DescKey(desc.id));
+  del.AddDelete(NameKey(name));
+  VELOCE_RETURN_IF_ERROR(connector_->Send(del).status());
+  cache_.erase(name);
+  return Status::OK();
+}
+
+StatusOr<IndexDescriptor> Catalog::CreateIndex(
+    const std::string& table_name, const std::string& index_name,
+    const std::vector<std::string>& column_names) {
+  VELOCE_ASSIGN_OR_RETURN(TableDescriptor desc, GetTable(table_name));
+  std::lock_guard<std::mutex> l(mu_);
+  if (desc.FindIndex(index_name) != nullptr) {
+    return Status::AlreadyExists("index already exists: " + index_name);
+  }
+  IndexDescriptor idx;
+  idx.name = index_name;
+  IndexId max_id = kPrimaryIndexId;
+  for (const auto& existing : desc.secondaries) max_id = std::max(max_id, existing.id);
+  idx.id = max_id + 1;
+  for (const auto& col_name : column_names) {
+    const ColumnDescriptor* col = desc.FindColumn(col_name);
+    if (col == nullptr) return Status::NotFound("no such column: " + col_name);
+    idx.column_ids.push_back(col->id);
+  }
+  desc.secondaries.push_back(idx);
+  VELOCE_RETURN_IF_ERROR(PersistDescriptor(desc));
+  cache_[desc.name] = desc;
+  return idx;
+}
+
+void Catalog::InvalidateCache() {
+  std::lock_guard<std::mutex> l(mu_);
+  cache_.clear();
+}
+
+}  // namespace veloce::sql

@@ -1,0 +1,60 @@
+#ifndef VELOCE_SQL_CATALOG_H_
+#define VELOCE_SQL_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sql/kv_connector.h"
+#include "sql/schema.h"
+
+namespace veloce::sql {
+
+/// Per-tenant schema catalog: the SQL layer's system.descriptor keyspace.
+/// Each SQL node instantiates its own Catalog over its KvConnector; the
+/// backing state lives in the tenant's portion of the shared KV keyspace,
+/// so every node of the tenant sees the same schema and a cold-starting
+/// node's first action is reading descriptors from here (Section 3.2.5).
+///
+/// Layout (logical keys, before tenant prefixing):
+///   sys/desc/<table_id ordered>   -> TableDescriptor
+///   sys/descname/<name>           -> table_id (fixed64)
+///   sys/desc_id_seq               -> next table id (fixed64)
+class Catalog {
+ public:
+  explicit Catalog(KvConnector* connector) : connector_(connector) {}
+
+  /// Creates a table from a prototype carrying name/columns/primary key;
+  /// ids are assigned here.
+  StatusOr<TableDescriptor> CreateTable(const TableDescriptor& proto);
+
+  StatusOr<TableDescriptor> GetTable(const std::string& name);
+  StatusOr<TableDescriptor> GetTableById(TableId id);
+  StatusOr<std::vector<std::string>> ListTables();
+  Status DropTable(const std::string& name);
+
+  /// Registers a secondary index (the executor backfills existing rows).
+  StatusOr<IndexDescriptor> CreateIndex(const std::string& table_name,
+                                        const std::string& index_name,
+                                        const std::vector<std::string>& column_names);
+
+  /// Drops the in-memory descriptor cache (tests; schema-change pickup).
+  void InvalidateCache();
+  /// Number of KV reads served from cache since construction (stats).
+  uint64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  Status PersistDescriptor(const TableDescriptor& desc);
+  StatusOr<TableId> AllocateTableId();
+
+  KvConnector* connector_;
+  std::mutex mu_;
+  std::map<std::string, TableDescriptor> cache_;  // by name
+  uint64_t cache_hits_ = 0;
+};
+
+}  // namespace veloce::sql
+
+#endif  // VELOCE_SQL_CATALOG_H_

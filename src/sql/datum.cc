@@ -1,0 +1,179 @@
+#include "sql/datum.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/codec.h"
+
+namespace veloce::sql {
+
+std::string_view TypeName(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kNull: return "NULL";
+    case TypeKind::kBool: return "BOOL";
+    case TypeKind::kInt: return "INT";
+    case TypeKind::kDouble: return "DOUBLE";
+    case TypeKind::kString: return "STRING";
+  }
+  return "?";
+}
+
+double Datum::AsDouble() const {
+  switch (kind_) {
+    case TypeKind::kInt: return static_cast<double>(int_value());
+    case TypeKind::kDouble: return double_value();
+    case TypeKind::kBool: return bool_value() ? 1 : 0;
+    default: return 0;
+  }
+}
+
+int Datum::Compare(const Datum& other) const {
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  const bool numeric = (kind_ == TypeKind::kInt || kind_ == TypeKind::kDouble) &&
+                       (other.kind_ == TypeKind::kInt || other.kind_ == TypeKind::kDouble);
+  if (numeric) {
+    if (kind_ == TypeKind::kInt && other.kind_ == TypeKind::kInt) {
+      const int64_t a = int_value(), b = other.int_value();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    const double a = AsDouble(), b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (kind_ != other.kind_) {
+    return static_cast<int>(kind_) < static_cast<int>(other.kind_) ? -1 : 1;
+  }
+  switch (kind_) {
+    case TypeKind::kBool: {
+      const int a = bool_value(), b = other.bool_value();
+      return a - b;
+    }
+    case TypeKind::kString:
+      return Slice(string_value()).Compare(Slice(other.string_value()));
+    default:
+      return 0;
+  }
+}
+
+std::string Datum::ToString() const {
+  switch (kind_) {
+    case TypeKind::kNull: return "NULL";
+    case TypeKind::kBool: return bool_value() ? "true" : "false";
+    case TypeKind::kInt: return std::to_string(int_value());
+    case TypeKind::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", double_value());
+      return buf;
+    }
+    case TypeKind::kString: return string_value();
+  }
+  return "?";
+}
+
+void Datum::EncodeKey(std::string* dst) const {
+  dst->push_back(static_cast<char>(kind_));
+  switch (kind_) {
+    case TypeKind::kNull: break;
+    case TypeKind::kBool: dst->push_back(bool_value() ? 1 : 0); break;
+    case TypeKind::kInt: OrderedPutInt64(dst, int_value()); break;
+    case TypeKind::kDouble: OrderedPutDouble(dst, double_value()); break;
+    case TypeKind::kString: OrderedPutString(dst, string_value()); break;
+  }
+}
+
+Status Datum::DecodeKey(Slice* input, Datum* out) {
+  if (input->empty()) return Status::Corruption("empty datum key");
+  const TypeKind kind = static_cast<TypeKind>((*input)[0]);
+  input->RemovePrefix(1);
+  switch (kind) {
+    case TypeKind::kNull:
+      *out = Datum::Null();
+      return Status::OK();
+    case TypeKind::kBool: {
+      if (input->empty()) return Status::Corruption("bad bool key");
+      *out = Datum::Bool((*input)[0] != 0);
+      input->RemovePrefix(1);
+      return Status::OK();
+    }
+    case TypeKind::kInt: {
+      int64_t v;
+      if (!OrderedGetInt64(input, &v)) return Status::Corruption("bad int key");
+      *out = Datum::Int(v);
+      return Status::OK();
+    }
+    case TypeKind::kDouble: {
+      double v;
+      if (!OrderedGetDouble(input, &v)) return Status::Corruption("bad double key");
+      *out = Datum::Double(v);
+      return Status::OK();
+    }
+    case TypeKind::kString: {
+      std::string v;
+      if (!OrderedGetString(input, &v)) return Status::Corruption("bad string key");
+      *out = Datum::String(std::move(v));
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unknown datum kind in key");
+}
+
+void Datum::EncodeValue(std::string* dst) const {
+  dst->push_back(static_cast<char>(kind_));
+  switch (kind_) {
+    case TypeKind::kNull: break;
+    case TypeKind::kBool: dst->push_back(bool_value() ? 1 : 0); break;
+    case TypeKind::kInt: PutVarint64(dst, static_cast<uint64_t>(int_value())); break;
+    case TypeKind::kDouble: {
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(double));
+      const double v = double_value();
+      std::memcpy(&bits, &v, sizeof(bits));
+      PutFixed64(dst, bits);
+      break;
+    }
+    case TypeKind::kString: PutLengthPrefixed(dst, string_value()); break;
+  }
+}
+
+Status Datum::DecodeValue(Slice* input, Datum* out) {
+  if (input->empty()) return Status::Corruption("empty datum value");
+  const TypeKind kind = static_cast<TypeKind>((*input)[0]);
+  input->RemovePrefix(1);
+  switch (kind) {
+    case TypeKind::kNull:
+      *out = Datum::Null();
+      return Status::OK();
+    case TypeKind::kBool: {
+      if (input->empty()) return Status::Corruption("bad bool value");
+      *out = Datum::Bool((*input)[0] != 0);
+      input->RemovePrefix(1);
+      return Status::OK();
+    }
+    case TypeKind::kInt: {
+      uint64_t v;
+      if (!GetVarint64(input, &v)) return Status::Corruption("bad int value");
+      *out = Datum::Int(static_cast<int64_t>(v));
+      return Status::OK();
+    }
+    case TypeKind::kDouble: {
+      uint64_t bits;
+      if (!GetFixed64(input, &bits)) return Status::Corruption("bad double value");
+      double v;
+      std::memcpy(&v, &bits, sizeof(v));
+      *out = Datum::Double(v);
+      return Status::OK();
+    }
+    case TypeKind::kString: {
+      Slice v;
+      if (!GetLengthPrefixed(input, &v)) return Status::Corruption("bad string value");
+      *out = Datum::String(v.ToString());
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unknown datum kind in value");
+}
+
+}  // namespace veloce::sql

@@ -1,0 +1,90 @@
+#ifndef VELOCE_SQL_DATUM_H_
+#define VELOCE_SQL_DATUM_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace veloce::sql {
+
+enum class TypeKind : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,     // INT / INT64 / BIGINT
+  kDouble = 3,  // FLOAT / DOUBLE / DECIMAL (approximated)
+  kString = 4,  // STRING / TEXT / VARCHAR
+};
+
+std::string_view TypeName(TypeKind kind);
+
+/// A SQL value. NULL is its own kind. Comparison follows SQL ordering with
+/// NULL sorting first (the index ordering convention).
+class Datum {
+ public:
+  Datum() : kind_(TypeKind::kNull) {}
+  static Datum Null() { return Datum(); }
+  static Datum Bool(bool v) {
+    Datum d;
+    d.kind_ = TypeKind::kBool;
+    d.value_ = v;
+    return d;
+  }
+  static Datum Int(int64_t v) {
+    Datum d;
+    d.kind_ = TypeKind::kInt;
+    d.value_ = v;
+    return d;
+  }
+  static Datum Double(double v) {
+    Datum d;
+    d.kind_ = TypeKind::kDouble;
+    d.value_ = v;
+    return d;
+  }
+  static Datum String(std::string v) {
+    Datum d;
+    d.kind_ = TypeKind::kString;
+    d.value_ = std::move(v);
+    return d;
+  }
+
+  TypeKind kind() const { return kind_; }
+  bool is_null() const { return kind_ == TypeKind::kNull; }
+
+  bool bool_value() const { return std::get<bool>(value_); }
+  int64_t int_value() const { return std::get<int64_t>(value_); }
+  double double_value() const { return std::get<double>(value_); }
+  const std::string& string_value() const { return std::get<std::string>(value_); }
+
+  /// Numeric value as double (int or double kinds).
+  double AsDouble() const;
+
+  /// Three-way compare. NULL < everything; cross numeric kinds compare by
+  /// value; other cross-kind comparisons order by kind (never produced by
+  /// well-typed plans).
+  int Compare(const Datum& other) const;
+
+  bool operator==(const Datum& other) const { return Compare(other) == 0; }
+  bool operator<(const Datum& other) const { return Compare(other) < 0; }
+
+  std::string ToString() const;
+
+  /// Order-preserving key encoding (for index keys).
+  void EncodeKey(std::string* dst) const;
+  static Status DecodeKey(Slice* input, Datum* out);
+
+  /// Compact (non-ordered) value encoding (for row values).
+  void EncodeValue(std::string* dst) const;
+  static Status DecodeValue(Slice* input, Datum* out);
+
+ private:
+  TypeKind kind_;
+  std::variant<bool, int64_t, double, std::string> value_;
+};
+
+}  // namespace veloce::sql
+
+#endif  // VELOCE_SQL_DATUM_H_

@@ -1,0 +1,1290 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/codec.h"
+#include "common/logging.h"
+#include "sql/pushdown.h"
+
+namespace veloce::sql {
+
+// ---------------------------------------------------------------------------
+// Evaluation machinery
+// ---------------------------------------------------------------------------
+
+struct Executor::Binding {
+  std::string alias;  // effective name for qualification
+  TableDescriptor desc;
+  size_t offset = 0;  // column offset within the concatenated row
+};
+
+struct Executor::EvalContext {
+  const std::vector<Binding>* bindings = nullptr;
+  const Row* row = nullptr;
+  const std::vector<Datum>* params = nullptr;
+  /// Pre-computed aggregate results (group evaluation phase only).
+  const std::map<const Expr*, Datum>* agg_values = nullptr;
+};
+
+namespace {
+
+using Binding = Executor::Binding;
+
+StatusOr<int> ResolveColumn(const std::vector<Binding>& bindings,
+                            const std::string& qualifier, const std::string& name) {
+  int found = -1;
+  for (const auto& binding : bindings) {
+    if (!qualifier.empty() && binding.alias != qualifier) continue;
+    const ColumnDescriptor* col = binding.desc.FindColumn(name);
+    if (col == nullptr) continue;
+    const int pos = static_cast<int>(binding.offset) + binding.desc.ColumnIndex(col->id);
+    if (found != -1) {
+      return Status::InvalidArgument("ambiguous column reference: " + name);
+    }
+    found = pos;
+  }
+  if (found == -1) return Status::NotFound("no such column: " + name);
+  return found;
+}
+
+bool Truthy(const Datum& d) {
+  switch (d.kind()) {
+    case TypeKind::kNull: return false;
+    case TypeKind::kBool: return d.bool_value();
+    case TypeKind::kInt: return d.int_value() != 0;
+    case TypeKind::kDouble: return d.double_value() != 0;
+    case TypeKind::kString: return !d.string_value().empty();
+  }
+  return false;
+}
+
+StatusOr<Datum> Eval(const Expr& expr, const Executor::EvalContext& ctx);
+
+StatusOr<Datum> EvalBinary(const Expr& expr, const Executor::EvalContext& ctx) {
+  // AND/OR get short-circuit + 3-valued-ish treatment (NULL == false).
+  if (expr.op == BinOp::kAnd || expr.op == BinOp::kOr) {
+    VELOCE_ASSIGN_OR_RETURN(Datum left, Eval(*expr.left, ctx));
+    const bool lval = Truthy(left);
+    if (expr.op == BinOp::kAnd && !lval) return Datum::Bool(false);
+    if (expr.op == BinOp::kOr && lval) return Datum::Bool(true);
+    VELOCE_ASSIGN_OR_RETURN(Datum right, Eval(*expr.right, ctx));
+    return Datum::Bool(Truthy(right));
+  }
+  VELOCE_ASSIGN_OR_RETURN(Datum left, Eval(*expr.left, ctx));
+  VELOCE_ASSIGN_OR_RETURN(Datum right, Eval(*expr.right, ctx));
+  switch (expr.op) {
+    case BinOp::kEq: case BinOp::kNe: case BinOp::kLt:
+    case BinOp::kLe: case BinOp::kGt: case BinOp::kGe: {
+      if (left.is_null() || right.is_null()) return Datum::Null();
+      const int c = left.Compare(right);
+      switch (expr.op) {
+        case BinOp::kEq: return Datum::Bool(c == 0);
+        case BinOp::kNe: return Datum::Bool(c != 0);
+        case BinOp::kLt: return Datum::Bool(c < 0);
+        case BinOp::kLe: return Datum::Bool(c <= 0);
+        case BinOp::kGt: return Datum::Bool(c > 0);
+        default: return Datum::Bool(c >= 0);
+      }
+    }
+    case BinOp::kAdd: case BinOp::kSub: case BinOp::kMul:
+    case BinOp::kDiv: case BinOp::kMod: {
+      if (left.is_null() || right.is_null()) return Datum::Null();
+      if (expr.op == BinOp::kAdd && left.kind() == TypeKind::kString &&
+          right.kind() == TypeKind::kString) {
+        return Datum::String(left.string_value() + right.string_value());
+      }
+      const bool both_int =
+          left.kind() == TypeKind::kInt && right.kind() == TypeKind::kInt;
+      if (both_int && expr.op != BinOp::kDiv) {
+        const int64_t a = left.int_value(), b = right.int_value();
+        switch (expr.op) {
+          case BinOp::kAdd: return Datum::Int(a + b);
+          case BinOp::kSub: return Datum::Int(a - b);
+          case BinOp::kMul: return Datum::Int(a * b);
+          case BinOp::kMod:
+            if (b == 0) return Status::InvalidArgument("modulo by zero");
+            return Datum::Int(a % b);
+          default: break;
+        }
+      }
+      const double a = left.AsDouble(), b = right.AsDouble();
+      switch (expr.op) {
+        case BinOp::kAdd: return Datum::Double(a + b);
+        case BinOp::kSub: return Datum::Double(a - b);
+        case BinOp::kMul: return Datum::Double(a * b);
+        case BinOp::kDiv:
+          if (b == 0) return Status::InvalidArgument("division by zero");
+          return Datum::Double(a / b);
+        case BinOp::kMod:
+          return Status::InvalidArgument("modulo on non-integers");
+        default: break;
+      }
+      break;
+    }
+    default: break;
+  }
+  return Status::Internal("unhandled binary operator");
+}
+
+StatusOr<Datum> Eval(const Expr& expr, const Executor::EvalContext& ctx) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal;
+    case Expr::Kind::kColumnRef: {
+      VELOCE_ASSIGN_OR_RETURN(
+          int pos, ResolveColumn(*ctx.bindings, expr.table_name, expr.column_name));
+      return (*ctx.row)[static_cast<size_t>(pos)];
+    }
+    case Expr::Kind::kBinary:
+      return EvalBinary(expr, ctx);
+    case Expr::Kind::kNot: {
+      VELOCE_ASSIGN_OR_RETURN(Datum v, Eval(*expr.child, ctx));
+      return Datum::Bool(!Truthy(v));
+    }
+    case Expr::Kind::kIsNull: {
+      VELOCE_ASSIGN_OR_RETURN(Datum v, Eval(*expr.child, ctx));
+      return Datum::Bool(expr.is_not ? !v.is_null() : v.is_null());
+    }
+    case Expr::Kind::kParam: {
+      if (ctx.params == nullptr ||
+          expr.param_index < 1 ||
+          static_cast<size_t>(expr.param_index) > ctx.params->size()) {
+        return Status::InvalidArgument("missing parameter $" +
+                                       std::to_string(expr.param_index));
+      }
+      return (*ctx.params)[static_cast<size_t>(expr.param_index - 1)];
+    }
+    case Expr::Kind::kAggregate: {
+      if (ctx.agg_values == nullptr) {
+        return Status::InvalidArgument("aggregate outside of aggregation context");
+      }
+      auto it = ctx.agg_values->find(&expr);
+      if (it == ctx.agg_values->end()) {
+        return Status::Internal("aggregate value not computed");
+      }
+      return it->second;
+    }
+    case Expr::Kind::kStar:
+      return Status::InvalidArgument("'*' outside COUNT(*)");
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+void CollectConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == Expr::Kind::kBinary && expr->op == BinOp::kAnd) {
+    CollectConjuncts(expr->left.get(), out);
+    CollectConjuncts(expr->right.get(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+void CollectAggregates(const Expr* expr, std::vector<const Expr*>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == Expr::Kind::kAggregate) {
+    out->push_back(expr);
+    return;  // no nested aggregates
+  }
+  CollectAggregates(expr->left.get(), out);
+  CollectAggregates(expr->right.get(), out);
+  CollectAggregates(expr->child.get(), out);
+}
+
+// Bind-time validation: every column reference must resolve and every $N
+// parameter must be bound, even when no rows flow (real databases error at
+// plan time, not per row).
+Status ValidateExpr(const Expr* expr, const std::vector<Binding>& bindings,
+                    const std::vector<Datum>* params) {
+  if (expr == nullptr) return Status::OK();
+  if (expr->kind == Expr::Kind::kColumnRef) {
+    return ResolveColumn(bindings, expr->table_name, expr->column_name).status();
+  }
+  if (expr->kind == Expr::Kind::kParam) {
+    const size_t bound = params == nullptr ? 0 : params->size();
+    if (expr->param_index < 1 || static_cast<size_t>(expr->param_index) > bound) {
+      return Status::InvalidArgument("missing parameter $" +
+                                     std::to_string(expr->param_index));
+    }
+    return Status::OK();
+  }
+  VELOCE_RETURN_IF_ERROR(ValidateExpr(expr->left.get(), bindings, params));
+  VELOCE_RETURN_IF_ERROR(ValidateExpr(expr->right.get(), bindings, params));
+  return ValidateExpr(expr->child.get(), bindings, params);
+}
+
+void CollectColumnNames(const Expr* expr, std::vector<std::string>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == Expr::Kind::kColumnRef) out->push_back(expr->column_name);
+  CollectColumnNames(expr->left.get(), out);
+  CollectColumnNames(expr->right.get(), out);
+  CollectColumnNames(expr->child.get(), out);
+}
+
+bool HasAggregate(const Expr* expr) {
+  std::vector<const Expr*> aggs;
+  CollectAggregates(expr, &aggs);
+  return !aggs.empty();
+}
+
+/// Running state for one aggregate within one group.
+struct AggState {
+  uint64_t count = 0;
+  double sum = 0;
+  bool sum_is_int = true;
+  int64_t isum = 0;
+  Datum min, max;
+  bool has_minmax = false;
+
+  void Accumulate(const Datum& v, AggFunc func) {
+    if (func == AggFunc::kCount) {
+      ++count;  // null-ness handled by the caller for COUNT(expr)
+      return;
+    }
+    if (v.is_null()) return;
+    ++count;
+    if (func == AggFunc::kSum || func == AggFunc::kAvg) {
+      if (v.kind() == TypeKind::kInt) {
+        isum += v.int_value();
+      } else {
+        sum_is_int = false;
+      }
+      sum += v.AsDouble();
+    } else if (func == AggFunc::kMin || func == AggFunc::kMax) {
+      if (!has_minmax) {
+        min = max = v;
+        has_minmax = true;
+      } else {
+        if (v.Compare(min) < 0) min = v;
+        if (v.Compare(max) > 0) max = v;
+      }
+    }
+  }
+
+  Datum Result(AggFunc func) const {
+    switch (func) {
+      case AggFunc::kCount: return Datum::Int(static_cast<int64_t>(count));
+      case AggFunc::kSum:
+        if (count == 0) return Datum::Null();
+        return sum_is_int ? Datum::Int(isum) : Datum::Double(sum);
+      case AggFunc::kAvg:
+        if (count == 0) return Datum::Null();
+        return Datum::Double(sum / static_cast<double>(count));
+      case AggFunc::kMin: return has_minmax ? min : Datum::Null();
+      case AggFunc::kMax: return has_minmax ? max : Datum::Null();
+      case AggFunc::kNone: break;
+    }
+    return Datum::Null();
+  }
+};
+
+/// Reads either through the session transaction or the non-transactional
+/// connector path.
+struct Reader {
+  TenantTxn* txn;
+  KvConnector* connector;
+
+  Status Get(const std::string& key, std::optional<std::string>* value) {
+    if (txn != nullptr) return txn->Get(key, value);
+    kv::BatchRequest req;
+    req.AddGet(key);
+    VELOCE_ASSIGN_OR_RETURN(kv::BatchResponse resp, connector->Send(req));
+    if (resp.responses[0].found) {
+      *value = std::move(resp.responses[0].value);
+    } else {
+      value->reset();
+    }
+    return Status::OK();
+  }
+
+  Status Scan(const std::string& start, const std::string& end, uint64_t limit,
+              std::vector<kv::MvccScanEntry>* rows,
+              const std::string& pushdown_spec = std::string()) {
+    if (txn != nullptr) return txn->Scan(start, end, limit, rows);
+    kv::BatchRequest req;
+    if (pushdown_spec.empty()) {
+      req.AddScan(start, end, limit);
+    } else {
+      req.AddScanWithPushdown(start, end, limit, pushdown_spec);
+    }
+    VELOCE_ASSIGN_OR_RETURN(kv::BatchResponse resp, connector->Send(req));
+    *rows = std::move(resp.responses[0].rows);
+    return Status::OK();
+  }
+};
+
+std::string DeriveColumnName(const Expr& expr, const std::string& alias) {
+  if (!alias.empty()) return alias;
+  switch (expr.kind) {
+    case Expr::Kind::kColumnRef: return expr.column_name;
+    case Expr::Kind::kAggregate:
+      switch (expr.agg) {
+        case AggFunc::kCount: return "count";
+        case AggFunc::kSum: return "sum";
+        case AggFunc::kAvg: return "avg";
+        case AggFunc::kMin: return "min";
+        case AggFunc::kMax: return "max";
+        default: return "agg";
+      }
+    default: return "?column?";
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ResultSet
+// ---------------------------------------------------------------------------
+
+std::string ResultSet::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    out += columns[i];
+    out += (i + 1 < columns.size()) ? " | " : "\n";
+  }
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out += row[i].ToString();
+      out += (i + 1 < row.size()) ? " | " : "\n";
+    }
+  }
+  if (columns.empty()) {
+    out += "(" + std::to_string(rows_affected) + " rows affected)\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+StatusOr<ResultSet> Executor::Execute(const Statement& stmt, TenantTxn* txn,
+                                      const std::vector<Datum>* params) {
+  switch (stmt.kind) {
+    case Statement::Kind::kCreateTable:
+      return ExecCreateTable(stmt.create_table);
+    case Statement::Kind::kCreateIndex:
+      return ExecCreateIndex(stmt.create_index, txn);
+    case Statement::Kind::kDropTable:
+      return ExecDropTable(stmt.drop_table);
+    case Statement::Kind::kSelect:
+      return ExecSelect(stmt.select, txn, params);
+    case Statement::Kind::kInsert:
+    case Statement::Kind::kUpdate:
+    case Statement::Kind::kDelete: {
+      // DML needs a transaction. Use the session's, or an implicit one
+      // with a small retry loop for serializability conflicts.
+      if (txn != nullptr) {
+        if (stmt.kind == Statement::Kind::kInsert) return ExecInsert(stmt.insert, txn, params);
+        if (stmt.kind == Statement::Kind::kUpdate) return ExecUpdate(stmt.update, txn, params);
+        return ExecDelete(stmt.del, txn, params);
+      }
+      Status last = Status::OK();
+      for (int attempt = 0; attempt < 5; ++attempt) {
+        auto implicit = connector_->BeginTransaction();
+        StatusOr<ResultSet> result =
+            stmt.kind == Statement::Kind::kInsert
+                ? ExecInsert(stmt.insert, implicit.get(), params)
+                : stmt.kind == Statement::Kind::kUpdate
+                      ? ExecUpdate(stmt.update, implicit.get(), params)
+                      : ExecDelete(stmt.del, implicit.get(), params);
+        if (!result.ok()) {
+          (void)implicit->Rollback();
+          last = result.status();
+          if (last.IsWriteIntentError() || last.IsTransactionRetry() ||
+              last.code() == Code::kTransactionAborted) {
+            continue;
+          }
+          return last;
+        }
+        Status commit = implicit->Commit();
+        if (commit.ok()) return result;
+        last = commit;
+        if (!commit.IsTransactionRetry() &&
+            commit.code() != Code::kTransactionAborted) {
+          return commit;
+        }
+      }
+      return last.ok() ? Status::TransactionRetry("implicit txn retries exhausted")
+                       : last;
+    }
+    case Statement::Kind::kTxn:
+      return Status::InvalidArgument("transaction control handled by the session");
+    case Statement::Kind::kSet:
+      return Status::InvalidArgument("SET handled by the session");
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+StatusOr<ResultSet> Executor::ExecCreateTable(const CreateTableStmt& stmt) {
+  TableDescriptor proto;
+  proto.name = stmt.table;
+  std::vector<std::string> pk = stmt.primary_key;
+  for (const auto& col_def : stmt.columns) {
+    ColumnDescriptor col;
+    col.name = col_def.name;
+    col.type = col_def.type;
+    col.nullable = !col_def.not_null;
+    proto.columns.push_back(col);
+    if (col_def.primary_key) pk.push_back(col_def.name);
+  }
+  if (pk.empty()) {
+    return Status::InvalidArgument("table requires a PRIMARY KEY: " + stmt.table);
+  }
+  // Assign column ids now so the primary index can reference them.
+  for (size_t i = 0; i < proto.columns.size(); ++i) {
+    proto.columns[i].id = static_cast<uint32_t>(i + 1);
+  }
+  for (const auto& name : pk) {
+    const ColumnDescriptor* col = proto.FindColumn(name);
+    if (col == nullptr) {
+      return Status::InvalidArgument("primary key column not found: " + name);
+    }
+    proto.primary.column_ids.push_back(col->id);
+    // PK columns are implicitly NOT NULL.
+    proto.columns[static_cast<size_t>(proto.ColumnIndex(col->id))].nullable = false;
+  }
+  auto created = catalog_->CreateTable(proto);
+  if (!created.ok() && created.status().code() == Code::kAlreadyExists &&
+      stmt.if_not_exists) {
+    return ResultSet{};
+  }
+  VELOCE_RETURN_IF_ERROR(created.status());
+  return ResultSet{};
+}
+
+StatusOr<ResultSet> Executor::ExecCreateIndex(const CreateIndexStmt& stmt,
+                                              TenantTxn* txn) {
+  VELOCE_ASSIGN_OR_RETURN(IndexDescriptor idx,
+                          catalog_->CreateIndex(stmt.table, stmt.index, stmt.columns));
+  // Backfill existing rows.
+  VELOCE_ASSIGN_OR_RETURN(TableDescriptor desc, catalog_->GetTable(stmt.table));
+  std::vector<Row> rows;
+  VELOCE_RETURN_IF_ERROR(ScanTable(desc, nullptr, txn, nullptr, &rows));
+  kv::BatchRequest backfill;
+  for (const Row& row : rows) {
+    backfill.AddPut(EncodeSecondaryKey(desc, idx, row), "");
+  }
+  if (!backfill.requests.empty()) {
+    VELOCE_RETURN_IF_ERROR(connector_->Send(backfill).status());
+  }
+  ResultSet result;
+  result.rows_affected = rows.size();
+  return result;
+}
+
+StatusOr<ResultSet> Executor::ExecDropTable(const DropTableStmt& stmt) {
+  VELOCE_RETURN_IF_ERROR(catalog_->DropTable(stmt.table));
+  return ResultSet{};
+}
+
+// --- scanning ---------------------------------------------------------------
+
+Status Executor::ScanTable(const TableDescriptor& desc, const Expr* where,
+                           TenantTxn* txn, const std::vector<Datum>* params,
+                           std::vector<Row>* rows,
+                           const std::vector<uint32_t>* needed_columns) {
+  Reader reader{txn, connector_};
+  // Extract primary-key constraints from the WHERE conjuncts.
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(where, &conjuncts);
+
+  // For constraint extraction, literal/param-only expressions can be
+  // evaluated without a row.
+  EvalContext const_ctx;
+  std::vector<Binding> no_bindings;
+  Row empty_row;
+  const_ctx.bindings = &no_bindings;
+  const_ctx.row = &empty_row;
+  const_ctx.params = params;
+
+  auto constant_value = [&](const Expr& e) -> std::optional<Datum> {
+    if (e.kind == Expr::Kind::kLiteral) return e.literal;
+    if (e.kind == Expr::Kind::kParam) {
+      auto v = Eval(e, const_ctx);
+      if (v.ok()) return *v;
+    }
+    return std::nullopt;
+  };
+
+  std::map<uint32_t, Datum> eq;  // column id -> constant
+  struct RangeBound {
+    std::optional<Datum> lower, upper;
+    bool lower_inclusive = true, upper_inclusive = true;
+  };
+  std::map<uint32_t, RangeBound> ranges;
+  for (const Expr* c : conjuncts) {
+    if (c->kind != Expr::Kind::kBinary) continue;
+    const Expr* col_side = nullptr;
+    const Expr* val_side = nullptr;
+    BinOp op = c->op;
+    if (c->left->kind == Expr::Kind::kColumnRef) {
+      col_side = c->left.get();
+      val_side = c->right.get();
+    } else if (c->right->kind == Expr::Kind::kColumnRef) {
+      col_side = c->right.get();
+      val_side = c->left.get();
+      // Flip the comparison: 5 < a  ==  a > 5.
+      switch (op) {
+        case BinOp::kLt: op = BinOp::kGt; break;
+        case BinOp::kLe: op = BinOp::kGe; break;
+        case BinOp::kGt: op = BinOp::kLt; break;
+        case BinOp::kGe: op = BinOp::kLe; break;
+        default: break;
+      }
+    } else {
+      continue;
+    }
+    const ColumnDescriptor* col = desc.FindColumn(col_side->column_name);
+    if (col == nullptr) continue;
+    auto value = constant_value(*val_side);
+    if (!value.has_value()) continue;
+    if (op == BinOp::kEq) {
+      eq.emplace(col->id, *value);
+    } else if (op == BinOp::kLt || op == BinOp::kLe) {
+      auto& bound = ranges[col->id];
+      bound.upper = *value;
+      bound.upper_inclusive = op == BinOp::kLe;
+    } else if (op == BinOp::kGt || op == BinOp::kGe) {
+      auto& bound = ranges[col->id];
+      bound.lower = *value;
+      bound.lower_inclusive = op == BinOp::kGe;
+    }
+  }
+
+  // Build the tightest primary-key span: equality prefix, then one range.
+  std::string start = IndexPrefix(desc.id, kPrimaryIndexId);
+  size_t eq_cols = 0;
+  for (uint32_t col_id : desc.primary.column_ids) {
+    auto it = eq.find(col_id);
+    if (it == eq.end()) break;
+    it->second.EncodeKey(&start);
+    ++eq_cols;
+  }
+  if (eq_cols == desc.primary.column_ids.size()) {
+    // Full PK: point lookup.
+    std::optional<std::string> value;
+    VELOCE_RETURN_IF_ERROR(reader.Get(start, &value));
+    if (value.has_value()) {
+      Row row;
+      VELOCE_RETURN_IF_ERROR(DecodeRow(desc, start, *value, &row));
+      rows->push_back(std::move(row));
+    }
+    return Status::OK();
+  }
+
+  std::string end = PrefixEnd(start);
+  // Range constraint on the first unconstrained PK column tightens further.
+  if (eq_cols < desc.primary.column_ids.size()) {
+    const uint32_t next_col = desc.primary.column_ids[eq_cols];
+    auto it = ranges.find(next_col);
+    if (it != ranges.end()) {
+      if (it->second.lower.has_value()) {
+        std::string bound = start;
+        it->second.lower->EncodeKey(&bound);
+        if (!it->second.lower_inclusive) bound.push_back('\xFF');
+        if (bound > start) start = bound;
+      }
+      if (it->second.upper.has_value()) {
+        std::string bound = IndexPrefix(desc.id, kPrimaryIndexId);
+        // Rebuild the eq prefix, then the upper bound datum.
+        {
+          std::string tmp = IndexPrefix(desc.id, kPrimaryIndexId);
+          size_t i = 0;
+          for (uint32_t col_id : desc.primary.column_ids) {
+            if (i >= eq_cols) break;
+            eq.find(col_id)->second.EncodeKey(&tmp);
+            ++i;
+          }
+          bound = tmp;
+        }
+        it->second.upper->EncodeKey(&bound);
+        if (it->second.upper_inclusive) bound = PrefixEnd(bound);
+        if (bound < end) end = bound;
+      }
+    }
+  }
+
+  // No useful PK constraint and a secondary index matches? Use an index
+  // scan + lookup join back to the primary index.
+  if (eq_cols == 0) {
+    for (const auto& index : desc.secondaries) {
+      if (index.column_ids.empty()) continue;
+      auto it = eq.find(index.column_ids[0]);
+      if (it == eq.end()) continue;
+      // Build the index span over the leading equality columns.
+      std::string idx_start = IndexPrefix(desc.id, index.id);
+      for (uint32_t col_id : index.column_ids) {
+        auto eq_it = eq.find(col_id);
+        if (eq_it == eq.end()) break;
+        eq_it->second.EncodeKey(&idx_start);
+      }
+      std::vector<kv::MvccScanEntry> entries;
+      VELOCE_RETURN_IF_ERROR(
+          reader.Scan(idx_start, PrefixEnd(idx_start), 0, &entries));
+      for (const auto& entry : entries) {
+        std::vector<Datum> pk;
+        VELOCE_RETURN_IF_ERROR(DecodeSecondaryKeyPk(desc, index, entry.key, &pk));
+        const std::string pk_key = EncodePrimaryKeyFromDatums(desc, pk);
+        std::optional<std::string> value;
+        VELOCE_RETURN_IF_ERROR(reader.Get(pk_key, &value));
+        if (!value.has_value()) continue;  // index entry racing a delete
+        Row row;
+        VELOCE_RETURN_IF_ERROR(DecodeRow(desc, pk_key, *value, &row));
+        rows->push_back(std::move(row));
+      }
+      return Status::OK();
+    }
+  }
+
+  // Row-filter / projection push-down (DESIGN.md Section 6): eligible
+  // residual conjuncts and the needed-column list travel with the scan and
+  // evaluate at the KV node. Only for non-transactional reads (txn scans
+  // must observe their own intents through the txn path).
+  std::string pushdown_spec;
+  if (pushdown_enabled_ && txn == nullptr) {
+    PushdownSpec spec;
+    for (const Expr* c : conjuncts) {
+      if (c->kind != Expr::Kind::kBinary) continue;
+      const Expr* col_side = nullptr;
+      const Expr* val_side = nullptr;
+      BinOp op = c->op;
+      if (c->left->kind == Expr::Kind::kColumnRef) {
+        col_side = c->left.get();
+        val_side = c->right.get();
+      } else if (c->right->kind == Expr::Kind::kColumnRef) {
+        col_side = c->right.get();
+        val_side = c->left.get();
+        switch (op) {
+          case BinOp::kLt: op = BinOp::kGt; break;
+          case BinOp::kLe: op = BinOp::kGe; break;
+          case BinOp::kGt: op = BinOp::kLt; break;
+          case BinOp::kGe: op = BinOp::kLe; break;
+          default: break;
+        }
+      } else {
+        continue;
+      }
+      const ColumnDescriptor* col = desc.FindColumn(col_side->column_name);
+      if (col == nullptr || desc.IsPrimaryKeyColumn(col->id)) continue;
+      auto value = constant_value(*val_side);
+      if (!value.has_value()) continue;
+      PushdownFilter filter;
+      filter.column_id = col->id;
+      filter.value = *value;
+      switch (op) {
+        case BinOp::kEq: filter.op = PushdownOp::kEq; break;
+        case BinOp::kNe: filter.op = PushdownOp::kNe; break;
+        case BinOp::kLt: filter.op = PushdownOp::kLt; break;
+        case BinOp::kLe: filter.op = PushdownOp::kLe; break;
+        case BinOp::kGt: filter.op = PushdownOp::kGt; break;
+        case BinOp::kGe: filter.op = PushdownOp::kGe; break;
+        default: continue;
+      }
+      spec.filters.push_back(std::move(filter));
+    }
+    if (needed_columns != nullptr) {
+      for (uint32_t col_id : *needed_columns) {
+        if (!desc.IsPrimaryKeyColumn(col_id)) spec.projection.push_back(col_id);
+      }
+      // A filter's column must survive projection on the KV side; it does,
+      // because filters evaluate before projection in EvaluatePushdown.
+    }
+    if (!spec.empty()) pushdown_spec = spec.Encode();
+  }
+
+  std::vector<kv::MvccScanEntry> entries;
+  VELOCE_RETURN_IF_ERROR(reader.Scan(start, end, 0, &entries, pushdown_spec));
+  rows->reserve(entries.size());
+  for (const auto& entry : entries) {
+    Row row;
+    VELOCE_RETURN_IF_ERROR(DecodeRow(desc, entry.key, entry.value, &row));
+    rows->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+// --- SELECT ------------------------------------------------------------------
+
+StatusOr<ResultSet> Executor::ExecSelect(const SelectStmt& stmt, TenantTxn* txn,
+                                         const std::vector<Datum>* params) {
+  ResultSet result;
+  std::vector<Binding> bindings;
+  std::vector<Row> current;  // concatenated rows
+
+  if (!stmt.table.empty()) {
+    VELOCE_ASSIGN_OR_RETURN(TableDescriptor desc, catalog_->GetTable(stmt.table));
+    Binding base;
+    base.alias = stmt.table_alias.empty() ? stmt.table : stmt.table_alias;
+    base.desc = desc;
+    base.offset = 0;
+    bindings.push_back(base);
+    // Projection push-down input: for single-table queries with an explicit
+    // select list, only the referenced columns need to leave the KV node.
+    std::vector<uint32_t> needed;
+    const std::vector<uint32_t>* needed_ptr = nullptr;
+    if (pushdown_enabled_ && stmt.joins.empty() && !stmt.items.empty()) {
+      std::vector<std::string> names;
+      for (const auto& item : stmt.items) CollectColumnNames(item.expr.get(), &names);
+      CollectColumnNames(stmt.where.get(), &names);
+      for (const auto& g : stmt.group_by) CollectColumnNames(g.get(), &names);
+      for (const auto& ob : stmt.order_by) CollectColumnNames(ob.expr.get(), &names);
+      bool all_resolved = true;
+      for (const auto& name : names) {
+        const ColumnDescriptor* col = desc.FindColumn(name);
+        if (col == nullptr) {
+          // ORDER BY may name an output alias; that's fine — but a name we
+          // can't resolve conservatively disables the projection.
+          bool is_alias = false;
+          for (const auto& item : stmt.items) {
+            if (item.alias == name) is_alias = true;
+          }
+          if (!is_alias) all_resolved = false;
+          continue;
+        }
+        needed.push_back(col->id);
+      }
+      if (all_resolved) needed_ptr = &needed;
+    }
+    VELOCE_RETURN_IF_ERROR(
+        ScanTable(desc, stmt.where.get(), txn, params, &current, needed_ptr));
+  } else {
+    current.push_back(Row{});  // table-less SELECT evaluates one row
+  }
+
+  // Joins, left to right.
+  Reader reader{txn, connector_};
+  for (const auto& join : stmt.joins) {
+    VELOCE_ASSIGN_OR_RETURN(TableDescriptor right, catalog_->GetTable(join.table));
+    Binding rb;
+    rb.alias = join.alias.empty() ? join.table : join.alias;
+    rb.desc = right;
+    rb.offset = bindings.empty() ? 0 : bindings.back().offset +
+                                          bindings.back().desc.columns.size();
+    // Extract equi-conjuncts left-side-expr = right-column.
+    std::vector<const Expr*> on_conjuncts;
+    CollectConjuncts(join.on.get(), &on_conjuncts);
+    struct EquiPair {
+      const Expr* left_expr;     // evaluable against current bindings
+      uint32_t right_col_id;
+    };
+    std::vector<EquiPair> equis;
+    std::vector<const Expr*> residual;
+    for (const Expr* c : on_conjuncts) {
+      bool matched = false;
+      if (c->kind == Expr::Kind::kBinary && c->op == BinOp::kEq) {
+        for (int flip = 0; flip < 2 && !matched; ++flip) {
+          const Expr* maybe_right = flip == 0 ? c->right.get() : c->left.get();
+          const Expr* maybe_left = flip == 0 ? c->left.get() : c->right.get();
+          if (maybe_right->kind != Expr::Kind::kColumnRef) continue;
+          if (!maybe_right->table_name.empty() && maybe_right->table_name != rb.alias) {
+            continue;
+          }
+          const ColumnDescriptor* rcol = right.FindColumn(maybe_right->column_name);
+          if (rcol == nullptr) continue;
+          // The other side must be evaluable against the current bindings
+          // (no references to the new table).
+          if (maybe_left->kind == Expr::Kind::kColumnRef &&
+              maybe_left->table_name == rb.alias) {
+            continue;
+          }
+          equis.push_back({maybe_left, rcol->id});
+          matched = true;
+        }
+      }
+      if (!matched) residual.push_back(c);
+    }
+
+    // Index join if the equi columns cover the right table's PK in order.
+    bool index_join = equis.size() == right.primary.column_ids.size();
+    std::vector<const Expr*> pk_exprs(right.primary.column_ids.size(), nullptr);
+    if (index_join) {
+      for (size_t i = 0; i < right.primary.column_ids.size(); ++i) {
+        for (const auto& pair : equis) {
+          if (pair.right_col_id == right.primary.column_ids[i]) {
+            pk_exprs[i] = pair.left_expr;
+            break;
+          }
+        }
+        if (pk_exprs[i] == nullptr) {
+          index_join = false;
+          break;
+        }
+      }
+    }
+
+    std::vector<Row> joined;
+    if (index_join) {
+      // Per-row KV point lookups (the Q9 plan shape).
+      for (const Row& row : current) {
+        EvalContext ctx{&bindings, &row, params, nullptr};
+        std::vector<Datum> pk_values;
+        bool null_key = false;
+        for (const Expr* e : pk_exprs) {
+          VELOCE_ASSIGN_OR_RETURN(Datum v, Eval(*e, ctx));
+          if (v.is_null()) {
+            null_key = true;
+            break;
+          }
+          pk_values.push_back(std::move(v));
+        }
+        if (null_key) continue;
+        const std::string key = EncodePrimaryKeyFromDatums(right, pk_values);
+        std::optional<std::string> value;
+        VELOCE_RETURN_IF_ERROR(reader.Get(key, &value));
+        if (!value.has_value()) continue;
+        Row right_row;
+        VELOCE_RETURN_IF_ERROR(DecodeRow(right, key, *value, &right_row));
+        Row combined = row;
+        combined.insert(combined.end(), right_row.begin(), right_row.end());
+        joined.push_back(std::move(combined));
+      }
+    } else {
+      // Hash join (or nested loop when no equi columns exist).
+      std::vector<Row> right_rows;
+      VELOCE_RETURN_IF_ERROR(ScanTable(right, nullptr, txn, params, &right_rows));
+      if (!equis.empty()) {
+        std::multimap<std::string, const Row*> table;
+        for (const Row& rrow : right_rows) {
+          std::string key;
+          for (const auto& pair : equis) {
+            const int pos = right.ColumnIndex(pair.right_col_id);
+            rrow[static_cast<size_t>(pos)].EncodeKey(&key);
+          }
+          table.emplace(std::move(key), &rrow);
+        }
+        for (const Row& row : current) {
+          EvalContext ctx{&bindings, &row, params, nullptr};
+          std::string key;
+          bool null_key = false;
+          for (const auto& pair : equis) {
+            VELOCE_ASSIGN_OR_RETURN(Datum v, Eval(*pair.left_expr, ctx));
+            if (v.is_null()) {
+              null_key = true;
+              break;
+            }
+            v.EncodeKey(&key);
+          }
+          if (null_key) continue;
+          auto [lo, hi] = table.equal_range(key);
+          for (auto it = lo; it != hi; ++it) {
+            Row combined = row;
+            combined.insert(combined.end(), it->second->begin(), it->second->end());
+            joined.push_back(std::move(combined));
+          }
+        }
+      } else {
+        for (const Row& row : current) {
+          for (const Row& rrow : right_rows) {
+            Row combined = row;
+            combined.insert(combined.end(), rrow.begin(), rrow.end());
+            joined.push_back(std::move(combined));
+          }
+        }
+      }
+    }
+    bindings.push_back(rb);
+    current = std::move(joined);
+    // Apply residual ON conjuncts.
+    if (!residual.empty()) {
+      std::vector<Row> filtered;
+      for (Row& row : current) {
+        EvalContext ctx{&bindings, &row, params, nullptr};
+        bool keep = true;
+        for (const Expr* c : residual) {
+          VELOCE_ASSIGN_OR_RETURN(Datum v, Eval(*c, ctx));
+          if (!Truthy(v)) {
+            keep = false;
+            break;
+          }
+        }
+        if (keep) filtered.push_back(std::move(row));
+      }
+      current = std::move(filtered);
+    }
+  }
+
+  // Bind-time validation over the complete binding set (so errors surface
+  // even when the tables are empty). ORDER BY is excluded: it resolves
+  // against output column names below.
+  for (const auto& item : stmt.items) {
+    VELOCE_RETURN_IF_ERROR(ValidateExpr(item.expr.get(), bindings, params));
+  }
+  VELOCE_RETURN_IF_ERROR(ValidateExpr(stmt.where.get(), bindings, params));
+  for (const auto& g : stmt.group_by) {
+    VELOCE_RETURN_IF_ERROR(ValidateExpr(g.get(), bindings, params));
+  }
+
+  // WHERE (the PK-pushed conjuncts re-evaluate harmlessly).
+  if (stmt.where != nullptr) {
+    std::vector<Row> filtered;
+    for (Row& row : current) {
+      EvalContext ctx{&bindings, &row, params, nullptr};
+      VELOCE_ASSIGN_OR_RETURN(Datum v, Eval(*stmt.where, ctx));
+      if (Truthy(v)) filtered.push_back(std::move(row));
+    }
+    current = std::move(filtered);
+  }
+
+  // Determine projection items.
+  std::vector<SelectItem> items;
+  if (stmt.items.empty()) {
+    // SELECT *: one column per bound table column.
+    for (const auto& binding : bindings) {
+      for (const auto& col : binding.desc.columns) {
+        SelectItem item;
+        item.expr = Expr::Column(binding.alias, col.name);
+        item.alias = col.name;
+        items.push_back(std::move(item));
+      }
+    }
+  } else {
+    for (const auto& item : stmt.items) {
+      SelectItem copy;
+      // Non-owning alias copy; expressions are borrowed via raw pointer
+      // below, so shallow references suffice. We must not deep-copy Exprs;
+      // instead remember pointers.
+      copy.alias = item.alias;
+      copy.expr = nullptr;
+      items.push_back(std::move(copy));
+    }
+  }
+
+  // For borrowed expressions, build a parallel pointer list.
+  std::vector<const Expr*> item_exprs;
+  std::vector<std::string> item_names;
+  if (stmt.items.empty()) {
+    for (auto& item : items) {
+      item_exprs.push_back(item.expr.get());
+      item_names.push_back(item.alias);
+    }
+  } else {
+    for (const auto& item : stmt.items) {
+      item_exprs.push_back(item.expr.get());
+      item_names.push_back(DeriveColumnName(*item.expr, item.alias));
+    }
+  }
+  result.columns = item_names;
+
+  // Aggregation?
+  bool any_agg = !stmt.group_by.empty();
+  for (const Expr* e : item_exprs) {
+    if (HasAggregate(e)) any_agg = true;
+  }
+
+  // Resolve ORDER BY items up front: each is either an output column
+  // (by name/alias or 1-based ordinal) or — for non-aggregated queries —
+  // an arbitrary expression over the input row (standard SQL allows
+  // ordering by non-projected columns).
+  struct SortKey {
+    int output_idx = -1;        // >= 0: sort by this output column
+    const Expr* expr = nullptr; // else: evaluate against the input row
+    bool desc = false;
+  };
+  std::vector<SortKey> sort_keys;
+  for (const auto& ob : stmt.order_by) {
+    SortKey key;
+    key.desc = ob.desc;
+    if (ob.expr->kind == Expr::Kind::kColumnRef) {
+      // Match output columns by (possibly qualified) name: `ORDER BY n.name`
+      // matches the output column "name" derived from n.name.
+      for (size_t i = 0; i < item_names.size(); ++i) {
+        if (item_names[i] == ob.expr->column_name) {
+          key.output_idx = static_cast<int>(i);
+          break;
+        }
+      }
+    } else if (ob.expr->kind == Expr::Kind::kLiteral &&
+               ob.expr->literal.kind() == TypeKind::kInt) {
+      const int idx = static_cast<int>(ob.expr->literal.int_value()) - 1;
+      if (idx < 0 || idx >= static_cast<int>(item_names.size())) {
+        return Status::InvalidArgument("ORDER BY position out of range");
+      }
+      key.output_idx = idx;
+    }
+    if (key.output_idx < 0) {
+      key.expr = ob.expr.get();
+      VELOCE_RETURN_IF_ERROR(ValidateExpr(key.expr, bindings, params));
+    }
+    sort_keys.push_back(key);
+  }
+  const bool needs_input_keys = [&] {
+    for (const auto& key : sort_keys) {
+      if (key.expr != nullptr) return true;
+    }
+    return false;
+  }();
+
+  std::vector<Row> output;
+  std::vector<Row> input_sort_values;  // parallel to output, expr-key values
+  if (any_agg) {
+    if (needs_input_keys) {
+      return Status::InvalidArgument(
+          "ORDER BY must name an output column in aggregated queries");
+    }
+    // Group rows by the GROUP BY key.
+    struct Group {
+      Row representative;
+      std::map<const Expr*, AggState> states;
+      std::vector<Datum> key_values;
+    };
+    std::map<std::string, Group> groups;
+    std::vector<const Expr*> agg_nodes;
+    for (const Expr* e : item_exprs) CollectAggregates(e, &agg_nodes);
+
+    for (const Row& row : current) {
+      EvalContext ctx{&bindings, &row, params, nullptr};
+      std::string key;
+      std::vector<Datum> key_values;
+      for (const auto& g : stmt.group_by) {
+        VELOCE_ASSIGN_OR_RETURN(Datum v, Eval(*g, ctx));
+        v.EncodeKey(&key);
+        key_values.push_back(std::move(v));
+      }
+      Group& group = groups[key];
+      if (group.representative.empty() && !row.empty()) group.representative = row;
+      group.key_values = key_values;
+      for (const Expr* agg : agg_nodes) {
+        AggState& state = group.states[agg];
+        if (agg->child->kind == Expr::Kind::kStar) {
+          state.Accumulate(Datum::Int(1), AggFunc::kCount);
+        } else {
+          VELOCE_ASSIGN_OR_RETURN(Datum v, Eval(*agg->child, ctx));
+          if (agg->agg == AggFunc::kCount) {
+            if (!v.is_null()) state.Accumulate(v, AggFunc::kCount);
+          } else {
+            state.Accumulate(v, agg->agg);
+          }
+        }
+      }
+    }
+    // Aggregates over an empty input with no GROUP BY produce one row.
+    if (groups.empty() && stmt.group_by.empty()) {
+      groups[""] = Group{};
+    }
+    for (auto& [key, group] : groups) {
+      std::map<const Expr*, Datum> agg_values;
+      for (const Expr* agg : agg_nodes) {
+        agg_values[agg] = group.states[agg].Result(agg->agg);
+      }
+      const Row& rep = group.representative;
+      EvalContext ctx{&bindings, &rep, params, &agg_values};
+      Row out_row;
+      for (const Expr* e : item_exprs) {
+        VELOCE_ASSIGN_OR_RETURN(Datum v, Eval(*e, ctx));
+        out_row.push_back(std::move(v));
+      }
+      output.push_back(std::move(out_row));
+    }
+  } else {
+    for (const Row& row : current) {
+      EvalContext ctx{&bindings, &row, params, nullptr};
+      Row out_row;
+      for (const Expr* e : item_exprs) {
+        VELOCE_ASSIGN_OR_RETURN(Datum v, Eval(*e, ctx));
+        out_row.push_back(std::move(v));
+      }
+      output.push_back(std::move(out_row));
+      if (needs_input_keys) {
+        Row keys;
+        for (const auto& key : sort_keys) {
+          if (key.expr == nullptr) {
+            keys.push_back(Datum::Null());  // placeholder; output idx used
+          } else {
+            VELOCE_ASSIGN_OR_RETURN(Datum v, Eval(*key.expr, ctx));
+            keys.push_back(std::move(v));
+          }
+        }
+        input_sort_values.push_back(std::move(keys));
+      }
+    }
+  }
+
+  // ORDER BY: sort by output columns and/or pre-evaluated input keys.
+  if (!sort_keys.empty()) {
+    std::vector<size_t> order(output.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      for (size_t k = 0; k < sort_keys.size(); ++k) {
+        const SortKey& key = sort_keys[k];
+        const Datum& va = key.output_idx >= 0
+                              ? output[a][static_cast<size_t>(key.output_idx)]
+                              : input_sort_values[a][k];
+        const Datum& vb = key.output_idx >= 0
+                              ? output[b][static_cast<size_t>(key.output_idx)]
+                              : input_sort_values[b][k];
+        const int c = va.Compare(vb);
+        if (c != 0) return key.desc ? c > 0 : c < 0;
+      }
+      return false;
+    });
+    std::vector<Row> sorted;
+    sorted.reserve(output.size());
+    for (size_t idx : order) sorted.push_back(std::move(output[idx]));
+    output = std::move(sorted);
+  }
+
+  if (stmt.limit >= 0 && output.size() > static_cast<size_t>(stmt.limit)) {
+    output.resize(static_cast<size_t>(stmt.limit));
+  }
+  result.rows = std::move(output);
+  return result;
+}
+
+// --- DML ----------------------------------------------------------------------
+
+Status Executor::WriteRow(const TableDescriptor& desc, const Row& row, TenantTxn* txn,
+                          bool check_duplicate) {
+  const std::string pk = EncodePrimaryKey(desc, row);
+  std::optional<std::string> existing;
+  VELOCE_RETURN_IF_ERROR(txn->Get(pk, &existing));
+  if (existing.has_value()) {
+    if (check_duplicate) {
+      return Status::AlreadyExists("duplicate primary key in " + desc.name);
+    }
+    // Upsert over an existing row: retire stale secondary entries.
+    Row old_row;
+    VELOCE_RETURN_IF_ERROR(DecodeRow(desc, pk, *existing, &old_row));
+    for (const auto& index : desc.secondaries) {
+      const std::string old_key = EncodeSecondaryKey(desc, index, old_row);
+      const std::string new_key = EncodeSecondaryKey(desc, index, row);
+      if (old_key != new_key) {
+        VELOCE_RETURN_IF_ERROR(txn->Delete(old_key));
+      }
+    }
+  }
+  VELOCE_RETURN_IF_ERROR(txn->Put(pk, EncodeRowValue(desc, row)));
+  for (const auto& index : desc.secondaries) {
+    VELOCE_RETURN_IF_ERROR(txn->Put(EncodeSecondaryKey(desc, index, row), ""));
+  }
+  return Status::OK();
+}
+
+Status Executor::DeleteRow(const TableDescriptor& desc, const Row& row, TenantTxn* txn) {
+  VELOCE_RETURN_IF_ERROR(txn->Delete(EncodePrimaryKey(desc, row)));
+  for (const auto& index : desc.secondaries) {
+    VELOCE_RETURN_IF_ERROR(txn->Delete(EncodeSecondaryKey(desc, index, row)));
+  }
+  return Status::OK();
+}
+
+StatusOr<ResultSet> Executor::ExecInsert(const InsertStmt& stmt, TenantTxn* txn,
+                                         const std::vector<Datum>* params) {
+  VELOCE_ASSIGN_OR_RETURN(TableDescriptor desc, catalog_->GetTable(stmt.table));
+  // Resolve target column positions.
+  std::vector<int> positions;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < desc.columns.size(); ++i) positions.push_back(static_cast<int>(i));
+  } else {
+    for (const auto& name : stmt.columns) {
+      const ColumnDescriptor* col = desc.FindColumn(name);
+      if (col == nullptr) return Status::NotFound("no such column: " + name);
+      positions.push_back(desc.ColumnIndex(col->id));
+    }
+  }
+
+  std::vector<Binding> no_bindings;
+  Row empty_row;
+  EvalContext ctx{&no_bindings, &empty_row, params, nullptr};
+  ResultSet result;
+  for (const auto& value_row : stmt.values) {
+    if (value_row.size() != positions.size()) {
+      return Status::InvalidArgument("INSERT value count mismatch");
+    }
+    Row row(desc.columns.size(), Datum::Null());
+    for (size_t i = 0; i < positions.size(); ++i) {
+      VELOCE_ASSIGN_OR_RETURN(Datum v, Eval(*value_row[i], ctx));
+      row[static_cast<size_t>(positions[i])] = std::move(v);
+    }
+    // NOT NULL enforcement.
+    for (size_t i = 0; i < desc.columns.size(); ++i) {
+      if (!desc.columns[i].nullable && row[i].is_null()) {
+        return Status::InvalidArgument("null value in non-nullable column " +
+                                       desc.columns[i].name);
+      }
+    }
+    VELOCE_RETURN_IF_ERROR(WriteRow(desc, row, txn, /*check_duplicate=*/!stmt.upsert));
+    ++result.rows_affected;
+  }
+  return result;
+}
+
+StatusOr<ResultSet> Executor::ExecUpdate(const UpdateStmt& stmt, TenantTxn* txn,
+                                         const std::vector<Datum>* params) {
+  VELOCE_ASSIGN_OR_RETURN(TableDescriptor desc, catalog_->GetTable(stmt.table));
+  std::vector<Binding> bindings;
+  Binding base;
+  base.alias = stmt.table;
+  base.desc = desc;
+  bindings.push_back(base);
+
+  for (const auto& [col_name, expr] : stmt.assignments) {
+    if (desc.FindColumn(col_name) == nullptr) {
+      return Status::NotFound("no such column: " + col_name);
+    }
+    VELOCE_RETURN_IF_ERROR(ValidateExpr(expr.get(), bindings, params));
+  }
+  VELOCE_RETURN_IF_ERROR(ValidateExpr(stmt.where.get(), bindings, params));
+
+  std::vector<Row> rows;
+  VELOCE_RETURN_IF_ERROR(ScanTable(desc, stmt.where.get(), txn, params, &rows));
+
+  ResultSet result;
+  for (const Row& old_row : rows) {
+    EvalContext ctx{&bindings, &old_row, params, nullptr};
+    if (stmt.where != nullptr) {
+      VELOCE_ASSIGN_OR_RETURN(Datum keep, Eval(*stmt.where, ctx));
+      if (!Truthy(keep)) continue;
+    }
+    Row new_row = old_row;
+    for (const auto& [col_name, expr] : stmt.assignments) {
+      const ColumnDescriptor* col = desc.FindColumn(col_name);
+      if (col == nullptr) return Status::NotFound("no such column: " + col_name);
+      VELOCE_ASSIGN_OR_RETURN(Datum v, Eval(*expr, ctx));
+      if (!col->nullable && v.is_null()) {
+        return Status::InvalidArgument("null value in non-nullable column " + col_name);
+      }
+      new_row[static_cast<size_t>(desc.ColumnIndex(col->id))] = std::move(v);
+    }
+    const bool pk_changed =
+        EncodePrimaryKey(desc, old_row) != EncodePrimaryKey(desc, new_row);
+    if (pk_changed) {
+      VELOCE_RETURN_IF_ERROR(DeleteRow(desc, old_row, txn));
+      VELOCE_RETURN_IF_ERROR(WriteRow(desc, new_row, txn, /*check_duplicate=*/true));
+    } else {
+      VELOCE_RETURN_IF_ERROR(WriteRow(desc, new_row, txn, /*check_duplicate=*/false));
+    }
+    ++result.rows_affected;
+  }
+  return result;
+}
+
+StatusOr<ResultSet> Executor::ExecDelete(const DeleteStmt& stmt, TenantTxn* txn,
+                                         const std::vector<Datum>* params) {
+  VELOCE_ASSIGN_OR_RETURN(TableDescriptor desc, catalog_->GetTable(stmt.table));
+  std::vector<Binding> bindings;
+  Binding base;
+  base.alias = stmt.table;
+  base.desc = desc;
+  bindings.push_back(base);
+
+  VELOCE_RETURN_IF_ERROR(ValidateExpr(stmt.where.get(), bindings, params));
+
+  std::vector<Row> rows;
+  VELOCE_RETURN_IF_ERROR(ScanTable(desc, stmt.where.get(), txn, params, &rows));
+  ResultSet result;
+  for (const Row& row : rows) {
+    EvalContext ctx{&bindings, &row, params, nullptr};
+    if (stmt.where != nullptr) {
+      VELOCE_ASSIGN_OR_RETURN(Datum keep, Eval(*stmt.where, ctx));
+      if (!Truthy(keep)) continue;
+    }
+    VELOCE_RETURN_IF_ERROR(DeleteRow(desc, row, txn));
+    ++result.rows_affected;
+  }
+  return result;
+}
+
+}  // namespace veloce::sql

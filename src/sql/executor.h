@@ -1,0 +1,92 @@
+#ifndef VELOCE_SQL_EXECUTOR_H_
+#define VELOCE_SQL_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/catalog.h"
+#include "sql/kv_connector.h"
+#include "sql/row.h"
+
+namespace veloce::sql {
+
+/// Result of executing one statement.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  uint64_t rows_affected = 0;
+
+  std::string ToString() const;  ///< ascii table (examples / debugging)
+};
+
+/// Executes parsed statements against the tenant's keyspace. DML always
+/// runs inside a transaction (the session supplies an explicit one, or the
+/// executor opens an implicit per-statement transaction); reads outside a
+/// transaction go through the non-transactional fast path at the current
+/// timestamp.
+///
+/// Planning is deliberately simple but shaped like the real system:
+///  * WHERE conjuncts on a primary-key prefix become point gets or range
+///    scans (index-constrained scans are "pushed down" in the sense that
+///    only the constrained keyspan crosses the KV boundary);
+///  * joins use an index join (per-row KV lookups) when the ON clause
+///    covers the right table's primary key — the remote-lookup plan TPC-H
+///    Q9 runs in the paper — and a hash join otherwise;
+///  * aggregates and GROUP BY evaluate in the SQL process, so full-scan
+///    aggregation pays the KV->SQL marshaling cost in Serverless mode (the
+///    TPC-H Q1 effect).
+class Executor {
+ public:
+  Executor(Catalog* catalog, KvConnector* connector)
+      : catalog_(catalog), connector_(connector) {}
+
+  /// Enables row-filter/projection push-down (DESIGN.md Section 6) for
+  /// eligible scans: single-table, non-transactional reads whose residual
+  /// predicates are `column <op> constant` conjuncts on non-PK columns.
+  void set_pushdown_enabled(bool enabled) { pushdown_enabled_ = enabled; }
+  bool pushdown_enabled() const { return pushdown_enabled_; }
+
+  /// Executes `stmt`. If `txn` is null, DML opens and commits an implicit
+  /// transaction (the caller retries on TransactionRetry). `params` binds
+  /// $N placeholders.
+  StatusOr<ResultSet> Execute(const Statement& stmt, TenantTxn* txn,
+                              const std::vector<Datum>* params = nullptr);
+
+  struct Binding;       // table alias -> descriptor + row offset (internal)
+  struct EvalContext;   // bindings + current concatenated row + params
+
+ private:
+  StatusOr<ResultSet> ExecCreateTable(const CreateTableStmt& stmt);
+  StatusOr<ResultSet> ExecCreateIndex(const CreateIndexStmt& stmt, TenantTxn* txn);
+  StatusOr<ResultSet> ExecDropTable(const DropTableStmt& stmt);
+  StatusOr<ResultSet> ExecInsert(const InsertStmt& stmt, TenantTxn* txn,
+                                 const std::vector<Datum>* params);
+  StatusOr<ResultSet> ExecSelect(const SelectStmt& stmt, TenantTxn* txn,
+                                 const std::vector<Datum>* params);
+  StatusOr<ResultSet> ExecUpdate(const UpdateStmt& stmt, TenantTxn* txn,
+                                 const std::vector<Datum>* params);
+  StatusOr<ResultSet> ExecDelete(const DeleteStmt& stmt, TenantTxn* txn,
+                                 const std::vector<Datum>* params);
+
+  /// Scans `desc` rows satisfying the PK constraints derivable from
+  /// `where` (point get / prefix scan / full scan). Remaining filtering
+  /// happens at a higher level. `needed_columns` (nullable) lists the
+  /// column ids the caller will read — the projection push-down input.
+  Status ScanTable(const TableDescriptor& desc, const Expr* where, TenantTxn* txn,
+                   const std::vector<Datum>* params, std::vector<Row>* rows,
+                   const std::vector<uint32_t>* needed_columns = nullptr);
+
+  Status WriteRow(const TableDescriptor& desc, const Row& row, TenantTxn* txn,
+                  bool check_duplicate);
+  Status DeleteRow(const TableDescriptor& desc, const Row& row, TenantTxn* txn);
+
+  Catalog* catalog_;
+  KvConnector* connector_;
+  bool pushdown_enabled_ = false;
+};
+
+}  // namespace veloce::sql
+
+#endif  // VELOCE_SQL_EXECUTOR_H_

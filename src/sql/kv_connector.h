@@ -1,0 +1,127 @@
+#ifndef VELOCE_SQL_KV_CONNECTOR_H_
+#define VELOCE_SQL_KV_CONNECTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "billing/ecpu_model.h"
+#include "kv/transaction.h"
+#include "tenant/controller.h"
+
+namespace veloce::sql {
+
+/// How the SQL layer reaches the KV layer.
+///  * kColocated: same process (the paper's "Traditional" deployment):
+///    requests pass as in-memory objects.
+///  * kSeparateProcess: Serverless deployment — every batch is serialized
+///    and deserialized through the wire codec, modeling the RPC hop between
+///    the tenant's SQL process and the shared KV process. This marshaling
+///    is the measured extra CPU for scan-heavy OLAP work in Fig 6 (2.3x on
+///    TPC-H Q1).
+enum class ProcessMode {
+  kColocated,
+  kSeparateProcess,
+};
+
+/// Prefix-aware transaction handle: exposes the kv::Transaction interface
+/// in the tenant's logical (un-prefixed) keyspace. The SQL executor only
+/// ever sees logical keys.
+class TenantTxn {
+ public:
+  TenantTxn(std::unique_ptr<kv::Transaction> txn, std::string prefix)
+      : txn_(std::move(txn)), prefix_(std::move(prefix)) {}
+
+  Status Get(Slice key, std::optional<std::string>* value) {
+    return txn_->Get(prefix_ + key.ToString(), value);
+  }
+  Status Put(Slice key, Slice value) {
+    return txn_->Put(prefix_ + key.ToString(), value);
+  }
+  Status Delete(Slice key) { return txn_->Delete(prefix_ + key.ToString()); }
+  Status Scan(Slice start, Slice end, uint64_t limit,
+              std::vector<kv::MvccScanEntry>* rows,
+              std::string* resume_key = nullptr) {
+    std::string resume;
+    // An empty logical end key means "to the end of the tenant keyspace".
+    const std::string end_key =
+        end.empty() ? PrefixEnd(prefix_) : prefix_ + end.ToString();
+    VELOCE_RETURN_IF_ERROR(
+        txn_->Scan(prefix_ + start.ToString(), end_key, limit, rows, &resume));
+    for (auto& row : *rows) {
+      if (row.key.size() >= prefix_.size()) row.key.erase(0, prefix_.size());
+    }
+    if (resume_key != nullptr) {
+      if (resume.size() >= prefix_.size()) resume.erase(0, prefix_.size());
+      *resume_key = std::move(resume);
+    }
+    return Status::OK();
+  }
+
+  Status Commit() { return txn_->Commit(); }
+  Status Rollback() { return txn_->Rollback(); }
+  bool finalized() const { return txn_->finalized(); }
+  kv::Timestamp commit_ts() const { return txn_->commit_ts(); }
+  kv::Timestamp read_ts() const { return txn_->read_ts(); }
+  kv::Transaction* raw() { return txn_.get(); }
+
+ private:
+  std::unique_ptr<kv::Transaction> txn_;
+  std::string prefix_;
+};
+
+/// KvConnector is a SQL node's client to the KV layer: it authenticates
+/// with the tenant certificate, prepends/strips the tenant key prefix, and
+/// (in Serverless mode) pays the marshaling cost. It also accumulates the
+/// six per-feature counters the estimated-CPU model consumes.
+class KvConnector {
+ public:
+  KvConnector(tenant::AuthorizedKvService* service, kv::KVCluster* cluster,
+              tenant::TenantCert cert, ProcessMode mode);
+
+  kv::TenantId tenant_id() const { return cert_.tenant_id; }
+  ProcessMode mode() const { return mode_; }
+  kv::KVCluster* cluster() { return cluster_; }
+
+  /// Non-transactional send. Keys in `req` are logical (un-prefixed); the
+  /// connector prefixes them and strips prefixes from scan results.
+  StatusOr<kv::BatchResponse> Send(kv::BatchRequest req);
+
+  /// Starts a KV transaction whose batches flow through this connector
+  /// (marshaled + authorized), with logical keys.
+  std::unique_ptr<TenantTxn> BeginTransaction(int32_t priority = 0);
+
+  /// Cumulative eCPU feature counters for this SQL node.
+  const billing::IntervalFeatures& features() const { return features_; }
+  void ResetFeatures() { features_ = {}; }
+
+  /// Bytes pushed through the wire codec (Serverless mode only).
+  uint64_t marshaled_bytes() const { return marshaled_bytes_; }
+
+  /// The KV node this SQL process is colocated with in Traditional mode
+  /// (requests to ranges led elsewhere are remote RPCs and marshal).
+  void set_home_node(kv::NodeId node) { home_node_ = node; }
+
+  /// Thread CPU time spent inside the KV layer (below the SQL/KV
+  /// boundary), measured per call. In production this is the part of a
+  /// tenant's cost that cannot be directly attributed and must be modeled;
+  /// benches use it to calibrate and evaluate the estimated-CPU model.
+  Nanos kv_cpu_nanos() const { return kv_cpu_nanos_; }
+
+ private:
+  StatusOr<kv::BatchResponse> SendPrefixed(const kv::BatchRequest& req);
+  void CountFeatures(const kv::BatchRequest& req, const kv::BatchResponse& resp);
+
+  tenant::AuthorizedKvService* service_;
+  kv::KVCluster* cluster_;
+  tenant::TenantCert cert_;
+  ProcessMode mode_;
+  std::string prefix_;
+  billing::IntervalFeatures features_;
+  kv::NodeId home_node_ = 0;
+  uint64_t marshaled_bytes_ = 0;
+  Nanos kv_cpu_nanos_ = 0;
+};
+
+}  // namespace veloce::sql
+
+#endif  // VELOCE_SQL_KV_CONNECTOR_H_

@@ -1,0 +1,153 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <set>
+
+namespace veloce::sql {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const auto* keywords = new std::set<std::string>{
+      "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
+      "DELETE", "CREATE", "TABLE", "INDEX", "DROP", "PRIMARY", "KEY", "NOT",
+      "NULL", "AND", "OR", "GROUP", "BY", "ORDER", "ASC", "DESC", "LIMIT",
+      "JOIN", "INNER", "ON", "AS", "COUNT", "SUM", "AVG", "MIN", "MAX",
+      "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "INT", "INT64", "BIGINT",
+      "FLOAT", "DOUBLE", "DECIMAL", "STRING", "TEXT", "VARCHAR", "BOOL",
+      "BOOLEAN", "TRUE", "FALSE", "IS", "IF", "EXISTS", "UPSERT", "DISTINCT",
+  };
+  return *keywords;
+}
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      std::string word = sql.substr(i, j - i);
+      std::string upper = word;
+      for (char& ch : upper) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      if (Keywords().count(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        for (char& ch : word) ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+        tok.text = word;
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) || sql[j] == '.')) {
+        if (sql[j] == '.') is_float = true;
+        ++j;
+      }
+      if (j < n && (sql[j] == 'e' || sql[j] == 'E')) {
+        is_float = true;
+        ++j;
+        if (j < n && (sql[j] == '+' || sql[j] == '-')) ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      }
+      tok.type = is_float ? TokenType::kFloat : TokenType::kInt;
+      tok.text = sql.substr(i, j - i);
+      i = j;
+    } else if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // '' escape
+            value.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        value.push_back(sql[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(i));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(value);
+      i = j;
+    } else if (c == '"') {
+      // Quoted identifier.
+      size_t j = i + 1;
+      std::string value;
+      while (j < n && sql[j] != '"') value.push_back(sql[j++]);
+      if (j >= n) {
+        return Status::InvalidArgument("unterminated quoted identifier");
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::move(value);
+      i = j + 1;
+    } else if (c == '$') {
+      size_t j = i + 1;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      if (j == i + 1) return Status::InvalidArgument("bad parameter reference");
+      tok.type = TokenType::kParam;
+      tok.text = sql.substr(i + 1, j - i - 1);
+      i = j;
+    } else {
+      // Multi-char operators first.
+      static const char* two_char[] = {"<=", ">=", "!=", "<>"};
+      bool matched = false;
+      for (const char* op : two_char) {
+        if (i + 1 < n && sql[i] == op[0] && sql[i + 1] == op[1]) {
+          tok.type = TokenType::kSymbol;
+          tok.text = op;
+          if (tok.text == "<>") tok.text = "!=";
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        static const std::string singles = "+-*/%=<>(),.;";
+        if (singles.find(c) == std::string::npos) {
+          return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                         "' at offset " + std::to_string(i));
+        }
+        tok.type = TokenType::kSymbol;
+        tok.text = std::string(1, c);
+        ++i;
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace veloce::sql

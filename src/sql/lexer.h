@@ -1,0 +1,34 @@
+#ifndef VELOCE_SQL_LEXER_H_
+#define VELOCE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace veloce::sql {
+
+enum class TokenType {
+  kKeyword,     // normalized upper-case
+  kIdentifier,  // normalized lower-case (or quoted verbatim)
+  kInt,
+  kFloat,
+  kString,      // 'literal' with '' escaping
+  kParam,       // $N
+  kSymbol,      // operators and punctuation, e.g. "=", "<=", "(", ","
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // normalized
+  size_t offset = 0;  // position in the input (error messages)
+};
+
+/// Tokenizes a SQL string. Keywords are recognized case-insensitively from
+/// the dialect's keyword set; everything else alphanumeric is an identifier.
+StatusOr<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace veloce::sql
+
+#endif  // VELOCE_SQL_LEXER_H_

@@ -1,0 +1,521 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace veloce::sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<std::unique_ptr<Statement>> ParseStatement();
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const size_t idx = pos_ + static_cast<size_t>(ahead);
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool AtKeyword(const char* kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+  bool AtSymbol(const char* sym) const {
+    return Peek().type == TokenType::kSymbol && Peek().text == sym;
+  }
+  bool EatKeyword(const char* kw) {
+    if (!AtKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  bool EatSymbol(const char* sym) {
+    if (!AtSymbol(sym)) return false;
+    Advance();
+    return true;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (EatKeyword(kw)) return Status::OK();
+    return Error(std::string("expected ") + kw);
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (EatSymbol(sym)) return Status::OK();
+    return Error(std::string("expected '") + sym + "'");
+  }
+  StatusOr<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) return Error("expected identifier");
+    return Advance().text;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("syntax error: " + msg + " near offset " +
+                                   std::to_string(Peek().offset) +
+                                   (Peek().text.empty() ? "" : " ('" + Peek().text + "')"));
+  }
+
+  StatusOr<CreateTableStmt> ParseCreateTable();
+  StatusOr<CreateIndexStmt> ParseCreateIndex();
+  StatusOr<InsertStmt> ParseInsert(bool upsert);
+  StatusOr<SelectStmt> ParseSelect();
+  StatusOr<UpdateStmt> ParseUpdate();
+  StatusOr<DeleteStmt> ParseDelete();
+
+  StatusOr<TypeKind> ParseType();
+  StatusOr<ExprPtr> ParseExpr() { return ParseOr(); }
+  StatusOr<ExprPtr> ParseOr();
+  StatusOr<ExprPtr> ParseAnd();
+  StatusOr<ExprPtr> ParseNot();
+  StatusOr<ExprPtr> ParseComparison();
+  StatusOr<ExprPtr> ParseAdditive();
+  StatusOr<ExprPtr> ParseMultiplicative();
+  StatusOr<ExprPtr> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+StatusOr<TypeKind> Parser::ParseType() {
+  if (Peek().type != TokenType::kKeyword) return Error("expected type name");
+  const std::string type_name = Advance().text;
+  TypeKind kind;
+  if (type_name == "INT" || type_name == "INT64" || type_name == "BIGINT") {
+    kind = TypeKind::kInt;
+  } else if (type_name == "FLOAT" || type_name == "DOUBLE" || type_name == "DECIMAL") {
+    kind = TypeKind::kDouble;
+  } else if (type_name == "STRING" || type_name == "TEXT" || type_name == "VARCHAR") {
+    kind = TypeKind::kString;
+  } else if (type_name == "BOOL" || type_name == "BOOLEAN") {
+    kind = TypeKind::kBool;
+  } else {
+    return Error("unknown type " + type_name);
+  }
+  // Optional length like VARCHAR(16) is accepted and ignored.
+  if (EatSymbol("(")) {
+    while (!AtSymbol(")") && Peek().type != TokenType::kEnd) Advance();
+    VELOCE_RETURN_IF_ERROR(ExpectSymbol(")"));
+  }
+  return kind;
+}
+
+StatusOr<CreateTableStmt> Parser::ParseCreateTable() {
+  CreateTableStmt stmt;
+  if (EatKeyword("IF")) {
+    VELOCE_RETURN_IF_ERROR(ExpectKeyword("NOT"));
+    VELOCE_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+    stmt.if_not_exists = true;
+  }
+  VELOCE_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+  VELOCE_RETURN_IF_ERROR(ExpectSymbol("("));
+  while (true) {
+    if (EatKeyword("PRIMARY")) {
+      VELOCE_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+      VELOCE_RETURN_IF_ERROR(ExpectSymbol("("));
+      while (true) {
+        VELOCE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        stmt.primary_key.push_back(std::move(col));
+        if (!EatSymbol(",")) break;
+      }
+      VELOCE_RETURN_IF_ERROR(ExpectSymbol(")"));
+    } else {
+      ColumnDef col;
+      VELOCE_ASSIGN_OR_RETURN(col.name, ExpectIdentifier());
+      VELOCE_ASSIGN_OR_RETURN(col.type, ParseType());
+      while (true) {
+        if (EatKeyword("NOT")) {
+          VELOCE_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+          col.not_null = true;
+        } else if (EatKeyword("PRIMARY")) {
+          VELOCE_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+          col.primary_key = true;
+          col.not_null = true;
+        } else {
+          break;
+        }
+      }
+      stmt.columns.push_back(std::move(col));
+    }
+    if (!EatSymbol(",")) break;
+  }
+  VELOCE_RETURN_IF_ERROR(ExpectSymbol(")"));
+  return stmt;
+}
+
+StatusOr<CreateIndexStmt> Parser::ParseCreateIndex() {
+  CreateIndexStmt stmt;
+  VELOCE_ASSIGN_OR_RETURN(stmt.index, ExpectIdentifier());
+  VELOCE_RETURN_IF_ERROR(ExpectKeyword("ON"));
+  VELOCE_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+  VELOCE_RETURN_IF_ERROR(ExpectSymbol("("));
+  while (true) {
+    VELOCE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+    stmt.columns.push_back(std::move(col));
+    if (!EatSymbol(",")) break;
+  }
+  VELOCE_RETURN_IF_ERROR(ExpectSymbol(")"));
+  return stmt;
+}
+
+StatusOr<InsertStmt> Parser::ParseInsert(bool upsert) {
+  InsertStmt stmt;
+  stmt.upsert = upsert;
+  VELOCE_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+  VELOCE_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+  if (EatSymbol("(")) {
+    while (true) {
+      VELOCE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      stmt.columns.push_back(std::move(col));
+      if (!EatSymbol(",")) break;
+    }
+    VELOCE_RETURN_IF_ERROR(ExpectSymbol(")"));
+  }
+  VELOCE_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+  while (true) {
+    VELOCE_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<ExprPtr> row;
+    while (true) {
+      VELOCE_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      row.push_back(std::move(e));
+      if (!EatSymbol(",")) break;
+    }
+    VELOCE_RETURN_IF_ERROR(ExpectSymbol(")"));
+    stmt.values.push_back(std::move(row));
+    if (!EatSymbol(",")) break;
+  }
+  return stmt;
+}
+
+StatusOr<SelectStmt> Parser::ParseSelect() {
+  SelectStmt stmt;
+  (void)EatKeyword("DISTINCT");  // accepted, treated as no-op at this scale
+  // Select list.
+  if (EatSymbol("*")) {
+    // SELECT * — leave items empty.
+  } else {
+    while (true) {
+      SelectItem item;
+      VELOCE_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (EatKeyword("AS")) {
+        VELOCE_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+      }
+      stmt.items.push_back(std::move(item));
+      if (!EatSymbol(",")) break;
+    }
+  }
+  if (EatKeyword("FROM")) {
+    VELOCE_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    if (EatKeyword("AS")) {
+      VELOCE_ASSIGN_OR_RETURN(stmt.table_alias, ExpectIdentifier());
+    } else if (Peek().type == TokenType::kIdentifier) {
+      stmt.table_alias = Advance().text;
+    }
+    while (true) {
+      if (EatKeyword("JOIN")) {
+        // plain JOIN
+      } else if (AtKeyword("INNER") && Peek(1).type == TokenType::kKeyword &&
+                 Peek(1).text == "JOIN") {
+        Advance();  // INNER
+        Advance();  // JOIN
+      } else {
+        break;
+      }
+      JoinClause join;
+      VELOCE_ASSIGN_OR_RETURN(join.table, ExpectIdentifier());
+      if (EatKeyword("AS")) {
+        VELOCE_ASSIGN_OR_RETURN(join.alias, ExpectIdentifier());
+      } else if (Peek().type == TokenType::kIdentifier) {
+        join.alias = Advance().text;
+      }
+      VELOCE_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      VELOCE_ASSIGN_OR_RETURN(join.on, ParseExpr());
+      stmt.joins.push_back(std::move(join));
+    }
+  }
+  if (EatKeyword("WHERE")) {
+    VELOCE_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  if (EatKeyword("GROUP")) {
+    VELOCE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    while (true) {
+      VELOCE_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt.group_by.push_back(std::move(e));
+      if (!EatSymbol(",")) break;
+    }
+  }
+  if (EatKeyword("ORDER")) {
+    VELOCE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    while (true) {
+      OrderByItem item;
+      VELOCE_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (EatKeyword("DESC")) {
+        item.desc = true;
+      } else {
+        (void)EatKeyword("ASC");
+      }
+      stmt.order_by.push_back(std::move(item));
+      if (!EatSymbol(",")) break;
+    }
+  }
+  if (EatKeyword("LIMIT")) {
+    if (Peek().type != TokenType::kInt) return Error("expected integer after LIMIT");
+    stmt.limit = std::stoll(Advance().text);
+  }
+  return stmt;
+}
+
+StatusOr<UpdateStmt> Parser::ParseUpdate() {
+  UpdateStmt stmt;
+  VELOCE_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+  VELOCE_RETURN_IF_ERROR(ExpectKeyword("SET"));
+  while (true) {
+    VELOCE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+    VELOCE_RETURN_IF_ERROR(ExpectSymbol("="));
+    VELOCE_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    stmt.assignments.emplace_back(std::move(col), std::move(e));
+    if (!EatSymbol(",")) break;
+  }
+  if (EatKeyword("WHERE")) {
+    VELOCE_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  return stmt;
+}
+
+StatusOr<DeleteStmt> Parser::ParseDelete() {
+  DeleteStmt stmt;
+  VELOCE_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  VELOCE_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+  if (EatKeyword("WHERE")) {
+    VELOCE_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  return stmt;
+}
+
+StatusOr<ExprPtr> Parser::ParseOr() {
+  VELOCE_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (EatKeyword("OR")) {
+    VELOCE_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = Expr::Binary(BinOp::kOr, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+StatusOr<ExprPtr> Parser::ParseAnd() {
+  VELOCE_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (EatKeyword("AND")) {
+    VELOCE_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = Expr::Binary(BinOp::kAnd, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+StatusOr<ExprPtr> Parser::ParseNot() {
+  if (EatKeyword("NOT")) {
+    VELOCE_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kNot;
+    e->child = std::move(child);
+    return e;
+  }
+  return ParseComparison();
+}
+
+StatusOr<ExprPtr> Parser::ParseComparison() {
+  VELOCE_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+  if (EatKeyword("IS")) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kIsNull;
+    e->is_not = EatKeyword("NOT");
+    VELOCE_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+    e->child = std::move(left);
+    return e;
+  }
+  struct OpMap {
+    const char* sym;
+    BinOp op;
+  };
+  static const OpMap ops[] = {{"=", BinOp::kEq}, {"!=", BinOp::kNe},
+                              {"<=", BinOp::kLe}, {">=", BinOp::kGe},
+                              {"<", BinOp::kLt},  {">", BinOp::kGt}};
+  for (const auto& [sym, op] : ops) {
+    if (AtSymbol(sym)) {
+      Advance();
+      VELOCE_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      return Expr::Binary(op, std::move(left), std::move(right));
+    }
+  }
+  return left;
+}
+
+StatusOr<ExprPtr> Parser::ParseAdditive() {
+  VELOCE_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  while (AtSymbol("+") || AtSymbol("-")) {
+    const BinOp op = Peek().text == "+" ? BinOp::kAdd : BinOp::kSub;
+    Advance();
+    VELOCE_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+    left = Expr::Binary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+StatusOr<ExprPtr> Parser::ParseMultiplicative() {
+  VELOCE_ASSIGN_OR_RETURN(ExprPtr left, ParsePrimary());
+  while (AtSymbol("*") || AtSymbol("/") || AtSymbol("%")) {
+    const BinOp op = Peek().text == "*" ? BinOp::kMul
+                     : Peek().text == "/" ? BinOp::kDiv
+                                          : BinOp::kMod;
+    Advance();
+    VELOCE_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+    left = Expr::Binary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+StatusOr<ExprPtr> Parser::ParsePrimary() {
+  const Token& tok = Peek();
+  switch (tok.type) {
+    case TokenType::kInt: {
+      Advance();
+      return Expr::Literal(Datum::Int(std::stoll(tok.text)));
+    }
+    case TokenType::kFloat: {
+      Advance();
+      return Expr::Literal(Datum::Double(std::stod(tok.text)));
+    }
+    case TokenType::kString: {
+      Advance();
+      return Expr::Literal(Datum::String(tok.text));
+    }
+    case TokenType::kParam: {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kParam;
+      e->param_index = std::stoi(tok.text);
+      return e;
+    }
+    case TokenType::kSymbol: {
+      if (EatSymbol("(")) {
+        VELOCE_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        VELOCE_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return inner;
+      }
+      if (EatSymbol("-")) {  // unary minus
+        VELOCE_ASSIGN_OR_RETURN(ExprPtr child, ParsePrimary());
+        return Expr::Binary(BinOp::kSub, Expr::Literal(Datum::Int(0)),
+                            std::move(child));
+      }
+      if (AtSymbol("*")) {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kStar;
+        return e;
+      }
+      return Error("unexpected symbol in expression");
+    }
+    case TokenType::kKeyword: {
+      if (tok.text == "TRUE" || tok.text == "FALSE") {
+        Advance();
+        return Expr::Literal(Datum::Bool(tok.text == "TRUE"));
+      }
+      if (tok.text == "NULL") {
+        Advance();
+        return Expr::Literal(Datum::Null());
+      }
+      // Aggregates.
+      static const std::pair<const char*, AggFunc> aggs[] = {
+          {"COUNT", AggFunc::kCount}, {"SUM", AggFunc::kSum},
+          {"AVG", AggFunc::kAvg},     {"MIN", AggFunc::kMin},
+          {"MAX", AggFunc::kMax}};
+      for (const auto& [name, func] : aggs) {
+        if (tok.text == name) {
+          Advance();
+          VELOCE_RETURN_IF_ERROR(ExpectSymbol("("));
+          auto e = std::make_unique<Expr>();
+          e->kind = Expr::Kind::kAggregate;
+          e->agg = func;
+          VELOCE_ASSIGN_OR_RETURN(e->child, ParseExpr());
+          VELOCE_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return e;
+        }
+      }
+      return Error("unexpected keyword in expression");
+    }
+    case TokenType::kIdentifier: {
+      Advance();
+      std::string first = tok.text;
+      if (EatSymbol(".")) {
+        VELOCE_ASSIGN_OR_RETURN(std::string second, ExpectIdentifier());
+        return Expr::Column(std::move(first), std::move(second));
+      }
+      return Expr::Column("", std::move(first));
+    }
+    case TokenType::kEnd:
+      return Error("unexpected end of statement");
+  }
+  return Error("unexpected token");
+}
+
+StatusOr<std::unique_ptr<Statement>> Parser::ParseStatement() {
+  auto stmt = std::make_unique<Statement>();
+  if (EatKeyword("CREATE")) {
+    if (EatKeyword("TABLE")) {
+      stmt->kind = Statement::Kind::kCreateTable;
+      VELOCE_ASSIGN_OR_RETURN(stmt->create_table, ParseCreateTable());
+    } else if (EatKeyword("INDEX")) {
+      stmt->kind = Statement::Kind::kCreateIndex;
+      VELOCE_ASSIGN_OR_RETURN(stmt->create_index, ParseCreateIndex());
+    } else {
+      return Error("expected TABLE or INDEX after CREATE");
+    }
+  } else if (EatKeyword("DROP")) {
+    VELOCE_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    stmt->kind = Statement::Kind::kDropTable;
+    VELOCE_ASSIGN_OR_RETURN(stmt->drop_table.table, ExpectIdentifier());
+  } else if (EatKeyword("INSERT")) {
+    stmt->kind = Statement::Kind::kInsert;
+    VELOCE_ASSIGN_OR_RETURN(stmt->insert, ParseInsert(false));
+  } else if (EatKeyword("UPSERT")) {
+    stmt->kind = Statement::Kind::kInsert;
+    VELOCE_ASSIGN_OR_RETURN(stmt->insert, ParseInsert(true));
+  } else if (EatKeyword("SELECT")) {
+    stmt->kind = Statement::Kind::kSelect;
+    VELOCE_ASSIGN_OR_RETURN(stmt->select, ParseSelect());
+  } else if (EatKeyword("UPDATE")) {
+    stmt->kind = Statement::Kind::kUpdate;
+    VELOCE_ASSIGN_OR_RETURN(stmt->update, ParseUpdate());
+  } else if (EatKeyword("DELETE")) {
+    stmt->kind = Statement::Kind::kDelete;
+    VELOCE_ASSIGN_OR_RETURN(stmt->del, ParseDelete());
+  } else if (EatKeyword("BEGIN")) {
+    (void)EatKeyword("TRANSACTION");
+    stmt->kind = Statement::Kind::kTxn;
+    stmt->txn.kind = TxnStmt::Kind::kBegin;
+  } else if (EatKeyword("COMMIT")) {
+    stmt->kind = Statement::Kind::kTxn;
+    stmt->txn.kind = TxnStmt::Kind::kCommit;
+  } else if (EatKeyword("ROLLBACK")) {
+    stmt->kind = Statement::Kind::kTxn;
+    stmt->txn.kind = TxnStmt::Kind::kRollback;
+  } else if (EatKeyword("SET")) {
+    stmt->kind = Statement::Kind::kSet;
+    VELOCE_ASSIGN_OR_RETURN(stmt->set.name, ExpectIdentifier());
+    VELOCE_RETURN_IF_ERROR(ExpectSymbol("="));
+    // Value: any single token.
+    if (Peek().type == TokenType::kEnd) return Error("expected SET value");
+    stmt->set.value = Advance().text;
+  } else {
+    return Error("expected a statement");
+  }
+  (void)EatSymbol(";");
+  if (Peek().type != TokenType::kEnd) return Error("trailing tokens after statement");
+  return stmt;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Statement>> Parse(const std::string& sql) {
+  VELOCE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace veloce::sql

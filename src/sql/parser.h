@@ -1,0 +1,20 @@
+#ifndef VELOCE_SQL_PARSER_H_
+#define VELOCE_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace veloce::sql {
+
+/// Parses one SQL statement (a trailing semicolon is allowed). Recursive
+/// descent over the dialect described in ast.h: CREATE TABLE/INDEX, DROP
+/// TABLE, INSERT/UPSERT, SELECT (joins, WHERE, GROUP BY, aggregates, ORDER
+/// BY, LIMIT), UPDATE, DELETE, BEGIN/COMMIT/ROLLBACK, SET.
+StatusOr<std::unique_ptr<Statement>> Parse(const std::string& sql);
+
+}  // namespace veloce::sql
+
+#endif  // VELOCE_SQL_PARSER_H_

@@ -1,0 +1,111 @@
+#include "sql/pushdown.h"
+
+#include <map>
+
+#include "common/codec.h"
+
+namespace veloce::sql {
+
+std::string PushdownSpec::Encode() const {
+  std::string out;
+  PutVarint64(&out, filters.size());
+  for (const auto& filter : filters) {
+    PutVarint32(&out, filter.column_id);
+    out.push_back(static_cast<char>(filter.op));
+    filter.value.EncodeValue(&out);
+  }
+  PutVarint64(&out, projection.size());
+  for (uint32_t col : projection) PutVarint32(&out, col);
+  return out;
+}
+
+StatusOr<PushdownSpec> PushdownSpec::Decode(Slice data) {
+  PushdownSpec spec;
+  uint64_t num_filters = 0;
+  if (!GetVarint64(&data, &num_filters)) {
+    return Status::Corruption("bad pushdown spec");
+  }
+  for (uint64_t i = 0; i < num_filters; ++i) {
+    PushdownFilter filter;
+    if (!GetVarint32(&data, &filter.column_id) || data.empty()) {
+      return Status::Corruption("bad pushdown filter");
+    }
+    filter.op = static_cast<PushdownOp>(data[0]);
+    data.RemovePrefix(1);
+    VELOCE_RETURN_IF_ERROR(Datum::DecodeValue(&data, &filter.value));
+    spec.filters.push_back(std::move(filter));
+  }
+  uint64_t num_projection = 0;
+  if (!GetVarint64(&data, &num_projection)) {
+    return Status::Corruption("bad pushdown projection");
+  }
+  for (uint64_t i = 0; i < num_projection; ++i) {
+    uint32_t col = 0;
+    if (!GetVarint32(&data, &col)) {
+      return Status::Corruption("bad pushdown projection column");
+    }
+    spec.projection.push_back(col);
+  }
+  return spec;
+}
+
+StatusOr<std::optional<std::string>> EvaluatePushdown(Slice row_value, Slice spec_bytes) {
+  VELOCE_ASSIGN_OR_RETURN(PushdownSpec spec, PushdownSpec::Decode(spec_bytes));
+  // Decode the column-id-tagged row value (see EncodeRowValue in row.cc).
+  Slice in = row_value;
+  uint32_t count = 0;
+  if (!GetVarint32(&in, &count)) return Status::Corruption("bad row value");
+  std::map<uint32_t, Datum> columns;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t col_id = 0;
+    if (!GetVarint32(&in, &col_id)) return Status::Corruption("bad row value col");
+    Datum d;
+    VELOCE_RETURN_IF_ERROR(Datum::DecodeValue(&in, &d));
+    columns[col_id] = std::move(d);
+  }
+
+  // Filters: a missing column is NULL; any comparison with NULL is unknown
+  // and rejects the row (matching WHERE semantics for simple conjuncts).
+  for (const auto& filter : spec.filters) {
+    auto it = columns.find(filter.column_id);
+    if (it == columns.end() || it->second.is_null() || filter.value.is_null()) {
+      return std::optional<std::string>();
+    }
+    const int c = it->second.Compare(filter.value);
+    bool keep = false;
+    switch (filter.op) {
+      case PushdownOp::kEq: keep = c == 0; break;
+      case PushdownOp::kNe: keep = c != 0; break;
+      case PushdownOp::kLt: keep = c < 0; break;
+      case PushdownOp::kLe: keep = c <= 0; break;
+      case PushdownOp::kGt: keep = c > 0; break;
+      case PushdownOp::kGe: keep = c >= 0; break;
+    }
+    if (!keep) return std::optional<std::string>();
+  }
+
+  if (spec.projection.empty()) {
+    return std::optional<std::string>(row_value.ToString());
+  }
+  // Projection: re-encode only the requested columns.
+  std::string out;
+  uint32_t kept = 0;
+  for (uint32_t col : spec.projection) {
+    if (columns.count(col)) ++kept;
+  }
+  PutVarint32(&out, kept);
+  for (uint32_t col : spec.projection) {
+    auto it = columns.find(col);
+    if (it == columns.end()) continue;
+    PutVarint32(&out, col);
+    it->second.EncodeValue(&out);
+  }
+  return std::optional<std::string>(std::move(out));
+}
+
+void InstallPushdownHook(kv::KVCluster* cluster) {
+  cluster->set_scan_pushdown_hook(
+      [](Slice row_value, Slice spec) { return EvaluatePushdown(row_value, spec); });
+}
+
+}  // namespace veloce::sql

@@ -1,0 +1,56 @@
+#ifndef VELOCE_SQL_PUSHDOWN_H_
+#define VELOCE_SQL_PUSHDOWN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kv/cluster.h"
+#include "sql/datum.h"
+
+namespace veloce::sql {
+
+/// Row-filter and projection push-down (the paper's future-work items,
+/// Section 8): the SQL layer serializes simple predicates and a needed-
+/// column list into an opaque spec carried on the scan request; the KV
+/// node evaluates them against each visible row so filtered rows and
+/// unused columns never cross the SQL/KV boundary.
+///
+/// Restrictions (by design, mirroring what a first production cut would
+/// ship): predicates are conjunctions of `column <op> constant` over
+/// non-primary-key columns; projection lists non-PK column ids (PK values
+/// travel in the key regardless).
+
+enum class PushdownOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct PushdownFilter {
+  uint32_t column_id = 0;
+  PushdownOp op = PushdownOp::kEq;
+  Datum value;
+};
+
+struct PushdownSpec {
+  std::vector<PushdownFilter> filters;
+  /// Non-PK column ids to keep in returned row values; empty = all.
+  std::vector<uint32_t> projection;
+
+  bool empty() const { return filters.empty() && projection.empty(); }
+
+  std::string Encode() const;
+  static StatusOr<PushdownSpec> Decode(Slice data);
+};
+
+/// The KV-side evaluator: applies a decoded spec to one row value (the
+/// column-id-tagged datum encoding of sql/row.h). Returns nullopt when a
+/// filter rejects the row, otherwise the (possibly projected) value.
+StatusOr<std::optional<std::string>> EvaluatePushdown(Slice row_value, Slice spec);
+
+/// Registers the evaluator on a KV cluster. In production SQL and KV ship
+/// in one binary, so the KV node links the same row codec; this mirrors
+/// that. Idempotent.
+void InstallPushdownHook(kv::KVCluster* cluster);
+
+}  // namespace veloce::sql
+
+#endif  // VELOCE_SQL_PUSHDOWN_H_

@@ -1,0 +1,110 @@
+#include "sql/row.h"
+
+#include "common/codec.h"
+#include "common/logging.h"
+
+namespace veloce::sql {
+
+std::string IndexPrefix(TableId table, IndexId index) {
+  std::string out = "tbl";
+  OrderedPutUint64(&out, table);
+  OrderedPutUint64(&out, index);
+  return out;
+}
+
+std::string EncodePrimaryKey(const TableDescriptor& desc, const Row& row) {
+  std::string out = IndexPrefix(desc.id, kPrimaryIndexId);
+  for (uint32_t col_id : desc.primary.column_ids) {
+    const int pos = desc.ColumnIndex(col_id);
+    VELOCE_CHECK(pos >= 0);
+    row[static_cast<size_t>(pos)].EncodeKey(&out);
+  }
+  return out;
+}
+
+std::string EncodePrimaryKeyFromDatums(const TableDescriptor& desc,
+                                       const std::vector<Datum>& pk_values) {
+  VELOCE_CHECK(pk_values.size() == desc.primary.column_ids.size());
+  std::string out = IndexPrefix(desc.id, kPrimaryIndexId);
+  for (const Datum& d : pk_values) d.EncodeKey(&out);
+  return out;
+}
+
+std::string EncodeRowValue(const TableDescriptor& desc, const Row& row) {
+  std::string out;
+  uint32_t count = 0;
+  for (const auto& col : desc.columns) {
+    if (!desc.IsPrimaryKeyColumn(col.id)) ++count;
+  }
+  PutVarint32(&out, count);
+  for (size_t i = 0; i < desc.columns.size(); ++i) {
+    const auto& col = desc.columns[i];
+    if (desc.IsPrimaryKeyColumn(col.id)) continue;
+    PutVarint32(&out, col.id);
+    row[i].EncodeValue(&out);
+  }
+  return out;
+}
+
+Status DecodeRow(const TableDescriptor& desc, Slice key, Slice value, Row* row) {
+  row->assign(desc.columns.size(), Datum::Null());
+  // Key: strip the table/index prefix, then decode PK datums in order.
+  const std::string prefix = IndexPrefix(desc.id, kPrimaryIndexId);
+  if (!key.StartsWith(prefix)) return Status::Corruption("row key prefix mismatch");
+  key.RemovePrefix(prefix.size());
+  for (uint32_t col_id : desc.primary.column_ids) {
+    Datum d;
+    VELOCE_RETURN_IF_ERROR(Datum::DecodeKey(&key, &d));
+    const int pos = desc.ColumnIndex(col_id);
+    if (pos < 0) return Status::Corruption("unknown pk column");
+    (*row)[static_cast<size_t>(pos)] = std::move(d);
+  }
+  // Value: column-id tagged datums.
+  uint32_t count = 0;
+  if (!GetVarint32(&value, &count)) return Status::Corruption("bad row value");
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t col_id = 0;
+    if (!GetVarint32(&value, &col_id)) return Status::Corruption("bad row value col");
+    Datum d;
+    VELOCE_RETURN_IF_ERROR(Datum::DecodeValue(&value, &d));
+    const int pos = desc.ColumnIndex(col_id);
+    // Unknown column ids are skipped (schema may have dropped the column).
+    if (pos >= 0) (*row)[static_cast<size_t>(pos)] = std::move(d);
+  }
+  return Status::OK();
+}
+
+std::string EncodeSecondaryKey(const TableDescriptor& desc,
+                               const IndexDescriptor& index, const Row& row) {
+  std::string out = IndexPrefix(desc.id, index.id);
+  for (uint32_t col_id : index.column_ids) {
+    const int pos = desc.ColumnIndex(col_id);
+    VELOCE_CHECK(pos >= 0);
+    row[static_cast<size_t>(pos)].EncodeKey(&out);
+  }
+  for (uint32_t col_id : desc.primary.column_ids) {
+    const int pos = desc.ColumnIndex(col_id);
+    VELOCE_CHECK(pos >= 0);
+    row[static_cast<size_t>(pos)].EncodeKey(&out);
+  }
+  return out;
+}
+
+Status DecodeSecondaryKeyPk(const TableDescriptor& desc, const IndexDescriptor& index,
+                            Slice key, std::vector<Datum>* pk_values) {
+  const std::string prefix = IndexPrefix(desc.id, index.id);
+  if (!key.StartsWith(prefix)) return Status::Corruption("index key prefix mismatch");
+  key.RemovePrefix(prefix.size());
+  Datum d;
+  for (size_t i = 0; i < index.column_ids.size(); ++i) {
+    VELOCE_RETURN_IF_ERROR(Datum::DecodeKey(&key, &d));
+  }
+  pk_values->clear();
+  for (size_t i = 0; i < desc.primary.column_ids.size(); ++i) {
+    VELOCE_RETURN_IF_ERROR(Datum::DecodeKey(&key, &d));
+    pk_values->push_back(std::move(d));
+  }
+  return Status::OK();
+}
+
+}  // namespace veloce::sql

@@ -1,0 +1,51 @@
+#ifndef VELOCE_SQL_ROW_H_
+#define VELOCE_SQL_ROW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/schema.h"
+
+namespace veloce::sql {
+
+/// A row as a vector of datums positionally aligned with
+/// TableDescriptor::columns.
+using Row = std::vector<Datum>;
+
+/// Key/value codecs mapping table rows onto the tenant's logical KV
+/// keyspace (before tenant prefixing):
+///
+///   primary row:     tbl . table_id . index_id(0) . pk datums   -> row value
+///   secondary index: tbl . table_id . index_id    . idx datums . pk datums -> empty
+///
+/// All key components use order-preserving encodings so KV range scans
+/// produce index order.
+
+/// Prefix of all keys of (table, index).
+std::string IndexPrefix(TableId table, IndexId index);
+
+/// Encodes the primary-key KV key for `row`.
+std::string EncodePrimaryKey(const TableDescriptor& desc, const Row& row);
+/// Encodes a primary-key KV key from explicit PK datums (point lookups).
+std::string EncodePrimaryKeyFromDatums(const TableDescriptor& desc,
+                                       const std::vector<Datum>& pk_values);
+
+/// Encodes the row value (all non-PK columns, tagged by column id).
+std::string EncodeRowValue(const TableDescriptor& desc, const Row& row);
+
+/// Decodes a primary KV pair back into a full row.
+Status DecodeRow(const TableDescriptor& desc, Slice key, Slice value, Row* row);
+
+/// Encodes the KV key for a secondary index entry of `row`.
+std::string EncodeSecondaryKey(const TableDescriptor& desc,
+                               const IndexDescriptor& index, const Row& row);
+
+/// Extracts the PK datums from a secondary index key (for the index join
+/// back to the primary row).
+Status DecodeSecondaryKeyPk(const TableDescriptor& desc, const IndexDescriptor& index,
+                            Slice key, std::vector<Datum>* pk_values);
+
+}  // namespace veloce::sql
+
+#endif  // VELOCE_SQL_ROW_H_

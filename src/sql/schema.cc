@@ -1,0 +1,121 @@
+#include "sql/schema.h"
+
+#include "common/codec.h"
+
+namespace veloce::sql {
+
+const ColumnDescriptor* TableDescriptor::FindColumn(const std::string& col_name) const {
+  for (const auto& col : columns) {
+    if (col.name == col_name) return &col;
+  }
+  return nullptr;
+}
+
+const ColumnDescriptor* TableDescriptor::FindColumnById(uint32_t col_id) const {
+  for (const auto& col : columns) {
+    if (col.id == col_id) return &col;
+  }
+  return nullptr;
+}
+
+int TableDescriptor::ColumnIndex(uint32_t col_id) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].id == col_id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool TableDescriptor::IsPrimaryKeyColumn(uint32_t col_id) const {
+  for (uint32_t id : primary.column_ids) {
+    if (id == col_id) return true;
+  }
+  return false;
+}
+
+const IndexDescriptor* TableDescriptor::FindIndex(const std::string& index_name) const {
+  for (const auto& idx : secondaries) {
+    if (idx.name == index_name) return &idx;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void EncodeIndex(std::string* out, const IndexDescriptor& idx) {
+  PutVarint32(out, idx.id);
+  PutLengthPrefixed(out, idx.name);
+  PutVarint64(out, idx.column_ids.size());
+  for (uint32_t id : idx.column_ids) PutVarint32(out, id);
+}
+
+bool DecodeIndex(Slice* in, IndexDescriptor* idx) {
+  Slice name;
+  uint64_t num_cols = 0;
+  if (!GetVarint32(in, &idx->id) || !GetLengthPrefixed(in, &name) ||
+      !GetVarint64(in, &num_cols)) {
+    return false;
+  }
+  idx->name = name.ToString();
+  idx->column_ids.clear();
+  for (uint64_t i = 0; i < num_cols; ++i) {
+    uint32_t id;
+    if (!GetVarint32(in, &id)) return false;
+    idx->column_ids.push_back(id);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TableDescriptor::Encode() const {
+  std::string out;
+  PutVarint64(&out, id);
+  PutLengthPrefixed(&out, name);
+  PutVarint64(&out, columns.size());
+  for (const auto& col : columns) {
+    PutVarint32(&out, col.id);
+    PutLengthPrefixed(&out, col.name);
+    out.push_back(static_cast<char>(col.type));
+    out.push_back(col.nullable ? 1 : 0);
+  }
+  EncodeIndex(&out, primary);
+  PutVarint64(&out, secondaries.size());
+  for (const auto& idx : secondaries) EncodeIndex(&out, idx);
+  return out;
+}
+
+StatusOr<TableDescriptor> TableDescriptor::Decode(Slice data) {
+  TableDescriptor desc;
+  Slice name;
+  uint64_t num_cols = 0;
+  if (!GetVarint64(&data, &desc.id) || !GetLengthPrefixed(&data, &name) ||
+      !GetVarint64(&data, &num_cols)) {
+    return Status::Corruption("bad table descriptor");
+  }
+  desc.name = name.ToString();
+  for (uint64_t i = 0; i < num_cols; ++i) {
+    ColumnDescriptor col;
+    Slice col_name;
+    if (!GetVarint32(&data, &col.id) || !GetLengthPrefixed(&data, &col_name) ||
+        data.size() < 2) {
+      return Status::Corruption("bad column descriptor");
+    }
+    col.name = col_name.ToString();
+    col.type = static_cast<TypeKind>(data[0]);
+    col.nullable = data[1] != 0;
+    data.RemovePrefix(2);
+    desc.columns.push_back(std::move(col));
+  }
+  uint64_t num_secondaries = 0;
+  if (!DecodeIndex(&data, &desc.primary) || !GetVarint64(&data, &num_secondaries)) {
+    return Status::Corruption("bad index descriptors");
+  }
+  for (uint64_t i = 0; i < num_secondaries; ++i) {
+    IndexDescriptor idx;
+    if (!DecodeIndex(&data, &idx)) return Status::Corruption("bad secondary index");
+    desc.secondaries.push_back(std::move(idx));
+  }
+  return desc;
+}
+
+}  // namespace veloce::sql

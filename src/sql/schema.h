@@ -1,0 +1,54 @@
+#ifndef VELOCE_SQL_SCHEMA_H_
+#define VELOCE_SQL_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/datum.h"
+
+namespace veloce::sql {
+
+using TableId = uint64_t;
+using IndexId = uint32_t;
+constexpr IndexId kPrimaryIndexId = 0;
+
+struct ColumnDescriptor {
+  uint32_t id = 0;  ///< stable column id (position-independent)
+  std::string name;
+  TypeKind type = TypeKind::kInt;
+  bool nullable = true;
+};
+
+struct IndexDescriptor {
+  IndexId id = kPrimaryIndexId;
+  std::string name;
+  /// Column ids in index order.
+  std::vector<uint32_t> column_ids;
+};
+
+/// A table's schema: columns, the primary index, and secondary indexes.
+/// Persisted in the tenant's system.descriptor keyspace; every SQL node of
+/// the tenant reads the same descriptors (the rows a multi-region cold
+/// start must fetch before serving queries).
+struct TableDescriptor {
+  TableId id = 0;
+  std::string name;
+  std::vector<ColumnDescriptor> columns;
+  IndexDescriptor primary;                  ///< id == kPrimaryIndexId
+  std::vector<IndexDescriptor> secondaries;
+
+  const ColumnDescriptor* FindColumn(const std::string& col_name) const;
+  const ColumnDescriptor* FindColumnById(uint32_t col_id) const;
+  int ColumnIndex(uint32_t col_id) const;  ///< position in `columns`, -1 if absent
+  bool IsPrimaryKeyColumn(uint32_t col_id) const;
+  const IndexDescriptor* FindIndex(const std::string& index_name) const;
+
+  std::string Encode() const;
+  static StatusOr<TableDescriptor> Decode(Slice data);
+};
+
+}  // namespace veloce::sql
+
+#endif  // VELOCE_SQL_SCHEMA_H_

@@ -1,0 +1,157 @@
+#include "sql/session.h"
+
+#include <cctype>
+
+#include "common/codec.h"
+
+namespace veloce::sql {
+
+Session::Session(uint64_t id, Catalog* catalog, KvConnector* connector)
+    : id_(id),
+      catalog_(catalog),
+      connector_(connector),
+      executor_(catalog, connector) {}
+
+StatusOr<ResultSet> Session::Execute(const std::string& sql,
+                                     const std::vector<Datum>& params) {
+  VELOCE_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt, Parse(sql));
+  ++statements_executed_;
+  switch (stmt->kind) {
+    case Statement::Kind::kTxn:
+      switch (stmt->txn.kind) {
+        case TxnStmt::Kind::kBegin: {
+          if (txn_ != nullptr) {
+            return Status::InvalidArgument("transaction already open");
+          }
+          txn_ = connector_->BeginTransaction();
+          return ResultSet{};
+        }
+        case TxnStmt::Kind::kCommit: {
+          if (txn_ == nullptr) {
+            return Status::InvalidArgument("no transaction to commit");
+          }
+          Status s = txn_->Commit();
+          txn_.reset();
+          VELOCE_RETURN_IF_ERROR(s);
+          return ResultSet{};
+        }
+        case TxnStmt::Kind::kRollback: {
+          if (txn_ == nullptr) {
+            return Status::InvalidArgument("no transaction to roll back");
+          }
+          Status s = txn_->Rollback();
+          txn_.reset();
+          VELOCE_RETURN_IF_ERROR(s);
+          return ResultSet{};
+        }
+      }
+      return Status::Internal("unhandled txn statement");
+    case Statement::Kind::kSet:
+      SetSetting(stmt->set.name, stmt->set.value);
+      return ResultSet{};
+    default: {
+      // The paper's future-work push-down ships behind a session setting.
+      // (Setting values arrive normalized by the lexer, so compare
+      // case-insensitively: `SET kv_pushdown = on` stores "ON".)
+      auto pushdown = settings_.find("kv_pushdown");
+      bool enabled = false;
+      if (pushdown != settings_.end()) {
+        std::string value = pushdown->second;
+        for (char& c : value) c = static_cast<char>(std::tolower(c));
+        enabled = value == "on" || value == "true" || value == "1";
+      }
+      executor_.set_pushdown_enabled(enabled);
+      StatusOr<ResultSet> result = executor_.Execute(*stmt, txn_.get(), &params);
+      if (!result.ok() && txn_ != nullptr &&
+          (result.status().code() == Code::kTransactionAborted ||
+           result.status().IsTransactionRetry())) {
+        // The explicit transaction is dead; discard it so the client can
+        // BEGIN again after observing the retryable error.
+        (void)txn_->Rollback();
+        txn_.reset();
+      }
+      return result;
+    }
+  }
+}
+
+Status Session::Prepare(const std::string& name, const std::string& sql) {
+  // Validate eagerly so errors surface at prepare time.
+  VELOCE_RETURN_IF_ERROR(Parse(sql).status());
+  prepared_[name] = sql;
+  return Status::OK();
+}
+
+StatusOr<ResultSet> Session::ExecutePrepared(const std::string& name,
+                                             const std::vector<Datum>& params) {
+  auto it = prepared_.find(name);
+  if (it == prepared_.end()) {
+    return Status::NotFound("no prepared statement named " + name);
+  }
+  return Execute(it->second, params);
+}
+
+StatusOr<std::string> Session::GetSetting(const std::string& name) const {
+  auto it = settings_.find(name);
+  if (it == settings_.end()) return Status::NotFound("no setting " + name);
+  return it->second;
+}
+
+StatusOr<std::string> Session::Serialize(uint64_t revival_token) const {
+  if (!idle()) {
+    return Status::InvalidArgument("cannot serialize a session with an open txn");
+  }
+  std::string out;
+  PutFixed64(&out, revival_token);
+  PutVarint64(&out, settings_.size());
+  for (const auto& [key, value] : settings_) {
+    PutLengthPrefixed(&out, key);
+    PutLengthPrefixed(&out, value);
+  }
+  PutVarint64(&out, prepared_.size());
+  for (const auto& [name, sql] : prepared_) {
+    PutLengthPrefixed(&out, name);
+    PutLengthPrefixed(&out, sql);
+  }
+  return out;
+}
+
+StatusOr<std::unique_ptr<Session>> Session::Restore(uint64_t id, Catalog* catalog,
+                                                    KvConnector* connector,
+                                                    Slice serialized,
+                                                    uint64_t expected_token) {
+  uint64_t token = 0;
+  if (!GetFixed64(&serialized, &token)) {
+    return Status::Corruption("bad serialized session");
+  }
+  if (token != expected_token) {
+    return Status::Unauthorized("revival token mismatch");
+  }
+  auto session = std::make_unique<Session>(id, catalog, connector);
+  uint64_t num_settings = 0;
+  if (!GetVarint64(&serialized, &num_settings)) {
+    return Status::Corruption("bad serialized session settings");
+  }
+  for (uint64_t i = 0; i < num_settings; ++i) {
+    Slice key, value;
+    if (!GetLengthPrefixed(&serialized, &key) ||
+        !GetLengthPrefixed(&serialized, &value)) {
+      return Status::Corruption("bad serialized setting");
+    }
+    session->settings_[key.ToString()] = value.ToString();
+  }
+  uint64_t num_prepared = 0;
+  if (!GetVarint64(&serialized, &num_prepared)) {
+    return Status::Corruption("bad serialized prepared statements");
+  }
+  for (uint64_t i = 0; i < num_prepared; ++i) {
+    Slice name, sql;
+    if (!GetLengthPrefixed(&serialized, &name) || !GetLengthPrefixed(&serialized, &sql)) {
+      return Status::Corruption("bad serialized prepared statement");
+    }
+    session->prepared_[name.ToString()] = sql.ToString();
+  }
+  return session;
+}
+
+}  // namespace veloce::sql

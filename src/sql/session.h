@@ -1,0 +1,78 @@
+#ifndef VELOCE_SQL_SESSION_H_
+#define VELOCE_SQL_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/executor.h"
+#include "sql/parser.h"
+
+namespace veloce::sql {
+
+/// A SQL session: the server-side state of one client connection —
+/// settings, prepared statements, and the open transaction, if any.
+///
+/// Sessions are the unit of *dynamic session migration* (Section 4.2.4):
+/// when idle (no open transaction) a session serializes to a compact blob
+/// (settings + prepared statements + a revival token) that a new SQL node
+/// can restore without client re-authentication.
+class Session {
+ public:
+  Session(uint64_t id, Catalog* catalog, KvConnector* connector);
+
+  uint64_t id() const { return id_; }
+
+  /// Parses and executes one statement. BEGIN/COMMIT/ROLLBACK and SET are
+  /// handled here; everything else goes to the executor under the current
+  /// transaction (or an implicit one).
+  StatusOr<ResultSet> Execute(const std::string& sql,
+                              const std::vector<Datum>& params = {});
+
+  Status Prepare(const std::string& name, const std::string& sql);
+  StatusOr<ResultSet> ExecutePrepared(const std::string& name,
+                                      const std::vector<Datum>& params = {});
+  const std::map<std::string, std::string>& prepared_statements() const {
+    return prepared_;
+  }
+
+  void SetSetting(const std::string& name, const std::string& value) {
+    settings_[name] = value;
+  }
+  StatusOr<std::string> GetSetting(const std::string& name) const;
+  const std::map<std::string, std::string>& settings() const { return settings_; }
+
+  bool in_transaction() const { return txn_ != nullptr; }
+  /// A session is migratable only while idle (no open transaction).
+  bool idle() const { return !in_transaction(); }
+
+  /// Cumulative statements executed (metrics).
+  uint64_t statements_executed() const { return statements_executed_; }
+
+  // --- migration ----------------------------------------------------------
+  /// Serialized session state, embedding `revival_token` — the internal
+  /// credential that lets the proxy resume the session on another node
+  /// without client re-authentication.
+  StatusOr<std::string> Serialize(uint64_t revival_token) const;
+  /// Restores a session on a (new) node. Fails if the embedded token does
+  /// not match `expected_token`.
+  static StatusOr<std::unique_ptr<Session>> Restore(uint64_t id, Catalog* catalog,
+                                                    KvConnector* connector,
+                                                    Slice serialized,
+                                                    uint64_t expected_token);
+
+ private:
+  uint64_t id_;
+  Catalog* catalog_;
+  KvConnector* connector_;
+  Executor executor_;
+  std::map<std::string, std::string> settings_;
+  std::map<std::string, std::string> prepared_;  // name -> SQL text
+  std::unique_ptr<TenantTxn> txn_;
+  uint64_t statements_executed_ = 0;
+};
+
+}  // namespace veloce::sql
+
+#endif  // VELOCE_SQL_SESSION_H_

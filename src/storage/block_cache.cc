@@ -1,0 +1,63 @@
+#include "storage/block_cache.h"
+
+namespace veloce::storage {
+
+std::shared_ptr<const std::string> BlockCache::Lookup(uint64_t file_number,
+                                                      uint64_t block_idx) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = index_.find({file_number, block_idx});
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  // Move to front (most recently used).
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->block;
+}
+
+void BlockCache::Insert(uint64_t file_number, uint64_t block_idx,
+                        std::string contents) {
+  std::lock_guard<std::mutex> l(mu_);
+  const Key key{file_number, block_idx};
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    usage_ -= it->second->block->size();
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  auto block = std::make_shared<const std::string>(std::move(contents));
+  usage_ += block->size();
+  lru_.push_front(Entry{key, std::move(block)});
+  index_[key] = lru_.begin();
+  EvictIfNeededLocked();
+}
+
+void BlockCache::EvictFile(uint64_t file_number) {
+  std::lock_guard<std::mutex> l(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.first == file_number) {
+      usage_ -= it->block->size();
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BlockCache::EvictIfNeededLocked() {
+  while (usage_ > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    usage_ -= victim.block->size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+size_t BlockCache::usage_bytes() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return usage_;
+}
+
+}  // namespace veloce::storage

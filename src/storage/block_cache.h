@@ -1,0 +1,63 @@
+#ifndef VELOCE_STORAGE_BLOCK_CACHE_H_
+#define VELOCE_STORAGE_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace veloce::storage {
+
+/// Sharded-nothing LRU cache for decoded (checksum-verified) SSTable data
+/// blocks, keyed by (file number, block index). Point reads dominate OLTP;
+/// without this every Get re-reads and re-CRCs a block from the Env.
+/// Thread-safe.
+class BlockCache {
+ public:
+  explicit BlockCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// Returns the cached block contents, or nullptr on miss. The returned
+  /// shared_ptr stays valid even if the entry is evicted afterwards.
+  std::shared_ptr<const std::string> Lookup(uint64_t file_number, uint64_t block_idx);
+
+  /// Inserts (or refreshes) a block.
+  void Insert(uint64_t file_number, uint64_t block_idx, std::string contents);
+
+  /// Drops every block of a file (after compaction deletes it).
+  void EvictFile(uint64_t file_number);
+
+  size_t usage_bytes() const;
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  using Key = std::pair<uint64_t, uint64_t>;
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()(k.first * 0x9E3779B97F4A7C15ULL ^ k.second);
+    }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const std::string> block;
+  };
+
+  void EvictIfNeededLocked();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  size_t usage_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace veloce::storage
+
+#endif  // VELOCE_STORAGE_BLOCK_CACHE_H_

@@ -1,0 +1,596 @@
+#include "storage/engine.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/codec.h"
+#include "common/logging.h"
+
+namespace veloce::storage {
+
+namespace {
+
+// Applies a WriteBatch to a memtable, assigning consecutive sequence numbers
+// starting at base_seq.
+class MemTableInserter : public WriteBatch::Handler {
+ public:
+  MemTableInserter(MemTable* mem, SequenceNumber base_seq)
+      : mem_(mem), seq_(base_seq) {}
+
+  void Put(Slice key, Slice value) override {
+    mem_->Add(seq_++, ValueType::kValue, key, value);
+  }
+  void Delete(Slice key) override {
+    mem_->Add(seq_++, ValueType::kDeletion, key, Slice());
+  }
+
+  SequenceNumber next_seq() const { return seq_; }
+
+ private:
+  MemTable* mem_;
+  SequenceNumber seq_;
+};
+
+}  // namespace
+
+std::string Engine::TableFileName(uint64_t number) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/%06" PRIu64 ".sst", number);
+  return options_.dir + buf;
+}
+
+std::string Engine::WalFileName(uint64_t number) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/wal-%06" PRIu64 ".log", number);
+  return options_.dir + buf;
+}
+
+std::string Engine::ManifestFileName() const { return options_.dir + "/MANIFEST"; }
+
+StatusOr<std::unique_ptr<Engine>> Engine::Open(EngineOptions options) {
+  auto engine = std::unique_ptr<Engine>(new Engine());
+  engine->options_ = options;
+  if (options.env == nullptr) {
+    engine->owned_env_ = NewMemEnv();
+    engine->env_ = engine->owned_env_.get();
+  } else {
+    engine->env_ = options.env;
+  }
+  VELOCE_RETURN_IF_ERROR(engine->env_->CreateDirIfMissing(options.dir));
+  if (options.block_cache_bytes > 0) {
+    engine->block_cache_ = std::make_unique<BlockCache>(options.block_cache_bytes);
+  }
+  engine->mem_ = std::make_shared<MemTable>();
+  VELOCE_RETURN_IF_ERROR(engine->Recover());
+  return engine;
+}
+
+Engine::~Engine() = default;
+
+Status Engine::Recover() {
+  if (env_->FileExists(ManifestFileName())) {
+    VELOCE_RETURN_IF_ERROR(LoadManifest());
+  }
+  // Replay any WALs present, in number order, into the memtable.
+  std::vector<std::string> children;
+  VELOCE_RETURN_IF_ERROR(env_->GetChildren(options_.dir, &children));
+  std::vector<std::string> wals;
+  for (const auto& name : children) {
+    if (name.rfind("wal-", 0) == 0) wals.push_back(name);
+  }
+  std::sort(wals.begin(), wals.end());
+  for (const auto& name : wals) {
+    VELOCE_RETURN_IF_ERROR(ReplayWal(options_.dir + "/" + name));
+  }
+  if (mem_->num_entries() > 0) {
+    std::lock_guard<std::mutex> l(mu_);
+    VELOCE_RETURN_IF_ERROR(FlushMemTableLocked());
+  }
+  for (const auto& name : wals) {
+    VELOCE_RETURN_IF_ERROR(env_->DeleteFile(options_.dir + "/" + name));
+  }
+  return NewWal();
+}
+
+Status Engine::ReplayWal(const std::string& fname) {
+  std::string contents;
+  VELOCE_RETURN_IF_ERROR(env_->ReadFileToString(fname, &contents));
+  LogReader reader(std::move(contents));
+  std::string record;
+  bool corruption = false;
+  while (reader.ReadRecord(&record, &corruption)) {
+    Slice payload(record);
+    uint64_t base_seq = 0;
+    if (!GetFixed64(&payload, &base_seq)) {
+      return Status::Corruption("WAL record missing sequence");
+    }
+    WriteBatch batch;
+    VELOCE_RETURN_IF_ERROR(batch.SetContents(payload));
+    MemTableInserter inserter(mem_.get(), base_seq);
+    VELOCE_RETURN_IF_ERROR(batch.Iterate(&inserter));
+    if (inserter.next_seq() - 1 > last_seq_) last_seq_ = inserter.next_seq() - 1;
+  }
+  if (corruption) {
+    return Status::Corruption("corrupt WAL record in " + fname);
+  }
+  return Status::OK();
+}
+
+Status Engine::NewWal() {
+  wal_number_ = next_file_number_++;
+  std::unique_ptr<WritableFile> file;
+  VELOCE_RETURN_IF_ERROR(env_->NewWritableFile(WalFileName(wal_number_), &file));
+  wal_ = std::make_unique<LogWriter>(std::move(file));
+  return Status::OK();
+}
+
+Status Engine::WriteManifest() {
+  std::string out;
+  PutFixed64(&out, next_file_number_);
+  PutFixed64(&out, last_seq_);
+  uint32_t num_files = 0;
+  for (int level = 0; level < kNumLevels; ++level) {
+    num_files += static_cast<uint32_t>(levels_[level].size());
+  }
+  PutFixed32(&out, num_files);
+  for (int level = 0; level < kNumLevels; ++level) {
+    for (const auto& f : levels_[level]) {
+      PutFixed32(&out, static_cast<uint32_t>(level));
+      PutFixed64(&out, f->number);
+      PutFixed64(&out, f->file_size);
+      PutLengthPrefixed(&out, Slice(f->smallest));
+      PutLengthPrefixed(&out, Slice(f->largest));
+    }
+  }
+  return env_->WriteStringToFile(ManifestFileName(), Slice(out));
+}
+
+Status Engine::LoadManifest() {
+  std::string contents;
+  VELOCE_RETURN_IF_ERROR(env_->ReadFileToString(ManifestFileName(), &contents));
+  Slice in(contents);
+  uint32_t num_files = 0;
+  if (!GetFixed64(&in, &next_file_number_) || !GetFixed64(&in, &last_seq_) ||
+      !GetFixed32(&in, &num_files)) {
+    return Status::Corruption("bad manifest header");
+  }
+  for (uint32_t i = 0; i < num_files; ++i) {
+    uint32_t level = 0;
+    auto meta = std::make_shared<FileMeta>();
+    Slice smallest, largest;
+    if (!GetFixed32(&in, &level) || !GetFixed64(&in, &meta->number) ||
+        !GetFixed64(&in, &meta->file_size) || !GetLengthPrefixed(&in, &smallest) ||
+        !GetLengthPrefixed(&in, &largest) || level >= kNumLevels) {
+      return Status::Corruption("bad manifest entry");
+    }
+    meta->smallest = smallest.ToString();
+    meta->largest = largest.ToString();
+    std::unique_ptr<RandomAccessFile> file;
+    VELOCE_RETURN_IF_ERROR(env_->NewRandomAccessFile(TableFileName(meta->number), &file));
+    VELOCE_ASSIGN_OR_RETURN(meta->table,
+                            Table::Open(std::move(file), block_cache_.get(), meta->number));
+    levels_[level].push_back(std::move(meta));
+  }
+  // L0 must be newest-first (higher file number = newer flush).
+  std::sort(levels_[0].begin(), levels_[0].end(),
+            [](const auto& a, const auto& b) { return a->number > b->number; });
+  for (int level = 1; level < kNumLevels; ++level) {
+    std::sort(levels_[level].begin(), levels_[level].end(),
+              [](const auto& a, const auto& b) {
+                return Slice(a->smallest) < Slice(b->smallest);
+              });
+  }
+  return Status::OK();
+}
+
+Status Engine::Put(Slice key, Slice value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(batch);
+}
+
+Status Engine::Delete(Slice key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(batch);
+}
+
+Status Engine::Write(const WriteBatch& batch) {
+  if (batch.Count() == 0) return Status::OK();
+  std::lock_guard<std::mutex> l(mu_);
+  const SequenceNumber base_seq = last_seq_ + 1;
+  std::string record;
+  PutFixed64(&record, base_seq);
+  record.append(batch.rep());
+  VELOCE_RETURN_IF_ERROR(wal_->AddRecord(Slice(record)));
+  stats_.wal_bytes += record.size() + 8;  // payload + frame header
+  stats_.ingest_bytes += batch.PayloadBytes();
+
+  MemTableInserter inserter(mem_.get(), base_seq);
+  VELOCE_RETURN_IF_ERROR(batch.Iterate(&inserter));
+  last_seq_ = inserter.next_seq() - 1;
+
+  if (mem_->ApproximateMemoryUsage() >= options_.memtable_bytes) {
+    VELOCE_RETURN_IF_ERROR(FlushMemTableLocked());
+    VELOCE_RETURN_IF_ERROR(MaybeCompactLocked());
+  }
+  return Status::OK();
+}
+
+Status Engine::Flush() {
+  std::lock_guard<std::mutex> l(mu_);
+  if (mem_->num_entries() == 0) return Status::OK();
+  VELOCE_RETURN_IF_ERROR(FlushMemTableLocked());
+  return MaybeCompactLocked();
+}
+
+Status Engine::FlushMemTableLocked() {
+  if (mem_->num_entries() == 0) return Status::OK();
+  auto meta = std::make_shared<FileMeta>();
+  meta->number = next_file_number_++;
+  const std::string fname = TableFileName(meta->number);
+  {
+    std::unique_ptr<WritableFile> file;
+    VELOCE_RETURN_IF_ERROR(env_->NewWritableFile(fname, &file));
+    TableBuilder builder(std::move(file), options_.block_bytes);
+    auto it = mem_->NewIterator();
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      VELOCE_RETURN_IF_ERROR(builder.Add(it->key(), it->value()));
+    }
+    VELOCE_RETURN_IF_ERROR(builder.Finish());
+    meta->file_size = builder.file_size();
+    meta->smallest = builder.smallest();
+    meta->largest = builder.largest();
+  }
+  std::unique_ptr<RandomAccessFile> file;
+  VELOCE_RETURN_IF_ERROR(env_->NewRandomAccessFile(fname, &file));
+  VELOCE_ASSIGN_OR_RETURN(meta->table,
+                          Table::Open(std::move(file), block_cache_.get(), meta->number));
+
+  levels_[0].insert(levels_[0].begin(), std::move(meta));  // newest first
+  stats_.flush_bytes += levels_[0].front()->file_size;
+  ++stats_.num_flushes;
+
+  mem_ = std::make_shared<MemTable>();
+  // Retire the old WAL: its contents are now durable in the L0 file.
+  const uint64_t old_wal = wal_number_;
+  VELOCE_RETURN_IF_ERROR(NewWal());
+  VELOCE_RETURN_IF_ERROR(WriteManifest());
+  (void)env_->DeleteFile(WalFileName(old_wal));
+  return Status::OK();
+}
+
+uint64_t Engine::MaxBytesForLevel(int level) const {
+  uint64_t max = options_.level_base_bytes;
+  for (int i = 1; i < level; ++i) max *= 10;
+  return max;
+}
+
+Status Engine::MaybeCompactLocked() {
+  bool did_work = true;
+  while (did_work) {
+    did_work = false;
+    if (static_cast<int>(levels_[0].size()) >= options_.l0_compaction_trigger) {
+      VELOCE_RETURN_IF_ERROR(CompactL0Locked());
+      did_work = true;
+      continue;
+    }
+    for (int level = 1; level < kNumLevels - 1; ++level) {
+      if (LevelBytes(level) > MaxBytesForLevel(level)) {
+        VELOCE_RETURN_IF_ERROR(CompactLevelLocked(level));
+        did_work = true;
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::CompactAll() {
+  std::lock_guard<std::mutex> l(mu_);
+  VELOCE_RETURN_IF_ERROR(FlushMemTableLocked());
+  if (!levels_[0].empty()) {
+    VELOCE_RETURN_IF_ERROR(CompactL0Locked());
+  }
+  for (int level = 1; level < kNumLevels - 1; ++level) {
+    while (LevelBytes(level) > MaxBytesForLevel(level)) {
+      VELOCE_RETURN_IF_ERROR(CompactLevelLocked(level));
+    }
+  }
+  return Status::OK();
+}
+
+Engine::FileList Engine::OverlappingFiles(int level, Slice smallest_user,
+                                          Slice largest_user) const {
+  FileList out;
+  for (const auto& f : levels_[level]) {
+    const Slice file_small = ExtractUserKey(Slice(f->smallest));
+    const Slice file_large = ExtractUserKey(Slice(f->largest));
+    if (file_large < smallest_user || file_small > largest_user) continue;
+    out.push_back(f);
+  }
+  return out;
+}
+
+Status Engine::CompactL0Locked() {
+  if (levels_[0].empty()) return Status::OK();
+  FileList upper = levels_[0];
+  std::string smallest, largest;
+  for (const auto& f : upper) {
+    const std::string su = ExtractUserKey(Slice(f->smallest)).ToString();
+    const std::string lu = ExtractUserKey(Slice(f->largest)).ToString();
+    if (smallest.empty() || su < smallest) smallest = su;
+    if (largest.empty() || lu > largest) largest = lu;
+  }
+  FileList lower = OverlappingFiles(1, Slice(smallest), Slice(largest));
+  return DoCompactionLocked(upper, 0, lower, 1);
+}
+
+Status Engine::CompactLevelLocked(int level) {
+  if (levels_[level].empty()) return Status::OK();
+  // Round-robin file pick within the level.
+  const size_t idx = compact_pointer_[level] % levels_[level].size();
+  compact_pointer_[level] = idx + 1;
+  FileList upper = {levels_[level][idx]};
+  const Slice su = ExtractUserKey(Slice(upper[0]->smallest));
+  const Slice lu = ExtractUserKey(Slice(upper[0]->largest));
+  FileList lower = OverlappingFiles(level + 1, su, lu);
+  return DoCompactionLocked(upper, level, lower, level + 1);
+}
+
+SequenceNumber Engine::OldestPinnedSeqLocked() const {
+  return pinned_seqs_.empty() ? kMaxSequenceNumber : *pinned_seqs_.begin();
+}
+
+Status Engine::DoCompactionLocked(const FileList& inputs_upper, int upper_level,
+                                  const FileList& inputs_lower, int output_level) {
+  ++stats_.num_compactions;
+  const SequenceNumber oldest_pinned = OldestPinnedSeqLocked();
+  const bool bottom = output_level == kNumLevels - 1;
+
+  std::vector<std::unique_ptr<InternalIterator>> children;
+  for (const auto& f : inputs_upper) {
+    children.push_back(f->table->NewIterator());
+    stats_.compact_read_bytes += f->file_size;
+  }
+  for (const auto& f : inputs_lower) {
+    children.push_back(f->table->NewIterator());
+    stats_.compact_read_bytes += f->file_size;
+  }
+  auto merged = NewMergingIterator(std::move(children));
+
+  FileList outputs;
+  std::unique_ptr<TableBuilder> builder;
+  auto finish_output = [&]() -> Status {
+    if (builder == nullptr) return Status::OK();
+    auto meta = outputs.back();
+    VELOCE_RETURN_IF_ERROR(builder->Finish());
+    meta->file_size = builder->file_size();
+    meta->smallest = builder->smallest();
+    meta->largest = builder->largest();
+    stats_.compact_write_bytes += meta->file_size;
+    std::unique_ptr<RandomAccessFile> file;
+    VELOCE_RETURN_IF_ERROR(env_->NewRandomAccessFile(TableFileName(meta->number), &file));
+    VELOCE_ASSIGN_OR_RETURN(meta->table,
+                            Table::Open(std::move(file), block_cache_.get(), meta->number));
+    builder.reset();
+    return Status::OK();
+  };
+
+  std::string prev_user_key;
+  bool has_prev = false;
+  bool prev_dropped_boundary = false;  // newest version <= oldest_pinned seen
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    const Slice ikey = merged->key();
+    const Slice user_key = ExtractUserKey(ikey);
+    const SequenceNumber seq = ExtractSequence(ikey);
+    const ValueType type = ExtractValueType(ikey);
+
+    bool drop = false;
+    if (has_prev && user_key == Slice(prev_user_key)) {
+      // An earlier (newer) version of this user key was already emitted or
+      // established as the visible version for all pinned snapshots.
+      if (prev_dropped_boundary) drop = true;
+    }
+    if (!drop) {
+      prev_user_key.assign(user_key.data(), user_key.size());
+      has_prev = true;
+      prev_dropped_boundary = seq <= oldest_pinned;
+      if (type == ValueType::kDeletion && bottom && seq <= oldest_pinned) {
+        // Tombstone at the bottom: nothing deeper can resurrect the key.
+        drop = true;
+      }
+    }
+    if (drop) continue;
+
+    if (builder == nullptr) {
+      auto meta = std::make_shared<FileMeta>();
+      meta->number = next_file_number_++;
+      std::unique_ptr<WritableFile> file;
+      VELOCE_RETURN_IF_ERROR(env_->NewWritableFile(TableFileName(meta->number), &file));
+      builder = std::make_unique<TableBuilder>(std::move(file), options_.block_bytes);
+      outputs.push_back(std::move(meta));
+    }
+    VELOCE_RETURN_IF_ERROR(builder->Add(ikey, merged->value()));
+    if (builder->file_size() + options_.block_bytes >= options_.sstable_target_bytes) {
+      VELOCE_RETURN_IF_ERROR(finish_output());
+    }
+  }
+  VELOCE_RETURN_IF_ERROR(finish_output());
+
+  // Install: remove inputs from their levels, add outputs to output_level.
+  auto remove_from = [](FileList* list, const FileList& gone) {
+    list->erase(std::remove_if(list->begin(), list->end(),
+                               [&](const std::shared_ptr<FileMeta>& f) {
+                                 for (const auto& g : gone) {
+                                   if (g->number == f->number) return true;
+                                 }
+                                 return false;
+                               }),
+                list->end());
+  };
+  remove_from(&levels_[upper_level], inputs_upper);
+  remove_from(&levels_[output_level], inputs_lower);
+  for (const auto& f : outputs) levels_[output_level].push_back(f);
+  std::sort(levels_[output_level].begin(), levels_[output_level].end(),
+            [](const auto& a, const auto& b) {
+              return Slice(a->smallest) < Slice(b->smallest);
+            });
+  VELOCE_RETURN_IF_ERROR(WriteManifest());
+  for (const auto& f : inputs_upper) {
+    (void)env_->DeleteFile(TableFileName(f->number));
+    if (block_cache_ != nullptr) block_cache_->EvictFile(f->number);
+  }
+  for (const auto& f : inputs_lower) {
+    (void)env_->DeleteFile(TableFileName(f->number));
+    if (block_cache_ != nullptr) block_cache_->EvictFile(f->number);
+  }
+  return Status::OK();
+}
+
+Status Engine::Get(Slice key, std::string* value) {
+  std::lock_guard<std::mutex> l(mu_);
+  return GetLocked(key, last_seq_, value);
+}
+
+Status Engine::GetLocked(Slice key, SequenceNumber snapshot, std::string* value) {
+  bool is_deleted = false;
+  if (mem_->Get(key, snapshot, value, &is_deleted)) {
+    if (is_deleted) return Status::NotFound("deleted");
+    return Status::OK();
+  }
+  bool found = false;
+  // L0: newest file first; first hit wins (files are seq-ordered).
+  VELOCE_RETURN_IF_ERROR(
+      SearchFileList(levels_[0], /*overlapping=*/true, key, snapshot, value, &found));
+  if (found) return Status::OK();
+  for (int level = 1; level < kNumLevels; ++level) {
+    VELOCE_RETURN_IF_ERROR(
+        SearchFileList(levels_[level], false, key, snapshot, value, &found));
+    if (found) return Status::OK();
+  }
+  return Status::NotFound("key not found");
+}
+
+Status Engine::SearchFileList(const FileList& files, bool overlapping, Slice user_key,
+                              SequenceNumber snapshot, std::string* value,
+                              bool* found) {
+  *found = false;
+  const std::string lookup = MakeInternalKey(user_key, snapshot, ValueType::kValue);
+  for (const auto& f : files) {
+    const Slice file_small = ExtractUserKey(Slice(f->smallest));
+    const Slice file_large = ExtractUserKey(Slice(f->largest));
+    if (user_key < file_small || user_key > file_large) continue;
+    std::string fkey, fvalue;
+    Status s = f->table->SeekEntry(Slice(lookup), &fkey, &fvalue);
+    if (s.IsNotFound()) {
+      if (!overlapping) return Status::OK();  // sorted level: key absent
+      continue;
+    }
+    VELOCE_RETURN_IF_ERROR(s);
+    if (ExtractUserKey(Slice(fkey)) != user_key) {
+      if (!overlapping) return Status::OK();
+      continue;
+    }
+    *found = true;
+    if (ExtractValueType(Slice(fkey)) == ValueType::kDeletion) {
+      return Status::NotFound("deleted");
+    }
+    *value = std::move(fvalue);
+    return Status::OK();
+  }
+  return Status::OK();
+}
+
+/// Iterator wrapper that pins a sequence number for snapshot-consistent
+/// reads and unpins on destruction.
+class Engine::PinnedIterator final : public Iterator {
+ public:
+  PinnedIterator(Engine* engine, std::unique_ptr<Iterator> inner, SequenceNumber seq)
+      : engine_(engine), inner_(std::move(inner)), seq_(seq) {}
+
+  ~PinnedIterator() override {
+    std::lock_guard<std::mutex> l(engine_->mu_);
+    engine_->pinned_seqs_.erase(engine_->pinned_seqs_.find(seq_));
+  }
+
+  bool Valid() const override { return inner_->Valid(); }
+  void SeekToFirst() override { inner_->SeekToFirst(); }
+  void Seek(Slice target) override { inner_->Seek(target); }
+  void Next() override { inner_->Next(); }
+  Slice key() const override { return inner_->key(); }
+  Slice value() const override { return inner_->value(); }
+
+ private:
+  Engine* engine_;
+  std::unique_ptr<Iterator> inner_;
+  SequenceNumber seq_;
+};
+
+std::unique_ptr<Iterator> Engine::NewIterator() {
+  std::lock_guard<std::mutex> l(mu_);
+  const SequenceNumber snapshot = last_seq_;
+  pinned_seqs_.insert(snapshot);
+
+  std::vector<std::unique_ptr<InternalIterator>> children;
+  // Memtable holds the newest data; shared_ptr keeps it alive while the
+  // iterator exists even if the engine flushes and swaps it out.
+  struct MemHolderIter final : public InternalIterator {
+    std::shared_ptr<MemTable> mem;
+    std::unique_ptr<InternalIterator> it;
+    bool Valid() const override { return it->Valid(); }
+    void SeekToFirst() override { it->SeekToFirst(); }
+    void Seek(Slice target) override { it->Seek(target); }
+    void Next() override { it->Next(); }
+    Slice key() const override { return it->key(); }
+    Slice value() const override { return it->value(); }
+  };
+  auto mem_iter = std::make_unique<MemHolderIter>();
+  mem_iter->mem = mem_;
+  mem_iter->it = mem_->NewIterator();
+  children.push_back(std::move(mem_iter));
+
+  // Table lifetimes: FileMeta shared_ptrs keep Table objects alive; capture
+  // them in a holder iterator per file.
+  struct TableHolderIter final : public InternalIterator {
+    std::shared_ptr<FileMeta> meta;
+    std::unique_ptr<InternalIterator> it;
+    bool Valid() const override { return it->Valid(); }
+    void SeekToFirst() override { it->SeekToFirst(); }
+    void Seek(Slice target) override { it->Seek(target); }
+    void Next() override { it->Next(); }
+    Slice key() const override { return it->key(); }
+    Slice value() const override { return it->value(); }
+  };
+  for (int level = 0; level < kNumLevels; ++level) {
+    for (const auto& f : levels_[level]) {
+      auto holder = std::make_unique<TableHolderIter>();
+      holder->meta = f;
+      holder->it = f->table->NewIterator();
+      children.push_back(std::move(holder));
+    }
+  }
+  auto user_iter = NewUserIterator(NewMergingIterator(std::move(children)), snapshot);
+  return std::make_unique<PinnedIterator>(this, std::move(user_iter), snapshot);
+}
+
+int Engine::NumFilesAtLevel(int level) const {
+  std::lock_guard<std::mutex> l(mu_);
+  return static_cast<int>(levels_[level].size());
+}
+
+uint64_t Engine::LevelBytes(int level) const {
+  uint64_t total = 0;
+  for (const auto& f : levels_[level]) total += f->file_size;
+  return total;
+}
+
+uint64_t Engine::ApproximateSize() const {
+  std::lock_guard<std::mutex> l(mu_);
+  uint64_t total = mem_->ApproximateMemoryUsage();
+  for (int level = 0; level < kNumLevels; ++level) total += LevelBytes(level);
+  return total;
+}
+
+}  // namespace veloce::storage

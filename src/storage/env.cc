@@ -1,0 +1,247 @@
+#include "storage/env.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <mutex>
+
+namespace veloce::storage {
+
+Status Env::ReadFileToString(const std::string& fname, std::string* out) {
+  std::unique_ptr<RandomAccessFile> file;
+  VELOCE_RETURN_IF_ERROR(NewRandomAccessFile(fname, &file));
+  return file->Read(0, static_cast<size_t>(file->Size()), out);
+}
+
+Status Env::WriteStringToFile(const std::string& fname, Slice data) {
+  std::unique_ptr<WritableFile> file;
+  VELOCE_RETURN_IF_ERROR(NewWritableFile(fname, &file));
+  VELOCE_RETURN_IF_ERROR(file->Append(data));
+  VELOCE_RETURN_IF_ERROR(file->Sync());
+  return file->Close();
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// MemEnv: a shared map of filename -> contents, guarded by one mutex.
+// ---------------------------------------------------------------------------
+
+struct MemFileSystem {
+  std::mutex mu;
+  std::map<std::string, std::shared_ptr<std::string>> files;
+};
+
+class MemWritableFile final : public WritableFile {
+ public:
+  explicit MemWritableFile(std::shared_ptr<std::string> content)
+      : content_(std::move(content)) {}
+
+  Status Append(Slice data) override {
+    content_->append(data.data(), data.size());
+    return Status::OK();
+  }
+  Status Sync() override { return Status::OK(); }
+  Status Close() override { return Status::OK(); }
+  uint64_t Size() const override { return content_->size(); }
+
+ private:
+  std::shared_ptr<std::string> content_;
+};
+
+class MemRandomAccessFile final : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(std::shared_ptr<std::string> content)
+      : content_(std::move(content)) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    out->clear();
+    if (offset > content_->size()) {
+      return Status::IOError("read past end of file");
+    }
+    const size_t avail = content_->size() - static_cast<size_t>(offset);
+    out->assign(*content_, static_cast<size_t>(offset), n < avail ? n : avail);
+    return Status::OK();
+  }
+  uint64_t Size() const override { return content_->size(); }
+
+ private:
+  std::shared_ptr<std::string> content_;
+};
+
+class MemEnv final : public Env {
+ public:
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* file) override {
+    std::lock_guard<std::mutex> l(fs_.mu);
+    auto content = std::make_shared<std::string>();
+    fs_.files[fname] = content;
+    *file = std::make_unique<MemWritableFile>(std::move(content));
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(const std::string& fname,
+                             std::unique_ptr<RandomAccessFile>* file) override {
+    std::lock_guard<std::mutex> l(fs_.mu);
+    auto it = fs_.files.find(fname);
+    if (it == fs_.files.end()) return Status::NotFound(fname);
+    *file = std::make_unique<MemRandomAccessFile>(it->second);
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& fname) override {
+    std::lock_guard<std::mutex> l(fs_.mu);
+    if (fs_.files.erase(fname) == 0) return Status::NotFound(fname);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    std::lock_guard<std::mutex> l(fs_.mu);
+    return fs_.files.count(fname) > 0;
+  }
+
+  Status GetChildren(const std::string& dir, std::vector<std::string>* out) override {
+    out->clear();
+    std::string prefix = dir;
+    if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+    std::lock_guard<std::mutex> l(fs_.mu);
+    for (const auto& [name, _] : fs_.files) {
+      if (name.size() > prefix.size() && name.compare(0, prefix.size(), prefix) == 0) {
+        const std::string rest = name.substr(prefix.size());
+        if (rest.find('/') == std::string::npos) out->push_back(rest);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirIfMissing(const std::string&) override { return Status::OK(); }
+
+ private:
+  MemFileSystem fs_;
+};
+
+// ---------------------------------------------------------------------------
+// PosixEnv: thin stdio wrapper; sufficient for examples that want real files.
+// ---------------------------------------------------------------------------
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  explicit PosixWritableFile(std::FILE* f) : f_(f) {}
+  ~PosixWritableFile() override {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  Status Append(Slice data) override {
+    if (std::fwrite(data.data(), 1, data.size(), f_) != data.size()) {
+      return Status::IOError(std::strerror(errno));
+    }
+    size_ += data.size();
+    return Status::OK();
+  }
+  Status Sync() override {
+    if (std::fflush(f_) != 0) return Status::IOError(std::strerror(errno));
+    return Status::OK();
+  }
+  Status Close() override {
+    if (f_ != nullptr) {
+      if (std::fclose(f_) != 0) {
+        f_ = nullptr;
+        return Status::IOError(std::strerror(errno));
+      }
+      f_ = nullptr;
+    }
+    return Status::OK();
+  }
+  uint64_t Size() const override { return size_; }
+
+ private:
+  std::FILE* f_;
+  uint64_t size_ = 0;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::FILE* f, uint64_t size) : f_(f), size_(size) {}
+  ~PosixRandomAccessFile() override {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    out->resize(n);
+    if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IOError(std::strerror(errno));
+    }
+    const size_t got = std::fread(out->data(), 1, n, f_);
+    out->resize(got);
+    return Status::OK();
+  }
+  uint64_t Size() const override { return size_; }
+
+ private:
+  std::FILE* f_;
+  uint64_t size_;
+};
+
+class PosixEnvImpl final : public Env {
+ public:
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* file) override {
+    std::FILE* f = std::fopen(fname.c_str(), "wb");
+    if (f == nullptr) return Status::IOError(fname + ": " + std::strerror(errno));
+    *file = std::make_unique<PosixWritableFile>(f);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(const std::string& fname,
+                             std::unique_ptr<RandomAccessFile>* file) override {
+    std::FILE* f = std::fopen(fname.c_str(), "rb");
+    if (f == nullptr) return Status::NotFound(fname + ": " + std::strerror(errno));
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    *file = std::make_unique<PosixRandomAccessFile>(f, static_cast<uint64_t>(size));
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& fname) override {
+    if (std::remove(fname.c_str()) != 0) return Status::IOError(std::strerror(errno));
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    struct stat st;
+    return ::stat(fname.c_str(), &st) == 0;
+  }
+
+  Status GetChildren(const std::string& dir, std::vector<std::string>* out) override {
+    out->clear();
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      out->push_back(entry.path().filename().string());
+    }
+    if (ec) return Status::IOError(ec.message());
+    return Status::OK();
+  }
+
+  Status CreateDirIfMissing(const std::string& dir) override {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) return Status::IOError(ec.message());
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewMemEnv() { return std::make_unique<MemEnv>(); }
+
+Env* PosixEnv() {
+  static PosixEnvImpl* env = new PosixEnvImpl();
+  return env;
+}
+
+}  // namespace veloce::storage

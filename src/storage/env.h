@@ -1,0 +1,63 @@
+#ifndef VELOCE_STORAGE_ENV_H_
+#define VELOCE_STORAGE_ENV_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace veloce::storage {
+
+/// Append-only file handle used by the WAL and SSTable builders.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(Slice data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+/// Positional-read file handle used by SSTable readers.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  /// Reads up to n bytes at `offset` into *out (resized to bytes read).
+  virtual Status Read(uint64_t offset, size_t n, std::string* out) const = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+/// Env abstracts the filesystem so the engine can run against an in-memory
+/// filesystem in tests/benches (deterministic, fast) or the real one.
+/// Mirrors the LevelDB/RocksDB Env pattern.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Status NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* file) = 0;
+  virtual Status NewRandomAccessFile(const std::string& fname,
+                                     std::unique_ptr<RandomAccessFile>* file) = 0;
+  virtual Status DeleteFile(const std::string& fname) = 0;
+  virtual bool FileExists(const std::string& fname) = 0;
+  virtual Status GetChildren(const std::string& dir,
+                             std::vector<std::string>* out) = 0;
+  virtual Status CreateDirIfMissing(const std::string& dir) = 0;
+
+  /// Reads an entire file into *out.
+  Status ReadFileToString(const std::string& fname, std::string* out);
+  /// Atomically (best effort) writes `data` as the content of fname.
+  Status WriteStringToFile(const std::string& fname, Slice data);
+};
+
+/// Creates an in-memory Env. All state dies with the object.
+std::unique_ptr<Env> NewMemEnv();
+
+/// Returns a process-wide Env backed by the local filesystem.
+Env* PosixEnv();
+
+}  // namespace veloce::storage
+
+#endif  // VELOCE_STORAGE_ENV_H_

@@ -1,0 +1,74 @@
+#ifndef VELOCE_STORAGE_MEMTABLE_H_
+#define VELOCE_STORAGE_MEMTABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/dbformat.h"
+
+namespace veloce::storage {
+
+/// In-memory write buffer: a skiplist of internal keys. Writes land here
+/// first; when the memtable reaches the configured size it is frozen and
+/// flushed to an L0 SSTable. The flush rate is one of the two write
+/// bottlenecks admission control models (Section 5.1.3 of the paper).
+///
+/// Single-writer / multi-reader is coordinated by the engine's mutex; the
+/// skiplist itself is not internally synchronized.
+class MemTable {
+ public:
+  MemTable();
+  ~MemTable();
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  /// Inserts a (user_key, seq, type, value) entry.
+  void Add(SequenceNumber seq, ValueType type, Slice user_key, Slice value);
+
+  /// Looks up the newest version of user_key visible at `snapshot_seq`.
+  /// Returns true if an entry was found: *found_value holds the value and
+  /// *is_deleted reports a tombstone. Returns false if the key is absent.
+  bool Get(Slice user_key, SequenceNumber snapshot_seq, std::string* found_value,
+           bool* is_deleted) const;
+
+  /// Approximate memory footprint of entries (keys + values + node overhead).
+  size_t ApproximateMemoryUsage() const { return mem_usage_; }
+  uint64_t num_entries() const { return num_entries_; }
+
+  /// Iterator over the memtable's internal keys; remains valid while the
+  /// memtable is alive (engines hold flushed memtables via shared_ptr until
+  /// readers drain).
+  std::unique_ptr<InternalIterator> NewIterator() const;
+
+ private:
+  static constexpr int kMaxHeight = 12;
+
+  struct Node {
+    std::string key;    // internal key
+    std::string value;
+    int height;
+    Node* next[1];      // variable length, allocated with the node
+  };
+
+  Node* NewNode(int height, Slice key, Slice value);
+  int RandomHeight();
+  /// First node with internal key >= target; prev[] filled when non-null.
+  Node* FindGreaterOrEqual(Slice target, Node** prev) const;
+
+  class Iter;
+
+  Node* head_;
+  int max_height_ = 1;
+  Random rnd_;
+  size_t mem_usage_ = 0;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace veloce::storage
+
+#endif  // VELOCE_STORAGE_MEMTABLE_H_

@@ -1,0 +1,280 @@
+#include "storage/sstable.h"
+
+#include "common/codec.h"
+#include "common/crc32c.h"
+#include "common/logging.h"
+
+namespace veloce::storage {
+
+namespace {
+constexpr uint64_t kTableMagic = 0x76656c6f63655354ULL;  // "veloceST"
+constexpr size_t kFooterSize = 24;
+}  // namespace
+
+TableBuilder::TableBuilder(std::unique_ptr<WritableFile> file, size_t block_size)
+    : file_(std::move(file)), block_size_(block_size) {}
+
+Status TableBuilder::Add(Slice internal_key, Slice value) {
+  VELOCE_CHECK(!finished_);
+  if (!last_key_.empty()) {
+    VELOCE_CHECK(CompareInternalKey(internal_key, Slice(last_key_)) > 0)
+        << "keys added out of order";
+  }
+  if (smallest_.empty()) smallest_.assign(internal_key.data(), internal_key.size());
+  largest_.assign(internal_key.data(), internal_key.size());
+  last_key_.assign(internal_key.data(), internal_key.size());
+
+  PutVarint64(&block_buf_, internal_key.size());
+  block_buf_.append(internal_key.data(), internal_key.size());
+  PutVarint64(&block_buf_, value.size());
+  block_buf_.append(value.data(), value.size());
+  ++num_entries_;
+
+  if (block_buf_.size() >= block_size_) {
+    return FlushBlock();
+  }
+  return Status::OK();
+}
+
+Status TableBuilder::FlushBlock() {
+  if (block_buf_.empty()) return Status::OK();
+  // Index entry: last key of this block, offset, payload size (sans crc).
+  PutVarint64(&index_, last_key_.size());
+  index_.append(last_key_);
+  PutFixed64(&index_, block_start_);
+  PutFixed64(&index_, block_buf_.size());
+
+  std::string crc;
+  PutFixed32(&crc, crc32c::Mask(crc32c::Value(block_buf_.data(), block_buf_.size())));
+  VELOCE_RETURN_IF_ERROR(file_->Append(Slice(block_buf_)));
+  VELOCE_RETURN_IF_ERROR(file_->Append(Slice(crc)));
+  offset_ += block_buf_.size() + 4;
+  block_start_ = offset_;
+  block_buf_.clear();
+  return Status::OK();
+}
+
+Status TableBuilder::Finish() {
+  VELOCE_CHECK(!finished_);
+  finished_ = true;
+  VELOCE_RETURN_IF_ERROR(FlushBlock());
+  const uint64_t index_offset = offset_;
+  VELOCE_RETURN_IF_ERROR(file_->Append(Slice(index_)));
+  offset_ += index_.size();
+  std::string footer;
+  PutFixed64(&footer, index_offset);
+  PutFixed64(&footer, index_.size());
+  PutFixed64(&footer, kTableMagic);
+  VELOCE_RETURN_IF_ERROR(file_->Append(Slice(footer)));
+  offset_ += footer.size();
+  VELOCE_RETURN_IF_ERROR(file_->Sync());
+  return file_->Close();
+}
+
+StatusOr<std::shared_ptr<Table>> Table::Open(std::unique_ptr<RandomAccessFile> file,
+                                             BlockCache* cache,
+                                             uint64_t file_number) {
+  const uint64_t size = file->Size();
+  if (size < kFooterSize) return Status::Corruption("table too small");
+  std::string footer;
+  VELOCE_RETURN_IF_ERROR(file->Read(size - kFooterSize, kFooterSize, &footer));
+  Slice f(footer);
+  uint64_t index_offset = 0, index_size = 0, magic = 0;
+  GetFixed64(&f, &index_offset);
+  GetFixed64(&f, &index_size);
+  GetFixed64(&f, &magic);
+  if (magic != kTableMagic) return Status::Corruption("bad table magic");
+  if (index_offset + index_size + kFooterSize > size) {
+    return Status::Corruption("bad index location");
+  }
+  std::string index;
+  VELOCE_RETURN_IF_ERROR(file->Read(index_offset, index_size, &index));
+
+  auto table = std::shared_ptr<Table>(new Table());
+  table->file_ = std::move(file);
+  table->cache_ = cache;
+  table->file_number_ = file_number;
+  Slice in(index);
+  while (!in.empty()) {
+    uint64_t klen = 0;
+    if (!GetVarint64(&in, &klen) || in.size() < klen + 16) {
+      return Status::Corruption("bad index entry");
+    }
+    IndexEntry e;
+    e.last_key.assign(in.data(), klen);
+    in.RemovePrefix(klen);
+    GetFixed64(&in, &e.offset);
+    GetFixed64(&in, &e.size);
+    table->index_entries_.push_back(std::move(e));
+  }
+  return table;
+}
+
+Status Table::ReadBlock(size_t block_idx,
+                        std::shared_ptr<const std::string>* out) const {
+  if (cache_ != nullptr) {
+    if (auto cached = cache_->Lookup(file_number_, block_idx)) {
+      *out = std::move(cached);
+      return Status::OK();
+    }
+  }
+  const IndexEntry& e = index_entries_[block_idx];
+  std::string raw;
+  VELOCE_RETURN_IF_ERROR(file_->Read(e.offset, e.size + 4, &raw));
+  if (raw.size() != e.size + 4) return Status::Corruption("short block read");
+  Slice crc_slice(raw.data() + e.size, 4);
+  uint32_t masked = 0;
+  GetFixed32(&crc_slice, &masked);
+  if (crc32c::Unmask(masked) != crc32c::Value(raw.data(), e.size)) {
+    return Status::Corruption("block checksum mismatch");
+  }
+  raw.resize(e.size);
+  if (cache_ != nullptr) {
+    cache_->Insert(file_number_, block_idx, raw);
+    *out = cache_->Lookup(file_number_, block_idx);
+    if (*out != nullptr) return Status::OK();
+  }
+  *out = std::make_shared<const std::string>(std::move(raw));
+  return Status::OK();
+}
+
+int Table::FindBlock(Slice target) const {
+  // Binary search for the first block whose last key >= target.
+  int lo = 0, hi = static_cast<int>(index_entries_.size()) - 1, ans = -1;
+  while (lo <= hi) {
+    const int mid = (lo + hi) / 2;
+    if (CompareInternalKey(Slice(index_entries_[mid].last_key), target) >= 0) {
+      ans = mid;
+      hi = mid - 1;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return ans;
+}
+
+Status Table::SeekEntry(Slice lookup_key, std::string* found_key,
+                        std::string* found_value) const {
+  const int block = FindBlock(lookup_key);
+  if (block < 0) return Status::NotFound("past end of table");
+  std::shared_ptr<const std::string> data;
+  VELOCE_RETURN_IF_ERROR(ReadBlock(static_cast<size_t>(block), &data));
+  Slice in(*data);
+  while (!in.empty()) {
+    Slice key, value;
+    uint64_t klen = 0, vlen = 0;
+    if (!GetVarint64(&in, &klen) || in.size() < klen) {
+      return Status::Corruption("bad block entry");
+    }
+    key = Slice(in.data(), klen);
+    in.RemovePrefix(klen);
+    if (!GetVarint64(&in, &vlen) || in.size() < vlen) {
+      return Status::Corruption("bad block entry");
+    }
+    value = Slice(in.data(), vlen);
+    in.RemovePrefix(vlen);
+    if (CompareInternalKey(key, lookup_key) >= 0) {
+      found_key->assign(key.data(), key.size());
+      found_value->assign(value.data(), value.size());
+      return Status::OK();
+    }
+  }
+  // Target is greater than every key in this block; by the index invariant
+  // this can't happen unless the table is corrupt.
+  return Status::NotFound("not in block");
+}
+
+/// Iterator: walks blocks lazily, materializing one block at a time.
+class Table::Iter final : public InternalIterator {
+ public:
+  explicit Iter(const Table* table) : table_(table) {}
+
+  bool Valid() const override { return valid_; }
+
+  void SeekToFirst() override {
+    block_idx_ = 0;
+    LoadBlockAndPosition(Slice());
+  }
+
+  void Seek(Slice target) override {
+    const int b = table_->FindBlock(target);
+    if (b < 0) {
+      valid_ = false;
+      return;
+    }
+    block_idx_ = static_cast<size_t>(b);
+    LoadBlockAndPosition(target);
+  }
+
+  void Next() override {
+    ParseNext();
+    while (!valid_ && block_idx_ + 1 < table_->index_entries_.size()) {
+      ++block_idx_;
+      LoadBlockAndPosition(Slice());
+    }
+  }
+
+  Slice key() const override { return Slice(key_); }
+  Slice value() const override { return Slice(value_); }
+
+ private:
+  // Loads block_idx_ and positions at the first entry >= target (or first
+  // entry when target is empty).
+  void LoadBlockAndPosition(Slice target) {
+    valid_ = false;
+    if (block_idx_ >= table_->index_entries_.size()) return;
+    if (!table_->ReadBlock(block_idx_, &block_).ok()) return;
+    pos_ = 0;
+    ParseNext();
+    if (!target.empty()) {
+      while (valid_ && CompareInternalKey(Slice(key_), target) < 0) ParseNext();
+    }
+    // If we ran off this block while seeking, spill into the next ones.
+    while (!valid_ && block_idx_ + 1 < table_->index_entries_.size()) {
+      ++block_idx_;
+      if (!table_->ReadBlock(block_idx_, &block_).ok()) return;
+      pos_ = 0;
+      ParseNext();
+      if (!target.empty()) {
+        while (valid_ && CompareInternalKey(Slice(key_), target) < 0) ParseNext();
+      }
+    }
+  }
+
+  void ParseNext() {
+    if (block_ == nullptr || pos_ >= block_->size()) {
+      valid_ = false;
+      return;
+    }
+    Slice in(block_->data() + pos_, block_->size() - pos_);
+    const char* start = in.data();
+    uint64_t klen = 0, vlen = 0;
+    if (!GetVarint64(&in, &klen) || in.size() < klen) {
+      valid_ = false;
+      return;
+    }
+    key_.assign(in.data(), klen);
+    in.RemovePrefix(klen);
+    if (!GetVarint64(&in, &vlen) || in.size() < vlen) {
+      valid_ = false;
+      return;
+    }
+    value_.assign(in.data(), vlen);
+    in.RemovePrefix(vlen);
+    pos_ += static_cast<size_t>(in.data() - start);
+    valid_ = true;
+  }
+
+  const Table* table_;
+  size_t block_idx_ = 0;
+  std::shared_ptr<const std::string> block_;
+  size_t pos_ = 0;
+  std::string key_, value_;
+  bool valid_ = false;
+};
+
+std::unique_ptr<InternalIterator> Table::NewIterator() const {
+  return std::make_unique<Iter>(this);
+}
+
+}  // namespace veloce::storage

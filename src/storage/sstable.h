@@ -1,0 +1,96 @@
+#ifndef VELOCE_STORAGE_SSTABLE_H_
+#define VELOCE_STORAGE_SSTABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/dbformat.h"
+#include "storage/block_cache.h"
+#include "storage/env.h"
+
+namespace veloce::storage {
+
+/// Immutable sorted-string table: the on-disk unit of the LSM tree.
+///
+/// Format:
+///   data blocks:  [varint klen | key | varint vlen | value]* , masked crc32
+///   index block:  [varint klen | last_key_of_block | offset u64 | size u64]*
+///   footer:       index_offset u64 | index_size u64 | magic u64
+///
+/// Keys are internal keys, added in sorted order by the builder.
+class TableBuilder {
+ public:
+  TableBuilder(std::unique_ptr<WritableFile> file, size_t block_size = 4096);
+
+  /// Adds an entry; keys must arrive in strictly increasing internal-key
+  /// order.
+  Status Add(Slice internal_key, Slice value);
+
+  /// Writes the index and footer. The builder is unusable afterwards.
+  Status Finish();
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint64_t file_size() const { return offset_; }
+  /// Smallest/largest internal keys added (valid after >= 1 Add).
+  const std::string& smallest() const { return smallest_; }
+  const std::string& largest() const { return largest_; }
+
+ private:
+  Status FlushBlock();
+
+  std::unique_ptr<WritableFile> file_;
+  const size_t block_size_;
+  std::string block_buf_;
+  std::string index_;        // accumulated index entries
+  std::string last_key_;     // last key added (order check + index key)
+  std::string smallest_, largest_;
+  uint64_t offset_ = 0;      // bytes written so far
+  uint64_t block_start_ = 0; // offset of current block
+  uint64_t num_entries_ = 0;
+  bool finished_ = false;
+};
+
+/// Reader for a finished table. Loads the index eagerly (tables are small in
+/// this deployment); data blocks are read and checksummed on demand.
+class Table {
+ public:
+  /// `cache` (nullable) holds verified data blocks keyed by `file_number`.
+  static StatusOr<std::shared_ptr<Table>> Open(std::unique_ptr<RandomAccessFile> file,
+                                               BlockCache* cache = nullptr,
+                                               uint64_t file_number = 0);
+
+  /// Point lookup: finds the first entry with internal key >= lookup_key and
+  /// returns it via *found_key/*found_value. Returns NotFound if no entry in
+  /// this table is >= lookup_key.
+  Status SeekEntry(Slice lookup_key, std::string* found_key, std::string* found_value) const;
+
+  std::unique_ptr<InternalIterator> NewIterator() const;
+
+  uint64_t num_blocks() const { return index_entries_.size(); }
+
+ private:
+  struct IndexEntry {
+    std::string last_key;
+    uint64_t offset;
+    uint64_t size;
+  };
+  class Iter;
+
+  Table() = default;
+
+  Status ReadBlock(size_t block_idx, std::shared_ptr<const std::string>* out) const;
+  /// Index of the first block whose last key >= target, or -1.
+  int FindBlock(Slice target) const;
+
+  std::unique_ptr<RandomAccessFile> file_;
+  std::vector<IndexEntry> index_entries_;
+  BlockCache* cache_ = nullptr;
+  uint64_t file_number_ = 0;
+};
+
+}  // namespace veloce::storage
+
+#endif  // VELOCE_STORAGE_SSTABLE_H_

@@ -1,0 +1,35 @@
+#include "storage/wal.h"
+
+#include "common/codec.h"
+#include "common/crc32c.h"
+
+namespace veloce::storage {
+
+Status LogWriter::AddRecord(Slice payload) {
+  std::string header;
+  PutFixed32(&header, crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  PutFixed32(&header, static_cast<uint32_t>(payload.size()));
+  VELOCE_RETURN_IF_ERROR(file_->Append(Slice(header)));
+  return file_->Append(payload);
+}
+
+bool LogReader::ReadRecord(std::string* payload, bool* corruption) {
+  *corruption = false;
+  if (pos_ + 8 > contents_.size()) return false;  // truncated or clean end
+  Slice header(contents_.data() + pos_, 8);
+  uint32_t masked_crc = 0, length = 0;
+  GetFixed32(&header, &masked_crc);
+  GetFixed32(&header, &length);
+  if (pos_ + 8 + length > contents_.size()) return false;  // truncated tail
+  const char* data = contents_.data() + pos_ + 8;
+  const uint32_t actual = crc32c::Value(data, length);
+  if (crc32c::Unmask(masked_crc) != actual) {
+    *corruption = true;
+    return false;
+  }
+  payload->assign(data, length);
+  pos_ += 8 + length;
+  return true;
+}
+
+}  // namespace veloce::storage

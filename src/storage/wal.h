@@ -1,0 +1,46 @@
+#ifndef VELOCE_STORAGE_WAL_H_
+#define VELOCE_STORAGE_WAL_H_
+
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/env.h"
+
+namespace veloce::storage {
+
+/// Write-ahead log. Each record is framed as
+///   masked_crc32c(fixed32) | length(fixed32) | payload
+/// Readers stop cleanly at a truncated or corrupt tail (the crash case) and
+/// report corruption in the middle of the log. Record payloads are
+/// serialized WriteBatches tagged with their starting sequence number.
+class LogWriter {
+ public:
+  explicit LogWriter(std::unique_ptr<WritableFile> file) : file_(std::move(file)) {}
+
+  Status AddRecord(Slice payload);
+  Status Sync() { return file_->Sync(); }
+  uint64_t Size() const { return file_->Size(); }
+
+ private:
+  std::unique_ptr<WritableFile> file_;
+};
+
+class LogReader {
+ public:
+  explicit LogReader(std::string contents) : contents_(std::move(contents)) {}
+
+  /// Reads the next record into *payload. Returns true on success, false at
+  /// end of log (including a truncated tail). *corruption is set if a CRC
+  /// mismatch was found mid-log.
+  bool ReadRecord(std::string* payload, bool* corruption);
+
+ private:
+  std::string contents_;
+  size_t pos_ = 0;
+};
+
+}  // namespace veloce::storage
+
+#endif  // VELOCE_STORAGE_WAL_H_

@@ -1,0 +1,105 @@
+#include "storage/write_batch.h"
+
+#include "common/codec.h"
+
+namespace veloce::storage {
+
+namespace {
+constexpr char kPutTag = 1;
+constexpr char kDeleteTag = 0;
+}  // namespace
+
+void WriteBatch::Clear() {
+  rep_.clear();
+  PutVarint32(&rep_, 0);
+  payload_bytes_ = 0;
+}
+
+namespace {
+void SetCount(std::string* rep, uint32_t count) {
+  // The count varint lives at the head; rewrite the whole prefix. Counts are
+  // small in practice; re-encode by rebuilding the header.
+  std::string header;
+  PutVarint32(&header, count);
+  // Find current header length.
+  Slice s(*rep);
+  uint32_t old_count = 0;
+  const char* start = s.data();
+  GetVarint32(&s, &old_count);
+  const size_t old_header = static_cast<size_t>(s.data() - start);
+  rep->replace(0, old_header, header);
+}
+
+uint32_t GetCount(const std::string& rep) {
+  Slice s(rep);
+  uint32_t count = 0;
+  GetVarint32(&s, &count);
+  return count;
+}
+}  // namespace
+
+void WriteBatch::Put(Slice key, Slice value) {
+  SetCount(&rep_, GetCount(rep_) + 1);
+  rep_.push_back(kPutTag);
+  PutLengthPrefixed(&rep_, key);
+  PutLengthPrefixed(&rep_, value);
+  payload_bytes_ += key.size() + value.size();
+}
+
+void WriteBatch::Delete(Slice key) {
+  SetCount(&rep_, GetCount(rep_) + 1);
+  rep_.push_back(kDeleteTag);
+  PutLengthPrefixed(&rep_, key);
+  payload_bytes_ += key.size();
+}
+
+uint32_t WriteBatch::Count() const { return GetCount(rep_); }
+
+Status WriteBatch::SetContents(Slice contents) {
+  rep_.assign(contents.data(), contents.size());
+  payload_bytes_ = 0;
+  // Validate and recompute payload bytes.
+  class Counter : public Handler {
+   public:
+    explicit Counter(size_t* bytes) : bytes_(bytes) {}
+    void Put(Slice key, Slice value) override { *bytes_ += key.size() + value.size(); }
+    void Delete(Slice key) override { *bytes_ += key.size(); }
+
+   private:
+    size_t* bytes_;
+  };
+  Counter counter(&payload_bytes_);
+  return Iterate(&counter);
+}
+
+Status WriteBatch::Iterate(Handler* handler) const {
+  Slice input(rep_);
+  uint32_t count = 0;
+  if (!GetVarint32(&input, &count)) {
+    return Status::Corruption("write batch missing count");
+  }
+  uint32_t found = 0;
+  while (!input.empty()) {
+    const char tag = input[0];
+    input.RemovePrefix(1);
+    Slice key, value;
+    if (!GetLengthPrefixed(&input, &key)) {
+      return Status::Corruption("write batch bad key");
+    }
+    if (tag == kPutTag) {
+      if (!GetLengthPrefixed(&input, &value)) {
+        return Status::Corruption("write batch bad value");
+      }
+      handler->Put(key, value);
+    } else if (tag == kDeleteTag) {
+      handler->Delete(key);
+    } else {
+      return Status::Corruption("write batch unknown tag");
+    }
+    ++found;
+  }
+  if (found != count) return Status::Corruption("write batch count mismatch");
+  return Status::OK();
+}
+
+}  // namespace veloce::storage

@@ -1,0 +1,52 @@
+#ifndef VELOCE_STORAGE_WRITE_BATCH_H_
+#define VELOCE_STORAGE_WRITE_BATCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/dbformat.h"
+
+namespace veloce::storage {
+
+/// An atomic group of Put/Delete operations. The KV layer applies each
+/// replicated Raft command as one WriteBatch so a range's state machine
+/// moves atomically. Serialized form (also the WAL record payload):
+///   count: varint32
+///   per record: type(1) | keylen varint | key | [vallen varint | val]
+class WriteBatch {
+ public:
+  WriteBatch() { Clear(); }
+
+  void Put(Slice key, Slice value);
+  void Delete(Slice key);
+  void Clear();
+
+  uint32_t Count() const;
+  size_t ByteSize() const { return rep_.size(); }
+  /// Total bytes of user payload (keys + values) — the "x" in admission
+  /// control's per-write linear model.
+  size_t PayloadBytes() const { return payload_bytes_; }
+
+  const std::string& rep() const { return rep_; }
+  /// Replaces contents with a serialized representation (WAL recovery).
+  Status SetContents(Slice contents);
+
+  /// Visitor for iteration; returns first non-OK status from the handler.
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void Put(Slice key, Slice value) = 0;
+    virtual void Delete(Slice key) = 0;
+  };
+  Status Iterate(Handler* handler) const;
+
+ private:
+  std::string rep_;
+  size_t payload_bytes_ = 0;
+};
+
+}  // namespace veloce::storage
+
+#endif  // VELOCE_STORAGE_WRITE_BATCH_H_

@@ -1,0 +1,60 @@
+#ifndef VELOCE_TENANT_AUTHORIZER_H_
+#define VELOCE_TENANT_AUTHORIZER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "kv/batch.h"
+
+namespace veloce::tenant {
+
+/// Stand-in for a tenant's mTLS client certificate: an unforgeable (within
+/// the simulation) token binding an identity to a tenant id. SQL nodes
+/// present this on every KV RPC; the KV boundary validates it before any
+/// keyspace check.
+struct TenantCert {
+  kv::TenantId tenant_id = 0;
+  uint64_t secret = 0;
+};
+
+/// Issues and validates tenant certificates (the certificate authority the
+/// control plane uses when stamping a pre-warmed SQL node with a tenant).
+class CertificateAuthority {
+ public:
+  CertificateAuthority() : rng_(0xCE27A11CE) {}
+
+  /// Issues a fresh certificate. Multiple certificates per tenant are
+  /// valid simultaneously — every SQL node of a tenant holds its own.
+  TenantCert Issue(kv::TenantId tenant_id) {
+    std::lock_guard<std::mutex> l(mu_);
+    const uint64_t secret = rng_.Next() | 1;  // never zero
+    secrets_[tenant_id].insert(secret);
+    return {tenant_id, secret};
+  }
+
+  bool Validate(const TenantCert& cert) const {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = secrets_.find(cert.tenant_id);
+    return it != secrets_.end() && cert.secret != 0 &&
+           it->second.count(cert.secret) > 0;
+  }
+
+  /// Revokes every certificate of the tenant (tenant destruction).
+  void Revoke(kv::TenantId tenant_id) {
+    std::lock_guard<std::mutex> l(mu_);
+    secrets_.erase(tenant_id);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Random rng_;
+  std::unordered_map<kv::TenantId, std::set<uint64_t>> secrets_;
+};
+
+}  // namespace veloce::tenant
+
+#endif  // VELOCE_TENANT_AUTHORIZER_H_

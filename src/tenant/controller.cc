@@ -1,0 +1,169 @@
+#include "tenant/controller.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/codec.h"
+#include "common/logging.h"
+
+namespace veloce::tenant {
+
+std::string_view TenantStateName(TenantState state) {
+  switch (state) {
+    case TenantState::kActive: return "active";
+    case TenantState::kSuspended: return "suspended";
+    case TenantState::kDestroyed: return "destroyed";
+  }
+  return "unknown";
+}
+
+std::string TenantMetadata::Encode() const {
+  std::string out;
+  PutFixed64(&out, id);
+  out.push_back(static_cast<char>(state));
+  PutLengthPrefixed(&out, name);
+  PutVarint64(&out, regions.size());
+  for (const auto& r : regions) PutLengthPrefixed(&out, r);
+  PutFixed64(&out, static_cast<uint64_t>(ecpu_limit_vcpus * 1000.0));
+  return out;
+}
+
+StatusOr<TenantMetadata> TenantMetadata::Decode(Slice data) {
+  TenantMetadata meta;
+  if (!GetFixed64(&data, &meta.id) || data.empty()) {
+    return Status::Corruption("bad tenant metadata");
+  }
+  meta.state = static_cast<TenantState>(data[0]);
+  data.RemovePrefix(1);
+  Slice name;
+  uint64_t num_regions = 0;
+  if (!GetLengthPrefixed(&data, &name) || !GetVarint64(&data, &num_regions)) {
+    return Status::Corruption("bad tenant metadata");
+  }
+  meta.name = name.ToString();
+  for (uint64_t i = 0; i < num_regions; ++i) {
+    Slice region;
+    if (!GetLengthPrefixed(&data, &region)) {
+      return Status::Corruption("bad tenant metadata regions");
+    }
+    meta.regions.push_back(region.ToString());
+  }
+  uint64_t limit_milli = 0;
+  if (!GetFixed64(&data, &limit_milli)) {
+    return Status::Corruption("bad tenant metadata limit");
+  }
+  meta.ecpu_limit_vcpus = static_cast<double>(limit_milli) / 1000.0;
+  return meta;
+}
+
+TenantController::TenantController(kv::KVCluster* cluster, CertificateAuthority* ca)
+    : cluster_(cluster), ca_(ca) {
+  // The system tenant's keyspace hosts control metadata.
+  VELOCE_CHECK_OK(cluster_->CreateTenantKeyspace(kv::kSystemTenantId));
+}
+
+std::string TenantController::MetaKey(kv::TenantId id) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "tenants/%020" PRIu64, id);
+  return kv::AddTenantPrefix(kv::kSystemTenantId, buf);
+}
+
+Status TenantController::PersistLocked(const TenantMetadata& meta) const {
+  kv::BatchRequest req;
+  req.tenant_id = kv::kSystemTenantId;
+  req.ts = cluster_->Now();
+  req.AddPut(MetaKey(meta.id), meta.Encode());
+  return cluster_->Send(req).status();
+}
+
+StatusOr<TenantMetadata> TenantController::LoadLocked(kv::TenantId id) const {
+  kv::BatchRequest req;
+  req.tenant_id = kv::kSystemTenantId;
+  req.ts = cluster_->Now();
+  req.AddGet(MetaKey(id));
+  VELOCE_ASSIGN_OR_RETURN(kv::BatchResponse resp, cluster_->Send(req));
+  if (!resp.responses[0].found) return Status::NotFound("no such tenant");
+  return TenantMetadata::Decode(resp.responses[0].value);
+}
+
+StatusOr<TenantMetadata> TenantController::CreateTenant(
+    const std::string& name, std::vector<std::string> regions) {
+  std::lock_guard<std::mutex> l(mu_);
+  TenantMetadata meta;
+  meta.id = next_tenant_id_++;
+  meta.name = name;
+  meta.state = TenantState::kActive;
+  meta.regions = std::move(regions);
+  VELOCE_RETURN_IF_ERROR(cluster_->CreateTenantKeyspace(meta.id));
+  ca_->Issue(meta.id);
+  VELOCE_RETURN_IF_ERROR(PersistLocked(meta));
+  return meta;
+}
+
+StatusOr<TenantMetadata> TenantController::GetTenant(kv::TenantId id) const {
+  std::lock_guard<std::mutex> l(mu_);
+  return LoadLocked(id);
+}
+
+StatusOr<std::vector<TenantMetadata>> TenantController::ListTenants() const {
+  std::lock_guard<std::mutex> l(mu_);
+  kv::BatchRequest req;
+  req.tenant_id = kv::kSystemTenantId;
+  req.ts = cluster_->Now();
+  const std::string prefix = kv::AddTenantPrefix(kv::kSystemTenantId, "tenants/");
+  req.AddScan(prefix, PrefixEnd(prefix), 0);
+  VELOCE_ASSIGN_OR_RETURN(kv::BatchResponse resp, cluster_->Send(req));
+  std::vector<TenantMetadata> out;
+  for (const auto& row : resp.responses[0].rows) {
+    VELOCE_ASSIGN_OR_RETURN(TenantMetadata meta, TenantMetadata::Decode(row.value));
+    out.push_back(std::move(meta));
+  }
+  return out;
+}
+
+Status TenantController::SuspendTenant(kv::TenantId id) {
+  std::lock_guard<std::mutex> l(mu_);
+  VELOCE_ASSIGN_OR_RETURN(TenantMetadata meta, LoadLocked(id));
+  if (meta.state == TenantState::kDestroyed) {
+    return Status::InvalidArgument("tenant is destroyed");
+  }
+  meta.state = TenantState::kSuspended;
+  return PersistLocked(meta);
+}
+
+Status TenantController::ResumeTenant(kv::TenantId id) {
+  std::lock_guard<std::mutex> l(mu_);
+  VELOCE_ASSIGN_OR_RETURN(TenantMetadata meta, LoadLocked(id));
+  if (meta.state == TenantState::kDestroyed) {
+    return Status::InvalidArgument("tenant is destroyed");
+  }
+  meta.state = TenantState::kActive;
+  return PersistLocked(meta);
+}
+
+Status TenantController::DestroyTenant(kv::TenantId id) {
+  std::lock_guard<std::mutex> l(mu_);
+  VELOCE_ASSIGN_OR_RETURN(TenantMetadata meta, LoadLocked(id));
+  meta.state = TenantState::kDestroyed;
+  ca_->Revoke(id);
+  VELOCE_RETURN_IF_ERROR(cluster_->DestroyTenantKeyspace(id));
+  return PersistLocked(meta);
+}
+
+Status TenantController::SetEcpuLimit(kv::TenantId id, double vcpus) {
+  std::lock_guard<std::mutex> l(mu_);
+  VELOCE_ASSIGN_OR_RETURN(TenantMetadata meta, LoadLocked(id));
+  meta.ecpu_limit_vcpus = vcpus;
+  return PersistLocked(meta);
+}
+
+StatusOr<TenantCert> TenantController::IssueCert(kv::TenantId id) const {
+  std::lock_guard<std::mutex> l(mu_);
+  VELOCE_ASSIGN_OR_RETURN(TenantMetadata meta, LoadLocked(id));
+  if (meta.state == TenantState::kDestroyed) {
+    return Status::Unauthorized("tenant is destroyed");
+  }
+  return ca_->Issue(id);
+}
+
+}  // namespace veloce::tenant

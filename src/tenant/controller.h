@@ -1,0 +1,101 @@
+#ifndef VELOCE_TENANT_CONTROLLER_H_
+#define VELOCE_TENANT_CONTROLLER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kv/cluster.h"
+#include "tenant/authorizer.h"
+
+namespace veloce::tenant {
+
+enum class TenantState : uint8_t {
+  kActive = 0,
+  kSuspended = 1,   ///< no SQL nodes; storage only (scale-to-zero)
+  kDestroyed = 2,
+};
+
+std::string_view TenantStateName(TenantState state);
+
+/// Control-plane view of one virtual cluster.
+struct TenantMetadata {
+  kv::TenantId id = 0;
+  std::string name;
+  TenantState state = TenantState::kActive;
+  /// Regions the tenant selected (subset of the host cluster's regions).
+  std::vector<std::string> regions;
+  /// Per-tenant eCPU quota in vCPUs (0 = unlimited).
+  double ecpu_limit_vcpus = 0;
+
+  std::string Encode() const;
+  static StatusOr<TenantMetadata> Decode(Slice data);
+};
+
+/// TenantController is the system-tenant interface (Section 3.2.4): the
+/// privileged SQL instance through which operators manage virtual cluster
+/// life cycles. Metadata is persisted in the system tenant's keyspace, so
+/// it is replicated and survives restarts like any other KV data.
+class TenantController {
+ public:
+  TenantController(kv::KVCluster* cluster, CertificateAuthority* ca);
+
+  /// Creates a virtual cluster: allocates an id, carves out the keyspace,
+  /// issues its certificate, persists metadata.
+  StatusOr<TenantMetadata> CreateTenant(const std::string& name,
+                                        std::vector<std::string> regions = {});
+
+  StatusOr<TenantMetadata> GetTenant(kv::TenantId id) const;
+  StatusOr<std::vector<TenantMetadata>> ListTenants() const;
+
+  Status SuspendTenant(kv::TenantId id);
+  Status ResumeTenant(kv::TenantId id);
+  /// Destroys a virtual cluster: revokes credentials, deletes its data.
+  Status DestroyTenant(kv::TenantId id);
+
+  Status SetEcpuLimit(kv::TenantId id, double vcpus);
+
+  /// Certificate for a tenant (what the orchestrator writes into a SQL
+  /// node's filesystem on stamping).
+  StatusOr<TenantCert> IssueCert(kv::TenantId id) const;
+
+  kv::KVCluster* cluster() { return cluster_; }
+  CertificateAuthority* certificate_authority() { return ca_; }
+
+ private:
+  std::string MetaKey(kv::TenantId id) const;
+  Status PersistLocked(const TenantMetadata& meta) const;
+  StatusOr<TenantMetadata> LoadLocked(kv::TenantId id) const;
+
+  kv::KVCluster* cluster_;
+  CertificateAuthority* ca_;
+  mutable std::mutex mu_;
+  kv::TenantId next_tenant_id_ = 10;  // ids below 10 reserved for system use
+};
+
+/// The KV-boundary authorization gate (Section 3.2.3): every SQL-layer RPC
+/// passes through here. It validates the certificate, overrides the claimed
+/// tenant id with the authenticated one, and refuses destroyed tenants; the
+/// keyspace bounds check happens inside KVCluster::Send against the
+/// authenticated identity.
+class AuthorizedKvService {
+ public:
+  AuthorizedKvService(kv::KVCluster* cluster, const CertificateAuthority* ca)
+      : cluster_(cluster), ca_(ca) {}
+
+  StatusOr<kv::BatchResponse> Send(const TenantCert& cert, kv::BatchRequest req) {
+    if (!ca_->Validate(cert)) {
+      return Status::Unauthorized("invalid tenant certificate");
+    }
+    req.tenant_id = cert.tenant_id;  // never trust the claimed identity
+    return cluster_->Send(req);
+  }
+
+ private:
+  kv::KVCluster* cluster_;
+  const CertificateAuthority* ca_;
+};
+
+}  // namespace veloce::tenant
+
+#endif  // VELOCE_TENANT_CONTROLLER_H_

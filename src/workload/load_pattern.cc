@@ -1,0 +1,51 @@
+#include "workload/load_pattern.h"
+
+namespace veloce::workload {
+
+double LoadPattern::At(Nanos t) const {
+  double base = 0;
+  Nanos offset = 0;
+  bool found = false;
+  for (const auto& seg : segments_) {
+    if (t < offset + seg.duration) {
+      const double frac =
+          seg.duration == 0
+              ? 1.0
+              : static_cast<double>(t - offset) / static_cast<double>(seg.duration);
+      base = seg.start_vcpus + frac * (seg.end_vcpus - seg.start_vcpus);
+      found = true;
+      break;
+    }
+    offset += seg.duration;
+  }
+  if (!found && !segments_.empty()) base = segments_.back().end_vcpus;
+  if (noise_ > 0 && base > 0) {
+    base += (rng_.NextDouble() - 0.5) * 2 * noise_ * base;
+    if (base < 0) base = 0;
+  }
+  return base;
+}
+
+Nanos LoadPattern::TotalDuration() const {
+  Nanos total = 0;
+  for (const auto& seg : segments_) total += seg.duration;
+  return total;
+}
+
+LoadPattern LoadPattern::ProductionLike(uint64_t seed) {
+  return LoadPattern(
+      {
+          {20 * kMinute, 0.2, 0.2},    // quiet start
+          {30 * kMinute, 0.2, 3.0},    // morning ramp
+          {40 * kMinute, 3.0, 3.5},    // plateau
+          {5 * kMinute, 3.5, 11.0},    // sharp spike
+          {10 * kMinute, 11.0, 10.0},  // sustained burst
+          {20 * kMinute, 10.0, 2.0},   // decay
+          {30 * kMinute, 2.0, 1.5},    // afternoon steady state
+          {25 * kMinute, 1.5, 0.0},    // wind down
+          {30 * kMinute, 0.0, 0.0},    // idle tail
+      },
+      /*noise=*/0.10, seed);
+}
+
+}  // namespace veloce::workload

@@ -1,0 +1,47 @@
+#ifndef VELOCE_WORKLOAD_LOAD_PATTERN_H_
+#define VELOCE_WORKLOAD_LOAD_PATTERN_H_
+
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace veloce::workload {
+
+/// A deterministic CPU-demand curve over time (vCPUs as a function of sim
+/// time), used to replay "production-like" tenant activity against the
+/// autoscaler (Fig 8). Piecewise segments with optional linear ramps and
+/// bounded noise.
+class LoadPattern {
+ public:
+  struct Segment {
+    Nanos duration = 0;
+    double start_vcpus = 0;
+    double end_vcpus = 0;  ///< linearly interpolated across the segment
+  };
+
+  LoadPattern() = default;
+  explicit LoadPattern(std::vector<Segment> segments, double noise = 0.0,
+                       uint64_t seed = 11)
+      : segments_(std::move(segments)), noise_(noise), rng_(seed) {}
+
+  /// Demand at time `t` from the pattern start. Time beyond the last
+  /// segment returns the last segment's end value.
+  double At(Nanos t) const;
+
+  Nanos TotalDuration() const;
+
+  /// The variable-activity shape of the paper's Fig 8: idle, a morning
+  /// ramp, a sustained plateau, a sharp spike, decay, and a quiet tail —
+  /// several hours of sim time.
+  static LoadPattern ProductionLike(uint64_t seed = 42);
+
+ private:
+  std::vector<Segment> segments_;
+  double noise_ = 0;
+  mutable Random rng_{11};
+};
+
+}  // namespace veloce::workload
+
+#endif  // VELOCE_WORKLOAD_LOAD_PATTERN_H_

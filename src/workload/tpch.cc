@@ -1,0 +1,131 @@
+#include "workload/tpch.h"
+
+#include <cstdio>
+
+namespace veloce::workload {
+
+namespace {
+std::string I(int64_t v) { return std::to_string(v); }
+}  // namespace
+
+TpchWorkload::TpchWorkload(Options options, uint64_t seed)
+    : options_(options), rng_(seed) {}
+
+Status TpchWorkload::Setup(sql::Session* session) {
+  const char* ddl[] = {
+      "CREATE TABLE nation (n_nationkey INT PRIMARY KEY, n_name STRING)",
+      "CREATE TABLE supplier (s_suppkey INT PRIMARY KEY, s_name STRING, "
+      "s_nationkey INT)",
+      "CREATE TABLE part (p_partkey INT PRIMARY KEY, p_name STRING)",
+      "CREATE TABLE partsupp (ps_partkey INT, ps_suppkey INT, "
+      "ps_supplycost DOUBLE, PRIMARY KEY (ps_partkey, ps_suppkey))",
+      "CREATE TABLE orders (o_orderkey INT PRIMARY KEY, o_orderdate INT)",
+      "CREATE TABLE lineitem (l_orderkey INT, l_linenumber INT, l_partkey INT, "
+      "l_suppkey INT, l_quantity INT, l_extendedprice DOUBLE, l_discount DOUBLE, "
+      "l_tax DOUBLE, l_returnflag STRING, l_linestatus STRING, l_shipdate INT, "
+      "PRIMARY KEY (l_orderkey, l_linenumber))",
+  };
+  for (const char* stmt : ddl) {
+    VELOCE_RETURN_IF_ERROR(session->Execute(stmt).status());
+  }
+
+  static const char* nation_names[] = {"FRANCE", "GERMANY", "JAPAN", "BRAZIL",
+                                       "KENYA", "PERU", "CHINA", "CANADA"};
+  for (int n = 0; n < options_.nations; ++n) {
+    VELOCE_RETURN_IF_ERROR(
+        session->Execute("INSERT INTO nation VALUES (" + I(n) + ", '" +
+                         nation_names[n % 8] + "')").status());
+  }
+  for (int s = 1; s <= options_.suppliers; ++s) {
+    VELOCE_RETURN_IF_ERROR(
+        session->Execute("INSERT INTO supplier VALUES (" + I(s) + ", 'supp" + I(s) +
+                         "', " + I(static_cast<int>(rng_.Uniform(options_.nations))) +
+                         ")").status());
+  }
+  for (int p = 1; p <= options_.parts; ++p) {
+    VELOCE_RETURN_IF_ERROR(
+        session->Execute("INSERT INTO part VALUES (" + I(p) + ", 'part" + I(p) +
+                         "')").status());
+    // Every (part, supplier) pair exists so index joins always hit.
+    std::string stmt = "INSERT INTO partsupp VALUES ";
+    for (int s = 1; s <= options_.suppliers; ++s) {
+      if (s > 1) stmt += ", ";
+      char cost[32];
+      std::snprintf(cost, sizeof(cost), "%.2f",
+                    1.0 + static_cast<double>(rng_.Uniform(10000)) / 100.0);
+      stmt += "(" + I(p) + ", " + I(s) + ", " + cost + ")";
+    }
+    VELOCE_RETURN_IF_ERROR(session->Execute(stmt).status());
+  }
+  for (int o = 1; o <= options_.orders; ++o) {
+    VELOCE_RETURN_IF_ERROR(
+        session->Execute("INSERT INTO orders VALUES (" + I(o) + ", " +
+                         I(19920101 + static_cast<int>(rng_.Uniform(2500))) +
+                         ")").status());
+  }
+  // lineitem: batched inserts.
+  static const char* flags[] = {"A", "N", "R"};
+  static const char* statuses[] = {"F", "O"};
+  int remaining = options_.lineitem_rows;
+  int line_counter = 0;
+  while (remaining > 0) {
+    const int batch = remaining < 25 ? remaining : 25;
+    std::string stmt = "INSERT INTO lineitem VALUES ";
+    for (int i = 0; i < batch; ++i) {
+      if (i > 0) stmt += ", ";
+      const int orderkey = 1 + line_counter % options_.orders;
+      const int linenumber = 1 + line_counter / options_.orders;
+      char price[32], disc[32], tax[32];
+      std::snprintf(price, sizeof(price), "%.2f",
+                    100.0 + static_cast<double>(rng_.Uniform(90000)) / 100.0);
+      std::snprintf(disc, sizeof(disc), "%.2f",
+                    static_cast<double>(rng_.Uniform(11)) / 100.0);
+      std::snprintf(tax, sizeof(tax), "%.2f",
+                    static_cast<double>(rng_.Uniform(9)) / 100.0);
+      stmt += "(" + I(orderkey) + ", " + I(linenumber) + ", " +
+              I(1 + static_cast<int>(rng_.Uniform(options_.parts))) + ", " +
+              I(1 + static_cast<int>(rng_.Uniform(options_.suppliers))) + ", " +
+              I(1 + static_cast<int>(rng_.Uniform(50))) + ", " + price + ", " + disc +
+              ", " + tax + ", '" + flags[rng_.Uniform(3)] + "', '" +
+              statuses[rng_.Uniform(2)] + "', " +
+              I(19920101 + static_cast<int>(rng_.Uniform(2500))) + ")";
+      ++line_counter;
+    }
+    VELOCE_RETURN_IF_ERROR(session->Execute(stmt).status());
+    remaining -= batch;
+  }
+  return Status::OK();
+}
+
+StatusOr<sql::ResultSet> TpchWorkload::RunQ1(sql::Session* session) {
+  return session->Execute(
+      "SELECT l_returnflag, l_linestatus, "
+      "SUM(l_quantity) AS sum_qty, "
+      "SUM(l_extendedprice) AS sum_base_price, "
+      "SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, "
+      "SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge, "
+      "AVG(l_quantity) AS avg_qty, "
+      "AVG(l_extendedprice) AS avg_price, "
+      "COUNT(*) AS count_order "
+      "FROM lineitem WHERE l_shipdate <= 19981201 "
+      "GROUP BY l_returnflag, l_linestatus "
+      "ORDER BY l_returnflag, l_linestatus");
+}
+
+StatusOr<sql::ResultSet> TpchWorkload::RunQ9(sql::Session* session) {
+  // Profit by nation: joins are on primary keys, so the executor runs
+  // per-row index joins (remote KV lookups), like the paper's Q9 plan.
+  return session->Execute(
+      "SELECT n.n_name AS nation, "
+      "SUM(l.l_extendedprice * (1 - l.l_discount) - ps.ps_supplycost * l.l_quantity) "
+      "AS sum_profit "
+      "FROM lineitem l "
+      "JOIN part p ON l.l_partkey = p.p_partkey "
+      "JOIN supplier s ON l.l_suppkey = s.s_suppkey "
+      "JOIN partsupp ps ON ps.ps_partkey = l.l_partkey AND ps.ps_suppkey = l.l_suppkey "
+      "JOIN orders o ON l.l_orderkey = o.o_orderkey "
+      "JOIN nation n ON s.s_nationkey = n.n_nationkey "
+      "GROUP BY n.n_name ORDER BY nation");
+}
+
+}  // namespace veloce::workload

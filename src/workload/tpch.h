@@ -1,0 +1,45 @@
+#ifndef VELOCE_WORKLOAD_TPCH_H_
+#define VELOCE_WORKLOAD_TPCH_H_
+
+#include "common/random.h"
+#include "sql/session.h"
+
+namespace veloce::workload {
+
+/// TPC-H-lite: the two queries the paper's evaluation focuses on (Section
+/// 6.1.2), over a scaled-down schema.
+///  * Q1 — full table scan of lineitem with grouped aggregation. All rows
+///    cross the SQL/KV boundary, so Serverless mode pays marshaling per
+///    row: the 2.3x CPU effect.
+///  * Q9 — a multi-join profit query whose plan is dominated by index
+///    joins (per-row point lookups), which cost the same RPCs in both
+///    deployment modes.
+class TpchWorkload {
+ public:
+  struct Options {
+    int lineitem_rows = 2000;
+    int parts = 50;
+    int suppliers = 10;
+    int nations = 5;
+    int orders = 400;
+  };
+
+  TpchWorkload(Options options, uint64_t seed);
+
+  Status Setup(sql::Session* session);
+
+  /// Pricing summary report (scan + aggregate).
+  StatusOr<sql::ResultSet> RunQ1(sql::Session* session);
+  /// Product-type profit (multi-join + aggregate).
+  StatusOr<sql::ResultSet> RunQ9(sql::Session* session);
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  Random rng_;
+};
+
+}  // namespace veloce::workload
+
+#endif  // VELOCE_WORKLOAD_TPCH_H_

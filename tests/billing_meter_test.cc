@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "billing/meter.h"
+#include "common/logging.h"
+#include "serverless/cluster.h"
+
+namespace veloce::billing {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TenantMeter unit behaviour
+// ---------------------------------------------------------------------------
+
+class MeterTest : public ::testing::Test {
+ protected:
+  MeterTest() : clock_(0), meter_(&clock_, EstimatedCpuModel::Default()) {}
+
+  IntervalFeatures SomeFeatures() {
+    IntervalFeatures f;
+    f.read_batches = 1000;
+    f.read_requests = 1000;
+    f.read_bytes = 64 * 1000;
+    f.write_batches = 100;
+    f.write_requests = 100;
+    f.write_bytes = 128 * 100;
+    return f;
+  }
+
+  ManualClock clock_;
+  TenantMeter meter_;
+};
+
+TEST_F(MeterTest, UnknownTenantIsZero) {
+  const UsageReport report = meter_.Current(42);
+  EXPECT_EQ(report.ecpu_seconds, 0);
+  EXPECT_EQ(report.request_units, 0);
+}
+
+TEST_F(MeterTest, EcpuCombinesSqlAndModeledKv) {
+  clock_.Advance(kSecond);
+  meter_.Record(1, SomeFeatures(), /*sql_cpu_seconds=*/0.5);
+  clock_.Advance(10 * kSecond);
+  const UsageReport report = meter_.Current(1);
+  EXPECT_DOUBLE_EQ(report.sql_cpu_seconds, 0.5);
+  EXPECT_GT(report.kv_cpu_seconds, 0);
+  EXPECT_DOUBLE_EQ(report.ecpu_seconds,
+                   report.sql_cpu_seconds + report.kv_cpu_seconds);
+  EXPECT_GT(report.request_units, 0);
+  EXPECT_DOUBLE_EQ(report.egress_bytes, 64 * 1000);
+  EXPECT_DOUBLE_EQ(report.write_bytes, 128 * 100);
+  EXPECT_EQ(report.interval, 10 * kSecond);
+  EXPECT_NEAR(report.ecpu_vcpus(), report.ecpu_seconds / 10.0, 1e-12);
+}
+
+TEST_F(MeterTest, RecordsAccumulateWithinInterval) {
+  meter_.Record(1, SomeFeatures(), 0.2);
+  meter_.Record(1, SomeFeatures(), 0.3);
+  clock_.Advance(kSecond);
+  const UsageReport report = meter_.Current(1);
+  EXPECT_DOUBLE_EQ(report.sql_cpu_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(report.egress_bytes, 2 * 64 * 1000);
+}
+
+TEST_F(MeterTest, CutClosesTheInterval) {
+  meter_.Record(1, SomeFeatures(), 1.0);
+  clock_.Advance(kMinute);
+  const UsageReport closed = meter_.Cut(1);
+  EXPECT_DOUBLE_EQ(closed.sql_cpu_seconds, 1.0);
+  // The next interval starts empty.
+  clock_.Advance(kSecond);
+  const UsageReport fresh = meter_.Current(1);
+  EXPECT_DOUBLE_EQ(fresh.sql_cpu_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(fresh.egress_bytes, 0.0);
+}
+
+TEST_F(MeterTest, TenantsAreIndependent) {
+  meter_.Record(1, SomeFeatures(), 1.0);
+  meter_.Record(2, IntervalFeatures{}, 0.1);
+  clock_.Advance(kSecond);
+  EXPECT_GT(meter_.Current(1).ecpu_seconds, meter_.Current(2).ecpu_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: metering a live tenant through the serverless stack
+// ---------------------------------------------------------------------------
+
+TEST(MeteringEndToEndTest, QueriesProduceBillableUsage) {
+  serverless::ServerlessCluster cluster;
+  auto meta = cluster.CreateTenant("billed");
+  VELOCE_CHECK(meta.ok());
+  auto idle_meta = cluster.CreateTenant("idle");
+  VELOCE_CHECK(idle_meta.ok());
+
+  auto conn = *cluster.ConnectSync(meta->id);
+  ASSERT_TRUE(conn->session->Execute(
+      "CREATE TABLE b (id INT PRIMARY KEY, v STRING)").ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(conn->session->Execute(
+        "INSERT INTO b VALUES (" + std::to_string(i) + ", 'payload')").ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(conn->session->Execute(
+        "SELECT v FROM b WHERE id = " + std::to_string(i)).ok());
+  }
+  cluster.loop()->RunFor(10 * kSecond);
+
+  const billing::UsageReport report = cluster.TenantUsage(meta->id);
+  EXPECT_GT(report.kv_cpu_seconds, 0);
+  EXPECT_GT(report.ecpu_seconds, 0);
+  EXPECT_GT(report.request_units, 0);
+  EXPECT_GT(report.egress_bytes, 0);   // the SELECTs returned bytes
+  EXPECT_GT(report.write_bytes, 0);    // the INSERTs ingested bytes
+
+  // The idle tenant (no SQL nodes) bills nothing.
+  const billing::UsageReport idle = cluster.TenantUsage(idle_meta->id);
+  EXPECT_EQ(idle.ecpu_seconds, 0);
+
+  // Harvest resets node counters: immediately re-harvesting adds ~nothing.
+  const billing::UsageReport again = cluster.TenantUsage(meta->id);
+  EXPECT_NEAR(again.kv_cpu_seconds, report.kv_cpu_seconds,
+              report.kv_cpu_seconds * 0.01 + 1e-9);
+}
+
+TEST(MeteringEndToEndTest, PeriodicProxyRebalanceRuns) {
+  serverless::ServerlessCluster::Options opts;
+  opts.proxy_rebalance_interval = 30 * kSecond;
+  serverless::ServerlessCluster cluster(opts);
+  auto meta = cluster.CreateTenant("balanced");
+  VELOCE_CHECK(meta.ok());
+  auto c1 = *cluster.ConnectSync(meta->id);
+  auto c2 = *cluster.ConnectSync(meta->id);
+  auto c3 = *cluster.ConnectSync(meta->id);
+  (void)c1;
+  (void)c2;
+  (void)c3;
+  // Add a second node; the periodic pass (not an explicit call) must even
+  // out the connections.
+  sql::SqlNode* second = nullptr;
+  cluster.pool()->Acquire(meta->id, [&](StatusOr<sql::SqlNode*> n) { second = *n; });
+  cluster.loop()->RunFor(10 * kSecond);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(cluster.proxy()->ConnectionsOnNode(second), 0u);
+  cluster.loop()->RunFor(kMinute);
+  EXPECT_GE(cluster.proxy()->ConnectionsOnNode(second), 1u);
+}
+
+}  // namespace
+}  // namespace veloce::billing

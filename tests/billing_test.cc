@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "billing/ecpu_model.h"
+#include "billing/token_bucket.h"
+#include "common/clock.h"
+
+namespace veloce::billing {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PiecewiseLinear
+// ---------------------------------------------------------------------------
+
+TEST(PiecewiseLinearTest, InterpolatesAndClamps) {
+  PiecewiseLinear f({{0, 0}, {10, 100}});
+  EXPECT_DOUBLE_EQ(f.Eval(5), 50);
+  EXPECT_DOUBLE_EQ(f.Eval(-5), 0);    // clamp low
+  EXPECT_DOUBLE_EQ(f.Eval(100), 100); // clamp high
+}
+
+TEST(PiecewiseLinearTest, MultiSegment) {
+  PiecewiseLinear f({{0, 0}, {10, 100}, {20, 110}});
+  EXPECT_DOUBLE_EQ(f.Eval(15), 105);
+}
+
+TEST(PiecewiseLinearTest, FitRecoversShape) {
+  // Samples from y = 1000/x (decreasing cost curve like Fig 5).
+  std::vector<PiecewiseLinear::Point> samples;
+  for (int i = 1; i <= 200; ++i) {
+    const double x = i * 10.0;
+    samples.push_back({x, 1000.0 / x});
+  }
+  PiecewiseLinear fit = PiecewiseLinear::Fit(samples, 5);
+  EXPECT_GT(fit.Eval(20), fit.Eval(2000));  // decreasing
+  EXPECT_NEAR(fit.Eval(1000), 1.0, 0.6);
+}
+
+// ---------------------------------------------------------------------------
+// EstimatedCpuModel
+// ---------------------------------------------------------------------------
+
+TEST(EcpuModelTest, ZeroFeaturesZeroCost) {
+  EstimatedCpuModel model = EstimatedCpuModel::Default();
+  EXPECT_DOUBLE_EQ(model.EstimateKvCpuSeconds({}, 10), 0);
+}
+
+TEST(EcpuModelTest, MoreWorkCostsMore) {
+  EstimatedCpuModel model = EstimatedCpuModel::Default();
+  IntervalFeatures small;
+  small.read_batches = 100;
+  small.read_requests = 100;
+  small.read_bytes = 100 * 64;
+  IntervalFeatures big = small;
+  big.read_batches *= 10;
+  big.read_requests *= 10;
+  big.read_bytes *= 10;
+  EXPECT_GT(model.EstimateKvCpuSeconds(big, 10),
+            model.EstimateKvCpuSeconds(small, 10));
+}
+
+TEST(EcpuModelTest, BatchingIsMoreEfficientAtHigherRates) {
+  // Same total batches, spread over different durations => different rates.
+  // Per-batch cost must fall as the rate rises (Fig 5's shape).
+  EstimatedCpuModel model = EstimatedCpuModel::Default();
+  IntervalFeatures f;
+  f.write_batches = 100000;
+  const double slow = model.EstimateKvCpuSeconds(f, 1000);  // 100/s
+  const double fast = model.EstimateKvCpuSeconds(f, 1);     // 100K/s
+  EXPECT_GT(slow, fast);
+}
+
+TEST(EcpuModelTest, WritesCostMoreThanReads) {
+  EstimatedCpuModel model = EstimatedCpuModel::Default();
+  IntervalFeatures reads, writes;
+  reads.read_batches = writes.write_batches = 1000;
+  reads.read_requests = writes.write_requests = 5000;
+  reads.read_bytes = writes.write_bytes = 1 << 20;
+  EXPECT_GT(model.EstimateKvCpuSeconds(writes, 10),
+            model.EstimateKvCpuSeconds(reads, 10));
+}
+
+TEST(EcpuModelTest, TotalAddsSqlCpu) {
+  EstimatedCpuModel model = EstimatedCpuModel::Default();
+  IntervalFeatures f;
+  f.read_batches = 1000;
+  const double kv = model.EstimateKvCpuSeconds(f, 10);
+  EXPECT_DOUBLE_EQ(model.EstimateTotalCpuSeconds(2.5, f, 10), 2.5 + kv);
+}
+
+TEST(EcpuModelTest, RequestUnitsConversion) {
+  EXPECT_NEAR(EcpuSecondsToRequestUnits(20e-6), 1.0, 1e-9);
+  EXPECT_NEAR(EcpuSecondsToRequestUnits(1.0), 50000.0, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// TokenBucketServer / Client
+// ---------------------------------------------------------------------------
+
+TEST(TokenBucketServerTest, UnlimitedGrantsEverything) {
+  ManualClock clock(0);
+  TokenBucketServer server(&clock, /*quota_vcpus=*/0);
+  EXPECT_TRUE(server.unlimited());
+  auto grant = server.Request(1, 1e9, 0);
+  EXPECT_DOUBLE_EQ(grant.tokens, 1e9);
+  EXPECT_DOUBLE_EQ(grant.trickle_rate, 0);
+}
+
+TEST(TokenBucketServerTest, RefillRateMatchesQuota) {
+  ManualClock clock(0);
+  TokenBucketServer server(&clock, /*quota_vcpus=*/10);
+  EXPECT_DOUBLE_EQ(server.refill_rate(), 10000.0);  // 1000 tokens/s/vCPU
+}
+
+TEST(TokenBucketServerTest, GrantsFromBurstThenTrickles) {
+  ManualClock clock(0);
+  TokenBucketServer server(&clock, 1);  // 1000 tokens/s, 10s burst
+  auto g1 = server.Request(1, 5000, 1000);
+  EXPECT_DOUBLE_EQ(g1.tokens, 5000);
+  EXPECT_DOUBLE_EQ(g1.trickle_rate, 0);
+  auto g2 = server.Request(1, 10000, 1000);
+  EXPECT_LT(g2.tokens, 10000);
+  EXPECT_GT(g2.trickle_rate, 0);
+  // The trickle rate never exceeds the refill rate for a single node.
+  EXPECT_LE(g2.trickle_rate, 1000.0 + 1e-9);
+}
+
+TEST(TokenBucketServerTest, TrickleSharesAcrossNodes) {
+  ManualClock clock(0);
+  TokenBucketServer server(&clock, 2);  // 2000 tokens/s
+  // Drain the burst.
+  server.Request(1, 2000.0 * TokenBucketServer::kBurstSeconds, 1000);
+  auto g1 = server.Request(1, 5000, 2000);
+  auto g2 = server.Request(2, 5000, 2000);
+  EXPECT_GT(g1.trickle_rate, 0);
+  EXPECT_GT(g2.trickle_rate, 0);
+  // Two active nodes: each gets at most ~half the refill rate.
+  EXPECT_LE(g2.trickle_rate, 1000.0 * 1.1);
+}
+
+TEST(TokenBucketServerTest, TokensRegenerateOverTime) {
+  ManualClock clock(0);
+  TokenBucketServer server(&clock, 1);
+  server.Request(1, 1000.0 * TokenBucketServer::kBurstSeconds, 0);  // drain
+  EXPECT_LT(server.available(), 1.0);
+  clock.Advance(2 * kSecond);
+  EXPECT_NEAR(server.available(), 2000, 50);
+}
+
+TEST(TokenBucketClientTest, UnthrottledWhenQuotaAmple) {
+  ManualClock clock(0);
+  TokenBucketServer server(&clock, 100);
+  TokenBucketClient client(&server, 1, &clock);
+  Nanos total_delay = 0;
+  for (int i = 0; i < 100; ++i) {
+    clock.Advance(10 * kMilli);
+    total_delay += client.Consume(5);  // 500 tokens/s << 100k/s quota
+  }
+  EXPECT_EQ(total_delay, 0);
+  EXPECT_FALSE(client.throttled());
+}
+
+TEST(TokenBucketClientTest, ThrottledWhenOverQuota) {
+  ManualClock clock(0);
+  TokenBucketServer server(&clock, 1);  // 1000 tokens/s
+  TokenBucketClient client(&server, 1, &clock);
+  Nanos total_delay = 0;
+  // Consume at ~10000 tokens/s for 30 simulated seconds.
+  for (int i = 0; i < 3000; ++i) {
+    clock.Advance(10 * kMilli);
+    total_delay += client.Consume(100);
+  }
+  EXPECT_GT(total_delay, 0);
+  EXPECT_TRUE(client.throttled());
+}
+
+TEST(TokenBucketClientTest, SmoothPacingNotStopStart) {
+  // With trickle grants the imposed delays should be spread out, not one
+  // giant stall: max delay << total delay.
+  ManualClock clock(0);
+  TokenBucketServer server(&clock, 1);
+  TokenBucketClient client(&server, 1, &clock);
+  Nanos total_delay = 0, max_delay = 0;
+  for (int i = 0; i < 2000; ++i) {
+    clock.Advance(10 * kMilli);
+    const Nanos d = client.Consume(50);  // 5000 tokens/s demand vs 1000 quota
+    total_delay += d;
+    if (d > max_delay) max_delay = d;
+  }
+  EXPECT_GT(total_delay, 0);
+  EXPECT_LT(max_delay, total_delay / 4);
+}
+
+}  // namespace
+}  // namespace veloce::billing

@@ -1,0 +1,245 @@
+// Tests for the later-added KV features: follower reads with closed
+// timestamps, and MVCC version garbage collection.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "kv/cluster.h"
+#include "kv/keys.h"
+#include "kv/mvcc.h"
+
+namespace veloce::kv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Follower reads / closed timestamps
+// ---------------------------------------------------------------------------
+
+class FollowerReadTest : public ::testing::Test {
+ protected:
+  FollowerReadTest() : clock_(kHour) {
+    KVClusterOptions opts;
+    opts.num_nodes = 3;
+    opts.clock = &clock_;
+    cluster_ = std::make_unique<KVCluster>(opts);
+    VELOCE_CHECK_OK(cluster_->CreateTenantKeyspace(10));
+    BatchRequest put;
+    put.tenant_id = 10;
+    put.ts = cluster_->Now();
+    put.AddPut(AddTenantPrefix(10, "key"), "stable-value");
+    VELOCE_CHECK(cluster_->Send(put).ok());
+    write_ts_ = cluster_->Now();
+    clock_.Advance(10 * kSecond);  // let the write fall below the closed ts
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<KVCluster> cluster_;
+  Timestamp write_ts_;
+};
+
+TEST_F(FollowerReadTest, ClosedTimestampTrailsNow) {
+  const Timestamp closed = cluster_->ClosedTimestamp();
+  EXPECT_LT(closed, cluster_->Now());
+  EXPECT_EQ(cluster_->Now().wall - closed.wall, 3 * kSecond);
+}
+
+TEST_F(FollowerReadTest, StaleReadServedWhenLeaseholderDown) {
+  // Kill the leaseholder of the key's range outright (SetNodeLive would
+  // shed the lease; suppress that by marking all other nodes the problem).
+  auto range = *cluster_->LookupRange(AddTenantPrefix(10, "key"));
+  // Take the leaseholder down *without* shedding its leases, simulating
+  // the moment of failure before the lease moves.
+  cluster_->node(range.leaseholder)->SetLive(false);
+
+  // A current-time read fails: no live leaseholder.
+  BatchRequest current;
+  current.tenant_id = 10;
+  current.ts = cluster_->Now();
+  current.AddGet(AddTenantPrefix(10, "key"));
+  EXPECT_EQ(cluster_->Send(current).status().code(), Code::kUnavailable);
+
+  // A stale follower read below the closed timestamp succeeds.
+  BatchRequest stale;
+  stale.tenant_id = 10;
+  stale.ts = cluster_->ClosedTimestamp();
+  stale.allow_follower_reads = true;
+  stale.AddGet(AddTenantPrefix(10, "key"));
+  auto resp = cluster_->Send(stale);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_TRUE(resp->responses[0].found);
+  EXPECT_EQ(resp->responses[0].value, "stable-value");
+}
+
+TEST_F(FollowerReadTest, FreshReadNotServedByFollower) {
+  auto range = *cluster_->LookupRange(AddTenantPrefix(10, "key"));
+  cluster_->node(range.leaseholder)->SetLive(false);
+  // Above the closed timestamp, the follower-read flag doesn't help.
+  BatchRequest fresh;
+  fresh.tenant_id = 10;
+  fresh.ts = cluster_->Now();
+  fresh.allow_follower_reads = true;
+  fresh.AddGet(AddTenantPrefix(10, "key"));
+  EXPECT_EQ(cluster_->Send(fresh).status().code(), Code::kUnavailable);
+}
+
+TEST_F(FollowerReadTest, WritesNeverLandBelowClosedTimestamp) {
+  // A write requested at a stale timestamp gets bumped above the closed
+  // timestamp, so follower reads can never miss a commit.
+  BatchRequest put;
+  put.tenant_id = 10;
+  put.ts = Timestamp{cluster_->ClosedTimestamp().wall - kSecond, 0};
+  put.AddPut(AddTenantPrefix(10, "late-write"), "v");
+  auto resp = *cluster_->Send(put);
+  EXPECT_GT(resp.bumped_write_ts, cluster_->ClosedTimestamp());
+}
+
+TEST_F(FollowerReadTest, FollowerScanWorks) {
+  for (int i = 0; i < 5; ++i) {
+    BatchRequest put;
+    put.tenant_id = 10;
+    put.ts = cluster_->Now();
+    put.AddPut(AddTenantPrefix(10, "scan" + std::to_string(i)), "v");
+    ASSERT_TRUE(cluster_->Send(put).ok());
+  }
+  clock_.Advance(10 * kSecond);
+  const Timestamp stale_ts = cluster_->ClosedTimestamp();
+  auto range = *cluster_->LookupRange(AddTenantPrefix(10, "scan0"));
+  cluster_->node(range.leaseholder)->SetLive(false);
+
+  BatchRequest scan;
+  scan.tenant_id = 10;
+  scan.ts = stale_ts;
+  scan.allow_follower_reads = true;
+  scan.AddScan(AddTenantPrefix(10, "scan"), AddTenantPrefix(10, "scanz"), 0);
+  auto resp = cluster_->Send(scan);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->responses[0].rows.size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// MVCC garbage collection
+// ---------------------------------------------------------------------------
+
+class MvccGcTest : public ::testing::Test {
+ protected:
+  MvccGcTest() { engine_ = std::move(storage::Engine::Open({})).value(); }
+
+  void Put(const std::string& key, Nanos wall, const std::string& value) {
+    storage::WriteBatch batch;
+    MvccPutValue(&batch, key, {wall, 0}, value);
+    VELOCE_CHECK_OK(engine_->Write(batch));
+  }
+  void Del(const std::string& key, Nanos wall) {
+    storage::WriteBatch batch;
+    MvccPutTombstone(&batch, key, {wall, 0});
+    VELOCE_CHECK_OK(engine_->Write(batch));
+  }
+  int CountVersions(const std::string& key) {
+    auto it = engine_->NewIterator();
+    int count = 0;
+    for (it->Seek(EncodeIntentKey(key)); it->Valid(); it->Next()) {
+      std::string user_key;
+      Timestamp ts;
+      bool is_intent;
+      if (!DecodeMvccKey(it->key(), &user_key, &ts, &is_intent)) break;
+      if (user_key != key) break;
+      if (!is_intent) ++count;
+    }
+    return count;
+  }
+
+  std::unique_ptr<storage::Engine> engine_;
+};
+
+TEST_F(MvccGcTest, RemovesShadowedVersionsKeepsVisible) {
+  Put("k", 10, "v10");
+  Put("k", 20, "v20");
+  Put("k", 30, "v30");
+  Put("k", 40, "v40");
+  // GC at ts=25: v20 is the newest version <= 25 and must survive; v10 is
+  // shadowed; v30/v40 are newer and survive.
+  const uint64_t removed = *MvccGarbageCollect(engine_.get(), "k", "l", {25, 0});
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(CountVersions("k"), 3);
+  // Reads at and above the threshold are unchanged.
+  EXPECT_EQ(*(*MvccGet(engine_.get(), "k", {25, 0})).value, "v20");
+  EXPECT_EQ(*(*MvccGet(engine_.get(), "k", {35, 0})).value, "v30");
+  EXPECT_EQ(*(*MvccGet(engine_.get(), "k", {100, 0})).value, "v40");
+}
+
+TEST_F(MvccGcTest, RemovesDeadTombstoneHistories) {
+  Put("gone", 10, "v");
+  Del("gone", 20);
+  Put("alive", 10, "v");
+  const uint64_t removed = *MvccGarbageCollect(engine_.get(), "a", "z", {50, 0});
+  // "gone": both the shadowed value and the boundary tombstone go.
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(CountVersions("gone"), 0);
+  EXPECT_EQ(CountVersions("alive"), 1);
+  EXPECT_FALSE((*MvccGet(engine_.get(), "gone", {100, 0})).value.has_value());
+  EXPECT_TRUE((*MvccGet(engine_.get(), "alive", {100, 0})).value.has_value());
+}
+
+TEST_F(MvccGcTest, LeavesIntentsAlone) {
+  Put("k", 10, "old");
+  storage::WriteBatch batch;
+  MvccPutIntent(&batch, "k", /*txn=*/7, {30, 0}, false, "pending");
+  ASSERT_TRUE(engine_->Write(batch).ok());
+  ASSERT_TRUE(MvccGarbageCollect(engine_.get(), "k", "l", {50, 0}).ok());
+  auto intent = *MvccGetIntent(engine_.get(), "k");
+  ASSERT_TRUE(intent.has_value());
+  EXPECT_EQ(intent->txn_id, 7u);
+}
+
+TEST_F(MvccGcTest, RespectsSpanBounds) {
+  Put("a", 10, "v1");
+  Put("a", 20, "v2");
+  Put("z", 10, "v1");
+  Put("z", 20, "v2");
+  ASSERT_TRUE(MvccGarbageCollect(engine_.get(), "a", "b", {50, 0}).ok());
+  EXPECT_EQ(CountVersions("a"), 1);
+  EXPECT_EQ(CountVersions("z"), 2);  // outside the span
+}
+
+TEST_F(MvccGcTest, ClusterLevelTenantGc) {
+  KVClusterOptions opts;
+  opts.num_nodes = 3;
+  KVCluster cluster(opts);
+  ASSERT_TRUE(cluster.CreateTenantKeyspace(10).ok());
+  for (int version = 0; version < 5; ++version) {
+    BatchRequest put;
+    put.tenant_id = 10;
+    put.ts = cluster.Now();
+    put.AddPut(AddTenantPrefix(10, "hot"), "v" + std::to_string(version));
+    ASSERT_TRUE(cluster.Send(put).ok());
+  }
+  const Timestamp cutoff = cluster.Now();
+  const uint64_t removed = *cluster.GarbageCollectTenant(10, cutoff);
+  // 4 shadowed versions on each of the 3 replicas.
+  EXPECT_EQ(removed, 12u);
+  BatchRequest get;
+  get.tenant_id = 10;
+  get.ts = cluster.Now();
+  get.AddGet(AddTenantPrefix(10, "hot"));
+  EXPECT_EQ((*cluster.Send(get)).responses[0].value, "v4");
+}
+
+// ---------------------------------------------------------------------------
+// Batch codec: the follower-read flag round-trips
+// ---------------------------------------------------------------------------
+
+TEST(BatchFollowerFlagTest, EncodeDecode) {
+  BatchRequest req;
+  req.tenant_id = 1;
+  req.ts = {5, 0};
+  req.allow_follower_reads = true;
+  req.AddGet("k");
+  auto decoded = *BatchRequest::Decode(req.Encode());
+  EXPECT_TRUE(decoded.allow_follower_reads);
+  req.allow_follower_reads = false;
+  decoded = *BatchRequest::Decode(req.Encode());
+  EXPECT_FALSE(decoded.allow_follower_reads);
+}
+
+}  // namespace
+}  // namespace veloce::kv

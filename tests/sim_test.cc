@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/region_topology.h"
+#include "sim/virtual_cpu.h"
+
+namespace veloce::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventLoop
+// ---------------------------------------------------------------------------
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(30, [&] { order.push_back(3); });
+  loop.Schedule(10, [&] { order.push_back(1); });
+  loop.Schedule(20, [&] { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.Now(), 30);
+}
+
+TEST(EventLoopTest, SameTimeFiresInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) loop.Schedule(100, [&, i] { order.push_back(i); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, RunUntilAdvancesClockToDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(50, [&] { ++fired; });
+  loop.Schedule(200, [&] { ++fired; });
+  loop.RunUntil(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.Now(), 100);
+  loop.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, EventsCanScheduleEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) loop.Schedule(10, recurse);
+  };
+  loop.Schedule(10, recurse);
+  loop.Run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(loop.Now(), 100);
+}
+
+TEST(EventLoopTest, NegativeDelayClampsToNow) {
+  EventLoop loop;
+  loop.RunUntil(500);
+  bool fired = false;
+  loop.Schedule(-100, [&] { fired = true; });
+  loop.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(loop.Now(), 500);
+}
+
+TEST(PeriodicTaskTest, FiresEveryPeriodUntilCancelled) {
+  EventLoop loop;
+  int count = 0;
+  PeriodicTask task(&loop, 100, [&] { ++count; });
+  task.Start();
+  loop.RunUntil(550);
+  EXPECT_EQ(count, 5);
+  task.Cancel();
+  loop.RunUntil(2000);
+  EXPECT_EQ(count, 5);
+}
+
+// ---------------------------------------------------------------------------
+// VirtualCpu
+// ---------------------------------------------------------------------------
+
+TEST(VirtualCpuTest, SingleTaskRunsAtFullSpeed) {
+  EventLoop loop;
+  VirtualCpu cpu(&loop, /*vcpus=*/4);
+  Nanos done_at = -1;
+  cpu.Submit(1, 10 * kMilli, [&] { done_at = loop.Now(); });
+  loop.Run();
+  // One task on 4 vCPUs finishes in ~its demand (quantized to 1ms).
+  EXPECT_GE(done_at, 10 * kMilli);
+  EXPECT_LE(done_at, 12 * kMilli);
+  EXPECT_EQ(cpu.total_busy(), 10 * kMilli);
+  EXPECT_EQ(cpu.tenant_busy(1), 10 * kMilli);
+}
+
+TEST(VirtualCpuTest, OversubscribedTasksShareProcessors) {
+  EventLoop loop;
+  VirtualCpu cpu(&loop, /*vcpus=*/1);
+  int done = 0;
+  // Two tasks, each needing 10ms of CPU, on one vCPU: ~20ms wall time.
+  cpu.Submit(1, 10 * kMilli, [&] { ++done; });
+  cpu.Submit(2, 10 * kMilli, [&] { ++done; });
+  loop.Run();
+  EXPECT_EQ(done, 2);
+  EXPECT_GE(loop.Now(), 20 * kMilli);
+  EXPECT_LE(loop.Now(), 23 * kMilli);
+}
+
+TEST(VirtualCpuTest, RunnableQueueLengthReflectsOversubscription) {
+  EventLoop loop;
+  VirtualCpu cpu(&loop, /*vcpus=*/2);
+  for (int i = 0; i < 6; ++i) cpu.Submit(1, 100 * kMilli, [] {});
+  EXPECT_EQ(cpu.active_tasks(), 6);
+  EXPECT_EQ(cpu.runnable_queue_length(), 4);
+  loop.Run();
+  EXPECT_EQ(cpu.runnable_queue_length(), 0);
+}
+
+TEST(VirtualCpuTest, PerTenantAttributionIsFair) {
+  EventLoop loop;
+  VirtualCpu cpu(&loop, /*vcpus=*/2);
+  cpu.Submit(1, 50 * kMilli, [] {});
+  cpu.Submit(2, 50 * kMilli, [] {});
+  loop.Run();
+  EXPECT_EQ(cpu.tenant_busy(1), 50 * kMilli);
+  EXPECT_EQ(cpu.tenant_busy(2), 50 * kMilli);
+  EXPECT_EQ(cpu.total_busy(), 100 * kMilli);
+}
+
+TEST(VirtualCpuTest, UtilizationOverWindow) {
+  EventLoop loop;
+  VirtualCpu cpu(&loop, /*vcpus=*/2);
+  const Nanos start = loop.Now();
+  const Nanos busy0 = cpu.total_busy();
+  // 1 task for 100ms on 2 vcpus => ~50% utilization over the busy window.
+  cpu.Submit(1, 100 * kMilli, [] {});
+  loop.RunUntil(100 * kMilli);
+  EXPECT_NEAR(cpu.UtilizationSince(start, busy0), 0.5, 0.05);
+}
+
+TEST(VirtualCpuTest, ZeroDemandCompletesImmediately) {
+  EventLoop loop;
+  VirtualCpu cpu(&loop, 1);
+  bool done = false;
+  cpu.Submit(1, 0, [&] { done = true; });
+  loop.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(cpu.total_busy(), 0);
+}
+
+TEST(VirtualCpuTest, ManyTasksConserveWork) {
+  EventLoop loop;
+  VirtualCpu cpu(&loop, 4);
+  int done = 0;
+  for (int i = 0; i < 32; ++i) cpu.Submit(i % 3, 5 * kMilli, [&] { ++done; });
+  loop.Run();
+  EXPECT_EQ(done, 32);
+  EXPECT_EQ(cpu.total_busy(), 32 * 5 * kMilli);
+  // 160ms of demand over 4 vcpus: at least 40ms wall clock.
+  EXPECT_GE(loop.Now(), 40 * kMilli);
+}
+
+// ---------------------------------------------------------------------------
+// RegionTopology
+// ---------------------------------------------------------------------------
+
+TEST(RegionTopologyTest, SymmetricRtt) {
+  RegionTopology t;
+  t.AddRegion("us");
+  t.AddRegion("eu");
+  t.SetRtt("us", "eu", 90 * kMilli);
+  EXPECT_EQ(t.Rtt("us", "eu"), 90 * kMilli);
+  EXPECT_EQ(t.Rtt("eu", "us"), 90 * kMilli);
+  EXPECT_EQ(t.OneWay("us", "eu"), 45 * kMilli);
+}
+
+TEST(RegionTopologyTest, IntraRegionDefault) {
+  RegionTopology t;
+  t.AddRegion("us", kMilli);
+  EXPECT_EQ(t.Rtt("us", "us"), kMilli);
+}
+
+TEST(RegionTopologyTest, PaperDefaultsHaveThreeRegions) {
+  RegionTopology t = RegionTopology::PaperDefaults();
+  ASSERT_EQ(t.regions().size(), 3u);
+  EXPECT_TRUE(t.HasRegion("us-central1"));
+  EXPECT_TRUE(t.HasRegion("europe-west1"));
+  EXPECT_TRUE(t.HasRegion("asia-southeast1"));
+  // Asia <-> EU is the longest hop, as on the real internet.
+  EXPECT_GT(t.Rtt("europe-west1", "asia-southeast1"),
+            t.Rtt("us-central1", "europe-west1"));
+  // Intra-region is sub-millisecond.
+  EXPECT_LT(t.Rtt("us-central1", "us-central1"), kMilli);
+}
+
+TEST(RegionTopologyTest, AddRegionIdempotent) {
+  RegionTopology t;
+  t.AddRegion("us");
+  t.AddRegion("us");
+  EXPECT_EQ(t.regions().size(), 1u);
+}
+
+}  // namespace
+}  // namespace veloce::sim

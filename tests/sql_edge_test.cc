@@ -1,0 +1,222 @@
+// Edge-case and error-path coverage for the SQL layer: expression
+// semantics, NULL handling, type behaviour, and executor error reporting.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sql/sql_node.h"
+#include "tenant/controller.h"
+
+namespace veloce::sql {
+namespace {
+
+class SqlEdgeTest : public ::testing::Test {
+ protected:
+  SqlEdgeTest() {
+    kv::KVClusterOptions opts;
+    opts.num_nodes = 3;
+    cluster_ = std::make_unique<kv::KVCluster>(opts);
+    controller_ = std::make_unique<tenant::TenantController>(cluster_.get(), &ca_);
+    service_ = std::make_unique<tenant::AuthorizedKvService>(cluster_.get(), &ca_);
+    auto meta = *controller_->CreateTenant("edge");
+    auto cert = *controller_->IssueCert(meta.id);
+    node_ = std::make_unique<SqlNode>(1, SqlNode::Options{}, cluster_->clock());
+    VELOCE_CHECK_OK(node_->StartProcess());
+    VELOCE_CHECK_OK(node_->StampTenant(service_.get(), cluster_.get(), cert));
+    session_ = *node_->NewSession();
+  }
+
+  ResultSet Exec(const std::string& sql) {
+    auto result = session_->Execute(sql);
+    VELOCE_CHECK(result.ok()) << sql << ": " << result.status().ToString();
+    return std::move(result).value();
+  }
+  Status ExecErr(const std::string& sql) { return session_->Execute(sql).status(); }
+
+  tenant::CertificateAuthority ca_;
+  std::unique_ptr<kv::KVCluster> cluster_;
+  std::unique_ptr<tenant::TenantController> controller_;
+  std::unique_ptr<tenant::AuthorizedKvService> service_;
+  std::unique_ptr<SqlNode> node_;
+  Session* session_;
+};
+
+// --- expressions --------------------------------------------------------------
+
+TEST_F(SqlEdgeTest, TableLessSelectEvaluatesExpressions) {
+  ResultSet rs = Exec("SELECT 1 + 2 * 3, 'a' + 'b', 10 / 4, 10 % 3, TRUE");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].int_value(), 7);
+  EXPECT_EQ(rs.rows[0][1].string_value(), "ab");
+  EXPECT_DOUBLE_EQ(rs.rows[0][2].double_value(), 2.5);  // / is real division
+  EXPECT_EQ(rs.rows[0][3].int_value(), 1);
+  EXPECT_TRUE(rs.rows[0][4].bool_value());
+}
+
+TEST_F(SqlEdgeTest, DivisionByZeroIsAnError) {
+  EXPECT_EQ(ExecErr("SELECT 1 / 0").code(), Code::kInvalidArgument);
+  EXPECT_EQ(ExecErr("SELECT 1 % 0").code(), Code::kInvalidArgument);
+}
+
+TEST_F(SqlEdgeTest, UnaryMinusAndParens) {
+  ResultSet rs = Exec("SELECT -(3 + 4), -5 * -2");
+  EXPECT_EQ(rs.rows[0][0].int_value(), -7);
+  EXPECT_EQ(rs.rows[0][1].int_value(), 10);
+}
+
+TEST_F(SqlEdgeTest, NullPropagationInComparisons) {
+  Exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  Exec("INSERT INTO t (id) VALUES (1)");  // v = NULL
+  Exec("INSERT INTO t VALUES (2, 5)");
+  // NULL comparisons are never true in WHERE.
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t WHERE v = 5").rows[0][0].int_value(), 1);
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t WHERE v != 5").rows[0][0].int_value(), 0);
+  // IS NULL / IS NOT NULL work.
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t WHERE v IS NULL").rows[0][0].int_value(), 1);
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t WHERE v IS NOT NULL").rows[0][0].int_value(), 1);
+}
+
+TEST_F(SqlEdgeTest, NotAndBooleanLogic) {
+  Exec("CREATE TABLE t (id INT PRIMARY KEY, a INT, b INT)");
+  Exec("INSERT INTO t VALUES (1, 1, 0), (2, 0, 1), (3, 1, 1), (4, 0, 0)");
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t WHERE a = 1 AND b = 1").rows[0][0].int_value(), 1);
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t WHERE a = 1 OR b = 1").rows[0][0].int_value(), 3);
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t WHERE NOT (a = 1)").rows[0][0].int_value(), 2);
+}
+
+TEST_F(SqlEdgeTest, AggregateOfExpression) {
+  Exec("CREATE TABLE s (id INT PRIMARY KEY, price DOUBLE, qty INT)");
+  Exec("INSERT INTO s VALUES (1, 2.5, 4), (2, 1.0, 3)");
+  ResultSet rs = Exec("SELECT SUM(price * qty) FROM s");
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].double_value(), 13.0);
+  // Arithmetic over aggregates also works.
+  rs = Exec("SELECT SUM(qty) * 2 + COUNT(*) FROM s");
+  EXPECT_EQ(rs.rows[0][0].int_value(), 16);
+}
+
+// --- errors -------------------------------------------------------------------
+
+TEST_F(SqlEdgeTest, UnknownTableAndColumnErrors) {
+  EXPECT_TRUE(ExecErr("SELECT * FROM missing").IsNotFound());
+  Exec("CREATE TABLE t (id INT PRIMARY KEY)");
+  EXPECT_TRUE(ExecErr("SELECT nope FROM t").IsNotFound());
+  EXPECT_TRUE(ExecErr("INSERT INTO t (nope) VALUES (1)").IsNotFound());
+  EXPECT_TRUE(ExecErr("UPDATE t SET nope = 1").IsNotFound());
+}
+
+TEST_F(SqlEdgeTest, AmbiguousColumnInJoin) {
+  Exec("CREATE TABLE a (id INT PRIMARY KEY, v INT)");
+  Exec("CREATE TABLE b (id INT PRIMARY KEY, v INT)");
+  Exec("INSERT INTO a VALUES (1, 1)");
+  Exec("INSERT INTO b VALUES (1, 2)");
+  const Status s = ExecErr("SELECT v FROM a JOIN b ON a.id = b.id");
+  EXPECT_EQ(s.code(), Code::kInvalidArgument);
+  // Qualification resolves it.
+  ResultSet rs = Exec("SELECT a.v, b.v FROM a JOIN b ON a.id = b.id");
+  EXPECT_EQ(rs.rows[0][0].int_value(), 1);
+  EXPECT_EQ(rs.rows[0][1].int_value(), 2);
+}
+
+TEST_F(SqlEdgeTest, CreateTableTwiceAndIfNotExists) {
+  Exec("CREATE TABLE t (id INT PRIMARY KEY)");
+  EXPECT_EQ(ExecErr("CREATE TABLE t (id INT PRIMARY KEY)").code(),
+            Code::kAlreadyExists);
+  ASSERT_TRUE(session_->Execute("CREATE TABLE IF NOT EXISTS t (id INT PRIMARY KEY)").ok());
+}
+
+TEST_F(SqlEdgeTest, TableWithoutPrimaryKeyRejected) {
+  EXPECT_EQ(ExecErr("CREATE TABLE nopk (v INT)").code(), Code::kInvalidArgument);
+}
+
+TEST_F(SqlEdgeTest, InsertValueCountMismatch) {
+  Exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  EXPECT_EQ(ExecErr("INSERT INTO t (id, v) VALUES (1)").code(),
+            Code::kInvalidArgument);
+}
+
+TEST_F(SqlEdgeTest, MissingParamIsError) {
+  Exec("CREATE TABLE t (id INT PRIMARY KEY)");
+  auto result = session_->Execute("SELECT * FROM t WHERE id = $2",
+                                  {Datum::Int(1)});  // only $1 bound
+  EXPECT_EQ(result.status().code(), Code::kInvalidArgument);
+}
+
+TEST_F(SqlEdgeTest, OrderByUnknownColumnIsNotFound) {
+  Exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  Exec("INSERT INTO t VALUES (1, 1)");
+  // Neither an output column nor an input column.
+  EXPECT_TRUE(ExecErr("SELECT id FROM t ORDER BY nope").IsNotFound());
+  // Out-of-range ordinals are invalid.
+  EXPECT_EQ(ExecErr("SELECT id FROM t ORDER BY 5").code(), Code::kInvalidArgument);
+  // Ordinal positions and non-projected input columns are accepted.
+  EXPECT_TRUE(session_->Execute("SELECT id, v FROM t ORDER BY 2 DESC").ok());
+  EXPECT_TRUE(session_->Execute("SELECT id FROM t ORDER BY v DESC").ok());
+}
+
+// --- semantics ------------------------------------------------------------------
+
+TEST_F(SqlEdgeTest, OrderByMultipleKeysAndLimit) {
+  Exec("CREATE TABLE t (id INT PRIMARY KEY, grp INT, v INT)");
+  Exec("INSERT INTO t VALUES (1, 2, 10), (2, 1, 30), (3, 1, 20), (4, 2, 5)");
+  ResultSet rs = Exec("SELECT id FROM t ORDER BY grp, v DESC LIMIT 3");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][0].int_value(), 2);  // grp 1, v 30
+  EXPECT_EQ(rs.rows[1][0].int_value(), 3);  // grp 1, v 20
+  EXPECT_EQ(rs.rows[2][0].int_value(), 1);  // grp 2, v 10
+}
+
+TEST_F(SqlEdgeTest, StringKeysWithQuotesAndUnicodeBytes) {
+  Exec("CREATE TABLE t (name STRING PRIMARY KEY, v INT)");
+  Exec("INSERT INTO t VALUES ('o''neill', 1)");
+  Exec("INSERT INTO t VALUES ('\xC3\xA9clair', 2)");  // UTF-8 bytes pass through
+  EXPECT_EQ(Exec("SELECT v FROM t WHERE name = 'o''neill'").rows[0][0].int_value(), 1);
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t").rows[0][0].int_value(), 2);
+}
+
+TEST_F(SqlEdgeTest, NegativeAndBoundaryIntegers) {
+  Exec("CREATE TABLE t (id INT PRIMARY KEY)");
+  Exec("INSERT INTO t VALUES (-9223372036854775807), (-1), (0), (9223372036854775807)");
+  ResultSet rs = Exec("SELECT id FROM t ORDER BY id");
+  ASSERT_EQ(rs.rows.size(), 4u);
+  EXPECT_EQ(rs.rows[0][0].int_value(), INT64_MIN + 1);
+  EXPECT_EQ(rs.rows[3][0].int_value(), INT64_MAX);
+  // PK range scans work across the sign boundary.
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t WHERE id >= -1 AND id <= 0").rows[0][0].int_value(), 2);
+}
+
+TEST_F(SqlEdgeTest, DoubleColumnsRoundTrip) {
+  Exec("CREATE TABLE t (id INT PRIMARY KEY, x DOUBLE)");
+  Exec("INSERT INTO t VALUES (1, 3.25), (2, -0.5), (3, 1e10)");
+  ResultSet rs = Exec("SELECT SUM(x) FROM t WHERE x > 0");
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].double_value(), 3.25 + 1e10);
+}
+
+TEST_F(SqlEdgeTest, GroupByMultipleColumns) {
+  Exec("CREATE TABLE t (id INT PRIMARY KEY, a STRING, b INT, v INT)");
+  Exec("INSERT INTO t VALUES (1,'x',1,10),(2,'x',1,20),(3,'x',2,30),(4,'y',1,40)");
+  ResultSet rs = Exec("SELECT a, b, SUM(v) FROM t GROUP BY a, b ORDER BY a, b");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][2].int_value(), 30);  // (x,1)
+  EXPECT_EQ(rs.rows[1][2].int_value(), 30);  // (x,2)
+  EXPECT_EQ(rs.rows[2][2].int_value(), 40);  // (y,1)
+}
+
+TEST_F(SqlEdgeTest, DeleteEverythingThenReuse) {
+  Exec("CREATE TABLE t (id INT PRIMARY KEY)");
+  Exec("INSERT INTO t VALUES (1), (2), (3)");
+  EXPECT_EQ(Exec("DELETE FROM t").rows_affected, 3u);
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t").rows[0][0].int_value(), 0);
+  Exec("INSERT INTO t VALUES (1)");  // PK reusable after delete
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t").rows[0][0].int_value(), 1);
+}
+
+TEST_F(SqlEdgeTest, ResultSetToStringRenders) {
+  Exec("CREATE TABLE t (id INT PRIMARY KEY, name STRING)");
+  Exec("INSERT INTO t VALUES (1, 'ada')");
+  const std::string rendered = Exec("SELECT * FROM t").ToString();
+  EXPECT_NE(rendered.find("id"), std::string::npos);
+  EXPECT_NE(rendered.find("ada"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace veloce::sql

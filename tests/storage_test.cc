@@ -1,0 +1,694 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "storage/engine.h"
+#include "storage/env.h"
+#include "storage/memtable.h"
+#include "storage/sstable.h"
+#include "storage/wal.h"
+#include "storage/write_batch.h"
+
+namespace veloce::storage {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Env
+// ---------------------------------------------------------------------------
+
+TEST(MemEnvTest, WriteReadDelete) {
+  auto env = NewMemEnv();
+  ASSERT_TRUE(env->WriteStringToFile("dir/a", "hello").ok());
+  EXPECT_TRUE(env->FileExists("dir/a"));
+  std::string out;
+  ASSERT_TRUE(env->ReadFileToString("dir/a", &out).ok());
+  EXPECT_EQ(out, "hello");
+  ASSERT_TRUE(env->DeleteFile("dir/a").ok());
+  EXPECT_FALSE(env->FileExists("dir/a"));
+  EXPECT_TRUE(env->ReadFileToString("dir/a", &out).IsNotFound());
+}
+
+TEST(MemEnvTest, GetChildrenListsDirectFilesOnly) {
+  auto env = NewMemEnv();
+  ASSERT_TRUE(env->WriteStringToFile("db/1.sst", "x").ok());
+  ASSERT_TRUE(env->WriteStringToFile("db/2.sst", "y").ok());
+  ASSERT_TRUE(env->WriteStringToFile("db/sub/3.sst", "z").ok());
+  ASSERT_TRUE(env->WriteStringToFile("other/4.sst", "w").ok());
+  std::vector<std::string> children;
+  ASSERT_TRUE(env->GetChildren("db", &children).ok());
+  EXPECT_EQ(children.size(), 2u);
+}
+
+TEST(MemEnvTest, RandomAccessReads) {
+  auto env = NewMemEnv();
+  ASSERT_TRUE(env->WriteStringToFile("f", "0123456789").ok());
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(env->NewRandomAccessFile("f", &file).ok());
+  std::string out;
+  ASSERT_TRUE(file->Read(3, 4, &out).ok());
+  EXPECT_EQ(out, "3456");
+  // Reads past EOF clamp.
+  ASSERT_TRUE(file->Read(8, 10, &out).ok());
+  EXPECT_EQ(out, "89");
+}
+
+// ---------------------------------------------------------------------------
+// WriteBatch
+// ---------------------------------------------------------------------------
+
+TEST(WriteBatchTest, IterateReplaysOperations) {
+  WriteBatch batch;
+  batch.Put("k1", "v1");
+  batch.Delete("k2");
+  batch.Put("k3", "v3");
+  EXPECT_EQ(batch.Count(), 3u);
+  EXPECT_EQ(batch.PayloadBytes(), 2u + 2u + 2u + 2u + 2u);
+
+  struct Collector : WriteBatch::Handler {
+    std::vector<std::string> ops;
+    void Put(Slice k, Slice v) override { ops.push_back("P:" + k.ToString() + "=" + v.ToString()); }
+    void Delete(Slice k) override { ops.push_back("D:" + k.ToString()); }
+  } collector;
+  ASSERT_TRUE(batch.Iterate(&collector).ok());
+  ASSERT_EQ(collector.ops.size(), 3u);
+  EXPECT_EQ(collector.ops[0], "P:k1=v1");
+  EXPECT_EQ(collector.ops[1], "D:k2");
+  EXPECT_EQ(collector.ops[2], "P:k3=v3");
+}
+
+TEST(WriteBatchTest, SerializationRoundTrip) {
+  WriteBatch batch;
+  batch.Put("alpha", std::string(200, 'x'));
+  batch.Delete("beta");
+  WriteBatch restored;
+  ASSERT_TRUE(restored.SetContents(batch.rep()).ok());
+  EXPECT_EQ(restored.Count(), 2u);
+  EXPECT_EQ(restored.PayloadBytes(), batch.PayloadBytes());
+}
+
+TEST(WriteBatchTest, CorruptContentsRejected) {
+  WriteBatch batch;
+  EXPECT_FALSE(batch.SetContents("\x05garbage-without-structure").ok());
+}
+
+TEST(WriteBatchTest, ClearResets) {
+  WriteBatch batch;
+  batch.Put("a", "b");
+  batch.Clear();
+  EXPECT_EQ(batch.Count(), 0u);
+  EXPECT_EQ(batch.PayloadBytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// MemTable
+// ---------------------------------------------------------------------------
+
+TEST(MemTableTest, PutGetLatestVersion) {
+  MemTable mem;
+  mem.Add(1, ValueType::kValue, "key", "v1");
+  mem.Add(5, ValueType::kValue, "key", "v5");
+  std::string value;
+  bool deleted = false;
+  ASSERT_TRUE(mem.Get("key", kMaxSequenceNumber, &value, &deleted));
+  EXPECT_FALSE(deleted);
+  EXPECT_EQ(value, "v5");
+}
+
+TEST(MemTableTest, SnapshotReadsSeeOldVersions) {
+  MemTable mem;
+  mem.Add(1, ValueType::kValue, "key", "v1");
+  mem.Add(5, ValueType::kValue, "key", "v5");
+  std::string value;
+  bool deleted = false;
+  ASSERT_TRUE(mem.Get("key", 3, &value, &deleted));
+  EXPECT_EQ(value, "v1");
+  EXPECT_FALSE(mem.Get("key", 0, &value, &deleted));
+}
+
+TEST(MemTableTest, TombstoneVisible) {
+  MemTable mem;
+  mem.Add(1, ValueType::kValue, "key", "v1");
+  mem.Add(2, ValueType::kDeletion, "key", "");
+  std::string value;
+  bool deleted = false;
+  ASSERT_TRUE(mem.Get("key", kMaxSequenceNumber, &value, &deleted));
+  EXPECT_TRUE(deleted);
+}
+
+TEST(MemTableTest, MissingKey) {
+  MemTable mem;
+  mem.Add(1, ValueType::kValue, "a", "1");
+  mem.Add(2, ValueType::kValue, "c", "3");
+  std::string value;
+  bool deleted = false;
+  EXPECT_FALSE(mem.Get("b", kMaxSequenceNumber, &value, &deleted));
+}
+
+TEST(MemTableTest, IteratorSortedByInternalKey) {
+  MemTable mem;
+  Random rnd(3);
+  std::map<std::string, std::string> expected;
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "key" + std::to_string(rnd.Uniform(200));
+    const std::string value = "v" + std::to_string(i);
+    mem.Add(static_cast<SequenceNumber>(i + 1), ValueType::kValue, key, value);
+    expected[key] = value;  // later writes win
+  }
+  // Walk with the iterator; for each user key the FIRST occurrence is the
+  // newest version.
+  auto it = mem.NewIterator();
+  std::map<std::string, std::string> got;
+  std::string prev_ikey;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    const std::string ikey = it->key().ToString();
+    if (!prev_ikey.empty()) {
+      EXPECT_LT(CompareInternalKey(Slice(prev_ikey), it->key()), 0);
+    }
+    prev_ikey = ikey;
+    const std::string ukey = ExtractUserKey(it->key()).ToString();
+    if (!got.count(ukey)) got[ukey] = it->value().ToString();
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(MemTableTest, MemoryUsageGrows) {
+  MemTable mem;
+  const size_t before = mem.ApproximateMemoryUsage();
+  mem.Add(1, ValueType::kValue, "key", std::string(1000, 'v'));
+  EXPECT_GT(mem.ApproximateMemoryUsage(), before + 1000);
+}
+
+// ---------------------------------------------------------------------------
+// WAL
+// ---------------------------------------------------------------------------
+
+TEST(WalTest, RoundTrip) {
+  auto env = NewMemEnv();
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env->NewWritableFile("wal", &file).ok());
+    LogWriter writer(std::move(file));
+    ASSERT_TRUE(writer.AddRecord("first").ok());
+    ASSERT_TRUE(writer.AddRecord("second record, longer").ok());
+    ASSERT_TRUE(writer.AddRecord("").ok());
+  }
+  std::string contents;
+  ASSERT_TRUE(env->ReadFileToString("wal", &contents).ok());
+  LogReader reader(std::move(contents));
+  std::string rec;
+  bool corrupt = false;
+  ASSERT_TRUE(reader.ReadRecord(&rec, &corrupt));
+  EXPECT_EQ(rec, "first");
+  ASSERT_TRUE(reader.ReadRecord(&rec, &corrupt));
+  EXPECT_EQ(rec, "second record, longer");
+  ASSERT_TRUE(reader.ReadRecord(&rec, &corrupt));
+  EXPECT_EQ(rec, "");
+  EXPECT_FALSE(reader.ReadRecord(&rec, &corrupt));
+  EXPECT_FALSE(corrupt);
+}
+
+TEST(WalTest, TruncatedTailStopsCleanly) {
+  auto env = NewMemEnv();
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env->NewWritableFile("wal", &file).ok());
+    LogWriter writer(std::move(file));
+    ASSERT_TRUE(writer.AddRecord("complete").ok());
+    ASSERT_TRUE(writer.AddRecord("will be truncated").ok());
+  }
+  std::string contents;
+  ASSERT_TRUE(env->ReadFileToString("wal", &contents).ok());
+  contents.resize(contents.size() - 5);  // simulate crash mid-write
+  LogReader reader(std::move(contents));
+  std::string rec;
+  bool corrupt = false;
+  ASSERT_TRUE(reader.ReadRecord(&rec, &corrupt));
+  EXPECT_EQ(rec, "complete");
+  EXPECT_FALSE(reader.ReadRecord(&rec, &corrupt));
+  EXPECT_FALSE(corrupt);  // truncation is a clean end, not corruption
+}
+
+TEST(WalTest, BitFlipDetected) {
+  auto env = NewMemEnv();
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env->NewWritableFile("wal", &file).ok());
+    LogWriter writer(std::move(file));
+    ASSERT_TRUE(writer.AddRecord("record payload").ok());
+  }
+  std::string contents;
+  ASSERT_TRUE(env->ReadFileToString("wal", &contents).ok());
+  contents[10] ^= 0x01;
+  LogReader reader(std::move(contents));
+  std::string rec;
+  bool corrupt = false;
+  EXPECT_FALSE(reader.ReadRecord(&rec, &corrupt));
+  EXPECT_TRUE(corrupt);
+}
+
+// ---------------------------------------------------------------------------
+// SSTable
+// ---------------------------------------------------------------------------
+
+TEST(SSTableTest, BuildAndLookup) {
+  auto env = NewMemEnv();
+  std::unique_ptr<WritableFile> wfile;
+  ASSERT_TRUE(env->NewWritableFile("t.sst", &wfile).ok());
+  TableBuilder builder(std::move(wfile), /*block_size=*/64);
+  for (int i = 0; i < 100; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%03d", i);
+    ASSERT_TRUE(builder.Add(MakeInternalKey(key, 1, ValueType::kValue),
+                            "value" + std::to_string(i))
+                    .ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  EXPECT_EQ(builder.num_entries(), 100u);
+
+  std::unique_ptr<RandomAccessFile> rfile;
+  ASSERT_TRUE(env->NewRandomAccessFile("t.sst", &rfile).ok());
+  auto table_or = Table::Open(std::move(rfile));
+  ASSERT_TRUE(table_or.ok());
+  auto table = *table_or;
+  EXPECT_GT(table->num_blocks(), 1u);  // small block size forces many blocks
+
+  std::string fkey, fvalue;
+  ASSERT_TRUE(table
+                  ->SeekEntry(MakeInternalKey("key042", kMaxSequenceNumber,
+                                              ValueType::kValue),
+                              &fkey, &fvalue)
+                  .ok());
+  EXPECT_EQ(ExtractUserKey(Slice(fkey)).ToString(), "key042");
+  EXPECT_EQ(fvalue, "value42");
+
+  EXPECT_TRUE(table
+                  ->SeekEntry(MakeInternalKey("zzz", kMaxSequenceNumber,
+                                              ValueType::kValue),
+                              &fkey, &fvalue)
+                  .IsNotFound());
+}
+
+TEST(SSTableTest, IteratorScansAllEntries) {
+  auto env = NewMemEnv();
+  std::unique_ptr<WritableFile> wfile;
+  ASSERT_TRUE(env->NewWritableFile("t.sst", &wfile).ok());
+  TableBuilder builder(std::move(wfile), 128);
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%05d", i);
+    ASSERT_TRUE(builder.Add(MakeInternalKey(key, 7, ValueType::kValue),
+                            std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+
+  std::unique_ptr<RandomAccessFile> rfile;
+  ASSERT_TRUE(env->NewRandomAccessFile("t.sst", &rfile).ok());
+  auto table = *Table::Open(std::move(rfile));
+  auto it = table->NewIterator();
+  int count = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    EXPECT_EQ(it->value().ToString(), std::to_string(count));
+    ++count;
+  }
+  EXPECT_EQ(count, n);
+}
+
+TEST(SSTableTest, IteratorSeekLandsOnOrAfter) {
+  auto env = NewMemEnv();
+  std::unique_ptr<WritableFile> wfile;
+  ASSERT_TRUE(env->NewWritableFile("t.sst", &wfile).ok());
+  TableBuilder builder(std::move(wfile), 64);
+  for (int i = 0; i < 100; i += 2) {  // even keys only
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%03d", i);
+    ASSERT_TRUE(builder.Add(MakeInternalKey(key, 1, ValueType::kValue), "v").ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  std::unique_ptr<RandomAccessFile> rfile;
+  ASSERT_TRUE(env->NewRandomAccessFile("t.sst", &rfile).ok());
+  auto table = *Table::Open(std::move(rfile));
+  auto it = table->NewIterator();
+  it->Seek(MakeInternalKey("k051", kMaxSequenceNumber, ValueType::kValue));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(ExtractUserKey(it->key()).ToString(), "k052");
+  it->Seek(MakeInternalKey("k999", kMaxSequenceNumber, ValueType::kValue));
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST(SSTableTest, CorruptBlockDetected) {
+  auto env = NewMemEnv();
+  std::unique_ptr<WritableFile> wfile;
+  ASSERT_TRUE(env->NewWritableFile("t.sst", &wfile).ok());
+  TableBuilder builder(std::move(wfile), 4096);
+  ASSERT_TRUE(builder.Add(MakeInternalKey("a", 1, ValueType::kValue), "v").ok());
+  ASSERT_TRUE(builder.Finish().ok());
+  std::string contents;
+  ASSERT_TRUE(env->ReadFileToString("t.sst", &contents).ok());
+  contents[2] ^= 0x40;  // flip a bit in the data block
+  ASSERT_TRUE(env->WriteStringToFile("t2.sst", contents).ok());
+  std::unique_ptr<RandomAccessFile> rfile;
+  ASSERT_TRUE(env->NewRandomAccessFile("t2.sst", &rfile).ok());
+  auto table = *Table::Open(std::move(rfile));
+  std::string fkey, fvalue;
+  EXPECT_EQ(table->SeekEntry(MakeInternalKey("a", kMaxSequenceNumber,
+                                             ValueType::kValue),
+                             &fkey, &fvalue)
+                .code(),
+            Code::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+EngineOptions SmallEngineOptions() {
+  EngineOptions opts;
+  opts.memtable_bytes = 16 << 10;  // tiny, to force flushes
+  opts.sstable_target_bytes = 8 << 10;
+  opts.level_base_bytes = 64 << 10;
+  return opts;
+}
+
+TEST(EngineTest, PutGetDelete) {
+  auto engine = *Engine::Open({});
+  ASSERT_TRUE(engine->Put("k", "v").ok());
+  std::string value;
+  ASSERT_TRUE(engine->Get("k", &value).ok());
+  EXPECT_EQ(value, "v");
+  ASSERT_TRUE(engine->Delete("k").ok());
+  EXPECT_TRUE(engine->Get("k", &value).IsNotFound());
+}
+
+TEST(EngineTest, OverwriteReturnsLatest) {
+  auto engine = *Engine::Open({});
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine->Put("k", "v" + std::to_string(i)).ok());
+  }
+  std::string value;
+  ASSERT_TRUE(engine->Get("k", &value).ok());
+  EXPECT_EQ(value, "v9");
+}
+
+TEST(EngineTest, SurvivesFlushes) {
+  auto engine = *Engine::Open(SmallEngineOptions());
+  std::map<std::string, std::string> expected;
+  Random rnd(11);
+  for (int i = 0; i < 3000; ++i) {
+    const std::string key = "key" + std::to_string(rnd.Uniform(500));
+    const std::string value = rnd.String(64);
+    ASSERT_TRUE(engine->Put(key, value).ok());
+    expected[key] = value;
+  }
+  EXPECT_GT(engine->stats().num_flushes, 0u);
+  for (const auto& [key, value] : expected) {
+    std::string got;
+    ASSERT_TRUE(engine->Get(key, &got).ok()) << key;
+    EXPECT_EQ(got, value);
+  }
+}
+
+TEST(EngineTest, CompactionPreservesData) {
+  auto engine = *Engine::Open(SmallEngineOptions());
+  std::map<std::string, std::string> expected;
+  Random rnd(13);
+  for (int i = 0; i < 5000; ++i) {
+    const std::string key = "key" + std::to_string(rnd.Uniform(800));
+    if (rnd.Bernoulli(0.1)) {
+      ASSERT_TRUE(engine->Delete(key).ok());
+      expected.erase(key);
+    } else {
+      const std::string value = rnd.String(50);
+      ASSERT_TRUE(engine->Put(key, value).ok());
+      expected[key] = value;
+    }
+  }
+  ASSERT_TRUE(engine->CompactAll().ok());
+  EXPECT_GT(engine->stats().num_compactions, 0u);
+  EXPECT_EQ(engine->NumFilesAtLevel(0), 0);
+  for (const auto& [key, value] : expected) {
+    std::string got;
+    ASSERT_TRUE(engine->Get(key, &got).ok()) << key;
+    EXPECT_EQ(got, value);
+  }
+  // Deleted keys stay deleted.
+  std::string got;
+  for (int i = 0; i < 800; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    if (!expected.count(key)) {
+      EXPECT_TRUE(engine->Get(key, &got).IsNotFound()) << key;
+    }
+  }
+}
+
+TEST(EngineTest, IteratorSeesConsistentSnapshot) {
+  auto engine = *Engine::Open({});
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine->Put("k" + std::to_string(i), "old").ok());
+  }
+  auto it = engine->NewIterator();
+  // Mutate after iterator creation.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine->Put("k" + std::to_string(i), "new").ok());
+  }
+  ASSERT_TRUE(engine->Put("extra", "x").ok());
+  int count = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    EXPECT_EQ(it->value().ToString(), "old");
+    ++count;
+  }
+  EXPECT_EQ(count, 100);
+}
+
+TEST(EngineTest, IteratorSkipsTombstones) {
+  auto engine = *Engine::Open({});
+  ASSERT_TRUE(engine->Put("a", "1").ok());
+  ASSERT_TRUE(engine->Put("b", "2").ok());
+  ASSERT_TRUE(engine->Put("c", "3").ok());
+  ASSERT_TRUE(engine->Delete("b").ok());
+  auto it = engine->NewIterator();
+  std::vector<std::string> keys;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) keys.push_back(it->key().ToString());
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "c"}));
+}
+
+TEST(EngineTest, IteratorSeek) {
+  auto engine = *Engine::Open({});
+  for (int i = 0; i < 50; ++i) {
+    char key[8];
+    std::snprintf(key, sizeof(key), "k%03d", i * 2);
+    ASSERT_TRUE(engine->Put(key, "v").ok());
+  }
+  auto it = engine->NewIterator();
+  it->Seek("k011");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key().ToString(), "k012");
+}
+
+TEST(EngineTest, RecoveryFromWal) {
+  auto env = NewMemEnv();
+  EngineOptions opts;
+  opts.env = env.get();
+  opts.dir = "db";
+  {
+    auto engine = *Engine::Open(opts);
+    ASSERT_TRUE(engine->Put("persisted", "yes").ok());
+    ASSERT_TRUE(engine->Put("also", "this").ok());
+    // No explicit flush: data only in WAL + memtable.
+  }
+  auto engine = *Engine::Open(opts);
+  std::string value;
+  ASSERT_TRUE(engine->Get("persisted", &value).ok());
+  EXPECT_EQ(value, "yes");
+  ASSERT_TRUE(engine->Get("also", &value).ok());
+  EXPECT_EQ(value, "this");
+}
+
+TEST(EngineTest, RecoveryAfterFlushAndCompaction) {
+  auto env = NewMemEnv();
+  EngineOptions opts = SmallEngineOptions();
+  opts.env = env.get();
+  opts.dir = "db";
+  std::map<std::string, std::string> expected;
+  {
+    auto engine = *Engine::Open(opts);
+    Random rnd(17);
+    for (int i = 0; i < 2000; ++i) {
+      const std::string key = "key" + std::to_string(rnd.Uniform(300));
+      const std::string value = rnd.String(40);
+      ASSERT_TRUE(engine->Put(key, value).ok());
+      expected[key] = value;
+    }
+    ASSERT_TRUE(engine->Flush().ok());
+  }
+  auto engine = *Engine::Open(opts);
+  for (const auto& [key, value] : expected) {
+    std::string got;
+    ASSERT_TRUE(engine->Get(key, &got).ok()) << key;
+    EXPECT_EQ(got, value);
+  }
+}
+
+TEST(EngineTest, StatsTrackWriteAmplification) {
+  auto engine = *Engine::Open(SmallEngineOptions());
+  Random rnd(19);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(engine->Put("key" + std::to_string(rnd.Uniform(1000)),
+                            rnd.String(60)).ok());
+  }
+  const EngineStats& stats = engine->stats();
+  EXPECT_GT(stats.ingest_bytes, 0u);
+  EXPECT_GT(stats.wal_bytes, stats.ingest_bytes);  // WAL framing overhead
+  EXPECT_GT(stats.flush_bytes, 0u);
+  // LSM write amplification: total bytes written exceeds ingested payload.
+  EXPECT_GT(stats.total_bytes_written(), stats.ingest_bytes);
+}
+
+TEST(EngineTest, AtomicWriteBatch) {
+  auto engine = *Engine::Open({});
+  WriteBatch batch;
+  batch.Put("x", "1");
+  batch.Put("y", "2");
+  batch.Delete("x");
+  ASSERT_TRUE(engine->Write(batch).ok());
+  std::string value;
+  EXPECT_TRUE(engine->Get("x", &value).IsNotFound());
+  ASSERT_TRUE(engine->Get("y", &value).ok());
+  EXPECT_EQ(value, "2");
+}
+
+TEST(EngineTest, EmptyBatchIsNoop) {
+  auto engine = *Engine::Open({});
+  WriteBatch batch;
+  ASSERT_TRUE(engine->Write(batch).ok());
+  EXPECT_EQ(engine->LastSequence(), 0u);
+}
+
+// Property-style sweep: random workload against an in-memory model across
+// engine configurations.
+class EnginePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnginePropertyTest, MatchesModelUnderRandomOps) {
+  EngineOptions opts;
+  opts.memtable_bytes = static_cast<size_t>(GetParam());
+  opts.sstable_target_bytes = 4 << 10;
+  opts.level_base_bytes = 32 << 10;
+  opts.l0_compaction_trigger = 3;
+  auto engine = *Engine::Open(opts);
+  std::map<std::string, std::string> model;
+  Random rnd(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 3000; ++i) {
+    const std::string key = "k" + std::to_string(rnd.Uniform(200));
+    const int op = static_cast<int>(rnd.Uniform(10));
+    if (op < 7) {
+      const std::string value = rnd.String(1 + rnd.Uniform(100));
+      ASSERT_TRUE(engine->Put(key, value).ok());
+      model[key] = value;
+    } else if (op < 9) {
+      ASSERT_TRUE(engine->Delete(key).ok());
+      model.erase(key);
+    } else {
+      std::string got;
+      Status s = engine->Get(key, &got);
+      if (model.count(key)) {
+        ASSERT_TRUE(s.ok()) << key;
+        EXPECT_EQ(got, model[key]);
+      } else {
+        EXPECT_TRUE(s.IsNotFound()) << key;
+      }
+    }
+  }
+  // Full scan equals the model.
+  auto it = engine->NewIterator();
+  auto model_it = model.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++model_it) {
+    ASSERT_NE(model_it, model.end());
+    EXPECT_EQ(it->key().ToString(), model_it->first);
+    EXPECT_EQ(it->value().ToString(), model_it->second);
+  }
+  EXPECT_EQ(model_it, model.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(MemtableSizes, EnginePropertyTest,
+                         ::testing::Values(2 << 10, 8 << 10, 64 << 10, 1 << 20));
+
+}  // namespace
+}  // namespace veloce::storage
+
+namespace veloce::storage {
+namespace {
+
+// ---------------------------------------------------------------------------
+// BlockCache
+// ---------------------------------------------------------------------------
+
+TEST(BlockCacheTest, InsertLookupEvict) {
+  BlockCache cache(/*capacity_bytes=*/1000);
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  cache.Insert(1, 0, std::string(400, 'a'));
+  cache.Insert(1, 1, std::string(400, 'b'));
+  auto hit = cache.Lookup(1, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ((*hit)[0], 'a');
+  // A third block over capacity evicts the least-recently-used (block 1,
+  // since block 0 was just touched).
+  cache.Insert(1, 2, std::string(400, 'c'));
+  EXPECT_NE(cache.Lookup(1, 0), nullptr);
+  EXPECT_EQ(cache.Lookup(1, 1), nullptr);
+  EXPECT_LE(cache.usage_bytes(), 1000u);
+}
+
+TEST(BlockCacheTest, EvictFileDropsAllItsBlocks) {
+  BlockCache cache(1 << 20);
+  cache.Insert(7, 0, "x");
+  cache.Insert(7, 1, "y");
+  cache.Insert(8, 0, "z");
+  cache.EvictFile(7);
+  EXPECT_EQ(cache.Lookup(7, 0), nullptr);
+  EXPECT_EQ(cache.Lookup(7, 1), nullptr);
+  EXPECT_NE(cache.Lookup(8, 0), nullptr);
+}
+
+TEST(BlockCacheTest, SharedPtrSurvivesEviction) {
+  BlockCache cache(20);
+  cache.Insert(1, 0, "pinned-content");
+  auto pinned = cache.Lookup(1, 0);
+  cache.Insert(1, 1, std::string(100, 'x'));  // evicts everything
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(*pinned, "pinned-content");  // still valid for the holder
+}
+
+TEST(BlockCacheTest, HitMissCounters) {
+  BlockCache cache(1 << 20);
+  cache.Insert(1, 0, "v");
+  (void)cache.Lookup(1, 0);
+  (void)cache.Lookup(1, 0);
+  (void)cache.Lookup(2, 0);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(BlockCacheTest, EngineGetsServeFromCache) {
+  EngineOptions opts;
+  opts.memtable_bytes = 8 << 10;
+  auto engine = *Engine::Open(opts);
+  Random rnd(3);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(engine->Put("key" + std::to_string(i), rnd.String(64)).ok());
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+  std::string value;
+  ASSERT_TRUE(engine->Get("key42", &value).ok());
+  const uint64_t hits_before = engine->block_cache()->hits();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine->Get("key42", &value).ok());
+  }
+  EXPECT_GE(engine->block_cache()->hits(), hits_before + 10);
+}
+
+}  // namespace
+}  // namespace veloce::storage

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "kv/cluster.h"
+#include "tenant/authorizer.h"
+#include "tenant/controller.h"
+
+namespace veloce::tenant {
+namespace {
+
+class TenantControllerTest : public ::testing::Test {
+ protected:
+  TenantControllerTest() {
+    kv::KVClusterOptions opts;
+    opts.num_nodes = 3;
+    cluster_ = std::make_unique<kv::KVCluster>(opts);
+    controller_ = std::make_unique<TenantController>(cluster_.get(), &ca_);
+  }
+
+  CertificateAuthority ca_;
+  std::unique_ptr<kv::KVCluster> cluster_;
+  std::unique_ptr<TenantController> controller_;
+};
+
+TEST_F(TenantControllerTest, CreateAssignsIdsAndKeyspace) {
+  auto t1 = *controller_->CreateTenant("alpha");
+  auto t2 = *controller_->CreateTenant("beta");
+  EXPECT_NE(t1.id, t2.id);
+  EXPECT_EQ(t1.state, TenantState::kActive);
+
+  // Keyspaces are carved out as dedicated ranges.
+  bool found = false;
+  for (const auto& desc : cluster_->Ranges()) {
+    if (desc.tenant_id == t1.id) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TenantControllerTest, MetadataPersistsInSystemKeyspace) {
+  auto t = *controller_->CreateTenant("gamma", {"us-central1", "europe-west1"});
+  auto loaded = *controller_->GetTenant(t.id);
+  EXPECT_EQ(loaded.name, "gamma");
+  ASSERT_EQ(loaded.regions.size(), 2u);
+  EXPECT_EQ(loaded.regions[1], "europe-west1");
+}
+
+TEST_F(TenantControllerTest, ListTenants) {
+  ASSERT_TRUE(controller_->CreateTenant("a").ok());
+  ASSERT_TRUE(controller_->CreateTenant("b").ok());
+  ASSERT_TRUE(controller_->CreateTenant("c").ok());
+  auto all = *controller_->ListTenants();
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST_F(TenantControllerTest, SuspendResumeLifecycle) {
+  auto t = *controller_->CreateTenant("sleeper");
+  ASSERT_TRUE(controller_->SuspendTenant(t.id).ok());
+  EXPECT_EQ((*controller_->GetTenant(t.id)).state, TenantState::kSuspended);
+  ASSERT_TRUE(controller_->ResumeTenant(t.id).ok());
+  EXPECT_EQ((*controller_->GetTenant(t.id)).state, TenantState::kActive);
+}
+
+TEST_F(TenantControllerTest, DestroyRevokesCertAndDeletesData) {
+  auto t = *controller_->CreateTenant("doomed");
+  const TenantCert cert = *controller_->IssueCert(t.id);
+
+  // Write some data as the tenant.
+  AuthorizedKvService service(cluster_.get(), &ca_);
+  kv::BatchRequest put;
+  put.ts = cluster_->Now();
+  put.AddPut(kv::AddTenantPrefix(t.id, "row"), "data");
+  ASSERT_TRUE(service.Send(cert, put).ok());
+
+  ASSERT_TRUE(controller_->DestroyTenant(t.id).ok());
+  EXPECT_EQ((*controller_->GetTenant(t.id)).state, TenantState::kDestroyed);
+  // The cert no longer works.
+  kv::BatchRequest get;
+  get.ts = cluster_->Now();
+  get.AddGet(kv::AddTenantPrefix(t.id, "row"));
+  EXPECT_TRUE(service.Send(cert, get).status().IsUnauthorized());
+  // Data is gone (checked via the system tenant).
+  kv::BatchRequest sysget;
+  sysget.tenant_id = kv::kSystemTenantId;
+  sysget.ts = cluster_->Now();
+  sysget.AddGet(kv::AddTenantPrefix(t.id, "row"));
+  EXPECT_FALSE((*cluster_->Send(sysget)).responses[0].found);
+}
+
+TEST_F(TenantControllerTest, EcpuLimitRoundTrips) {
+  auto t = *controller_->CreateTenant("limited");
+  ASSERT_TRUE(controller_->SetEcpuLimit(t.id, 10.0).ok());
+  EXPECT_DOUBLE_EQ((*controller_->GetTenant(t.id)).ecpu_limit_vcpus, 10.0);
+}
+
+TEST_F(TenantControllerTest, GetUnknownTenantFails) {
+  EXPECT_TRUE(controller_->GetTenant(9999).status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Certificates / authorization boundary
+// ---------------------------------------------------------------------------
+
+TEST(CertificateAuthorityTest, IssueValidateRevoke) {
+  CertificateAuthority ca;
+  const TenantCert cert = ca.Issue(42);
+  EXPECT_TRUE(ca.Validate(cert));
+  // Forged secret fails.
+  EXPECT_FALSE(ca.Validate({42, cert.secret ^ 1}));
+  // Cert for another tenant fails.
+  EXPECT_FALSE(ca.Validate({43, cert.secret}));
+  ca.Revoke(42);
+  EXPECT_FALSE(ca.Validate(cert));
+}
+
+TEST(CertificateAuthorityTest, MultipleCertsPerTenantAllValid) {
+  // Every SQL node of a tenant holds its own certificate; issuing for a
+  // new node must not break nodes already serving.
+  CertificateAuthority ca;
+  const TenantCert first = ca.Issue(7);
+  const TenantCert second = ca.Issue(7);
+  EXPECT_NE(first.secret, second.secret);
+  EXPECT_TRUE(ca.Validate(first));
+  EXPECT_TRUE(ca.Validate(second));
+  ca.Revoke(7);
+  EXPECT_FALSE(ca.Validate(first));
+  EXPECT_FALSE(ca.Validate(second));
+}
+
+class AuthBoundaryTest : public TenantControllerTest {};
+
+TEST_F(AuthBoundaryTest, CertIdentityOverridesClaimedTenant) {
+  auto t1 = *controller_->CreateTenant("one");
+  auto t2 = *controller_->CreateTenant("two");
+  const TenantCert cert1 = *controller_->IssueCert(t1.id);
+
+  AuthorizedKvService service(cluster_.get(), &ca_);
+  // A malicious SQL node claims tenant 2's identity in the request body but
+  // presents tenant 1's certificate: the claimed id must be ignored and the
+  // keyspace check applied to the authenticated identity.
+  kv::BatchRequest req;
+  req.tenant_id = t2.id;  // lie
+  req.ts = cluster_->Now();
+  req.AddGet(kv::AddTenantPrefix(t2.id, "secret-row"));
+  EXPECT_TRUE(service.Send(cert1, req).status().IsUnauthorized());
+}
+
+TEST_F(AuthBoundaryTest, InvalidCertRejected) {
+  AuthorizedKvService service(cluster_.get(), &ca_);
+  kv::BatchRequest req;
+  req.ts = cluster_->Now();
+  req.AddGet("anything");
+  EXPECT_TRUE(service.Send({12345, 999}, req).status().IsUnauthorized());
+}
+
+TEST_F(AuthBoundaryTest, ValidCertCanAccessOwnKeyspaceOnly) {
+  auto t = *controller_->CreateTenant("worker");
+  const TenantCert cert = *controller_->IssueCert(t.id);
+  AuthorizedKvService service(cluster_.get(), &ca_);
+
+  kv::BatchRequest put;
+  put.ts = cluster_->Now();
+  put.AddPut(kv::AddTenantPrefix(t.id, "mine"), "v");
+  EXPECT_TRUE(service.Send(cert, put).ok());
+
+  kv::BatchRequest stolen;
+  stolen.ts = cluster_->Now();
+  stolen.AddGet(kv::AddTenantPrefix(kv::kSystemTenantId, "tenants/"));
+  EXPECT_TRUE(service.Send(cert, stolen).status().IsUnauthorized());
+}
+
+}  // namespace
+}  // namespace veloce::tenant

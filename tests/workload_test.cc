@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sql/sql_node.h"
+#include "tenant/controller.h"
+#include "workload/load_pattern.h"
+#include "workload/tpcc.h"
+#include "workload/tpch.h"
+#include "workload/ycsb.h"
+
+namespace veloce::workload {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() {
+    kv::KVClusterOptions opts;
+    opts.num_nodes = 3;
+    cluster_ = std::make_unique<kv::KVCluster>(opts);
+    controller_ = std::make_unique<tenant::TenantController>(cluster_.get(), &ca_);
+    service_ = std::make_unique<tenant::AuthorizedKvService>(cluster_.get(), &ca_);
+    auto meta = *controller_->CreateTenant("bench");
+    auto cert = *controller_->IssueCert(meta.id);
+    node_ = std::make_unique<sql::SqlNode>(1, sql::SqlNode::Options{}, cluster_->clock());
+    VELOCE_CHECK_OK(node_->StartProcess());
+    VELOCE_CHECK_OK(node_->StampTenant(service_.get(), cluster_.get(), cert));
+    session_ = *node_->NewSession();
+  }
+
+  tenant::CertificateAuthority ca_;
+  std::unique_ptr<kv::KVCluster> cluster_;
+  std::unique_ptr<tenant::TenantController> controller_;
+  std::unique_ptr<tenant::AuthorizedKvService> service_;
+  std::unique_ptr<sql::SqlNode> node_;
+  sql::Session* session_;
+};
+
+// ---------------------------------------------------------------------------
+// TPC-C
+// ---------------------------------------------------------------------------
+
+TEST_F(WorkloadTest, TpccSetupAndMix) {
+  TpccWorkload::Options opts;
+  opts.warehouses = 1;
+  opts.districts_per_warehouse = 2;
+  opts.customers_per_district = 10;
+  opts.items = 40;
+  TpccWorkload tpcc(opts, 7);
+  ASSERT_TRUE(tpcc.Setup(session_).ok());
+
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(tpcc.RunTransaction(session_).ok()) << "txn " << i;
+  }
+  const auto& stats = tpcc.stats();
+  EXPECT_EQ(stats.committed(), 60u);
+  EXPECT_GT(stats.new_orders, 15u);  // ~45% of the mix
+  EXPECT_GT(stats.payments, 15u);    // ~43%
+  EXPECT_EQ(stats.aborts, 0u);
+}
+
+TEST_F(WorkloadTest, TpccNewOrderWritesConsistentRows) {
+  TpccWorkload::Options opts;
+  opts.warehouses = 1;
+  opts.districts_per_warehouse = 1;
+  opts.customers_per_district = 5;
+  opts.items = 20;
+  TpccWorkload tpcc(opts, 3);
+  ASSERT_TRUE(tpcc.Setup(session_).ok());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(tpcc.NewOrder(session_).ok());
+
+  // Every order's line count matches its o_ol_cnt, and the district counter
+  // advanced exactly once per order.
+  auto orders = *session_->Execute("SELECT o_id, o_ol_cnt FROM orders");
+  ASSERT_EQ(orders.rows.size(), 10u);
+  for (const auto& row : orders.rows) {
+    auto lines = *session_->Execute(
+        "SELECT COUNT(*) FROM order_line WHERE w_id = 1 AND d_id = 1 AND o_id = " +
+        std::to_string(row[0].int_value()));
+    EXPECT_EQ(lines.rows[0][0].int_value(), row[1].int_value());
+  }
+  auto next = *session_->Execute(
+      "SELECT d_next_o_id FROM district WHERE w_id = 1 AND d_id = 1");
+  EXPECT_EQ(next.rows[0][0].int_value(), 11);
+}
+
+TEST_F(WorkloadTest, TpccPaymentUpdatesBalances) {
+  TpccWorkload::Options opts;
+  opts.warehouses = 1;
+  opts.districts_per_warehouse = 1;
+  opts.customers_per_district = 5;
+  opts.items = 10;
+  TpccWorkload tpcc(opts, 5);
+  ASSERT_TRUE(tpcc.Setup(session_).ok());
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(tpcc.Payment(session_).ok());
+  // Warehouse YTD equals the sum of customer payments (money conservation).
+  auto w = *session_->Execute("SELECT w_ytd FROM warehouse WHERE w_id = 1");
+  auto c = *session_->Execute("SELECT SUM(c_ytd_payment) FROM customer");
+  EXPECT_NEAR(w.rows[0][0].AsDouble(), c.rows[0][0].AsDouble(), 0.01);
+  auto cnt = *session_->Execute("SELECT SUM(c_payment_cnt) FROM customer");
+  EXPECT_EQ(cnt.rows[0][0].int_value(), 20);
+}
+
+// ---------------------------------------------------------------------------
+// TPC-H
+// ---------------------------------------------------------------------------
+
+TEST_F(WorkloadTest, TpchQ1ShapesAndTotals) {
+  TpchWorkload::Options opts;
+  opts.lineitem_rows = 300;
+  opts.orders = 60;
+  TpchWorkload tpch(opts, 9);
+  ASSERT_TRUE(tpch.Setup(session_).ok());
+  auto rs = *tpch.RunQ1(session_);
+  // At most 3 flags x 2 statuses groups; counts add to all rows.
+  EXPECT_LE(rs.rows.size(), 6u);
+  EXPECT_GE(rs.rows.size(), 2u);
+  int64_t total = 0;
+  for (const auto& row : rs.rows) total += row[8].int_value();  // count_order
+  EXPECT_EQ(total, 300);
+  // Discounted price <= base price per group.
+  for (const auto& row : rs.rows) {
+    EXPECT_LE(row[4].AsDouble(), row[3].AsDouble() + 1e-6);
+  }
+}
+
+TEST_F(WorkloadTest, TpchQ9GroupsByNation) {
+  TpchWorkload::Options opts;
+  opts.lineitem_rows = 200;
+  opts.orders = 40;
+  opts.nations = 4;
+  TpchWorkload tpch(opts, 13);
+  ASSERT_TRUE(tpch.Setup(session_).ok());
+  auto rs = *tpch.RunQ9(session_);
+  EXPECT_GE(rs.rows.size(), 1u);
+  EXPECT_LE(rs.rows.size(), 4u);
+  // Output is (nation, profit) sorted by nation.
+  for (size_t i = 1; i < rs.rows.size(); ++i) {
+    EXPECT_LT(rs.rows[i - 1][0].string_value(), rs.rows[i][0].string_value());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// YCSB
+// ---------------------------------------------------------------------------
+
+TEST_F(WorkloadTest, YcsbMixesRun) {
+  YcsbWorkload::Options opts;
+  opts.record_count = 100;
+  opts.field_bytes = 16;
+  for (auto mix : {YcsbWorkload::Mix::kA, YcsbWorkload::Mix::kC,
+                   YcsbWorkload::Mix::kF}) {
+    // Fresh table per mix (drop if it exists from the previous loop).
+    (void)session_->Execute("DROP TABLE usertable");
+    opts.mix = mix;
+    YcsbWorkload ycsb(opts, 21);
+    ASSERT_TRUE(ycsb.Setup(session_).ok());
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(ycsb.RunOp(session_).ok()) << YcsbWorkload::MixName(mix);
+    }
+    EXPECT_EQ(ycsb.stats().errors, 0u);
+  }
+}
+
+TEST_F(WorkloadTest, YcsbWorkloadCIsReadOnly) {
+  YcsbWorkload::Options opts;
+  opts.mix = YcsbWorkload::Mix::kC;
+  opts.record_count = 50;
+  YcsbWorkload ycsb(opts, 23);
+  ASSERT_TRUE(ycsb.Setup(session_).ok());
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(ycsb.RunOp(session_).ok());
+  EXPECT_EQ(ycsb.stats().reads, 30u);
+  EXPECT_EQ(ycsb.stats().updates + ycsb.stats().inserts, 0u);
+}
+
+TEST_F(WorkloadTest, ImportLoadsAllRows) {
+  ASSERT_TRUE(RunImport(session_, "imported", 200, 128, 31).ok());
+  auto rs = *session_->Execute("SELECT COUNT(*) FROM imported");
+  EXPECT_EQ(rs.rows[0][0].int_value(), 200);
+}
+
+// ---------------------------------------------------------------------------
+// LoadPattern
+// ---------------------------------------------------------------------------
+
+TEST(LoadPatternTest, InterpolatesSegments) {
+  LoadPattern pattern({{10 * kSecond, 0, 10}, {10 * kSecond, 10, 10}});
+  EXPECT_NEAR(pattern.At(0), 0, 1e-9);
+  EXPECT_NEAR(pattern.At(5 * kSecond), 5, 1e-9);
+  EXPECT_NEAR(pattern.At(15 * kSecond), 10, 1e-9);
+  // Past the end: holds the final value.
+  EXPECT_NEAR(pattern.At(kMinute), 10, 1e-9);
+  EXPECT_EQ(pattern.TotalDuration(), 20 * kSecond);
+}
+
+TEST(LoadPatternTest, ProductionLikeHasSpikeAndIdle) {
+  LoadPattern pattern = LoadPattern::ProductionLike();
+  const Nanos total = pattern.TotalDuration();
+  EXPECT_GT(total, 2 * kHour);
+  double peak = 0;
+  for (Nanos t = 0; t < total; t += kMinute) peak = std::max(peak, pattern.At(t));
+  EXPECT_GT(peak, 8.0);                      // the spike
+  EXPECT_NEAR(pattern.At(total - kMinute), 0.0, 0.5);  // idle tail
+}
+
+}  // namespace
+}  // namespace veloce::workload
