@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_ecpu_model.cc" "bench/CMakeFiles/bench_fig11_ecpu_model.dir/bench_fig11_ecpu_model.cc.o" "gcc" "bench/CMakeFiles/bench_fig11_ecpu_model.dir/bench_fig11_ecpu_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/veloce_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/billing/CMakeFiles/veloce_billing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/veloce_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/tenant/CMakeFiles/veloce_tenant.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/veloce_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/veloce_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/veloce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

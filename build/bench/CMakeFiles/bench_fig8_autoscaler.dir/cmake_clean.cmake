@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_autoscaler.dir/bench_fig8_autoscaler.cc.o"
+  "CMakeFiles/bench_fig8_autoscaler.dir/bench_fig8_autoscaler.cc.o.d"
+  "bench_fig8_autoscaler"
+  "bench_fig8_autoscaler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_autoscaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

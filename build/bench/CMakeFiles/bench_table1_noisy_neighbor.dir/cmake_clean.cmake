@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_noisy_neighbor.dir/bench_table1_noisy_neighbor.cc.o"
+  "CMakeFiles/bench_table1_noisy_neighbor.dir/bench_table1_noisy_neighbor.cc.o.d"
+  "bench_table1_noisy_neighbor"
+  "bench_table1_noisy_neighbor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_noisy_neighbor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

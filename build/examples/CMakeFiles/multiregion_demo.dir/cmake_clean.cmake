@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiregion_demo.dir/multiregion_demo.cpp.o"
+  "CMakeFiles/multiregion_demo.dir/multiregion_demo.cpp.o.d"
+  "multiregion_demo"
+  "multiregion_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiregion_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

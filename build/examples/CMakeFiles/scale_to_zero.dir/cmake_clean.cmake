@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_to_zero.dir/scale_to_zero.cpp.o"
+  "CMakeFiles/scale_to_zero.dir/scale_to_zero.cpp.o.d"
+  "scale_to_zero"
+  "scale_to_zero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_to_zero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for scale_to_zero.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/admission/controller.cc" "src/admission/CMakeFiles/veloce_admission.dir/controller.cc.o" "gcc" "src/admission/CMakeFiles/veloce_admission.dir/controller.cc.o.d"
+  "/root/repo/src/admission/cpu_controller.cc" "src/admission/CMakeFiles/veloce_admission.dir/cpu_controller.cc.o" "gcc" "src/admission/CMakeFiles/veloce_admission.dir/cpu_controller.cc.o.d"
+  "/root/repo/src/admission/work_queue.cc" "src/admission/CMakeFiles/veloce_admission.dir/work_queue.cc.o" "gcc" "src/admission/CMakeFiles/veloce_admission.dir/work_queue.cc.o.d"
+  "/root/repo/src/admission/write_controller.cc" "src/admission/CMakeFiles/veloce_admission.dir/write_controller.cc.o" "gcc" "src/admission/CMakeFiles/veloce_admission.dir/write_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/veloce_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/veloce_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/veloce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

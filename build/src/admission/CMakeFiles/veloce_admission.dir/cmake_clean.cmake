@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veloce_admission.dir/controller.cc.o"
+  "CMakeFiles/veloce_admission.dir/controller.cc.o.d"
+  "CMakeFiles/veloce_admission.dir/cpu_controller.cc.o"
+  "CMakeFiles/veloce_admission.dir/cpu_controller.cc.o.d"
+  "CMakeFiles/veloce_admission.dir/work_queue.cc.o"
+  "CMakeFiles/veloce_admission.dir/work_queue.cc.o.d"
+  "CMakeFiles/veloce_admission.dir/write_controller.cc.o"
+  "CMakeFiles/veloce_admission.dir/write_controller.cc.o.d"
+  "libveloce_admission.a"
+  "libveloce_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veloce_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/billing/ecpu_model.cc" "src/billing/CMakeFiles/veloce_billing.dir/ecpu_model.cc.o" "gcc" "src/billing/CMakeFiles/veloce_billing.dir/ecpu_model.cc.o.d"
+  "/root/repo/src/billing/meter.cc" "src/billing/CMakeFiles/veloce_billing.dir/meter.cc.o" "gcc" "src/billing/CMakeFiles/veloce_billing.dir/meter.cc.o.d"
+  "/root/repo/src/billing/token_bucket.cc" "src/billing/CMakeFiles/veloce_billing.dir/token_bucket.cc.o" "gcc" "src/billing/CMakeFiles/veloce_billing.dir/token_bucket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/veloce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veloce_billing.dir/ecpu_model.cc.o"
+  "CMakeFiles/veloce_billing.dir/ecpu_model.cc.o.d"
+  "CMakeFiles/veloce_billing.dir/meter.cc.o"
+  "CMakeFiles/veloce_billing.dir/meter.cc.o.d"
+  "CMakeFiles/veloce_billing.dir/token_bucket.cc.o"
+  "CMakeFiles/veloce_billing.dir/token_bucket.cc.o.d"
+  "libveloce_billing.a"
+  "libveloce_billing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veloce_billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libveloce_billing.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veloce_common.dir/clock.cc.o"
+  "CMakeFiles/veloce_common.dir/clock.cc.o.d"
+  "CMakeFiles/veloce_common.dir/codec.cc.o"
+  "CMakeFiles/veloce_common.dir/codec.cc.o.d"
+  "CMakeFiles/veloce_common.dir/crc32c.cc.o"
+  "CMakeFiles/veloce_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/veloce_common.dir/histogram.cc.o"
+  "CMakeFiles/veloce_common.dir/histogram.cc.o.d"
+  "CMakeFiles/veloce_common.dir/logging.cc.o"
+  "CMakeFiles/veloce_common.dir/logging.cc.o.d"
+  "CMakeFiles/veloce_common.dir/status.cc.o"
+  "CMakeFiles/veloce_common.dir/status.cc.o.d"
+  "CMakeFiles/veloce_common.dir/sysinfo.cc.o"
+  "CMakeFiles/veloce_common.dir/sysinfo.cc.o.d"
+  "libveloce_common.a"
+  "libveloce_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veloce_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/batch.cc" "src/kv/CMakeFiles/veloce_kv.dir/batch.cc.o" "gcc" "src/kv/CMakeFiles/veloce_kv.dir/batch.cc.o.d"
+  "/root/repo/src/kv/cluster.cc" "src/kv/CMakeFiles/veloce_kv.dir/cluster.cc.o" "gcc" "src/kv/CMakeFiles/veloce_kv.dir/cluster.cc.o.d"
+  "/root/repo/src/kv/mvcc.cc" "src/kv/CMakeFiles/veloce_kv.dir/mvcc.cc.o" "gcc" "src/kv/CMakeFiles/veloce_kv.dir/mvcc.cc.o.d"
+  "/root/repo/src/kv/node.cc" "src/kv/CMakeFiles/veloce_kv.dir/node.cc.o" "gcc" "src/kv/CMakeFiles/veloce_kv.dir/node.cc.o.d"
+  "/root/repo/src/kv/range.cc" "src/kv/CMakeFiles/veloce_kv.dir/range.cc.o" "gcc" "src/kv/CMakeFiles/veloce_kv.dir/range.cc.o.d"
+  "/root/repo/src/kv/transaction.cc" "src/kv/CMakeFiles/veloce_kv.dir/transaction.cc.o" "gcc" "src/kv/CMakeFiles/veloce_kv.dir/transaction.cc.o.d"
+  "/root/repo/src/kv/txn.cc" "src/kv/CMakeFiles/veloce_kv.dir/txn.cc.o" "gcc" "src/kv/CMakeFiles/veloce_kv.dir/txn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/veloce_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/veloce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veloce_kv.dir/batch.cc.o"
+  "CMakeFiles/veloce_kv.dir/batch.cc.o.d"
+  "CMakeFiles/veloce_kv.dir/cluster.cc.o"
+  "CMakeFiles/veloce_kv.dir/cluster.cc.o.d"
+  "CMakeFiles/veloce_kv.dir/mvcc.cc.o"
+  "CMakeFiles/veloce_kv.dir/mvcc.cc.o.d"
+  "CMakeFiles/veloce_kv.dir/node.cc.o"
+  "CMakeFiles/veloce_kv.dir/node.cc.o.d"
+  "CMakeFiles/veloce_kv.dir/range.cc.o"
+  "CMakeFiles/veloce_kv.dir/range.cc.o.d"
+  "CMakeFiles/veloce_kv.dir/transaction.cc.o"
+  "CMakeFiles/veloce_kv.dir/transaction.cc.o.d"
+  "CMakeFiles/veloce_kv.dir/txn.cc.o"
+  "CMakeFiles/veloce_kv.dir/txn.cc.o.d"
+  "libveloce_kv.a"
+  "libveloce_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veloce_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

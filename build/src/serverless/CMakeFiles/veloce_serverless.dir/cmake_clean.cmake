@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veloce_serverless.dir/autoscaler.cc.o"
+  "CMakeFiles/veloce_serverless.dir/autoscaler.cc.o.d"
+  "CMakeFiles/veloce_serverless.dir/cluster.cc.o"
+  "CMakeFiles/veloce_serverless.dir/cluster.cc.o.d"
+  "CMakeFiles/veloce_serverless.dir/kube_sim.cc.o"
+  "CMakeFiles/veloce_serverless.dir/kube_sim.cc.o.d"
+  "CMakeFiles/veloce_serverless.dir/node_pool.cc.o"
+  "CMakeFiles/veloce_serverless.dir/node_pool.cc.o.d"
+  "CMakeFiles/veloce_serverless.dir/proxy.cc.o"
+  "CMakeFiles/veloce_serverless.dir/proxy.cc.o.d"
+  "libveloce_serverless.a"
+  "libveloce_serverless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veloce_serverless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veloce_sim.dir/event_loop.cc.o"
+  "CMakeFiles/veloce_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/veloce_sim.dir/region_topology.cc.o"
+  "CMakeFiles/veloce_sim.dir/region_topology.cc.o.d"
+  "CMakeFiles/veloce_sim.dir/virtual_cpu.cc.o"
+  "CMakeFiles/veloce_sim.dir/virtual_cpu.cc.o.d"
+  "libveloce_sim.a"
+  "libveloce_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veloce_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/catalog.cc" "src/sql/CMakeFiles/veloce_sql.dir/catalog.cc.o" "gcc" "src/sql/CMakeFiles/veloce_sql.dir/catalog.cc.o.d"
+  "/root/repo/src/sql/datum.cc" "src/sql/CMakeFiles/veloce_sql.dir/datum.cc.o" "gcc" "src/sql/CMakeFiles/veloce_sql.dir/datum.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/sql/CMakeFiles/veloce_sql.dir/executor.cc.o" "gcc" "src/sql/CMakeFiles/veloce_sql.dir/executor.cc.o.d"
+  "/root/repo/src/sql/kv_connector.cc" "src/sql/CMakeFiles/veloce_sql.dir/kv_connector.cc.o" "gcc" "src/sql/CMakeFiles/veloce_sql.dir/kv_connector.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/sql/CMakeFiles/veloce_sql.dir/lexer.cc.o" "gcc" "src/sql/CMakeFiles/veloce_sql.dir/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/veloce_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/veloce_sql.dir/parser.cc.o.d"
+  "/root/repo/src/sql/pushdown.cc" "src/sql/CMakeFiles/veloce_sql.dir/pushdown.cc.o" "gcc" "src/sql/CMakeFiles/veloce_sql.dir/pushdown.cc.o.d"
+  "/root/repo/src/sql/row.cc" "src/sql/CMakeFiles/veloce_sql.dir/row.cc.o" "gcc" "src/sql/CMakeFiles/veloce_sql.dir/row.cc.o.d"
+  "/root/repo/src/sql/schema.cc" "src/sql/CMakeFiles/veloce_sql.dir/schema.cc.o" "gcc" "src/sql/CMakeFiles/veloce_sql.dir/schema.cc.o.d"
+  "/root/repo/src/sql/session.cc" "src/sql/CMakeFiles/veloce_sql.dir/session.cc.o" "gcc" "src/sql/CMakeFiles/veloce_sql.dir/session.cc.o.d"
+  "/root/repo/src/sql/sql_node.cc" "src/sql/CMakeFiles/veloce_sql.dir/sql_node.cc.o" "gcc" "src/sql/CMakeFiles/veloce_sql.dir/sql_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tenant/CMakeFiles/veloce_tenant.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/veloce_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/billing/CMakeFiles/veloce_billing.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/veloce_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/veloce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veloce_sql.dir/catalog.cc.o"
+  "CMakeFiles/veloce_sql.dir/catalog.cc.o.d"
+  "CMakeFiles/veloce_sql.dir/datum.cc.o"
+  "CMakeFiles/veloce_sql.dir/datum.cc.o.d"
+  "CMakeFiles/veloce_sql.dir/executor.cc.o"
+  "CMakeFiles/veloce_sql.dir/executor.cc.o.d"
+  "CMakeFiles/veloce_sql.dir/kv_connector.cc.o"
+  "CMakeFiles/veloce_sql.dir/kv_connector.cc.o.d"
+  "CMakeFiles/veloce_sql.dir/lexer.cc.o"
+  "CMakeFiles/veloce_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/veloce_sql.dir/parser.cc.o"
+  "CMakeFiles/veloce_sql.dir/parser.cc.o.d"
+  "CMakeFiles/veloce_sql.dir/pushdown.cc.o"
+  "CMakeFiles/veloce_sql.dir/pushdown.cc.o.d"
+  "CMakeFiles/veloce_sql.dir/row.cc.o"
+  "CMakeFiles/veloce_sql.dir/row.cc.o.d"
+  "CMakeFiles/veloce_sql.dir/schema.cc.o"
+  "CMakeFiles/veloce_sql.dir/schema.cc.o.d"
+  "CMakeFiles/veloce_sql.dir/session.cc.o"
+  "CMakeFiles/veloce_sql.dir/session.cc.o.d"
+  "CMakeFiles/veloce_sql.dir/sql_node.cc.o"
+  "CMakeFiles/veloce_sql.dir/sql_node.cc.o.d"
+  "libveloce_sql.a"
+  "libveloce_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veloce_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

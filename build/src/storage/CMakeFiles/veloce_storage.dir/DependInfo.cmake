@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_cache.cc" "src/storage/CMakeFiles/veloce_storage.dir/block_cache.cc.o" "gcc" "src/storage/CMakeFiles/veloce_storage.dir/block_cache.cc.o.d"
+  "/root/repo/src/storage/engine.cc" "src/storage/CMakeFiles/veloce_storage.dir/engine.cc.o" "gcc" "src/storage/CMakeFiles/veloce_storage.dir/engine.cc.o.d"
+  "/root/repo/src/storage/env.cc" "src/storage/CMakeFiles/veloce_storage.dir/env.cc.o" "gcc" "src/storage/CMakeFiles/veloce_storage.dir/env.cc.o.d"
+  "/root/repo/src/storage/iterator.cc" "src/storage/CMakeFiles/veloce_storage.dir/iterator.cc.o" "gcc" "src/storage/CMakeFiles/veloce_storage.dir/iterator.cc.o.d"
+  "/root/repo/src/storage/memtable.cc" "src/storage/CMakeFiles/veloce_storage.dir/memtable.cc.o" "gcc" "src/storage/CMakeFiles/veloce_storage.dir/memtable.cc.o.d"
+  "/root/repo/src/storage/sstable.cc" "src/storage/CMakeFiles/veloce_storage.dir/sstable.cc.o" "gcc" "src/storage/CMakeFiles/veloce_storage.dir/sstable.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/storage/CMakeFiles/veloce_storage.dir/wal.cc.o" "gcc" "src/storage/CMakeFiles/veloce_storage.dir/wal.cc.o.d"
+  "/root/repo/src/storage/write_batch.cc" "src/storage/CMakeFiles/veloce_storage.dir/write_batch.cc.o" "gcc" "src/storage/CMakeFiles/veloce_storage.dir/write_batch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/veloce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

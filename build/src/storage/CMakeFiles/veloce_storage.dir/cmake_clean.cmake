@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veloce_storage.dir/block_cache.cc.o"
+  "CMakeFiles/veloce_storage.dir/block_cache.cc.o.d"
+  "CMakeFiles/veloce_storage.dir/engine.cc.o"
+  "CMakeFiles/veloce_storage.dir/engine.cc.o.d"
+  "CMakeFiles/veloce_storage.dir/env.cc.o"
+  "CMakeFiles/veloce_storage.dir/env.cc.o.d"
+  "CMakeFiles/veloce_storage.dir/iterator.cc.o"
+  "CMakeFiles/veloce_storage.dir/iterator.cc.o.d"
+  "CMakeFiles/veloce_storage.dir/memtable.cc.o"
+  "CMakeFiles/veloce_storage.dir/memtable.cc.o.d"
+  "CMakeFiles/veloce_storage.dir/sstable.cc.o"
+  "CMakeFiles/veloce_storage.dir/sstable.cc.o.d"
+  "CMakeFiles/veloce_storage.dir/wal.cc.o"
+  "CMakeFiles/veloce_storage.dir/wal.cc.o.d"
+  "CMakeFiles/veloce_storage.dir/write_batch.cc.o"
+  "CMakeFiles/veloce_storage.dir/write_batch.cc.o.d"
+  "libveloce_storage.a"
+  "libveloce_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veloce_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veloce_tenant.dir/controller.cc.o"
+  "CMakeFiles/veloce_tenant.dir/controller.cc.o.d"
+  "libveloce_tenant.a"
+  "libveloce_tenant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veloce_tenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veloce_workload.dir/load_pattern.cc.o"
+  "CMakeFiles/veloce_workload.dir/load_pattern.cc.o.d"
+  "CMakeFiles/veloce_workload.dir/tpcc.cc.o"
+  "CMakeFiles/veloce_workload.dir/tpcc.cc.o.d"
+  "CMakeFiles/veloce_workload.dir/tpch.cc.o"
+  "CMakeFiles/veloce_workload.dir/tpch.cc.o.d"
+  "CMakeFiles/veloce_workload.dir/ycsb.cc.o"
+  "CMakeFiles/veloce_workload.dir/ycsb.cc.o.d"
+  "libveloce_workload.a"
+  "libveloce_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veloce_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billing_meter_test.dir/billing_meter_test.cc.o"
+  "CMakeFiles/billing_meter_test.dir/billing_meter_test.cc.o.d"
+  "billing_meter_test"
+  "billing_meter_test.pdb"
+  "billing_meter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billing_meter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_edge_test.dir/sql_edge_test.cc.o"
+  "CMakeFiles/sql_edge_test.dir/sql_edge_test.cc.o.d"
+  "sql_edge_test"
+  "sql_edge_test.pdb"
+  "sql_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
