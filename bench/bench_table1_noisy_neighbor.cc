@@ -18,6 +18,7 @@ int main() {
     Nanos p50, p99;
     double tpm;
     int liveness_failures;
+    double admitted, throttled, tokens;
   };
   std::vector<Row> rows;
   for (IsolationMode mode : {IsolationMode::kNoLimits, IsolationMode::kAcOnly,
@@ -25,7 +26,9 @@ int main() {
     bench::NoisyNeighborHarness harness(mode);
     bench::NoisyResult result = harness.Run(2 * kMinute);
     rows.push_back({result.test_latency.P50(), result.test_latency.P99(),
-                    result.test_tpm, result.liveness_failures});
+                    result.test_tpm, result.liveness_failures,
+                    result.admitted_ops, result.wq_throttled,
+                    result.ecpu_tokens_granted});
   }
 
   auto print_latency_row = [&](const char* label, Nanos Row::*field) {
@@ -42,6 +45,18 @@ int main() {
   std::printf("\n%-10s", "liveness");
   for (const Row& row : rows) std::printf(" %16d", row.liveness_failures);
   std::printf("   (node liveness failures)\n");
+
+  // Registry-sourced series (veloce_admission_* / veloce_billing_*), read
+  // back through the shared MetricsRegistry.
+  std::printf("%-10s", "admitted");
+  for (const Row& row : rows) std::printf(" %16.0f", row.admitted);
+  std::printf("   (veloce_admission_admitted_total)\n");
+  std::printf("%-10s", "wq-thrtl");
+  for (const Row& row : rows) std::printf(" %16.0f", row.throttled);
+  std::printf("   (veloce_admission_wq_throttled_total)\n");
+  std::printf("%-10s", "eCPU-tok");
+  for (const Row& row : rows) std::printf(" %16.0f", row.tokens);
+  std::printf("   (veloce_billing_tokens_granted_total)\n");
 
   std::printf("\nshape check (paper): p50 3.18s/0.19s/0.019s, p99 "
               "24.8s/0.98s/0.037s, tpmC 182/207/209 — each control layer "

@@ -29,6 +29,8 @@
 #include "common/histogram.h"
 #include "common/logging.h"
 #include "kv/cluster.h"
+#include "obs/metrics.h"
+#include "obs/obs_context.h"
 #include "sim/event_loop.h"
 #include "sim/virtual_cpu.h"
 
@@ -55,6 +57,10 @@ struct NoisyResult {
   /// Per-tenant vCPUs used per 10s interval: [noisy1, noisy2, noisy3, test].
   std::vector<std::array<double, 4>> tenant_vcpus;
   int liveness_failures = 0;
+  /// Registry-sourced totals (veloce_admission_* / veloce_billing_*).
+  double admitted_ops = 0;
+  double wq_throttled = 0;
+  double ecpu_tokens_granted = 0;
 };
 
 class NoisyNeighborHarness {
@@ -70,15 +76,22 @@ class NoisyNeighborHarness {
   static constexpr double kNoisyEcpuLimit = 10.0;  // vCPUs (paper's limit)
 
   explicit NoisyNeighborHarness(IsolationMode mode) : mode_(mode) {
+    // Every layer registers into one shared registry; the harness reads the
+    // exported series back instead of peeking component internals.
+    obs_ = obs::ObsContext{loop_.clock(), &metrics_, nullptr};
     kv::KVClusterOptions kv_opts;
     kv_opts.num_nodes = kNodes;
     kv_opts.clock = loop_.clock();
+    kv_opts.obs = obs_;
     cluster_ = std::make_unique<kv::KVCluster>(kv_opts);
     for (int n = 0; n < kNodes; ++n) {
-      cpus_.push_back(std::make_unique<sim::VirtualCpu>(&loop_, kVcpusPerNode));
+      cpus_.push_back(std::make_unique<sim::VirtualCpu>(
+          &loop_, kVcpusPerNode, kMilli, obs_, std::to_string(n)));
       admission::NodeAdmissionController::Options ac_opts;
       ac_opts.vcpus = kVcpusPerNode;
       ac_opts.enabled = mode != IsolationMode::kNoLimits;
+      ac_opts.obs = obs_;
+      ac_opts.instance = std::to_string(n);
       acs_.push_back(std::make_unique<admission::NodeAdmissionController>(
           &loop_, cpus_.back().get(), ac_opts));
     }
@@ -99,7 +112,8 @@ class NoisyNeighborHarness {
       const double quota = (mode == IsolationMode::kAcPlusEcpu && t < kNoisyTenants)
                                ? kNoisyEcpuLimit
                                : 0.0;  // 0 = unlimited
-      buckets_.push_back(std::make_unique<billing::TokenBucketServer>(loop_.clock(), quota));
+      buckets_.push_back(std::make_unique<billing::TokenBucketServer>(
+          loop_.clock(), quota, obs_, std::to_string(t)));
       bucket_clients_.push_back(std::make_unique<billing::TokenBucketClient>(
           buckets_.back().get(), static_cast<uint64_t>(t), loop_.clock()));
     }
@@ -130,8 +144,16 @@ class NoisyNeighborHarness {
 
     result_.test_tpm = static_cast<double>(result_.test_txns) /
                        (static_cast<double>(duration) / kMinute);
+    // Registry-sourced totals: the admission and billing layers export
+    // these; no private struct peeking.
+    result_.admitted_ops = metrics_.Sum("veloce_admission_admitted_total");
+    result_.wq_throttled = metrics_.Sum("veloce_admission_wq_throttled_total");
+    result_.ecpu_tokens_granted = metrics_.Sum("veloce_billing_tokens_granted_total");
     return std::move(result_);
   }
+
+  /// The shared registry (for benches that want more series).
+  obs::MetricsRegistry* metrics() { return &metrics_; }
 
  private:
   struct WorkerState {
@@ -219,7 +241,10 @@ class NoisyNeighborHarness {
 
   void HealthCheck() {
     for (int n = 0; n < kNodes; ++n) {
-      const int runnable = cpus_[static_cast<size_t>(n)]->runnable_queue_length();
+      // Liveness reads the node's exported runnable-queue gauge (what a
+      // real health checker scrapes), not the VirtualCpu object.
+      const int runnable = static_cast<int>(metrics_.Value(
+          "veloce_sim_runnable_queue", {{"node", std::to_string(n)}}));
       kv::KVNode* node = cluster_->node(static_cast<kv::NodeId>(n));
       if (node->live() && runnable > 2 * kVcpusPerNode) {
         // Overloaded: the node misses its liveness heartbeats and sheds
@@ -241,13 +266,14 @@ class NoisyNeighborHarness {
     std::array<double, 3> cores{};
     std::array<int, 3> leases{};
     for (int n = 0; n < kNodes; ++n) {
-      const Nanos busy = cpus_[static_cast<size_t>(n)]->total_busy();
+      const obs::Labels node_label = {{"node", std::to_string(n)}};
+      const double busy_secs =
+          metrics_.Value("veloce_sim_busy_seconds_total", node_label);
       cores[static_cast<size_t>(n)] =
-          static_cast<double>(busy - prev_busy_[static_cast<size_t>(n)]) /
-          (10.0 * kSecond);
-      prev_busy_[static_cast<size_t>(n)] = busy;
+          (busy_secs - prev_busy_[static_cast<size_t>(n)]) / 10.0;
+      prev_busy_[static_cast<size_t>(n)] = busy_secs;
       leases[static_cast<size_t>(n)] =
-          cluster_->CountLeases(static_cast<kv::NodeId>(n));
+          static_cast<int>(metrics_.Value("veloce_kv_leases", node_label));
     }
     result_.node_cores.push_back(cores);
     result_.node_leases.push_back(leases);
@@ -269,13 +295,15 @@ class NoisyNeighborHarness {
 
   IsolationMode mode_;
   sim::EventLoop loop_;
+  obs::MetricsRegistry metrics_;  // outlives everything registered into it
+  obs::ObsContext obs_;
   std::unique_ptr<kv::KVCluster> cluster_;
   std::vector<std::unique_ptr<sim::VirtualCpu>> cpus_;
   std::vector<std::unique_ptr<admission::NodeAdmissionController>> acs_;
   std::vector<std::unique_ptr<billing::TokenBucketServer>> buckets_;
   std::vector<std::unique_ptr<billing::TokenBucketClient>> bucket_clients_;
   std::array<kv::TenantId, 4> tenant_ids_{};
-  std::array<Nanos, 3> prev_busy_{};
+  std::array<double, 3> prev_busy_{};  // busy-seconds gauge at last sample
   std::array<Nanos, 4> prev_tenant_busy_{};
   NoisyResult result_;
   bool stopped_ = false;

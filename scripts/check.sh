@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Repo health check: configure + build + run the full test suite, optionally
+# under ASan/UBSan.
+#
+# Usage:
+#   scripts/check.sh            # release build + ctest
+#   scripts/check.sh --asan     # ASan+UBSan build + ctest
+#   scripts/check.sh --all      # both, in sequence
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${ROOT}"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_preset() {
+  local preset="$1"
+  echo "==> configure (${preset})"
+  cmake --preset "${preset}" >/dev/null
+  echo "==> build (${preset})"
+  cmake --build --preset "${preset}" -j "${JOBS}"
+  echo "==> test (${preset})"
+  ctest --preset "${preset}" -j "${JOBS}"
+}
+
+case "${1:-}" in
+  "")     run_preset release ;;
+  --asan) run_preset asan ;;
+  --all)  run_preset release; run_preset asan ;;
+  *)      echo "usage: scripts/check.sh [--asan|--all]" >&2; exit 2 ;;
+esac
+
+echo "OK"

@@ -8,6 +8,8 @@
 #include "admission/cpu_controller.h"
 #include "admission/work_queue.h"
 #include "admission/write_controller.h"
+#include "obs/obs_context.h"
+#include "obs/trace.h"
 #include "sim/event_loop.h"
 #include "sim/virtual_cpu.h"
 #include "storage/engine.h"
@@ -23,6 +25,9 @@ struct KvWork {
   bool is_write = false;
   uint64_t write_bytes = 0;    ///< payload bytes for the write model
   Nanos cpu_cost = 0;          ///< CPU the operation will consume
+  /// Optional request trace; the controller records the admission-queue
+  /// wait into it (span "admission_queue").
+  obs::TraceContext* trace = nullptr;
   std::function<void()> done;  ///< fires (on the loop) when work completes
 };
 
@@ -38,16 +43,33 @@ class NodeAdmissionController {
   struct Options {
     int vcpus = 32;
     bool enabled = true;
+    /// When false, no periodic tasks (sampler / WQ pump / decayer) are
+    /// started, so the sim event queue can drain — for hosts that call
+    /// loop.Run() and admit only via AdmitSync (the serverless facade).
+    bool background_tasks = true;
     Nanos sample_period = kMilli;         ///< 1000 Hz runnable-queue sampling
     Nanos wq_pump_period = 10 * kMilli;
     Nanos decay_period = kSecond;         ///< fairness window decay
     Nanos max_slice_cpu = 10 * kMilli;    ///< cooperative yield threshold
+    /// Telemetry injection; null metrics = private registry. When several
+    /// controllers share a registry, set a distinct `instance` per
+    /// controller (exported as label node=...).
+    obs::ObsContext obs;
+    std::string instance;
   };
 
   NodeAdmissionController(sim::EventLoop* loop, sim::VirtualCpu* cpu,
                           Options options);
 
   void Submit(KvWork work);
+
+  /// Synchronous admission for callers that cannot yield to the event loop
+  /// (the in-process SQL execution path): consults the WQ token bucket and
+  /// the CPU slots, charges fairness counters, and returns a *modeled*
+  /// queueing delay instead of actually parking the caller. The delay is
+  /// recorded in admission metrics and, when `work.trace` is set, as an
+  /// "admission_queue" span.
+  Nanos AdmitSync(const KvWork& work);
 
   bool enabled() const { return options_.enabled; }
   /// Feeds fresh engine counters into the write token bucket's capacity
@@ -60,8 +82,11 @@ class NodeAdmissionController {
   size_t cq_queued() const { return cq_.queued(); }
   size_t wq_queued() const { return wq_.queued(); }
   uint64_t tenant_cpu_consumed(uint64_t tenant) const { return cq_.consumption(tenant); }
+  /// Registry holding this controller's `veloce_admission_*` series.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
 
  private:
+  void InitMetrics();
   void EnqueueCq(KvWork work);
   void DispatchCq();
   void PumpWq();
@@ -78,6 +103,14 @@ class NodeAdmissionController {
   std::unique_ptr<sim::PeriodicTask> sampler_;
   std::unique_ptr<sim::PeriodicTask> wq_pump_;
   std::unique_ptr<sim::PeriodicTask> decayer_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Counter* admitted_c_ = nullptr;
+  obs::Counter* wq_throttled_c_ = nullptr;
+  obs::Counter* slices_c_ = nullptr;
+  obs::HistogramMetric* queue_wait_h_ = nullptr;
+  obs::MetricsRegistry::CallbackToken gauge_cb_;
 };
 
 }  // namespace veloce::admission

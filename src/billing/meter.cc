@@ -2,6 +2,17 @@
 
 namespace veloce::billing {
 
+TenantMeter::TenantMeter(Clock* clock, EstimatedCpuModel model,
+                         const obs::ObsContext& obs)
+    : clock_(clock), model_(std::move(model)) {
+  metrics_ = obs.metrics;
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  cuts_c_ = metrics_->counter("veloce_billing_interval_cuts_total");
+}
+
 void TenantMeter::Record(uint64_t tenant_id, const IntervalFeatures& features,
                          double sql_cpu_seconds) {
   std::lock_guard<std::mutex> l(mu_);
@@ -45,6 +56,17 @@ UsageReport TenantMeter::Cut(uint64_t tenant_id) {
   UsageReport report = BuildReportLocked(it->second);
   it->second = TenantWindow{};
   it->second.window_start = clock_->Now();
+  cuts_c_->Inc();
+  // Running billable totals per tenant (double-valued, hence gauges).
+  const obs::Labels labels = {{"tenant", std::to_string(tenant_id)}};
+  metrics_->gauge("veloce_billing_ecpu_seconds_total", labels)
+      ->Add(report.ecpu_seconds);
+  metrics_->gauge("veloce_billing_request_units_total", labels)
+      ->Add(report.request_units);
+  metrics_->gauge("veloce_billing_egress_bytes_total", labels)
+      ->Add(report.egress_bytes);
+  metrics_->gauge("veloce_billing_write_bytes_total", labels)
+      ->Add(report.write_bytes);
   return report;
 }
 

@@ -2,11 +2,13 @@
 #define VELOCE_BILLING_METER_H_
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
 #include "billing/ecpu_model.h"
 #include "common/clock.h"
+#include "obs/obs_context.h"
 
 namespace veloce::billing {
 
@@ -35,8 +37,10 @@ struct UsageReport {
 /// reports). Thread-safe.
 class TenantMeter {
  public:
-  TenantMeter(Clock* clock, EstimatedCpuModel model)
-      : clock_(clock), model_(std::move(model)) {}
+  /// `obs` wires the meter's `veloce_billing_*` usage series (labelled
+  /// tenant=<id>) into a shared registry; null metrics = private registry.
+  TenantMeter(Clock* clock, EstimatedCpuModel model,
+              const obs::ObsContext& obs = {});
 
   /// Records one observation window from a tenant's SQL node: the features
   /// its connector accumulated and the SQL CPU it measured.
@@ -63,6 +67,9 @@ class TenantMeter {
 
   Clock* clock_;
   EstimatedCpuModel model_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* cuts_c_ = nullptr;
   mutable std::mutex mu_;
   std::map<uint64_t, TenantWindow> windows_;
 };

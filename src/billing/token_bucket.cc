@@ -4,11 +4,31 @@
 
 namespace veloce::billing {
 
-TokenBucketServer::TokenBucketServer(Clock* clock, double quota_vcpus)
+TokenBucketServer::TokenBucketServer(Clock* clock, double quota_vcpus,
+                                     const obs::ObsContext& obs,
+                                     std::string tenant_label)
     : clock_(clock),
       quota_vcpus_(quota_vcpus),
       tokens_(quota_vcpus * kTokensPerVcpuSecond * kBurstSeconds),
-      last_refill_(clock->Now()) {}
+      last_refill_(clock->Now()) {
+  metrics_ = obs.metrics;
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  obs::Labels labels;
+  if (!tenant_label.empty()) labels.push_back({"tenant", tenant_label});
+  requests_c_ = metrics_->counter("veloce_billing_token_requests_total", labels);
+  trickle_grants_c_ =
+      metrics_->counter("veloce_billing_trickle_grants_total", labels);
+  tokens_granted_g_ =
+      metrics_->gauge("veloce_billing_tokens_granted_total", labels);
+  gauge_cb_ = metrics_->AddCollectCallback([this, labels] {
+    metrics_->gauge("veloce_billing_tokens_available", labels)->Set(available());
+    metrics_->gauge("veloce_billing_token_refill_per_sec", labels)
+        ->Set(refill_rate());
+  });
+}
 
 void TokenBucketServer::SetQuota(double quota_vcpus) {
   std::lock_guard<std::mutex> l(mu_);
@@ -57,9 +77,11 @@ int TokenBucketServer::ActiveNodesLocked() const {
 TokenBucketServer::Grant TokenBucketServer::Request(uint64_t node_id, double tokens,
                                                     double observed_rate) {
   std::lock_guard<std::mutex> l(mu_);
+  requests_c_->Inc();
   Grant grant;
   if (quota_vcpus_ <= 0) {  // unlimited
     grant.tokens = tokens;
+    tokens_granted_g_->Add(grant.tokens);
     return grant;
   }
   RefillLocked();
@@ -67,6 +89,7 @@ TokenBucketServer::Grant TokenBucketServer::Request(uint64_t node_id, double tok
   if (tokens_ >= tokens) {
     tokens_ -= tokens;
     grant.tokens = tokens;
+    tokens_granted_g_->Add(grant.tokens);
     return grant;
   }
   // Bucket dry: hand over the remainder and a trickle rate. Fair share is
@@ -88,6 +111,8 @@ TokenBucketServer::Grant TokenBucketServer::Request(uint64_t node_id, double tok
   // The refill now streams to tricklers until they come back (clients
   // re-request after ~kLowWater/kRequest seconds of consumption).
   trickle_active_until_ = clock_->Now() + 10 * kSecond;
+  trickle_grants_c_->Inc();
+  tokens_granted_g_->Add(grant.tokens);
   return grant;
 }
 

@@ -3,9 +3,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <string>
 
 #include "common/clock.h"
+#include "obs/obs_context.h"
 
 namespace veloce::billing {
 
@@ -26,7 +29,12 @@ class TokenBucketServer {
   /// its last request.
   static constexpr Nanos kActiveWindow = 30 * kSecond;
 
-  TokenBucketServer(Clock* clock, double quota_vcpus);
+  /// `obs` wires the bucket's `veloce_billing_token_*` series into a shared
+  /// registry (null metrics = private registry); `tenant_label` distinguishes
+  /// buckets sharing a registry (exported as label tenant=...).
+  TokenBucketServer(Clock* clock, double quota_vcpus,
+                    const obs::ObsContext& obs = {},
+                    std::string tenant_label = "");
 
   void SetQuota(double quota_vcpus);
   double quota_vcpus() const;
@@ -64,6 +72,13 @@ class TokenBucketServer {
   /// While trickle grants are outstanding, the refill streams to the
   /// trickling nodes instead of accumulating in the bucket.
   mutable Nanos trickle_active_until_ = 0;
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* requests_c_ = nullptr;
+  obs::Counter* trickle_grants_c_ = nullptr;
+  obs::Gauge* tokens_granted_g_ = nullptr;  ///< double-valued running total
+  obs::MetricsRegistry::CallbackToken gauge_cb_;
 };
 
 /// Per-SQL-node client: keeps the local token buffer and tells the query

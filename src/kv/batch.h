@@ -10,6 +10,10 @@
 #include "kv/mvcc.h"
 #include "kv/timestamp.h"
 
+namespace veloce::obs {
+class TraceContext;
+}  // namespace veloce::obs
+
 namespace veloce::kv {
 
 /// Tenant identifier. Tenant 1 is the privileged system tenant.
@@ -50,6 +54,12 @@ struct BatchRequest {
   /// replica instead of the leaseholder (Section 3.2.5: follower reads,
   /// used for META-range lookups during multi-region cold starts).
   bool allow_follower_reads = false;
+
+  /// Optional request trace; stages below the connector (admission wait,
+  /// replication, storage) record spans here. Never serialized — a real
+  /// RPC would carry trace ids instead; the in-process graph can share the
+  /// context directly.
+  obs::TraceContext* trace = nullptr;
 
   std::vector<RequestUnion> requests;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace veloce::kv {
 
@@ -12,19 +13,45 @@ constexpr int kMaxConflictRetries = 16;
 
 KVCluster::KVCluster(KVClusterOptions options)
     : options_(options),
-      clock_(options.clock != nullptr ? options.clock : RealClock::Instance()),
+      clock_(options.clock != nullptr ? options.clock
+                                      : options.obs.clock_or_real()),
       hlc_(clock_),
       txn_registry_(clock_) {
   VELOCE_CHECK(options_.num_nodes >= 1);
   VELOCE_CHECK(options_.replication_factor >= 1);
   VELOCE_CHECK(options_.replication_factor <= options_.num_nodes);
+  if (options_.obs.metrics != nullptr) {
+    metrics_ = options_.obs.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  obs_ = options_.obs;
+  obs_.clock = clock_;
+  obs_.metrics = metrics_;
+  lease_moves_c_ = metrics_->counter("veloce_kv_lease_moves_total");
+  replica_moves_c_ = metrics_->counter("veloce_kv_replica_moves_total");
+  splits_c_ = metrics_->counter("veloce_kv_range_splits_total");
+  intent_conflicts_c_ = metrics_->counter("veloce_kv_intent_conflicts_total");
+  lease_gauge_cb_ = metrics_->AddCollectCallback([this] {
+    std::lock_guard<std::recursive_mutex> l(mu_);
+    std::vector<double> counts(nodes_.size(), 0);
+    for (const auto& [rid, state] : ranges_) {
+      counts[state->desc.leaseholder] += 1;
+    }
+    for (NodeId n = 0; n < nodes_.size(); ++n) {
+      metrics_->gauge("veloce_kv_leases", {{"node", std::to_string(n)}})
+          ->Set(counts[n]);
+    }
+    metrics_->gauge("veloce_kv_ranges")->Set(static_cast<double>(ranges_.size()));
+  });
   for (int i = 0; i < options_.num_nodes; ++i) {
     std::string region = "local";
     if (static_cast<size_t>(i) < options_.node_regions.size()) {
       region = options_.node_regions[i];
     }
     nodes_.push_back(std::make_unique<KVNode>(static_cast<NodeId>(i), region,
-                                              options_.engine_options));
+                                              options_.engine_options, obs_));
   }
   // One range covering the whole keyspace, replicated on the first RF nodes.
   RangeDescriptor desc;
@@ -122,34 +149,31 @@ StatusOr<BatchResponse> KVCluster::Send(const BatchRequest& req) {
     if (interceptor_ && !counted[leaseholder->id()]) {
       VELOCE_RETURN_IF_ERROR(interceptor_(leaseholder->id(), req));
     }
-    // Per-node batch statistics: count the batch once per node, every
+    // Per-node batch accounting: count the batch once per node, every
     // request individually.
-    NodeBatchStats& stats = leaseholder->stats();
     if (!counted[leaseholder->id()]) {
       counted[leaseholder->id()] = true;
-      if (read_only) {
-        ++stats.read_batches;
-      } else {
-        ++stats.write_batches;
-      }
+      leaseholder->RecordBatch(read_only);
     }
 
     ResponseUnion out;
     switch (r.type) {
       case RequestType::kGet:
       case RequestType::kScan: {
-        ++stats.read_requests;
+        leaseholder->RecordReadRequest();
+        obs::ScopedSpan span(req.trace, "storage_read");
         VELOCE_RETURN_IF_ERROR(ExecuteReadLocked(range, req, r, &out, serving_node));
-        stats.read_bytes += out.value.size();
+        uint64_t bytes = out.value.size();
         for (const auto& row : out.rows) {
-          stats.read_bytes += row.key.size() + row.value.size();
+          bytes += row.key.size() + row.value.size();
         }
+        leaseholder->AddReadBytes(bytes);
         break;
       }
       case RequestType::kPut:
       case RequestType::kDelete: {
-        ++stats.write_requests;
-        stats.write_bytes += r.key.size() + r.value.size();
+        leaseholder->RecordWriteRequest(r.key.size() + r.value.size());
+        obs::ScopedSpan span(req.trace, "storage_write");
         VELOCE_RETURN_IF_ERROR(ExecuteWriteLocked(range, req, r, &resp));
         break;
       }
@@ -163,6 +187,7 @@ StatusOr<BatchResponse> KVCluster::Send(const BatchRequest& req) {
 Status KVCluster::HandleConflictLocked(RangeState* range, Slice key,
                                        const IntentMeta& intent,
                                        const BatchRequest& req, bool for_write) {
+  intent_conflicts_c_->Inc();
   const auto push_type = for_write ? TxnRegistry::PushType::kAbort
                                    : TxnRegistry::PushType::kTimestamp;
   PushResult pr = txn_registry_.Push(intent.txn_id, req.txn_priority, push_type, req.ts);
@@ -317,7 +342,10 @@ Status KVCluster::ExecuteWriteLocked(RangeState* range, const BatchRequest& req,
   } else {
     MvccPutValue(&batch, r.key, write_ts, r.value);
   }
-  VELOCE_RETURN_IF_ERROR(ReplicateLocked(range, batch, req.tenant_id));
+  {
+    obs::ScopedSpan span(req.trace, "replication");
+    VELOCE_RETURN_IF_ERROR(ReplicateLocked(range, batch, req.tenant_id));
+  }
   range->approx_bytes += r.key.size() + r.value.size();
   if (write_ts > req.ts && resp->bumped_write_ts < write_ts) {
     resp->bumped_write_ts = write_ts;
@@ -351,7 +379,8 @@ Status KVCluster::ReplicateLocked(RangeState* range, const storage::WriteBatch& 
 StatusOr<NodeId> KVCluster::AddNode(const std::string& region) {
   std::lock_guard<std::recursive_mutex> l(mu_);
   const NodeId id = static_cast<NodeId>(nodes_.size());
-  nodes_.push_back(std::make_unique<KVNode>(id, region, options_.engine_options));
+  nodes_.push_back(
+      std::make_unique<KVNode>(id, region, options_.engine_options, obs_));
   return id;
 }
 
@@ -402,9 +431,11 @@ Status KVCluster::MoveReplica(RangeId range_id, NodeId from, NodeId to) {
   for (NodeId& replica : range->desc.replicas) {
     if (replica == from) replica = to;
   }
+  replica_moves_c_->Inc();
   if (range->desc.leaseholder == from) {
     range->desc.leaseholder = to;
     range->log.BumpTerm();
+    lease_moves_c_->Inc();
   }
   return Status::OK();
 }
@@ -623,6 +654,7 @@ void KVCluster::ShedLeases(NodeId id) {
       if (n != id && nodes_[n]->live()) {
         state->desc.leaseholder = n;
         state->log.BumpTerm();
+        lease_moves_c_->Inc();
         break;
       }
     }
@@ -642,6 +674,7 @@ void KVCluster::BalanceLeases() {
         if (state->desc.leaseholder != candidate) {
           state->desc.leaseholder = candidate;
           state->log.BumpTerm();
+          lease_moves_c_->Inc();
         }
         break;
       }
@@ -668,6 +701,7 @@ Status KVCluster::SplitRangeLocked(Slice split_key) {
   range->approx_bytes /= 2;  // rough: data divides between halves
   VELOCE_RETURN_IF_ERROR(AddRangeLocked(right));
   ranges_[right.range_id]->approx_bytes = range->approx_bytes;
+  splits_c_->Inc();
   return Status::OK();
 }
 

@@ -12,6 +12,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "kv/batch.h"
+#include "obs/obs_context.h"
 #include "kv/keys.h"
 #include "kv/node.h"
 #include "kv/range.h"
@@ -35,6 +36,11 @@ struct KVClusterOptions {
   /// by follower replicas; writes are always pushed above the closed
   /// timestamp so follower reads stay consistent.
   Nanos closed_timestamp_interval = 3 * kSecond;
+  /// Telemetry injection shared by the cluster, its nodes and their
+  /// engines (per-node series carry a node=<id> label). When obs.metrics
+  /// is null the cluster owns a private registry. obs.clock is a fallback
+  /// for `clock` above.
+  obs::ObsContext obs;
 };
 
 /// Hook invoked for every batch executed at a leaseholder, before the work
@@ -71,6 +77,9 @@ class KVCluster {
   size_t num_nodes() const { return nodes_.size(); }
   KVNode* node(NodeId id) { return nodes_[id].get(); }
   Clock* clock() const { return clock_; }
+  /// Registry holding the cluster's `veloce_kv_*` / `veloce_storage_*`
+  /// series (the injected one, or the cluster's private default).
+  obs::MetricsRegistry* metrics() const { return metrics_; }
   HybridLogicalClock* hlc() { return &hlc_; }
   TxnRegistry* txn_registry() { return &txn_registry_; }
 
@@ -196,6 +205,9 @@ class KVCluster {
   Clock* clock_;
   HybridLogicalClock hlc_;
   TxnRegistry txn_registry_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::ObsContext obs_;  // resolved context handed to nodes/engines
   std::vector<std::unique_ptr<KVNode>> nodes_;
 
   mutable std::recursive_mutex mu_;
@@ -205,6 +217,14 @@ class KVCluster {
   NodeId next_replica_target_ = 0;  // round-robin placement
   BatchInterceptor interceptor_;
   ScanPushdownHook pushdown_hook_;
+
+  obs::Counter* lease_moves_c_ = nullptr;
+  obs::Counter* replica_moves_c_ = nullptr;
+  obs::Counter* splits_c_ = nullptr;
+  obs::Counter* intent_conflicts_c_ = nullptr;
+  // Declared last: unregisters (and stops touching cluster state) before
+  // any other member is destroyed.
+  obs::MetricsRegistry::CallbackToken lease_gauge_cb_;
 };
 
 }  // namespace veloce::kv

@@ -4,12 +4,41 @@
 
 namespace veloce::kv {
 
-KVNode::KVNode(NodeId id, std::string region, storage::EngineOptions engine_options)
+KVNode::KVNode(NodeId id, std::string region,
+               storage::EngineOptions engine_options, const obs::ObsContext& obs)
     : id_(id), region_(std::move(region)) {
+  obs::MetricsRegistry* metrics = obs.metrics;
+  if (metrics == nullptr) {
+    // Standalone node (tests, single-node tools): private registry so
+    // stats() stays per-instance-correct without any wiring.
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  const obs::Labels labels = {{"node", std::to_string(id_)}};
+  read_batches_c_ = metrics->counter("veloce_kv_read_batches_total", labels);
+  write_batches_c_ = metrics->counter("veloce_kv_write_batches_total", labels);
+  read_requests_c_ = metrics->counter("veloce_kv_read_requests_total", labels);
+  write_requests_c_ = metrics->counter("veloce_kv_write_requests_total", labels);
+  read_bytes_c_ = metrics->counter("veloce_kv_read_bytes_total", labels);
+  write_bytes_c_ = metrics->counter("veloce_kv_write_bytes_total", labels);
+
   engine_options.dir = "kvnode-" + std::to_string(id);
+  engine_options.obs = obs;
+  engine_options.obs.metrics = metrics;
+  engine_options.metrics_instance = std::to_string(id);
   auto engine_or = storage::Engine::Open(engine_options);
   VELOCE_CHECK(engine_or.ok()) << engine_or.status().ToString();
   engine_ = std::move(engine_or).value();
+}
+
+const NodeBatchStats& KVNode::stats() const {
+  stats_snapshot_.read_batches = read_batches_c_->value();
+  stats_snapshot_.write_batches = write_batches_c_->value();
+  stats_snapshot_.read_requests = read_requests_c_->value();
+  stats_snapshot_.write_requests = write_requests_c_->value();
+  stats_snapshot_.read_bytes = read_bytes_c_->value();
+  stats_snapshot_.write_bytes = write_bytes_c_->value();
+  return stats_snapshot_;
 }
 
 }  // namespace veloce::kv

@@ -9,6 +9,7 @@
 
 #include "kv/batch.h"
 #include "kv/range.h"
+#include "obs/obs_context.h"
 #include "storage/engine.h"
 
 namespace veloce::kv {
@@ -16,6 +17,10 @@ namespace veloce::kv {
 /// Per-node batch counters, broken down the same way the estimated-CPU
 /// model's six input features are (Section 5.2.1): read/write batches,
 /// requests per batch, bytes per batch.
+///
+/// Snapshot view: the source of truth is the node's `veloce_kv_*` series
+/// (labelled node=<id>) in its obs::MetricsRegistry; KVNode::stats()
+/// materializes them here for typed consumers.
 struct NodeBatchStats {
   uint64_t read_batches = 0;
   uint64_t write_batches = 0;
@@ -31,7 +36,11 @@ struct NodeBatchStats {
 /// in that node's engine.
 class KVNode {
  public:
-  KVNode(NodeId id, std::string region, storage::EngineOptions engine_options);
+  /// `obs` wires the node (and its engine, labelled node=<id>) into a
+  /// shared metrics registry; the default no-op context gives the node a
+  /// private registry so stats() works standalone.
+  KVNode(NodeId id, std::string region, storage::EngineOptions engine_options,
+         const obs::ObsContext& obs = {});
 
   NodeId id() const { return id_; }
   const std::string& region() const { return region_; }
@@ -42,8 +51,19 @@ class KVNode {
   bool live() const { return live_.load(std::memory_order_acquire); }
   void SetLive(bool live) { live_.store(live, std::memory_order_release); }
 
-  NodeBatchStats& stats() { return stats_; }
-  const NodeBatchStats& stats() const { return stats_; }
+  /// Batch accounting, invoked by the cluster's data path.
+  void RecordBatch(bool read_only) {
+    (read_only ? read_batches_c_ : write_batches_c_)->Inc();
+  }
+  void RecordReadRequest() { read_requests_c_->Inc(); }
+  void AddReadBytes(uint64_t bytes) { read_bytes_c_->Inc(bytes); }
+  void RecordWriteRequest(uint64_t bytes) {
+    write_requests_c_->Inc();
+    write_bytes_c_->Inc(bytes);
+  }
+
+  /// Cumulative batch counters, materialized from the metrics registry.
+  const NodeBatchStats& stats() const;
 
   /// Per-tenant cumulative engine payload bytes written via this node
   /// (storage attribution for billing).
@@ -60,8 +80,16 @@ class KVNode {
   const std::string region_;
   std::unique_ptr<storage::Engine> engine_;
   std::atomic<bool> live_{true};
-  NodeBatchStats stats_;
   std::unordered_map<TenantId, uint64_t> tenant_write_bytes_;
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Counter* read_batches_c_ = nullptr;
+  obs::Counter* write_batches_c_ = nullptr;
+  obs::Counter* read_requests_c_ = nullptr;
+  obs::Counter* write_requests_c_ = nullptr;
+  obs::Counter* read_bytes_c_ = nullptr;
+  obs::Counter* write_bytes_c_ = nullptr;
+  mutable NodeBatchStats stats_snapshot_;
 };
 
 }  // namespace veloce::kv

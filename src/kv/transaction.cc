@@ -19,6 +19,7 @@ BatchRequest Transaction::MakeRequest() const {
   req.ts = record_.read_ts;
   req.txn_id = record_.id;
   req.txn_priority = record_.priority;
+  req.trace = trace_;
   return req;
 }
 

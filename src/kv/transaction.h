@@ -58,12 +58,17 @@ class Transaction {
   /// Number of KV batches this transaction issued (eCPU feature probe).
   uint64_t batches_sent() const { return batches_sent_; }
 
+  /// Attaches a request trace: every batch this transaction issues carries
+  /// it (see BatchRequest::trace). Caller keeps ownership; clear with null.
+  void set_trace(obs::TraceContext* trace) { trace_ = trace; }
+
  private:
   BatchRequest MakeRequest() const;
   StatusOr<BatchResponse> SendTracked(const BatchRequest& req);
 
   KVCluster* cluster_;
   Sender sender_;
+  obs::TraceContext* trace_ = nullptr;
   TenantId tenant_;
   TxnRecord record_;
   Timestamp max_write_ts_;  ///< highest bumped write timestamp observed

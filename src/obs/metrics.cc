@@ -1,0 +1,276 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace veloce::obs {
+
+namespace {
+
+/// Escapes a label value for the Prometheus text format.
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string FormatLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += labels[i].first + "=\"" + EscapeLabelValue(labels[i].second) + "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  // Integral values print without a decimal point (counters mostly).
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Labels MetricsRegistry::Canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name, Labels labels) {
+  SeriesKey key{std::string(name), Canonical(std::move(labels))};
+  std::lock_guard<std::mutex> l(mu_);
+  auto& slot = counters_[std::move(key)];
+  if (slot == nullptr) slot.reset(new Counter());
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  SeriesKey key{std::string(name), Canonical(std::move(labels))};
+  std::lock_guard<std::mutex> l(mu_);
+  auto& slot = gauges_[std::move(key)];
+  if (slot == nullptr) slot.reset(new Gauge());
+  return slot.get();
+}
+
+HistogramMetric* MetricsRegistry::histogram(std::string_view name, Labels labels) {
+  SeriesKey key{std::string(name), Canonical(std::move(labels))};
+  std::lock_guard<std::mutex> l(mu_);
+  auto& slot = histograms_[std::move(key)];
+  if (slot == nullptr) slot.reset(new HistogramMetric());
+  return slot.get();
+}
+
+MetricsRegistry::CallbackToken MetricsRegistry::AddCollectCallback(
+    std::function<void()> fn) {
+  std::lock_guard<std::mutex> l(mu_);
+  const uint64_t id = next_callback_id_++;
+  callbacks_[id] = std::move(fn);
+  // The token erases the callback on destruction; it does not own registry
+  // lifetime (the registry must outlive its components, per the ObsContext
+  // injection pattern).
+  return CallbackToken(reinterpret_cast<void*>(id),
+                       [this, id](void*) {
+                         std::lock_guard<std::mutex> l2(mu_);
+                         callbacks_.erase(id);
+                       });
+}
+
+void MetricsRegistry::RunCallbacksLocked() const {
+  // Copy out so callbacks may register new series (re-entering the
+  // registry) without deadlocking on mu_.
+  std::vector<std::function<void()>> fns;
+  {
+    auto* self = const_cast<MetricsRegistry*>(this);
+    fns.reserve(self->callbacks_.size());
+    for (auto& [id, fn] : self->callbacks_) fns.push_back(fn);
+  }
+  mu_.unlock();
+  for (auto& fn : fns) fn();
+  mu_.lock();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> l(mu_);
+  RunCallbacksLocked();
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [key, c] : counters_) {
+    MetricSample s;
+    s.name = key.name;
+    s.labels = key.labels;
+    s.kind = MetricSample::Kind::kCounter;
+    s.value = static_cast<double>(c->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [key, g] : gauges_) {
+    MetricSample s;
+    s.name = key.name;
+    s.labels = key.labels;
+    s.kind = MetricSample::Kind::kGauge;
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [key, h] : histograms_) {
+    MetricSample s;
+    s.name = key.name;
+    s.labels = key.labels;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.hist = h->Snapshot();
+    s.value = static_cast<double>(s.hist.count());
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), [](const MetricSample& a, const MetricSample& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.labels < b.labels;
+  });
+  return out;
+}
+
+std::string MetricsRegistry::ExportPrometheus() const {
+  std::string out;
+  // Samples arrive sorted by (name, labels); emit one TYPE line per name.
+  std::string last_name;
+  auto type_line = [&](const MetricSample& s, const char* type) {
+    if (s.name != last_name) {
+      out += "# TYPE " + s.name + " " + type + "\n";
+      last_name = s.name;
+    }
+  };
+  for (const MetricSample& s : Snapshot()) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        type_line(s, "counter");
+        out += s.name + FormatLabels(s.labels) + " " + FormatDouble(s.value) + "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        type_line(s, "gauge");
+        out += s.name + FormatLabels(s.labels) + " " + FormatDouble(s.value) + "\n";
+        break;
+      case MetricSample::Kind::kHistogram: {
+        type_line(s, "summary");
+        for (const auto& [q, v] :
+             {std::pair<const char*, int64_t>{"0.5", s.hist.P50()},
+              {"0.95", s.hist.P95()},
+              {"0.99", s.hist.P99()}}) {
+          Labels with_q = s.labels;
+          with_q.emplace_back("quantile", q);
+          out += s.name + FormatLabels(with_q) + " " + FormatDouble(static_cast<double>(v)) +
+                 "\n";
+        }
+        out += s.name + "_count" + FormatLabels(s.labels) + " " +
+               FormatDouble(static_cast<double>(s.hist.count())) + "\n";
+        out += s.name + "_sum" + FormatLabels(s.labels) + " " +
+               FormatDouble(s.hist.Mean() * static_cast<double>(s.hist.count())) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (const MetricSample& s : Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"name\":\"" + JsonEscape(s.name) + "\",\"labels\":{";
+    for (size_t i = 0; i < s.labels.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + JsonEscape(s.labels[i].first) + "\":\"" +
+             JsonEscape(s.labels[i].second) + "\"";
+    }
+    out += "},\"kind\":\"";
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter: out += "counter"; break;
+      case MetricSample::Kind::kGauge: out += "gauge"; break;
+      case MetricSample::Kind::kHistogram: out += "histogram"; break;
+    }
+    out += "\"";
+    if (s.kind == MetricSample::Kind::kHistogram) {
+      out += ",\"count\":" + FormatDouble(static_cast<double>(s.hist.count()));
+      out += ",\"mean_ns\":" + FormatDouble(s.hist.Mean());
+      out += ",\"p50_ns\":" + FormatDouble(static_cast<double>(s.hist.P50()));
+      out += ",\"p95_ns\":" + FormatDouble(static_cast<double>(s.hist.P95()));
+      out += ",\"p99_ns\":" + FormatDouble(static_cast<double>(s.hist.P99()));
+    } else {
+      out += ",\"value\":" + FormatDouble(s.value);
+    }
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+double MetricsRegistry::Value(std::string_view name, const Labels& labels) const {
+  SeriesKey key{std::string(name), Canonical(labels)};
+  std::lock_guard<std::mutex> l(mu_);
+  RunCallbacksLocked();
+  if (auto it = counters_.find(key); it != counters_.end()) {
+    return static_cast<double>(it->second->value());
+  }
+  if (auto it = gauges_.find(key); it != gauges_.end()) {
+    return it->second->value();
+  }
+  if (auto it = histograms_.find(key); it != histograms_.end()) {
+    return static_cast<double>(it->second->Snapshot().count());
+  }
+  return 0;
+}
+
+double MetricsRegistry::Sum(std::string_view name) const {
+  std::lock_guard<std::mutex> l(mu_);
+  RunCallbacksLocked();
+  double sum = 0;
+  for (const auto& [key, c] : counters_) {
+    if (key.name == name) sum += static_cast<double>(c->value());
+  }
+  for (const auto& [key, g] : gauges_) {
+    if (key.name == name) sum += g->value();
+  }
+  for (const auto& [key, h] : histograms_) {
+    if (key.name == name) sum += static_cast<double>(h->Snapshot().count());
+  }
+  return sum;
+}
+
+size_t MetricsRegistry::NumSeries() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+MetricsRegistry* MetricsRegistry::Noop() {
+  static MetricsRegistry* noop = new MetricsRegistry();
+  return noop;
+}
+
+}  // namespace veloce::obs

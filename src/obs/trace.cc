@@ -1,0 +1,128 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/histogram.h"
+
+namespace veloce::obs {
+
+TraceContext::TraceContext(Clock* clock, std::string label)
+    : clock_(clock != nullptr ? clock : RealClock::Instance()),
+      label_(std::move(label)),
+      start_(clock_->Now()) {}
+
+size_t TraceContext::OpenSpan(std::string_view name) {
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.depth = open_depth_++;
+  ev.start = clock_->Now();
+  ev.dur = -1;  // sentinel: open
+  events_.push_back(std::move(ev));
+  return events_.size() - 1;
+}
+
+void TraceContext::CloseSpan(size_t index) {
+  if (index >= events_.size()) return;
+  TraceEvent& ev = events_[index];
+  if (ev.dur != -1) return;  // already closed
+  ev.dur = clock_->Now() - ev.start;
+  if (open_depth_ > 0) --open_depth_;
+}
+
+void TraceContext::RecordDuration(std::string_view name, Nanos dur) {
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.depth = open_depth_;
+  ev.start = clock_->Now();
+  ev.dur = dur;
+  events_.push_back(std::move(ev));
+}
+
+void TraceContext::AddDuration(std::string_view name, Nanos extra) {
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (it->name == name && it->dur >= 0) {
+      it->dur += extra;
+      return;
+    }
+  }
+  RecordDuration(name, extra);
+}
+
+Nanos TraceContext::Elapsed() const { return clock_->Now() - start_; }
+
+Nanos TraceContext::StageDuration(std::string_view name) const {
+  Nanos total = 0;
+  for (const TraceEvent& ev : events_) {
+    if (ev.name == name && ev.dur > 0) total += ev.dur;
+  }
+  return total;
+}
+
+std::string TraceContext::ToString() const {
+  std::string out = label_ + "  total=" + Histogram::FormatNanos(Elapsed()) + "\n";
+  for (const TraceEvent& ev : events_) {
+    out.append(2 + static_cast<size_t>(ev.depth) * 2, ' ');
+    out += ev.name + " " +
+           (ev.dur < 0 ? "(open)" : Histogram::FormatNanos(ev.dur)) + "\n";
+  }
+  return out;
+}
+
+void TraceCollector::Finish(const TraceContext& ctx) {
+  FinishedTrace done;
+  done.label = ctx.label();
+  done.start = ctx.start_time();
+  done.total = ctx.Elapsed();
+  done.events = ctx.events();
+  if (done.total == 0) {
+    // Under a SimClock the whole request may run at one instant; fall back
+    // to the sum of top-level stage durations so "slowest" stays meaningful.
+    for (const TraceEvent& event : done.events) {
+      if (event.depth == 0) done.total += event.dur;
+    }
+  }
+  std::lock_guard<std::mutex> l(mu_);
+  ++finished_total_;
+  ring_.push_back(std::move(done));
+  if (ring_.size() > capacity_) ring_.pop_front();
+}
+
+uint64_t TraceCollector::finished_total() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return finished_total_;
+}
+
+size_t TraceCollector::retained() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return ring_.size();
+}
+
+std::vector<FinishedTrace> TraceCollector::Slowest(size_t n) const {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<FinishedTrace> all(ring_.begin(), ring_.end());
+  std::sort(all.begin(), all.end(), [](const FinishedTrace& a, const FinishedTrace& b) {
+    return a.total > b.total;
+  });
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+std::string TraceCollector::DumpSlowest(size_t n) const {
+  const std::vector<FinishedTrace> slow = Slowest(n);
+  std::string out = "=== " + std::to_string(slow.size()) + " slowest of " +
+                    std::to_string(retained()) + " retained (" +
+                    std::to_string(finished_total()) + " finished) ===\n";
+  int rank = 1;
+  for (const FinishedTrace& t : slow) {
+    out += "#" + std::to_string(rank++) + " " + t.label +
+           "  total=" + Histogram::FormatNanos(t.total) + "\n";
+    for (const TraceEvent& ev : t.events) {
+      out.append(2 + static_cast<size_t>(ev.depth) * 2, ' ');
+      out += ev.name + " " +
+             (ev.dur < 0 ? "(open)" : Histogram::FormatNanos(ev.dur)) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace veloce::obs

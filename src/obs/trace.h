@@ -1,0 +1,133 @@
+#ifndef VELOCE_OBS_TRACE_H_
+#define VELOCE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace veloce::obs {
+
+class TraceCollector;
+
+/// One recorded stage of a request. Spans nest: `depth` is the nesting
+/// level at open time (0 = top-level stage), and events are ordered by
+/// open time, so a dump indented by depth reads as the request's timeline.
+struct TraceEvent {
+  std::string name;   ///< stage name, e.g. "marshal", "admission_queue"
+  int depth = 0;
+  Nanos start = 0;    ///< clock time the span opened
+  Nanos dur = 0;      ///< closed span duration (0 until closed)
+};
+
+/// TraceContext follows one request through the stack — proxy -> SQL
+/// session -> executor -> KV batch -> storage — accumulating per-stage
+/// durations. Components receive it as a nullable pointer (tracing off =
+/// nullptr); every method here tolerates being called on an open context
+/// only, and the helpers in ScopedSpan tolerate a null context, so call
+/// sites stay unconditional.
+///
+/// Not thread-safe: one request = one context = one thread (or one sim
+/// event chain).
+class TraceContext {
+ public:
+  /// `label` identifies the request in dumps (e.g. the SQL text).
+  TraceContext(Clock* clock, std::string label);
+
+  /// Opens a nested span; returns its index for CloseSpan. Spans close in
+  /// any order (close-out-of-order just fixes each span's own duration).
+  size_t OpenSpan(std::string_view name);
+  void CloseSpan(size_t index);
+
+  /// Records a flat span with an externally measured duration — used when
+  /// the stage's wait happens elsewhere (admission queueing measured by
+  /// the controller, sim latencies known from the event schedule).
+  void RecordDuration(std::string_view name, Nanos dur);
+
+  /// Adds `extra` to an already recorded flat span of `name` (creating it
+  /// if absent) — aggregates repeated stages like per-batch marshal time.
+  void AddDuration(std::string_view name, Nanos extra);
+
+  const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+  Nanos start_time() const { return start_; }
+  /// Wall (sim) duration so far.
+  Nanos Elapsed() const;
+  const std::vector<TraceEvent>& events() const { return events_; }
+  Clock* clock() const { return clock_; }
+
+  /// Total duration of every closed span named `name` (0 if none).
+  Nanos StageDuration(std::string_view name) const;
+
+  /// Multi-line human dump: label, total, then events indented by depth.
+  std::string ToString() const;
+
+ private:
+  Clock* clock_;
+  std::string label_;
+  Nanos start_;
+  int open_depth_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: opens on construction, closes on destruction. Null context
+/// makes it a no-op, so instrumented code does not branch on tracing.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceContext* ctx, std::string_view name)
+      : ctx_(ctx), index_(ctx != nullptr ? ctx->OpenSpan(name) : 0) {}
+  ~ScopedSpan() {
+    if (ctx_ != nullptr) ctx_->CloseSpan(index_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceContext* ctx_;
+  size_t index_;
+};
+
+/// A finished request trace, as retained by the collector.
+struct FinishedTrace {
+  std::string label;
+  Nanos start = 0;
+  Nanos total = 0;
+  std::vector<TraceEvent> events;
+};
+
+/// Ring buffer of finished request traces. Keeps the most recent
+/// `capacity` traces; DumpSlowest() reports the N slowest of those with
+/// per-stage durations — the "why was this request slow" panel.
+/// Thread-safe.
+class TraceCollector {
+ public:
+  explicit TraceCollector(size_t capacity = 512) : capacity_(capacity) {}
+
+  /// Finalizes `ctx` (total = elapsed since construction) and retains it.
+  void Finish(const TraceContext& ctx);
+
+  uint64_t finished_total() const;
+  size_t retained() const;
+
+  /// The `n` slowest retained traces, slowest first.
+  std::vector<FinishedTrace> Slowest(size_t n) const;
+
+  /// Human-readable table of the `n` slowest requests: one block per
+  /// request with total and per-stage durations.
+  std::string DumpSlowest(size_t n) const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<FinishedTrace> ring_;  // newest at back
+  uint64_t finished_total_ = 0;
+};
+
+}  // namespace veloce::obs
+
+#endif  // VELOCE_OBS_TRACE_H_

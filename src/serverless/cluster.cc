@@ -4,15 +4,58 @@ namespace veloce::serverless {
 
 ServerlessCluster::ServerlessCluster(Options options)
     : options_(options),
+      owned_metrics_(options.obs.metrics == nullptr
+                         ? std::make_unique<obs::MetricsRegistry>()
+                         : nullptr),
+      owned_traces_(options.obs.traces == nullptr
+                        ? std::make_unique<obs::TraceCollector>()
+                        : nullptr),
+      obs_{loop_.clock(),
+           options.obs.metrics != nullptr ? options.obs.metrics
+                                          : owned_metrics_.get(),
+           options.obs.traces != nullptr ? options.obs.traces
+                                         : owned_traces_.get()},
       kube_(&loop_, options.kube),
-      meter_(loop_.clock(), billing::EstimatedCpuModel::Default()) {
+      meter_(loop_.clock(), billing::EstimatedCpuModel::Default(), obs_) {
   options_.kv.clock = loop_.clock();
+  options_.kv.obs = obs_;
   kv_ = std::make_unique<kv::KVCluster>(options_.kv);
   controller_ = std::make_unique<tenant::TenantController>(kv_.get(), &ca_);
   service_ = std::make_unique<tenant::AuthorizedKvService>(kv_.get(), &ca_);
+  options_.pool.obs = obs_;
+  options_.pool.node_options.obs = obs_;
   pool_ = std::make_unique<SqlNodePool>(&loop_, &kube_, service_.get(), kv_.get(),
                                         controller_.get(), options_.pool);
+  options_.proxy.obs = obs_;
   proxy_ = std::make_unique<Proxy>(&loop_, pool_.get(), options_.proxy);
+  if (options_.enable_admission) {
+    for (kv::NodeId id = 0; id < static_cast<kv::NodeId>(kv_->num_nodes()); ++id) {
+      admission::NodeAdmissionController::Options opts = options_.admission;
+      opts.obs = obs_;
+      opts.instance = std::to_string(id);
+      // Sync-only admission: no periodic tasks, so loop_.Run() still drains.
+      opts.background_tasks = false;
+      auto cpu = std::make_unique<sim::VirtualCpu>(&loop_, opts.vcpus, kMilli,
+                                                   obs_, std::to_string(id));
+      admission_[id] = std::make_unique<admission::NodeAdmissionController>(
+          &loop_, cpu.get(), opts);
+      admission_cpus_.push_back(std::move(cpu));
+    }
+    kv_->set_batch_interceptor(
+        [this](kv::NodeId leaseholder, const kv::BatchRequest& req) {
+          auto it = admission_.find(leaseholder);
+          if (it == admission_.end()) return Status::OK();
+          admission::KvWork work;
+          work.tenant_id = req.tenant_id;
+          work.is_write = !req.IsReadOnly();
+          work.write_bytes = work.is_write ? req.PayloadBytes() : 0;
+          // Rough per-request execution estimate feeding the slot model.
+          work.cpu_cost = static_cast<Nanos>(req.requests.size()) * 20 * kMicro;
+          work.trace = req.trace;
+          it->second->AdmitSync(work);
+          return Status::OK();
+        });
+  }
   autoscaler_ = std::make_unique<Autoscaler>(
       &loop_, pool_.get(), proxy_.get(),
       [this](kv::TenantId tenant) {
@@ -29,6 +72,13 @@ ServerlessCluster::ServerlessCluster(Options options)
         &loop_, options_.proxy_rebalance_interval,
         [this] { proxy_->RebalanceAll(); });
     rebalancer_->Start();
+  }
+}
+
+void ServerlessCluster::CalibrateAdmission() {
+  for (auto& [id, ctrl] : admission_) {
+    storage::Engine* engine = kv_->node(id)->engine();
+    ctrl->UpdateWriteCapacity(engine->stats(), engine->NumFilesAtLevel(0));
   }
 }
 

@@ -3,8 +3,13 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "admission/controller.h"
 #include "billing/meter.h"
+#include "obs/metrics.h"
+#include "obs/obs_context.h"
+#include "obs/trace.h"
 #include "serverless/autoscaler.h"
 #include "serverless/kube_sim.h"
 #include "serverless/node_pool.h"
@@ -29,12 +34,44 @@ class ServerlessCluster {
     /// periodic task (the default here, because a perpetual timer keeps the
     /// sim event queue non-empty; scale events still rebalance eagerly).
     Nanos proxy_rebalance_interval = 0;
+    /// Telemetry injection. Null metrics/traces = the cluster owns a
+    /// private MetricsRegistry and TraceCollector (see metrics()/traces()).
+    /// The resolved context (clock = the sim loop's clock) is threaded into
+    /// every layer: KV nodes + engines, SQL nodes, pool, proxy, billing.
+    obs::ObsContext obs;
+    /// Per-KV-node admission control, attached as a KV batch interceptor
+    /// (synchronous AdmitSync path — no background tasks, so loop().Run()
+    /// still drains). obs/instance/background_tasks are overridden per node.
+    admission::NodeAdmissionController::Options admission;
+    bool enable_admission = true;
   };
 
   ServerlessCluster() : ServerlessCluster(Options()) {}
   explicit ServerlessCluster(Options options);
 
   sim::EventLoop* loop() { return &loop_; }
+
+  // --- observability -------------------------------------------------------
+  /// The shared registry every layer registers into (never null).
+  obs::MetricsRegistry* metrics() { return obs_.metrics; }
+  /// The shared request-trace ring buffer (never null).
+  obs::TraceCollector* traces() { return obs_.traces; }
+  /// The resolved telemetry context (sim clock + registry + collector);
+  /// hand this to workloads/benches running against the cluster.
+  const obs::ObsContext& obs() const { return obs_; }
+
+  // --- admission -----------------------------------------------------------
+  /// The admission controller guarding KV node `id` (null when admission is
+  /// disabled or the node was added after construction).
+  admission::NodeAdmissionController* admission(kv::NodeId id) {
+    auto it = admission_.find(id);
+    return it == admission_.end() ? nullptr : it->second.get();
+  }
+  /// Feeds every node's fresh engine counters into its write token bucket
+  /// (the paper's 15 s stats cadence, pull-based here so the sim event
+  /// queue can drain).
+  void CalibrateAdmission();
+
   kv::KVCluster* kv_cluster() { return kv_.get(); }
   tenant::TenantController* tenants() { return controller_.get(); }
   tenant::AuthorizedKvService* kv_service() { return service_.get(); }
@@ -71,6 +108,11 @@ class ServerlessCluster {
  private:
   Options options_;
   sim::EventLoop loop_;
+  // Telemetry plumbing: declared before (so destroyed after) every
+  // component that registers series or collect callbacks against it.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  std::unique_ptr<obs::TraceCollector> owned_traces_;
+  obs::ObsContext obs_;  // resolved: sim clock + registry + collector
   std::unique_ptr<kv::KVCluster> kv_;
   tenant::CertificateAuthority ca_;
   std::unique_ptr<tenant::TenantController> controller_;
@@ -80,6 +122,10 @@ class ServerlessCluster {
   std::unique_ptr<Proxy> proxy_;
   std::unique_ptr<Autoscaler> autoscaler_;
   billing::TenantMeter meter_;
+  /// One simulated CPU + admission controller per KV node (Section 5.1),
+  /// attached via the KV batch interceptor.
+  std::vector<std::unique_ptr<sim::VirtualCpu>> admission_cpus_;
+  std::map<kv::NodeId, std::unique_ptr<admission::NodeAdmissionController>> admission_;
   std::unique_ptr<sim::PeriodicTask> rebalancer_;
   std::map<kv::TenantId, double> cpu_usage_;
   std::map<uint64_t, Nanos> harvested_sql_cpu_;  // node id -> already-billed

@@ -14,13 +14,55 @@ SqlNodePool::SqlNodePool(sim::EventLoop* loop, KubeSim* kube,
       cluster_(cluster),
       controller_(controller),
       options_(options) {
+  InitMetrics();
   Replenish();
+}
+
+void SqlNodePool::InitMetrics() {
+  metrics_ = options_.obs.metrics;
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  pod_starts_c_ = metrics_->counter("veloce_serverless_pod_starts_total");
+  acquire_drain_c_ =
+      metrics_->counter("veloce_serverless_acquires_total", {{"path", "drain"}});
+  acquire_warm_c_ =
+      metrics_->counter("veloce_serverless_acquires_total", {{"path", "warm"}});
+  acquire_cold_c_ =
+      metrics_->counter("veloce_serverless_acquires_total", {{"path", "cold"}});
+  acquire_warm_h_ =
+      metrics_->histogram("veloce_serverless_acquire_ns", {{"path", "warm"}});
+  acquire_cold_h_ =
+      metrics_->histogram("veloce_serverless_acquire_ns", {{"path", "cold"}});
+  stage_pod_create_h_ = metrics_->histogram("veloce_serverless_cold_start_stage_ns",
+                                            {{"stage", "pod_create"}});
+  stage_process_start_h_ = metrics_->histogram(
+      "veloce_serverless_cold_start_stage_ns", {{"stage", "process_start"}});
+  stage_stamp_h_ = metrics_->histogram("veloce_serverless_cold_start_stage_ns",
+                                       {{"stage", "stamp"}});
+  gauge_cb_ = metrics_->AddCollectCallback([this] {
+    metrics_->gauge("veloce_serverless_warm_available")
+        ->Set(static_cast<double>(warm_.size()));
+    metrics_->gauge("veloce_serverless_ready_nodes")
+        ->Set(static_cast<double>(num_ready_nodes()));
+    metrics_->gauge("veloce_serverless_active_nodes")
+        ->Set(static_cast<double>(active_.size()));
+    // Connections (sessions) per SQL node — the proxy's balancing signal.
+    for (const auto& [node, managed] : active_) {
+      metrics_
+          ->gauge("veloce_serverless_node_sessions",
+                  {{"sql_node", std::to_string(node->id())}})
+          ->Set(static_cast<double>(node->num_sessions()));
+    }
+  });
 }
 
 void SqlNodePool::Replenish() {
   while (warm_.size() + static_cast<size_t>(replenish_inflight_) <
          options_.warm_pool_target) {
     ++replenish_inflight_;
+    pod_starts_c_->Inc();
     kube_->CreatePod([this](PodId pod) {
       auto finish = [this, pod]() {
         auto managed = std::make_unique<ManagedNode>();
@@ -60,6 +102,7 @@ void SqlNodePool::Acquire(kv::TenantId tenant,
         node->state() == sql::SqlNode::State::kDraining) {
       managed->draining = false;
       node->Undrain();
+      acquire_drain_c_->Inc();
       loop_->Schedule(0, [node = node, cb = std::move(on_ready)]() mutable { cb(node); });
       return;
     }
@@ -67,6 +110,8 @@ void SqlNodePool::Acquire(kv::TenantId tenant,
 
   // (2) Pre-warmed node.
   if (!warm_.empty()) {
+    acquire_warm_c_->Inc();
+    const Nanos t0 = loop_->Now();
     std::unique_ptr<ManagedNode> managed = std::move(warm_.front());
     warm_.pop_front();
     Replenish();
@@ -75,8 +120,10 @@ void SqlNodePool::Acquire(kv::TenantId tenant,
     active_[node] = std::move(managed);
     if (options_.prewarm_process) {
       // Certificate write + fs watch + KV init.
-      loop_->Schedule(StampLatency(), [this, raw, tenant,
+      loop_->Schedule(StampLatency(), [this, raw, tenant, t0,
                                                cb = std::move(on_ready)]() mutable {
+        stage_stamp_h_->Record(loop_->Now() - t0);
+        acquire_warm_h_->Record(loop_->Now() - t0);
         FinishStamp(raw, tenant, std::move(cb));
       });
     } else {
@@ -84,11 +131,15 @@ void SqlNodePool::Acquire(kv::TenantId tenant,
       // penalty (the proxy's connection attempts bounce until the
       // listener opens, roughly doubling observed startup).
       const Nanos penalty = kube_->options().process_start_latency;
-      kube_->StartProcess(raw->pod, [this, raw, tenant, penalty,
+      kube_->StartProcess(raw->pod, [this, raw, tenant, penalty, t0,
                                      cb = std::move(on_ready)]() mutable {
         VELOCE_CHECK_OK(raw->node->StartProcess());
+        stage_process_start_h_->Record(loop_->Now() - t0);
+        const Nanos t_proc = loop_->Now();
         loop_->Schedule(penalty + StampLatency(),
-                        [this, raw, tenant, cb = std::move(cb)]() mutable {
+                        [this, raw, tenant, t0, t_proc, cb = std::move(cb)]() mutable {
+                          stage_stamp_h_->Record(loop_->Now() - t_proc);
+                          acquire_warm_h_->Record(loop_->Now() - t0);
                           FinishStamp(raw, tenant, std::move(cb));
                         });
       });
@@ -97,8 +148,15 @@ void SqlNodePool::Acquire(kv::TenantId tenant,
   }
 
   // (3) Pool empty: create a cold pod end to end.
-  kube_->CreatePod([this, tenant, cb = std::move(on_ready)](PodId pod) mutable {
-    kube_->StartProcess(pod, [this, pod, tenant, cb = std::move(cb)]() mutable {
+  acquire_cold_c_->Inc();
+  pod_starts_c_->Inc();
+  const Nanos t0 = loop_->Now();
+  kube_->CreatePod([this, tenant, t0, cb = std::move(on_ready)](PodId pod) mutable {
+    stage_pod_create_h_->Record(loop_->Now() - t0);
+    const Nanos t_pod = loop_->Now();
+    kube_->StartProcess(pod, [this, pod, tenant, t0, t_pod,
+                              cb = std::move(cb)]() mutable {
+      stage_process_start_h_->Record(loop_->Now() - t_pod);
       auto managed = std::make_unique<ManagedNode>();
       managed->pod = pod;
       managed->node = std::make_unique<sql::SqlNode>(next_node_id_++,
@@ -107,8 +165,11 @@ void SqlNodePool::Acquire(kv::TenantId tenant,
       VELOCE_CHECK_OK(managed->node->StartProcess());
       ManagedNode* raw = managed.get();
       active_[raw->node.get()] = std::move(managed);
+      const Nanos t_proc = loop_->Now();
       loop_->Schedule(StampLatency(),
-                      [this, raw, tenant, cb = std::move(cb)]() mutable {
+                      [this, raw, tenant, t0, t_proc, cb = std::move(cb)]() mutable {
+                        stage_stamp_h_->Record(loop_->Now() - t_proc);
+                        acquire_cold_h_->Record(loop_->Now() - t0);
                         FinishStamp(raw, tenant, std::move(cb));
                       });
     });
@@ -139,17 +200,17 @@ void SqlNodePool::StartDraining(sql::SqlNode* node) {
   // Poll until sessions are gone or the drain timeout passes; a reused
   // (un-drained) or removed node cancels the poll implicitly.
   const Nanos deadline = loop_->Now() + options_.drain_timeout;
-  auto check = std::make_shared<std::function<void()>>();
-  *check = [this, node, deadline, check]() {
-    auto it2 = active_.find(node);
-    if (it2 == active_.end() || !it2->second->draining) return;
-    if (node->num_sessions() == 0 || loop_->Now() >= deadline) {
-      Remove(node);
-      return;
-    }
-    loop_->Schedule(10 * kSecond, *check);
-  };
-  loop_->Schedule(10 * kSecond, *check);
+  loop_->Schedule(10 * kSecond, [this, node, deadline] { DrainPoll(node, deadline); });
+}
+
+void SqlNodePool::DrainPoll(sql::SqlNode* node, Nanos deadline) {
+  auto it = active_.find(node);
+  if (it == active_.end() || !it->second->draining) return;
+  if (node->num_sessions() == 0 || loop_->Now() >= deadline) {
+    Remove(node);
+    return;
+  }
+  loop_->Schedule(10 * kSecond, [this, node, deadline] { DrainPoll(node, deadline); });
 }
 
 void SqlNodePool::Remove(sql::SqlNode* node) {

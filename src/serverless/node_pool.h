@@ -9,6 +9,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/obs_context.h"
 #include "serverless/kube_sim.h"
 #include "sql/sql_node.h"
 #include "tenant/controller.h"
@@ -41,6 +43,10 @@ class SqlNodePool {
     /// Idle draining nodes shut down after this long (paper: 10 minutes).
     Nanos drain_timeout = 10 * kMinute;
     sql::SqlNode::Options node_options;
+    /// Pool telemetry (pod starts, per-path acquire latency, cold-start
+    /// stage timings, warm/ready gauges). Null metrics = private registry.
+    /// Set node_options.obs as well to instrument the SQL nodes themselves.
+    obs::ObsContext obs;
   };
 
   SqlNodePool(sim::EventLoop* loop, KubeSim* kube,
@@ -80,7 +86,9 @@ class SqlNodePool {
 
   void FinishStamp(ManagedNode* managed, kv::TenantId tenant,
                    std::function<void(StatusOr<sql::SqlNode*>)> on_ready);
+  void DrainPoll(sql::SqlNode* node, Nanos deadline);
   Nanos StampLatency();
+  void InitMetrics();
 
   sim::EventLoop* loop_;
   KubeSim* kube_;
@@ -93,6 +101,22 @@ class SqlNodePool {
   std::deque<std::unique_ptr<ManagedNode>> warm_;
   std::map<sql::SqlNode*, std::unique_ptr<ManagedNode>> active_;
   int replenish_inflight_ = 0;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Counter* pod_starts_c_ = nullptr;
+  obs::Counter* acquire_drain_c_ = nullptr;
+  obs::Counter* acquire_warm_c_ = nullptr;
+  obs::Counter* acquire_cold_c_ = nullptr;
+  obs::HistogramMetric* acquire_warm_h_ = nullptr;  ///< warm-path latency
+  obs::HistogramMetric* acquire_cold_h_ = nullptr;  ///< cold-path latency
+  /// Cold-start stage breakdown (Section 4.3.1): pod create, process
+  /// start, tenant stamp.
+  obs::HistogramMetric* stage_pod_create_h_ = nullptr;
+  obs::HistogramMetric* stage_process_start_h_ = nullptr;
+  obs::HistogramMetric* stage_stamp_h_ = nullptr;
+  /// Declared last: unregisters before the state it reads is destroyed.
+  obs::MetricsRegistry::CallbackToken gauge_cb_;
 };
 
 }  // namespace veloce::serverless

@@ -5,7 +5,21 @@
 namespace veloce::serverless {
 
 Proxy::Proxy(sim::EventLoop* loop, SqlNodePool* pool, Options options)
-    : loop_(loop), pool_(pool), options_(options) {}
+    : loop_(loop), pool_(pool), options_(options) {
+  metrics_ = options_.obs.metrics;
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  connections_c_ = metrics_->counter("veloce_serverless_connections_total");
+  migrations_c_ = metrics_->counter("veloce_serverless_migrations_total");
+  rejected_c_ = metrics_->counter("veloce_serverless_rejected_connects_total");
+  auth_throttled_c_ = metrics_->counter("veloce_serverless_auth_throttled_total");
+  gauge_cb_ = metrics_->AddCollectCallback([this] {
+    metrics_->gauge("veloce_serverless_open_connections")
+        ->Set(static_cast<double>(connections_.size()));
+  });
+}
 
 void Proxy::SetAllowlist(kv::TenantId tenant, std::vector<std::string> ips) {
   allowlists_[tenant] = std::set<std::string>(ips.begin(), ips.end());
@@ -60,6 +74,7 @@ Status Proxy::FinishConnect(kv::TenantId tenant, sql::SqlNode* node,
   conn->session = *session_or;
   Connection* raw = conn.get();
   connections_[raw->id] = std::move(conn);
+  connections_c_->Inc();
   on_connected(raw);
   return Status::OK();
 }
@@ -68,17 +83,20 @@ void Proxy::Connect(kv::TenantId tenant, const std::string& client_ip,
                     std::function<void(StatusOr<Connection*>)> on_connected) {
   // Security gates first.
   if (IsThrottled(client_ip)) {
+    auth_throttled_c_->Inc();
     on_connected(Status::ResourceExhausted("origin throttled after auth failures"));
     return;
   }
   auto deny = denylists_.find(tenant);
   if (deny != denylists_.end() && deny->second.count(client_ip)) {
+    rejected_c_->Inc();
     on_connected(Status::Unauthorized("client IP denied"));
     return;
   }
   auto allow = allowlists_.find(tenant);
   if (allow != allowlists_.end() && !allow->second.empty() &&
       !allow->second.count(client_ip)) {
+    rejected_c_->Inc();
     on_connected(Status::Unauthorized("client IP not in allowlist"));
     return;
   }
@@ -129,6 +147,7 @@ Status Proxy::MigrateConnection(Connection* conn, sql::SqlNode* target) {
   conn->session = restored;
   ++conn->migrations;
   ++total_migrations_;
+  migrations_c_->Inc();
   return Status::OK();
 }
 

@@ -24,6 +24,9 @@ class Proxy {
     /// Failed-auth throttling: exponential backoff starting here.
     Nanos auth_backoff_base = kSecond;
     int auth_failures_before_throttle = 3;
+    /// Proxy telemetry (connections, migrations, security rejections).
+    /// Null metrics = private registry.
+    obs::ObsContext obs;
   };
 
   /// One proxied client connection. The session pointer moves when the
@@ -92,6 +95,15 @@ class Proxy {
     Nanos blocked_until = 0;
   };
   std::map<std::string, ThrottleState> throttle_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Counter* connections_c_ = nullptr;
+  obs::Counter* migrations_c_ = nullptr;
+  obs::Counter* rejected_c_ = nullptr;       ///< allow/deny list rejections
+  obs::Counter* auth_throttled_c_ = nullptr; ///< connects refused by backoff
+  /// Declared last: unregisters before the state it reads is destroyed.
+  obs::MetricsRegistry::CallbackToken gauge_cb_;
 };
 
 }  // namespace veloce::serverless

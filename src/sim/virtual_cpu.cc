@@ -6,10 +6,26 @@
 
 namespace veloce::sim {
 
-VirtualCpu::VirtualCpu(EventLoop* loop, int vcpus, Nanos quantum)
+VirtualCpu::VirtualCpu(EventLoop* loop, int vcpus, Nanos quantum,
+                       const obs::ObsContext& obs, std::string instance)
     : loop_(loop), vcpus_(vcpus), quantum_(quantum) {
   VELOCE_CHECK(vcpus > 0);
   VELOCE_CHECK(quantum > 0);
+  metrics_ = obs.metrics;
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  obs::Labels labels;
+  if (!instance.empty()) labels.push_back({"node", std::move(instance)});
+  runnable_h_ = metrics_->histogram("veloce_sim_runnable_queue_samples", labels);
+  gauge_cb_ = metrics_->AddCollectCallback([this, labels] {
+    metrics_->gauge("veloce_sim_active_tasks", labels)->Set(active_tasks());
+    metrics_->gauge("veloce_sim_runnable_queue", labels)
+        ->Set(runnable_queue_length());
+    metrics_->gauge("veloce_sim_busy_seconds_total", labels)
+        ->Set(static_cast<double>(total_busy_) / kSecond);
+  });
 }
 
 VirtualCpu::TaskId VirtualCpu::Submit(uint64_t tenant_id, Nanos cpu_demand,
@@ -46,6 +62,7 @@ void VirtualCpu::EnsureTicking() {
 
 void VirtualCpu::Tick(Nanos elapsed) {
   last_tick_ = loop_->Now();
+  runnable_h_->Record(runnable_queue_length());
   if (elapsed > 0 && !tasks_.empty()) {
     const int n = static_cast<int>(tasks_.size());
     // Processor sharing: each task runs at min(1 cpu, vcpus/n cpus).

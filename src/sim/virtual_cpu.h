@@ -4,9 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "common/clock.h"
+#include "obs/obs_context.h"
 #include "sim/event_loop.h"
 
 namespace veloce::sim {
@@ -27,8 +30,11 @@ class VirtualCpu {
   using TaskId = uint64_t;
 
   /// quantum is the scheduling granularity; smaller is more precise and
-  /// slower to simulate.
-  VirtualCpu(EventLoop* loop, int vcpus, Nanos quantum = kMilli);
+  /// slower to simulate. `obs` wires the CPU's `veloce_sim_*` series into a
+  /// shared registry (null metrics = private registry); `instance`
+  /// distinguishes CPUs sharing a registry (exported as label node=...).
+  VirtualCpu(EventLoop* loop, int vcpus, Nanos quantum = kMilli,
+             const obs::ObsContext& obs = {}, std::string instance = "");
 
   VirtualCpu(const VirtualCpu&) = delete;
   VirtualCpu& operator=(const VirtualCpu&) = delete;
@@ -75,6 +81,11 @@ class VirtualCpu {
   std::map<TaskId, Task> tasks_;
   Nanos total_busy_ = 0;
   std::unordered_map<uint64_t, Nanos> tenant_busy_;
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::HistogramMetric* runnable_h_ = nullptr;  ///< per-tick queue samples
+  obs::MetricsRegistry::CallbackToken gauge_cb_;
 };
 
 }  // namespace veloce::sim

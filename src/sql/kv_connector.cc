@@ -8,14 +8,27 @@
 namespace veloce::sql {
 
 KvConnector::KvConnector(tenant::AuthorizedKvService* service, kv::KVCluster* cluster,
-                         tenant::TenantCert cert, ProcessMode mode)
+                         tenant::TenantCert cert, ProcessMode mode,
+                         const obs::ObsContext& obs, std::string instance)
     : service_(service),
       cluster_(cluster),
       cert_(cert),
       mode_(mode),
-      prefix_(kv::TenantPrefix(cert.tenant_id)) {}
+      prefix_(kv::TenantPrefix(cert.tenant_id)) {
+  metrics_ = obs.metrics;
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  obs::Labels labels = {{"tenant", std::to_string(cert_.tenant_id)}};
+  if (!instance.empty()) labels.push_back({"sql_node", std::move(instance)});
+  batches_c_ = metrics_->counter("veloce_sql_kv_batches_total", labels);
+  marshaled_bytes_c_ = metrics_->counter("veloce_sql_marshaled_bytes_total", labels);
+  marshal_cpu_ns_c_ = metrics_->counter("veloce_sql_marshal_cpu_ns_total", labels);
+}
 
 StatusOr<kv::BatchResponse> KvConnector::Send(kv::BatchRequest req) {
+  req.trace = current_trace_;
   // Prefix all logical keys with the tenant prefix (Section 3.2.1: the
   // prefix is introduced automatically during query execution).
   for (auto& r : req.requests) {
@@ -41,6 +54,7 @@ StatusOr<kv::BatchResponse> KvConnector::Send(kv::BatchRequest req) {
 }
 
 StatusOr<kv::BatchResponse> KvConnector::SendPrefixed(const kv::BatchRequest& req) {
+  batches_c_->Inc();
   // The Traditional (colocated) deployment is not marshal-free: DistSQL
   // pushes scan (and downstream filter/aggregate) operators to the nodes
   // holding the data, so scans process locally — but point operations whose
@@ -67,6 +81,9 @@ StatusOr<kv::BatchResponse> KvConnector::SendPrefixed(const kv::BatchRequest& re
   // both ways, plus the per-byte integrity/framing work a real transport
   // does (pgwire over TLS / gRPC checksums every record). The marshaling
   // CPU stays on the SQL side of the boundary.
+  Nanos marshal_cpu = 0;
+  const uint64_t marshaled_before = marshaled_bytes_;
+  Nanos marshal0 = ThreadCpuNanos();
   const std::string wire_req = req.Encode();
   marshaled_bytes_ += wire_req.size();
   const uint32_t req_crc = crc32c::Value(wire_req.data(), wire_req.size());
@@ -75,9 +92,14 @@ StatusOr<kv::BatchResponse> KvConnector::SendPrefixed(const kv::BatchRequest& re
   }
   VELOCE_ASSIGN_OR_RETURN(kv::BatchRequest decoded_req,
                           kv::BatchRequest::Decode(wire_req));
+  // The trace pointer never crosses the wire; re-attach it on the far side
+  // the way a real RPC would propagate trace ids.
+  decoded_req.trace = req.trace;
+  marshal_cpu += ThreadCpuNanos() - marshal0;
   const Nanos cpu0 = ThreadCpuNanos();
   VELOCE_ASSIGN_OR_RETURN(kv::BatchResponse resp, service_->Send(cert_, decoded_req));
   kv_cpu_nanos_ += ThreadCpuNanos() - cpu0;
+  marshal0 = ThreadCpuNanos();
   const std::string wire_resp = resp.Encode();
   marshaled_bytes_ += wire_resp.size();
   const uint32_t resp_crc = crc32c::Value(wire_resp.data(), wire_resp.size());
@@ -115,6 +137,10 @@ StatusOr<kv::BatchResponse> KvConnector::SendPrefixed(const kv::BatchRequest& re
       row.value = value_part.ToString();
     }
   }
+  marshal_cpu += ThreadCpuNanos() - marshal0;
+  marshaled_bytes_c_->Inc(marshaled_bytes_ - marshaled_before);
+  marshal_cpu_ns_c_->Inc(static_cast<uint64_t>(marshal_cpu));
+  if (req.trace != nullptr) req.trace->AddDuration("marshal", marshal_cpu);
   return decoded;
 }
 

@@ -6,6 +6,8 @@
 
 #include "billing/ecpu_model.h"
 #include "kv/transaction.h"
+#include "obs/obs_context.h"
+#include "obs/trace.h"
 #include "tenant/controller.h"
 
 namespace veloce::sql {
@@ -75,8 +77,12 @@ class TenantTxn {
 /// six per-feature counters the estimated-CPU model consumes.
 class KvConnector {
  public:
+  /// `obs` wires the connector's `veloce_sql_*` series into a shared
+  /// registry (null metrics = private registry); `instance` distinguishes
+  /// connectors sharing a registry (exported as label sql_node=...).
   KvConnector(tenant::AuthorizedKvService* service, kv::KVCluster* cluster,
-              tenant::TenantCert cert, ProcessMode mode);
+              tenant::TenantCert cert, ProcessMode mode,
+              const obs::ObsContext& obs = {}, std::string instance = "");
 
   kv::TenantId tenant_id() const { return cert_.tenant_id; }
   ProcessMode mode() const { return mode_; }
@@ -107,6 +113,12 @@ class KvConnector {
   /// benches use it to calibrate and evaluate the estimated-CPU model.
   Nanos kv_cpu_nanos() const { return kv_cpu_nanos_; }
 
+  /// Request trace attached to every batch this connector sends until
+  /// cleared (the session sets it around each statement). The marshal path
+  /// records its CPU into the trace as stage "marshal".
+  void set_current_trace(obs::TraceContext* trace) { current_trace_ = trace; }
+  obs::TraceContext* current_trace() const { return current_trace_; }
+
  private:
   StatusOr<kv::BatchResponse> SendPrefixed(const kv::BatchRequest& req);
   void CountFeatures(const kv::BatchRequest& req, const kv::BatchResponse& resp);
@@ -120,6 +132,13 @@ class KvConnector {
   kv::NodeId home_node_ = 0;
   uint64_t marshaled_bytes_ = 0;
   Nanos kv_cpu_nanos_ = 0;
+  obs::TraceContext* current_trace_ = nullptr;
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* batches_c_ = nullptr;
+  obs::Counter* marshaled_bytes_c_ = nullptr;
+  obs::Counter* marshal_cpu_ns_c_ = nullptr;
 };
 
 }  // namespace veloce::sql

@@ -6,14 +6,37 @@
 
 namespace veloce::sql {
 
-Session::Session(uint64_t id, Catalog* catalog, KvConnector* connector)
+Session::Session(uint64_t id, Catalog* catalog, KvConnector* connector,
+                 const obs::ObsContext& obs)
     : id_(id),
       catalog_(catalog),
       connector_(connector),
-      executor_(catalog, connector) {}
+      obs_(obs),
+      executor_(catalog, connector) {
+  statements_c_ = obs_.metrics_or_noop()->counter(
+      "veloce_sql_statements_total",
+      {{"tenant", std::to_string(connector != nullptr ? connector->tenant_id() : 0)}});
+}
 
 StatusOr<ResultSet> Session::Execute(const std::string& sql,
                                      const std::vector<Datum>& params) {
+  statements_c_->Inc();
+  if (!obs_.tracing_enabled()) return ExecuteStmt(sql, params);
+  // One trace per statement: stages below (marshal, admission_queue,
+  // replication, storage_*) attach to it via the connector/transaction.
+  obs::TraceContext trace(obs_.clock_or_real(), sql.substr(0, 96));
+  connector_->set_current_trace(&trace);
+  if (txn_ != nullptr) txn_->raw()->set_trace(&trace);
+  StatusOr<ResultSet> result = ExecuteStmt(sql, params);
+  connector_->set_current_trace(nullptr);
+  // The statement may have opened or closed the transaction; re-read it.
+  if (txn_ != nullptr) txn_->raw()->set_trace(nullptr);
+  obs_.traces->Finish(trace);
+  return result;
+}
+
+StatusOr<ResultSet> Session::ExecuteStmt(const std::string& sql,
+                                         const std::vector<Datum>& params) {
   VELOCE_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt, Parse(sql));
   ++statements_executed_;
   switch (stmt->kind) {
@@ -119,7 +142,8 @@ StatusOr<std::string> Session::Serialize(uint64_t revival_token) const {
 StatusOr<std::unique_ptr<Session>> Session::Restore(uint64_t id, Catalog* catalog,
                                                     KvConnector* connector,
                                                     Slice serialized,
-                                                    uint64_t expected_token) {
+                                                    uint64_t expected_token,
+                                                    const obs::ObsContext& obs) {
   uint64_t token = 0;
   if (!GetFixed64(&serialized, &token)) {
     return Status::Corruption("bad serialized session");
@@ -127,7 +151,7 @@ StatusOr<std::unique_ptr<Session>> Session::Restore(uint64_t id, Catalog* catalo
   if (token != expected_token) {
     return Status::Unauthorized("revival token mismatch");
   }
-  auto session = std::make_unique<Session>(id, catalog, connector);
+  auto session = std::make_unique<Session>(id, catalog, connector, obs);
   uint64_t num_settings = 0;
   if (!GetVarint64(&serialized, &num_settings)) {
     return Status::Corruption("bad serialized session settings");

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs_context.h"
+#include "obs/trace.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
 
@@ -20,7 +22,12 @@ namespace veloce::sql {
 /// can restore without client re-authentication.
 class Session {
  public:
-  Session(uint64_t id, Catalog* catalog, KvConnector* connector);
+  /// `obs` enables per-statement telemetry: statement counters in
+  /// obs.metrics and, when obs.traces is set, one TraceContext per
+  /// statement (collected with per-stage durations: marshal,
+  /// admission_queue, replication, storage).
+  Session(uint64_t id, Catalog* catalog, KvConnector* connector,
+          const obs::ObsContext& obs = {});
 
   uint64_t id() const { return id_; }
 
@@ -60,12 +67,18 @@ class Session {
   static StatusOr<std::unique_ptr<Session>> Restore(uint64_t id, Catalog* catalog,
                                                     KvConnector* connector,
                                                     Slice serialized,
-                                                    uint64_t expected_token);
+                                                    uint64_t expected_token,
+                                                    const obs::ObsContext& obs = {});
 
  private:
+  StatusOr<ResultSet> ExecuteStmt(const std::string& sql,
+                                  const std::vector<Datum>& params);
+
   uint64_t id_;
   Catalog* catalog_;
   KvConnector* connector_;
+  obs::ObsContext obs_;
+  obs::Counter* statements_c_ = nullptr;
   Executor executor_;
   std::map<std::string, std::string> settings_;
   std::map<std::string, std::string> prepared_;  // name -> SQL text

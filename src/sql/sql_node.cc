@@ -27,7 +27,8 @@ Status SqlNode::StampTenant(tenant::AuthorizedKvService* service,
   // Every SQL node ships the row codec the KV nodes use for push-down
   // evaluation (SQL and KV build from one binary, as in production).
   InstallPushdownHook(cluster);
-  connector_ = std::make_unique<KvConnector>(service, cluster, cert, options_.mode);
+  connector_ = std::make_unique<KvConnector>(service, cluster, cert, options_.mode,
+                                             options_.obs, std::to_string(id_));
   catalog_ = std::make_unique<Catalog>(connector_.get());
   // Blocking cold-start reads: fetch the application schema (the paper's
   // system.descriptor reads). Missing tables are fine — a fresh tenant has
@@ -57,7 +58,8 @@ StatusOr<Session*> SqlNode::NewSession() {
     return Status::Unavailable("SQL node is not ready");
   }
   const uint64_t id = next_session_id_++;
-  auto session = std::make_unique<Session>(id, catalog_.get(), connector_.get());
+  auto session = std::make_unique<Session>(id, catalog_.get(), connector_.get(),
+                                           options_.obs);
   Session* ptr = session.get();
   sessions_[id] = std::move(session);
   return ptr;
@@ -71,7 +73,7 @@ StatusOr<Session*> SqlNode::RestoreSession(Slice serialized, uint64_t revival_to
   VELOCE_ASSIGN_OR_RETURN(
       std::unique_ptr<Session> session,
       Session::Restore(id, catalog_.get(), connector_.get(), serialized,
-                       revival_token));
+                       revival_token, options_.obs));
   Session* ptr = session.get();
   sessions_[id] = std::move(session);
   return ptr;

@@ -30,6 +30,9 @@ class SqlNode {
   struct Options {
     ProcessMode mode = ProcessMode::kSeparateProcess;
     int vcpus = 4;  ///< the paper's fixed SQL node shape (4 vCPU / 12 GB)
+    /// Telemetry injection shared by the node's connector and sessions
+    /// (series labelled sql_node=<id>); default no-op.
+    obs::ObsContext obs;
   };
 
   SqlNode(uint64_t id, Options options, Clock* clock);

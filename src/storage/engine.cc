@@ -62,8 +62,57 @@ StatusOr<std::unique_ptr<Engine>> Engine::Open(EngineOptions options) {
     engine->block_cache_ = std::make_unique<BlockCache>(options.block_cache_bytes);
   }
   engine->mem_ = std::make_shared<MemTable>();
+  engine->InitMetrics();
   VELOCE_RETURN_IF_ERROR(engine->Recover());
   return engine;
+}
+
+void Engine::InitMetrics() {
+  if (options_.obs.metrics != nullptr) {
+    metrics_ = options_.obs.metrics;
+  } else {
+    // Private registry: keeps stats() per-instance-correct with zero wiring.
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  obs::Labels labels;
+  if (!options_.metrics_instance.empty()) {
+    labels.emplace_back("node", options_.metrics_instance);
+  }
+  ingest_bytes_c_ = metrics_->counter("veloce_storage_ingest_bytes", labels);
+  wal_bytes_c_ = metrics_->counter("veloce_storage_wal_bytes", labels);
+  flush_bytes_c_ = metrics_->counter("veloce_storage_flush_bytes", labels);
+  compact_read_bytes_c_ = metrics_->counter("veloce_storage_compact_read_bytes", labels);
+  compact_write_bytes_c_ =
+      metrics_->counter("veloce_storage_compact_write_bytes", labels);
+  flushes_c_ = metrics_->counter("veloce_storage_flushes_total", labels);
+  compactions_c_ = metrics_->counter("veloce_storage_compactions_total", labels);
+  // Pull-style gauges: L0 backlog and block-cache hit ratio inputs.
+  obs::Gauge* l0 = metrics_->gauge("veloce_storage_l0_files", labels);
+  obs::Gauge* hits = metrics_->gauge("veloce_storage_block_cache_hits", labels);
+  obs::Gauge* misses = metrics_->gauge("veloce_storage_block_cache_misses", labels);
+  obs::Gauge* ratio = metrics_->gauge("veloce_storage_block_cache_hit_ratio", labels);
+  gauge_callback_ = metrics_->AddCollectCallback([this, l0, hits, misses, ratio] {
+    l0->Set(NumFilesAtLevel(0));
+    if (block_cache_ != nullptr) {
+      const double h = static_cast<double>(block_cache_->hits());
+      const double m = static_cast<double>(block_cache_->misses());
+      hits->Set(h);
+      misses->Set(m);
+      ratio->Set(h + m > 0 ? h / (h + m) : 0);
+    }
+  });
+}
+
+const EngineStats& Engine::stats() const {
+  stats_snapshot_.ingest_bytes = ingest_bytes_c_->value();
+  stats_snapshot_.wal_bytes = wal_bytes_c_->value();
+  stats_snapshot_.flush_bytes = flush_bytes_c_->value();
+  stats_snapshot_.compact_read_bytes = compact_read_bytes_c_->value();
+  stats_snapshot_.compact_write_bytes = compact_write_bytes_c_->value();
+  stats_snapshot_.num_flushes = flushes_c_->value();
+  stats_snapshot_.num_compactions = compactions_c_->value();
+  return stats_snapshot_;
 }
 
 Engine::~Engine() = default;
@@ -204,8 +253,8 @@ Status Engine::Write(const WriteBatch& batch) {
   PutFixed64(&record, base_seq);
   record.append(batch.rep());
   VELOCE_RETURN_IF_ERROR(wal_->AddRecord(Slice(record)));
-  stats_.wal_bytes += record.size() + 8;  // payload + frame header
-  stats_.ingest_bytes += batch.PayloadBytes();
+  wal_bytes_c_->Inc(record.size() + 8);  // payload + frame header
+  ingest_bytes_c_->Inc(batch.PayloadBytes());
 
   MemTableInserter inserter(mem_.get(), base_seq);
   VELOCE_RETURN_IF_ERROR(batch.Iterate(&inserter));
@@ -249,8 +298,8 @@ Status Engine::FlushMemTableLocked() {
                           Table::Open(std::move(file), block_cache_.get(), meta->number));
 
   levels_[0].insert(levels_[0].begin(), std::move(meta));  // newest first
-  stats_.flush_bytes += levels_[0].front()->file_size;
-  ++stats_.num_flushes;
+  flush_bytes_c_->Inc(levels_[0].front()->file_size);
+  flushes_c_->Inc();
 
   mem_ = std::make_shared<MemTable>();
   // Retire the old WAL: its contents are now durable in the L0 file.
@@ -345,18 +394,18 @@ SequenceNumber Engine::OldestPinnedSeqLocked() const {
 
 Status Engine::DoCompactionLocked(const FileList& inputs_upper, int upper_level,
                                   const FileList& inputs_lower, int output_level) {
-  ++stats_.num_compactions;
+  compactions_c_->Inc();
   const SequenceNumber oldest_pinned = OldestPinnedSeqLocked();
   const bool bottom = output_level == kNumLevels - 1;
 
   std::vector<std::unique_ptr<InternalIterator>> children;
   for (const auto& f : inputs_upper) {
     children.push_back(f->table->NewIterator());
-    stats_.compact_read_bytes += f->file_size;
+    compact_read_bytes_c_->Inc(f->file_size);
   }
   for (const auto& f : inputs_lower) {
     children.push_back(f->table->NewIterator());
-    stats_.compact_read_bytes += f->file_size;
+    compact_read_bytes_c_->Inc(f->file_size);
   }
   auto merged = NewMergingIterator(std::move(children));
 
@@ -369,7 +418,7 @@ Status Engine::DoCompactionLocked(const FileList& inputs_upper, int upper_level,
     meta->file_size = builder->file_size();
     meta->smallest = builder->smallest();
     meta->largest = builder->largest();
-    stats_.compact_write_bytes += meta->file_size;
+    compact_write_bytes_c_->Inc(meta->file_size);
     std::unique_ptr<RandomAccessFile> file;
     VELOCE_RETURN_IF_ERROR(env_->NewRandomAccessFile(TableFileName(meta->number), &file));
     VELOCE_ASSIGN_OR_RETURN(meta->table,

@@ -10,6 +10,7 @@
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "obs/obs_context.h"
 #include "storage/dbformat.h"
 #include "storage/block_cache.h"
 #include "storage/env.h"
@@ -25,6 +26,10 @@ namespace veloce::storage {
 /// (Section 5.1.3): the WQ token bucket refill rate is derived from flush
 /// and compaction throughput, and the per-write linear models (a*x + b) are
 /// fit against total_bytes_written vs ingest_bytes.
+///
+/// This struct is a read-only snapshot view: the source of truth is the
+/// engine's `veloce_storage_*` series in its obs::MetricsRegistry, and
+/// Engine::stats() materializes them here for typed consumers.
 struct EngineStats {
   uint64_t ingest_bytes = 0;         ///< user payload accepted into the engine
   uint64_t wal_bytes = 0;            ///< bytes appended to the write-ahead log
@@ -53,6 +58,12 @@ struct EngineOptions {
   /// Size of L1 before leveled compaction kicks in; each deeper level is
   /// 10x larger.
   uint64_t level_base_bytes = 8ull << 20;
+  /// Telemetry injection. When obs.metrics is null the engine owns a
+  /// private registry, so stats() stays per-instance-correct without any
+  /// wiring. When several engines share an injected registry, set a
+  /// distinct `metrics_instance` per engine (exported as label node=...).
+  obs::ObsContext obs;
+  std::string metrics_instance;
 };
 
 /// Engine is the LSM storage engine underlying every KV node — the
@@ -91,7 +102,11 @@ class Engine {
   /// Runs compactions until no level is over its trigger.
   Status CompactAll();
 
-  const EngineStats& stats() const { return stats_; }
+  /// Cumulative engine counters, materialized from the metrics registry.
+  const EngineStats& stats() const;
+  /// The registry this engine's `veloce_storage_*` series live in (the
+  /// injected one, or the engine's private default).
+  obs::MetricsRegistry* metrics() const { return metrics_; }
   const BlockCache* block_cache() const { return block_cache_.get(); }
   int NumFilesAtLevel(int level) const;
   uint64_t LevelBytes(int level) const;
@@ -112,6 +127,7 @@ class Engine {
 
   Engine() = default;
 
+  void InitMetrics();
   Status Recover();
   Status ReplayWal(const std::string& fname);
   Status NewWal();
@@ -154,7 +170,19 @@ class Engine {
   FileList levels_[kNumLevels];  // L0 newest-first; L1+ sorted by smallest
   size_t compact_pointer_[kNumLevels] = {};
   std::multiset<SequenceNumber> pinned_seqs_;
-  EngineStats stats_;
+
+  // Metric handles (hot-path increments are lock-free; see obs/metrics.h).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Counter* ingest_bytes_c_ = nullptr;
+  obs::Counter* wal_bytes_c_ = nullptr;
+  obs::Counter* flush_bytes_c_ = nullptr;
+  obs::Counter* compact_read_bytes_c_ = nullptr;
+  obs::Counter* compact_write_bytes_c_ = nullptr;
+  obs::Counter* flushes_c_ = nullptr;
+  obs::Counter* compactions_c_ = nullptr;
+  obs::MetricsRegistry::CallbackToken gauge_callback_;
+  mutable EngineStats stats_snapshot_;
 };
 
 }  // namespace veloce::storage

@@ -15,8 +15,36 @@ bool Retryable(const Status& s) {
 }
 }  // namespace
 
-TpccWorkload::TpccWorkload(Options options, uint64_t seed)
-    : options_(options), rng_(seed) {}
+TpccWorkload::TpccWorkload(Options options, uint64_t seed,
+                           const obs::ObsContext& obs)
+    : options_(options), rng_(seed) {
+  obs::MetricsRegistry* metrics = obs.metrics;
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  auto txn = [&](const char* kind) {
+    return metrics->counter("veloce_workload_tpcc_txns_total", {{"txn", kind}});
+  };
+  new_orders_c_ = txn("new_order");
+  payments_c_ = txn("payment");
+  order_statuses_c_ = txn("order_status");
+  deliveries_c_ = txn("delivery");
+  stock_levels_c_ = txn("stock_level");
+  retries_c_ = metrics->counter("veloce_workload_tpcc_retries_total");
+  aborts_c_ = metrics->counter("veloce_workload_tpcc_aborts_total");
+}
+
+const TpccWorkload::Stats& TpccWorkload::stats() const {
+  stats_snapshot_.new_orders = new_orders_c_->value();
+  stats_snapshot_.payments = payments_c_->value();
+  stats_snapshot_.order_statuses = order_statuses_c_->value();
+  stats_snapshot_.deliveries = deliveries_c_->value();
+  stats_snapshot_.stock_levels = stock_levels_c_->value();
+  stats_snapshot_.retries = retries_c_->value();
+  stats_snapshot_.aborts = aborts_c_->value();
+  return stats_snapshot_;
+}
 
 std::string TpccWorkload::LastName(int num) const {
   static const char* syllables[] = {"BAR", "OUGHT", "ABLE", "PRI",   "PRES",
@@ -100,9 +128,9 @@ Status TpccWorkload::RunInTxn(sql::Session* session,
     }
     last = s;
     if (!Retryable(s)) return s;
-    ++stats_.retries;
+    retries_c_->Inc();
   }
-  ++stats_.aborts;
+  aborts_c_->Inc();
   return last;
 }
 
@@ -163,7 +191,7 @@ Status TpccWorkload::NewOrder(sql::Session* session) {
     }
     return Status::OK();
   });
-  if (s.ok()) ++stats_.new_orders;
+  if (s.ok()) new_orders_c_->Inc();
   return s;
 }
 
@@ -202,7 +230,7 @@ Status TpccWorkload::Payment(sql::Session* session) {
                       " AND d_id = " + I(d) + " AND c_id = " + I(c_id)).status());
     return Status::OK();
   });
-  if (s.ok()) ++stats_.payments;
+  if (s.ok()) payments_c_->Inc();
   return s;
 }
 
@@ -226,7 +254,7 @@ Status TpccWorkload::OrderStatus(sql::Session* session) {
     }
     return Status::OK();
   });
-  if (s.ok()) ++stats_.order_statuses;
+  if (s.ok()) order_statuses_c_->Inc();
   return s;
 }
 
@@ -247,7 +275,7 @@ Status TpccWorkload::Delivery(sql::Session* session) {
     }
     return Status::OK();
   });
-  if (s.ok()) ++stats_.deliveries;
+  if (s.ok()) deliveries_c_->Inc();
   return s;
 }
 
@@ -260,7 +288,7 @@ Status TpccWorkload::StockLevel(sql::Session* session) {
     (void)d;
     return Status::OK();
   });
-  if (s.ok()) ++stats_.stock_levels;
+  if (s.ok()) stock_levels_c_->Inc();
   return s;
 }
 

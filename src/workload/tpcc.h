@@ -1,9 +1,12 @@
 #ifndef VELOCE_WORKLOAD_TPCC_H_
 #define VELOCE_WORKLOAD_TPCC_H_
 
+#include <memory>
 #include <string>
 
 #include "common/random.h"
+#include "obs/metrics.h"
+#include "obs/obs_context.h"
 #include "sql/session.h"
 
 namespace veloce::workload {
@@ -23,6 +26,8 @@ class TpccWorkload {
     int items = 100;                   ///< spec: 100000
   };
 
+  /// Snapshot view over the workload's `veloce_workload_tpcc_*` counters
+  /// (see stats()).
   struct Stats {
     uint64_t new_orders = 0;   ///< committed NewOrder txns (the tpmC numerator)
     uint64_t payments = 0;
@@ -37,7 +42,9 @@ class TpccWorkload {
     }
   };
 
-  TpccWorkload(Options options, uint64_t seed);
+  /// `obs.metrics` receives the workload's counters (null = private
+  /// registry, so stats() stays per-instance-correct either way).
+  TpccWorkload(Options options, uint64_t seed, const obs::ObsContext& obs = {});
 
   /// Creates the schema (with the customer last-name secondary index) and
   /// loads the initial population.
@@ -53,7 +60,8 @@ class TpccWorkload {
   Status Delivery(sql::Session* session);
   Status StockLevel(sql::Session* session);
 
-  const Stats& stats() const { return stats_; }
+  /// Current values of the workload counters, materialized as a snapshot.
+  const Stats& stats() const;
   const Options& options() const { return options_; }
 
  private:
@@ -72,7 +80,15 @@ class TpccWorkload {
 
   Options options_;
   Random rng_;
-  Stats stats_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Counter* new_orders_c_ = nullptr;
+  obs::Counter* payments_c_ = nullptr;
+  obs::Counter* order_statuses_c_ = nullptr;
+  obs::Counter* deliveries_c_ = nullptr;
+  obs::Counter* stock_levels_c_ = nullptr;
+  obs::Counter* retries_c_ = nullptr;
+  obs::Counter* aborts_c_ = nullptr;
+  mutable Stats stats_snapshot_;
 };
 
 }  // namespace veloce::workload

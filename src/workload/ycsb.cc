@@ -4,11 +4,37 @@
 
 namespace veloce::workload {
 
-YcsbWorkload::YcsbWorkload(Options options, uint64_t seed)
+YcsbWorkload::YcsbWorkload(Options options, uint64_t seed,
+                           const obs::ObsContext& obs)
     : options_(options),
       rng_(seed),
       zipf_(static_cast<uint64_t>(options.record_count), options.zipf_theta, seed ^ 0x5555),
-      inserted_(static_cast<uint64_t>(options.record_count)) {}
+      inserted_(static_cast<uint64_t>(options.record_count)) {
+  obs::MetricsRegistry* metrics = obs.metrics;
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  auto op = [&](const char* kind) {
+    return metrics->counter("veloce_workload_ycsb_ops_total", {{"op", kind}});
+  };
+  reads_c_ = op("read");
+  updates_c_ = op("update");
+  inserts_c_ = op("insert");
+  scans_c_ = op("scan");
+  rmws_c_ = op("rmw");
+  errors_c_ = metrics->counter("veloce_workload_ycsb_errors_total");
+}
+
+const YcsbWorkload::Stats& YcsbWorkload::stats() const {
+  stats_snapshot_.reads = reads_c_->value();
+  stats_snapshot_.updates = updates_c_->value();
+  stats_snapshot_.inserts = inserts_c_->value();
+  stats_snapshot_.scans = scans_c_->value();
+  stats_snapshot_.rmws = rmws_c_->value();
+  stats_snapshot_.errors = errors_c_->value();
+  return stats_snapshot_;
+}
 
 std::string YcsbWorkload::MixName(Mix mix) {
   switch (mix) {
@@ -74,13 +100,13 @@ Status YcsbWorkload::RunOp(sql::Session* session) {
   if (is_read) {
     s = session->Execute("SELECT * FROM usertable WHERE ycsb_key = '" +
                          Key(NextKeyIndex()) + "'").status();
-    if (s.ok()) ++stats_.reads;
+    if (s.ok()) reads_c_->Inc();
   } else if (is_update) {
     s = session->Execute("UPDATE usertable SET field" +
                          std::to_string(rng_.Uniform(4)) + " = '" +
                          rng_.String(static_cast<size_t>(options_.field_bytes)) +
                          "' WHERE ycsb_key = '" + Key(NextKeyIndex()) + "'").status();
-    if (s.ok()) ++stats_.updates;
+    if (s.ok()) updates_c_->Inc();
   } else if (is_insert) {
     std::string stmt = "INSERT INTO usertable VALUES ('" + Key(inserted_) + "'";
     for (int f = 0; f < 4; ++f) {
@@ -90,13 +116,13 @@ Status YcsbWorkload::RunOp(sql::Session* session) {
     s = session->Execute(stmt).status();
     if (s.ok()) {
       ++inserted_;
-      ++stats_.inserts;
+      inserts_c_->Inc();
     }
   } else if (is_scan) {
     s = session->Execute("SELECT * FROM usertable WHERE ycsb_key >= '" +
                          Key(NextKeyIndex()) + "' LIMIT " +
                          std::to_string(options_.scan_limit)).status();
-    if (s.ok()) ++stats_.scans;
+    if (s.ok()) scans_c_->Inc();
   } else if (is_rmw) {
     const std::string key = Key(NextKeyIndex());
     s = session->Execute("SELECT * FROM usertable WHERE ycsb_key = '" + key + "'")
@@ -106,9 +132,9 @@ Status YcsbWorkload::RunOp(sql::Session* session) {
                            rng_.String(static_cast<size_t>(options_.field_bytes)) +
                            "' WHERE ycsb_key = '" + key + "'").status();
     }
-    if (s.ok()) ++stats_.rmws;
+    if (s.ok()) rmws_c_->Inc();
   }
-  if (!s.ok()) ++stats_.errors;
+  if (!s.ok()) errors_c_->Inc();
   return s;
 }
 

@@ -1,9 +1,12 @@
 #ifndef VELOCE_WORKLOAD_YCSB_H_
 #define VELOCE_WORKLOAD_YCSB_H_
 
+#include <memory>
 #include <string>
 
 #include "common/random.h"
+#include "obs/metrics.h"
+#include "obs/obs_context.h"
 #include "sql/session.h"
 
 namespace veloce::workload {
@@ -23,18 +26,23 @@ class YcsbWorkload {
     int scan_limit = 20;
   };
 
+  /// Snapshot view over the workload's `veloce_workload_ycsb_*` counters
+  /// (see stats()).
   struct Stats {
     uint64_t reads = 0, updates = 0, inserts = 0, scans = 0, rmws = 0;
     uint64_t errors = 0;
   };
 
-  YcsbWorkload(Options options, uint64_t seed);
+  /// `obs.metrics` receives the workload's counters (null = private
+  /// registry, so stats() stays per-instance-correct either way).
+  YcsbWorkload(Options options, uint64_t seed, const obs::ObsContext& obs = {});
 
   Status Setup(sql::Session* session);
   /// Runs one operation from the mix.
   Status RunOp(sql::Session* session);
 
-  const Stats& stats() const { return stats_; }
+  /// Current values of the workload counters, materialized as a snapshot.
+  const Stats& stats() const;
   static std::string MixName(Mix mix);
 
  private:
@@ -45,7 +53,14 @@ class YcsbWorkload {
   Random rng_;
   ZipfianGenerator zipf_;
   uint64_t inserted_;
-  Stats stats_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Counter* reads_c_ = nullptr;
+  obs::Counter* updates_c_ = nullptr;
+  obs::Counter* inserts_c_ = nullptr;
+  obs::Counter* scans_c_ = nullptr;
+  obs::Counter* rmws_c_ = nullptr;
+  obs::Counter* errors_c_ = nullptr;
+  mutable Stats stats_snapshot_;
 };
 
 /// Bulk import: loads `rows` rows of ~`row_bytes` each into a fresh table

@@ -236,6 +236,60 @@ TEST(FullStackTest, LifecycleScaleUpMigrateScaleDownQueryThroughout) {
 }
 
 // ---------------------------------------------------------------------------
+// End-to-end observability: one TPC-C-lite run must light up series from
+// every layer of the shared registry, plus per-statement request traces.
+// ---------------------------------------------------------------------------
+
+TEST(FullStackTest, TpccRunProducesMetricsFromEveryLayer) {
+  serverless::ServerlessCluster cluster;
+  auto meta = cluster.CreateTenant("obs");
+  VELOCE_CHECK(meta.ok());
+  auto conn = *cluster.ConnectSync(meta->id);
+
+  workload::TpccWorkload::Options opts;
+  opts.warehouses = 1;
+  opts.districts_per_warehouse = 1;
+  opts.customers_per_district = 5;
+  opts.items = 20;
+  workload::TpccWorkload tpcc(opts, 7, cluster.obs());
+  ASSERT_TRUE(tpcc.Setup(conn->session).ok());
+  for (int i = 0; i < 25; ++i) ASSERT_TRUE(tpcc.RunTransaction(conn->session).ok());
+  cluster.HarvestUsage();
+  (void)cluster.meter()->Cut(meta->id);
+
+  obs::MetricsRegistry* metrics = cluster.metrics();
+  // Storage: the engines ingested real write traffic through the WAL.
+  EXPECT_GT(metrics->Sum("veloce_storage_ingest_bytes"), 0.0);
+  EXPECT_GT(metrics->Sum("veloce_storage_wal_bytes"), 0.0);
+  // KV: batches routed through leaseholders.
+  EXPECT_GT(metrics->Sum("veloce_kv_read_batches_total"), 0.0);
+  EXPECT_GT(metrics->Sum("veloce_kv_write_batches_total"), 0.0);
+  // Admission: the batch interceptor admitted every batch.
+  EXPECT_GT(metrics->Sum("veloce_admission_admitted_total"), 0.0);
+  // Billing: the harvested interval produced eCPU and RU totals.
+  EXPECT_GT(metrics->Sum("veloce_billing_ecpu_seconds_total"), 0.0);
+  EXPECT_GT(metrics->Sum("veloce_billing_request_units_total"), 0.0);
+  // SQL + serverless control plane.
+  EXPECT_GT(metrics->Sum("veloce_sql_statements_total"), 0.0);
+  EXPECT_GT(metrics->Sum("veloce_sql_marshal_cpu_ns_total"), 0.0);
+  EXPECT_GT(metrics->Sum("veloce_serverless_connections_total"), 0.0);
+  EXPECT_GT(metrics->Sum("veloce_serverless_pod_starts_total"), 0.0);
+  // The workload's own counters share the registry.
+  EXPECT_EQ(metrics->Sum("veloce_workload_tpcc_txns_total"),
+            static_cast<double>(tpcc.stats().committed()));
+
+  // Tracing: every statement produced a trace carrying the marshal stage.
+  EXPECT_GT(cluster.traces()->finished_total(), 0u);
+  bool saw_marshal = false;
+  for (const auto& trace : cluster.traces()->Slowest(32)) {
+    for (const auto& event : trace.events) {
+      if (event.name == "marshal") saw_marshal = true;
+    }
+  }
+  EXPECT_TRUE(saw_marshal);
+}
+
+// ---------------------------------------------------------------------------
 // Serializability stress through the full SQL stack
 // ---------------------------------------------------------------------------
 

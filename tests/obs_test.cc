@@ -1,0 +1,225 @@
+// Unit tests for the observability layer: MetricsRegistry handle dedup,
+// snapshots and exports, collect callbacks, and request tracing.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+#include "obs/obs_context.h"
+#include "obs/trace.h"
+
+namespace veloce::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CounterDedupByNameAndLabels) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("veloce_test_total", {{"node", "1"}});
+  Counter* b = reg.counter("veloce_test_total", {{"node", "1"}});
+  Counter* c = reg.counter("veloce_test_total", {{"node", "2"}});
+  Counter* d = reg.counter("veloce_other_total", {{"node", "1"}});
+  EXPECT_EQ(a, b);  // same (name, labels) -> same handle
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  a->Inc(3);
+  b->Inc(2);
+  EXPECT_EQ(a->value(), 5u);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(reg.NumSeries(), 3u);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("veloce_test_total", {{"a", "1"}, {"b", "2"}});
+  Counter* b = reg.counter("veloce_test_total", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  Gauge* g = reg.gauge("veloce_test_gauge");
+  g->Set(2.5);
+  g->Add(1.5);
+  EXPECT_DOUBLE_EQ(g->value(), 4.0);
+  EXPECT_DOUBLE_EQ(reg.Value("veloce_test_gauge"), 4.0);
+}
+
+TEST(MetricsRegistryTest, HistogramSnapshot) {
+  MetricsRegistry reg;
+  HistogramMetric* h = reg.histogram("veloce_test_ns");
+  for (int i = 1; i <= 100; ++i) h->Record(i * 1000);
+  Histogram snap = h->Snapshot();
+  EXPECT_EQ(snap.count(), 100u);
+  EXPECT_GE(snap.P99(), snap.P50());
+  // The snapshot is a copy: later records don't mutate it.
+  h->Record(1000000);
+  EXPECT_EQ(snap.count(), 100u);
+  EXPECT_EQ(h->Snapshot().count(), 101u);
+}
+
+TEST(MetricsRegistryTest, SnapshotSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("veloce_b_total")->Inc();
+  reg.counter("veloce_a_total", {{"node", "2"}})->Inc(2);
+  reg.counter("veloce_a_total", {{"node", "1"}})->Inc(1);
+  reg.gauge("veloce_c_gauge")->Set(7);
+  auto samples = reg.Snapshot();
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples[0].name, "veloce_a_total");
+  EXPECT_EQ(samples[0].labels, (Labels{{"node", "1"}}));
+  EXPECT_EQ(samples[1].labels, (Labels{{"node", "2"}}));
+  EXPECT_EQ(samples[2].name, "veloce_b_total");
+  EXPECT_EQ(samples[3].name, "veloce_c_gauge");
+  EXPECT_DOUBLE_EQ(samples[3].value, 7.0);
+}
+
+TEST(MetricsRegistryTest, PrometheusExportGolden) {
+  MetricsRegistry reg;
+  reg.counter("veloce_req_total", {{"node", "0"}})->Inc(5);
+  reg.counter("veloce_req_total", {{"node", "1"}})->Inc(7);
+  reg.gauge("veloce_depth")->Set(3);
+  const std::string expected =
+      "# TYPE veloce_depth gauge\n"
+      "veloce_depth 3\n"
+      "# TYPE veloce_req_total counter\n"
+      "veloce_req_total{node=\"0\"} 5\n"
+      "veloce_req_total{node=\"1\"} 7\n";
+  EXPECT_EQ(reg.ExportPrometheus(), expected);
+}
+
+TEST(MetricsRegistryTest, JsonExportGolden) {
+  MetricsRegistry reg;
+  reg.counter("veloce_req_total", {{"node", "0"}})->Inc(5);
+  const std::string json = reg.ExportJson();
+  EXPECT_NE(json.find("\"name\":\"veloce_req_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"labels\":{\"node\":\"0\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":5"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, CollectCallbackRefreshesGauges) {
+  MetricsRegistry reg;
+  int depth = 0;
+  auto token = reg.AddCollectCallback([&] {
+    reg.gauge("veloce_live_depth")->Set(static_cast<double>(depth));
+  });
+  depth = 4;
+  EXPECT_DOUBLE_EQ(reg.Value("veloce_live_depth"), 4.0);
+  depth = 9;
+  EXPECT_DOUBLE_EQ(reg.Value("veloce_live_depth"), 9.0);
+  token.reset();  // unregistered: the gauge keeps its last value
+  depth = 123;
+  EXPECT_DOUBLE_EQ(reg.Value("veloce_live_depth"), 9.0);
+}
+
+TEST(MetricsRegistryTest, SumAcrossLabels) {
+  MetricsRegistry reg;
+  reg.counter("veloce_x_total", {{"node", "0"}})->Inc(2);
+  reg.counter("veloce_x_total", {{"node", "1"}})->Inc(3);
+  EXPECT_DOUBLE_EQ(reg.Sum("veloce_x_total"), 5.0);
+  EXPECT_DOUBLE_EQ(reg.Sum("veloce_missing"), 0.0);
+}
+
+TEST(ObsContextTest, DefaultsAreNoop) {
+  ObsContext obs;
+  EXPECT_EQ(obs.clock_or_real(), RealClock::Instance());
+  EXPECT_EQ(obs.metrics_or_noop(), MetricsRegistry::Noop());
+  EXPECT_FALSE(obs.tracing_enabled());
+  // Noop registry accepts increments without exporting anything new for us
+  // to manage (it's process-shared).
+  obs.metrics_or_noop()->counter("veloce_ignored_total")->Inc();
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, SpanParentingUnderSimClock) {
+  ManualClock clock;
+  TraceContext trace(&clock, "SELECT 1");
+  const size_t outer = trace.OpenSpan("execute");
+  clock.Advance(10 * kMicro);
+  {
+    ScopedSpan inner(&trace, "storage_read");
+    clock.Advance(5 * kMicro);
+  }
+  clock.Advance(1 * kMicro);
+  trace.CloseSpan(outer);
+
+  const auto& events = trace.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "execute");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].name, "storage_read");
+  EXPECT_EQ(events[1].depth, 1);  // nested under "execute"
+  EXPECT_EQ(events[0].dur, 16 * kMicro);
+  EXPECT_EQ(events[1].dur, 5 * kMicro);
+  EXPECT_EQ(trace.StageDuration("storage_read"), 5 * kMicro);
+}
+
+TEST(TraceTest, AddDurationAggregates) {
+  ManualClock clock;
+  TraceContext trace(&clock, "stmt");
+  trace.AddDuration("marshal", 100);
+  trace.AddDuration("marshal", 50);
+  trace.RecordDuration("admission_queue", 7);
+  EXPECT_EQ(trace.StageDuration("marshal"), 150);
+  EXPECT_EQ(trace.StageDuration("admission_queue"), 7);
+  ASSERT_EQ(trace.events().size(), 2u);
+}
+
+TEST(TraceTest, ScopedSpanNullContextIsNoop) {
+  ScopedSpan span(nullptr, "anything");  // must not crash
+}
+
+TEST(TraceCollectorTest, RingBufferKeepsMostRecent) {
+  ManualClock clock;
+  TraceCollector collector(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    TraceContext trace(&clock, "t" + std::to_string(i));
+    clock.Advance(kMicro);
+    collector.Finish(trace);
+  }
+  EXPECT_EQ(collector.finished_total(), 10u);
+  EXPECT_EQ(collector.retained(), 4u);
+}
+
+TEST(TraceCollectorTest, SlowestOrderingAndDump) {
+  ManualClock clock;
+  TraceCollector collector;
+  for (Nanos dur : {3 * kMilli, 9 * kMilli, 1 * kMilli}) {
+    TraceContext trace(&clock, "dur" + std::to_string(dur / kMilli));
+    trace.RecordDuration("admission_queue", dur / 2);
+    clock.Advance(dur);
+    collector.Finish(trace);
+  }
+  auto slowest = collector.Slowest(2);
+  ASSERT_EQ(slowest.size(), 2u);
+  EXPECT_EQ(slowest[0].label, "dur9");
+  EXPECT_EQ(slowest[0].total, 9 * kMilli);
+  EXPECT_EQ(slowest[1].label, "dur3");
+  const std::string dump = collector.DumpSlowest(2);
+  EXPECT_NE(dump.find("dur9"), std::string::npos);
+  EXPECT_NE(dump.find("admission_queue"), std::string::npos);
+  EXPECT_EQ(dump.find("dur1"), std::string::npos);
+}
+
+TEST(TraceCollectorTest, ZeroElapsedFallsBackToStageSum) {
+  ManualClock clock;  // never advanced: the sim-instantaneous case
+  TraceCollector collector;
+  TraceContext trace(&clock, "instant");
+  trace.AddDuration("marshal", 40 * kMicro);
+  trace.AddDuration("admission_queue", 10 * kMicro);
+  collector.Finish(trace);
+  auto slowest = collector.Slowest(1);
+  ASSERT_EQ(slowest.size(), 1u);
+  EXPECT_EQ(slowest[0].total, 50 * kMicro);
+}
+
+}  // namespace
+}  // namespace veloce::obs
