@@ -1,0 +1,216 @@
+// Point-lookup microbenchmark for the LSM read fast path: bounded
+// iterators + key-range pruning + bloom filters + sharded block cache.
+//
+// Compares, in one binary over the same data layout:
+//   fast   — MvccGet via Engine::NewBoundedIterator (prunes tables by key
+//            range, rejects tables by bloom probe, lazy per-table iterators)
+//   legacy — the pre-fast-path read: a full engine iterator seeked to the
+//            key, merging every table regardless of relevance
+// across {uniform, zipfian} key distributions and {cold, warm} block cache
+// regimes, with blooms on and off (bloom=off writes legacy v1 tables).
+//
+// Emits BENCH_point_lookup.json with ops/sec per configuration plus the
+// engine's bloom/pruning counters, and prints the headline speedup on
+// uniform cold-cache reads (the acceptance gate is >= 2x).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "kv/mvcc.h"
+#include "storage/engine.h"
+
+namespace veloce {
+namespace {
+
+constexpr int kNumKeys = 20000;
+constexpr int kNumLookups = 2000;
+constexpr size_t kValueLen = 64;
+const kv::Timestamp kWriteTs{1000, 0};
+const kv::Timestamp kReadTs{2000, 0};
+
+std::string KeyAt(uint64_t i) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "user%08llu",
+                static_cast<unsigned long long>(i));
+  return buf;
+}
+
+/// Loads kNumKeys MVCC rows in shuffled order with a tiny memtable, leaving
+/// many overlapping L0 tables — the layout where an unpruned merge is most
+/// expensive and filters help most.
+std::unique_ptr<storage::Engine> MakeEngine(bool bloom, bool warm_cache) {
+  storage::EngineOptions opts;
+  opts.memtable_bytes = 128 << 10;
+  opts.l0_compaction_trigger = 1000;  // keep every flushed table in L0
+  opts.bloom_filters = bloom;
+  opts.prefix_extractor = kv::MvccPrefixExtractor;
+  // Cold regime: a one-block cache, so essentially every read goes to the
+  // Env. Warm regime: everything fits.
+  opts.block_cache_bytes = warm_cache ? (64 << 20) : 4096;
+  auto engine = *storage::Engine::Open(std::move(opts));
+
+  std::vector<uint64_t> order(kNumKeys);
+  for (int i = 0; i < kNumKeys; ++i) order[i] = i;
+  Random rnd(42);
+  for (int i = kNumKeys - 1; i > 0; --i) {
+    std::swap(order[i], order[rnd.Uniform(i + 1)]);
+  }
+  Random vals(43);
+  storage::WriteBatch batch;
+  for (int i = 0; i < kNumKeys; ++i) {
+    kv::MvccPutValue(&batch, KeyAt(order[i]), kWriteTs, vals.String(kValueLen));
+    if (batch.Count() == 100) {
+      VELOCE_CHECK_OK(engine->Write(batch));
+      batch.Clear();
+    }
+  }
+  if (batch.Count() > 0) VELOCE_CHECK_OK(engine->Write(batch));
+  VELOCE_CHECK_OK(engine->Flush());
+  return engine;
+}
+
+/// The read path this PR replaced: an unbounded merged iterator positioned
+/// by Seek, then a manual scan of the key's version slots.
+bool LegacyLookup(storage::Engine* engine, const std::string& user_key) {
+  auto it = engine->NewIterator();
+  it->Seek(kv::EncodeIntentKey(user_key));
+  if (!it->Valid()) return false;
+  std::string uk;
+  kv::Timestamp ts;
+  bool is_intent = false;
+  if (!kv::DecodeMvccKey(it->key(), &uk, &ts, &is_intent)) return false;
+  return uk == user_key && !is_intent && ts <= kReadTs;
+}
+
+bool FastLookup(storage::Engine* engine, const std::string& user_key) {
+  auto result = kv::MvccGet(engine, user_key, kReadTs);
+  VELOCE_CHECK(result.ok());
+  return result->value.has_value();
+}
+
+struct RunResult {
+  double ops_per_sec = 0;
+  uint64_t found = 0;
+};
+
+template <typename LookupFn, typename NextKeyFn>
+RunResult RunLookups(storage::Engine* engine, LookupFn&& lookup,
+                     NextKeyFn&& next_key) {
+  RunResult r;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kNumLookups; ++i) {
+    if (lookup(engine, KeyAt(next_key()))) ++r.found;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed).count();
+  r.ops_per_sec = kNumLookups / (secs > 0 ? secs : 1e-9);
+  return r;
+}
+
+struct ConfigResult {
+  std::string mode, dist, cache;
+  bool bloom;
+  RunResult run;
+  storage::EngineStats stats;
+};
+
+}  // namespace
+}  // namespace veloce
+
+int main() {
+  using namespace veloce;
+
+  std::vector<ConfigResult> results;
+  double fast_uniform_cold_bloom = 0;
+  double legacy_uniform_cold_bloom = 0;
+
+  for (const bool bloom : {true, false}) {
+    for (const bool warm : {false, true}) {
+      auto engine = MakeEngine(bloom, warm);
+      std::printf("layout: bloom=%s cache=%s l0_files=%d\n",
+                  bloom ? "on" : "off", warm ? "warm" : "cold",
+                  engine->NumFilesAtLevel(0));
+      if (warm) {
+        // Pre-touch every key so the working set is resident.
+        for (int i = 0; i < kNumKeys; ++i) {
+          (void)FastLookup(engine.get(), KeyAt(i));
+        }
+      }
+      for (const char* mode : {"fast", "legacy"}) {
+        for (const char* dist : {"uniform", "zipfian"}) {
+          Random uniform_rng(7);
+          ZipfianGenerator zipf(kNumKeys, 0.99, 7);
+          auto next_key = [&]() -> uint64_t {
+            if (std::string(dist) == "uniform") {
+              return uniform_rng.Uniform(kNumKeys);
+            }
+            const uint64_t z = zipf.Next();  // YCSB formula can round to n
+            return z < kNumKeys ? z : kNumKeys - 1;
+          };
+          RunResult run;
+          if (std::string(mode) == "fast") {
+            run = RunLookups(engine.get(), FastLookup, next_key);
+          } else {
+            run = RunLookups(engine.get(), LegacyLookup, next_key);
+          }
+          VELOCE_CHECK(run.found == static_cast<uint64_t>(kNumLookups))
+              << mode << "/" << dist << " found only " << run.found;
+          ConfigResult cr{mode, dist, warm ? "warm" : "cold", bloom, run,
+                          engine->stats()};
+          std::printf("  %-6s %-7s %-4s bloom=%-3s : %10.0f ops/sec\n",
+                      cr.mode.c_str(), cr.dist.c_str(), cr.cache.c_str(),
+                      bloom ? "on" : "off", run.ops_per_sec);
+          if (bloom && !warm && cr.dist == "uniform") {
+            if (cr.mode == "fast") fast_uniform_cold_bloom = run.ops_per_sec;
+            if (cr.mode == "legacy") legacy_uniform_cold_bloom = run.ops_per_sec;
+          }
+          results.push_back(std::move(cr));
+        }
+      }
+    }
+  }
+
+  const double speedup = legacy_uniform_cold_bloom > 0
+                             ? fast_uniform_cold_bloom / legacy_uniform_cold_bloom
+                             : 0;
+  std::printf("\nuniform cold-cache speedup (fast vs legacy, bloom on): %.2fx\n",
+              speedup);
+
+  FILE* out = std::fopen("BENCH_point_lookup.json", "w");
+  VELOCE_CHECK(out != nullptr);
+  std::fprintf(out, "{\n  \"num_keys\": %d,\n  \"num_lookups\": %d,\n",
+               kNumKeys, kNumLookups);
+  std::fprintf(out, "  \"uniform_cold_speedup\": %.3f,\n  \"configs\": [\n",
+               speedup);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(out,
+                 "    {\"mode\": \"%s\", \"dist\": \"%s\", \"cache\": \"%s\", "
+                 "\"bloom\": %s, \"ops_per_sec\": %.1f, "
+                 "\"bloom_checked\": %llu, \"bloom_useful\": %llu, "
+                 "\"bloom_false_positive\": %llu, \"tables_pruned\": %llu}%s\n",
+                 r.mode.c_str(), r.dist.c_str(), r.cache.c_str(),
+                 r.bloom ? "true" : "false", r.run.ops_per_sec,
+                 static_cast<unsigned long long>(r.stats.bloom_checked),
+                 static_cast<unsigned long long>(r.stats.bloom_useful),
+                 static_cast<unsigned long long>(r.stats.bloom_false_positive),
+                 static_cast<unsigned long long>(r.stats.tables_pruned),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_point_lookup.json\n");
+
+  if (speedup < 2.0) {
+    std::printf("WARNING: speedup below the 2x acceptance gate\n");
+    return 1;
+  }
+  return 0;
+}

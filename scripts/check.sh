@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Repo health check: configure + build + run the full test suite, optionally
-# under ASan/UBSan.
+# under ASan/UBSan or TSan, plus the point-lookup bench as a smoke test.
 #
 # Usage:
-#   scripts/check.sh            # release build + ctest
+#   scripts/check.sh            # release build + ctest + bench smoke
 #   scripts/check.sh --asan     # ASan+UBSan build + ctest
-#   scripts/check.sh --all      # both, in sequence
+#   scripts/check.sh --tsan     # TSan build + storage/kv suites
+#   scripts/check.sh --all      # release, asan, tsan in sequence
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -23,11 +24,29 @@ run_preset() {
   ctest --preset "${preset}" -j "${JOBS}"
 }
 
+# Runs the point-lookup bench end to end and asserts it completed (exit 0
+# enforces its internal >= 2x speedup gate) and emitted parseable JSON.
+bench_smoke() {
+  echo "==> bench smoke (bench_point_lookup)"
+  local out="build/bench-smoke"
+  mkdir -p "${out}"
+  (cd "${out}" && ../bench/bench_point_lookup)
+  local json="${out}/BENCH_point_lookup.json"
+  [[ -s "${json}" ]] || { echo "missing ${json}" >&2; exit 1; }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "${json}"
+  else
+    grep -q '"uniform_cold_speedup"' "${json}"
+  fi
+  echo "bench smoke OK"
+}
+
 case "${1:-}" in
-  "")     run_preset release ;;
+  "")     run_preset release; bench_smoke ;;
   --asan) run_preset asan ;;
-  --all)  run_preset release; run_preset asan ;;
-  *)      echo "usage: scripts/check.sh [--asan|--all]" >&2; exit 2 ;;
+  --tsan) run_preset tsan ;;
+  --all)  run_preset release; bench_smoke; run_preset asan; run_preset tsan ;;
+  *)      echo "usage: scripts/check.sh [--asan|--tsan|--all]" >&2; exit 2 ;;
 esac
 
 echo "OK"

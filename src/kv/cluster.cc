@@ -409,15 +409,14 @@ Status KVCluster::MoveReplica(RangeId range_id, NodeId from, NodeId to) {
   }
   storage::Engine* src_engine = nodes_[source]->engine();
   storage::Engine* dst_engine = nodes_[to]->engine();
-  auto iter = src_engine->NewIterator();
   const std::string start_engine = EncodeIntentKey(range->desc.start_key);
   std::string end_engine;
   if (!range->desc.end_key.empty()) {
     OrderedPutString(&end_engine, range->desc.end_key);
   }
+  auto iter = src_engine->NewBoundedIterator(start_engine, end_engine);
   storage::WriteBatch batch;
-  for (iter->Seek(start_engine); iter->Valid(); iter->Next()) {
-    if (!end_engine.empty() && iter->key() >= Slice(end_engine)) break;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
     batch.Put(iter->key(), iter->value());
     if (batch.ByteSize() > (1 << 20)) {  // apply in ~1MB chunks
       VELOCE_RETURN_IF_ERROR(dst_engine->Write(batch));
@@ -529,13 +528,12 @@ Status KVCluster::DestroyTenantKeyspace(TenantId id) {
   const std::string prefix_end = TenantPrefixEnd(id);
   // Delete the data from every node (tombstones via a range deletion scan).
   for (auto& node : nodes_) {
-    auto it = node->engine()->NewIterator();
     std::string start_engine = EncodeIntentKey(prefix);
     std::string end_engine;
     OrderedPutString(&end_engine, prefix_end);
+    auto it = node->engine()->NewBoundedIterator(start_engine, end_engine);
     storage::WriteBatch batch;
-    for (it->Seek(start_engine); it->Valid(); it->Next()) {
-      if (it->key() >= Slice(end_engine)) break;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
       batch.Delete(it->key());
     }
     if (batch.Count() > 0) {
@@ -717,17 +715,16 @@ StatusOr<int> KVCluster::MaybeSplitRanges() {
     RangeState* state = ranges_[rid].get();
     // Find an approximate midpoint key by scanning the leaseholder engine.
     storage::Engine* engine = LeaseholderEngineLocked(*state);
-    auto it = engine->NewIterator();
-    it->Seek(EncodeIntentKey(state->desc.start_key));
     std::string end_bound;
     if (!state->desc.end_key.empty()) {
       OrderedPutString(&end_bound, state->desc.end_key);
     }
+    auto it = engine->NewBoundedIterator(EncodeIntentKey(state->desc.start_key),
+                                         end_bound);
     uint64_t seen = 0;
     std::string mid_key;
     const uint64_t target = state->approx_bytes / 2;
-    for (; it->Valid(); it->Next()) {
-      if (!end_bound.empty() && it->key() >= Slice(end_bound)) break;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
       seen += it->key().size() + it->value().size();
       if (seen >= target) {
         std::string user_key;

@@ -74,6 +74,22 @@ std::string EncodeIntentKey(Slice user_key) {
   return out;
 }
 
+std::string EncodeMvccPrefix(Slice user_key) {
+  std::string out;
+  OrderedPutString(&out, user_key);
+  return out;
+}
+
+Slice MvccPrefixExtractor(Slice engine_user_key) {
+  // Every MVCC engine key is escaped(user_key) . 12-byte suffix; anything
+  // shorter (never written by this layer) maps to itself, which only costs
+  // bloom precision, never correctness.
+  if (engine_user_key.size() > kTsSuffixLen) {
+    return Slice(engine_user_key.data(), engine_user_key.size() - kTsSuffixLen);
+  }
+  return engine_user_key;
+}
+
 bool DecodeMvccKey(Slice engine_key, std::string* user_key, Timestamp* ts,
                    bool* is_intent) {
   if (!OrderedGetString(&engine_key, user_key)) return false;
@@ -203,8 +219,13 @@ void SkipKey(storage::Iterator* it, Slice user_key) {
 
 StatusOr<MvccGetResult> MvccGet(storage::Engine* engine, Slice user_key,
                                 Timestamp ts, TxnId own_txn) {
-  auto it = engine->NewIterator();
-  it->Seek(EncodeIntentKey(user_key));
+  // Point-read fast path: bound the iterator to exactly this logical key's
+  // slots [intent, PrefixEnd(prefix)) and hand the engine the extracted
+  // prefix so tables the bloom filter rejects are never opened.
+  const std::string prefix = EncodeMvccPrefix(user_key);
+  auto it = engine->NewBoundedIterator(EncodeIntentKey(user_key),
+                                       PrefixEnd(prefix), prefix);
+  it->SeekToFirst();
   KeyReadResult kr;
   VELOCE_RETURN_IF_ERROR(ReadKeyVersions(it.get(), user_key, ts, own_txn, &kr));
   MvccGetResult result;
@@ -217,8 +238,10 @@ StatusOr<MvccScanResult> MvccScan(storage::Engine* engine, Slice start_key,
                                   Slice end_key, Timestamp ts, uint64_t limit,
                                   TxnId own_txn) {
   MvccScanResult result;
-  auto it = engine->NewIterator();
-  it->Seek(EncodeIntentKey(start_key));
+  std::string upper;
+  if (!end_key.empty()) OrderedPutString(&upper, end_key);
+  auto it = engine->NewBoundedIterator(EncodeIntentKey(start_key), upper);
+  it->SeekToFirst();
   while (it->Valid()) {
     std::string cur_key;
     Timestamp key_ts;
@@ -300,12 +323,10 @@ Status MvccUpdateIntentTimestamp(storage::Engine* engine, Slice user_key,
 
 StatusOr<bool> MvccAnyNewerVersions(storage::Engine* engine, Slice start,
                                     Slice end, Timestamp after, Timestamp upto) {
-  auto it = engine->NewIterator();
-  it->Seek(EncodeIntentKey(start));
   std::string end_bound;
   if (!end.empty()) OrderedPutString(&end_bound, end);
-  for (; it->Valid(); it->Next()) {
-    if (!end_bound.empty() && it->key() >= Slice(end_bound)) break;
+  auto it = engine->NewBoundedIterator(EncodeIntentKey(start), end_bound);
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
     std::string user_key;
     Timestamp ts;
     bool is_intent = false;
@@ -320,17 +341,15 @@ StatusOr<bool> MvccAnyNewerVersions(storage::Engine* engine, Slice start,
 
 StatusOr<uint64_t> MvccGarbageCollect(storage::Engine* engine, Slice start,
                                       Slice end, Timestamp threshold) {
-  auto it = engine->NewIterator();
-  it->Seek(EncodeIntentKey(start));
   std::string end_bound;
   if (!end.empty()) OrderedPutString(&end_bound, end);
+  auto it = engine->NewBoundedIterator(EncodeIntentKey(start), end_bound);
 
   storage::WriteBatch batch;
   uint64_t removed = 0;
   std::string current_key;
   bool seen_boundary = false;  // newest version <= threshold already seen
-  for (; it->Valid(); it->Next()) {
-    if (!end_bound.empty() && it->key() >= Slice(end_bound)) break;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
     std::string user_key;
     Timestamp ts;
     bool is_intent = false;

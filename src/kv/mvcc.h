@@ -64,6 +64,14 @@ struct MvccScanResult {
 std::string EncodeMvccKey(Slice user_key, Timestamp ts);
 /// Encodes the intent slot for a user key (sorts before all versions).
 std::string EncodeIntentKey(Slice user_key);
+/// Encodes just the escaped user key — the shared prefix of the intent slot
+/// and every version. This is the unit bloom filters are built over: one
+/// probe answers "does this table hold any slot of this logical key?".
+std::string EncodeMvccPrefix(Slice user_key);
+/// storage::PrefixExtractor installed into the engine: strips the 12-byte
+/// timestamp suffix from an engine user key, leaving the escaped logical
+/// key. Installed at engine-open time by KVNode.
+Slice MvccPrefixExtractor(Slice engine_user_key);
 /// Decodes an engine key; returns false on malformed input. An intent slot
 /// decodes with *is_intent=true and undefined ts.
 bool DecodeMvccKey(Slice engine_key, std::string* user_key, Timestamp* ts,

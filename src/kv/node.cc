@@ -1,6 +1,7 @@
 #include "kv/node.h"
 
 #include "common/logging.h"
+#include "kv/mvcc.h"
 
 namespace veloce::kv {
 
@@ -23,6 +24,9 @@ KVNode::KVNode(NodeId id, std::string region,
   write_bytes_c_ = metrics->counter("veloce_kv_write_bytes_total", labels);
 
   engine_options.dir = "kvnode-" + std::to_string(id);
+  // Blooms over logical MVCC keys: one probe covers a key's intent slot and
+  // every version, so point reads can reject whole SSTables.
+  engine_options.prefix_extractor = MvccPrefixExtractor;
   engine_options.obs = obs;
   engine_options.obs.metrics = metrics;
   engine_options.metrics_instance = std::to_string(id);

@@ -1,0 +1,99 @@
+#include "storage/bloom.h"
+
+namespace veloce::storage {
+
+namespace {
+
+uint32_t Hash32(const char* data, size_t n, uint32_t seed) {
+  // Murmur-inspired byte hash (the LevelDB bloom hash): cheap, decent
+  // avalanche, stable across platforms (the filter is an on-disk format).
+  const uint32_t m = 0xc6a4a793;
+  const uint32_t r = 24;
+  const char* limit = data + n;
+  uint32_t h = seed ^ (static_cast<uint32_t>(n) * m);
+
+  while (data + 4 <= limit) {
+    uint32_t w = static_cast<uint8_t>(data[0]) |
+                 (static_cast<uint8_t>(data[1]) << 8) |
+                 (static_cast<uint8_t>(data[2]) << 16) |
+                 (static_cast<uint8_t>(data[3]) << 24);
+    data += 4;
+    h += w;
+    h *= m;
+    h ^= (h >> 16);
+  }
+  switch (limit - data) {
+    case 3:
+      h += static_cast<uint8_t>(data[2]) << 16;
+      [[fallthrough]];
+    case 2:
+      h += static_cast<uint8_t>(data[1]) << 8;
+      [[fallthrough]];
+    case 1:
+      h += static_cast<uint8_t>(data[0]);
+      h *= m;
+      h ^= (h >> r);
+      break;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint32_t BloomHash(Slice key) { return Hash32(key.data(), key.size(), 0xbc9f1d34); }
+
+BloomFilterBuilder::BloomFilterBuilder(int bits_per_key)
+    : bits_per_key_(bits_per_key < 1 ? 1 : bits_per_key) {}
+
+void BloomFilterBuilder::AddKey(Slice key) {
+  if (has_last_ && Slice(last_key_) == key) return;
+  last_key_.assign(key.data(), key.size());
+  has_last_ = true;
+  hashes_.push_back(BloomHash(key));
+}
+
+std::string BloomFilterBuilder::Finish() {
+  // k = bits_per_key * ln(2), clamped to a sane probe count.
+  int k = static_cast<int>(bits_per_key_ * 0.69);
+  if (k < 1) k = 1;
+  if (k > 30) k = 30;
+
+  size_t bits = hashes_.size() * static_cast<size_t>(bits_per_key_);
+  if (bits < 64) bits = 64;  // tiny tables: avoid a high-FPR sliver
+  const size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string filter(bytes, '\0');
+  for (uint32_t h : hashes_) {
+    uint32_t delta = (h >> 17) | (h << 15);  // rotate right 17 bits
+    for (int j = 0; j < k; ++j) {
+      const size_t bitpos = h % bits;
+      filter[bitpos / 8] |= static_cast<char>(1 << (bitpos % 8));
+      h += delta;
+    }
+  }
+  filter.push_back(static_cast<char>(k));
+  hashes_.clear();
+  last_key_.clear();
+  has_last_ = false;
+  return filter;
+}
+
+bool BloomKeyMayMatch(Slice key, Slice filter) {
+  if (filter.size() < 2) return true;  // empty/absent filter: never exclude
+  const size_t bytes = filter.size() - 1;
+  const size_t bits = bytes * 8;
+  const int k = static_cast<uint8_t>(filter[bytes]);
+  if (k > 30) return true;  // reserved for future encodings
+
+  uint32_t h = BloomHash(key);
+  const uint32_t delta = (h >> 17) | (h << 15);
+  for (int j = 0; j < k; ++j) {
+    const size_t bitpos = h % bits;
+    if ((filter[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace veloce::storage

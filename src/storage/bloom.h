@@ -1,0 +1,50 @@
+#ifndef VELOCE_STORAGE_BLOOM_H_
+#define VELOCE_STORAGE_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace veloce::storage {
+
+/// Bloom filter over SSTable point-read prefixes (LevelDB-style double
+/// hashing). A table's filter block is built from the prefix of every added
+/// key (see EngineOptions::prefix_extractor); point reads probe it before
+/// touching any data block, so a negative answer skips the table entirely.
+///
+/// Filter encoding: bit array bytes followed by one trailer byte holding the
+/// number of probes k. An empty filter matches everything (never wrong, just
+/// useless), which keeps readers of filterless tables trivially correct.
+class BloomFilterBuilder {
+ public:
+  explicit BloomFilterBuilder(int bits_per_key = 10);
+
+  /// Registers a key. Consecutive duplicates are skipped (keys arrive in
+  /// sorted order, so MVCC versions sharing a prefix dedupe for free).
+  void AddKey(Slice key);
+
+  /// Serialized filter for all added keys. The builder is reusable after a
+  /// call (hashes are cleared).
+  std::string Finish();
+
+  size_t num_keys() const { return hashes_.size(); }
+
+ private:
+  const int bits_per_key_;
+  std::vector<uint32_t> hashes_;
+  std::string last_key_;
+  bool has_last_ = false;
+};
+
+/// Probes a serialized filter. Returns true if `key` may have been added
+/// (false positives possible, false negatives never).
+bool BloomKeyMayMatch(Slice key, Slice filter);
+
+/// The hash shared by builder and probe; exposed for tests.
+uint32_t BloomHash(Slice key);
+
+}  // namespace veloce::storage
+
+#endif  // VELOCE_STORAGE_BLOOM_H_

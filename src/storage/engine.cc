@@ -48,6 +48,15 @@ std::string Engine::WalFileName(uint64_t number) const {
 
 std::string Engine::ManifestFileName() const { return options_.dir + "/MANIFEST"; }
 
+namespace {
+TableOptions MakeTableOptions(const EngineOptions& options) {
+  return TableOptions{.block_size = options.block_bytes,
+                      .bloom_filter = options.bloom_filters,
+                      .bloom_bits_per_key = options.bloom_bits_per_key,
+                      .prefix_extractor = options.prefix_extractor};
+}
+}  // namespace
+
 StatusOr<std::unique_ptr<Engine>> Engine::Open(EngineOptions options) {
   auto engine = std::unique_ptr<Engine>(new Engine());
   engine->options_ = options;
@@ -59,7 +68,8 @@ StatusOr<std::unique_ptr<Engine>> Engine::Open(EngineOptions options) {
   }
   VELOCE_RETURN_IF_ERROR(engine->env_->CreateDirIfMissing(options.dir));
   if (options.block_cache_bytes > 0) {
-    engine->block_cache_ = std::make_unique<BlockCache>(options.block_cache_bytes);
+    engine->block_cache_ = std::make_unique<BlockCache>(options.block_cache_bytes,
+                                                        options.block_cache_shards);
   }
   engine->mem_ = std::make_shared<MemTable>();
   engine->InitMetrics();
@@ -87,21 +97,46 @@ void Engine::InitMetrics() {
       metrics_->counter("veloce_storage_compact_write_bytes", labels);
   flushes_c_ = metrics_->counter("veloce_storage_flushes_total", labels);
   compactions_c_ = metrics_->counter("veloce_storage_compactions_total", labels);
+  // Point-read fast path: bloom and pruning effectiveness.
+  bloom_checked_c_ = metrics_->counter("veloce_storage_bloom_checked_total", labels);
+  bloom_useful_c_ = metrics_->counter("veloce_storage_bloom_useful_total", labels);
+  bloom_false_positive_c_ =
+      metrics_->counter("veloce_storage_bloom_false_positive_total", labels);
+  tables_pruned_c_ =
+      metrics_->counter("veloce_storage_read_tables_pruned_total", labels);
   // Pull-style gauges: L0 backlog and block-cache hit ratio inputs.
   obs::Gauge* l0 = metrics_->gauge("veloce_storage_l0_files", labels);
   obs::Gauge* hits = metrics_->gauge("veloce_storage_block_cache_hits", labels);
   obs::Gauge* misses = metrics_->gauge("veloce_storage_block_cache_misses", labels);
   obs::Gauge* ratio = metrics_->gauge("veloce_storage_block_cache_hit_ratio", labels);
-  gauge_callback_ = metrics_->AddCollectCallback([this, l0, hits, misses, ratio] {
-    l0->Set(NumFilesAtLevel(0));
-    if (block_cache_ != nullptr) {
-      const double h = static_cast<double>(block_cache_->hits());
-      const double m = static_cast<double>(block_cache_->misses());
-      hits->Set(h);
-      misses->Set(m);
-      ratio->Set(h + m > 0 ? h / (h + m) : 0);
+  // Per-shard series expose lock-contention hot spots in the sharded cache.
+  std::vector<std::pair<obs::Gauge*, obs::Gauge*>> shard_gauges;
+  if (block_cache_ != nullptr) {
+    for (size_t i = 0; i < block_cache_->num_shards(); ++i) {
+      obs::Labels shard_labels = labels;
+      shard_labels.emplace_back("shard", std::to_string(i));
+      shard_gauges.emplace_back(
+          metrics_->gauge("veloce_storage_block_cache_shard_hits", shard_labels),
+          metrics_->gauge("veloce_storage_block_cache_shard_misses", shard_labels));
     }
-  });
+  }
+  gauge_callback_ = metrics_->AddCollectCallback(
+      [this, l0, hits, misses, ratio, shard_gauges = std::move(shard_gauges)] {
+        l0->Set(NumFilesAtLevel(0));
+        if (block_cache_ != nullptr) {
+          const double h = static_cast<double>(block_cache_->hits());
+          const double m = static_cast<double>(block_cache_->misses());
+          hits->Set(h);
+          misses->Set(m);
+          ratio->Set(h + m > 0 ? h / (h + m) : 0);
+          for (size_t i = 0; i < shard_gauges.size(); ++i) {
+            shard_gauges[i].first->Set(
+                static_cast<double>(block_cache_->shard_hits(i)));
+            shard_gauges[i].second->Set(
+                static_cast<double>(block_cache_->shard_misses(i)));
+          }
+        }
+      });
 }
 
 const EngineStats& Engine::stats() const {
@@ -112,6 +147,10 @@ const EngineStats& Engine::stats() const {
   stats_snapshot_.compact_write_bytes = compact_write_bytes_c_->value();
   stats_snapshot_.num_flushes = flushes_c_->value();
   stats_snapshot_.num_compactions = compactions_c_->value();
+  stats_snapshot_.bloom_checked = bloom_checked_c_->value();
+  stats_snapshot_.bloom_useful = bloom_useful_c_->value();
+  stats_snapshot_.bloom_false_positive = bloom_false_positive_c_->value();
+  stats_snapshot_.tables_pruned = tables_pruned_c_->value();
   return stats_snapshot_;
 }
 
@@ -282,7 +321,7 @@ Status Engine::FlushMemTableLocked() {
   {
     std::unique_ptr<WritableFile> file;
     VELOCE_RETURN_IF_ERROR(env_->NewWritableFile(fname, &file));
-    TableBuilder builder(std::move(file), options_.block_bytes);
+    TableBuilder builder(std::move(file), MakeTableOptions(options_));
     auto it = mem_->NewIterator();
     for (it->SeekToFirst(); it->Valid(); it->Next()) {
       VELOCE_RETURN_IF_ERROR(builder.Add(it->key(), it->value()));
@@ -458,7 +497,7 @@ Status Engine::DoCompactionLocked(const FileList& inputs_upper, int upper_level,
       meta->number = next_file_number_++;
       std::unique_ptr<WritableFile> file;
       VELOCE_RETURN_IF_ERROR(env_->NewWritableFile(TableFileName(meta->number), &file));
-      builder = std::make_unique<TableBuilder>(std::move(file), options_.block_bytes);
+      builder = std::make_unique<TableBuilder>(std::move(file), MakeTableOptions(options_));
       outputs.push_back(std::move(meta));
     }
     VELOCE_RETURN_IF_ERROR(builder->Add(ikey, merged->value()));
@@ -499,49 +538,77 @@ Status Engine::DoCompactionLocked(const FileList& inputs_upper, int upper_level,
 }
 
 Status Engine::Get(Slice key, std::string* value) {
-  std::lock_guard<std::mutex> l(mu_);
-  return GetLocked(key, last_seq_, value);
+  bool found = false;
+  return GetVisible(key, value, &found);
 }
 
-Status Engine::GetLocked(Slice key, SequenceNumber snapshot, std::string* value) {
+Status Engine::GetVisible(Slice key, std::string* value, bool* found) {
+  std::lock_guard<std::mutex> l(mu_);
+  return GetLocked(key, last_seq_, value, found);
+}
+
+Status Engine::GetLocked(Slice key, SequenceNumber snapshot, std::string* value,
+                         bool* found) {
+  *found = false;
   bool is_deleted = false;
   if (mem_->Get(key, snapshot, value, &is_deleted)) {
+    *found = true;
     if (is_deleted) return Status::NotFound("deleted");
     return Status::OK();
   }
-  bool found = false;
-  // L0: newest file first; first hit wins (files are seq-ordered).
-  VELOCE_RETURN_IF_ERROR(
-      SearchFileList(levels_[0], /*overlapping=*/true, key, snapshot, value, &found));
-  if (found) return Status::OK();
+  // L0: newest file first; first hit wins (files are seq-ordered). Deeper
+  // levels hold strictly older data, so the first hit at any level ends the
+  // search — no cross-level merge on the point-read path.
+  VELOCE_RETURN_IF_ERROR(SearchFileList(levels_[0], /*overlapping=*/true, key,
+                                        Slice(), snapshot, value, found));
+  if (*found) return Status::OK();
   for (int level = 1; level < kNumLevels; ++level) {
     VELOCE_RETURN_IF_ERROR(
-        SearchFileList(levels_[level], false, key, snapshot, value, &found));
-    if (found) return Status::OK();
+        SearchFileList(levels_[level], false, key, Slice(), snapshot, value, found));
+    if (*found) return Status::OK();
   }
   return Status::NotFound("key not found");
 }
 
 Status Engine::SearchFileList(const FileList& files, bool overlapping, Slice user_key,
-                              SequenceNumber snapshot, std::string* value,
-                              bool* found) {
+                              Slice bloom_prefix, SequenceNumber snapshot,
+                              std::string* value, bool* found) {
   *found = false;
   const std::string lookup = MakeInternalKey(user_key, snapshot, ValueType::kValue);
+  if (bloom_prefix.empty()) {
+    bloom_prefix = options_.prefix_extractor != nullptr
+                       ? options_.prefix_extractor(user_key)
+                       : user_key;
+  }
   for (const auto& f : files) {
     const Slice file_small = ExtractUserKey(Slice(f->smallest));
     const Slice file_large = ExtractUserKey(Slice(f->largest));
-    if (user_key < file_small || user_key > file_large) continue;
-    std::string fkey, fvalue;
-    Status s = f->table->SeekEntry(Slice(lookup), &fkey, &fvalue);
-    if (s.IsNotFound()) {
-      if (!overlapping) return Status::OK();  // sorted level: key absent
+    if (user_key < file_small || user_key > file_large) {
+      tables_pruned_c_->Inc();
       continue;
     }
-    VELOCE_RETURN_IF_ERROR(s);
-    if (ExtractUserKey(Slice(fkey)) != user_key) {
+    const bool has_filter = f->table->has_filter();
+    if (has_filter) {
+      bloom_checked_c_->Inc();
+      if (!f->table->MayContainPrefix(bloom_prefix)) {
+        bloom_useful_c_->Inc();
+        if (!overlapping) return Status::OK();  // sorted level: key absent
+        continue;
+      }
+    }
+    std::string fkey, fvalue;
+    Status s = f->table->SeekEntry(Slice(lookup), &fkey, &fvalue);
+    const bool miss = s.IsNotFound() ||
+                      (s.ok() && ExtractUserKey(Slice(fkey)) != user_key);
+    if (miss) {
+      // The filter passed this table yet no version of the key exists here:
+      // a bloom false positive (only chargeable when the extractor maps the
+      // probe prefix 1:1 to this user key, which it does for exact keys).
+      if (has_filter) bloom_false_positive_c_->Inc();
       if (!overlapping) return Status::OK();
       continue;
     }
+    VELOCE_RETURN_IF_ERROR(s);
     *found = true;
     if (ExtractValueType(Slice(fkey)) == ValueType::kDeletion) {
       return Status::NotFound("deleted");
@@ -577,7 +644,74 @@ class Engine::PinnedIterator final : public Iterator {
   SequenceNumber seq_;
 };
 
+/// InternalIterator over one SSTable that defers opening a table iterator
+/// (and therefore any block read) until the table is actually positioned.
+/// A Seek whose target sorts past the table's largest key is rejected on
+/// manifest metadata alone — the table contributes nothing at or after the
+/// target, so it never gets opened at all.
+class Engine::LazyTableIterator final : public InternalIterator {
+ public:
+  explicit LazyTableIterator(std::shared_ptr<FileMeta> meta)
+      : meta_(std::move(meta)) {}
+
+  bool Valid() const override { return it_ != nullptr && it_->Valid(); }
+  void SeekToFirst() override {
+    Materialize();
+    it_->SeekToFirst();
+  }
+  void Seek(Slice target) override {
+    if (it_ == nullptr && CompareInternalKey(target, Slice(meta_->largest)) > 0) {
+      return;  // stays !Valid(); the table is never opened
+    }
+    Materialize();
+    it_->Seek(target);
+  }
+  void Next() override { it_->Next(); }
+  Slice key() const override { return it_->key(); }
+  Slice value() const override { return it_->value(); }
+
+ private:
+  void Materialize() {
+    if (it_ == nullptr) it_ = meta_->table->NewIterator();
+  }
+
+  std::shared_ptr<FileMeta> meta_;  // keeps the Table alive
+  std::unique_ptr<InternalIterator> it_;
+};
+
+/// User-level iterator that confines its inner iterator to [lower, upper):
+/// SeekToFirst positions at lower, Seek clamps into the bounds, and Valid
+/// turns false once a key reaches upper (empty upper = unbounded).
+class Engine::BoundedIterator final : public Iterator {
+ public:
+  BoundedIterator(std::unique_ptr<Iterator> inner, std::string lower,
+                  std::string upper)
+      : inner_(std::move(inner)), lower_(std::move(lower)),
+        upper_(std::move(upper)) {}
+
+  bool Valid() const override {
+    return inner_->Valid() && (upper_.empty() || inner_->key() < Slice(upper_));
+  }
+  void SeekToFirst() override { inner_->Seek(Slice(lower_)); }
+  void Seek(Slice target) override {
+    inner_->Seek(target < Slice(lower_) ? Slice(lower_) : target);
+  }
+  void Next() override { inner_->Next(); }
+  Slice key() const override { return inner_->key(); }
+  Slice value() const override { return inner_->value(); }
+
+ private:
+  std::unique_ptr<Iterator> inner_;
+  const std::string lower_;
+  const std::string upper_;
+};
+
 std::unique_ptr<Iterator> Engine::NewIterator() {
+  return NewBoundedIterator(Slice(), Slice());
+}
+
+std::unique_ptr<Iterator> Engine::NewBoundedIterator(Slice lower, Slice upper,
+                                                     Slice bloom_prefix) {
   std::lock_guard<std::mutex> l(mu_);
   const SequenceNumber snapshot = last_seq_;
   pinned_seqs_.insert(snapshot);
@@ -600,28 +734,35 @@ std::unique_ptr<Iterator> Engine::NewIterator() {
   mem_iter->it = mem_->NewIterator();
   children.push_back(std::move(mem_iter));
 
-  // Table lifetimes: FileMeta shared_ptrs keep Table objects alive; capture
-  // them in a holder iterator per file.
-  struct TableHolderIter final : public InternalIterator {
-    std::shared_ptr<FileMeta> meta;
-    std::unique_ptr<InternalIterator> it;
-    bool Valid() const override { return it->Valid(); }
-    void SeekToFirst() override { it->SeekToFirst(); }
-    void Seek(Slice target) override { it->Seek(target); }
-    void Next() override { it->Next(); }
-    Slice key() const override { return it->key(); }
-    Slice value() const override { return it->value(); }
-  };
   for (int level = 0; level < kNumLevels; ++level) {
     for (const auto& f : levels_[level]) {
-      auto holder = std::make_unique<TableHolderIter>();
-      holder->meta = f;
-      holder->it = f->table->NewIterator();
-      children.push_back(std::move(holder));
+      // Key-range pruning: a table whose [smallest, largest] user-key span
+      // does not intersect [lower, upper) can never contribute an entry.
+      if (!lower.empty() && ExtractUserKey(Slice(f->largest)) < lower) {
+        tables_pruned_c_->Inc();
+        continue;
+      }
+      if (!upper.empty() && ExtractUserKey(Slice(f->smallest)) >= upper) {
+        tables_pruned_c_->Inc();
+        continue;
+      }
+      // For single-prefix reads the caller passes the extracted bloom
+      // prefix; a negative filter probe proves the table holds no slot of
+      // that logical key, so it is dropped before any I/O.
+      if (!bloom_prefix.empty() && f->table->has_filter()) {
+        bloom_checked_c_->Inc();
+        if (!f->table->MayContainPrefix(bloom_prefix)) {
+          bloom_useful_c_->Inc();
+          continue;
+        }
+      }
+      children.push_back(std::make_unique<LazyTableIterator>(f));
     }
   }
   auto user_iter = NewUserIterator(NewMergingIterator(std::move(children)), snapshot);
-  return std::make_unique<PinnedIterator>(this, std::move(user_iter), snapshot);
+  auto bounded = std::make_unique<BoundedIterator>(
+      std::move(user_iter), lower.ToString(), upper.ToString());
+  return std::make_unique<PinnedIterator>(this, std::move(bounded), snapshot);
 }
 
 int Engine::NumFilesAtLevel(int level) const {

@@ -38,6 +38,11 @@ struct EngineStats {
   uint64_t compact_write_bytes = 0;
   uint64_t num_flushes = 0;
   uint64_t num_compactions = 0;
+  // Point-read fast path: filter and pruning effectiveness.
+  uint64_t bloom_checked = 0;         ///< bloom probes issued
+  uint64_t bloom_useful = 0;          ///< tables skipped by a negative probe
+  uint64_t bloom_false_positive = 0;  ///< probes that passed but found nothing
+  uint64_t tables_pruned = 0;         ///< tables skipped by key-range pruning
 
   uint64_t total_bytes_written() const {
     return wal_bytes + flush_bytes + compact_write_bytes;
@@ -55,6 +60,17 @@ struct EngineOptions {
   int l0_compaction_trigger = 4;
   /// Capacity of the verified-data-block LRU cache (0 disables it).
   size_t block_cache_bytes = 8 << 20;
+  /// Lock shards in the block cache (each gets block_cache_bytes/N budget).
+  size_t block_cache_shards = BlockCache::kDefaultShards;
+  /// Build bloom filter blocks in new SSTables and consult them on point
+  /// reads. Off = legacy v1 tables, every point read probes data blocks.
+  bool bloom_filters = true;
+  int bloom_bits_per_key = 10;
+  /// Maps engine user keys to the prefix blooms are built over and probed
+  /// with (see sstable.h). The KV layer installs an extractor that strips
+  /// the MVCC timestamp suffix so one probe covers a logical key's intent
+  /// slot and every version. nullptr = whole user key.
+  PrefixExtractor prefix_extractor = nullptr;
   /// Size of L1 before leveled compaction kicks in; each deeper level is
   /// 10x larger.
   uint64_t level_base_bytes = 8ull << 20;
@@ -93,9 +109,26 @@ class Engine {
   /// Reads the newest visible version of `key`. NotFound if absent/deleted.
   Status Get(Slice key, std::string* value);
 
+  /// Point-read fast path: like Get, but reports "present as a tombstone"
+  /// and "absent" distinctly via *found (value reads that need to tell the
+  /// difference avoid a second probe). Prunes tables by key range, consults
+  /// bloom filters, and stops at the first hit instead of merging levels.
+  Status GetVisible(Slice key, std::string* value, bool* found);
+
   /// Point-in-time iterator over user keys (hides tombstones and shadowed
   /// versions). Pins the current sequence number until destroyed.
   std::unique_ptr<Iterator> NewIterator();
+
+  /// Bounded point-in-time iterator over user keys in [lower, upper) —
+  /// empty upper means unbounded. Only tables whose [smallest, largest]
+  /// range overlaps the bounds contribute, and their iterators materialize
+  /// lazily so tables that never get positioned read no blocks. When
+  /// `bloom_prefix` is non-empty (an already-extracted point-read prefix,
+  /// e.g. one MVCC logical key), each candidate table's filter is consulted
+  /// first and negative tables are skipped entirely. SeekToFirst positions
+  /// at `lower`; Seek clamps its target into the bounds.
+  std::unique_ptr<Iterator> NewBoundedIterator(Slice lower, Slice upper,
+                                               Slice bloom_prefix = Slice());
 
   /// Forces the memtable to L0.
   Status Flush();
@@ -150,11 +183,15 @@ class Engine {
   uint64_t MaxBytesForLevel(int level) const;
   SequenceNumber OldestPinnedSeqLocked() const;
 
-  Status GetLocked(Slice key, SequenceNumber snapshot, std::string* value);
+  Status GetLocked(Slice key, SequenceNumber snapshot, std::string* value,
+                   bool* found);
   Status SearchFileList(const FileList& files, bool overlapping, Slice user_key,
-                        SequenceNumber snapshot, std::string* value, bool* found);
+                        Slice bloom_prefix, SequenceNumber snapshot,
+                        std::string* value, bool* found);
 
   class PinnedIterator;
+  class LazyTableIterator;
+  class BoundedIterator;
 
   EngineOptions options_;
   std::unique_ptr<Env> owned_env_;
@@ -181,6 +218,10 @@ class Engine {
   obs::Counter* compact_write_bytes_c_ = nullptr;
   obs::Counter* flushes_c_ = nullptr;
   obs::Counter* compactions_c_ = nullptr;
+  obs::Counter* bloom_checked_c_ = nullptr;
+  obs::Counter* bloom_useful_c_ = nullptr;
+  obs::Counter* bloom_false_positive_c_ = nullptr;
+  obs::Counter* tables_pruned_c_ = nullptr;
   obs::MetricsRegistry::CallbackToken gauge_callback_;
   mutable EngineStats stats_snapshot_;
 };

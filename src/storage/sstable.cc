@@ -7,12 +7,20 @@
 namespace veloce::storage {
 
 namespace {
-constexpr uint64_t kTableMagic = 0x76656c6f63655354ULL;  // "veloceST"
-constexpr size_t kFooterSize = 24;
+constexpr uint64_t kTableMagic = 0x76656c6f63655354ULL;    // "veloceST"
+constexpr uint64_t kTableMagicV2 = 0x76656c6f63655432ULL;  // "veloceT2"
+constexpr uint64_t kFormatV2 = 2;
+constexpr size_t kFooterV1Size = 24;
+constexpr size_t kFooterV2Size = 48;
 }  // namespace
 
+TableBuilder::TableBuilder(std::unique_ptr<WritableFile> file, TableOptions options)
+    : file_(std::move(file)),
+      options_(options),
+      bloom_(options.bloom_bits_per_key) {}
+
 TableBuilder::TableBuilder(std::unique_ptr<WritableFile> file, size_t block_size)
-    : file_(std::move(file)), block_size_(block_size) {}
+    : TableBuilder(std::move(file), TableOptions{.block_size = block_size}) {}
 
 Status TableBuilder::Add(Slice internal_key, Slice value) {
   VELOCE_CHECK(!finished_);
@@ -24,13 +32,20 @@ Status TableBuilder::Add(Slice internal_key, Slice value) {
   largest_.assign(internal_key.data(), internal_key.size());
   last_key_.assign(internal_key.data(), internal_key.size());
 
+  if (options_.bloom_filter) {
+    const Slice user_key = ExtractUserKey(internal_key);
+    bloom_.AddKey(options_.prefix_extractor != nullptr
+                      ? options_.prefix_extractor(user_key)
+                      : user_key);
+  }
+
   PutVarint64(&block_buf_, internal_key.size());
   block_buf_.append(internal_key.data(), internal_key.size());
   PutVarint64(&block_buf_, value.size());
   block_buf_.append(value.data(), value.size());
   ++num_entries_;
 
-  if (block_buf_.size() >= block_size_) {
+  if (block_buf_.size() >= options_.block_size) {
     return FlushBlock();
   }
   return Status::OK();
@@ -58,13 +73,38 @@ Status TableBuilder::Finish() {
   VELOCE_CHECK(!finished_);
   finished_ = true;
   VELOCE_RETURN_IF_ERROR(FlushBlock());
+
+  uint64_t filter_offset = 0, filter_size = 0;
+  if (options_.bloom_filter) {
+    const std::string filter = bloom_.Finish();
+    filter_offset = offset_;
+    filter_size = filter.size();
+    std::string crc;
+    PutFixed32(&crc, crc32c::Mask(crc32c::Value(filter.data(), filter.size())));
+    VELOCE_RETURN_IF_ERROR(file_->Append(Slice(filter)));
+    VELOCE_RETURN_IF_ERROR(file_->Append(Slice(crc)));
+    offset_ += filter.size() + 4;
+  }
+
   const uint64_t index_offset = offset_;
   VELOCE_RETURN_IF_ERROR(file_->Append(Slice(index_)));
   offset_ += index_.size();
+
   std::string footer;
-  PutFixed64(&footer, index_offset);
-  PutFixed64(&footer, index_.size());
-  PutFixed64(&footer, kTableMagic);
+  if (options_.bloom_filter) {
+    PutFixed64(&footer, filter_offset);
+    PutFixed64(&footer, filter_size);
+    PutFixed64(&footer, index_offset);
+    PutFixed64(&footer, index_.size());
+    PutFixed64(&footer, kFormatV2);
+    PutFixed64(&footer, kTableMagicV2);
+  } else {
+    // Legacy v1 footer: identical to pre-filter tables, so the backward
+    // compatibility path stays exercised by every bloom-disabled build.
+    PutFixed64(&footer, index_offset);
+    PutFixed64(&footer, index_.size());
+    PutFixed64(&footer, kTableMagic);
+  }
   VELOCE_RETURN_IF_ERROR(file_->Append(Slice(footer)));
   offset_ += footer.size();
   VELOCE_RETURN_IF_ERROR(file_->Sync());
@@ -75,22 +115,50 @@ StatusOr<std::shared_ptr<Table>> Table::Open(std::unique_ptr<RandomAccessFile> f
                                              BlockCache* cache,
                                              uint64_t file_number) {
   const uint64_t size = file->Size();
-  if (size < kFooterSize) return Status::Corruption("table too small");
-  std::string footer;
-  VELOCE_RETURN_IF_ERROR(file->Read(size - kFooterSize, kFooterSize, &footer));
-  Slice f(footer);
-  uint64_t index_offset = 0, index_size = 0, magic = 0;
-  GetFixed64(&f, &index_offset);
-  GetFixed64(&f, &index_size);
-  GetFixed64(&f, &magic);
-  if (magic != kTableMagic) return Status::Corruption("bad table magic");
-  if (index_offset + index_size + kFooterSize > size) {
+  if (size < kFooterV1Size) return Status::Corruption("table too small");
+  std::string magic_buf;
+  VELOCE_RETURN_IF_ERROR(file->Read(size - 8, 8, &magic_buf));
+  Slice m(magic_buf);
+  uint64_t magic = 0;
+  GetFixed64(&m, &magic);
+
+  auto table = std::shared_ptr<Table>(new Table());
+  uint64_t index_offset = 0, index_size = 0;
+  if (magic == kTableMagicV2) {
+    if (size < kFooterV2Size) return Status::Corruption("v2 table too small");
+    std::string footer;
+    VELOCE_RETURN_IF_ERROR(file->Read(size - kFooterV2Size, kFooterV2Size, &footer));
+    Slice f(footer);
+    uint64_t version = 0, magic2 = 0;
+    GetFixed64(&f, &table->filter_offset_);
+    GetFixed64(&f, &table->filter_size_);
+    GetFixed64(&f, &index_offset);
+    GetFixed64(&f, &index_size);
+    GetFixed64(&f, &version);
+    GetFixed64(&f, &magic2);
+    if (version < kFormatV2) return Status::Corruption("bad v2 table version");
+    table->format_version_ = version;
+    if (table->filter_offset_ + table->filter_size_ + 4 > size) {
+      return Status::Corruption("bad filter location");
+    }
+  } else if (magic == kTableMagic) {
+    std::string footer;
+    VELOCE_RETURN_IF_ERROR(file->Read(size - kFooterV1Size, kFooterV1Size, &footer));
+    Slice f(footer);
+    uint64_t magic1 = 0;
+    GetFixed64(&f, &index_offset);
+    GetFixed64(&f, &index_size);
+    GetFixed64(&f, &magic1);
+    table->format_version_ = 1;
+  } else {
+    return Status::Corruption("bad table magic");
+  }
+  if (index_offset + index_size + kFooterV1Size > size) {
     return Status::Corruption("bad index location");
   }
   std::string index;
   VELOCE_RETURN_IF_ERROR(file->Read(index_offset, index_size, &index));
 
-  auto table = std::shared_ptr<Table>(new Table());
   table->file_ = std::move(file);
   table->cache_ = cache;
   table->file_number_ = file_number;
@@ -108,6 +176,31 @@ StatusOr<std::shared_ptr<Table>> Table::Open(std::unique_ptr<RandomAccessFile> f
     table->index_entries_.push_back(std::move(e));
   }
   return table;
+}
+
+void Table::EnsureFilterLoaded() const {
+  std::call_once(filter_once_, [this] {
+    std::string raw;
+    if (!file_->Read(filter_offset_, filter_size_ + 4, &raw).ok() ||
+        raw.size() != filter_size_ + 4) {
+      return;  // unreadable filter: fall back to probing data blocks
+    }
+    Slice crc_slice(raw.data() + filter_size_, 4);
+    uint32_t masked = 0;
+    GetFixed32(&crc_slice, &masked);
+    if (crc32c::Unmask(masked) != crc32c::Value(raw.data(), filter_size_)) {
+      return;  // corrupt filter: treat as absent, reads stay correct
+    }
+    raw.resize(filter_size_);
+    filter_ = std::move(raw);
+  });
+}
+
+bool Table::MayContainPrefix(Slice prefix) const {
+  if (filter_size_ == 0) return true;
+  EnsureFilterLoaded();
+  if (filter_.empty()) return true;
+  return BloomKeyMayMatch(prefix, Slice(filter_));
 }
 
 Status Table::ReadBlock(size_t block_idx,

@@ -2,6 +2,7 @@
 #define VELOCE_STORAGE_SSTABLE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -9,27 +10,54 @@
 #include "common/status.h"
 #include "storage/dbformat.h"
 #include "storage/block_cache.h"
+#include "storage/bloom.h"
 #include "storage/env.h"
 
 namespace veloce::storage {
+
+/// Maps an engine user key to the prefix that point reads probe with (and
+/// the bloom filter is built over). nullptr means "whole user key". The KV
+/// layer installs an extractor that strips the MVCC timestamp suffix, so one
+/// filter probe covers every version + the intent slot of a logical key.
+using PrefixExtractor = Slice (*)(Slice user_key);
+
+/// Build-time knobs for one SSTable.
+struct TableOptions {
+  size_t block_size = 4096;
+  /// Build a bloom filter block over key prefixes (format v2 footer). When
+  /// false the builder emits the legacy v1 footer with no filter block.
+  bool bloom_filter = true;
+  int bloom_bits_per_key = 10;
+  PrefixExtractor prefix_extractor = nullptr;
+};
 
 /// Immutable sorted-string table: the on-disk unit of the LSM tree.
 ///
 /// Format:
 ///   data blocks:  [varint klen | key | varint vlen | value]* , masked crc32
+///   filter block: bloom bits | k (v2 only), masked crc32
 ///   index block:  [varint klen | last_key_of_block | offset u64 | size u64]*
-///   footer:       index_offset u64 | index_size u64 | magic u64
+///   footer v1:    index_offset u64 | index_size u64 | magic u64
+///   footer v2:    filter_offset u64 | filter_size u64 |
+///                 index_offset u64 | index_size u64 |
+///                 format_version u64 | magic_v2 u64
+///
+/// Readers dispatch on the trailing magic, so v1 tables written before the
+/// filter block existed still open.
 ///
 /// Keys are internal keys, added in sorted order by the builder.
 class TableBuilder {
  public:
+  TableBuilder(std::unique_ptr<WritableFile> file, TableOptions options);
+  /// Legacy convenience: block size only, defaults elsewhere.
   TableBuilder(std::unique_ptr<WritableFile> file, size_t block_size = 4096);
 
   /// Adds an entry; keys must arrive in strictly increasing internal-key
   /// order.
   Status Add(Slice internal_key, Slice value);
 
-  /// Writes the index and footer. The builder is unusable afterwards.
+  /// Writes the filter (if enabled), index, and footer. The builder is
+  /// unusable afterwards.
   Status Finish();
 
   uint64_t num_entries() const { return num_entries_; }
@@ -42,7 +70,8 @@ class TableBuilder {
   Status FlushBlock();
 
   std::unique_ptr<WritableFile> file_;
-  const size_t block_size_;
+  const TableOptions options_;
+  BloomFilterBuilder bloom_;
   std::string block_buf_;
   std::string index_;        // accumulated index entries
   std::string last_key_;     // last key added (order check + index key)
@@ -54,7 +83,8 @@ class TableBuilder {
 };
 
 /// Reader for a finished table. Loads the index eagerly (tables are small in
-/// this deployment); data blocks are read and checksummed on demand.
+/// this deployment); the filter block is read lazily on the first point-read
+/// probe, and data blocks are read and checksummed on demand.
 class Table {
  public:
   /// `cache` (nullable) holds verified data blocks keyed by `file_number`.
@@ -69,7 +99,18 @@ class Table {
 
   std::unique_ptr<InternalIterator> NewIterator() const;
 
+  /// True when the table carries a filter block (format v2 with a non-empty
+  /// filter).
+  bool has_filter() const { return filter_size_ > 0; }
+
+  /// Bloom probe with an already-extracted prefix. True means "may contain";
+  /// false is definitive. Filterless tables always return true. Loads the
+  /// filter block on first use (thread-safe); a corrupt filter block is
+  /// treated as absent rather than failing reads.
+  bool MayContainPrefix(Slice prefix) const;
+
   uint64_t num_blocks() const { return index_entries_.size(); }
+  uint64_t format_version() const { return format_version_; }
 
  private:
   struct IndexEntry {
@@ -84,11 +125,18 @@ class Table {
   Status ReadBlock(size_t block_idx, std::shared_ptr<const std::string>* out) const;
   /// Index of the first block whose last key >= target, or -1.
   int FindBlock(Slice target) const;
+  void EnsureFilterLoaded() const;
 
   std::unique_ptr<RandomAccessFile> file_;
   std::vector<IndexEntry> index_entries_;
   BlockCache* cache_ = nullptr;
   uint64_t file_number_ = 0;
+  uint64_t format_version_ = 1;
+  uint64_t filter_offset_ = 0;
+  uint64_t filter_size_ = 0;  // payload bytes, excluding the crc trailer
+
+  mutable std::once_flag filter_once_;
+  mutable std::string filter_;  // loaded lazily; empty until first probe
 };
 
 }  // namespace veloce::storage

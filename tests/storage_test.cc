@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
+#include "common/codec.h"
 #include "common/random.h"
+#include "storage/bloom.h"
 #include "storage/engine.h"
 #include "storage/env.h"
 #include "storage/memtable.h"
@@ -362,6 +366,181 @@ TEST(SSTableTest, CorruptBlockDetected) {
 }
 
 // ---------------------------------------------------------------------------
+// Bloom filter
+// ---------------------------------------------------------------------------
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilterBuilder builder(10);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 2000; ++i) keys.push_back("key" + std::to_string(i));
+  for (const auto& k : keys) builder.AddKey(k);
+  const std::string filter = builder.Finish();
+  for (const auto& k : keys) {
+    EXPECT_TRUE(BloomKeyMayMatch(k, filter)) << k;
+  }
+}
+
+TEST(BloomFilterTest, ConsecutiveDuplicatesCountOnce) {
+  // Sorted SSTable adds feed the builder duplicate prefixes back to back
+  // (every version of one MVCC key); they must not inflate the filter.
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 100; ++i) builder.AddKey("same-prefix");
+  EXPECT_EQ(builder.num_keys(), 1u);
+}
+
+TEST(BloomFilterTest, FalsePositiveRateUnderTenBitsPerKey) {
+  BloomFilterBuilder builder(10);
+  const int n = 100000;
+  char key[16];
+  for (int i = 0; i < n; ++i) {
+    std::snprintf(key, sizeof(key), "k%06d", i);
+    builder.AddKey(key);
+  }
+  const std::string filter = builder.Finish();
+  int false_positives = 0;
+  for (int i = 0; i < n; ++i) {
+    std::snprintf(key, sizeof(key), "absent%06d", i);
+    if (BloomKeyMayMatch(key, filter)) ++false_positives;
+  }
+  // 10 bits/key with k=6 probes gives ~0.8% theoretically; assert the
+  // issue's ceiling with headroom for hash quality.
+  EXPECT_LE(false_positives, n * 15 / 1000)
+      << "measured FPR " << (100.0 * false_positives / n) << "%";
+}
+
+TEST(BloomFilterTest, TinyOrMalformedFiltersFailOpen) {
+  EXPECT_TRUE(BloomKeyMayMatch("anything", Slice()));
+  EXPECT_TRUE(BloomKeyMayMatch("anything", Slice("x", 1)));
+  // k > 30 is reserved for future encodings: must pass everything.
+  std::string future(9, '\0');
+  future.back() = static_cast<char>(31);
+  EXPECT_TRUE(BloomKeyMayMatch("anything", future));
+}
+
+// ---------------------------------------------------------------------------
+// SSTable filter blocks
+// ---------------------------------------------------------------------------
+
+TEST(SSTableTest, FilterBlockRoundTrip) {
+  auto env = NewMemEnv();
+  std::unique_ptr<WritableFile> wfile;
+  ASSERT_TRUE(env->NewWritableFile("t.sst", &wfile).ok());
+  TableOptions topts;
+  topts.block_size = 64;
+  TableBuilder builder(std::move(wfile), topts);
+  char key[16];
+  for (int i = 0; i < 500; ++i) {
+    std::snprintf(key, sizeof(key), "k%04d", i);
+    ASSERT_TRUE(builder.Add(MakeInternalKey(key, 1, ValueType::kValue), "v").ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+
+  std::unique_ptr<RandomAccessFile> rfile;
+  ASSERT_TRUE(env->NewRandomAccessFile("t.sst", &rfile).ok());
+  auto table = *Table::Open(std::move(rfile));
+  EXPECT_TRUE(table->has_filter());
+  EXPECT_EQ(table->format_version(), 2u);
+  for (int i = 0; i < 500; ++i) {
+    std::snprintf(key, sizeof(key), "k%04d", i);
+    EXPECT_TRUE(table->MayContainPrefix(key)) << key;  // no false negatives
+  }
+  int false_positives = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::snprintf(key, sizeof(key), "absent%04d", i);
+    if (table->MayContainPrefix(key)) ++false_positives;
+  }
+  EXPECT_LT(false_positives, 25);  // ~1% expected at 10 bits/key
+}
+
+TEST(SSTableTest, PreFilterTableStillOpensAndReads) {
+  // bloom_filter=false writes the legacy v1 footer — the exact layout of
+  // every table built before filters existed. Readers must keep serving it.
+  auto env = NewMemEnv();
+  std::unique_ptr<WritableFile> wfile;
+  ASSERT_TRUE(env->NewWritableFile("t.sst", &wfile).ok());
+  TableOptions topts;
+  topts.bloom_filter = false;
+  TableBuilder builder(std::move(wfile), topts);
+  ASSERT_TRUE(builder.Add(MakeInternalKey("a", 1, ValueType::kValue), "va").ok());
+  ASSERT_TRUE(builder.Add(MakeInternalKey("b", 1, ValueType::kValue), "vb").ok());
+  ASSERT_TRUE(builder.Finish().ok());
+
+  std::unique_ptr<RandomAccessFile> rfile;
+  ASSERT_TRUE(env->NewRandomAccessFile("t.sst", &rfile).ok());
+  auto table = *Table::Open(std::move(rfile));
+  EXPECT_FALSE(table->has_filter());
+  EXPECT_EQ(table->format_version(), 1u);
+  // Without a filter every prefix may match: reads fall through to blocks.
+  EXPECT_TRUE(table->MayContainPrefix("a"));
+  EXPECT_TRUE(table->MayContainPrefix("zzz"));
+  std::string fkey, fvalue;
+  ASSERT_TRUE(table->SeekEntry(MakeInternalKey("b", kMaxSequenceNumber,
+                                               ValueType::kValue),
+                               &fkey, &fvalue).ok());
+  EXPECT_EQ(fvalue, "vb");
+}
+
+TEST(SSTableTest, PrefixExtractorControlsFilterGranularity) {
+  // With an extractor that strips a 4-byte suffix, all "versions" of one
+  // logical key share one filter entry, probed by bare prefix.
+  auto env = NewMemEnv();
+  std::unique_ptr<WritableFile> wfile;
+  ASSERT_TRUE(env->NewWritableFile("t.sst", &wfile).ok());
+  TableOptions topts;
+  topts.prefix_extractor = [](Slice user_key) {
+    return user_key.size() > 4
+               ? Slice(user_key.data(), user_key.size() - 4)
+               : user_key;
+  };
+  TableBuilder builder(std::move(wfile), topts);
+  ASSERT_TRUE(
+      builder.Add(MakeInternalKey("alpha0001", 3, ValueType::kValue), "1").ok());
+  ASSERT_TRUE(
+      builder.Add(MakeInternalKey("alpha0002", 2, ValueType::kValue), "2").ok());
+  ASSERT_TRUE(
+      builder.Add(MakeInternalKey("beta_0001", 1, ValueType::kValue), "3").ok());
+  ASSERT_TRUE(builder.Finish().ok());
+
+  std::unique_ptr<RandomAccessFile> rfile;
+  ASSERT_TRUE(env->NewRandomAccessFile("t.sst", &rfile).ok());
+  auto table = *Table::Open(std::move(rfile));
+  ASSERT_TRUE(table->has_filter());
+  EXPECT_TRUE(table->MayContainPrefix("alpha"));
+  EXPECT_TRUE(table->MayContainPrefix("beta_"));
+  EXPECT_FALSE(table->MayContainPrefix("gamma"));
+}
+
+TEST(SSTableTest, CorruptFilterBlockFailsOpen) {
+  // A damaged filter must degrade to "no filter" (reads stay correct),
+  // never to false negatives.
+  auto env = NewMemEnv();
+  std::unique_ptr<WritableFile> wfile;
+  ASSERT_TRUE(env->NewWritableFile("t.sst", &wfile).ok());
+  TableBuilder builder(std::move(wfile), TableOptions{});
+  ASSERT_TRUE(builder.Add(MakeInternalKey("a", 1, ValueType::kValue), "va").ok());
+  ASSERT_TRUE(builder.Finish().ok());
+  std::string contents;
+  ASSERT_TRUE(env->ReadFileToString("t.sst", &contents).ok());
+  // v2 footer: filter_offset is the first u64 of the trailing 48 bytes.
+  Slice footer(contents.data() + contents.size() - 48, 8);
+  uint64_t filter_offset = 0;
+  ASSERT_TRUE(GetFixed64(&footer, &filter_offset));
+  contents[filter_offset] ^= 0x5A;
+  ASSERT_TRUE(env->WriteStringToFile("t2.sst", contents).ok());
+
+  std::unique_ptr<RandomAccessFile> rfile;
+  ASSERT_TRUE(env->NewRandomAccessFile("t2.sst", &rfile).ok());
+  auto table = *Table::Open(std::move(rfile));
+  EXPECT_TRUE(table->has_filter());            // footer says one exists
+  EXPECT_TRUE(table->MayContainPrefix("a"));   // but probes fail open
+  EXPECT_TRUE(table->MayContainPrefix("zz"));
+  std::string fkey, fvalue;
+  EXPECT_TRUE(table->SeekEntry(MakeInternalKey("a", kMaxSequenceNumber,
+                                               ValueType::kValue),
+                               &fkey, &fvalue).ok());
+}
+
+// ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
 
@@ -532,6 +711,189 @@ TEST(EngineTest, RecoveryAfterFlushAndCompaction) {
   }
 }
 
+TEST(EngineTest, GetVisibleDistinguishesTombstoneFromAbsent) {
+  auto engine = *Engine::Open(EngineOptions{});
+  ASSERT_TRUE(engine->Put("k", "v").ok());
+  ASSERT_TRUE(engine->Delete("k").ok());
+  ASSERT_TRUE(engine->Flush().ok());  // exercise the SSTable path too
+
+  std::string value;
+  bool found = false;
+  EXPECT_TRUE(engine->GetVisible("k", &value, &found).IsNotFound());
+  EXPECT_TRUE(found);  // present, as a tombstone
+  EXPECT_TRUE(engine->GetVisible("never-written", &value, &found).IsNotFound());
+  EXPECT_FALSE(found);  // genuinely absent
+
+  ASSERT_TRUE(engine->Put("live", "yes").ok());
+  ASSERT_TRUE(engine->GetVisible("live", &value, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(value, "yes");
+}
+
+TEST(EngineTest, BloomSkipsTablesAndCountsUsefulProbes) {
+  EngineOptions opts;
+  auto engine = *Engine::Open(opts);
+  // Two L0 tables with *overlapping* key ranges so range pruning cannot
+  // help, but disjoint key sets so blooms can.
+  ASSERT_TRUE(engine->Put("a", "1").ok());
+  ASSERT_TRUE(engine->Put("c", "2").ok());
+  ASSERT_TRUE(engine->Flush().ok());
+  ASSERT_TRUE(engine->Put("b", "3").ok());
+  ASSERT_TRUE(engine->Put("d", "4").ok());
+  ASSERT_TRUE(engine->Flush().ok());
+  ASSERT_EQ(engine->NumFilesAtLevel(0), 2);
+
+  std::string value;
+  // "c" lives only in the older table. L0 searches newest-first, so the
+  // [b,d] table is consulted first: it overlaps "c" (range pruning cannot
+  // reject it) but its bloom filter proves "c" absent without a block read.
+  ASSERT_TRUE(engine->Get("c", &value).ok());
+  EXPECT_EQ(value, "2");
+  const EngineStats& stats = engine->stats();
+  EXPECT_GT(stats.bloom_checked, 0u);
+  EXPECT_GT(stats.bloom_useful, 0u);
+  EXPECT_LE(stats.bloom_false_positive, stats.bloom_checked);
+}
+
+TEST(EngineTest, RangePruningCountsSkippedTables) {
+  EngineOptions opts;
+  auto engine = *Engine::Open(opts);
+  ASSERT_TRUE(engine->Put("a1", "1").ok());
+  ASSERT_TRUE(engine->Put("a2", "2").ok());
+  ASSERT_TRUE(engine->Flush().ok());
+  ASSERT_TRUE(engine->Put("z1", "3").ok());
+  ASSERT_TRUE(engine->Put("z2", "4").ok());
+  ASSERT_TRUE(engine->Flush().ok());
+
+  std::string value;
+  // L0 searches newest-first: the [z1,z2] table is reached first and
+  // rejected on its key range alone before "a1" is found in the older one.
+  ASSERT_TRUE(engine->Get("a1", &value).ok());
+  EXPECT_GT(engine->stats().tables_pruned, 0u);
+}
+
+TEST(EngineTest, BloomDisabledEngineWritesLegacyTablesNewEngineReadsThem) {
+  // The upgrade scenario: tables written before filters existed (v1) must
+  // keep serving reads under a bloom-enabled engine after reopen.
+  auto env = NewMemEnv();
+  EngineOptions opts;
+  opts.env = env.get();
+  opts.dir = "db";
+  opts.bloom_filters = false;
+  {
+    auto engine = *Engine::Open(opts);
+    ASSERT_TRUE(engine->Put("old-key", "old-value").ok());
+    ASSERT_TRUE(engine->Flush().ok());
+  }
+  opts.bloom_filters = true;
+  auto engine = *Engine::Open(opts);
+  std::string value;
+  ASSERT_TRUE(engine->Get("old-key", &value).ok());
+  EXPECT_EQ(value, "old-value");
+  // Legacy tables have no filter, so no probes were issued against them.
+  EXPECT_EQ(engine->stats().bloom_checked, 0u);
+  // New writes flush v2 tables; now probes happen.
+  ASSERT_TRUE(engine->Put("new-key", "new-value").ok());
+  ASSERT_TRUE(engine->Flush().ok());
+  ASSERT_TRUE(engine->Get("new-key", &value).ok());
+  EXPECT_GT(engine->stats().bloom_checked, 0u);
+}
+
+TEST(EngineTest, ManifestReloadPreservesPruningMetadata) {
+  // Key-range pruning and filter consultation both run off manifest
+  // metadata; both must survive a close/reopen cycle.
+  auto env = NewMemEnv();
+  EngineOptions opts = SmallEngineOptions();
+  opts.env = env.get();
+  opts.dir = "db";
+  {
+    auto engine = *Engine::Open(opts);
+    ASSERT_TRUE(engine->Put("aaa", "1").ok());
+    ASSERT_TRUE(engine->Flush().ok());
+    ASSERT_TRUE(engine->Put("zzz", "2").ok());
+    ASSERT_TRUE(engine->Flush().ok());
+  }
+  auto engine = *Engine::Open(opts);
+  std::string value;
+  // L0 searches newest-first: the reloaded [zzz,zzz] table must be range-
+  // pruned before "aaa" is found, and the older table's filter must load.
+  ASSERT_TRUE(engine->Get("aaa", &value).ok());
+  EXPECT_EQ(value, "1");
+  EXPECT_GT(engine->stats().tables_pruned, 0u);
+  EXPECT_GT(engine->stats().bloom_checked, 0u);
+}
+
+TEST(BoundedIteratorTest, RespectsBounds) {
+  EngineOptions opts;
+  opts.block_bytes = 64;  // several keys per block, several blocks per table
+  auto engine = *Engine::Open(opts);
+  char key[16];
+  for (int i = 0; i < 100; ++i) {
+    std::snprintf(key, sizeof(key), "k%03d", i);
+    ASSERT_TRUE(engine->Put(key, std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+
+  // Bound inside the key space (and inside a data block).
+  auto it = engine->NewBoundedIterator("k010", "k020");
+  int count = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) ++count;
+  EXPECT_EQ(count, 10);
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key().ToString(), "k010");
+
+  // Seek below the lower bound clamps to it.
+  it->Seek("a");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key().ToString(), "k010");
+  // Seek past the upper bound invalidates.
+  it->Seek("k020");
+  EXPECT_FALSE(it->Valid());
+
+  // Empty upper bound = unbounded above.
+  auto open_end = engine->NewBoundedIterator("k090", Slice());
+  count = 0;
+  for (open_end->SeekToFirst(); open_end->Valid(); open_end->Next()) ++count;
+  EXPECT_EQ(count, 10);
+
+  // Bounds entirely past the largest key: nothing, and the only table is
+  // pruned on metadata alone.
+  const uint64_t pruned_before = engine->stats().tables_pruned;
+  auto past = engine->NewBoundedIterator("x", Slice());
+  past->SeekToFirst();
+  EXPECT_FALSE(past->Valid());
+  EXPECT_GT(engine->stats().tables_pruned, pruned_before);
+
+  // Bounds entirely before the smallest key.
+  auto before = engine->NewBoundedIterator("a", "b");
+  before->SeekToFirst();
+  EXPECT_FALSE(before->Valid());
+}
+
+TEST(BoundedIteratorTest, EmptyLowerBoundStartsAtFirstKey) {
+  auto engine = *Engine::Open(EngineOptions{});
+  ASSERT_TRUE(engine->Put("m", "1").ok());
+  ASSERT_TRUE(engine->Flush().ok());
+  auto it = engine->NewBoundedIterator(Slice(), Slice());
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key().ToString(), "m");
+}
+
+TEST(BoundedIteratorTest, SnapshotConsistentAcrossBounds) {
+  auto engine = *Engine::Open(EngineOptions{});
+  ASSERT_TRUE(engine->Put("k1", "old").ok());
+  auto it = engine->NewBoundedIterator("k0", "k9");
+  ASSERT_TRUE(engine->Put("k1", "new").ok());
+  ASSERT_TRUE(engine->Put("k2", "invisible").ok());
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->value().ToString(), "old");
+  it->Next();
+  EXPECT_FALSE(it->Valid());  // k2 written after the snapshot
+}
+
 TEST(EngineTest, StatsTrackWriteAmplification) {
   auto engine = *Engine::Open(SmallEngineOptions());
   Random rnd(19);
@@ -626,7 +988,8 @@ namespace {
 // ---------------------------------------------------------------------------
 
 TEST(BlockCacheTest, InsertLookupEvict) {
-  BlockCache cache(/*capacity_bytes=*/1000);
+  // One shard so the whole budget is a single LRU with deterministic order.
+  BlockCache cache(/*capacity_bytes=*/1000, /*num_shards=*/1);
   EXPECT_EQ(cache.Lookup(1, 0), nullptr);
   cache.Insert(1, 0, std::string(400, 'a'));
   cache.Insert(1, 1, std::string(400, 'b'));
@@ -653,13 +1016,86 @@ TEST(BlockCacheTest, EvictFileDropsAllItsBlocks) {
 }
 
 TEST(BlockCacheTest, SharedPtrSurvivesEviction) {
-  BlockCache cache(20);
+  BlockCache cache(20, /*num_shards=*/1);
   cache.Insert(1, 0, "pinned-content");
   auto pinned = cache.Lookup(1, 0);
-  cache.Insert(1, 1, std::string(100, 'x'));  // evicts everything
+  cache.Insert(1, 1, std::string(15, 'x'));  // over budget: evicts the LRU
   EXPECT_EQ(cache.Lookup(1, 0), nullptr);
   ASSERT_NE(pinned, nullptr);
   EXPECT_EQ(*pinned, "pinned-content");  // still valid for the holder
+}
+
+TEST(BlockCacheTest, OversizedInsertRejectedNotPinned) {
+  // Regression: a block larger than a shard's budget used to be admitted and
+  // then pinned the cache over capacity forever (nothing left to evict).
+  BlockCache cache(64, /*num_shards=*/1);
+  cache.Insert(1, 0, "small");
+  cache.Insert(1, 1, std::string(1000, 'x'));  // larger than total capacity
+  EXPECT_EQ(cache.Lookup(1, 1), nullptr);      // rejected outright
+  EXPECT_NE(cache.Lookup(1, 0), nullptr);      // resident blocks untouched
+  EXPECT_LE(cache.usage_bytes(), 64u);
+}
+
+TEST(BlockCacheTest, OversizedForShardBudgetRejected) {
+  // With N shards each shard only controls capacity/N bytes, so a block can
+  // be oversized for its shard even when smaller than the total capacity.
+  BlockCache cache(1600, /*num_shards=*/16);
+  cache.Insert(1, 0, std::string(500, 'x'));  // 500 > 1600/16
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  EXPECT_EQ(cache.usage_bytes(), 0u);
+}
+
+TEST(BlockCacheTest, ShardedCountersSumAcrossShards) {
+  BlockCache cache(1 << 20, /*num_shards=*/4);
+  ASSERT_EQ(cache.num_shards(), 4u);
+  for (uint64_t i = 0; i < 32; ++i) {
+    cache.Insert(i, i, "v");
+    ASSERT_NE(cache.Lookup(i, i), nullptr);
+  }
+  (void)cache.Lookup(999, 999);
+  EXPECT_EQ(cache.hits(), 32u);
+  EXPECT_EQ(cache.misses(), 1u);
+  uint64_t shard_hits = 0, shard_misses = 0;
+  size_t shard_usage = 0;
+  for (size_t s = 0; s < cache.num_shards(); ++s) {
+    shard_hits += cache.shard_hits(s);
+    shard_misses += cache.shard_misses(s);
+    shard_usage += cache.shard_usage_bytes(s);
+  }
+  EXPECT_EQ(shard_hits, cache.hits());
+  EXPECT_EQ(shard_misses, cache.misses());
+  EXPECT_EQ(shard_usage, cache.usage_bytes());
+}
+
+TEST(BlockCacheTest, ConcurrentReadersAndWriters) {
+  // Counter reads take no lock; this test is the TSan target proving the
+  // old unsynchronized-size_t race is gone.
+  BlockCache cache(1 << 16, /*num_shards=*/4);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Random rnd(1);
+    for (int i = 0; i < 5000; ++i) {
+      cache.Insert(rnd.Uniform(16), rnd.Uniform(64), std::string(64, 'w'));
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    Random rnd(2);
+    while (!stop.load()) {
+      (void)cache.Lookup(rnd.Uniform(16), rnd.Uniform(64));
+    }
+  });
+  std::thread observer([&] {
+    while (!stop.load()) {
+      (void)cache.hits();
+      (void)cache.misses();
+      (void)cache.usage_bytes();
+    }
+  });
+  writer.join();
+  reader.join();
+  observer.join();
+  EXPECT_LE(cache.usage_bytes(), size_t{1 << 16});
 }
 
 TEST(BlockCacheTest, HitMissCounters) {
