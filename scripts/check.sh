@@ -24,8 +24,9 @@ run_preset() {
   ctest --preset "${preset}" -j "${JOBS}"
 }
 
-# Runs the point-lookup bench end to end and asserts it completed (exit 0
-# enforces its internal >= 2x speedup gate) and emitted parseable JSON.
+# Runs the point-lookup and write-path benches end to end and asserts each
+# completed (exit 0 enforces their internal >= 2x speedup gates) and emitted
+# parseable JSON.
 bench_smoke() {
   echo "==> bench smoke (bench_point_lookup)"
   local out="build/bench-smoke"
@@ -37,6 +38,15 @@ bench_smoke() {
     python3 -c "import json,sys; json.load(open(sys.argv[1]))" "${json}"
   else
     grep -q '"uniform_cold_speedup"' "${json}"
+  fi
+  echo "==> bench smoke (bench_write_path)"
+  (cd "${out}" && ../bench/bench_write_path)
+  json="${out}/BENCH_write_path.json"
+  [[ -s "${json}" ]] || { echo "missing ${json}" >&2; exit 1; }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "${json}"
+  else
+    grep -q '"multi_writer_speedup"' "${json}"
   fi
   echo "bench smoke OK"
 }

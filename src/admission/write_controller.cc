@@ -67,6 +67,15 @@ void WriteTokenBucket::UpdateCapacity(const storage::EngineStats& stats,
   if (l0_files > kHealthyL0) {
     capacity *= static_cast<double>(kHealthyL0) / l0_files;
   }
+
+  // Write-stall discount: time writers spent stalled this interval is time
+  // the engine was past its sustainable rate. Scale capacity down by the
+  // stalled fraction of the interval, floored so one bad interval cannot
+  // collapse admission entirely.
+  const double stall_secs = stats.stall_seconds - prev_stats_.stall_seconds;
+  if (stall_secs > 0) {
+    capacity *= std::max(0.25, 1.0 - stall_secs / secs);
+  }
   if (capacity > 0) {
     refill_per_sec_ = capacity;
     burst_bytes_ = refill_per_sec_;  // one second of burst

@@ -35,7 +35,8 @@ class LinearWriteModel {
 /// byte of LSM write capacity. The refill rate is re-estimated every
 /// `kCapacityInterval` from the engine's flush and compaction throughput —
 /// the two observable write bottlenecks — discounted when L0 builds up a
-/// backlog (read amplification pressure).
+/// backlog (read amplification pressure) or when writers spent part of the
+/// interval stalled on the engine's own backpressure.
 class WriteTokenBucket {
  public:
   static constexpr Nanos kCapacityInterval = 15 * kSecond;

@@ -19,6 +19,10 @@ ServerlessCluster::ServerlessCluster(Options options)
       meter_(loop_.clock(), billing::EstimatedCpuModel::Default(), obs_) {
   options_.kv.clock = loop_.clock();
   options_.kv.obs = obs_;
+  // Storage background work (flushes, compactions) runs as loop events so
+  // the whole cluster — including engine internals — replays exactly.
+  storage_executor_ = std::make_unique<sim::SimExecutor>(&loop_);
+  options_.kv.engine_options.background_executor = storage_executor_.get();
   kv_ = std::make_unique<kv::KVCluster>(options_.kv);
   controller_ = std::make_unique<tenant::TenantController>(kv_.get(), &ca_);
   service_ = std::make_unique<tenant::AuthorizedKvService>(kv_.get(), &ca_);

@@ -14,6 +14,7 @@
 #include "serverless/kube_sim.h"
 #include "serverless/node_pool.h"
 #include "serverless/proxy.h"
+#include "sim/sim_executor.h"
 #include "tenant/controller.h"
 
 namespace veloce::serverless {
@@ -113,6 +114,10 @@ class ServerlessCluster {
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   std::unique_ptr<obs::TraceCollector> owned_traces_;
   obs::ObsContext obs_;  // resolved: sim clock + registry + collector
+  /// Deterministic background flush/compaction for every KV engine: work
+  /// runs as discrete events on loop_. Declared before kv_ so engines are
+  /// destroyed first.
+  std::unique_ptr<sim::SimExecutor> storage_executor_;
   std::unique_ptr<kv::KVCluster> kv_;
   tenant::CertificateAuthority ca_;
   std::unique_ptr<tenant::TenantController> controller_;

@@ -1,0 +1,74 @@
+#ifndef VELOCE_SIM_SIM_EXECUTOR_H_
+#define VELOCE_SIM_SIM_EXECUTOR_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "common/clock.h"
+#include "sim/event_loop.h"
+#include "storage/background.h"
+
+namespace veloce::sim {
+
+/// Deterministic storage::BackgroundExecutor that runs engine background
+/// work (flushes, compactions) as discrete events on a sim::EventLoop.
+///
+/// Tasks land in an owned FIFO; each Schedule() also posts a loop event
+/// `service_delay` nanoseconds out that pops and runs exactly one task.
+/// Because the loop fires same-instant events in scheduling order, a run of
+/// the same workload replays background work identically — this is what
+/// keeps the paper-figure benches (`bench_fig5`, `bench_fig8`,
+/// `bench_table1_noisy_neighbor`) bit-deterministic with background
+/// flush/compaction enabled.
+///
+/// A stalled writer (single-threaded sim: it cannot block) assists via
+/// RunQueued(), which drains the FIFO inline; the already-posted loop
+/// events then find the queue empty and no-op. Loop events capture only the
+/// shared queue state, so they stay safe even if the executor or the
+/// engines die before the loop drains.
+class SimExecutor final : public storage::BackgroundExecutor {
+ public:
+  explicit SimExecutor(EventLoop* loop, Nanos service_delay = 0)
+      : loop_(loop), service_delay_(service_delay),
+        state_(std::make_shared<State>()) {}
+
+  void Schedule(std::function<void()> fn) override {
+    state_->queue.push_back(std::move(fn));
+    auto state = state_;
+    loop_->Schedule(service_delay_, [state] {
+      if (state->queue.empty()) return;  // drained by a stall assist
+      auto task = std::move(state->queue.front());
+      state->queue.pop_front();
+      task();
+    });
+  }
+
+  bool single_threaded() const override { return true; }
+
+  size_t RunQueued() override {
+    size_t ran = 0;
+    while (!state_->queue.empty()) {
+      auto task = std::move(state_->queue.front());
+      state_->queue.pop_front();
+      task();
+      ++ran;
+    }
+    return ran;
+  }
+
+  size_t queue_depth() const override { return state_->queue.size(); }
+
+ private:
+  struct State {
+    std::deque<std::function<void()>> queue;
+  };
+
+  EventLoop* loop_;
+  const Nanos service_delay_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace veloce::sim
+
+#endif  // VELOCE_SIM_SIM_EXECUTOR_H_

@@ -6,6 +6,7 @@
 
 #include "common/codec.h"
 #include "common/logging.h"
+#include "storage/background.h"
 
 namespace veloce::storage {
 
@@ -71,6 +72,10 @@ StatusOr<std::unique_ptr<Engine>> Engine::Open(EngineOptions options) {
     engine->block_cache_ = std::make_unique<BlockCache>(options.block_cache_bytes,
                                                         options.block_cache_shards);
   }
+  engine->executor_ = options.background_executor;
+  if (engine->executor_ != nullptr) {
+    engine->bg_token_ = std::make_shared<BgToken>();
+  }
   engine->mem_ = std::make_shared<MemTable>();
   engine->InitMetrics();
   VELOCE_RETURN_IF_ERROR(engine->Recover());
@@ -104,8 +109,17 @@ void Engine::InitMetrics() {
       metrics_->counter("veloce_storage_bloom_false_positive_total", labels);
   tables_pruned_c_ =
       metrics_->counter("veloce_storage_read_tables_pruned_total", labels);
-  // Pull-style gauges: L0 backlog and block-cache hit ratio inputs.
+  // Write path: backpressure and group commit effectiveness. Stall seconds
+  // is a Gauge fed with cumulative Add() because stalls are fractional.
+  write_stalls_c_ = metrics_->counter("veloce_storage_write_stalls_total", labels);
+  stall_seconds_g_ =
+      metrics_->gauge("veloce_storage_write_stall_seconds_total", labels);
+  commit_group_size_h_ =
+      metrics_->histogram("veloce_storage_commit_group_size", labels);
+  // Pull-style gauges: L0/flush backlog and block-cache hit ratio inputs.
   obs::Gauge* l0 = metrics_->gauge("veloce_storage_l0_files", labels);
+  obs::Gauge* bg_depth = metrics_->gauge("veloce_storage_bg_queue_depth", labels);
+  obs::Gauge* imm = metrics_->gauge("veloce_storage_imm_memtables", labels);
   obs::Gauge* hits = metrics_->gauge("veloce_storage_block_cache_hits", labels);
   obs::Gauge* misses = metrics_->gauge("veloce_storage_block_cache_misses", labels);
   obs::Gauge* ratio = metrics_->gauge("veloce_storage_block_cache_hit_ratio", labels);
@@ -121,8 +135,13 @@ void Engine::InitMetrics() {
     }
   }
   gauge_callback_ = metrics_->AddCollectCallback(
-      [this, l0, hits, misses, ratio, shard_gauges = std::move(shard_gauges)] {
+      [this, l0, bg_depth, imm, hits, misses, ratio,
+       shard_gauges = std::move(shard_gauges)] {
         l0->Set(NumFilesAtLevel(0));
+        bg_depth->Set(executor_ != nullptr
+                          ? static_cast<double>(executor_->queue_depth())
+                          : 0);
+        imm->Set(static_cast<double>(imm_count_.load(std::memory_order_relaxed)));
         if (block_cache_ != nullptr) {
           const double h = static_cast<double>(block_cache_->hits());
           const double m = static_cast<double>(block_cache_->misses());
@@ -151,16 +170,32 @@ const EngineStats& Engine::stats() const {
   stats_snapshot_.bloom_useful = bloom_useful_c_->value();
   stats_snapshot_.bloom_false_positive = bloom_false_positive_c_->value();
   stats_snapshot_.tables_pruned = tables_pruned_c_->value();
+  stats_snapshot_.write_stalls = write_stalls_c_->value();
+  stats_snapshot_.stall_seconds = stall_seconds_g_->value();
   return stats_snapshot_;
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  if (executor_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    shutting_down_ = true;
+  }
+  // Taking the token mutex waits out an in-flight background task; queued
+  // tasks that run later see !alive and no-op. Anything still buffered in
+  // mem_/imm_ is covered by retained WALs and replays on reopen — the same
+  // crash-consistency contract the synchronous mode has always had.
+  std::lock_guard<std::mutex> tl(bg_token_->mu);
+  bg_token_->alive = false;
+}
 
 Status Engine::Recover() {
   if (env_->FileExists(ManifestFileName())) {
     VELOCE_RETURN_IF_ERROR(LoadManifest());
   }
-  // Replay any WALs present, in number order, into the memtable.
+  // Replay any WALs present, in number order, into the memtable. A crash
+  // can leave several: the active WAL plus one per sealed memtable that
+  // was still waiting on its background flush.
   std::vector<std::string> children;
   VELOCE_RETURN_IF_ERROR(env_->GetChildren(options_.dir, &children));
   std::vector<std::string> wals;
@@ -172,7 +207,7 @@ Status Engine::Recover() {
     VELOCE_RETURN_IF_ERROR(ReplayWal(options_.dir + "/" + name));
   }
   if (mem_->num_entries() > 0) {
-    std::lock_guard<std::mutex> l(mu_);
+    std::unique_lock<std::mutex> l(mu_);
     VELOCE_RETURN_IF_ERROR(FlushMemTableLocked());
   }
   for (const auto& name : wals) {
@@ -197,7 +232,9 @@ Status Engine::ReplayWal(const std::string& fname) {
     VELOCE_RETURN_IF_ERROR(batch.SetContents(payload));
     MemTableInserter inserter(mem_.get(), base_seq);
     VELOCE_RETURN_IF_ERROR(batch.Iterate(&inserter));
-    if (inserter.next_seq() - 1 > last_seq_) last_seq_ = inserter.next_seq() - 1;
+    if (inserter.next_seq() - 1 > last_seq_.load(std::memory_order_relaxed)) {
+      last_seq_.store(inserter.next_seq() - 1, std::memory_order_relaxed);
+    }
   }
   if (corruption) {
     return Status::Corruption("corrupt WAL record in " + fname);
@@ -206,7 +243,7 @@ Status Engine::ReplayWal(const std::string& fname) {
 }
 
 Status Engine::NewWal() {
-  wal_number_ = next_file_number_++;
+  wal_number_ = next_file_number_.fetch_add(1, std::memory_order_relaxed);
   std::unique_ptr<WritableFile> file;
   VELOCE_RETURN_IF_ERROR(env_->NewWritableFile(WalFileName(wal_number_), &file));
   wal_ = std::make_unique<LogWriter>(std::move(file));
@@ -215,8 +252,8 @@ Status Engine::NewWal() {
 
 Status Engine::WriteManifest() {
   std::string out;
-  PutFixed64(&out, next_file_number_);
-  PutFixed64(&out, last_seq_);
+  PutFixed64(&out, next_file_number_.load(std::memory_order_relaxed));
+  PutFixed64(&out, last_seq_.load(std::memory_order_relaxed));
   uint32_t num_files = 0;
   for (int level = 0; level < kNumLevels; ++level) {
     num_files += static_cast<uint32_t>(levels_[level].size());
@@ -239,10 +276,13 @@ Status Engine::LoadManifest() {
   VELOCE_RETURN_IF_ERROR(env_->ReadFileToString(ManifestFileName(), &contents));
   Slice in(contents);
   uint32_t num_files = 0;
-  if (!GetFixed64(&in, &next_file_number_) || !GetFixed64(&in, &last_seq_) ||
+  uint64_t next_file = 0, last_seq = 0;
+  if (!GetFixed64(&in, &next_file) || !GetFixed64(&in, &last_seq) ||
       !GetFixed32(&in, &num_files)) {
     return Status::Corruption("bad manifest header");
   }
+  next_file_number_.store(next_file, std::memory_order_relaxed);
+  last_seq_.store(last_seq, std::memory_order_relaxed);
   for (uint32_t i = 0; i < num_files; ++i) {
     uint32_t level = 0;
     auto meta = std::make_shared<FileMeta>();
@@ -286,43 +326,307 @@ Status Engine::Delete(Slice key) {
 
 Status Engine::Write(const WriteBatch& batch) {
   if (batch.Count() == 0) return Status::OK();
-  std::lock_guard<std::mutex> l(mu_);
-  const SequenceNumber base_seq = last_seq_ + 1;
+  // Validate the batch before it touches any engine state, so a malformed
+  // batch leaves no WAL record, no memtable entries, and the sequence
+  // counter unmoved (writes are all-or-nothing).
+  {
+    struct Validator : WriteBatch::Handler {
+      void Put(Slice, Slice) override {}
+      void Delete(Slice) override {}
+    } validator;
+    VELOCE_RETURN_IF_ERROR(batch.Iterate(&validator));
+  }
+  std::unique_lock<std::mutex> l(mu_);
+  if (!options_.group_commit) {
+    return WriteLegacyLocked(l, batch);
+  }
+  Writer w(&batch);
+  writers_.push_back(&w);
+  while (!w.done && &w != writers_.front()) {
+    w.cv.wait(l);
+  }
+  if (w.done) return w.status;  // a leader committed us as a follower
+  return WriteGroupCommit(l, &w);
+}
+
+Status Engine::WriteLegacyLocked(std::unique_lock<std::mutex>& l,
+                                 const WriteBatch& batch) {
+  VELOCE_RETURN_IF_ERROR(bg_error_);
+  VELOCE_RETURN_IF_ERROR(MakeRoomForWriteLocked(l));
+  const SequenceNumber base_seq = last_seq_.load(std::memory_order_relaxed) + 1;
   std::string record;
   PutFixed64(&record, base_seq);
   record.append(batch.rep());
   VELOCE_RETURN_IF_ERROR(wal_->AddRecord(Slice(record)));
+  if (options_.sync_wal) VELOCE_RETURN_IF_ERROR(wal_->Sync());
   wal_bytes_c_->Inc(record.size() + 8);  // payload + frame header
   ingest_bytes_c_->Inc(batch.PayloadBytes());
 
   MemTableInserter inserter(mem_.get(), base_seq);
-  VELOCE_RETURN_IF_ERROR(batch.Iterate(&inserter));
-  last_seq_ = inserter.next_seq() - 1;
+  VELOCE_RETURN_IF_ERROR(batch.Iterate(&inserter));  // pre-validated
+  last_seq_.store(base_seq + batch.Count() - 1, std::memory_order_release);
 
-  if (mem_->ApproximateMemoryUsage() >= options_.memtable_bytes) {
-    VELOCE_RETURN_IF_ERROR(FlushMemTableLocked());
-    VELOCE_RETURN_IF_ERROR(MaybeCompactLocked());
+  if (executor_ == nullptr) {
+    if (mem_->ApproximateMemoryUsage() >= options_.memtable_bytes) {
+      VELOCE_RETURN_IF_ERROR(FlushMemTableLocked());
+      VELOCE_RETURN_IF_ERROR(MaybeCompactLocked());
+    }
+  } else {
+    MaybeScheduleBackgroundLocked();
   }
   return Status::OK();
 }
 
-Status Engine::Flush() {
-  std::lock_guard<std::mutex> l(mu_);
-  if (mem_->num_entries() == 0) return Status::OK();
-  VELOCE_RETURN_IF_ERROR(FlushMemTableLocked());
-  return MaybeCompactLocked();
+Status Engine::WriteGroupCommit(std::unique_lock<std::mutex>& l, Writer* w) {
+  Status s = bg_error_;
+  if (s.ok()) s = MakeRoomForWriteLocked(l);  // we stay the front writer
+
+  // Merge queued followers into one group: one WAL record, one optional
+  // sync, one memtable-insert pass for the whole group. Capped so a huge
+  // group cannot hold its tail writers up for too long.
+  Writer* last_writer = w;
+  const WriteBatch* gbatch = w->batch;
+  size_t group_size = 1;
+  if (s.ok()) {
+    constexpr size_t kMaxGroupBytes = 1 << 20;
+    size_t bytes = gbatch->ByteSize();
+    auto it = writers_.begin();
+    ++it;  // skip self
+    for (; it != writers_.end(); ++it) {
+      Writer* follower = *it;
+      if (bytes + follower->batch->ByteSize() > kMaxGroupBytes) break;
+      if (gbatch == w->batch) {
+        tmp_batch_.Clear();
+        tmp_batch_.Append(*w->batch);
+        gbatch = &tmp_batch_;
+      }
+      tmp_batch_.Append(*follower->batch);
+      bytes += follower->batch->ByteSize();
+      last_writer = follower;
+      ++group_size;
+    }
+  }
+
+  if (s.ok()) {
+    const SequenceNumber base_seq = last_seq_.load(std::memory_order_relaxed) + 1;
+    std::shared_ptr<MemTable> mem = mem_;
+    LogWriter* wal = wal_.get();
+    // Commit I/O runs with the engine unlocked: we remain the front writer,
+    // so no one else appends to the WAL or rotates the memtable, while
+    // reads and background flush/compaction proceed concurrently.
+    l.unlock();
+    std::string record;
+    PutFixed64(&record, base_seq);
+    record.append(gbatch->rep());
+    s = wal->AddRecord(Slice(record));
+    if (s.ok() && options_.sync_wal) s = wal->Sync();
+    if (s.ok()) {
+      wal_bytes_c_->Inc(record.size() + 8);  // payload + frame header
+      ingest_bytes_c_->Inc(gbatch->PayloadBytes());
+      MemTableInserter inserter(mem.get(), base_seq);
+      s = gbatch->Iterate(&inserter);  // every batch was pre-validated
+      if (s.ok()) {
+        // Publish. Entries inserted above were invisible until this store:
+        // readers snapshot last_seq_ and filter newer sequence numbers.
+        last_seq_.store(base_seq + gbatch->Count() - 1, std::memory_order_release);
+      }
+    }
+    l.lock();
+  }
+  commit_group_size_h_->Record(static_cast<int64_t>(group_size));
+
+  // Synchronous mode keeps the legacy flush-inside-the-write timing.
+  if (s.ok() && executor_ == nullptr &&
+      mem_->ApproximateMemoryUsage() >= options_.memtable_bytes) {
+    Status fs = FlushMemTableLocked();
+    if (fs.ok()) fs = MaybeCompactLocked();
+    if (!fs.ok()) s = fs;
+  }
+
+  // Pop the whole group, waking followers with the shared status.
+  while (true) {
+    Writer* ready = writers_.front();
+    writers_.pop_front();
+    if (ready != w) {
+      ready->status = s;
+      ready->done = true;
+      ready->cv.notify_one();
+    }
+    if (ready == last_writer) break;
+  }
+  if (!writers_.empty()) {
+    writers_.front()->cv.notify_one();  // promote the next leader
+  } else {
+    writers_empty_cv_.notify_all();
+  }
+  return s;
 }
 
-Status Engine::FlushMemTableLocked() {
-  if (mem_->num_entries() == 0) return Status::OK();
+Status Engine::MakeRoomForWriteLocked(std::unique_lock<std::mutex>& l) {
+  if (executor_ == nullptr) return Status::OK();
+  Clock* clock = options_.obs.clock_or_real();
+  bool stalled = false;
+  Nanos stall_start = 0;
+  Status s;
+  while (s.ok()) {
+    if (!bg_error_.ok()) {
+      s = bg_error_;
+      break;
+    }
+    if (mem_->ApproximateMemoryUsage() < options_.memtable_bytes) break;
+    const bool imm_full =
+        static_cast<int>(imm_.size()) >= options_.max_immutable_memtables;
+    const bool l0_full =
+        static_cast<int>(levels_[0].size()) >= options_.l0_stall_files;
+    if (!imm_full && !l0_full) {
+      s = RotateMemtableLocked();
+      if (s.ok()) MaybeScheduleBackgroundLocked();
+      break;
+    }
+    // Backpressure: too many sealed memtables or L0 files — delay this
+    // writer until background work catches up. The delay is surfaced via
+    // write_stalls/stall_seconds, which admission control reads as "the
+    // engine is past its sustainable write capacity".
+    if (!stalled) {
+      stalled = true;
+      write_stalls_c_->Inc();
+      stall_start = clock->Now();
+    }
+    if (executor_->single_threaded()) {
+      l.unlock();
+      const size_t ran = executor_->RunQueued();
+      l.lock();
+      if (ran == 0) {
+        // Nothing runnable here (e.g. a deferring test executor): do one
+        // unit inline rather than spin forever.
+        if (!imm_.empty()) {
+          s = FlushOldestImm(l, /*unlock=*/false);
+        } else {
+          s = CompactOneStep(nullptr);
+        }
+      }
+    } else {
+      bg_cv_.wait(l);
+    }
+  }
+  if (stalled) {
+    stall_seconds_g_->Add(static_cast<double>(clock->Now() - stall_start) /
+                          static_cast<double>(kSecond));
+  }
+  return s;
+}
+
+Status Engine::RotateMemtableLocked() {
+  // The sealed memtable keeps its WAL: recovery replays WALs in number
+  // order, so a crash before the flush still restores it.
+  imm_.push_back(ImmMem{mem_, wal_number_});
+  imm_count_.store(imm_.size(), std::memory_order_relaxed);
+  mem_ = std::make_shared<MemTable>();
+  return NewWal();
+}
+
+bool Engine::HasBackgroundWorkLocked() const {
+  if (!imm_.empty()) return true;
+  if (static_cast<int>(levels_[0].size()) >= options_.l0_compaction_trigger) {
+    return true;
+  }
+  for (int level = 1; level < kNumLevels - 1; ++level) {
+    if (LevelBytesLocked(level) > MaxBytesForLevel(level)) return true;
+  }
+  return false;
+}
+
+void Engine::MaybeScheduleBackgroundLocked() {
+  if (executor_ == nullptr || shutting_down_ || bg_scheduled_) return;
+  if (!bg_error_.ok()) return;
+  if (!HasBackgroundWorkLocked()) return;
+  bg_scheduled_ = true;
+  auto token = bg_token_;
+  Engine* self = this;
+  executor_->Schedule([self, token] {
+    // Holding the token mutex while working makes ~Engine block until an
+    // in-flight task finishes; tasks arriving after shutdown no-op.
+    std::lock_guard<std::mutex> tl(token->mu);
+    if (!token->alive) return;
+    self->BackgroundWork();
+  });
+}
+
+void Engine::BackgroundWork() {
+  std::unique_lock<std::mutex> l(mu_);
+  Status s;
+  if (!shutting_down_) {
+    if (!imm_.empty()) {
+      s = FlushOldestImm(l, /*unlock=*/true);
+    } else {
+      s = CompactOneStep(&l);
+    }
+  }
+  bg_scheduled_ = false;
+  if (!s.ok() && bg_error_.ok()) bg_error_ = s;
+  MaybeScheduleBackgroundLocked();  // more work? chain the next unit
+  bg_cv_.notify_all();
+}
+
+Status Engine::FlushOldestImm(std::unique_lock<std::mutex>& l, bool unlock) {
+  if (imm_.empty()) return Status::OK();
+  ImmMem target = imm_.front();
   auto meta = std::make_shared<FileMeta>();
-  meta->number = next_file_number_++;
+  meta->number = next_file_number_.fetch_add(1, std::memory_order_relaxed);
+  Status s;
+  if (unlock) {
+    // Build the L0 table unlocked: the sealed memtable is frozen and pinned
+    // by the shared_ptr, and flushes are serialized (one background task at
+    // a time; foreground drains quiesce first), so imm_.front() is stable.
+    l.unlock();
+    s = BuildMemTable(*target.mem, meta.get());
+    l.lock();
+  } else {
+    s = BuildMemTable(*target.mem, meta.get());
+  }
+  VELOCE_RETURN_IF_ERROR(s);
+  levels_[0].insert(levels_[0].begin(), meta);  // newest first
+  flush_bytes_c_->Inc(meta->file_size);
+  flushes_c_->Inc();
+  imm_.pop_front();
+  imm_count_.store(imm_.size(), std::memory_order_relaxed);
+  VELOCE_RETURN_IF_ERROR(WriteManifest());
+  // The sealed memtable is durable in L0; retire the WAL that covered it.
+  (void)env_->DeleteFile(WalFileName(target.wal_number));
+  return Status::OK();
+}
+
+void Engine::WaitWritersIdleLocked(std::unique_lock<std::mutex>& l) {
+  while (!writers_.empty()) {
+    writers_empty_cv_.wait(l);
+  }
+}
+
+void Engine::WaitBackgroundIdleLocked(std::unique_lock<std::mutex>& l) {
+  while (bg_scheduled_) {
+    if (executor_->single_threaded()) {
+      l.unlock();
+      const size_t ran = executor_->RunQueued();
+      l.lock();
+      if (ran == 0) {
+        // The queued task is deferred beyond our reach (test executors);
+        // it re-checks engine state whenever it does run, so treating the
+        // engine as idle here is safe.
+        bg_scheduled_ = false;
+      }
+    } else {
+      bg_cv_.wait(l);
+    }
+  }
+}
+
+Status Engine::BuildMemTable(const MemTable& mem, FileMeta* meta) {
   const std::string fname = TableFileName(meta->number);
   {
     std::unique_ptr<WritableFile> file;
     VELOCE_RETURN_IF_ERROR(env_->NewWritableFile(fname, &file));
     TableBuilder builder(std::move(file), MakeTableOptions(options_));
-    auto it = mem_->NewIterator();
+    auto it = mem.NewIterator();
     for (it->SeekToFirst(); it->Valid(); it->Next()) {
       VELOCE_RETURN_IF_ERROR(builder.Add(it->key(), it->value()));
     }
@@ -335,9 +639,42 @@ Status Engine::FlushMemTableLocked() {
   VELOCE_RETURN_IF_ERROR(env_->NewRandomAccessFile(fname, &file));
   VELOCE_ASSIGN_OR_RETURN(meta->table,
                           Table::Open(std::move(file), block_cache_.get(), meta->number));
+  return Status::OK();
+}
 
-  levels_[0].insert(levels_[0].begin(), std::move(meta));  // newest first
-  flush_bytes_c_->Inc(levels_[0].front()->file_size);
+Status Engine::Flush() {
+  std::unique_lock<std::mutex> l(mu_);
+  if (executor_ == nullptr) {
+    if (mem_->num_entries() == 0) return Status::OK();
+    VELOCE_RETURN_IF_ERROR(FlushMemTableLocked());
+    return MaybeCompactLocked();
+  }
+  VELOCE_RETURN_IF_ERROR(bg_error_);
+  // Quiesce: no queued writers (mem_ stable) and no in-flight background
+  // task (no concurrent flush of the same sealed memtable). Both waits
+  // drop the lock, so loop until both hold at once.
+  while (!writers_.empty() || bg_scheduled_) {
+    WaitWritersIdleLocked(l);
+    WaitBackgroundIdleLocked(l);
+  }
+  while (!imm_.empty()) {
+    VELOCE_RETURN_IF_ERROR(FlushOldestImm(l, /*unlock=*/false));
+  }
+  if (mem_->num_entries() > 0) {
+    VELOCE_RETURN_IF_ERROR(FlushMemTableLocked());
+  }
+  MaybeScheduleBackgroundLocked();  // L0 may now be over its trigger
+  return Status::OK();
+}
+
+Status Engine::FlushMemTableLocked() {
+  if (mem_->num_entries() == 0) return Status::OK();
+  auto meta = std::make_shared<FileMeta>();
+  meta->number = next_file_number_.fetch_add(1, std::memory_order_relaxed);
+  VELOCE_RETURN_IF_ERROR(BuildMemTable(*mem_, meta.get()));
+
+  levels_[0].insert(levels_[0].begin(), meta);  // newest first
+  flush_bytes_c_->Inc(meta->file_size);
   flushes_c_->Inc();
 
   mem_ = std::make_shared<MemTable>();
@@ -360,13 +697,13 @@ Status Engine::MaybeCompactLocked() {
   while (did_work) {
     did_work = false;
     if (static_cast<int>(levels_[0].size()) >= options_.l0_compaction_trigger) {
-      VELOCE_RETURN_IF_ERROR(CompactL0Locked());
+      VELOCE_RETURN_IF_ERROR(CompactL0(nullptr));
       did_work = true;
       continue;
     }
     for (int level = 1; level < kNumLevels - 1; ++level) {
-      if (LevelBytes(level) > MaxBytesForLevel(level)) {
-        VELOCE_RETURN_IF_ERROR(CompactLevelLocked(level));
+      if (LevelBytesLocked(level) > MaxBytesForLevel(level)) {
+        VELOCE_RETURN_IF_ERROR(CompactLevel(level, nullptr));
         did_work = true;
         break;
       }
@@ -375,15 +712,37 @@ Status Engine::MaybeCompactLocked() {
   return Status::OK();
 }
 
-Status Engine::CompactAll() {
-  std::lock_guard<std::mutex> l(mu_);
-  VELOCE_RETURN_IF_ERROR(FlushMemTableLocked());
-  if (!levels_[0].empty()) {
-    VELOCE_RETURN_IF_ERROR(CompactL0Locked());
+Status Engine::CompactOneStep(std::unique_lock<std::mutex>* l) {
+  if (static_cast<int>(levels_[0].size()) >= options_.l0_compaction_trigger) {
+    return CompactL0(l);
   }
   for (int level = 1; level < kNumLevels - 1; ++level) {
-    while (LevelBytes(level) > MaxBytesForLevel(level)) {
-      VELOCE_RETURN_IF_ERROR(CompactLevelLocked(level));
+    if (LevelBytesLocked(level) > MaxBytesForLevel(level)) {
+      return CompactLevel(level, l);
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::CompactAll() {
+  std::unique_lock<std::mutex> l(mu_);
+  if (executor_ != nullptr) {
+    VELOCE_RETURN_IF_ERROR(bg_error_);
+    while (!writers_.empty() || bg_scheduled_) {
+      WaitWritersIdleLocked(l);
+      WaitBackgroundIdleLocked(l);
+    }
+    while (!imm_.empty()) {
+      VELOCE_RETURN_IF_ERROR(FlushOldestImm(l, /*unlock=*/false));
+    }
+  }
+  VELOCE_RETURN_IF_ERROR(FlushMemTableLocked());
+  if (!levels_[0].empty()) {
+    VELOCE_RETURN_IF_ERROR(CompactL0(nullptr));
+  }
+  for (int level = 1; level < kNumLevels - 1; ++level) {
+    while (LevelBytesLocked(level) > MaxBytesForLevel(level)) {
+      VELOCE_RETURN_IF_ERROR(CompactLevel(level, nullptr));
     }
   }
   return Status::OK();
@@ -401,7 +760,7 @@ Engine::FileList Engine::OverlappingFiles(int level, Slice smallest_user,
   return out;
 }
 
-Status Engine::CompactL0Locked() {
+Status Engine::CompactL0(std::unique_lock<std::mutex>* l) {
   if (levels_[0].empty()) return Status::OK();
   FileList upper = levels_[0];
   std::string smallest, largest;
@@ -412,10 +771,10 @@ Status Engine::CompactL0Locked() {
     if (largest.empty() || lu > largest) largest = lu;
   }
   FileList lower = OverlappingFiles(1, Slice(smallest), Slice(largest));
-  return DoCompactionLocked(upper, 0, lower, 1);
+  return DoCompaction(upper, 0, lower, 1, l);
 }
 
-Status Engine::CompactLevelLocked(int level) {
+Status Engine::CompactLevel(int level, std::unique_lock<std::mutex>* l) {
   if (levels_[level].empty()) return Status::OK();
   // Round-robin file pick within the level.
   const size_t idx = compact_pointer_[level] % levels_[level].size();
@@ -424,15 +783,16 @@ Status Engine::CompactLevelLocked(int level) {
   const Slice su = ExtractUserKey(Slice(upper[0]->smallest));
   const Slice lu = ExtractUserKey(Slice(upper[0]->largest));
   FileList lower = OverlappingFiles(level + 1, su, lu);
-  return DoCompactionLocked(upper, level, lower, level + 1);
+  return DoCompaction(upper, level, lower, level + 1, l);
 }
 
 SequenceNumber Engine::OldestPinnedSeqLocked() const {
   return pinned_seqs_.empty() ? kMaxSequenceNumber : *pinned_seqs_.begin();
 }
 
-Status Engine::DoCompactionLocked(const FileList& inputs_upper, int upper_level,
-                                  const FileList& inputs_lower, int output_level) {
+Status Engine::DoCompaction(const FileList& inputs_upper, int upper_level,
+                            const FileList& inputs_lower, int output_level,
+                            std::unique_lock<std::mutex>* l) {
   compactions_c_->Inc();
   const SequenceNumber oldest_pinned = OldestPinnedSeqLocked();
   const bool bottom = output_level == kNumLevels - 1;
@@ -448,66 +808,75 @@ Status Engine::DoCompactionLocked(const FileList& inputs_upper, int upper_level,
   }
   auto merged = NewMergingIterator(std::move(children));
 
+  // Merge/build phase. With `l` supplied it runs unlocked: the inputs are
+  // pinned by shared_ptr, compactions are serialized with other background
+  // work, and oldest_pinned captured above stays conservative — iterators
+  // pinned after the unlock only see snapshots at least as new.
+  if (l != nullptr) l->unlock();
   FileList outputs;
   std::unique_ptr<TableBuilder> builder;
-  auto finish_output = [&]() -> Status {
-    if (builder == nullptr) return Status::OK();
-    auto meta = outputs.back();
-    VELOCE_RETURN_IF_ERROR(builder->Finish());
-    meta->file_size = builder->file_size();
-    meta->smallest = builder->smallest();
-    meta->largest = builder->largest();
-    compact_write_bytes_c_->Inc(meta->file_size);
-    std::unique_ptr<RandomAccessFile> file;
-    VELOCE_RETURN_IF_ERROR(env_->NewRandomAccessFile(TableFileName(meta->number), &file));
-    VELOCE_ASSIGN_OR_RETURN(meta->table,
-                            Table::Open(std::move(file), block_cache_.get(), meta->number));
-    builder.reset();
-    return Status::OK();
-  };
+  auto merge_status = [&]() -> Status {
+    auto finish_output = [&]() -> Status {
+      if (builder == nullptr) return Status::OK();
+      auto meta = outputs.back();
+      VELOCE_RETURN_IF_ERROR(builder->Finish());
+      meta->file_size = builder->file_size();
+      meta->smallest = builder->smallest();
+      meta->largest = builder->largest();
+      compact_write_bytes_c_->Inc(meta->file_size);
+      std::unique_ptr<RandomAccessFile> file;
+      VELOCE_RETURN_IF_ERROR(env_->NewRandomAccessFile(TableFileName(meta->number), &file));
+      VELOCE_ASSIGN_OR_RETURN(meta->table,
+                              Table::Open(std::move(file), block_cache_.get(), meta->number));
+      builder.reset();
+      return Status::OK();
+    };
 
-  std::string prev_user_key;
-  bool has_prev = false;
-  bool prev_dropped_boundary = false;  // newest version <= oldest_pinned seen
-  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
-    const Slice ikey = merged->key();
-    const Slice user_key = ExtractUserKey(ikey);
-    const SequenceNumber seq = ExtractSequence(ikey);
-    const ValueType type = ExtractValueType(ikey);
+    std::string prev_user_key;
+    bool has_prev = false;
+    bool prev_dropped_boundary = false;  // newest version <= oldest_pinned seen
+    for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+      const Slice ikey = merged->key();
+      const Slice user_key = ExtractUserKey(ikey);
+      const SequenceNumber seq = ExtractSequence(ikey);
+      const ValueType type = ExtractValueType(ikey);
 
-    bool drop = false;
-    if (has_prev && user_key == Slice(prev_user_key)) {
-      // An earlier (newer) version of this user key was already emitted or
-      // established as the visible version for all pinned snapshots.
-      if (prev_dropped_boundary) drop = true;
-    }
-    if (!drop) {
-      prev_user_key.assign(user_key.data(), user_key.size());
-      has_prev = true;
-      prev_dropped_boundary = seq <= oldest_pinned;
-      if (type == ValueType::kDeletion && bottom && seq <= oldest_pinned) {
-        // Tombstone at the bottom: nothing deeper can resurrect the key.
-        drop = true;
+      bool drop = false;
+      if (has_prev && user_key == Slice(prev_user_key)) {
+        // An earlier (newer) version of this user key was already emitted or
+        // established as the visible version for all pinned snapshots.
+        if (prev_dropped_boundary) drop = true;
+      }
+      if (!drop) {
+        prev_user_key.assign(user_key.data(), user_key.size());
+        has_prev = true;
+        prev_dropped_boundary = seq <= oldest_pinned;
+        if (type == ValueType::kDeletion && bottom && seq <= oldest_pinned) {
+          // Tombstone at the bottom: nothing deeper can resurrect the key.
+          drop = true;
+        }
+      }
+      if (drop) continue;
+
+      if (builder == nullptr) {
+        auto meta = std::make_shared<FileMeta>();
+        meta->number = next_file_number_.fetch_add(1, std::memory_order_relaxed);
+        std::unique_ptr<WritableFile> file;
+        VELOCE_RETURN_IF_ERROR(env_->NewWritableFile(TableFileName(meta->number), &file));
+        builder = std::make_unique<TableBuilder>(std::move(file), MakeTableOptions(options_));
+        outputs.push_back(std::move(meta));
+      }
+      VELOCE_RETURN_IF_ERROR(builder->Add(ikey, merged->value()));
+      if (builder->file_size() + options_.block_bytes >= options_.sstable_target_bytes) {
+        VELOCE_RETURN_IF_ERROR(finish_output());
       }
     }
-    if (drop) continue;
+    return finish_output();
+  }();
+  if (l != nullptr) l->lock();
+  VELOCE_RETURN_IF_ERROR(merge_status);
 
-    if (builder == nullptr) {
-      auto meta = std::make_shared<FileMeta>();
-      meta->number = next_file_number_++;
-      std::unique_ptr<WritableFile> file;
-      VELOCE_RETURN_IF_ERROR(env_->NewWritableFile(TableFileName(meta->number), &file));
-      builder = std::make_unique<TableBuilder>(std::move(file), MakeTableOptions(options_));
-      outputs.push_back(std::move(meta));
-    }
-    VELOCE_RETURN_IF_ERROR(builder->Add(ikey, merged->value()));
-    if (builder->file_size() + options_.block_bytes >= options_.sstable_target_bytes) {
-      VELOCE_RETURN_IF_ERROR(finish_output());
-    }
-  }
-  VELOCE_RETURN_IF_ERROR(finish_output());
-
-  // Install: remove inputs from their levels, add outputs to output_level.
+  // Install (locked): remove inputs from their levels, add outputs.
   auto remove_from = [](FileList* list, const FileList& gone) {
     list->erase(std::remove_if(list->begin(), list->end(),
                                [&](const std::shared_ptr<FileMeta>& f) {
@@ -544,7 +913,7 @@ Status Engine::Get(Slice key, std::string* value) {
 
 Status Engine::GetVisible(Slice key, std::string* value, bool* found) {
   std::lock_guard<std::mutex> l(mu_);
-  return GetLocked(key, last_seq_, value, found);
+  return GetLocked(key, last_seq_.load(std::memory_order_acquire), value, found);
 }
 
 Status Engine::GetLocked(Slice key, SequenceNumber snapshot, std::string* value,
@@ -555,6 +924,14 @@ Status Engine::GetLocked(Slice key, SequenceNumber snapshot, std::string* value,
     *found = true;
     if (is_deleted) return Status::NotFound("deleted");
     return Status::OK();
+  }
+  // Sealed memtables hold data newer than any SSTable; newest first.
+  for (auto it = imm_.rbegin(); it != imm_.rend(); ++it) {
+    if (it->mem->Get(key, snapshot, value, &is_deleted)) {
+      *found = true;
+      if (is_deleted) return Status::NotFound("deleted");
+      return Status::OK();
+    }
   }
   // L0: newest file first; first hit wins (files are seq-ordered). Deeper
   // levels hold strictly older data, so the first hit at any level ends the
@@ -713,12 +1090,12 @@ std::unique_ptr<Iterator> Engine::NewIterator() {
 std::unique_ptr<Iterator> Engine::NewBoundedIterator(Slice lower, Slice upper,
                                                      Slice bloom_prefix) {
   std::lock_guard<std::mutex> l(mu_);
-  const SequenceNumber snapshot = last_seq_;
+  const SequenceNumber snapshot = last_seq_.load(std::memory_order_acquire);
   pinned_seqs_.insert(snapshot);
 
   std::vector<std::unique_ptr<InternalIterator>> children;
-  // Memtable holds the newest data; shared_ptr keeps it alive while the
-  // iterator exists even if the engine flushes and swaps it out.
+  // Memtables hold the newest data; shared_ptr keeps each alive while the
+  // iterator exists even if the engine seals/flushes and swaps them out.
   struct MemHolderIter final : public InternalIterator {
     std::shared_ptr<MemTable> mem;
     std::unique_ptr<InternalIterator> it;
@@ -729,10 +1106,17 @@ std::unique_ptr<Iterator> Engine::NewBoundedIterator(Slice lower, Slice upper,
     Slice key() const override { return it->key(); }
     Slice value() const override { return it->value(); }
   };
-  auto mem_iter = std::make_unique<MemHolderIter>();
-  mem_iter->mem = mem_;
-  mem_iter->it = mem_->NewIterator();
-  children.push_back(std::move(mem_iter));
+  auto add_mem = [&children](const std::shared_ptr<MemTable>& mem) {
+    auto holder = std::make_unique<MemHolderIter>();
+    holder->mem = mem;
+    holder->it = mem->NewIterator();
+    children.push_back(std::move(holder));
+  };
+  add_mem(mem_);
+  // Sealed memtables, newest first (merge ties break toward lower index).
+  for (auto it = imm_.rbegin(); it != imm_.rend(); ++it) {
+    add_mem(it->mem);
+  }
 
   for (int level = 0; level < kNumLevels; ++level) {
     for (const auto& f : levels_[level]) {
@@ -770,16 +1154,22 @@ int Engine::NumFilesAtLevel(int level) const {
   return static_cast<int>(levels_[level].size());
 }
 
-uint64_t Engine::LevelBytes(int level) const {
+uint64_t Engine::LevelBytesLocked(int level) const {
   uint64_t total = 0;
   for (const auto& f : levels_[level]) total += f->file_size;
   return total;
 }
 
+uint64_t Engine::LevelBytes(int level) const {
+  std::lock_guard<std::mutex> l(mu_);
+  return LevelBytesLocked(level);
+}
+
 uint64_t Engine::ApproximateSize() const {
   std::lock_guard<std::mutex> l(mu_);
   uint64_t total = mem_->ApproximateMemoryUsage();
-  for (int level = 0; level < kNumLevels; ++level) total += LevelBytes(level);
+  for (const auto& imm : imm_) total += imm.mem->ApproximateMemoryUsage();
+  for (int level = 0; level < kNumLevels; ++level) total += LevelBytesLocked(level);
   return total;
 }
 

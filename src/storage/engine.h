@@ -1,7 +1,10 @@
 #ifndef VELOCE_STORAGE_ENGINE_H_
 #define VELOCE_STORAGE_ENGINE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -21,6 +24,8 @@
 #include "storage/write_batch.h"
 
 namespace veloce::storage {
+
+class BackgroundExecutor;
 
 /// Cumulative counters exposed for admission control's capacity estimation
 /// (Section 5.1.3): the WQ token bucket refill rate is derived from flush
@@ -43,6 +48,11 @@ struct EngineStats {
   uint64_t bloom_useful = 0;          ///< tables skipped by a negative probe
   uint64_t bloom_false_positive = 0;  ///< probes that passed but found nothing
   uint64_t tables_pruned = 0;         ///< tables skipped by key-range pruning
+  // Write path backpressure: writers delayed because background flush or
+  // compaction could not keep up. Admission control discounts its capacity
+  // estimate by stall time (a stalling engine is past its real capacity).
+  uint64_t write_stalls = 0;   ///< writes that hit a stall
+  double stall_seconds = 0;    ///< cumulative seconds writers spent stalled
 
   uint64_t total_bytes_written() const {
     return wal_bytes + flush_bytes + compact_write_bytes;
@@ -74,6 +84,26 @@ struct EngineOptions {
   /// Size of L1 before leveled compaction kicks in; each deeper level is
   /// 10x larger.
   uint64_t level_base_bytes = 8ull << 20;
+
+  // ---- Concurrent write path ----
+  /// Runs flushes and compactions off the write path. Not owned; must
+  /// outlive the engine. nullptr = legacy mode: flush/compaction run
+  /// synchronously inside the triggering write (deterministic without any
+  /// event loop, and what the discrete benches used before sim executors).
+  BackgroundExecutor* background_executor = nullptr;
+  /// Group commit: concurrent writers queue, the front writer becomes the
+  /// leader and commits the whole group with one WAL append (+ one Sync)
+  /// outside the engine lock. Off = every write holds the lock across its
+  /// own WAL append, the pre-group-commit behaviour (kept for ablation).
+  bool group_commit = true;
+  /// Sync the WAL file on every commit. Group commit amortizes the sync
+  /// over the whole group, which is where its multi-writer win comes from.
+  bool sync_wal = false;
+  /// Sealed memtables allowed to queue for flush before writers stall.
+  int max_immutable_memtables = 2;
+  /// L0 file count at which writers stall until compaction catches up.
+  int l0_stall_files = 12;
+
   /// Telemetry injection. When obs.metrics is null the engine owns a
   /// private registry, so stats() stays per-instance-correct without any
   /// wiring. When several engines share an injected registry, set a
@@ -83,13 +113,27 @@ struct EngineOptions {
 };
 
 /// Engine is the LSM storage engine underlying every KV node — the
-/// from-scratch stand-in for Pebble. Writes go WAL -> memtable -> flushed L0
-/// SSTables -> leveled compactions (L0 may overlap; L1+ are sorted runs).
-/// Flush and compaction run synchronously inside the triggering write, which
-/// makes behaviour deterministic for tests and lets admission control's
-/// token bucket see an honest bytes-in/bytes-compacted ledger.
+/// from-scratch stand-in for Pebble. Writes go WAL -> memtable -> sealed
+/// (immutable) memtables -> flushed L0 SSTables -> leveled compactions (L0
+/// may overlap; L1+ are sorted runs).
 ///
-/// Thread-safe: one mutex guards all state (adequate at this scale).
+/// Write path (docs/STORAGE.md has the full protocol):
+///  * Group commit: writers queue under the engine mutex; the front writer
+///    leads, concatenates the group's batches, and performs the WAL append,
+///    optional sync, and memtable insert with the mutex RELEASED, so reads
+///    and background work proceed during commit I/O.
+///  * When the memtable fills it is sealed into the immutable list together
+///    with its WAL and a fresh memtable+WAL take over; a background task
+///    flushes sealed memtables to L0 and runs compactions through the
+///    pluggable BackgroundExecutor. Reads merge mem + immutables + levels.
+///  * Writers stall (with the delay surfaced to admission control) when
+///    sealed memtables or L0 files pile past their thresholds.
+/// With a null executor all of this degenerates to the legacy synchronous
+/// mode: flush and compaction run inside the triggering write, which keeps
+/// behaviour deterministic with zero wiring.
+///
+/// Thread-safe. One mutex guards engine state; commit I/O and background
+/// table builds run outside it.
 class Engine {
  public:
   /// Opens (and recovers) an engine. If options.env is null the engine owns
@@ -103,7 +147,9 @@ class Engine {
 
   Status Put(Slice key, Slice value);
   Status Delete(Slice key);
-  /// Applies all operations in the batch atomically.
+  /// Applies all operations in the batch atomically: the batch is validated
+  /// up front, so a malformed batch changes nothing (no WAL record, no
+  /// memtable entries, sequence numbers unconsumed).
   Status Write(const WriteBatch& batch);
 
   /// Reads the newest visible version of `key`. NotFound if absent/deleted.
@@ -130,7 +176,8 @@ class Engine {
   std::unique_ptr<Iterator> NewBoundedIterator(Slice lower, Slice upper,
                                                Slice bloom_prefix = Slice());
 
-  /// Forces the memtable to L0.
+  /// Forces everything buffered (sealed memtables, then the active
+  /// memtable) to L0. Waits out in-flight background work first.
   Status Flush();
   /// Runs compactions until no level is over its trigger.
   Status CompactAll();
@@ -143,9 +190,15 @@ class Engine {
   const BlockCache* block_cache() const { return block_cache_.get(); }
   int NumFilesAtLevel(int level) const;
   uint64_t LevelBytes(int level) const;
+  /// Sealed memtables awaiting background flush.
+  int NumImmutableMemTables() const {
+    return static_cast<int>(imm_count_.load(std::memory_order_relaxed));
+  }
   /// Approximate total on-disk + memtable footprint.
   uint64_t ApproximateSize() const;
-  SequenceNumber LastSequence() const { return last_seq_; }
+  SequenceNumber LastSequence() const {
+    return last_seq_.load(std::memory_order_acquire);
+  }
 
   static constexpr int kNumLevels = 7;
 
@@ -157,6 +210,30 @@ class Engine {
     std::shared_ptr<Table> table;
   };
   using FileList = std::vector<std::shared_ptr<FileMeta>>;
+
+  /// One queued write. The front writer of `writers_` is the group leader.
+  struct Writer {
+    explicit Writer(const WriteBatch* b) : batch(b) {}
+    const WriteBatch* batch;
+    Status status;
+    bool done = false;
+    std::condition_variable cv;
+  };
+
+  /// A sealed memtable queued for flush, with the WAL that covers it (the
+  /// WAL is deleted only after the memtable is durable in L0).
+  struct ImmMem {
+    std::shared_ptr<MemTable> mem;
+    uint64_t wal_number = 0;
+  };
+
+  /// Cancellation token shared with scheduled background closures: the
+  /// destructor flips `alive` so tasks that outlive the engine become
+  /// no-ops (taking the token mutex also waits out an in-flight task).
+  struct BgToken {
+    std::mutex mu;
+    bool alive = true;
+  };
 
   Engine() = default;
 
@@ -171,16 +248,51 @@ class Engine {
   std::string WalFileName(uint64_t number) const;
   std::string ManifestFileName() const;
 
+  // Write path.
+  Status WriteLegacyLocked(std::unique_lock<std::mutex>& l, const WriteBatch& batch);
+  Status WriteGroupCommit(std::unique_lock<std::mutex>& l, Writer* w);
+  /// Executor mode only: seals a full memtable, stalling first if the
+  /// immutable list or L0 is over its threshold. May release+reacquire `l`;
+  /// the caller must be the front writer (or hold writers idle) so the
+  /// active memtable cannot change underneath it.
+  Status MakeRoomForWriteLocked(std::unique_lock<std::mutex>& l);
+  /// Seals mem_ (+ its WAL) into imm_ and starts a fresh memtable + WAL.
+  Status RotateMemtableLocked();
+  void MaybeScheduleBackgroundLocked();
+  bool HasBackgroundWorkLocked() const;
+  /// One unit of background work: flush the oldest sealed memtable, else
+  /// one compaction step. Reschedules itself while work remains.
+  void BackgroundWork();
+  /// Flushes the oldest sealed memtable to L0. When `unlock` is set the
+  /// table build runs with `l` released (only safe from the serialized
+  /// background task).
+  Status FlushOldestImm(std::unique_lock<std::mutex>& l, bool unlock);
+  /// Waits until no write is queued (so mem_ is quiescent).
+  void WaitWritersIdleLocked(std::unique_lock<std::mutex>& l);
+  /// Waits until no background task is queued or running. Single-threaded
+  /// executors are assisted (their queue is drained inline).
+  void WaitBackgroundIdleLocked(std::unique_lock<std::mutex>& l);
+
+  /// Builds one L0/compaction-output SSTable from a memtable.
+  Status BuildMemTable(const MemTable& mem, FileMeta* meta);
+
+  // Legacy synchronous flush/compaction (null-executor mode and Recover).
   Status FlushMemTableLocked();
   Status MaybeCompactLocked();
+  /// One compaction step if any level is over its trigger.
+  Status CompactOneStep(std::unique_lock<std::mutex>* l);
   /// Compacts L0 (all files) + overlapping L1 into L1.
-  Status CompactL0Locked();
+  Status CompactL0(std::unique_lock<std::mutex>* l);
   /// Compacts one file from `level` into level+1.
-  Status CompactLevelLocked(int level);
-  Status DoCompactionLocked(const FileList& inputs_upper, int upper_level,
-                            const FileList& inputs_lower, int output_level);
+  Status CompactLevel(int level, std::unique_lock<std::mutex>* l);
+  /// When `l` is non-null the merge/build phase runs with it released
+  /// (inputs are pinned by shared_ptr; install happens relocked).
+  Status DoCompaction(const FileList& inputs_upper, int upper_level,
+                      const FileList& inputs_lower, int output_level,
+                      std::unique_lock<std::mutex>* l);
   FileList OverlappingFiles(int level, Slice smallest_user, Slice largest_user) const;
   uint64_t MaxBytesForLevel(int level) const;
+  uint64_t LevelBytesLocked(int level) const;
   SequenceNumber OldestPinnedSeqLocked() const;
 
   Status GetLocked(Slice key, SequenceNumber snapshot, std::string* value,
@@ -197,16 +309,31 @@ class Engine {
   std::unique_ptr<Env> owned_env_;
   Env* env_ = nullptr;
   std::unique_ptr<BlockCache> block_cache_;
+  BackgroundExecutor* executor_ = nullptr;
 
   mutable std::mutex mu_;
   std::shared_ptr<MemTable> mem_;
+  std::deque<ImmMem> imm_;  ///< sealed memtables, oldest first
+  std::atomic<size_t> imm_count_{0};
   std::unique_ptr<LogWriter> wal_;
   uint64_t wal_number_ = 0;
-  uint64_t next_file_number_ = 1;
-  SequenceNumber last_seq_ = 0;
+  std::atomic<uint64_t> next_file_number_{1};
+  std::atomic<SequenceNumber> last_seq_{0};
   FileList levels_[kNumLevels];  // L0 newest-first; L1+ sorted by smallest
   size_t compact_pointer_[kNumLevels] = {};
   std::multiset<SequenceNumber> pinned_seqs_;
+
+  // Group commit state.
+  std::deque<Writer*> writers_;        ///< front = leader
+  WriteBatch tmp_batch_;               ///< leader's scratch group batch
+  std::condition_variable writers_empty_cv_;
+
+  // Background state.
+  bool bg_scheduled_ = false;  ///< a background task is queued or running
+  bool shutting_down_ = false;
+  Status bg_error_;            ///< sticky; surfaced on the next write
+  std::condition_variable bg_cv_;  ///< signalled when background work completes
+  std::shared_ptr<BgToken> bg_token_;
 
   // Metric handles (hot-path increments are lock-free; see obs/metrics.h).
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -222,6 +349,9 @@ class Engine {
   obs::Counter* bloom_useful_c_ = nullptr;
   obs::Counter* bloom_false_positive_c_ = nullptr;
   obs::Counter* tables_pruned_c_ = nullptr;
+  obs::Counter* write_stalls_c_ = nullptr;
+  obs::Gauge* stall_seconds_g_ = nullptr;  ///< cumulative; Gauge for fractions
+  obs::HistogramMetric* commit_group_size_h_ = nullptr;
   obs::MetricsRegistry::CallbackToken gauge_callback_;
   mutable EngineStats stats_snapshot_;
 };

@@ -8,13 +8,12 @@ namespace veloce::storage {
 
 MemTable::MemTable() : rnd_(0xdecafbad) {
   head_ = NewNode(kMaxHeight, Slice(), Slice());
-  for (int i = 0; i < kMaxHeight; ++i) head_->next[i] = nullptr;
 }
 
 MemTable::~MemTable() {
   Node* n = head_;
   while (n != nullptr) {
-    Node* next = n->next[0];
+    Node* next = n->next[0].load(std::memory_order_relaxed);
     n->~Node();
     std::free(n);
     n = next;
@@ -22,13 +21,17 @@ MemTable::~MemTable() {
 }
 
 MemTable::Node* MemTable::NewNode(int height, Slice key, Slice value) {
-  const size_t size = sizeof(Node) + sizeof(Node*) * (height - 1);
+  const size_t size = sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1);
   void* mem = std::malloc(size);
   Node* node = new (mem) Node();
   node->key.assign(key.data(), key.size());
   node->value.assign(value.data(), value.size());
   node->height = height;
-  for (int i = 0; i < height; ++i) node->next[i] = nullptr;
+  // Node() constructed next[0]; the flexible tail slots need placement-new.
+  node->next[0].store(nullptr, std::memory_order_relaxed);
+  for (int i = 1; i < height; ++i) {
+    new (&node->next[i]) std::atomic<Node*>(nullptr);
+  }
   return node;
 }
 
@@ -40,9 +43,9 @@ int MemTable::RandomHeight() {
 
 MemTable::Node* MemTable::FindGreaterOrEqual(Slice target, Node** prev) const {
   Node* x = head_;
-  int level = max_height_ - 1;
+  int level = max_height_.load(std::memory_order_acquire) - 1;
   while (true) {
-    Node* next = x->next[level];
+    Node* next = x->next[level].load(std::memory_order_acquire);
     if (next != nullptr && CompareInternalKey(Slice(next->key), target) < 0) {
       x = next;
     } else {
@@ -58,17 +61,26 @@ void MemTable::Add(SequenceNumber seq, ValueType type, Slice user_key, Slice val
   Node* prev[kMaxHeight];
   FindGreaterOrEqual(Slice(ikey), prev);
   const int height = RandomHeight();
-  if (height > max_height_) {
-    for (int i = max_height_; i < height; ++i) prev[i] = head_;
-    max_height_ = height;
+  if (height > max_height_.load(std::memory_order_relaxed)) {
+    for (int i = max_height_.load(std::memory_order_relaxed); i < height; ++i) {
+      prev[i] = head_;
+    }
+    // Readers racing this store either see the old height (they skip the
+    // new levels, which only link through head_) or the new one.
+    max_height_.store(height, std::memory_order_release);
   }
   Node* node = NewNode(height, Slice(ikey), value);
   for (int i = 0; i < height; ++i) {
-    node->next[i] = prev[i]->next[i];
-    prev[i]->next[i] = node;
+    node->next[i].store(prev[i]->next[i].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    // Publish: after this release store a reader at level i can reach the
+    // node, whose fields (and lower links) are fully initialized.
+    prev[i]->next[i].store(node, std::memory_order_release);
   }
-  mem_usage_ += ikey.size() + value.size() + sizeof(Node) + sizeof(Node*) * height;
-  ++num_entries_;
+  mem_usage_.fetch_add(
+      ikey.size() + value.size() + sizeof(Node) + sizeof(std::atomic<Node*>) * height,
+      std::memory_order_relaxed);
+  num_entries_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool MemTable::Get(Slice user_key, SequenceNumber snapshot_seq,
@@ -90,11 +102,13 @@ class MemTable::Iter final : public InternalIterator {
   explicit Iter(const MemTable* mem) : mem_(mem) {}
 
   bool Valid() const override { return node_ != nullptr; }
-  void SeekToFirst() override { node_ = mem_->head_->next[0]; }
+  void SeekToFirst() override {
+    node_ = mem_->head_->next[0].load(std::memory_order_acquire);
+  }
   void Seek(Slice target) override {
     node_ = mem_->FindGreaterOrEqual(target, nullptr);
   }
-  void Next() override { node_ = node_->next[0]; }
+  void Next() override { node_ = node_->next[0].load(std::memory_order_acquire); }
   Slice key() const override { return Slice(node_->key); }
   Slice value() const override { return Slice(node_->value); }
 

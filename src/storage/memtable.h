@@ -1,6 +1,7 @@
 #ifndef VELOCE_STORAGE_MEMTABLE_H_
 #define VELOCE_STORAGE_MEMTABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -13,12 +14,18 @@
 namespace veloce::storage {
 
 /// In-memory write buffer: a skiplist of internal keys. Writes land here
-/// first; when the memtable reaches the configured size it is frozen and
-/// flushed to an L0 SSTable. The flush rate is one of the two write
-/// bottlenecks admission control models (Section 5.1.3 of the paper).
+/// first; when the memtable reaches the configured size it is sealed into
+/// the engine's immutable list and flushed to an L0 SSTable by background
+/// work. The flush rate is one of the two write bottlenecks admission
+/// control models (Section 5.1.3 of the paper).
 ///
-/// Single-writer / multi-reader is coordinated by the engine's mutex; the
-/// skiplist itself is not internally synchronized.
+/// Concurrency: LevelDB-style single-writer / multi-reader skiplist. Next
+/// pointers are atomics — an inserter publishes a node with a release store
+/// after fully initializing it, and readers traverse with acquire loads, so
+/// reads need no lock and never see a half-linked node. Writers must still
+/// be externally serialized (the engine's group-commit leader is the single
+/// writer). Sealed (immutable) memtables are trivially safe to read from
+/// any thread.
 class MemTable {
  public:
   MemTable();
@@ -27,21 +34,26 @@ class MemTable {
   MemTable(const MemTable&) = delete;
   MemTable& operator=(const MemTable&) = delete;
 
-  /// Inserts a (user_key, seq, type, value) entry.
+  /// Inserts a (user_key, seq, type, value) entry. Single writer at a time.
   void Add(SequenceNumber seq, ValueType type, Slice user_key, Slice value);
 
   /// Looks up the newest version of user_key visible at `snapshot_seq`.
   /// Returns true if an entry was found: *found_value holds the value and
   /// *is_deleted reports a tombstone. Returns false if the key is absent.
+  /// Safe concurrently with one Add().
   bool Get(Slice user_key, SequenceNumber snapshot_seq, std::string* found_value,
            bool* is_deleted) const;
 
   /// Approximate memory footprint of entries (keys + values + node overhead).
-  size_t ApproximateMemoryUsage() const { return mem_usage_; }
-  uint64_t num_entries() const { return num_entries_; }
+  size_t ApproximateMemoryUsage() const {
+    return mem_usage_.load(std::memory_order_relaxed);
+  }
+  uint64_t num_entries() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
 
   /// Iterator over the memtable's internal keys; remains valid while the
-  /// memtable is alive (engines hold flushed memtables via shared_ptr until
+  /// memtable is alive (engines hold sealed memtables via shared_ptr until
   /// readers drain).
   std::unique_ptr<InternalIterator> NewIterator() const;
 
@@ -52,7 +64,7 @@ class MemTable {
     std::string key;    // internal key
     std::string value;
     int height;
-    Node* next[1];      // variable length, allocated with the node
+    std::atomic<Node*> next[1];  // variable length, allocated with the node
   };
 
   Node* NewNode(int height, Slice key, Slice value);
@@ -63,10 +75,10 @@ class MemTable {
   class Iter;
 
   Node* head_;
-  int max_height_ = 1;
+  std::atomic<int> max_height_{1};
   Random rnd_;
-  size_t mem_usage_ = 0;
-  uint64_t num_entries_ = 0;
+  std::atomic<size_t> mem_usage_{0};
+  std::atomic<uint64_t> num_entries_{0};
 };
 
 }  // namespace veloce::storage

@@ -55,6 +55,16 @@ void WriteBatch::Delete(Slice key) {
 
 uint32_t WriteBatch::Count() const { return GetCount(rep_); }
 
+void WriteBatch::Append(const WriteBatch& other) {
+  SetCount(&rep_, GetCount(rep_) + GetCount(other.rep_));
+  // Strip the other batch's count header; records concatenate as-is.
+  Slice records(other.rep_);
+  uint32_t other_count = 0;
+  GetVarint32(&records, &other_count);
+  rep_.append(records.data(), records.size());
+  payload_bytes_ += other.payload_bytes_;
+}
+
 Status WriteBatch::SetContents(Slice contents) {
   rep_.assign(contents.data(), contents.size());
   payload_bytes_ = 0;

@@ -22,6 +22,9 @@ class WriteBatch {
   void Put(Slice key, Slice value);
   void Delete(Slice key);
   void Clear();
+  /// Appends all of `other`'s operations after this batch's (group commit:
+  /// the leader concatenates follower batches into one WAL record).
+  void Append(const WriteBatch& other);
 
   uint32_t Count() const;
   size_t ByteSize() const { return rep_.size(); }
@@ -43,8 +46,20 @@ class WriteBatch {
   Status Iterate(Handler* handler) const;
 
  private:
+  friend class WriteBatchInternal;
   std::string rep_;
   size_t payload_bytes_ = 0;
+};
+
+/// Test/replay backdoor mirroring LevelDB's WriteBatchInternal: installs a
+/// serialized representation without validating it, so tests can hand the
+/// engine a batch that fails mid-Iterate and prove writes are
+/// all-or-nothing.
+class WriteBatchInternal {
+ public:
+  static void SetContentsUnchecked(WriteBatch* batch, Slice contents) {
+    batch->rep_.assign(contents.data(), contents.size());
+  }
 };
 
 }  // namespace veloce::storage

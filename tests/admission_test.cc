@@ -224,6 +224,29 @@ TEST(WriteTokenBucketTest, L0BacklogDiscountsCapacity) {
             healthy_bucket.refill_bytes_per_sec() / 2);
 }
 
+TEST(WriteTokenBucketTest, WriteStallsDiscountCapacity) {
+  // Time writers spent stalled (engine backpressure on immutable memtables
+  // or L0) discounts admitted capacity for the next interval.
+  ManualClock clock(0);
+  WriteTokenBucket smooth_bucket(&clock), stalled_bucket(&clock);
+  storage::EngineStats stats;
+  smooth_bucket.UpdateCapacity(stats, 0);
+  stalled_bucket.UpdateCapacity(stats, 0);
+  clock.Advance(WriteTokenBucket::kCapacityInterval);
+  stats.flush_bytes = 150 << 20;
+  smooth_bucket.UpdateCapacity(stats, 0);
+  // Same throughput, but writers spent half the interval stalled.
+  stats.write_stalls = 40;
+  stats.stall_seconds =
+      0.5 * static_cast<double>(WriteTokenBucket::kCapacityInterval) / kSecond;
+  stalled_bucket.UpdateCapacity(stats, 0);
+  EXPECT_LT(stalled_bucket.refill_bytes_per_sec(),
+            smooth_bucket.refill_bytes_per_sec());
+  // The discount is floored: even a fully-stalled interval admits >= 25%.
+  EXPECT_GE(stalled_bucket.refill_bytes_per_sec(),
+            smooth_bucket.refill_bytes_per_sec() * 0.25);
+}
+
 // ---------------------------------------------------------------------------
 // NodeAdmissionController end-to-end (on the event loop)
 // ---------------------------------------------------------------------------

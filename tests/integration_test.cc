@@ -278,6 +278,22 @@ TEST(FullStackTest, TpccRunProducesMetricsFromEveryLayer) {
   EXPECT_EQ(metrics->Sum("veloce_workload_tpcc_txns_total"),
             static_cast<double>(tpcc.stats().committed()));
 
+  // Concurrent write path: commits went through group commit (the histogram
+  // records one sample per commit group), and the stall/queue-depth series
+  // are registered even when idle.
+  EXPECT_GT(metrics->Sum("veloce_storage_commit_group_size"), 0.0);
+  bool saw_stall_seconds = false;
+  bool saw_bg_queue_depth = false;
+  for (const auto& sample : metrics->Snapshot()) {
+    if (sample.name == "veloce_storage_write_stall_seconds_total") {
+      saw_stall_seconds = true;
+    }
+    if (sample.name == "veloce_storage_bg_queue_depth") {
+      saw_bg_queue_depth = true;
+    }
+  }
+  EXPECT_TRUE(saw_stall_seconds);
+  EXPECT_TRUE(saw_bg_queue_depth);
   // Tracing: every statement produced a trace carrying the marshal stage.
   EXPECT_GT(cluster.traces()->finished_total(), 0u);
   bool saw_marshal = false;
