@@ -85,6 +85,9 @@ class SlowSyncEnv : public Env {
   Status CreateDirIfMissing(const std::string& dir) override {
     return inner_->CreateDirIfMissing(dir);
   }
+  Status RenameFile(const std::string& src, const std::string& target) override {
+    return inner_->RenameFile(src, target);
+  }
 
  private:
   std::unique_ptr<Env> inner_;

@@ -51,11 +51,21 @@ bench_smoke() {
   echo "bench smoke OK"
 }
 
+# Chaos smoke: the seeded crash-injection harness (fault-labeled suite) at a
+# fixed seed with a bounded iteration count, so every check.sh run exercises
+# crash recovery end to end without depending on the suite's default scale.
+chaos_smoke() {
+  echo "==> chaos smoke (fault suite, fixed seed)"
+  VELOCE_CHAOS_SEED=0xC4A05 VELOCE_CHAOS_ITERS=200 \
+    ctest --test-dir build -L '^fault$' --output-on-failure -j "${JOBS}"
+  echo "chaos smoke OK"
+}
+
 case "${1:-}" in
-  "")     run_preset release; bench_smoke ;;
+  "")     run_preset release; bench_smoke; chaos_smoke ;;
   --asan) run_preset asan ;;
   --tsan) run_preset tsan ;;
-  --all)  run_preset release; bench_smoke; run_preset asan; run_preset tsan ;;
+  --all)  run_preset release; bench_smoke; chaos_smoke; run_preset asan; run_preset tsan ;;
   *)      echo "usage: scripts/check.sh [--asan|--tsan|--all]" >&2; exit 2 ;;
 esac
 

@@ -30,9 +30,26 @@ KVNode::KVNode(NodeId id, std::string region,
   engine_options.obs = obs;
   engine_options.obs.metrics = metrics;
   engine_options.metrics_instance = std::to_string(id);
-  auto engine_or = storage::Engine::Open(engine_options);
+  if (engine_options.env == nullptr) {
+    // The node owns the filesystem (rather than letting the engine own a
+    // private one) so Restart() can reopen the same files and replay WALs.
+    owned_env_ = storage::NewMemEnv();
+    engine_options.env = owned_env_.get();
+  }
+  engine_options_ = engine_options;
+  auto engine_or = storage::Engine::Open(engine_options_);
   VELOCE_CHECK(engine_or.ok()) << engine_or.status().ToString();
   engine_ = std::move(engine_or).value();
+}
+
+Status KVNode::Restart() {
+  // Destroy first: volatile state (memtables, block cache) dies exactly as
+  // it would in a crash; the WALs and SSTables survive in the env.
+  engine_.reset();
+  auto engine_or = storage::Engine::Open(engine_options_);
+  if (!engine_or.ok()) return engine_or.status();
+  engine_ = std::move(engine_or).value();
+  return Status::OK();
 }
 
 const NodeBatchStats& KVNode::stats() const {

@@ -46,6 +46,13 @@ class KVNode {
   const std::string& region() const { return region_; }
   storage::Engine* engine() { return engine_.get(); }
 
+  /// Simulated crash-restart: tears the engine down (dropping all volatile
+  /// state) and reopens it against the node's Env, replaying retained WALs.
+  /// Everything acked as durable before the crash must be readable again
+  /// afterwards; the serverless fault tests verify exactly that. On failure
+  /// the node is left engine-less — callers must treat the node as dead.
+  Status Restart();
+
   /// Liveness: an overloaded node fails its liveness checks and sheds
   /// leases (Fig 12). The experiment harness toggles this.
   bool live() const { return live_.load(std::memory_order_acquire); }
@@ -78,6 +85,10 @@ class KVNode {
  private:
   const NodeId id_;
   const std::string region_;
+  /// The node (not the engine) owns the filesystem so a crash-restart can
+  /// reopen the same files. Only set when the caller passed no env.
+  std::unique_ptr<storage::Env> owned_env_;
+  storage::EngineOptions engine_options_;  ///< retained for Restart()
   std::unique_ptr<storage::Engine> engine_;
   std::atomic<bool> live_{true};
   std::unordered_map<TenantId, uint64_t> tenant_write_bytes_;

@@ -32,6 +32,10 @@ ServerlessCluster::ServerlessCluster(Options options)
                                         controller_.get(), options_.pool);
   options_.proxy.obs = obs_;
   proxy_ = std::make_unique<Proxy>(&loop_, pool_.get(), options_.proxy);
+  // Node deaths invalidate the proxy's sessions on the dead node before any
+  // connection can touch a freed Session.
+  pool_->SetNodeFailureListener(
+      [this](sql::SqlNode* node) { proxy_->OnNodeFailure(node); });
   if (options_.enable_admission) {
     for (kv::NodeId id = 0; id < static_cast<kv::NodeId>(kv_->num_nodes()); ++id) {
       admission::NodeAdmissionController::Options opts = options_.admission;
@@ -126,6 +130,30 @@ StatusOr<Proxy::Connection*> ServerlessCluster::ConnectSync(
     loop_.Step();
   }
   return result;
+}
+
+StatusOr<sql::ResultSet> ServerlessCluster::ExecuteSync(Proxy::Connection* conn,
+                                                        const std::string& sql,
+                                                        bool idempotent) {
+  StatusOr<sql::ResultSet> result =
+      Status::DeadlineExceeded("execute never completed");
+  bool done = false;
+  proxy_->ExecuteWithFailover(conn, sql, idempotent,
+                              [&](StatusOr<sql::ResultSet> r) {
+                                result = std::move(r);
+                                done = true;
+                              });
+  const Nanos deadline = loop_.Now() + 10 * kMinute;
+  while (!done && loop_.Now() < deadline && loop_.pending_events() > 0) {
+    loop_.Step();
+  }
+  return result;
+}
+
+Status ServerlessCluster::CrashAndRestartKvNode(kv::NodeId id) {
+  kv::KVNode* node = kv_->node(id);
+  if (node == nullptr) return Status::NotFound("no KV node " + std::to_string(id));
+  return node->Restart();
 }
 
 }  // namespace veloce::serverless

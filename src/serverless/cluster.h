@@ -89,6 +89,21 @@ class ServerlessCluster {
   StatusOr<Proxy::Connection*> ConnectSync(kv::TenantId tenant,
                                            const std::string& client_ip = "10.0.0.1");
 
+  // --- fault hooks (docs/ROBUSTNESS.md) ------------------------------------
+  /// Synchronous convenience around Proxy::ExecuteWithFailover: runs the sim
+  /// loop until the statement (incl. any failover backoff + node reacquire)
+  /// completes. Pass idempotent=false for statements unsafe to replay.
+  StatusOr<sql::ResultSet> ExecuteSync(Proxy::Connection* conn,
+                                       const std::string& sql,
+                                       bool idempotent = true);
+  /// Abruptly kills the SQL node's pod mid-workload (fault injection). The
+  /// proxy's connections on it fail over on their next ExecuteWithFailover.
+  void KillSqlNode(sql::SqlNode* node) { pool_->KillNode(node); }
+  /// Simulated KV node crash-restart: tears the node's engine down without
+  /// flushing and reopens it against the same Env, recovering state from
+  /// the WALs. Acked (synced) writes must survive.
+  Status CrashAndRestartKvNode(kv::NodeId id);
+
   /// Reports the tenant's current SQL CPU usage to the autoscaler's scrape
   /// path. Benches inject synthetic load curves here.
   void SetTenantCpuUsage(kv::TenantId tenant, double vcpus) {

@@ -26,6 +26,13 @@ void KubeSim::StartProcess(PodId pod, std::function<void()> on_started) {
 
 void KubeSim::DeletePod(PodId pod) { pods_.erase(pod); }
 
+void KubeSim::KillPod(PodId pod) {
+  auto it = pods_.find(pod);
+  if (it == pods_.end()) return;
+  pods_.erase(it);
+  if (failure_listener_) failure_listener_(pod);
+}
+
 bool KubeSim::ProcessRunning(PodId pod) const {
   auto it = pods_.find(pod);
   return it != pods_.end() && it->second.process_running;

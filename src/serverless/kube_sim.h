@@ -55,6 +55,17 @@ class KubeSim {
   void DeletePod(PodId pod);
   bool ProcessRunning(PodId pod) const;
 
+  /// Fault hook: kills the pod abruptly (process and all). Unlike
+  /// DeletePod (a graceful, orchestrated removal), KillPod notifies the
+  /// failure listener so the node pool can react as it would to a real
+  /// crashed container.
+  void KillPod(PodId pod);
+  /// Invoked synchronously from KillPod with the dying pod's id. One
+  /// listener (the SQL node pool) is enough for the sim.
+  void SetPodFailureListener(std::function<void(PodId)> listener) {
+    failure_listener_ = std::move(listener);
+  }
+
   size_t num_pods() const { return pods_.size(); }
   /// Number of VMs currently backing the pods (ceil(pods / pods_per_vm)).
   size_t num_vms() const {
@@ -70,6 +81,7 @@ class KubeSim {
   Random rng_{0xCAFEBABE};
   std::map<PodId, Pod> pods_;
   PodId next_pod_id_ = 1;
+  std::function<void(PodId)> failure_listener_;
 };
 
 }  // namespace veloce::serverless

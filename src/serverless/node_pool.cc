@@ -15,6 +15,7 @@ SqlNodePool::SqlNodePool(sim::EventLoop* loop, KubeSim* kube,
       controller_(controller),
       options_(options) {
   InitMetrics();
+  kube_->SetPodFailureListener([this](PodId pod) { OnPodFailure(pod); });
   Replenish();
 }
 
@@ -25,6 +26,7 @@ void SqlNodePool::InitMetrics() {
     metrics_ = owned_metrics_.get();
   }
   pod_starts_c_ = metrics_->counter("veloce_serverless_pod_starts_total");
+  node_failures_c_ = metrics_->counter("veloce_serverless_node_failures_total");
   acquire_drain_c_ =
       metrics_->counter("veloce_serverless_acquires_total", {{"path", "drain"}});
   acquire_warm_c_ =
@@ -211,6 +213,41 @@ void SqlNodePool::DrainPoll(sql::SqlNode* node, Nanos deadline) {
     return;
   }
   loop_->Schedule(10 * kSecond, [this, node, deadline] { DrainPoll(node, deadline); });
+}
+
+void SqlNodePool::KillNode(sql::SqlNode* node) {
+  auto it = active_.find(node);
+  if (it == active_.end()) return;
+  kube_->KillPod(it->second->pod);  // fires OnPodFailure synchronously
+}
+
+void SqlNodePool::OnPodFailure(PodId pod) {
+  // A warm (tenant-less) node dying is just pool shrinkage; replenish.
+  for (auto it = warm_.begin(); it != warm_.end(); ++it) {
+    if ((*it)->pod == pod) {
+      node_failures_c_->Inc();
+      (*it)->node->Stop();
+      graveyard_.push_back(std::move(*it));
+      warm_.erase(it);
+      Replenish();
+      return;
+    }
+  }
+  for (auto it = active_.begin(); it != active_.end(); ++it) {
+    if (it->second->pod != pod) continue;
+    node_failures_c_->Inc();
+    sql::SqlNode* node = it->first;
+    VLOG_WARN << "serverless: SQL node " << node->id() << " (pod " << pod
+              << ") died";
+    node->Stop();  // sessions are gone; state -> kStopped
+    // Keep the dead node's memory alive: proxy connections still hold raw
+    // SqlNode* and will inspect its state while failing over.
+    graveyard_.push_back(std::move(it->second));
+    active_.erase(it);
+    if (node_failure_listener_) node_failure_listener_(node);
+    Replenish();
+    return;
+  }
 }
 
 void SqlNodePool::Remove(sql::SqlNode* node) {

@@ -68,6 +68,19 @@ class SqlNodePool {
   /// Immediately removes the node (rolling upgrade / scale-to-zero end).
   void Remove(sql::SqlNode* node);
 
+  /// Fault hook: abruptly kills the node's pod (KubeSim::KillPod), as if
+  /// the container crashed mid-request. The node object itself is kept
+  /// alive in a graveyard — stopped, session-less — so raw pointers held
+  /// by proxy connections stay valid while they fail over.
+  void KillNode(sql::SqlNode* node);
+
+  /// Invoked when a pod dies unexpectedly (KillPod), with the SQL node that
+  /// was running in it. The proxy hooks this to invalidate the sessions it
+  /// had on the node before retrying elsewhere.
+  void SetNodeFailureListener(std::function<void(sql::SqlNode*)> listener) {
+    node_failure_listener_ = std::move(listener);
+  }
+
   std::vector<sql::SqlNode*> NodesForTenant(kv::TenantId tenant) const;
   size_t warm_available() const { return warm_.size(); }
   size_t num_ready_nodes() const;
@@ -87,6 +100,7 @@ class SqlNodePool {
   void FinishStamp(ManagedNode* managed, kv::TenantId tenant,
                    std::function<void(StatusOr<sql::SqlNode*>)> on_ready);
   void DrainPoll(sql::SqlNode* node, Nanos deadline);
+  void OnPodFailure(PodId pod);
   Nanos StampLatency();
   void InitMetrics();
 
@@ -100,11 +114,16 @@ class SqlNodePool {
   uint64_t next_node_id_ = 1;
   std::deque<std::unique_ptr<ManagedNode>> warm_;
   std::map<sql::SqlNode*, std::unique_ptr<ManagedNode>> active_;
+  /// Crashed nodes, kept (stopped) so outstanding raw pointers in proxy
+  /// connections never dangle while their owners fail over.
+  std::vector<std::unique_ptr<ManagedNode>> graveyard_;
+  std::function<void(sql::SqlNode*)> node_failure_listener_;
   int replenish_inflight_ = 0;
 
   obs::MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::Counter* pod_starts_c_ = nullptr;
+  obs::Counter* node_failures_c_ = nullptr;
   obs::Counter* acquire_drain_c_ = nullptr;
   obs::Counter* acquire_warm_c_ = nullptr;
   obs::Counter* acquire_cold_c_ = nullptr;

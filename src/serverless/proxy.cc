@@ -15,6 +15,13 @@ Proxy::Proxy(sim::EventLoop* loop, SqlNodePool* pool, Options options)
   migrations_c_ = metrics_->counter("veloce_serverless_migrations_total");
   rejected_c_ = metrics_->counter("veloce_serverless_rejected_connects_total");
   auth_throttled_c_ = metrics_->counter("veloce_serverless_auth_throttled_total");
+  failovers_c_ = metrics_->counter("veloce_serverless_failovers_total");
+  failover_retries_c_ =
+      metrics_->counter("veloce_serverless_failover_retries_total");
+  budget_exhausted_c_ =
+      metrics_->counter("veloce_serverless_retry_budget_exhausted_total");
+  failover_backoff_h_ =
+      metrics_->histogram("veloce_serverless_failover_backoff_ns");
   gauge_cb_ = metrics_->AddCollectCallback([this] {
     metrics_->gauge("veloce_serverless_open_connections")
         ->Set(static_cast<double>(connections_.size()));
@@ -124,15 +131,139 @@ Status Proxy::Disconnect(uint64_t connection_id) {
   auto it = connections_.find(connection_id);
   if (it == connections_.end()) return Status::NotFound("no such connection");
   Connection* conn = it->second.get();
-  if (conn->node != nullptr && conn->session != nullptr) {
+  if (conn->node != nullptr && conn->session != nullptr &&
+      conn->node->state() != sql::SqlNode::State::kStopped) {
     (void)conn->node->CloseSession(conn->session->id());
   }
   connections_.erase(it);
   return Status::OK();
 }
 
+void Proxy::OnNodeFailure(sql::SqlNode* node) {
+  // The node's sessions died with it; null them out so nothing (migration,
+  // disconnect, execute) dereferences a freed Session.
+  for (auto& [id, conn] : connections_) {
+    if (conn->node == node) conn->session = nullptr;
+  }
+}
+
+double& Proxy::BudgetRef(kv::TenantId tenant) {
+  return retry_budget_.try_emplace(tenant, options_.retry_budget_initial)
+      .first->second;
+}
+
+double Proxy::RetryBudget(kv::TenantId tenant) const {
+  auto it = retry_budget_.find(tenant);
+  return it == retry_budget_.end() ? options_.retry_budget_initial : it->second;
+}
+
+void Proxy::EarnRetryBudget(kv::TenantId tenant) {
+  double& budget = BudgetRef(tenant);
+  budget = std::min(options_.retry_budget_cap,
+                    budget + options_.retry_budget_ratio);
+}
+
+bool Proxy::SpendRetryBudget(kv::TenantId tenant) {
+  double& budget = BudgetRef(tenant);
+  if (budget < 1.0) return false;
+  budget -= 1.0;
+  return true;
+}
+
+void Proxy::ExecuteWithFailover(Connection* conn, const std::string& sql,
+                                bool idempotent,
+                                std::function<void(StatusOr<sql::ResultSet>)> done) {
+  ExecuteAttempt(conn->id, sql, idempotent, /*attempt=*/0, std::move(done));
+}
+
+void Proxy::ExecuteAttempt(uint64_t conn_id, const std::string& sql,
+                           bool idempotent, int attempt,
+                           std::function<void(StatusOr<sql::ResultSet>)> done) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) {
+    done(Status::NotFound("connection closed during failover"));
+    return;
+  }
+  Connection* conn = it->second.get();
+  const bool node_alive = conn->session != nullptr && conn->node != nullptr &&
+                          conn->node->state() == sql::SqlNode::State::kReady;
+  if (node_alive) {
+    auto result = conn->session->Execute(sql);
+    if (result.ok()) {
+      EarnRetryBudget(conn->tenant);
+      done(std::move(result));
+      return;
+    }
+    // A request that reached the node and failed may have partially run;
+    // only idempotent work is safe to replay, and only transient failures
+    // are worth it. (A node that died *before* the attempt never saw the
+    // request, so the pre-attempt path below retries unconditionally.)
+    if (!idempotent || result.status().code() != Code::kUnavailable) {
+      done(std::move(result));
+      return;
+    }
+  }
+  if (attempt >= options_.failover_max_attempts) {
+    done(Status::Unavailable("failover attempts exhausted (" +
+                             std::to_string(attempt) + ")"));
+    return;
+  }
+  if (!SpendRetryBudget(conn->tenant)) {
+    budget_exhausted_c_->Inc();
+    done(Status::ResourceExhausted("per-tenant retry budget exhausted"));
+    return;
+  }
+  failover_retries_c_->Inc();
+  Nanos backoff = options_.failover_backoff_base;
+  for (int i = 0; i < attempt && backoff < options_.failover_backoff_max; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, options_.failover_backoff_max);
+  if (options_.failover_jitter > 0) {
+    const auto span = static_cast<uint64_t>(
+        options_.failover_jitter * static_cast<double>(backoff));
+    if (span > 0) backoff += static_cast<Nanos>(rng_.Uniform(span));
+  }
+  failover_backoff_h_->Record(backoff);
+  const kv::TenantId tenant = conn->tenant;
+  loop_->Schedule(backoff, [this, conn_id, tenant, sql, idempotent, attempt,
+                            done = std::move(done)]() mutable {
+    auto reattach = [this, conn_id, sql, idempotent, attempt,
+                     done = std::move(done)](
+                        StatusOr<sql::SqlNode*> node_or) mutable {
+      auto it = connections_.find(conn_id);
+      if (it == connections_.end()) {
+        done(Status::NotFound("connection closed during failover"));
+        return;
+      }
+      Connection* conn = it->second.get();
+      if (node_or.ok()) {
+        auto session_or = (*node_or)->NewSession();
+        if (session_or.ok()) {
+          conn->node = *node_or;
+          conn->session = *session_or;
+          failovers_c_->Inc();
+        }
+      }
+      // Re-enter whether or not the reacquire worked: a failed one backs
+      // off again until attempts or budget run out.
+      ExecuteAttempt(conn_id, sql, idempotent, attempt + 1, std::move(done));
+    };
+    const std::vector<sql::SqlNode*> nodes = pool_->NodesForTenant(tenant);
+    if (!nodes.empty()) {
+      reattach(PickLeastConnections(nodes));
+    } else {
+      // Every node for this tenant is gone: cold-start one through the pool.
+      pool_->Acquire(tenant, std::move(reattach));
+    }
+  });
+}
+
 Status Proxy::MigrateConnection(Connection* conn, sql::SqlNode* target) {
   if (conn->node == target) return Status::OK();
+  if (conn->session == nullptr) {
+    return Status::Unavailable("session lost (node crashed)");
+  }
   if (!conn->session->idle()) {
     return Status::Unavailable("session busy (open transaction)");
   }

@@ -24,6 +24,25 @@ class Proxy {
     /// Failed-auth throttling: exponential backoff starting here.
     Nanos auth_backoff_base = kSecond;
     int auth_failures_before_throttle = 3;
+
+    // ---- Failover policy (docs/ROBUSTNESS.md) ----
+    /// Node-failure retries per ExecuteWithFailover call before giving up.
+    int failover_max_attempts = 4;
+    /// Backoff between failover attempts: exponential from the base, capped
+    /// at the max, plus uniform jitter of `failover_jitter` x backoff so a
+    /// node death does not produce a synchronized retry stampede.
+    Nanos failover_backoff_base = 50 * kMilli;
+    Nanos failover_backoff_max = 2 * kSecond;
+    double failover_jitter = 0.5;
+    /// Per-tenant retry budget (token bucket a la Finagle): every
+    /// successful execute earns `retry_budget_ratio` tokens up to the cap,
+    /// every failover retry spends one, and an empty budget fails fast —
+    /// one tenant's dying node cannot retry-storm the region.
+    double retry_budget_ratio = 0.1;
+    double retry_budget_cap = 10.0;
+    /// Tokens a tenant starts with (so its very first failure can retry).
+    double retry_budget_initial = 5.0;
+
     /// Proxy telemetry (connections, migrations, security rejections).
     /// Null metrics = private registry.
     obs::ObsContext obs;
@@ -49,6 +68,25 @@ class Proxy {
                std::function<void(StatusOr<Connection*>)> on_connected);
 
   Status Disconnect(uint64_t connection_id);
+
+  // --- failure handling -----------------------------------------------------
+  /// Executes `sql` on the connection's current node. If the node has died
+  /// (or an idempotent request fails with a transient Unavailable), the
+  /// proxy fails over: jittered exponential backoff, reacquire a healthy
+  /// node for the tenant (cold-starting one through the pool if none is
+  /// left), open a fresh session, retry — bounded by failover_max_attempts
+  /// and the tenant's retry budget. `done` fires exactly once. Asynchronous;
+  /// callers pump the event loop.
+  void ExecuteWithFailover(Connection* conn, const std::string& sql,
+                           bool idempotent,
+                           std::function<void(StatusOr<sql::ResultSet>)> done);
+
+  /// SqlNodePool failure hook: invalidates the sessions of every connection
+  /// that lived on the dead node (they fail over on their next execute).
+  void OnNodeFailure(sql::SqlNode* node);
+
+  /// Remaining failover tokens for the tenant (tests/introspection).
+  double RetryBudget(kv::TenantId tenant) const;
 
   // --- security controls ---------------------------------------------------
   /// Empty allowlist = all IPs allowed.
@@ -79,6 +117,14 @@ class Proxy {
   sql::SqlNode* PickLeastConnections(const std::vector<sql::SqlNode*>& nodes) const;
   Status FinishConnect(kv::TenantId tenant, sql::SqlNode* node,
                        std::function<void(StatusOr<Connection*>)>& on_connected);
+  /// One execute attempt; `attempt` counts failovers already taken. Looks
+  /// the connection up by id because it can be closed across async hops.
+  void ExecuteAttempt(uint64_t conn_id, const std::string& sql, bool idempotent,
+                      int attempt,
+                      std::function<void(StatusOr<sql::ResultSet>)> done);
+  double& BudgetRef(kv::TenantId tenant);
+  void EarnRetryBudget(kv::TenantId tenant);
+  bool SpendRetryBudget(kv::TenantId tenant);
 
   sim::EventLoop* loop_;
   SqlNodePool* pool_;
@@ -95,6 +141,7 @@ class Proxy {
     Nanos blocked_until = 0;
   };
   std::map<std::string, ThrottleState> throttle_;
+  std::map<kv::TenantId, double> retry_budget_;
 
   obs::MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
@@ -102,6 +149,10 @@ class Proxy {
   obs::Counter* migrations_c_ = nullptr;
   obs::Counter* rejected_c_ = nullptr;       ///< allow/deny list rejections
   obs::Counter* auth_throttled_c_ = nullptr; ///< connects refused by backoff
+  obs::Counter* failovers_c_ = nullptr;          ///< successful re-attaches
+  obs::Counter* failover_retries_c_ = nullptr;   ///< retry attempts taken
+  obs::Counter* budget_exhausted_c_ = nullptr;   ///< fails fast on empty budget
+  obs::HistogramMetric* failover_backoff_h_ = nullptr;
   /// Declared last: unregisters before the state it reads is destroyed.
   obs::MetricsRegistry::CallbackToken gauge_cb_;
 };

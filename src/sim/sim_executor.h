@@ -44,6 +44,14 @@ class SimExecutor final : public storage::BackgroundExecutor {
     });
   }
 
+  /// Backoff-delayed work (bg-error retries) goes straight onto the loop,
+  /// bypassing the FIFO: a stall assist must not run a retry early and
+  /// defeat its backoff. Engine closures are token-guarded, so posting them
+  /// directly keeps the capture-no-executor-state safety property above.
+  void ScheduleAfter(uint64_t delay_ns, std::function<void()> fn) override {
+    loop_->Schedule(service_delay_ + static_cast<Nanos>(delay_ns), std::move(fn));
+  }
+
   bool single_threaded() const override { return true; }
 
   size_t RunQueued() override {

@@ -33,6 +33,16 @@ class BackgroundExecutor {
   /// Enqueues `fn` to run later. Never runs it inline.
   virtual void Schedule(std::function<void()> fn) = 0;
 
+  /// Enqueues `fn` to run roughly `delay_ns` from now — the engine's
+  /// backoff between retries of a transiently failing flush/compaction.
+  /// The default ignores the delay and schedules promptly, which is
+  /// acceptable for thread pools (the retry just happens sooner); the sim
+  /// executor overrides this to burn simulated time deterministically.
+  virtual void ScheduleAfter(uint64_t delay_ns, std::function<void()> fn) {
+    (void)delay_ns;
+    Schedule(std::move(fn));
+  }
+
   /// True when scheduled work cannot progress while the caller blocks
   /// (single-threaded executors). Stalled writers then assist by calling
   /// RunQueued() instead of sleeping on a condition variable — blocking

@@ -116,6 +116,17 @@ void Engine::InitMetrics() {
       metrics_->gauge("veloce_storage_write_stall_seconds_total", labels);
   commit_group_size_h_ =
       metrics_->histogram("veloce_storage_commit_group_size", labels);
+  // Fault tolerance: degraded-mode state machine + background retry churn.
+  degraded_g_ = metrics_->gauge("veloce_storage_degraded_mode", labels);
+  degraded_entries_c_ =
+      metrics_->counter("veloce_storage_degraded_entries_total", labels);
+  degraded_exits_c_ =
+      metrics_->counter("veloce_storage_degraded_exits_total", labels);
+  bg_retries_c_ = metrics_->counter("veloce_storage_bg_retries_total", labels);
+  bg_retry_backoff_h_ =
+      metrics_->histogram("veloce_storage_bg_retry_backoff_ns", labels);
+  wal_truncated_c_ =
+      metrics_->counter("veloce_storage_wal_truncated_records_total", labels);
   // Pull-style gauges: L0/flush backlog and block-cache hit ratio inputs.
   obs::Gauge* l0 = metrics_->gauge("veloce_storage_l0_files", labels);
   obs::Gauge* bg_depth = metrics_->gauge("veloce_storage_bg_queue_depth", labels);
@@ -226,7 +237,10 @@ Status Engine::ReplayWal(const std::string& fname) {
     Slice payload(record);
     uint64_t base_seq = 0;
     if (!GetFixed64(&payload, &base_seq)) {
-      return Status::Corruption("WAL record missing sequence");
+      return Status::Corruption(
+          "WAL record #" + std::to_string(reader.records_read()) +
+          " (ending at offset " + std::to_string(reader.offset()) +
+          ") missing sequence in " + fname);
     }
     WriteBatch batch;
     VELOCE_RETURN_IF_ERROR(batch.SetContents(payload));
@@ -237,7 +251,20 @@ Status Engine::ReplayWal(const std::string& fname) {
     }
   }
   if (corruption) {
-    return Status::Corruption("corrupt WAL record in " + fname);
+    // Damage with intact records after it cannot be a torn write — refusing
+    // to continue beats silently dropping acked writes.
+    return Status::Corruption(
+        "corrupt WAL record #" + std::to_string(reader.records_read() + 1) +
+        " at offset " + std::to_string(reader.offset()) + " in " + fname +
+        " (mid-log damage, not a torn tail)");
+  }
+  if (reader.tail_truncated()) {
+    // Torn tail: the final record never fully persisted, so it was never
+    // acked as durable. Drop it and carry on.
+    wal_truncated_c_->Inc();
+    VLOG_WARN << "storage: dropped torn WAL tail in " << fname << " ("
+              << reader.truncated_bytes() << " bytes after record #"
+              << reader.records_read() << ", offset " << reader.offset() << ")";
   }
   return Status::OK();
 }
@@ -349,9 +376,76 @@ Status Engine::Write(const WriteBatch& batch) {
   return WriteGroupCommit(l, &w);
 }
 
+bool Engine::IsTransientError(const Status& s) {
+  // I/O flakes and unreachable storage are worth retrying; corruption and
+  // logic errors are not — retrying cannot repair damaged bytes.
+  return s.code() == Code::kIOError || s.code() == Code::kUnavailable;
+}
+
+bool Engine::degraded() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return !bg_error_.ok();
+}
+
+Status Engine::background_error() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return bg_error_;
+}
+
+Status Engine::DegradedStatusLocked() const {
+  if (bg_error_.ok()) return Status::OK();
+  return Status::Unavailable("engine degraded (read-only): " +
+                             bg_error_.ToString());
+}
+
+void Engine::EnterDegradedLocked(const Status& s) {
+  if (!bg_error_.ok()) return;  // already degraded; keep the first cause
+  bg_error_ = s;
+  degraded_entries_c_->Inc();
+  degraded_g_->Set(1);
+  VLOG_WARN << "storage: entering read-only degraded mode: " << s.ToString();
+}
+
+Status Engine::HandleForegroundFailureLocked(Status s) {
+  if (!s.ok() && !IsTransientError(s)) EnterDegradedLocked(s);
+  return s;
+}
+
+Status Engine::Resume() {
+  std::unique_lock<std::mutex> l(mu_);
+  if (bg_error_.ok()) return Status::OK();
+  if (executor_ != nullptr) {
+    // Degraded mode schedules no new work, but an in-flight task may still
+    // be winding down; quiesce before re-driving the backlog ourselves.
+    while (!writers_.empty() || bg_scheduled_) {
+      WaitWritersIdleLocked(l);
+      WaitBackgroundIdleLocked(l);
+    }
+  }
+  // Retry the work that failed. If the fault has not cleared, stay degraded
+  // (with the fresh cause) so reads keep working and Resume() can be tried
+  // again later.
+  Status s;
+  while (s.ok() && !imm_.empty()) {
+    s = FlushOldestImm(l, /*unlock=*/false);
+  }
+  if (s.ok()) s = CompactOneStep(nullptr);
+  if (!s.ok()) {
+    bg_error_ = s;
+    return DegradedStatusLocked();
+  }
+  bg_error_ = Status::OK();
+  bg_retry_attempts_ = 0;
+  degraded_exits_c_->Inc();
+  degraded_g_->Set(0);
+  VLOG_INFO << "storage: resumed from degraded mode";
+  MaybeScheduleBackgroundLocked();
+  return Status::OK();
+}
+
 Status Engine::WriteLegacyLocked(std::unique_lock<std::mutex>& l,
                                  const WriteBatch& batch) {
-  VELOCE_RETURN_IF_ERROR(bg_error_);
+  VELOCE_RETURN_IF_ERROR(DegradedStatusLocked());
   VELOCE_RETURN_IF_ERROR(MakeRoomForWriteLocked(l));
   const SequenceNumber base_seq = last_seq_.load(std::memory_order_relaxed) + 1;
   std::string record;
@@ -368,8 +462,11 @@ Status Engine::WriteLegacyLocked(std::unique_lock<std::mutex>& l,
 
   if (executor_ == nullptr) {
     if (mem_->ApproximateMemoryUsage() >= options_.memtable_bytes) {
-      VELOCE_RETURN_IF_ERROR(FlushMemTableLocked());
-      VELOCE_RETURN_IF_ERROR(MaybeCompactLocked());
+      // Synchronous mode: a transient flush failure surfaces to this writer
+      // and the (still full) memtable retries on the next write; hard
+      // failures degrade the engine.
+      VELOCE_RETURN_IF_ERROR(HandleForegroundFailureLocked(FlushMemTableLocked()));
+      VELOCE_RETURN_IF_ERROR(HandleForegroundFailureLocked(MaybeCompactLocked()));
     }
   } else {
     MaybeScheduleBackgroundLocked();
@@ -378,7 +475,7 @@ Status Engine::WriteLegacyLocked(std::unique_lock<std::mutex>& l,
 }
 
 Status Engine::WriteGroupCommit(std::unique_lock<std::mutex>& l, Writer* w) {
-  Status s = bg_error_;
+  Status s = DegradedStatusLocked();
   if (s.ok()) s = MakeRoomForWriteLocked(l);  // we stay the front writer
 
   // Merge queued followers into one group: one WAL record, one optional
@@ -440,7 +537,7 @@ Status Engine::WriteGroupCommit(std::unique_lock<std::mutex>& l, Writer* w) {
       mem_->ApproximateMemoryUsage() >= options_.memtable_bytes) {
     Status fs = FlushMemTableLocked();
     if (fs.ok()) fs = MaybeCompactLocked();
-    if (!fs.ok()) s = fs;
+    if (!fs.ok()) s = HandleForegroundFailureLocked(std::move(fs));
   }
 
   // Pop the whole group, waking followers with the shared status.
@@ -470,7 +567,7 @@ Status Engine::MakeRoomForWriteLocked(std::unique_lock<std::mutex>& l) {
   Status s;
   while (s.ok()) {
     if (!bg_error_.ok()) {
-      s = bg_error_;
+      s = DegradedStatusLocked();
       break;
     }
     if (mem_->ApproximateMemoryUsage() < options_.memtable_bytes) break;
@@ -500,9 +597,9 @@ Status Engine::MakeRoomForWriteLocked(std::unique_lock<std::mutex>& l) {
         // Nothing runnable here (e.g. a deferring test executor): do one
         // unit inline rather than spin forever.
         if (!imm_.empty()) {
-          s = FlushOldestImm(l, /*unlock=*/false);
+          s = HandleForegroundFailureLocked(FlushOldestImm(l, /*unlock=*/false));
         } else {
-          s = CompactOneStep(nullptr);
+          s = HandleForegroundFailureLocked(CompactOneStep(nullptr));
         }
       }
     } else {
@@ -562,8 +659,43 @@ void Engine::BackgroundWork() {
       s = CompactOneStep(&l);
     }
   }
+  if (!s.ok() && !shutting_down_ && bg_error_.ok()) {
+    if (IsTransientError(s) && bg_retry_attempts_ < options_.max_bg_retries) {
+      // Transient failure (I/O flake): retry the same unit of work after
+      // capped exponential backoff. bg_scheduled_ stays true so nothing
+      // double-schedules while the retry is pending.
+      ++bg_retry_attempts_;
+      bg_retries_c_->Inc();
+      Nanos backoff = options_.bg_retry_base_backoff;
+      for (int i = 1;
+           i < bg_retry_attempts_ && backoff < options_.bg_retry_max_backoff;
+           ++i) {
+        backoff *= 2;
+      }
+      if (backoff > options_.bg_retry_max_backoff) {
+        backoff = options_.bg_retry_max_backoff;
+      }
+      bg_retry_backoff_h_->Record(backoff);
+      VLOG_WARN << "storage: background work failed transiently (attempt "
+                << bg_retry_attempts_ << "/" << options_.max_bg_retries
+                << ", retrying in " << backoff << "ns): " << s.ToString();
+      auto token = bg_token_;
+      Engine* self = this;
+      executor_->ScheduleAfter(static_cast<uint64_t>(backoff), [self, token] {
+        std::lock_guard<std::mutex> tl(token->mu);
+        if (!token->alive) return;
+        self->BackgroundWork();
+      });
+      bg_cv_.notify_all();
+      return;
+    }
+    // Hard error, or the transient-retry budget is spent: latch it and go
+    // read-only. Resume() is the only way out.
+    EnterDegradedLocked(s);
+  } else if (s.ok()) {
+    bg_retry_attempts_ = 0;
+  }
   bg_scheduled_ = false;
-  if (!s.ok() && bg_error_.ok()) bg_error_ = s;
   MaybeScheduleBackgroundLocked();  // more work? chain the next unit
   bg_cv_.notify_all();
 }
@@ -646,10 +778,11 @@ Status Engine::Flush() {
   std::unique_lock<std::mutex> l(mu_);
   if (executor_ == nullptr) {
     if (mem_->num_entries() == 0) return Status::OK();
-    VELOCE_RETURN_IF_ERROR(FlushMemTableLocked());
-    return MaybeCompactLocked();
+    VELOCE_RETURN_IF_ERROR(DegradedStatusLocked());
+    VELOCE_RETURN_IF_ERROR(HandleForegroundFailureLocked(FlushMemTableLocked()));
+    return HandleForegroundFailureLocked(MaybeCompactLocked());
   }
-  VELOCE_RETURN_IF_ERROR(bg_error_);
+  VELOCE_RETURN_IF_ERROR(DegradedStatusLocked());
   // Quiesce: no queued writers (mem_ stable) and no in-flight background
   // task (no concurrent flush of the same sealed memtable). Both waits
   // drop the lock, so loop until both hold at once.
@@ -658,10 +791,11 @@ Status Engine::Flush() {
     WaitBackgroundIdleLocked(l);
   }
   while (!imm_.empty()) {
-    VELOCE_RETURN_IF_ERROR(FlushOldestImm(l, /*unlock=*/false));
+    VELOCE_RETURN_IF_ERROR(HandleForegroundFailureLocked(
+        FlushOldestImm(l, /*unlock=*/false)));
   }
   if (mem_->num_entries() > 0) {
-    VELOCE_RETURN_IF_ERROR(FlushMemTableLocked());
+    VELOCE_RETURN_IF_ERROR(HandleForegroundFailureLocked(FlushMemTableLocked()));
   }
   MaybeScheduleBackgroundLocked();  // L0 may now be over its trigger
   return Status::OK();
@@ -726,23 +860,24 @@ Status Engine::CompactOneStep(std::unique_lock<std::mutex>* l) {
 
 Status Engine::CompactAll() {
   std::unique_lock<std::mutex> l(mu_);
+  VELOCE_RETURN_IF_ERROR(DegradedStatusLocked());
   if (executor_ != nullptr) {
-    VELOCE_RETURN_IF_ERROR(bg_error_);
     while (!writers_.empty() || bg_scheduled_) {
       WaitWritersIdleLocked(l);
       WaitBackgroundIdleLocked(l);
     }
     while (!imm_.empty()) {
-      VELOCE_RETURN_IF_ERROR(FlushOldestImm(l, /*unlock=*/false));
+      VELOCE_RETURN_IF_ERROR(HandleForegroundFailureLocked(
+          FlushOldestImm(l, /*unlock=*/false)));
     }
   }
-  VELOCE_RETURN_IF_ERROR(FlushMemTableLocked());
+  VELOCE_RETURN_IF_ERROR(HandleForegroundFailureLocked(FlushMemTableLocked()));
   if (!levels_[0].empty()) {
-    VELOCE_RETURN_IF_ERROR(CompactL0(nullptr));
+    VELOCE_RETURN_IF_ERROR(HandleForegroundFailureLocked(CompactL0(nullptr)));
   }
   for (int level = 1; level < kNumLevels - 1; ++level) {
     while (LevelBytesLocked(level) > MaxBytesForLevel(level)) {
-      VELOCE_RETURN_IF_ERROR(CompactLevel(level, nullptr));
+      VELOCE_RETURN_IF_ERROR(HandleForegroundFailureLocked(CompactLevel(level, nullptr)));
     }
   }
   return Status::OK();

@@ -104,6 +104,15 @@ struct EngineOptions {
   /// L0 file count at which writers stall until compaction catches up.
   int l0_stall_files = 12;
 
+  // ---- Fault tolerance (docs/ROBUSTNESS.md) ----
+  /// Background flush/compaction failures classified transient (I/O flakes,
+  /// unreachable storage) are retried with capped exponential backoff; after
+  /// this many failed retries the engine enters read-only degraded mode.
+  int max_bg_retries = 5;
+  /// First retry delay; doubles per attempt up to the cap.
+  Nanos bg_retry_base_backoff = 10 * kMilli;
+  Nanos bg_retry_max_backoff = 2 * kSecond;
+
   /// Telemetry injection. When obs.metrics is null the engine owns a
   /// private registry, so stats() stays per-instance-correct without any
   /// wiring. When several engines share an injected registry, set a
@@ -182,6 +191,25 @@ class Engine {
   /// Runs compactions until no level is over its trigger.
   Status CompactAll();
 
+  // ---- Error handling (RocksDB-ErrorHandler-style; docs/ROBUSTNESS.md) ----
+  /// Severity classification: transient errors (I/O flakes, unreachable
+  /// storage) are worth retrying; anything else (corruption, logic errors)
+  /// is hard and forces degraded mode.
+  static bool IsTransientError(const Status& s);
+  /// True while the engine is in read-only degraded mode: reads and
+  /// iterators keep working off the installed state, writes return
+  /// Unavailable. Entered when background work fails hard (or exhausts its
+  /// transient-retry budget).
+  bool degraded() const;
+  /// The error that put the engine into degraded mode (OK when healthy).
+  Status background_error() const;
+  /// Attempts to leave degraded mode: re-drives the pending flush/compaction
+  /// work synchronously and, on success, clears the error and resumes
+  /// background scheduling. Returns the (still) failing status if the fault
+  /// has not cleared — the engine stays degraded and Resume() can be called
+  /// again.
+  Status Resume();
+
   /// Cumulative engine counters, materialized from the metrics registry.
   const EngineStats& stats() const;
   /// The registry this engine's `veloce_storage_*` series live in (the
@@ -249,6 +277,16 @@ class Engine {
   std::string ManifestFileName() const;
 
   // Write path.
+  /// Maps bg_error_ to the status writes surface while degraded.
+  Status DegradedStatusLocked() const;
+  /// Latches `s` as the background error and flips the engine into
+  /// read-only degraded mode (idempotent).
+  void EnterDegradedLocked(const Status& s);
+  /// Classifies a foreground flush/compaction failure: hard errors poison
+  /// the engine into degraded mode before surfacing; transient ones pass
+  /// through untouched (the caller's next attempt simply retries).
+  Status HandleForegroundFailureLocked(Status s);
+
   Status WriteLegacyLocked(std::unique_lock<std::mutex>& l, const WriteBatch& batch);
   Status WriteGroupCommit(std::unique_lock<std::mutex>& l, Writer* w);
   /// Executor mode only: seals a full memtable, stalling first if the
@@ -331,7 +369,12 @@ class Engine {
   // Background state.
   bool bg_scheduled_ = false;  ///< a background task is queued or running
   bool shutting_down_ = false;
-  Status bg_error_;            ///< sticky; surfaced on the next write
+  /// Hard background error: while set the engine is in read-only degraded
+  /// mode (writes return Unavailable, reads keep working). Cleared only by
+  /// Resume(). Transient failures never land here until their retry budget
+  /// (max_bg_retries, exponential backoff) is exhausted.
+  Status bg_error_;
+  int bg_retry_attempts_ = 0;  ///< consecutive transient bg failures
   std::condition_variable bg_cv_;  ///< signalled when background work completes
   std::shared_ptr<BgToken> bg_token_;
 
@@ -352,6 +395,13 @@ class Engine {
   obs::Counter* write_stalls_c_ = nullptr;
   obs::Gauge* stall_seconds_g_ = nullptr;  ///< cumulative; Gauge for fractions
   obs::HistogramMetric* commit_group_size_h_ = nullptr;
+  // Fault tolerance: degraded-mode transitions, bg retry churn, WAL repair.
+  obs::Gauge* degraded_g_ = nullptr;
+  obs::Counter* degraded_entries_c_ = nullptr;
+  obs::Counter* degraded_exits_c_ = nullptr;
+  obs::Counter* bg_retries_c_ = nullptr;
+  obs::HistogramMetric* bg_retry_backoff_h_ = nullptr;
+  obs::Counter* wal_truncated_c_ = nullptr;
   obs::MetricsRegistry::CallbackToken gauge_callback_;
   mutable EngineStats stats_snapshot_;
 };

@@ -19,11 +19,19 @@ Status Env::ReadFileToString(const std::string& fname, std::string* out) {
 }
 
 Status Env::WriteStringToFile(const std::string& fname, Slice data) {
+  // Temp-file + rename so the target is never observable half-written: a
+  // crash mid-write leaves at worst a stray "*.tmp" that recovery ignores.
+  const std::string tmp = fname + ".tmp";
   std::unique_ptr<WritableFile> file;
-  VELOCE_RETURN_IF_ERROR(NewWritableFile(fname, &file));
-  VELOCE_RETURN_IF_ERROR(file->Append(data));
-  VELOCE_RETURN_IF_ERROR(file->Sync());
-  return file->Close();
+  VELOCE_RETURN_IF_ERROR(NewWritableFile(tmp, &file));
+  Status s = file->Append(data);
+  if (s.ok()) s = file->Sync();
+  if (s.ok()) s = file->Close();
+  if (!s.ok()) {
+    DeleteFile(tmp);  // best effort; ignore secondary failure
+    return s;
+  }
+  return RenameFile(tmp, fname);
 }
 
 namespace {
@@ -120,6 +128,15 @@ class MemEnv final : public Env {
   }
 
   Status CreateDirIfMissing(const std::string&) override { return Status::OK(); }
+
+  Status RenameFile(const std::string& src, const std::string& target) override {
+    std::lock_guard<std::mutex> l(fs_.mu);
+    auto it = fs_.files.find(src);
+    if (it == fs_.files.end()) return Status::NotFound(src);
+    fs_.files[target] = it->second;
+    fs_.files.erase(it);
+    return Status::OK();
+  }
 
  private:
   MemFileSystem fs_;
@@ -231,6 +248,14 @@ class PosixEnvImpl final : public Env {
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     if (ec) return Status::IOError(ec.message());
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src, const std::string& target) override {
+    // std::rename replaces an existing target atomically on POSIX.
+    if (std::rename(src.c_str(), target.c_str()) != 0) {
+      return Status::IOError(src + " -> " + target + ": " + std::strerror(errno));
+    }
     return Status::OK();
   }
 };

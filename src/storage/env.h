@@ -45,10 +45,16 @@ class Env {
   virtual Status GetChildren(const std::string& dir,
                              std::vector<std::string>* out) = 0;
   virtual Status CreateDirIfMissing(const std::string& dir) = 0;
+  /// Atomically renames `src` to `target`, replacing any existing target.
+  /// The write-temp-then-rename idiom relies on this being all-or-nothing.
+  virtual Status RenameFile(const std::string& src, const std::string& target) = 0;
 
   /// Reads an entire file into *out.
   Status ReadFileToString(const std::string& fname, std::string* out);
-  /// Atomically (best effort) writes `data` as the content of fname.
+  /// Atomically writes `data` as the content of fname: the bytes land in
+  /// `fname + ".tmp"`, are synced, and the temp file is renamed over the
+  /// target — a reader (or a crash-recovery pass) sees either the old
+  /// content or the new content, never a half-written file.
   Status WriteStringToFile(const std::string& fname, Slice data);
 };
 

@@ -1,0 +1,321 @@
+#include "storage/fault_env.h"
+
+#include <utility>
+
+namespace veloce::storage {
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kAppend: return "append";
+    case FaultOp::kSync:   return "sync";
+    case FaultOp::kRead:   return "read";
+    case FaultOp::kRename: return "rename";
+    default:               return "unknown";
+  }
+}
+
+namespace {
+
+/// Write handle that mirrors every append into the env's shadow copy and
+/// records sync points. The base file still receives all bytes immediately —
+/// only CrashAndDropUnsynced makes the unsynced suffix actually disappear.
+class FaultWritableFileImpl final : public WritableFile {
+ public:
+  FaultWritableFileImpl(FaultInjectionEnv* env, std::string fname,
+                        std::unique_ptr<WritableFile> base,
+                        Status (FaultInjectionEnv::*on_append)(const std::string&,
+                                                               WritableFile*, Slice),
+                        Status (FaultInjectionEnv::*on_sync)(const std::string&,
+                                                             WritableFile*))
+      : env_(env),
+        fname_(std::move(fname)),
+        base_(std::move(base)),
+        on_append_(on_append),
+        on_sync_(on_sync) {}
+
+  Status Append(Slice data) override {
+    return (env_->*on_append_)(fname_, base_.get(), data);
+  }
+  Status Sync() override { return (env_->*on_sync_)(fname_, base_.get()); }
+  Status Close() override { return base_->Close(); }
+  uint64_t Size() const override { return base_->Size(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string fname_;
+  std::unique_ptr<WritableFile> base_;
+  Status (FaultInjectionEnv::*on_append_)(const std::string&, WritableFile*, Slice);
+  Status (FaultInjectionEnv::*on_sync_)(const std::string&, WritableFile*);
+};
+
+class FaultRandomAccessFileImpl final : public RandomAccessFile {
+ public:
+  FaultRandomAccessFileImpl(
+      FaultInjectionEnv* env, std::string fname,
+      std::unique_ptr<RandomAccessFile> base,
+      Status (FaultInjectionEnv::*on_read)(const std::string&,
+                                           const RandomAccessFile*, uint64_t,
+                                           size_t, std::string*))
+      : env_(env), fname_(std::move(fname)), base_(std::move(base)),
+        on_read_(on_read) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    return (env_->*on_read_)(fname_, base_.get(), offset, n, out);
+  }
+  uint64_t Size() const override { return base_->Size(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string fname_;
+  std::unique_ptr<RandomAccessFile> base_;
+  Status (FaultInjectionEnv::*on_read_)(const std::string&,
+                                        const RandomAccessFile*, uint64_t,
+                                        size_t, std::string*);
+};
+
+}  // namespace
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base, uint64_t seed,
+                                     obs::MetricsRegistry* metrics)
+    : base_(base), metrics_(metrics), rng_(seed) {
+  if (metrics_ != nullptr) {
+    for (int i = 0; i < static_cast<int>(FaultOp::kNumOps); ++i) {
+      injected_c_[i] = metrics_->counter(
+          "veloce_storage_injected_faults_total",
+          {{"kind", FaultOpName(static_cast<FaultOp>(i))}});
+    }
+  }
+}
+
+int FaultInjectionEnv::AddRule(FaultRule rule) {
+  std::lock_guard<std::mutex> l(mu_);
+  RuleState rs;
+  rs.id = next_rule_id_++;
+  rs.rule = std::move(rule);
+  rules_.push_back(std::move(rs));
+  return rules_.back().id;
+}
+
+void FaultInjectionEnv::RemoveRule(int id) {
+  std::lock_guard<std::mutex> l(mu_);
+  for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+    if (it->id == id) {
+      rules_.erase(it);
+      return;
+    }
+  }
+}
+
+void FaultInjectionEnv::ClearRules() {
+  std::lock_guard<std::mutex> l(mu_);
+  rules_.clear();
+}
+
+void FaultInjectionEnv::SetDown(bool down) {
+  std::lock_guard<std::mutex> l(mu_);
+  down_ = down;
+}
+
+bool FaultInjectionEnv::down() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return down_;
+}
+
+void FaultInjectionEnv::CountFaultLocked(FaultOp op) {
+  ++injected_total_;
+  ++injected_by_op_[static_cast<int>(op)];
+  if (injected_c_[static_cast<int>(op)] != nullptr) {
+    injected_c_[static_cast<int>(op)]->Inc();
+  }
+}
+
+const FaultRule* FaultInjectionEnv::MatchLocked(FaultOp op,
+                                                const std::string& fname) {
+  for (auto& rs : rules_) {
+    if (rs.rule.op != op) continue;
+    if (!rs.rule.path_substr.empty() &&
+        fname.find(rs.rule.path_substr) == std::string::npos) {
+      continue;
+    }
+    ++rs.seen;
+    if (rs.seen <= rs.rule.skip) continue;
+    if (rs.rule.count >= 0 && rs.fired >= rs.rule.count) continue;
+    ++rs.fired;
+    CountFaultLocked(op);
+    return &rs.rule;
+  }
+  return nullptr;
+}
+
+Status FaultInjectionEnv::CheckFault(FaultOp op, const std::string& fname) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (down_) {
+    CountFaultLocked(op);
+    return Status::Unavailable("injected: storage unreachable");
+  }
+  if (const FaultRule* r = MatchLocked(op, fname)) {
+    if (!r->bit_flip) return r->error;
+    // A bit-flip rule on a non-read op degenerates to its error status.
+    if (op != FaultOp::kRead) return r->error;
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::OnAppend(const std::string& fname, WritableFile* base,
+                                   Slice data) {
+  VELOCE_RETURN_IF_ERROR(CheckFault(FaultOp::kAppend, fname));
+  VELOCE_RETURN_IF_ERROR(base->Append(data));
+  std::lock_guard<std::mutex> l(mu_);
+  files_[fname].data.append(data.data(), data.size());
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::OnSync(const std::string& fname, WritableFile* base) {
+  VELOCE_RETURN_IF_ERROR(CheckFault(FaultOp::kSync, fname));
+  VELOCE_RETURN_IF_ERROR(base->Sync());
+  std::lock_guard<std::mutex> l(mu_);
+  FileState& fs = files_[fname];
+  fs.synced = fs.data.size();
+  ++sync_count_;
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::OnRead(const std::string& fname,
+                                 const RandomAccessFile* base, uint64_t offset,
+                                 size_t n, std::string* out) {
+  bool flip = false;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (down_) {
+      CountFaultLocked(FaultOp::kRead);
+      return Status::Unavailable("injected: storage unreachable");
+    }
+    if (const FaultRule* r = MatchLocked(FaultOp::kRead, fname)) {
+      if (!r->bit_flip) return r->error;
+      flip = true;
+    }
+  }
+  VELOCE_RETURN_IF_ERROR(base->Read(offset, n, out));
+  if (flip && !out->empty()) {
+    std::lock_guard<std::mutex> l(mu_);
+    const size_t byte = rng_.Uniform(out->size());
+    (*out)[byte] = static_cast<char>((*out)[byte] ^ (1u << rng_.Uniform(8)));
+  }
+  return Status::OK();
+}
+
+void FaultInjectionEnv::CrashAndDropUnsynced(bool torn_tail) {
+  std::map<std::string, std::string> post;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    ++crash_count_;
+    for (auto& [fname, fs] : files_) {
+      size_t keep = fs.synced;
+      if (torn_tail && fs.data.size() > fs.synced) {
+        // A strict prefix of the unsynced suffix survives: some pages made
+        // it to the platter before power loss, the rest tore off.
+        keep += rng_.Uniform(fs.data.size() - fs.synced);
+      }
+      fs.data.resize(keep);
+      fs.synced = keep;
+      post[fname] = fs.data;
+    }
+  }
+  // Rewrite the base files outside our lock (the base env locks internally).
+  for (const auto& [fname, content] : post) {
+    if (base_->FileExists(fname)) base_->DeleteFile(fname);
+    std::unique_ptr<WritableFile> f;
+    if (!base_->NewWritableFile(fname, &f).ok()) continue;
+    f->Append(Slice(content));
+    f->Sync();
+    f->Close();
+  }
+}
+
+uint64_t FaultInjectionEnv::injected_faults() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return injected_total_;
+}
+
+uint64_t FaultInjectionEnv::injected(FaultOp op) const {
+  std::lock_guard<std::mutex> l(mu_);
+  return injected_by_op_[static_cast<int>(op)];
+}
+
+uint64_t FaultInjectionEnv::sync_count() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return sync_count_;
+}
+
+uint64_t FaultInjectionEnv::crash_count() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return crash_count_;
+}
+
+Status FaultInjectionEnv::NewWritableFile(const std::string& fname,
+                                          std::unique_ptr<WritableFile>* file) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (down_) {
+      CountFaultLocked(FaultOp::kAppend);
+      return Status::Unavailable("injected: storage unreachable");
+    }
+  }
+  std::unique_ptr<WritableFile> base_file;
+  VELOCE_RETURN_IF_ERROR(base_->NewWritableFile(fname, &base_file));
+  {
+    // Creation truncates: reset the shadow state for this name.
+    std::lock_guard<std::mutex> l(mu_);
+    files_[fname] = FileState{};
+  }
+  *file = std::make_unique<FaultWritableFileImpl>(
+      this, fname, std::move(base_file), &FaultInjectionEnv::OnAppend,
+      &FaultInjectionEnv::OnSync);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* file) {
+  std::unique_ptr<RandomAccessFile> base_file;
+  VELOCE_RETURN_IF_ERROR(base_->NewRandomAccessFile(fname, &base_file));
+  *file = std::make_unique<FaultRandomAccessFileImpl>(
+      this, fname, std::move(base_file), &FaultInjectionEnv::OnRead);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& fname) {
+  VELOCE_RETURN_IF_ERROR(base_->DeleteFile(fname));
+  std::lock_guard<std::mutex> l(mu_);
+  files_.erase(fname);
+  return Status::OK();
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& fname) {
+  return base_->FileExists(fname);
+}
+
+Status FaultInjectionEnv::GetChildren(const std::string& dir,
+                                      std::vector<std::string>* out) {
+  return base_->GetChildren(dir, out);
+}
+
+Status FaultInjectionEnv::CreateDirIfMissing(const std::string& dir) {
+  return base_->CreateDirIfMissing(dir);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& src,
+                                     const std::string& target) {
+  VELOCE_RETURN_IF_ERROR(CheckFault(FaultOp::kRename, src));
+  VELOCE_RETURN_IF_ERROR(base_->RenameFile(src, target));
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(src);
+  if (it != files_.end()) {
+    // Rename is metadata-durable in our model: the target inherits the
+    // source's synced prefix.
+    files_[target] = std::move(it->second);
+    files_.erase(it);
+  }
+  return Status::OK();
+}
+
+}  // namespace veloce::storage

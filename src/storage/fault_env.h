@@ -1,0 +1,154 @@
+#ifndef VELOCE_STORAGE_FAULT_ENV_H_
+#define VELOCE_STORAGE_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "storage/env.h"
+
+namespace veloce::storage {
+
+/// Which file operation a FaultRule triggers on.
+enum class FaultOp : int {
+  kAppend = 0,
+  kSync = 1,
+  kRead = 2,
+  kRename = 3,
+  kNumOps = 4,
+};
+
+const char* FaultOpName(FaultOp op);
+
+/// One entry in the programmable fault schedule. A rule matches operations of
+/// its `op` kind on files whose name contains `path_substr` (empty matches
+/// everything). The first `skip` matching operations pass through untouched;
+/// after that the rule fires on every match until it has fired `count` times
+/// (count < 0 fires forever). A firing rule either returns `error` to the
+/// caller, or — when `bit_flip` is set on a read rule — lets the read succeed
+/// but flips one pseudo-random bit in the returned buffer, modeling silent
+/// media corruption that only a checksum can catch.
+struct FaultRule {
+  FaultOp op = FaultOp::kSync;
+  std::string path_substr;
+  int skip = 0;
+  int count = 1;
+  Status error = Status::IOError("injected fault");
+  bool bit_flip = false;
+};
+
+/// FaultInjectionEnv wraps any Env and injects storage faults on a
+/// programmable, deterministic schedule (seeded PRNG decides torn-tail
+/// lengths and which bit a read flip corrupts). Modeled on RocksDB's
+/// FaultInjectionTestEnv: every write is mirrored into a shadow copy that
+/// tracks the synced prefix of each file, so `CrashAndDropUnsynced()` can
+/// simulate a machine crash by truncating every file back to its durable
+/// bytes — optionally keeping a partial ("torn") unsynced tail, which is
+/// what a real kernel page-cache loss produces.
+///
+/// All methods are thread-safe. Crash simulation rewrites the base Env's
+/// files in place, so the engine using this Env must be destroyed before
+/// calling CrashAndDropUnsynced() and reopened afterwards.
+class FaultInjectionEnv final : public Env {
+ public:
+  /// `base` must outlive this object. `metrics` (optional) receives
+  /// veloce_storage_injected_faults_total{kind=...} counters.
+  explicit FaultInjectionEnv(Env* base, uint64_t seed = 0x5EEDull,
+                             obs::MetricsRegistry* metrics = nullptr);
+
+  // --- Programmable fault schedule -----------------------------------------
+
+  /// Installs a rule and returns an id usable with RemoveRule.
+  int AddRule(FaultRule rule);
+  void RemoveRule(int id);
+  void ClearRules();
+
+  /// While down, every Append/Sync/Read/Rename returns a transient
+  /// Unavailable — the disk is unreachable but not damaged. Clearing it
+  /// models the fault healing (e.g. a remounted volume).
+  void SetDown(bool down);
+  bool down() const;
+
+  // --- Crash simulation ----------------------------------------------------
+
+  /// Simulates a whole-process crash: every tracked file is truncated to its
+  /// last-synced prefix. With `torn_tail`, a pseudo-random strict prefix of
+  /// the unsynced suffix survives instead of none of it — the classic torn
+  /// write that WAL replay must detect and drop. Close the engine first.
+  void CrashAndDropUnsynced(bool torn_tail = true);
+
+  // --- Introspection -------------------------------------------------------
+
+  uint64_t injected_faults() const;
+  uint64_t injected(FaultOp op) const;
+  /// Number of successful Sync() calls observed (crash points for tests).
+  uint64_t sync_count() const;
+  uint64_t crash_count() const;
+
+  // --- Env interface -------------------------------------------------------
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* file) override;
+  Status NewRandomAccessFile(const std::string& fname,
+                             std::unique_ptr<RandomAccessFile>* file) override;
+  Status DeleteFile(const std::string& fname) override;
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* out) override;
+  Status CreateDirIfMissing(const std::string& dir) override;
+  Status RenameFile(const std::string& src, const std::string& target) override;
+
+ private:
+  friend class FaultWritableFile;
+  friend class FaultRandomAccessFile;
+
+  struct FileState {
+    std::string data;    // full logical content, including unsynced bytes
+    size_t synced = 0;   // prefix guaranteed to survive a crash
+  };
+  struct RuleState {
+    int id = 0;
+    FaultRule rule;
+    int seen = 0;   // matching ops observed so far
+    int fired = 0;  // times this rule has injected
+  };
+
+  // Returns the rule that fires for this operation, or nullptr. Must be
+  // called with mu_ held; bumps fault counters when a rule fires.
+  const FaultRule* MatchLocked(FaultOp op, const std::string& fname);
+  // Status-only fault check (down state + error rules). Returns OK when the
+  // operation should proceed.
+  Status CheckFault(FaultOp op, const std::string& fname);
+  void CountFaultLocked(FaultOp op);
+
+  // Hooks called by the file wrappers.
+  Status OnAppend(const std::string& fname, WritableFile* base, Slice data);
+  Status OnSync(const std::string& fname, WritableFile* base);
+  Status OnRead(const std::string& fname, const RandomAccessFile* base,
+                uint64_t offset, size_t n, std::string* out);
+
+  Env* const base_;
+  obs::MetricsRegistry* const metrics_;
+  obs::Counter* injected_c_[static_cast<int>(FaultOp::kNumOps)] = {};
+
+  mutable std::mutex mu_;
+  Random rng_;
+  bool down_ = false;
+  int next_rule_id_ = 1;
+  std::vector<RuleState> rules_;
+  std::map<std::string, FileState> files_;
+  uint64_t injected_total_ = 0;
+  uint64_t injected_by_op_[static_cast<int>(FaultOp::kNumOps)] = {};
+  uint64_t sync_count_ = 0;
+  uint64_t crash_count_ = 0;
+};
+
+}  // namespace veloce::storage
+
+#endif  // VELOCE_STORAGE_FAULT_ENV_H_

@@ -15,20 +15,33 @@ Status LogWriter::AddRecord(Slice payload) {
 
 bool LogReader::ReadRecord(std::string* payload, bool* corruption) {
   *corruption = false;
-  if (pos_ + 8 > contents_.size()) return false;  // truncated or clean end
+  if (pos_ + 8 > contents_.size()) {
+    tail_truncated_ = pos_ < contents_.size();  // partial header = torn tail
+    return false;
+  }
   Slice header(contents_.data() + pos_, 8);
   uint32_t masked_crc = 0, length = 0;
   GetFixed32(&header, &masked_crc);
   GetFixed32(&header, &length);
-  if (pos_ + 8 + length > contents_.size()) return false;  // truncated tail
+  if (pos_ + 8 + length > contents_.size()) {
+    tail_truncated_ = true;  // payload cut off mid-record
+    return false;
+  }
   const char* data = contents_.data() + pos_ + 8;
   const uint32_t actual = crc32c::Value(data, length);
   if (crc32c::Unmask(masked_crc) != actual) {
+    if (pos_ + 8 + length == contents_.size()) {
+      // The damaged record is the last thing in the log: indistinguishable
+      // from a torn final write, so drop it rather than fail recovery.
+      tail_truncated_ = true;
+      return false;
+    }
     *corruption = true;
     return false;
   }
   payload->assign(data, length);
   pos_ += 8 + length;
+  ++records_read_;
   return true;
 }
 

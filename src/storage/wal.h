@@ -33,12 +33,28 @@ class LogReader {
 
   /// Reads the next record into *payload. Returns true on success, false at
   /// end of log (including a truncated tail). *corruption is set if a CRC
-  /// mismatch was found mid-log.
+  /// mismatch was found mid-log — a mismatch on a record whose frame ends
+  /// exactly at EOF is instead classified as a torn tail (a partially
+  /// persisted final write), which is expected after a crash and safe to
+  /// drop.
   bool ReadRecord(std::string* payload, bool* corruption);
+
+  /// Byte offset of the next unread record (== the failing offset after
+  /// ReadRecord returns false).
+  size_t offset() const { return pos_; }
+  /// Records successfully returned so far.
+  uint64_t records_read() const { return records_read_; }
+  /// True once ReadRecord stopped at a torn tail: a truncated header,
+  /// truncated payload, or CRC-mismatched record extending exactly to EOF.
+  bool tail_truncated() const { return tail_truncated_; }
+  /// Bytes dropped at the tail (0 unless tail_truncated()).
+  size_t truncated_bytes() const { return contents_.size() - pos_; }
 
  private:
   std::string contents_;
   size_t pos_ = 0;
+  uint64_t records_read_ = 0;
+  bool tail_truncated_ = false;
 };
 
 }  // namespace veloce::storage

@@ -202,6 +202,120 @@ TEST_F(ServerlessTest, RebalanceEvacuatesDrainingNode) {
 }
 
 // ---------------------------------------------------------------------------
+// Node failure: kill-mid-workload, proxy failover, retry budget
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerlessTest, NodeDeathFailsOverWithoutLosingAckedWrites) {
+  auto conn = *cluster_->ConnectSync(tenant_);
+  ASSERT_TRUE(conn->session->Execute("CREATE TABLE t (id INT PRIMARY KEY)").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        conn->session->Execute("INSERT INTO t VALUES (" + std::to_string(i) + ")")
+            .ok());
+  }
+  sql::SqlNode* dead = conn->node;
+
+  // Kill the SQL node out from under the connection, mid-workload.
+  cluster_->KillSqlNode(dead);
+  EXPECT_EQ(dead->state(), sql::SqlNode::State::kStopped);
+  EXPECT_EQ(conn->session, nullptr) << "failure listener must invalidate sessions";
+
+  // The next execute transparently fails over to a healthy node; every
+  // acked write survives because SQL state lives in the shared KV cluster.
+  auto rs = cluster_->ExecuteSync(conn, "SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows[0][0].int_value(), 10);
+  EXPECT_NE(conn->node, dead);
+  EXPECT_EQ(conn->node->state(), sql::SqlNode::State::kReady);
+  ASSERT_NE(conn->session, nullptr);
+
+  // Failover completed within the retry budget and is visible in telemetry.
+  obs::MetricsRegistry* m = cluster_->metrics();
+  EXPECT_GE(m->Sum("veloce_serverless_failovers_total"), 1.0);
+  EXPECT_GE(m->Sum("veloce_serverless_node_failures_total"), 1.0);
+  EXPECT_LE(m->Sum("veloce_serverless_failover_retries_total"), 4.0);
+  EXPECT_EQ(m->Sum("veloce_serverless_retry_budget_exhausted_total"), 0.0);
+  EXPECT_GT(cluster_->proxy()->RetryBudget(tenant_), 0.0);
+
+  // The connection keeps working (and the write path too).
+  ASSERT_TRUE(cluster_->ExecuteSync(conn, "INSERT INTO t VALUES (10)").ok());
+  rs = cluster_->ExecuteSync(conn, "SELECT COUNT(*) FROM t");
+  EXPECT_EQ(rs->rows[0][0].int_value(), 11);
+}
+
+TEST_F(ServerlessTest, NonIdempotentRetriesOnlyWhenNodeNeverSawTheRequest) {
+  auto conn = *cluster_->ConnectSync(tenant_);
+  ASSERT_TRUE(conn->session->Execute("CREATE TABLE t (id INT PRIMARY KEY)").ok());
+  cluster_->KillSqlNode(conn->node);
+  // The node died before this statement was ever attempted, so replaying it
+  // cannot double-apply — failover proceeds even for non-idempotent work.
+  auto rs = cluster_->ExecuteSync(conn, "INSERT INTO t VALUES (1)",
+                                  /*idempotent=*/false);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  rs = cluster_->ExecuteSync(conn, "SELECT COUNT(*) FROM t");
+  EXPECT_EQ(rs->rows[0][0].int_value(), 1);
+}
+
+TEST_F(ServerlessTest, EmptyRetryBudgetFailsFast) {
+  ServerlessCluster::Options opts;
+  opts.kv.num_nodes = 3;
+  opts.proxy.retry_budget_initial = 0.0;  // tenant starts with no tokens
+  opts.proxy.retry_budget_ratio = 0.0;    // and can never earn any
+  ServerlessCluster cluster(opts);
+  auto meta = *cluster.CreateTenant("broke");
+  auto conn = *cluster.ConnectSync(meta.id);
+  ASSERT_TRUE(conn->session->Execute("CREATE TABLE t (id INT PRIMARY KEY)").ok());
+
+  cluster.KillSqlNode(conn->node);
+  auto rs = cluster.ExecuteSync(conn, "SELECT COUNT(*) FROM t");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), Code::kResourceExhausted);
+  EXPECT_GE(cluster.metrics()->Sum("veloce_serverless_retry_budget_exhausted_total"),
+            1.0);
+}
+
+TEST_F(ServerlessTest, SuccessfulExecutesEarnRetryBudgetUpToCap) {
+  auto conn = *cluster_->ConnectSync(tenant_);
+  ASSERT_TRUE(conn->session->Execute("CREATE TABLE t (id INT PRIMARY KEY)").ok());
+  const double before = cluster_->proxy()->RetryBudget(tenant_);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(cluster_->ExecuteSync(conn, "SELECT COUNT(*) FROM t").ok());
+  }
+  const double after = cluster_->proxy()->RetryBudget(tenant_);
+  EXPECT_GT(after, before);
+  EXPECT_LE(after, 10.0);  // the default cap
+}
+
+TEST_F(ServerlessTest, DeadSessionCannotBeMigrated) {
+  auto conn = *cluster_->ConnectSync(tenant_);
+  sql::SqlNode* target = nullptr;
+  cluster_->pool()->Acquire(tenant_, [&](StatusOr<sql::SqlNode*> n) { target = *n; });
+  cluster_->loop()->Run();
+  ASSERT_NE(target, nullptr);
+  cluster_->KillSqlNode(conn->node);
+  EXPECT_EQ(cluster_->proxy()->MigrateConnection(conn, target).code(),
+            Code::kUnavailable);
+}
+
+TEST_F(ServerlessTest, KvNodeCrashRestartRecoversAckedWritesViaWalReplay) {
+  auto conn = *cluster_->ConnectSync(tenant_);
+  ASSERT_TRUE(conn->session->Execute("CREATE TABLE t (id INT PRIMARY KEY)").ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        conn->session->Execute("INSERT INTO t VALUES (" + std::to_string(i) + ")")
+            .ok());
+  }
+  // Crash-restart every KV node: engines are torn down without flushing and
+  // reopened against the same Env, so state comes back from WAL replay.
+  for (kv::NodeId id = 0; id < 3; ++id) {
+    ASSERT_TRUE(cluster_->CrashAndRestartKvNode(id).ok()) << "node " << id;
+  }
+  auto rs = cluster_->ExecuteSync(conn, "SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows[0][0].int_value(), 20);
+}
+
+// ---------------------------------------------------------------------------
 // Autoscaler
 // ---------------------------------------------------------------------------
 

@@ -47,6 +47,47 @@ TEST(MemEnvTest, GetChildrenListsDirectFilesOnly) {
   EXPECT_EQ(children.size(), 2u);
 }
 
+TEST(MemEnvTest, RenameMovesAndReplacesTarget) {
+  auto env = NewMemEnv();
+  ASSERT_TRUE(env->WriteStringToFile("a", "new").ok());
+  ASSERT_TRUE(env->WriteStringToFile("b", "old").ok());
+  ASSERT_TRUE(env->RenameFile("a", "b").ok());
+  EXPECT_FALSE(env->FileExists("a"));
+  std::string out;
+  ASSERT_TRUE(env->ReadFileToString("b", &out).ok());
+  EXPECT_EQ(out, "new");
+  EXPECT_TRUE(env->RenameFile("missing", "c").IsNotFound());
+}
+
+TEST(MemEnvTest, WriteStringToFileIsAtomicViaTempAndRename) {
+  auto env = NewMemEnv();
+  ASSERT_TRUE(env->WriteStringToFile("manifest", "v1").ok());
+  ASSERT_TRUE(env->WriteStringToFile("manifest", "v2-longer").ok());
+  std::string out;
+  ASSERT_TRUE(env->ReadFileToString("manifest", &out).ok());
+  EXPECT_EQ(out, "v2-longer");
+  // The temp file used for the atomic swap never outlives the write.
+  EXPECT_FALSE(env->FileExists("manifest.tmp"));
+}
+
+TEST(PosixEnvTest, RenameAndAtomicWrite) {
+  Env* env = PosixEnv();
+  const std::string dir = ::testing::TempDir() + "veloce_env_test";
+  ASSERT_TRUE(env->CreateDirIfMissing(dir).ok());
+  const std::string fname = dir + "/MANIFEST";
+  ASSERT_TRUE(env->WriteStringToFile(fname, "v1").ok());
+  ASSERT_TRUE(env->WriteStringToFile(fname, "v2").ok());
+  std::string out;
+  ASSERT_TRUE(env->ReadFileToString(fname, &out).ok());
+  EXPECT_EQ(out, "v2");
+  EXPECT_FALSE(env->FileExists(fname + ".tmp"));
+  ASSERT_TRUE(env->RenameFile(fname, dir + "/MANIFEST-2").ok());
+  EXPECT_FALSE(env->FileExists(fname));
+  ASSERT_TRUE(env->ReadFileToString(dir + "/MANIFEST-2", &out).ok());
+  EXPECT_EQ(out, "v2");
+  ASSERT_TRUE(env->DeleteFile(dir + "/MANIFEST-2").ok());
+}
+
 TEST(MemEnvTest, RandomAccessReads) {
   auto env = NewMemEnv();
   ASSERT_TRUE(env->WriteStringToFile("f", "0123456789").ok());
@@ -243,15 +284,20 @@ TEST(WalTest, BitFlipDetected) {
     ASSERT_TRUE(env->NewWritableFile("wal", &file).ok());
     LogWriter writer(std::move(file));
     ASSERT_TRUE(writer.AddRecord("record payload").ok());
+    ASSERT_TRUE(writer.AddRecord("second record").ok());
   }
   std::string contents;
   ASSERT_TRUE(env->ReadFileToString("wal", &contents).ok());
+  // Damage the FIRST record: a CRC mismatch mid-log is hard corruption. (A
+  // mismatch on the final record — ending exactly at EOF — is instead
+  // treated as a torn tail; see tests/fault_test.cc.)
   contents[10] ^= 0x01;
   LogReader reader(std::move(contents));
   std::string rec;
   bool corrupt = false;
   EXPECT_FALSE(reader.ReadRecord(&rec, &corrupt));
   EXPECT_TRUE(corrupt);
+  EXPECT_FALSE(reader.tail_truncated());
 }
 
 // ---------------------------------------------------------------------------
