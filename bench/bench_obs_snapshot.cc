@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "scenario/report.h"
 #include "serverless/cluster.h"
 #include "workload/tpcc.h"
 
@@ -66,16 +67,22 @@ int main() {
   }
   std::printf("  %-12s %4d\n", "TOTAL", total);
 
+  scenario::BenchReport report("obs_snapshot");
+  report.AddParam("transactions", 300);
+  report.AddMetric("series_total", static_cast<int64_t>(total));
+  for (const auto& [module, count] : per_module) {
+    report.AddMetric("series__" + module, static_cast<int64_t>(count));
+  }
+
   const char* required[] = {"storage", "kv", "admission", "billing", "serverless"};
-  bool ok = total >= 20;
+  report.AssertGe("series_total", total, 20,
+                  "the shared registry covers every layer");
   for (const char* module : required) {
-    if (per_module[module] == 0) {
-      std::printf("MISSING module: %s\n", module);
-      ok = false;
-    }
+    report.AssertGe(std::string("series_") + module, per_module[module], 1,
+                    std::string("module ") + module + " exports metrics");
   }
   std::printf(">=20 series across storage/kv/admission/billing/serverless: %s\n\n",
-              ok ? "YES" : "NO");
+              report.passed() ? "YES" : "NO");
 
   std::printf("=== %llu traced statements; 5 slowest ===\n%s\n",
               static_cast<unsigned long long>(cluster.traces()->finished_total()),
@@ -91,5 +98,13 @@ int main() {
   }
   std::printf("traces carry marshal stage: %s, admission_queue stage: %s\n",
               saw_marshal ? "YES" : "NO", saw_admission ? "YES" : "NO");
-  return ok && saw_marshal && saw_admission ? 0 : 1;
+  report.AddMetric("traced_statements",
+                   static_cast<int64_t>(cluster.traces()->finished_total()));
+  report.AssertTrue("traces_carry_marshal_stage", saw_marshal);
+  report.AssertTrue("traces_carry_admission_queue_stage", saw_admission);
+
+  auto path = report.WriteFile(".");
+  VELOCE_CHECK(path.ok());
+  std::printf("wrote %s\n%s\n", path->c_str(), report.Summary().c_str());
+  return report.passed() ? 0 : 1;
 }

@@ -1,0 +1,82 @@
+// Runs the named "cluster weather" scenarios (default: all registered)
+// and writes one BENCH_<scenario>.json snapshot each. Exit status is
+// nonzero if any scenario's invariants fail.
+//
+//   bench_scenarios [names...] [--list] [--fast] [--seed=N] [--out=DIR]
+//
+//   --list     print registered scenario names and exit
+//   --fast     scaled-down sizes (the CI smoke configuration)
+//   --seed=N   master scenario seed (default 0xC10D); one seed reproduces
+//              the whole event trace byte-for-byte
+//   --out=DIR  directory for BENCH_*.json (default: current directory)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "scenario/scenarios.h"
+
+int main(int argc, char** argv) {
+  using namespace veloce;
+  scenario::RegisterBuiltinScenarios();
+
+  scenario::ScenarioOptions options;
+  options.out_dir = ".";
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      for (const std::string& name : scenario::ScenarioNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (arg == "--fast") {
+      options.fast = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::strtoull(arg.c_str() + 7, nullptr, 0);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      options.out_dir = arg.substr(6);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    } else {
+      names.push_back(arg);
+    }
+  }
+  if (names.empty()) names = scenario::ScenarioNames();
+
+  std::printf("=== cluster weather scenarios (seed=%llu%s) ===\n",
+              static_cast<unsigned long long>(options.seed),
+              options.fast ? ", fast" : "");
+  bool all_passed = true;
+  for (const std::string& name : names) {
+    auto result = scenario::RunScenario(name, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   result.status().ToString().c_str());
+      all_passed = false;
+      continue;
+    }
+    std::printf("%s\n", result->report.Summary().c_str());
+    for (const auto& inv : result->report.invariants()) {
+      if (!inv.passed) {
+        std::printf("  FAILED invariant %s: measured=%g bound=%g %s\n",
+                    inv.name.c_str(), inv.measured, inv.bound,
+                    inv.detail.c_str());
+      }
+    }
+    if (!result->report_path.empty()) {
+      std::printf("  wrote %s (event log: %zu entries, fingerprint %016llx)\n",
+                  result->report_path.c_str(),
+                  result->event_log.empty()
+                      ? 0
+                      : static_cast<size_t>(
+                            result->report.Metric("event_log_entries")),
+                  static_cast<unsigned long long>(result->fingerprint));
+    }
+    all_passed = all_passed && result->passed;
+  }
+  return all_passed ? 0 : 1;
+}

@@ -8,64 +8,29 @@
 #include "common/logging.h"
 #include "common/sysinfo.h"
 #include "kv/keys.h"
+#include "scenario/env_builder.h"
 #include "sql/row.h"
-#include "sql/sql_node.h"
-#include "tenant/controller.h"
 
 namespace veloce::bench {
 
-/// A complete single-tenant SQL-over-KV stack for real-clock benches.
-struct SqlStack {
-  std::unique_ptr<kv::KVCluster> cluster;
-  tenant::CertificateAuthority ca;
-  std::unique_ptr<tenant::TenantController> controller;
-  std::unique_ptr<tenant::AuthorizedKvService> service;
-  std::unique_ptr<sql::SqlNode> node;
-  sql::Session* session = nullptr;
-  kv::TenantId tenant = 0;
-};
+/// The construction logic lives in scenario::ScenarioEnvBuilder so the
+/// benches, the scenario harness, and the integration tests all build
+/// their stacks through one path; these aliases keep the bench-local
+/// names the figure benches were written against.
+using SqlStack = scenario::SqlStack;
 
 inline std::unique_ptr<SqlStack> MakeSqlStack(sql::ProcessMode mode,
                                               int kv_nodes = 3) {
-  auto stack = std::make_unique<SqlStack>();
-  kv::KVClusterOptions opts;
-  opts.num_nodes = kv_nodes;
-  opts.replication_factor = kv_nodes < 3 ? kv_nodes : 3;
-  stack->cluster = std::make_unique<kv::KVCluster>(opts);
-  stack->controller =
-      std::make_unique<tenant::TenantController>(stack->cluster.get(), &stack->ca);
-  stack->service = std::make_unique<tenant::AuthorizedKvService>(stack->cluster.get(),
-                                                                 &stack->ca);
-  auto meta = stack->controller->CreateTenant("bench");
-  VELOCE_CHECK(meta.ok());
-  stack->tenant = meta->id;
-  auto cert = stack->controller->IssueCert(stack->tenant);
-  VELOCE_CHECK(cert.ok());
-  sql::SqlNode::Options node_opts;
-  node_opts.mode = mode;
-  stack->node = std::make_unique<sql::SqlNode>(1, node_opts,
-                                               stack->cluster->clock());
-  VELOCE_CHECK_OK(stack->node->StartProcess());
-  VELOCE_CHECK_OK(stack->node->StampTenant(stack->service.get(),
-                                           stack->cluster.get(), *cert));
-  auto session = stack->node->NewSession();
-  VELOCE_CHECK(session.ok());
-  stack->session = *session;
-  return stack;
+  return scenario::ScenarioEnvBuilder()
+      .KvNodes(kv_nodes)
+      .ProcessMode(mode)
+      .BuildSqlStack();
 }
 
-/// Splits the tenant's keyspace at each table boundary (catalog table ids
-/// start at 100) and spreads leases across the KV nodes — the paper's
-/// "ranges are scattered randomly across the cluster", which makes most
-/// point lookups remote RPCs even in the Traditional deployment.
+/// Splits the tenant's keyspace at each table boundary and spreads leases
+/// across the KV nodes (see scenario::ScatterRanges).
 inline void ScatterRanges(SqlStack* stack, int num_tables) {
-  for (int t = 0; t < num_tables; ++t) {
-    const std::string key = kv::AddTenantPrefix(
-        stack->tenant, sql::IndexPrefix(static_cast<sql::TableId>(100 + t),
-                                        sql::kPrimaryIndexId));
-    VELOCE_CHECK_OK(stack->cluster->SplitRange(key));
-  }
-  stack->cluster->BalanceLeases();
+  scenario::ScatterRanges(stack, num_tables);
 }
 
 inline void PrintHeader(const std::string& title) {

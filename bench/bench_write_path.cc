@@ -17,8 +17,9 @@
 // in-memory sync is otherwise free and group commit would have nothing
 // to amortize.
 //
-// Emits BENCH_write_path.json; the headline `multi_writer_speedup` is
-// group_commit_bg vs sync_baseline at 8 threads (acceptance gate >= 2x).
+// Emits BENCH_write_path.json (scenario::BenchReport schema); the headline
+// `multi_writer_speedup` is group_commit_bg vs sync_baseline at 8 threads
+// (acceptance gate >= 2x).
 
 #include <chrono>
 #include <cstdio>
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "scenario/report.h"
 #include "storage/background.h"
 #include "storage/engine.h"
 #include "storage/env.h"
@@ -185,32 +187,28 @@ int main() {
   std::printf("\nmulti-writer speedup (group_commit_bg vs sync_baseline, 8 threads): %.2fx\n",
               speedup);
 
-  FILE* out = std::fopen("BENCH_write_path.json", "w");
-  VELOCE_CHECK(out != nullptr);
-  std::fprintf(out, "{\n  \"batches_per_thread\": %d,\n  \"ops_per_batch\": %d,\n",
-               veloce::storage::kBatchesPerThread, veloce::storage::kOpsPerBatch);
-  std::fprintf(out, "  \"sync_latency_us\": %lld,\n",
-               static_cast<long long>(
-                   std::chrono::duration_cast<std::chrono::microseconds>(
-                       veloce::storage::kSyncLatency)
-                       .count()));
-  std::fprintf(out, "  \"multi_writer_speedup\": %.3f,\n  \"configs\": [\n",
-               speedup);
-  for (size_t i = 0; i < results.size(); ++i) {
-    const auto& r = results[i];
-    std::fprintf(out,
-                 "    {\"mode\": \"%s\", \"threads\": %d, "
-                 "\"ops_per_sec\": %.1f, \"flushes\": %llu, \"stalls\": %llu}%s\n",
-                 r.mode.c_str(), r.threads, r.ops_per_sec,
-                 static_cast<unsigned long long>(r.flushes),
-                 static_cast<unsigned long long>(r.stalls),
-                 i + 1 < results.size() ? "," : "");
+  veloce::scenario::BenchReport report("write_path");
+  report.AddParam("batches_per_thread", veloce::storage::kBatchesPerThread);
+  report.AddParam("ops_per_batch", veloce::storage::kOpsPerBatch);
+  report.AddParam("sync_latency_us",
+                  static_cast<int64_t>(
+                      std::chrono::duration_cast<std::chrono::microseconds>(
+                          veloce::storage::kSyncLatency)
+                          .count()));
+  report.AddMetric("multi_writer_speedup", speedup);
+  for (const auto& r : results) {
+    const std::string cfg = r.mode + "_" + std::to_string(r.threads) + "t";
+    report.AddMetric("ops_per_sec__" + cfg, r.ops_per_sec);
+    report.AddMetric("flushes__" + cfg, r.flushes);
+    report.AddMetric("stalls__" + cfg, r.stalls);
   }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  std::printf("wrote BENCH_write_path.json\n");
+  report.Gate("multi_writer_speedup", speedup, 2.0);
 
-  if (speedup < 2.0) {
+  auto path = report.WriteFile(".");
+  VELOCE_CHECK(path.ok());
+  std::printf("wrote %s\n", path->c_str());
+  std::printf("%s\n", report.Summary().c_str());
+  if (!report.passed()) {
     std::printf("WARNING: speedup below the 2x acceptance gate\n");
     return 1;
   }

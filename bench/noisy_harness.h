@@ -31,6 +31,7 @@
 #include "kv/cluster.h"
 #include "obs/metrics.h"
 #include "obs/obs_context.h"
+#include "scenario/env_builder.h"
 #include "sim/event_loop.h"
 #include "sim/virtual_cpu.h"
 
@@ -79,11 +80,14 @@ class NoisyNeighborHarness {
     // Every layer registers into one shared registry; the harness reads the
     // exported series back instead of peeking component internals.
     obs_ = obs::ObsContext{loop_.clock(), &metrics_, nullptr};
-    kv::KVClusterOptions kv_opts;
-    kv_opts.num_nodes = kNodes;
-    kv_opts.clock = loop_.clock();
-    kv_opts.obs = obs_;
-    cluster_ = std::make_unique<kv::KVCluster>(kv_opts);
+    // The KV fabric comes from the shared environment builder (the same
+    // path the scenario harness and integration tests construct through).
+    kv_env_ = scenario::ScenarioEnvBuilder()
+                  .KvNodes(kNodes)
+                  .Clock(loop_.clock())
+                  .Obs(obs_)
+                  .BuildKv();
+    cluster_ = std::move(kv_env_.cluster);
     for (int n = 0; n < kNodes; ++n) {
       cpus_.push_back(std::make_unique<sim::VirtualCpu>(
           &loop_, kVcpusPerNode, kMilli, obs_, std::to_string(n)));
@@ -297,6 +301,7 @@ class NoisyNeighborHarness {
   sim::EventLoop loop_;
   obs::MetricsRegistry metrics_;  // outlives everything registered into it
   obs::ObsContext obs_;
+  scenario::KvEnv kv_env_;  ///< env plumbing behind cluster_ (fault env unused)
   std::unique_ptr<kv::KVCluster> cluster_;
   std::vector<std::unique_ptr<sim::VirtualCpu>> cpus_;
   std::vector<std::unique_ptr<admission::NodeAdmissionController>> acs_;

@@ -3,9 +3,11 @@
 # under ASan/UBSan or TSan, plus the point-lookup bench as a smoke test.
 #
 # Usage:
-#   scripts/check.sh            # release build + ctest + bench smoke
+#   scripts/check.sh            # release build + ctest + bench/scenario smoke
 #   scripts/check.sh --asan     # ASan+UBSan build + ctest
 #   scripts/check.sh --tsan     # TSan build + storage/kv suites
+#   scripts/check.sh --full     # default path + full-mode scenario snapshots
+#                               # (BENCH_<scenario>.json into the repo root)
 #   scripts/check.sh --all      # release, asan, tsan in sequence
 set -euo pipefail
 
@@ -61,12 +63,44 @@ chaos_smoke() {
   echo "chaos smoke OK"
 }
 
+# Scenario smoke: all four built-in "cluster weather" scenarios at a fixed
+# seed in fast mode (compressed timelines), each asserting its invariants
+# and emitting a parseable BENCH_<scenario>.json; plus the scenario-labeled
+# test suite (determinism + snapshot schema).
+scenario_smoke() {
+  echo "==> scenario smoke (all scenarios, fixed seed, fast mode)"
+  local out="build/bench-smoke"
+  mkdir -p "${out}"
+  ./build/bench/bench_scenarios --fast --seed=0xC10D --out="${out}"
+  local name
+  for name in black-friday tenant-stampede az-outage rolling-upgrade-under-chaos; do
+    local json="${out}/BENCH_${name}.json"
+    [[ -s "${json}" ]] || { echo "missing ${json}" >&2; exit 1; }
+    if command -v python3 >/dev/null 2>&1; then
+      python3 -c "import json,sys; json.load(open(sys.argv[1]))" "${json}"
+    else
+      grep -q '"passed":true' "${json}"
+    fi
+  done
+  ctest --test-dir build -L '^scenario$' --output-on-failure -j "${JOBS}"
+  echo "scenario smoke OK"
+}
+
+# Full scenario run: uncompressed timelines at the default seed, snapshots
+# committed-to-repo-root BENCH_<scenario>.json (the trajectory artifacts).
+scenario_full() {
+  echo "==> scenario full run (default seed, repo root snapshots)"
+  ./build/bench/bench_scenarios --out="${ROOT}"
+  echo "scenario full OK"
+}
+
 case "${1:-}" in
-  "")     run_preset release; bench_smoke; chaos_smoke ;;
+  "")     run_preset release; bench_smoke; chaos_smoke; scenario_smoke ;;
   --asan) run_preset asan ;;
   --tsan) run_preset tsan ;;
-  --all)  run_preset release; bench_smoke; chaos_smoke; run_preset asan; run_preset tsan ;;
-  *)      echo "usage: scripts/check.sh [--asan|--tsan|--all]" >&2; exit 2 ;;
+  --full) run_preset release; bench_smoke; chaos_smoke; scenario_smoke; scenario_full ;;
+  --all)  run_preset release; bench_smoke; chaos_smoke; scenario_smoke; run_preset asan; run_preset tsan ;;
+  *)      echo "usage: scripts/check.sh [--asan|--tsan|--full|--all]" >&2; exit 2 ;;
 esac
 
 echo "OK"

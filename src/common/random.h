@@ -4,9 +4,29 @@
 #include <cmath>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace veloce {
+
+/// Derives an independent sub-seed from one master seed and a stream name
+/// (FNV-1a over the name, mixed through splitmix64). Every randomness
+/// source in a seeded scenario — load-pattern noise, fault schedules,
+/// proxy failover jitter, workload key pickers, pod-start jitter — draws
+/// its seed through this, so a single scenario seed reproduces the whole
+/// event trace while distinct streams stay decorrelated.
+inline uint64_t DeriveSeed(uint64_t base, std::string_view stream) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64-bit offset basis
+  for (const char c : stream) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  uint64_t z = base ^ h;
+  z += 0x9E3779B97F4A7C15ULL;  // splitmix64 finalizer
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
 
 /// Fast deterministic PRNG (xorshift128+). Workloads and simulations need
 /// reproducible randomness; std::mt19937_64 is heavier than necessary for

@@ -195,9 +195,11 @@ Status KVCluster::HandleConflictLocked(RangeState* range, Slice key,
     return Status::WriteIntentError("conflicting intent of txn " +
                                     std::to_string(intent.txn_id));
   }
-  // Apply the outcome to every live replica's engine.
+  // Apply the outcome to every live replica's engine. A null engine is a
+  // node whose crash-restart failed (docs/ROBUSTNESS.md); it catches up on
+  // a successful reopen like a dead node would.
   for (NodeId n : range->desc.replicas) {
-    if (!nodes_[n]->live()) continue;
+    if (!nodes_[n]->live() || nodes_[n]->engine() == nullptr) continue;
     storage::Engine* engine = nodes_[n]->engine();
     switch (pr.pushee_status) {
       case TxnStatus::kCommitted:
@@ -225,6 +227,10 @@ Status KVCluster::ExecuteReadLocked(RangeState* range, const BatchRequest& req,
   const Timestamp read_ts = req.ts.IsEmpty() ? hlc_.Now() : req.ts;
   const bool follower = serving_node != range->desc.leaseholder;
   storage::Engine* engine = nodes_[serving_node]->engine();
+  if (engine == nullptr) {
+    return Status::Unavailable("node " + std::to_string(serving_node) +
+                               " has no engine (failed crash-restart)");
+  }
 
   if (r.type == RequestType::kGet) {
     for (int attempt = 0; attempt < kMaxConflictRetries; ++attempt) {
@@ -313,6 +319,9 @@ Status KVCluster::ExecuteReadLocked(RangeState* range, const BatchRequest& req,
 Status KVCluster::ExecuteWriteLocked(RangeState* range, const BatchRequest& req,
                                      const RequestUnion& r, BatchResponse* resp) {
   storage::Engine* engine = LeaseholderEngineLocked(*range);
+  if (engine == nullptr) {
+    return Status::Unavailable("leaseholder has no engine (failed crash-restart)");
+  }
   Timestamp write_ts = req.ts.IsEmpty() ? hlc_.Now() : req.ts;
   // Serializability: never write below a timestamp someone already read at,
   // nor at or below the closed timestamp (follower reads rely on it).
@@ -356,9 +365,11 @@ Status KVCluster::ExecuteWriteLocked(RangeState* range, const BatchRequest& req,
 
 Status KVCluster::ReplicateLocked(RangeState* range, const storage::WriteBatch& batch,
                                   TenantId tenant) {
+  // A replica whose crash-restart failed has no engine; it cannot accept
+  // the write or count toward quorum, exactly like a dead node.
   int live = 0;
   for (NodeId n : range->desc.replicas) {
-    if (nodes_[n]->live()) ++live;
+    if (nodes_[n]->live() && nodes_[n]->engine() != nullptr) ++live;
   }
   const int quorum = static_cast<int>(range->desc.replicas.size()) / 2 + 1;
   if (live < quorum) {
@@ -367,7 +378,9 @@ Status KVCluster::ReplicateLocked(RangeState* range, const storage::WriteBatch& 
   }
   range->log.Append(batch.rep());
   for (NodeId n : range->desc.replicas) {
-    if (!nodes_[n]->live()) continue;  // will catch up on restart (not modeled)
+    if (!nodes_[n]->live() || nodes_[n]->engine() == nullptr) {
+      continue;  // will catch up on restart (not modeled)
+    }
     VELOCE_RETURN_IF_ERROR(nodes_[n]->engine()->Write(batch));
     nodes_[n]->AddTenantWriteBytes(tenant, batch.PayloadBytes());
   }

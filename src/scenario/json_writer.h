@@ -1,0 +1,63 @@
+#ifndef VELOCE_SCENARIO_JSON_WRITER_H_
+#define VELOCE_SCENARIO_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace veloce::scenario {
+
+/// Minimal streaming JSON writer with deterministic formatting, replacing
+/// the per-bench printf JSON that drifted in escaping and number style.
+/// Doubles print with %.6g (trailing-zero free, stable across runs), so
+/// byte-identical inputs produce byte-identical documents — the property
+/// the scenario determinism tests and BENCH_*.json trajectory diffs rely
+/// on. Nesting is tracked with an explicit stack; mismatched End*() calls
+/// are a programming error and abort in debug builds.
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Starts `"key":` inside an object; follow with a value or Begin*().
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view v);
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(double v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(bool v);
+
+  /// Convenience: Key(k) + Value(v).
+  template <typename T>
+  JsonWriter& Field(std::string_view key, T&& v) {
+    Key(key);
+    return Value(std::forward<T>(v));
+  }
+
+  /// The finished document. Valid once every Begin has been Ended.
+  const std::string& str() const { return out_; }
+  bool complete() const { return stack_.empty() && !out_.empty(); }
+
+  static std::string Escape(std::string_view raw);
+
+ private:
+  enum class Frame { kObject, kArray };
+  void MaybeComma();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_;   // parallel to stack_: no comma yet needed
+  bool pending_key_ = false;  // a Key() awaits its value
+};
+
+}  // namespace veloce::scenario
+
+#endif  // VELOCE_SCENARIO_JSON_WRITER_H_

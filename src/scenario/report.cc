@@ -1,0 +1,214 @@
+#include "scenario/report.h"
+
+#include <cstdio>
+
+#include "scenario/json_writer.h"
+
+namespace veloce::scenario {
+
+void BenchReport::AddParam(std::string key, std::string value) {
+  Entry e;
+  e.key = std::move(key);
+  e.kind = Entry::Kind::kString;
+  e.s = std::move(value);
+  params_.push_back(std::move(e));
+}
+
+void BenchReport::AddParam(std::string key, double value) {
+  Entry e;
+  e.key = std::move(key);
+  e.kind = Entry::Kind::kDouble;
+  e.d = value;
+  params_.push_back(std::move(e));
+}
+
+void BenchReport::AddParam(std::string key, int64_t value) {
+  Entry e;
+  e.key = std::move(key);
+  e.kind = Entry::Kind::kInt;
+  e.i = value;
+  params_.push_back(std::move(e));
+}
+
+void BenchReport::AddParam(std::string key, bool value) {
+  Entry e;
+  e.key = std::move(key);
+  e.kind = Entry::Kind::kBool;
+  e.b = value;
+  params_.push_back(std::move(e));
+}
+
+void BenchReport::AddMetric(std::string key, double value) {
+  Entry e;
+  e.key = std::move(key);
+  e.kind = Entry::Kind::kDouble;
+  e.d = value;
+  metrics_.push_back(std::move(e));
+}
+
+void BenchReport::AddMetric(std::string key, int64_t value) {
+  Entry e;
+  e.key = std::move(key);
+  e.kind = Entry::Kind::kInt;
+  e.i = value;
+  metrics_.push_back(std::move(e));
+}
+
+double BenchReport::Metric(const std::string& key) const {
+  for (const Entry& e : metrics_) {
+    if (e.key == key) {
+      return e.kind == Entry::Kind::kInt ? static_cast<double>(e.i) : e.d;
+    }
+  }
+  return 0;
+}
+
+InvariantResult& BenchReport::AssertLe(std::string name, double measured,
+                                       double bound, std::string detail) {
+  InvariantResult r;
+  r.name = std::move(name);
+  r.measured = measured;
+  r.bound = bound;
+  r.passed = measured <= bound;
+  r.detail = std::move(detail);
+  invariants_.push_back(std::move(r));
+  return invariants_.back();
+}
+
+InvariantResult& BenchReport::AssertGe(std::string name, double measured,
+                                       double bound, std::string detail) {
+  InvariantResult r;
+  r.name = std::move(name);
+  r.measured = measured;
+  r.bound = bound;
+  r.passed = measured >= bound;
+  r.detail = std::move(detail);
+  invariants_.push_back(std::move(r));
+  return invariants_.back();
+}
+
+InvariantResult& BenchReport::AssertEq(std::string name, double measured,
+                                       double expected, std::string detail) {
+  InvariantResult r;
+  r.name = std::move(name);
+  r.measured = measured;
+  r.bound = expected;
+  r.passed = measured == expected;
+  r.detail = std::move(detail);
+  invariants_.push_back(std::move(r));
+  return invariants_.back();
+}
+
+InvariantResult& BenchReport::AssertTrue(std::string name, bool passed,
+                                         std::string detail) {
+  InvariantResult r;
+  r.name = std::move(name);
+  r.measured = passed ? 1 : 0;
+  r.bound = 1;
+  r.passed = passed;
+  r.detail = std::move(detail);
+  invariants_.push_back(std::move(r));
+  return invariants_.back();
+}
+
+GateResult& BenchReport::Gate(std::string name, double measured,
+                              double threshold) {
+  GateResult g;
+  g.name = std::move(name);
+  g.measured = measured;
+  g.threshold = threshold;
+  g.passed = measured >= threshold;
+  gates_.push_back(std::move(g));
+  return gates_.back();
+}
+
+bool BenchReport::passed() const {
+  for (const auto& inv : invariants_) {
+    if (!inv.passed) return false;
+  }
+  for (const auto& gate : gates_) {
+    if (!gate.passed) return false;
+  }
+  return true;
+}
+
+void BenchReport::EmitEntries(const std::vector<Entry>& entries, JsonWriter* w) {
+  for (const Entry& e : entries) {
+    w->Key(e.key);
+    switch (e.kind) {
+      case Entry::Kind::kString: w->Value(std::string_view(e.s)); break;
+      case Entry::Kind::kDouble: w->Value(e.d); break;
+      case Entry::Kind::kInt: w->Value(e.i); break;
+      case Entry::Kind::kBool: w->Value(e.b); break;
+    }
+  }
+}
+
+std::string BenchReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("name", std::string_view(name_));
+  w.Field("seed", seed_);
+  w.Field("schema_version", static_cast<int64_t>(1));
+  w.Key("params").BeginObject();
+  EmitEntries(params_, &w);
+  w.EndObject();
+  w.Key("metrics").BeginObject();
+  EmitEntries(metrics_, &w);
+  w.EndObject();
+  w.Key("invariants").BeginArray();
+  for (const auto& inv : invariants_) {
+    w.BeginObject();
+    w.Field("name", std::string_view(inv.name));
+    w.Field("passed", inv.passed);
+    w.Field("measured", inv.measured);
+    w.Field("bound", inv.bound);
+    w.Field("detail", std::string_view(inv.detail));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("gates").BeginArray();
+  for (const auto& gate : gates_) {
+    w.BeginObject();
+    w.Field("name", std::string_view(gate.name));
+    w.Field("passed", gate.passed);
+    w.Field("measured", gate.measured);
+    w.Field("threshold", gate.threshold);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Field("passed", passed());
+  w.EndObject();
+  std::string out = w.str();
+  out += '\n';
+  return out;
+}
+
+StatusOr<std::string> BenchReport::WriteFile(const std::string& dir) const {
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += "BENCH_" + name_ + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) return Status::IOError("short write to " + path);
+  return path;
+}
+
+std::string BenchReport::Summary() const {
+  size_t inv_passed = 0;
+  for (const auto& inv : invariants_) inv_passed += inv.passed ? 1 : 0;
+  size_t gates_passed = 0;
+  for (const auto& gate : gates_) gates_passed += gate.passed ? 1 : 0;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s seed=%llu %s (%zu/%zu invariants, %zu/%zu gates)",
+                name_.c_str(), static_cast<unsigned long long>(seed_),
+                passed() ? "PASS" : "FAIL", inv_passed, invariants_.size(),
+                gates_passed, gates_.size());
+  return buf;
+}
+
+}  // namespace veloce::scenario

@@ -1,0 +1,128 @@
+#ifndef VELOCE_SCENARIO_REPORT_H_
+#define VELOCE_SCENARIO_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace veloce::scenario {
+
+/// One asserted whole-run invariant (e.g. "no acked write lost", "p99
+/// under bound"). `measured` and `bound` carry the numeric evidence for
+/// the verdict so a failing trajectory diff shows *how far* off it was.
+struct InvariantResult {
+  std::string name;
+  bool passed = false;
+  double measured = 0;
+  double bound = 0;
+  std::string detail;  ///< human-readable comparison, e.g. "p99 84ms <= 250ms"
+};
+
+/// A perf gate: like an invariant, but `measured` is a speedup/throughput
+/// figure compared against a minimum threshold (the benches' "2x gate").
+struct GateResult {
+  std::string name;
+  bool passed = false;
+  double measured = 0;
+  double threshold = 0;
+};
+
+/// BenchReport is the one JSON snapshot schema every gated bench and
+/// scenario emits (BENCH_<name>.json), replacing per-bench printf JSON.
+/// The top-level layout is frozen so PR-over-PR trajectory diffs stay
+/// line-comparable:
+///
+///   {"name":..., "seed":..., "schema_version":1,
+///    "params":{...},            // run configuration, insertion order
+///    "metrics":{...},           // measured numbers, insertion order
+///    "invariants":[{name,passed,measured,bound,detail}...],
+///    "gates":[{name,passed,measured,threshold}...],
+///    "passed":bool}             // AND of every invariant and gate
+///
+/// Params and metrics preserve insertion order (not sorted) so reports
+/// read in the order the bench narrates them; emit them deterministically.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name, uint64_t seed = 0)
+      : name_(std::move(name)), seed_(seed) {}
+
+  const std::string& name() const { return name_; }
+  uint64_t seed() const { return seed_; }
+  void set_seed(uint64_t seed) { seed_ = seed; }
+
+  // --- run configuration ----------------------------------------------------
+  void AddParam(std::string key, std::string value);
+  void AddParam(std::string key, double value);
+  void AddParam(std::string key, int64_t value);
+  void AddParam(std::string key, int value) {
+    AddParam(std::move(key), static_cast<int64_t>(value));
+  }
+  void AddParam(std::string key, bool value);
+
+  // --- measured results -----------------------------------------------------
+  void AddMetric(std::string key, double value);
+  void AddMetric(std::string key, int64_t value);
+  void AddMetric(std::string key, uint64_t value) {
+    AddMetric(std::move(key), static_cast<int64_t>(value));
+  }
+  /// Value of a previously added metric (0 when absent) — lets scenarios
+  /// assert invariants over what they already recorded.
+  double Metric(const std::string& key) const;
+
+  // --- verdicts -------------------------------------------------------------
+  /// Records `measured <= bound` (latency-style invariant).
+  InvariantResult& AssertLe(std::string name, double measured, double bound,
+                            std::string detail = "");
+  /// Records `measured >= bound`.
+  InvariantResult& AssertGe(std::string name, double measured, double bound,
+                            std::string detail = "");
+  /// Records `measured == expected` (counting invariant, e.g. acked writes).
+  InvariantResult& AssertEq(std::string name, double measured, double expected,
+                            std::string detail = "");
+  /// Records an externally evaluated predicate.
+  InvariantResult& AssertTrue(std::string name, bool passed,
+                              std::string detail = "");
+  /// Perf gate: passes when measured >= threshold.
+  GateResult& Gate(std::string name, double measured, double threshold);
+
+  const std::vector<InvariantResult>& invariants() const { return invariants_; }
+  const std::vector<GateResult>& gates() const { return gates_; }
+
+  /// AND of every invariant and gate recorded so far.
+  bool passed() const;
+
+  /// The full document, deterministic byte-for-byte for identical inputs.
+  std::string ToJson() const;
+
+  /// Writes BENCH_<name>.json into `dir` (default: the working directory).
+  /// Returns the path written.
+  StatusOr<std::string> WriteFile(const std::string& dir = ".") const;
+
+  /// One-line human summary ("black-friday seed=7 PASS (6/6 invariants)").
+  std::string Summary() const;
+
+ private:
+  struct Entry {
+    enum class Kind { kString, kDouble, kInt, kBool };
+    std::string key;
+    Kind kind = Kind::kDouble;
+    std::string s;
+    double d = 0;
+    int64_t i = 0;
+    bool b = false;
+  };
+  static void EmitEntries(const std::vector<Entry>& entries, class JsonWriter* w);
+
+  std::string name_;
+  uint64_t seed_ = 0;
+  std::vector<Entry> params_;
+  std::vector<Entry> metrics_;
+  std::vector<InvariantResult> invariants_;
+  std::vector<GateResult> gates_;
+};
+
+}  // namespace veloce::scenario
+
+#endif  // VELOCE_SCENARIO_REPORT_H_

@@ -1,0 +1,141 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/logging.h"
+
+namespace veloce::scenario {
+
+// ---------------------------------------------------------------------------
+// EventLog
+// ---------------------------------------------------------------------------
+
+void EventLog::Record(Nanos t, std::string_view kind, std::string_view detail) {
+  Entry e;
+  e.t = t;
+  e.kind = std::string(kind);
+  e.detail = std::string(detail);
+  entries_.push_back(std::move(e));
+}
+
+std::string EventLog::Serialize() const {
+  std::string out;
+  out.reserve(entries_.size() * 48);
+  for (const Entry& e : entries_) {
+    out += std::to_string(e.t);
+    out += ' ';
+    out += e.kind;
+    out += ' ';
+    out += e.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+uint64_t EventLog::Fingerprint() const {
+  const std::string s = Serialize();
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Timeline
+// ---------------------------------------------------------------------------
+
+void Timeline::At(Nanos offset, std::string label, std::function<void()> action) {
+  loop_->ScheduleAt(start_ + offset,
+                    [this, label = std::move(label),
+                     action = std::move(action)] {
+                      log_->Record(loop_->Now() - start_, "timeline", label);
+                      action();
+                    });
+}
+
+void Timeline::Every(Nanos period, Nanos until, std::string label,
+                     std::function<void()> action) {
+  VELOCE_CHECK(period > 0);
+  for (Nanos t = period; t <= until; t += period) {
+    // One event per firing (rather than a self-rearming task) keeps the
+    // loop's queue finite, so scenarios can drain it with Run().
+    loop_->ScheduleAt(start_ + t, [this, label, action] {
+      log_->Record(loop_->Now() - start_, "timeline", label);
+      action();
+    });
+  }
+}
+
+void Timeline::DriveLoad(const workload::LoadPattern& pattern, Nanos cadence,
+                         std::string label, std::function<void(double)> apply) {
+  VELOCE_CHECK(cadence > 0);
+  const Nanos total = pattern.TotalDuration();
+  for (Nanos t = 0; t <= total; t += cadence) {
+    loop_->ScheduleAt(start_ + t, [this, &pattern, label, apply] {
+      // Sample the pattern at fire time: noise draws happen in event order,
+      // so the load trace replays exactly under one seed.
+      const double vcpus = pattern.At(loop_->Now() - start_);
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%s=%.3f", label.c_str(), vcpus);
+      log_->Record(loop_->Now() - start_, "load", buf);
+      apply(vcpus);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry + runner
+// ---------------------------------------------------------------------------
+
+namespace {
+std::map<std::string, ScenarioFactory>& Registry() {
+  static auto* registry = new std::map<std::string, ScenarioFactory>();
+  return *registry;
+}
+}  // namespace
+
+void RegisterScenario(const std::string& name, ScenarioFactory factory) {
+  Registry()[name] = std::move(factory);
+}
+
+std::vector<std::string> ScenarioNames() {
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  for (const auto& [name, factory] : Registry()) names.push_back(name);
+  return names;
+}
+
+StatusOr<ScenarioRunResult> RunScenario(const std::string& name,
+                                        const ScenarioOptions& options) {
+  auto it = Registry().find(name);
+  if (it == Registry().end()) {
+    return Status::NotFound("no scenario named '" + name +
+                            "' (did you call RegisterBuiltinScenarios?)");
+  }
+  std::unique_ptr<Scenario> scenario = it->second();
+
+  ScenarioRunResult result;
+  result.report = BenchReport(name, options.seed);
+  result.report.AddParam("fast", options.fast);
+  EventLog log;
+  ScenarioContext ctx(options, &result.report, &log);
+  scenario->Run(ctx);
+
+  result.event_log = log.Serialize();
+  result.fingerprint = log.Fingerprint();
+  result.report.AddMetric("event_log_entries", static_cast<int64_t>(log.size()));
+  result.report.AddMetric("event_log_fingerprint",
+                          static_cast<int64_t>(log.Fingerprint()));
+  result.passed = result.report.passed();
+  if (!options.out_dir.empty()) {
+    VELOCE_ASSIGN_OR_RETURN(result.report_path,
+                            result.report.WriteFile(options.out_dir));
+  }
+  return result;
+}
+
+}  // namespace veloce::scenario

@@ -1,0 +1,161 @@
+#ifndef VELOCE_SCENARIO_SCENARIO_H_
+#define VELOCE_SCENARIO_SCENARIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "scenario/report.h"
+#include "sim/event_loop.h"
+#include "workload/load_pattern.h"
+
+namespace veloce::scenario {
+
+/// How a scenario run is parameterized. One seed reproduces the whole run:
+/// every randomness source (load noise, fault schedules, failover jitter,
+/// key pickers, pod jitter) draws a sub-seed derived from it.
+struct ScenarioOptions {
+  uint64_t seed = 0xC10D;
+  /// Scaled-down sizes (fewer tenants/statements, compressed timelines)
+  /// for the CI smoke — same composition, minutes become seconds.
+  bool fast = false;
+  /// Directory BENCH_<name>.json is written into; empty = no file.
+  std::string out_dir;
+};
+
+/// Append-only, sim-time-stamped trace of everything notable a scenario
+/// did or observed: timeline actions firing, faults injected, invariant
+/// samples. Serialization is byte-deterministic, which is what the
+/// determinism tests compare — two runs with one seed must serialize
+/// identically; different seeds must not.
+class EventLog {
+ public:
+  struct Entry {
+    Nanos t = 0;
+    std::string kind;
+    std::string detail;
+  };
+
+  void Record(Nanos t, std::string_view kind, std::string_view detail);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  /// One line per event: "<t_ns> <kind> <detail>\n".
+  std::string Serialize() const;
+  /// FNV-1a over Serialize() — a cheap whole-trace identity.
+  uint64_t Fingerprint() const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Everything a scenario's Run() receives: the run parameters, the report
+/// it fills, and the event log it narrates into.
+class ScenarioContext {
+ public:
+  ScenarioContext(const ScenarioOptions& options, BenchReport* report,
+                  EventLog* log)
+      : options_(options), report_(report), log_(log) {}
+
+  const ScenarioOptions& options() const { return options_; }
+  uint64_t seed() const { return options_.seed; }
+  bool fast() const { return options_.fast; }
+  /// Independent sub-seed for a named randomness stream (see DeriveSeed).
+  uint64_t SubSeed(std::string_view stream) const {
+    return DeriveSeed(options_.seed, stream);
+  }
+
+  BenchReport* report() { return report_; }
+  EventLog* log() { return log_; }
+  void Log(Nanos t, std::string_view kind, std::string_view detail) {
+    log_->Record(t, kind, detail);
+  }
+
+ private:
+  ScenarioOptions options_;
+  BenchReport* report_;
+  EventLog* log_;
+};
+
+/// Composes load shapes, fault schedules, and control-plane events onto
+/// one shared sim timeline. Offsets are relative to the Timeline's
+/// construction instant (the scenario's t=0); every firing is recorded in
+/// the event log, so the composition itself is part of the replayable
+/// trace.
+class Timeline {
+ public:
+  Timeline(sim::EventLoop* loop, EventLog* log)
+      : loop_(loop), log_(log), start_(loop->Now()) {}
+
+  Nanos start() const { return start_; }
+  /// Sim time elapsed since the scenario's t=0.
+  Nanos Elapsed() const { return loop_->Now() - start_; }
+
+  /// Runs `action` at t=0 + `offset`, logging `label` when it fires.
+  void At(Nanos offset, std::string label, std::function<void()> action);
+
+  /// Runs `action` every `period` from t=0+`period` through t=0+`until`.
+  void Every(Nanos period, Nanos until, std::string label,
+             std::function<void()> action);
+
+  /// Layers a LoadPattern onto the timeline: every `cadence`, applies the
+  /// pattern's demand at the elapsed time via `apply` (e.g. feeding
+  /// SetTenantCpuUsage), through the pattern's full duration. `pattern` is
+  /// captured by reference and must outlive the scheduled events.
+  void DriveLoad(const workload::LoadPattern& pattern, Nanos cadence,
+                 std::string label, std::function<void(double)> apply);
+
+ private:
+  sim::EventLoop* loop_;
+  EventLog* log_;
+  Nanos start_;
+};
+
+/// One named, seeded, reproducible "cluster weather" scenario. Run() must
+/// derive all randomness from ctx.SubSeed(...), record what it does into
+/// ctx.log(), and leave metrics + invariant verdicts in ctx.report().
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+  virtual void Run(ScenarioContext& ctx) = 0;
+};
+
+using ScenarioFactory = std::function<std::unique_ptr<Scenario>()>;
+
+/// Registers a scenario factory under its name (later registration wins —
+/// tests can shadow a built-in). Not thread-safe; register at startup.
+void RegisterScenario(const std::string& name, ScenarioFactory factory);
+
+/// Registers the four built-in scenarios (black-friday, tenant-stampede,
+/// az-outage, rolling-upgrade-under-chaos). Idempotent.
+void RegisterBuiltinScenarios();
+
+/// Registered scenario names, sorted.
+std::vector<std::string> ScenarioNames();
+
+/// Everything one scenario run produced.
+struct ScenarioRunResult {
+  BenchReport report{"unnamed"};
+  std::string event_log;        ///< EventLog::Serialize()
+  uint64_t fingerprint = 0;     ///< EventLog::Fingerprint()
+  std::string report_path;      ///< non-empty when out_dir was set
+  bool passed = false;
+};
+
+/// Runs the named scenario end to end and (when options.out_dir is set)
+/// writes its BENCH_<name>.json snapshot. NotFound for unknown names.
+StatusOr<ScenarioRunResult> RunScenario(const std::string& name,
+                                        const ScenarioOptions& options);
+
+}  // namespace veloce::scenario
+
+#endif  // VELOCE_SCENARIO_SCENARIO_H_

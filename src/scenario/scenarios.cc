@@ -1,0 +1,12 @@
+#include "scenario/scenarios.h"
+
+namespace veloce::scenario {
+
+void RegisterBuiltinScenarios() {
+  RegisterScenario("black-friday", MakeBlackFriday);
+  RegisterScenario("tenant-stampede", MakeTenantStampede);
+  RegisterScenario("az-outage", MakeAzOutage);
+  RegisterScenario("rolling-upgrade-under-chaos", MakeRollingUpgradeChaos);
+}
+
+}  // namespace veloce::scenario

@@ -1,0 +1,40 @@
+#ifndef VELOCE_SCENARIO_SCENARIOS_H_
+#define VELOCE_SCENARIO_SCENARIOS_H_
+
+#include <memory>
+
+#include "scenario/scenario.h"
+
+namespace veloce::scenario {
+
+/// The four built-in "cluster weather" scenarios (docs/SCENARIOS.md).
+/// Each is registered by RegisterBuiltinScenarios() under the name noted.
+
+/// "black-friday": a multi-region tenant's demand ramps 10x, plateaus, and
+/// decays while the autoscaler tracks it. Asserts capacity ~= 4x average
+/// demand on the plateau, 10x scale-up, scale-down after, and that no
+/// acked write is lost across the ramp.
+std::unique_ptr<Scenario> MakeBlackFriday();
+
+/// "tenant-stampede": many idle (scaled-to-zero) tenants all connect
+/// within a one-second window, overwhelming the warm pool. Asserts every
+/// connect succeeds, wake latency stays bounded, and every woken tenant
+/// can immediately run a query.
+std::unique_ptr<Scenario> MakeTenantStampede();
+
+/// "az-outage": one region's KV node drops out mid-write-load and later
+/// rejoins via crash-restart (WAL replay). Asserts writes keep committing
+/// on the surviving quorum, nothing acked is lost, and latency stays
+/// bounded through the outage.
+std::unique_ptr<Scenario> MakeAzOutage();
+
+/// "rolling-upgrade-under-chaos": the Fig 9 rolling SQL node upgrade
+/// (drain, replace, migrate connections) while the storage layer suffers
+/// injected flush faults and KV node crash-restarts. Asserts connections
+/// survive, acked writes match the final row count exactly, and the error
+/// rate stays at zero.
+std::unique_ptr<Scenario> MakeRollingUpgradeChaos();
+
+}  // namespace veloce::scenario
+
+#endif  // VELOCE_SCENARIO_SCENARIOS_H_

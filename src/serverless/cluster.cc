@@ -2,6 +2,15 @@
 
 namespace veloce::serverless {
 
+namespace {
+/// One master seed fans out into per-component streams (docs/SCENARIOS.md).
+serverless::KubeSim::Options SeededKube(serverless::KubeSim::Options kube,
+                                        uint64_t seed) {
+  kube.seed = DeriveSeed(seed, "kube");
+  return kube;
+}
+}  // namespace
+
 ServerlessCluster::ServerlessCluster(Options options)
     : options_(options),
       owned_metrics_(options.obs.metrics == nullptr
@@ -15,10 +24,12 @@ ServerlessCluster::ServerlessCluster(Options options)
                                           : owned_metrics_.get(),
            options.obs.traces != nullptr ? options.obs.traces
                                          : owned_traces_.get()},
-      kube_(&loop_, options.kube),
+      kube_(&loop_, SeededKube(options.kube, options.seed)),
       meter_(loop_.clock(), billing::EstimatedCpuModel::Default(), obs_) {
   options_.kv.clock = loop_.clock();
   options_.kv.obs = obs_;
+  options_.pool.seed = DeriveSeed(options_.seed, "pool");
+  options_.proxy.seed = DeriveSeed(options_.seed, "proxy");
   // Storage background work (flushes, compactions) runs as loop events so
   // the whole cluster — including engine internals — replays exactly.
   storage_executor_ = std::make_unique<sim::SimExecutor>(&loop_);
@@ -153,7 +164,13 @@ StatusOr<sql::ResultSet> ServerlessCluster::ExecuteSync(Proxy::Connection* conn,
 Status ServerlessCluster::CrashAndRestartKvNode(kv::NodeId id) {
   kv::KVNode* node = kv_->node(id);
   if (node == nullptr) return Status::NotFound("no KV node " + std::to_string(id));
-  return node->Restart();
+  const Status restarted = node->Restart();
+  if (!restarted.ok()) {
+    // The reboot failed (e.g. the disk fault persists): the node stays
+    // down and sheds its leases; surviving replicas keep serving.
+    kv_->SetNodeLive(id, false);
+  }
+  return restarted;
 }
 
 }  // namespace veloce::serverless

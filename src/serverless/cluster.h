@@ -45,6 +45,12 @@ class ServerlessCluster {
     /// still drains). obs/instance/background_tasks are overridden per node.
     admission::NodeAdmissionController::Options admission;
     bool enable_admission = true;
+    /// Master randomness seed. Sub-seeds for every stochastic component
+    /// (KubeSim pod jitter, pool stamp jitter, proxy failover jitter) are
+    /// derived per stream via common/random.h DeriveSeed, so one seed
+    /// reproduces the cluster's whole event trace. Scenario runs
+    /// (src/scenario) set this from the scenario seed.
+    uint64_t seed = 0xC0FFEE;
   };
 
   ServerlessCluster() : ServerlessCluster(Options()) {}

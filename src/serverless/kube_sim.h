@@ -32,6 +32,8 @@ class KubeSim {
     /// Uniform jitter added to both latencies (real pod/process start
     /// times vary with node load and image cache state).
     Nanos latency_jitter = 0;
+    /// Seeds the jitter RNG; scenarios derive this from one scenario seed.
+    uint64_t seed = 0xCAFEBABE;
   };
 
   struct Pod {
@@ -40,7 +42,8 @@ class KubeSim {
     bool process_running = false;
   };
 
-  KubeSim(sim::EventLoop* loop, Options options) : loop_(loop), options_(options) {}
+  KubeSim(sim::EventLoop* loop, Options options)
+      : loop_(loop), options_(options), rng_(options.seed) {}
 
   const Options& options() const { return options_; }
   const std::string& region() const { return options_.region; }
@@ -78,7 +81,7 @@ class KubeSim {
 
   sim::EventLoop* loop_;
   Options options_;
-  Random rng_{0xCAFEBABE};
+  Random rng_;
   std::map<PodId, Pod> pods_;
   PodId next_pod_id_ = 1;
   std::function<void(PodId)> failure_listener_;

@@ -13,7 +13,8 @@ SqlNodePool::SqlNodePool(sim::EventLoop* loop, KubeSim* kube,
       service_(service),
       cluster_(cluster),
       controller_(controller),
-      options_(options) {
+      options_(options),
+      rng_(options.seed) {
   InitMetrics();
   kube_->SetPodFailureListener([this](PodId pod) { OnPodFailure(pod); });
   Replenish();

@@ -47,6 +47,9 @@ class SqlNodePool {
     /// stage timings, warm/ready gauges). Null metrics = private registry.
     /// Set node_options.obs as well to instrument the SQL nodes themselves.
     obs::ObsContext obs;
+    /// Seeds the stamp-jitter RNG; scenarios derive this from one scenario
+    /// seed.
+    uint64_t seed = 0xB00157ED;
   };
 
   SqlNodePool(sim::EventLoop* loop, KubeSim* kube,
@@ -110,7 +113,7 @@ class SqlNodePool {
   kv::KVCluster* cluster_;
   tenant::TenantController* controller_;
   Options options_;
-  Random rng_{0xB00157ED};
+  Random rng_;
   uint64_t next_node_id_ = 1;
   std::deque<std::unique_ptr<ManagedNode>> warm_;
   std::map<sql::SqlNode*, std::unique_ptr<ManagedNode>> active_;

@@ -5,7 +5,7 @@
 namespace veloce::serverless {
 
 Proxy::Proxy(sim::EventLoop* loop, SqlNodePool* pool, Options options)
-    : loop_(loop), pool_(pool), options_(options) {
+    : loop_(loop), pool_(pool), options_(options), rng_(options.seed) {
   metrics_ = options_.obs.metrics;
   if (metrics_ == nullptr) {
     owned_metrics_ = std::make_unique<obs::MetricsRegistry>();

@@ -46,6 +46,11 @@ class Proxy {
     /// Proxy telemetry (connections, migrations, security rejections).
     /// Null metrics = private registry.
     obs::ObsContext obs;
+
+    /// Seeds the proxy's RNG (failover jitter, revival tokens). Scenarios
+    /// derive this from one scenario seed (common/random.h DeriveSeed) so
+    /// identical seeds replay identical failover traces.
+    uint64_t seed = 0xFACADE;
   };
 
   /// One proxied client connection. The session pointer moves when the
@@ -129,7 +134,7 @@ class Proxy {
   sim::EventLoop* loop_;
   SqlNodePool* pool_;
   Options options_;
-  Random rng_{0xFACADE};
+  Random rng_;
   std::map<uint64_t, std::unique_ptr<Connection>> connections_;
   uint64_t next_connection_id_ = 1;
   uint64_t total_migrations_ = 0;

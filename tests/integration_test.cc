@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
+#include "scenario/env_builder.h"
 #include "serverless/cluster.h"
 #include "workload/tpcc.h"
 
@@ -349,21 +350,14 @@ TEST(FullStackTest, NodeFailureProducesRobustnessTelemetry) {
 // ---------------------------------------------------------------------------
 
 TEST(SerializabilityStressTest, BankTransfersConserveMoney) {
-  kv::KVClusterOptions opts;
-  opts.num_nodes = 3;
-  kv::KVCluster cluster(opts);
-  tenant::CertificateAuthority ca;
-  tenant::TenantController controller(&cluster, &ca);
-  tenant::AuthorizedKvService service(&cluster, &ca);
-  auto meta = *controller.CreateTenant("bank");
-  auto cert = *controller.IssueCert(meta.id);
-  sql::SqlNode node(1, sql::SqlNode::Options{}, cluster.clock());
-  VELOCE_CHECK_OK(node.StartProcess());
-  VELOCE_CHECK_OK(node.StampTenant(&service, &cluster, cert));
+  // The full SQL-over-KV stack through the same builder the scenario
+  // harness and the figure benches use.
+  auto stack = scenario::ScenarioEnvBuilder().KvNodes(3).BuildSqlStack();
+  ASSERT_NE(stack, nullptr);
 
   // Two sessions interleave transfers between 10 accounts.
-  sql::Session* s1 = *node.NewSession();
-  sql::Session* s2 = *node.NewSession();
+  sql::Session* s1 = stack->session;
+  sql::Session* s2 = *stack->node->NewSession();
   ASSERT_TRUE(s1->Execute("CREATE TABLE acct (id INT PRIMARY KEY, bal INT)").ok());
   const int accounts = 10;
   const int64_t initial = 100;
