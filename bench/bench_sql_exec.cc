@@ -1,0 +1,246 @@
+// SQL execution engine benchmark: the vectorized columnar engine
+// (sql/vec/) against the interpreted row engine over identical data and
+// identical KV traffic.
+//
+// Three query shapes on a ~20k-row lineitem table:
+//   q1_lite        — TPC-H Q1 shape: full-scan multi-aggregate GROUP BY
+//   filtered_scan  — selective predicate + narrow projection
+//   hash_join      — non-PK equi join + filter
+// Each runs on both engines (`SET vectorize = off` vs the default) in the
+// colocated deployment so the comparison isolates executor CPU; results are
+// cross-checked row-for-row first.
+//
+// A fourth measurement runs Q1-lite in the separate-process (Serverless)
+// deployment with `kv_pushdown` off vs on: the aggregation fragment then
+// executes KV-side and only per-group partial states cross the SQL/KV
+// boundary (marshaled-bytes shrink).
+//
+// Emits BENCH_sql_exec.json (scenario::BenchReport schema). Acceptance
+// gates: >= 5x vectorized speedup on q1_lite, >= 3x marshal shrink from the
+// pushed fragment.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "scenario/report.h"
+
+namespace veloce {
+namespace {
+
+constexpr int kRows = 20000;
+// The per-shape CPU estimate is the minimum over this many runs; enough
+// iterations that a machine still settling from a parallel build/test run
+// (scheduler noise, cold frequency governor) gets at least a few quiet ones.
+constexpr int kQ1Iters = 24;
+constexpr int kScanIters = 24;
+constexpr int kJoinIters = 16;
+
+const char* kQ1 =
+    "SELECT returnflag, linestatus, SUM(qty) AS sum_qty, "
+    "SUM(extprice) AS sum_base, SUM(extprice * (1 - discount)) AS sum_disc, "
+    "SUM(extprice * (1 - discount) * (1 + tax)) AS sum_charge, "
+    "AVG(qty) AS avg_qty, AVG(extprice) AS avg_price, AVG(discount) AS avg_disc, "
+    "COUNT(*) AS n "
+    "FROM lineitem WHERE shipdate <= 19980902 "
+    "GROUP BY returnflag, linestatus ORDER BY returnflag, linestatus";
+
+const char* kFilteredScan =
+    "SELECT id, qty, extprice FROM lineitem "
+    "WHERE shipdate > 19960000 AND discount < 0.03 AND qty >= 25.0";
+
+const char* kJoin =
+    "SELECT l.id, s.name, l.qty FROM lineitem l "
+    "JOIN supplier s ON l.suppgrp = s.grp AND s.active = 1 "
+    "WHERE l.qty > 45.0";
+
+void Populate(bench::SqlStack* stack) {
+  auto exec = [&](const std::string& sql) {
+    auto result = stack->session->Execute(sql);
+    VELOCE_CHECK(result.ok()) << result.status().ToString();
+  };
+  exec("CREATE TABLE lineitem (id INT PRIMARY KEY, returnflag STRING, "
+       "linestatus STRING, qty DOUBLE, extprice DOUBLE, discount DOUBLE, "
+       "tax DOUBLE, shipdate INT, suppgrp INT)");
+  exec("CREATE TABLE supplier (sid INT PRIMARY KEY, grp INT, name STRING, "
+       "active INT)");
+  const char* flags[] = {"A", "N", "R"};
+  const char* statuses[] = {"F", "O"};
+  char buf[64];
+  Random rng(7);
+  for (int i = 0; i < kRows; i += 100) {
+    std::string stmt = "INSERT INTO lineitem VALUES ";
+    for (int j = i; j < i + 100; ++j) {
+      if (j > i) stmt += ", ";
+      std::snprintf(buf, sizeof(buf), "%.1f, %.2f, %.2f, %.2f",
+                    1.0 + static_cast<double>(rng.Uniform(50)),
+                    900.0 + static_cast<double>(rng.Uniform(100000)) / 100.0,
+                    static_cast<double>(rng.Uniform(11)) / 100.0,
+                    static_cast<double>(rng.Uniform(9)) / 100.0);
+      stmt += "(" + std::to_string(j) + ", '" + flags[rng.Uniform(3)] + "', '" +
+              statuses[rng.Uniform(2)] + "', " + buf + ", " +
+              std::to_string(19920000 + rng.Uniform(70000)) + ", " +
+              std::to_string(rng.Uniform(200)) + ")";
+    }
+    exec(stmt);
+  }
+  for (int i = 0; i < 200; i += 50) {
+    std::string stmt = "INSERT INTO supplier VALUES ";
+    for (int j = i; j < i + 50; ++j) {
+      if (j > i) stmt += ", ";
+      stmt += "(" + std::to_string(j) + ", " + std::to_string(j) + ", 'supp" +
+              std::to_string(j) + "', " + std::to_string(j % 2) + ")";
+    }
+    exec(stmt);
+  }
+  bench::ScatterRanges(stack, 2);
+}
+
+sql::ResultSet Exec(bench::SqlStack* stack, const std::string& sql) {
+  auto result = stack->session->Execute(sql);
+  VELOCE_CHECK(result.ok()) << sql << ": " << result.status().ToString();
+  return std::move(result).value();
+}
+
+bool SameResults(const sql::ResultSet& a, const sql::ResultSet& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    if (a.rows[i].size() != b.rows[i].size()) return false;
+    for (size_t j = 0; j < a.rows[i].size(); ++j) {
+      if (a.rows[i][j].Compare(b.rows[i][j]) != 0) return false;
+    }
+  }
+  return true;
+}
+
+// SQL-executor CPU only: total thread CPU minus the KV-service share the
+// connector attributes below the boundary (MVCC scan, storage). Both
+// engines issue byte-identical scan requests, so the excluded share is the
+// same work on both sides; what remains is decode + expression eval +
+// aggregate/join state — the part the engines actually differ on.
+double OneStatementCpuSeconds(bench::SqlStack* stack, const std::string& sql) {
+  const Nanos kv0 = stack->node->connector()->kv_cpu_nanos();
+  const Nanos cpu0 = ThreadCpuNanos();
+  (void)Exec(stack, sql);
+  const Nanos cpu = ThreadCpuNanos() - cpu0;
+  const Nanos kv = stack->node->connector()->kv_cpu_nanos() - kv0;
+  return static_cast<double>(cpu - kv) / 1e9;
+}
+
+struct EnginePair {
+  double row_s;
+  double vec_s;
+};
+
+// Measures the two engines with alternating statements (row, vec, row, vec,
+// …) so machine-state drift — frequency scaling, a background job tailing
+// off — degrades both measurement streams instead of biasing whichever
+// engine happened to run second. Each stream keeps its minimum
+// per-statement CPU over `iters` runs: the minimum is the standard
+// noise-robust estimator (interference only ever adds time), applied
+// symmetrically to both engines.
+EnginePair MeasureCpuSeconds(bench::SqlStack* stack, const std::string& sql,
+                             int iters) {
+  EnginePair best{1e30, 1e30};
+  Exec(stack, "SET vectorize = off");
+  (void)Exec(stack, sql);  // warm caches / page in
+  Exec(stack, "SET vectorize = on");
+  (void)Exec(stack, sql);
+  for (int i = 0; i < iters; ++i) {
+    Exec(stack, "SET vectorize = off");
+    best.row_s = std::min(best.row_s, OneStatementCpuSeconds(stack, sql));
+    Exec(stack, "SET vectorize = on");
+    best.vec_s = std::min(best.vec_s, OneStatementCpuSeconds(stack, sql));
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace veloce
+
+int main() {
+  using namespace veloce;
+  bench::PrintHeader("SQL execution: vectorized columnar engine vs row engine");
+
+  auto stack = bench::MakeSqlStack(sql::ProcessMode::kColocated);
+  Populate(stack.get());
+
+  struct Shape {
+    const char* name;
+    const char* sql;
+    int iters;
+  };
+  const Shape shapes[] = {{"q1_lite", kQ1, kQ1Iters},
+                          {"filtered_scan", kFilteredScan, kScanIters},
+                          {"hash_join", kJoin, kJoinIters}};
+
+  scenario::BenchReport report("sql_exec");
+  report.AddParam("rows", kRows);
+
+  std::printf("%-16s %10s %12s %12s %10s\n", "query", "rows", "row (s)",
+              "vec (s)", "speedup");
+  double q1_speedup = 0;
+  for (const Shape& shape : shapes) {
+    // Cross-check: both engines must return identical results.
+    Exec(stack.get(), "SET vectorize = off");
+    sql::ResultSet row_rs = Exec(stack.get(), shape.sql);
+    VELOCE_CHECK(stack->session->last_select_engine() == "row");
+    Exec(stack.get(), "SET vectorize = on");
+    sql::ResultSet vec_rs = Exec(stack.get(), shape.sql);
+    VELOCE_CHECK(stack->session->last_select_engine() == "vectorized")
+        << shape.name << " did not run vectorized";
+    VELOCE_CHECK(SameResults(row_rs, vec_rs)) << shape.name << " results differ";
+
+    const EnginePair pair = MeasureCpuSeconds(stack.get(), shape.sql, shape.iters);
+    const double row_s = pair.row_s;
+    const double vec_s = pair.vec_s;
+    const double speedup = vec_s > 0 ? row_s / vec_s : 0;
+    if (std::string(shape.name) == "q1_lite") q1_speedup = speedup;
+    std::printf("%-16s %10zu %12.3f %12.3f %9.2fx\n", shape.name,
+                vec_rs.rows.size(), row_s, vec_s, speedup);
+    report.AddMetric(std::string(shape.name) + "_row_cpu_seconds", row_s);
+    report.AddMetric(std::string(shape.name) + "_vec_cpu_seconds", vec_s);
+    report.AddMetric(std::string(shape.name) + "_speedup", speedup);
+  }
+
+  // Serverless deployment: the Q1 aggregation fragment pushed below the
+  // scan — only partial aggregate states cross the SQL/KV boundary.
+  auto srvls = bench::MakeSqlStack(sql::ProcessMode::kSeparateProcess);
+  Populate(srvls.get());
+  sql::KvConnector* connector = srvls->node->connector();
+  sql::ResultSet frag_off_rs = Exec(srvls.get(), kQ1);
+  uint64_t m0 = connector->marshaled_bytes();
+  (void)Exec(srvls.get(), kQ1);
+  const uint64_t bytes_off = connector->marshaled_bytes() - m0;
+  Exec(srvls.get(), "SET kv_pushdown = on");
+  sql::ResultSet frag_on_rs = Exec(srvls.get(), kQ1);
+  VELOCE_CHECK(SameResults(frag_off_rs, frag_on_rs))
+      << "pushed fragment changed Q1 results";
+  m0 = connector->marshaled_bytes();
+  (void)Exec(srvls.get(), kQ1);
+  const uint64_t bytes_on = connector->marshaled_bytes() - m0;
+  const double shrink =
+      bytes_on > 0 ? static_cast<double>(bytes_off) / bytes_on : 0;
+  std::printf("\nq1_lite fragment pushdown (serverless): %llu -> %llu "
+              "marshaled bytes (%.0fx)\n",
+              static_cast<unsigned long long>(bytes_off),
+              static_cast<unsigned long long>(bytes_on), shrink);
+  report.AddMetric("q1_lite_marshal_bytes_no_fragment", bytes_off);
+  report.AddMetric("q1_lite_marshal_bytes_fragment", bytes_on);
+  report.AddMetric("q1_lite_marshal_shrink", shrink);
+
+  report.Gate("q1_lite_speedup", q1_speedup, 5.0);
+  report.Gate("q1_lite_marshal_shrink", shrink, 3.0);
+
+  auto path = report.WriteFile(".");
+  VELOCE_CHECK(path.ok());
+  std::printf("wrote %s\n", path->c_str());
+  std::printf("%s\n", report.Summary().c_str());
+  if (!report.passed()) {
+    std::printf("FAILED: below acceptance gates\n");
+    return 1;
+  }
+  return 0;
+}

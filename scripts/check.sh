@@ -26,8 +26,9 @@ run_preset() {
   ctest --preset "${preset}" -j "${JOBS}"
 }
 
-# Runs the point-lookup and write-path benches end to end and asserts each
-# completed (exit 0 enforces their internal >= 2x speedup gates) and emitted
+# Runs the point-lookup, write-path, and SQL-exec benches end to end and
+# asserts each completed (exit 0 enforces their internal speedup gates:
+# >= 2x for the KV benches, >= 5x vectorized on q1_lite) and emitted
 # parseable JSON.
 bench_smoke() {
   echo "==> bench smoke (bench_point_lookup)"
@@ -49,6 +50,15 @@ bench_smoke() {
     python3 -c "import json,sys; json.load(open(sys.argv[1]))" "${json}"
   else
     grep -q '"multi_writer_speedup"' "${json}"
+  fi
+  echo "==> bench smoke (bench_sql_exec)"
+  (cd "${out}" && ../bench/bench_sql_exec)  # exit 0 enforces the >= 5x gate
+  json="${out}/BENCH_sql_exec.json"
+  [[ -s "${json}" ]] || { echo "missing ${json}" >&2; exit 1; }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "${json}"
+  else
+    grep -q '"q1_lite_speedup"' "${json}"
   fi
   echo "bench smoke OK"
 }

@@ -40,56 +40,6 @@ void PutLengthPrefixed(std::string* dst, Slice value) {
   dst->append(value.data(), value.size());
 }
 
-bool GetFixed32(Slice* input, uint32_t* v) {
-  if (input->size() < 4) return false;
-  const unsigned char* p = reinterpret_cast<const unsigned char*>(input->data());
-  *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
-       (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
-  input->RemovePrefix(4);
-  return true;
-}
-
-bool GetFixed64(Slice* input, uint64_t* v) {
-  if (input->size() < 8) return false;
-  const unsigned char* p = reinterpret_cast<const unsigned char*>(input->data());
-  uint64_t out = 0;
-  for (int i = 0; i < 8; ++i) out |= static_cast<uint64_t>(p[i]) << (8 * i);
-  *v = out;
-  input->RemovePrefix(8);
-  return true;
-}
-
-bool GetVarint64(Slice* input, uint64_t* v) {
-  uint64_t out = 0;
-  for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
-    const unsigned char byte = static_cast<unsigned char>((*input)[0]);
-    input->RemovePrefix(1);
-    if (byte & 0x80) {
-      out |= static_cast<uint64_t>(byte & 0x7F) << shift;
-    } else {
-      out |= static_cast<uint64_t>(byte) << shift;
-      *v = out;
-      return true;
-    }
-  }
-  return false;
-}
-
-bool GetVarint32(Slice* input, uint32_t* v) {
-  uint64_t v64;
-  if (!GetVarint64(input, &v64) || v64 > UINT32_MAX) return false;
-  *v = static_cast<uint32_t>(v64);
-  return true;
-}
-
-bool GetLengthPrefixed(Slice* input, Slice* value) {
-  uint64_t len;
-  if (!GetVarint64(input, &len) || input->size() < len) return false;
-  *value = Slice(input->data(), static_cast<size_t>(len));
-  input->RemovePrefix(static_cast<size_t>(len));
-  return true;
-}
-
 void OrderedPutUint64(std::string* dst, uint64_t v) {
   char buf[8];
   for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * (7 - i)));
@@ -126,23 +76,6 @@ void OrderedPutDouble(std::string* dst, double v) {
   OrderedPutUint64(dst, bits);
 }
 
-bool OrderedGetUint64(Slice* input, uint64_t* v) {
-  if (input->size() < 8) return false;
-  const unsigned char* p = reinterpret_cast<const unsigned char*>(input->data());
-  uint64_t out = 0;
-  for (int i = 0; i < 8; ++i) out = (out << 8) | p[i];
-  *v = out;
-  input->RemovePrefix(8);
-  return true;
-}
-
-bool OrderedGetInt64(Slice* input, int64_t* v) {
-  uint64_t u;
-  if (!OrderedGetUint64(input, &u)) return false;
-  *v = static_cast<int64_t>(u ^ (1ULL << 63));
-  return true;
-}
-
 bool OrderedGetString(Slice* input, std::string* s) {
   s->clear();
   size_t i = 0;
@@ -167,18 +100,6 @@ bool OrderedGetString(Slice* input, std::string* s) {
     return false;
   }
   return false;
-}
-
-bool OrderedGetDouble(Slice* input, double* v) {
-  uint64_t bits;
-  if (!OrderedGetUint64(input, &bits)) return false;
-  if (bits & (1ULL << 63)) {
-    bits &= ~(1ULL << 63);
-  } else {
-    bits = ~bits;
-  }
-  std::memcpy(v, &bits, sizeof(*v));
-  return true;
 }
 
 std::string PrefixEnd(Slice prefix) {

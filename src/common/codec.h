@@ -2,6 +2,7 @@
 #define VELOCE_COMMON_CODEC_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 
 #include "common/slice.h"
@@ -30,12 +31,68 @@ void PutVarint64(std::string* dst, uint64_t v);
 void PutLengthPrefixed(std::string* dst, Slice value);
 
 /// Each Get* consumes from the front of *input. Returns false on malformed
-/// or truncated input (callers translate to Status::Corruption).
-bool GetFixed32(Slice* input, uint32_t* v);
-bool GetFixed64(Slice* input, uint64_t* v);
-bool GetVarint32(Slice* input, uint32_t* v);
-bool GetVarint64(Slice* input, uint64_t* v);
-bool GetLengthPrefixed(Slice* input, Slice* value);
+/// or truncated input (callers translate to Status::Corruption). Defined
+/// inline: these run once per column per row in the scan decode loops, where
+/// out-of-line call overhead is measurable.
+inline bool GetFixed32(Slice* input, uint32_t* v) {
+  if (input->size() < 4) return false;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(input->data());
+  *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+       (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+  input->RemovePrefix(4);
+  return true;
+}
+
+inline bool GetFixed64(Slice* input, uint64_t* v) {
+  if (input->size() < 8) return false;
+  uint64_t out;
+  std::memcpy(&out, input->data(), 8);  // encoding is little-endian bytes
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  out = __builtin_bswap64(out);
+#endif
+  *v = out;
+  input->RemovePrefix(8);
+  return true;
+}
+
+inline bool GetVarint64(Slice* input, uint64_t* v) {
+  // Fast path: single-byte varints dominate row-value headers.
+  if (!input->empty() &&
+      !(static_cast<unsigned char>((*input)[0]) & 0x80)) {
+    *v = static_cast<unsigned char>((*input)[0]);
+    input->RemovePrefix(1);
+    return true;
+  }
+  uint64_t out = 0;
+  for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    const unsigned char byte = static_cast<unsigned char>((*input)[0]);
+    input->RemovePrefix(1);
+    if (byte & 0x80) {
+      out |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    } else {
+      out |= static_cast<uint64_t>(byte) << shift;
+      *v = out;
+      return true;
+    }
+  }
+  return false;
+}
+
+inline bool GetVarint32(Slice* input, uint32_t* v) {
+  uint64_t v64;
+  if (!GetVarint64(input, &v64) || v64 > UINT32_MAX) return false;
+  *v = static_cast<uint32_t>(v64);
+  return true;
+}
+
+inline bool GetLengthPrefixed(Slice* input, Slice* value) {
+  uint64_t len;
+  if (!GetVarint64(input, &len) || input->size() < len) return false;
+  *value = Slice(input->data(), static_cast<size_t>(len));
+  input->RemovePrefix(static_cast<size_t>(len));
+  return true;
+}
 
 // ---------------------------------------------------------------------------
 // Ordered (key) encoders. memcmp order of the encoding == value order.
@@ -52,10 +109,40 @@ void OrderedPutString(std::string* dst, Slice s);
 /// IEEE-754 double mapped to an order-preserving 64-bit pattern.
 void OrderedPutDouble(std::string* dst, double v);
 
-bool OrderedGetUint64(Slice* input, uint64_t* v);
-bool OrderedGetInt64(Slice* input, int64_t* v);
+// Inline for the same reason as the plain getters: every decoded key runs
+// one of these per PK column.
+inline bool OrderedGetUint64(Slice* input, uint64_t* v) {
+  if (input->size() < 8) return false;
+  uint64_t out;
+  std::memcpy(&out, input->data(), 8);  // encoding is big-endian bytes
+#if !defined(__BYTE_ORDER__) || __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  out = __builtin_bswap64(out);
+#endif
+  *v = out;
+  input->RemovePrefix(8);
+  return true;
+}
+
+inline bool OrderedGetInt64(Slice* input, int64_t* v) {
+  uint64_t u;
+  if (!OrderedGetUint64(input, &u)) return false;
+  *v = static_cast<int64_t>(u ^ (1ULL << 63));
+  return true;
+}
+
 bool OrderedGetString(Slice* input, std::string* s);
-bool OrderedGetDouble(Slice* input, double* v);
+
+inline bool OrderedGetDouble(Slice* input, double* v) {
+  uint64_t bits;
+  if (!OrderedGetUint64(input, &bits)) return false;
+  if (bits & (1ULL << 63)) {
+    bits &= ~(1ULL << 63);
+  } else {
+    bits = ~bits;
+  }
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
 
 /// Returns the smallest key strictly greater than every key having `prefix`
 /// as a prefix (the exclusive end of the prefix's keyspan). Empty result

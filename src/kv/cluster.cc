@@ -282,16 +282,25 @@ Status KVCluster::ExecuteReadLocked(RangeState* range, const BatchRequest& req,
     if (!done) return Status::WriteIntentError("too many conflict retries");
     if (!cur_follower) cur_range->tscache.RecordReadSpan(cursor, scan_end, read_ts);
     if (!r.pushdown.empty()) {
-      // Row filtering / projection push-down: evaluate at the KV node so
-      // filtered rows and projected-away columns never cross the boundary.
-      if (!pushdown_hook_) {
+      // Filtering / projection / fragment push-down: evaluate at the KV node
+      // so filtered rows, projected-away columns, and (for aggregation
+      // fragments) everything but partial states never cross the boundary.
+      // The batch hook sees the whole segment and handles every spec shape;
+      // the per-row hook is the filter/projection-only fallback.
+      if (fragment_hook_) {
+        VELOCE_ASSIGN_OR_RETURN(
+            std::vector<MvccScanEntry> kept,
+            fragment_hook_(std::move(res.entries), Slice(r.pushdown)));
+        for (auto& e : kept) out->rows.push_back(std::move(e));
+      } else if (pushdown_hook_) {
+        for (auto& e : res.entries) {
+          VELOCE_ASSIGN_OR_RETURN(std::optional<std::string> kept,
+                                  pushdown_hook_(Slice(e.value), Slice(r.pushdown)));
+          if (!kept.has_value()) continue;
+          out->rows.push_back({std::move(e.key), std::move(*kept)});
+        }
+      } else {
         return Status::NotSupported("scan pushdown requested but no hook registered");
-      }
-      for (auto& e : res.entries) {
-        VELOCE_ASSIGN_OR_RETURN(std::optional<std::string> kept,
-                                pushdown_hook_(Slice(e.value), Slice(r.pushdown)));
-        if (!kept.has_value()) continue;
-        out->rows.push_back({std::move(e.key), std::move(*kept)});
       }
     } else {
       for (auto& e : res.entries) out->rows.push_back(std::move(e));

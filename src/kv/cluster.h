@@ -60,6 +60,15 @@ using BatchInterceptor =
 using ScanPushdownHook = std::function<StatusOr<std::optional<std::string>>(
     Slice row_value, Slice spec)>;
 
+/// Batch fragment evaluator for pushdown scans: invoked once per range
+/// segment with all visible rows, it returns the entries to ship back.
+/// Strictly more general than ScanPushdownHook — besides per-row filter
+/// and projection it can run whole query fragments (e.g. partial
+/// aggregation, returning one entry per group). Preferred over the
+/// per-row hook when both are registered.
+using ScanFragmentHook = std::function<StatusOr<std::vector<MvccScanEntry>>(
+    std::vector<MvccScanEntry> rows, Slice spec)>;
+
 /// KVCluster is the shared, multi-tenant KV layer: nodes, ranges, the range
 /// directory, the transaction registry, and the client routing logic
 /// (DistSender). In production these are separate processes exchanging
@@ -165,6 +174,12 @@ class KVCluster {
     pushdown_hook_ = std::move(hook);
   }
 
+  /// Registers the batch fragment evaluator (see ScanFragmentHook). Takes
+  /// precedence over the per-row hook for scans carrying a spec.
+  void set_scan_fragment_hook(ScanFragmentHook hook) {
+    fragment_hook_ = std::move(hook);
+  }
+
  private:
   struct RangeState {
     RangeDescriptor desc;
@@ -217,6 +232,7 @@ class KVCluster {
   NodeId next_replica_target_ = 0;  // round-robin placement
   BatchInterceptor interceptor_;
   ScanPushdownHook pushdown_hook_;
+  ScanFragmentHook fragment_hook_;
 
   obs::Counter* lease_moves_c_ = nullptr;
   obs::Counter* replica_moves_c_ = nullptr;

@@ -7,332 +7,13 @@
 #include "common/codec.h"
 #include "common/logging.h"
 #include "sql/pushdown.h"
+#include "sql/vec/vec_exec.h"
 
 namespace veloce::sql {
 
-// ---------------------------------------------------------------------------
-// Evaluation machinery
-// ---------------------------------------------------------------------------
-
-struct Executor::Binding {
-  std::string alias;  // effective name for qualification
-  TableDescriptor desc;
-  size_t offset = 0;  // column offset within the concatenated row
-};
-
-struct Executor::EvalContext {
-  const std::vector<Binding>* bindings = nullptr;
-  const Row* row = nullptr;
-  const std::vector<Datum>* params = nullptr;
-  /// Pre-computed aggregate results (group evaluation phase only).
-  const std::map<const Expr*, Datum>* agg_values = nullptr;
-};
-
-namespace {
-
-using Binding = Executor::Binding;
-
-StatusOr<int> ResolveColumn(const std::vector<Binding>& bindings,
-                            const std::string& qualifier, const std::string& name) {
-  int found = -1;
-  for (const auto& binding : bindings) {
-    if (!qualifier.empty() && binding.alias != qualifier) continue;
-    const ColumnDescriptor* col = binding.desc.FindColumn(name);
-    if (col == nullptr) continue;
-    const int pos = static_cast<int>(binding.offset) + binding.desc.ColumnIndex(col->id);
-    if (found != -1) {
-      return Status::InvalidArgument("ambiguous column reference: " + name);
-    }
-    found = pos;
-  }
-  if (found == -1) return Status::NotFound("no such column: " + name);
-  return found;
-}
-
-bool Truthy(const Datum& d) {
-  switch (d.kind()) {
-    case TypeKind::kNull: return false;
-    case TypeKind::kBool: return d.bool_value();
-    case TypeKind::kInt: return d.int_value() != 0;
-    case TypeKind::kDouble: return d.double_value() != 0;
-    case TypeKind::kString: return !d.string_value().empty();
-  }
-  return false;
-}
-
-StatusOr<Datum> Eval(const Expr& expr, const Executor::EvalContext& ctx);
-
-StatusOr<Datum> EvalBinary(const Expr& expr, const Executor::EvalContext& ctx) {
-  // AND/OR get short-circuit + 3-valued-ish treatment (NULL == false).
-  if (expr.op == BinOp::kAnd || expr.op == BinOp::kOr) {
-    VELOCE_ASSIGN_OR_RETURN(Datum left, Eval(*expr.left, ctx));
-    const bool lval = Truthy(left);
-    if (expr.op == BinOp::kAnd && !lval) return Datum::Bool(false);
-    if (expr.op == BinOp::kOr && lval) return Datum::Bool(true);
-    VELOCE_ASSIGN_OR_RETURN(Datum right, Eval(*expr.right, ctx));
-    return Datum::Bool(Truthy(right));
-  }
-  VELOCE_ASSIGN_OR_RETURN(Datum left, Eval(*expr.left, ctx));
-  VELOCE_ASSIGN_OR_RETURN(Datum right, Eval(*expr.right, ctx));
-  switch (expr.op) {
-    case BinOp::kEq: case BinOp::kNe: case BinOp::kLt:
-    case BinOp::kLe: case BinOp::kGt: case BinOp::kGe: {
-      if (left.is_null() || right.is_null()) return Datum::Null();
-      const int c = left.Compare(right);
-      switch (expr.op) {
-        case BinOp::kEq: return Datum::Bool(c == 0);
-        case BinOp::kNe: return Datum::Bool(c != 0);
-        case BinOp::kLt: return Datum::Bool(c < 0);
-        case BinOp::kLe: return Datum::Bool(c <= 0);
-        case BinOp::kGt: return Datum::Bool(c > 0);
-        default: return Datum::Bool(c >= 0);
-      }
-    }
-    case BinOp::kAdd: case BinOp::kSub: case BinOp::kMul:
-    case BinOp::kDiv: case BinOp::kMod: {
-      if (left.is_null() || right.is_null()) return Datum::Null();
-      if (expr.op == BinOp::kAdd && left.kind() == TypeKind::kString &&
-          right.kind() == TypeKind::kString) {
-        return Datum::String(left.string_value() + right.string_value());
-      }
-      const bool both_int =
-          left.kind() == TypeKind::kInt && right.kind() == TypeKind::kInt;
-      if (both_int && expr.op != BinOp::kDiv) {
-        const int64_t a = left.int_value(), b = right.int_value();
-        switch (expr.op) {
-          case BinOp::kAdd: return Datum::Int(a + b);
-          case BinOp::kSub: return Datum::Int(a - b);
-          case BinOp::kMul: return Datum::Int(a * b);
-          case BinOp::kMod:
-            if (b == 0) return Status::InvalidArgument("modulo by zero");
-            return Datum::Int(a % b);
-          default: break;
-        }
-      }
-      const double a = left.AsDouble(), b = right.AsDouble();
-      switch (expr.op) {
-        case BinOp::kAdd: return Datum::Double(a + b);
-        case BinOp::kSub: return Datum::Double(a - b);
-        case BinOp::kMul: return Datum::Double(a * b);
-        case BinOp::kDiv:
-          if (b == 0) return Status::InvalidArgument("division by zero");
-          return Datum::Double(a / b);
-        case BinOp::kMod:
-          return Status::InvalidArgument("modulo on non-integers");
-        default: break;
-      }
-      break;
-    }
-    default: break;
-  }
-  return Status::Internal("unhandled binary operator");
-}
-
-StatusOr<Datum> Eval(const Expr& expr, const Executor::EvalContext& ctx) {
-  switch (expr.kind) {
-    case Expr::Kind::kLiteral:
-      return expr.literal;
-    case Expr::Kind::kColumnRef: {
-      VELOCE_ASSIGN_OR_RETURN(
-          int pos, ResolveColumn(*ctx.bindings, expr.table_name, expr.column_name));
-      return (*ctx.row)[static_cast<size_t>(pos)];
-    }
-    case Expr::Kind::kBinary:
-      return EvalBinary(expr, ctx);
-    case Expr::Kind::kNot: {
-      VELOCE_ASSIGN_OR_RETURN(Datum v, Eval(*expr.child, ctx));
-      return Datum::Bool(!Truthy(v));
-    }
-    case Expr::Kind::kIsNull: {
-      VELOCE_ASSIGN_OR_RETURN(Datum v, Eval(*expr.child, ctx));
-      return Datum::Bool(expr.is_not ? !v.is_null() : v.is_null());
-    }
-    case Expr::Kind::kParam: {
-      if (ctx.params == nullptr ||
-          expr.param_index < 1 ||
-          static_cast<size_t>(expr.param_index) > ctx.params->size()) {
-        return Status::InvalidArgument("missing parameter $" +
-                                       std::to_string(expr.param_index));
-      }
-      return (*ctx.params)[static_cast<size_t>(expr.param_index - 1)];
-    }
-    case Expr::Kind::kAggregate: {
-      if (ctx.agg_values == nullptr) {
-        return Status::InvalidArgument("aggregate outside of aggregation context");
-      }
-      auto it = ctx.agg_values->find(&expr);
-      if (it == ctx.agg_values->end()) {
-        return Status::Internal("aggregate value not computed");
-      }
-      return it->second;
-    }
-    case Expr::Kind::kStar:
-      return Status::InvalidArgument("'*' outside COUNT(*)");
-  }
-  return Status::Internal("unhandled expression kind");
-}
-
-void CollectConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
-  if (expr == nullptr) return;
-  if (expr->kind == Expr::Kind::kBinary && expr->op == BinOp::kAnd) {
-    CollectConjuncts(expr->left.get(), out);
-    CollectConjuncts(expr->right.get(), out);
-    return;
-  }
-  out->push_back(expr);
-}
-
-void CollectAggregates(const Expr* expr, std::vector<const Expr*>* out) {
-  if (expr == nullptr) return;
-  if (expr->kind == Expr::Kind::kAggregate) {
-    out->push_back(expr);
-    return;  // no nested aggregates
-  }
-  CollectAggregates(expr->left.get(), out);
-  CollectAggregates(expr->right.get(), out);
-  CollectAggregates(expr->child.get(), out);
-}
-
-// Bind-time validation: every column reference must resolve and every $N
-// parameter must be bound, even when no rows flow (real databases error at
-// plan time, not per row).
-Status ValidateExpr(const Expr* expr, const std::vector<Binding>& bindings,
-                    const std::vector<Datum>* params) {
-  if (expr == nullptr) return Status::OK();
-  if (expr->kind == Expr::Kind::kColumnRef) {
-    return ResolveColumn(bindings, expr->table_name, expr->column_name).status();
-  }
-  if (expr->kind == Expr::Kind::kParam) {
-    const size_t bound = params == nullptr ? 0 : params->size();
-    if (expr->param_index < 1 || static_cast<size_t>(expr->param_index) > bound) {
-      return Status::InvalidArgument("missing parameter $" +
-                                     std::to_string(expr->param_index));
-    }
-    return Status::OK();
-  }
-  VELOCE_RETURN_IF_ERROR(ValidateExpr(expr->left.get(), bindings, params));
-  VELOCE_RETURN_IF_ERROR(ValidateExpr(expr->right.get(), bindings, params));
-  return ValidateExpr(expr->child.get(), bindings, params);
-}
-
-void CollectColumnNames(const Expr* expr, std::vector<std::string>* out) {
-  if (expr == nullptr) return;
-  if (expr->kind == Expr::Kind::kColumnRef) out->push_back(expr->column_name);
-  CollectColumnNames(expr->left.get(), out);
-  CollectColumnNames(expr->right.get(), out);
-  CollectColumnNames(expr->child.get(), out);
-}
-
-bool HasAggregate(const Expr* expr) {
-  std::vector<const Expr*> aggs;
-  CollectAggregates(expr, &aggs);
-  return !aggs.empty();
-}
-
-/// Running state for one aggregate within one group.
-struct AggState {
-  uint64_t count = 0;
-  double sum = 0;
-  bool sum_is_int = true;
-  int64_t isum = 0;
-  Datum min, max;
-  bool has_minmax = false;
-
-  void Accumulate(const Datum& v, AggFunc func) {
-    if (func == AggFunc::kCount) {
-      ++count;  // null-ness handled by the caller for COUNT(expr)
-      return;
-    }
-    if (v.is_null()) return;
-    ++count;
-    if (func == AggFunc::kSum || func == AggFunc::kAvg) {
-      if (v.kind() == TypeKind::kInt) {
-        isum += v.int_value();
-      } else {
-        sum_is_int = false;
-      }
-      sum += v.AsDouble();
-    } else if (func == AggFunc::kMin || func == AggFunc::kMax) {
-      if (!has_minmax) {
-        min = max = v;
-        has_minmax = true;
-      } else {
-        if (v.Compare(min) < 0) min = v;
-        if (v.Compare(max) > 0) max = v;
-      }
-    }
-  }
-
-  Datum Result(AggFunc func) const {
-    switch (func) {
-      case AggFunc::kCount: return Datum::Int(static_cast<int64_t>(count));
-      case AggFunc::kSum:
-        if (count == 0) return Datum::Null();
-        return sum_is_int ? Datum::Int(isum) : Datum::Double(sum);
-      case AggFunc::kAvg:
-        if (count == 0) return Datum::Null();
-        return Datum::Double(sum / static_cast<double>(count));
-      case AggFunc::kMin: return has_minmax ? min : Datum::Null();
-      case AggFunc::kMax: return has_minmax ? max : Datum::Null();
-      case AggFunc::kNone: break;
-    }
-    return Datum::Null();
-  }
-};
-
-/// Reads either through the session transaction or the non-transactional
-/// connector path.
-struct Reader {
-  TenantTxn* txn;
-  KvConnector* connector;
-
-  Status Get(const std::string& key, std::optional<std::string>* value) {
-    if (txn != nullptr) return txn->Get(key, value);
-    kv::BatchRequest req;
-    req.AddGet(key);
-    VELOCE_ASSIGN_OR_RETURN(kv::BatchResponse resp, connector->Send(req));
-    if (resp.responses[0].found) {
-      *value = std::move(resp.responses[0].value);
-    } else {
-      value->reset();
-    }
-    return Status::OK();
-  }
-
-  Status Scan(const std::string& start, const std::string& end, uint64_t limit,
-              std::vector<kv::MvccScanEntry>* rows,
-              const std::string& pushdown_spec = std::string()) {
-    if (txn != nullptr) return txn->Scan(start, end, limit, rows);
-    kv::BatchRequest req;
-    if (pushdown_spec.empty()) {
-      req.AddScan(start, end, limit);
-    } else {
-      req.AddScanWithPushdown(start, end, limit, pushdown_spec);
-    }
-    VELOCE_ASSIGN_OR_RETURN(kv::BatchResponse resp, connector->Send(req));
-    *rows = std::move(resp.responses[0].rows);
-    return Status::OK();
-  }
-};
-
-std::string DeriveColumnName(const Expr& expr, const std::string& alias) {
-  if (!alias.empty()) return alias;
-  switch (expr.kind) {
-    case Expr::Kind::kColumnRef: return expr.column_name;
-    case Expr::Kind::kAggregate:
-      switch (expr.agg) {
-        case AggFunc::kCount: return "count";
-        case AggFunc::kSum: return "sum";
-        case AggFunc::kAvg: return "avg";
-        case AggFunc::kMin: return "min";
-        case AggFunc::kMax: return "max";
-        default: return "agg";
-      }
-    default: return "?column?";
-  }
-}
-
-}  // namespace
+// The expression interpreter, scan-constraint extraction, AggState, and
+// Reader all live in sql/eval.{h,cc} — shared with the vectorized engine
+// (sql/vec/) and the KV-side pushdown evaluator (sql/pushdown.cc).
 
 // ---------------------------------------------------------------------------
 // ResultSet
@@ -360,6 +41,21 @@ std::string ResultSet::ToString() const {
 // Executor
 // ---------------------------------------------------------------------------
 
+Executor::Executor(Catalog* catalog, KvConnector* connector,
+                   const obs::ObsContext& obs)
+    : catalog_(catalog), connector_(connector) {
+  const obs::Labels tenant{
+      {"tenant", std::to_string(connector != nullptr ? connector->tenant_id() : 0)}};
+  obs::MetricsRegistry* metrics = obs.metrics_or_noop();
+  rows_scanned_c_ = metrics->counter("veloce_sql_rows_scanned_total", tenant);
+  batches_c_ = metrics->counter("veloce_sql_batches_total", tenant);
+  obs::Labels vec_labels = tenant, row_labels = tenant;
+  vec_labels.emplace_back("engine", "vectorized");
+  row_labels.emplace_back("engine", "row");
+  engine_vec_c_ = metrics->counter("veloce_sql_exec_engine_total", vec_labels);
+  engine_row_c_ = metrics->counter("veloce_sql_exec_engine_total", row_labels);
+}
+
 StatusOr<ResultSet> Executor::Execute(const Statement& stmt, TenantTxn* txn,
                                       const std::vector<Datum>* params) {
   switch (stmt.kind) {
@@ -370,7 +66,7 @@ StatusOr<ResultSet> Executor::Execute(const Statement& stmt, TenantTxn* txn,
     case Statement::Kind::kDropTable:
       return ExecDropTable(stmt.drop_table);
     case Statement::Kind::kSelect:
-      return ExecSelect(stmt.select, txn, params);
+      return DispatchSelect(stmt.select, txn, params);
     case Statement::Kind::kInsert:
     case Statement::Kind::kUpdate:
     case Statement::Kind::kDelete: {
@@ -418,6 +114,33 @@ StatusOr<ResultSet> Executor::Execute(const Statement& stmt, TenantTxn* txn,
   return Status::Internal("unhandled statement kind");
 }
 
+// Engine dispatch (docs/SQL_EXEC.md): non-transactional SELECTs try the
+// vectorized engine first; NotSupported from its planner means "not
+// covered", and the statement re-runs on the row engine. Any other status
+// (including real errors) is final — both engines implement identical
+// semantics, so there is no second try that could change the answer.
+StatusOr<ResultSet> Executor::DispatchSelect(const SelectStmt& stmt, TenantTxn* txn,
+                                             const std::vector<Datum>* params) {
+  if (engine_ != ExecEngine::kRow && txn == nullptr) {
+    vec::VecExecutor vexec(catalog_, connector_, pushdown_enabled_);
+    StatusOr<ResultSet> result = vexec.ExecSelect(stmt, params);
+    rows_scanned_c_->Inc(vexec.rows_scanned());
+    batches_c_->Inc(vexec.batches());
+    if (result.ok() || result.status().code() != Code::kNotSupported) {
+      last_select_engine_ = "vectorized";
+      engine_vec_c_->Inc();
+      return result;
+    }
+    if (engine_ == ExecEngine::kVectorized) return result.status();
+  } else if (engine_ == ExecEngine::kVectorized) {
+    return Status::NotSupported(
+        "vectorized engine does not cover transactional reads");
+  }
+  last_select_engine_ = "row";
+  engine_row_c_->Inc();
+  return ExecSelect(stmt, txn, params);
+}
+
 StatusOr<ResultSet> Executor::ExecCreateTable(const CreateTableStmt& stmt) {
   TableDescriptor proto;
   proto.name = stmt.table;
@@ -462,7 +185,7 @@ StatusOr<ResultSet> Executor::ExecCreateIndex(const CreateIndexStmt& stmt,
   // Backfill existing rows.
   VELOCE_ASSIGN_OR_RETURN(TableDescriptor desc, catalog_->GetTable(stmt.table));
   std::vector<Row> rows;
-  VELOCE_RETURN_IF_ERROR(ScanTable(desc, nullptr, txn, nullptr, &rows));
+  VELOCE_RETURN_IF_ERROR(ScanTable(desc, desc.name, nullptr, txn, nullptr, &rows));
   kv::BatchRequest backfill;
   for (const Row& row : rows) {
     backfill.AddPut(EncodeSecondaryKey(desc, idx, row), "");
@@ -482,143 +205,38 @@ StatusOr<ResultSet> Executor::ExecDropTable(const DropTableStmt& stmt) {
 
 // --- scanning ---------------------------------------------------------------
 
-Status Executor::ScanTable(const TableDescriptor& desc, const Expr* where,
-                           TenantTxn* txn, const std::vector<Datum>* params,
-                           std::vector<Row>* rows,
+Status Executor::ScanTable(const TableDescriptor& desc, const std::string& alias,
+                           const Expr* where, TenantTxn* txn,
+                           const std::vector<Datum>* params, std::vector<Row>* rows,
                            const std::vector<uint32_t>* needed_columns) {
   Reader reader{txn, connector_};
-  // Extract primary-key constraints from the WHERE conjuncts.
-  std::vector<const Expr*> conjuncts;
-  CollectConjuncts(where, &conjuncts);
+  const ScanConstraints plan = BuildScanConstraints(desc, alias, where, params);
 
-  // For constraint extraction, literal/param-only expressions can be
-  // evaluated without a row.
-  EvalContext const_ctx;
-  std::vector<Binding> no_bindings;
-  Row empty_row;
-  const_ctx.bindings = &no_bindings;
-  const_ctx.row = &empty_row;
-  const_ctx.params = params;
-
-  auto constant_value = [&](const Expr& e) -> std::optional<Datum> {
-    if (e.kind == Expr::Kind::kLiteral) return e.literal;
-    if (e.kind == Expr::Kind::kParam) {
-      auto v = Eval(e, const_ctx);
-      if (v.ok()) return *v;
-    }
-    return std::nullopt;
-  };
-
-  std::map<uint32_t, Datum> eq;  // column id -> constant
-  struct RangeBound {
-    std::optional<Datum> lower, upper;
-    bool lower_inclusive = true, upper_inclusive = true;
-  };
-  std::map<uint32_t, RangeBound> ranges;
-  for (const Expr* c : conjuncts) {
-    if (c->kind != Expr::Kind::kBinary) continue;
-    const Expr* col_side = nullptr;
-    const Expr* val_side = nullptr;
-    BinOp op = c->op;
-    if (c->left->kind == Expr::Kind::kColumnRef) {
-      col_side = c->left.get();
-      val_side = c->right.get();
-    } else if (c->right->kind == Expr::Kind::kColumnRef) {
-      col_side = c->right.get();
-      val_side = c->left.get();
-      // Flip the comparison: 5 < a  ==  a > 5.
-      switch (op) {
-        case BinOp::kLt: op = BinOp::kGt; break;
-        case BinOp::kLe: op = BinOp::kGe; break;
-        case BinOp::kGt: op = BinOp::kLt; break;
-        case BinOp::kGe: op = BinOp::kLe; break;
-        default: break;
-      }
-    } else {
-      continue;
-    }
-    const ColumnDescriptor* col = desc.FindColumn(col_side->column_name);
-    if (col == nullptr) continue;
-    auto value = constant_value(*val_side);
-    if (!value.has_value()) continue;
-    if (op == BinOp::kEq) {
-      eq.emplace(col->id, *value);
-    } else if (op == BinOp::kLt || op == BinOp::kLe) {
-      auto& bound = ranges[col->id];
-      bound.upper = *value;
-      bound.upper_inclusive = op == BinOp::kLe;
-    } else if (op == BinOp::kGt || op == BinOp::kGe) {
-      auto& bound = ranges[col->id];
-      bound.lower = *value;
-      bound.lower_inclusive = op == BinOp::kGe;
-    }
-  }
-
-  // Build the tightest primary-key span: equality prefix, then one range.
-  std::string start = IndexPrefix(desc.id, kPrimaryIndexId);
-  size_t eq_cols = 0;
-  for (uint32_t col_id : desc.primary.column_ids) {
-    auto it = eq.find(col_id);
-    if (it == eq.end()) break;
-    it->second.EncodeKey(&start);
-    ++eq_cols;
-  }
-  if (eq_cols == desc.primary.column_ids.size()) {
+  if (plan.point) {
     // Full PK: point lookup.
     std::optional<std::string> value;
-    VELOCE_RETURN_IF_ERROR(reader.Get(start, &value));
+    VELOCE_RETURN_IF_ERROR(reader.Get(plan.start, &value));
     if (value.has_value()) {
       Row row;
-      VELOCE_RETURN_IF_ERROR(DecodeRow(desc, start, *value, &row));
+      VELOCE_RETURN_IF_ERROR(DecodeRow(desc, plan.start, *value, &row));
       rows->push_back(std::move(row));
+      rows_scanned_c_->Inc();
     }
     return Status::OK();
   }
 
-  std::string end = PrefixEnd(start);
-  // Range constraint on the first unconstrained PK column tightens further.
-  if (eq_cols < desc.primary.column_ids.size()) {
-    const uint32_t next_col = desc.primary.column_ids[eq_cols];
-    auto it = ranges.find(next_col);
-    if (it != ranges.end()) {
-      if (it->second.lower.has_value()) {
-        std::string bound = start;
-        it->second.lower->EncodeKey(&bound);
-        if (!it->second.lower_inclusive) bound.push_back('\xFF');
-        if (bound > start) start = bound;
-      }
-      if (it->second.upper.has_value()) {
-        std::string bound = IndexPrefix(desc.id, kPrimaryIndexId);
-        // Rebuild the eq prefix, then the upper bound datum.
-        {
-          std::string tmp = IndexPrefix(desc.id, kPrimaryIndexId);
-          size_t i = 0;
-          for (uint32_t col_id : desc.primary.column_ids) {
-            if (i >= eq_cols) break;
-            eq.find(col_id)->second.EncodeKey(&tmp);
-            ++i;
-          }
-          bound = tmp;
-        }
-        it->second.upper->EncodeKey(&bound);
-        if (it->second.upper_inclusive) bound = PrefixEnd(bound);
-        if (bound < end) end = bound;
-      }
-    }
-  }
-
   // No useful PK constraint and a secondary index matches? Use an index
   // scan + lookup join back to the primary index.
-  if (eq_cols == 0) {
+  if (plan.eq_cols == 0) {
     for (const auto& index : desc.secondaries) {
       if (index.column_ids.empty()) continue;
-      auto it = eq.find(index.column_ids[0]);
-      if (it == eq.end()) continue;
+      auto it = plan.eq.find(index.column_ids[0]);
+      if (it == plan.eq.end()) continue;
       // Build the index span over the leading equality columns.
       std::string idx_start = IndexPrefix(desc.id, index.id);
       for (uint32_t col_id : index.column_ids) {
-        auto eq_it = eq.find(col_id);
-        if (eq_it == eq.end()) break;
+        auto eq_it = plan.eq.find(col_id);
+        if (eq_it == plan.eq.end()) break;
         eq_it->second.EncodeKey(&idx_start);
       }
       std::vector<kv::MvccScanEntry> entries;
@@ -634,6 +252,7 @@ Status Executor::ScanTable(const TableDescriptor& desc, const Expr* where,
         Row row;
         VELOCE_RETURN_IF_ERROR(DecodeRow(desc, pk_key, *value, &row));
         rows->push_back(std::move(row));
+        rows_scanned_c_->Inc();
       }
       return Status::OK();
     }
@@ -645,64 +264,19 @@ Status Executor::ScanTable(const TableDescriptor& desc, const Expr* where,
   // must observe their own intents through the txn path).
   std::string pushdown_spec;
   if (pushdown_enabled_ && txn == nullptr) {
-    PushdownSpec spec;
-    for (const Expr* c : conjuncts) {
-      if (c->kind != Expr::Kind::kBinary) continue;
-      const Expr* col_side = nullptr;
-      const Expr* val_side = nullptr;
-      BinOp op = c->op;
-      if (c->left->kind == Expr::Kind::kColumnRef) {
-        col_side = c->left.get();
-        val_side = c->right.get();
-      } else if (c->right->kind == Expr::Kind::kColumnRef) {
-        col_side = c->right.get();
-        val_side = c->left.get();
-        switch (op) {
-          case BinOp::kLt: op = BinOp::kGt; break;
-          case BinOp::kLe: op = BinOp::kGe; break;
-          case BinOp::kGt: op = BinOp::kLt; break;
-          case BinOp::kGe: op = BinOp::kLe; break;
-          default: break;
-        }
-      } else {
-        continue;
-      }
-      const ColumnDescriptor* col = desc.FindColumn(col_side->column_name);
-      if (col == nullptr || desc.IsPrimaryKeyColumn(col->id)) continue;
-      auto value = constant_value(*val_side);
-      if (!value.has_value()) continue;
-      PushdownFilter filter;
-      filter.column_id = col->id;
-      filter.value = *value;
-      switch (op) {
-        case BinOp::kEq: filter.op = PushdownOp::kEq; break;
-        case BinOp::kNe: filter.op = PushdownOp::kNe; break;
-        case BinOp::kLt: filter.op = PushdownOp::kLt; break;
-        case BinOp::kLe: filter.op = PushdownOp::kLe; break;
-        case BinOp::kGt: filter.op = PushdownOp::kGt; break;
-        case BinOp::kGe: filter.op = PushdownOp::kGe; break;
-        default: continue;
-      }
-      spec.filters.push_back(std::move(filter));
-    }
-    if (needed_columns != nullptr) {
-      for (uint32_t col_id : *needed_columns) {
-        if (!desc.IsPrimaryKeyColumn(col_id)) spec.projection.push_back(col_id);
-      }
-      // A filter's column must survive projection on the KV side; it does,
-      // because filters evaluate before projection in EvaluatePushdown.
-    }
+    PushdownSpec spec = MakeFilterSpec(plan, needed_columns, desc);
     if (!spec.empty()) pushdown_spec = spec.Encode();
   }
 
   std::vector<kv::MvccScanEntry> entries;
-  VELOCE_RETURN_IF_ERROR(reader.Scan(start, end, 0, &entries, pushdown_spec));
+  VELOCE_RETURN_IF_ERROR(reader.Scan(plan.start, plan.end, 0, &entries, pushdown_spec));
   rows->reserve(entries.size());
   for (const auto& entry : entries) {
     Row row;
     VELOCE_RETURN_IF_ERROR(DecodeRow(desc, entry.key, entry.value, &row));
     rows->push_back(std::move(row));
   }
+  rows_scanned_c_->Inc(entries.size());
   return Status::OK();
 }
 
@@ -725,31 +299,12 @@ StatusOr<ResultSet> Executor::ExecSelect(const SelectStmt& stmt, TenantTxn* txn,
     // select list, only the referenced columns need to leave the KV node.
     std::vector<uint32_t> needed;
     const std::vector<uint32_t>* needed_ptr = nullptr;
-    if (pushdown_enabled_ && stmt.joins.empty() && !stmt.items.empty()) {
-      std::vector<std::string> names;
-      for (const auto& item : stmt.items) CollectColumnNames(item.expr.get(), &names);
-      CollectColumnNames(stmt.where.get(), &names);
-      for (const auto& g : stmt.group_by) CollectColumnNames(g.get(), &names);
-      for (const auto& ob : stmt.order_by) CollectColumnNames(ob.expr.get(), &names);
-      bool all_resolved = true;
-      for (const auto& name : names) {
-        const ColumnDescriptor* col = desc.FindColumn(name);
-        if (col == nullptr) {
-          // ORDER BY may name an output alias; that's fine — but a name we
-          // can't resolve conservatively disables the projection.
-          bool is_alias = false;
-          for (const auto& item : stmt.items) {
-            if (item.alias == name) is_alias = true;
-          }
-          if (!is_alias) all_resolved = false;
-          continue;
-        }
-        needed.push_back(col->id);
-      }
-      if (all_resolved) needed_ptr = &needed;
+    if (pushdown_enabled_ && stmt.joins.empty() && !stmt.items.empty() &&
+        CollectNeededColumns(stmt, desc, &needed)) {
+      needed_ptr = &needed;
     }
-    VELOCE_RETURN_IF_ERROR(
-        ScanTable(desc, stmt.where.get(), txn, params, &current, needed_ptr));
+    VELOCE_RETURN_IF_ERROR(ScanTable(desc, base.alias, stmt.where.get(), txn,
+                                     params, &current, needed_ptr));
   } else {
     current.push_back(Row{});  // table-less SELECT evaluates one row
   }
@@ -766,36 +321,9 @@ StatusOr<ResultSet> Executor::ExecSelect(const SelectStmt& stmt, TenantTxn* txn,
     // Extract equi-conjuncts left-side-expr = right-column.
     std::vector<const Expr*> on_conjuncts;
     CollectConjuncts(join.on.get(), &on_conjuncts);
-    struct EquiPair {
-      const Expr* left_expr;     // evaluable against current bindings
-      uint32_t right_col_id;
-    };
-    std::vector<EquiPair> equis;
+    std::vector<JoinEquiPair> equis;
     std::vector<const Expr*> residual;
-    for (const Expr* c : on_conjuncts) {
-      bool matched = false;
-      if (c->kind == Expr::Kind::kBinary && c->op == BinOp::kEq) {
-        for (int flip = 0; flip < 2 && !matched; ++flip) {
-          const Expr* maybe_right = flip == 0 ? c->right.get() : c->left.get();
-          const Expr* maybe_left = flip == 0 ? c->left.get() : c->right.get();
-          if (maybe_right->kind != Expr::Kind::kColumnRef) continue;
-          if (!maybe_right->table_name.empty() && maybe_right->table_name != rb.alias) {
-            continue;
-          }
-          const ColumnDescriptor* rcol = right.FindColumn(maybe_right->column_name);
-          if (rcol == nullptr) continue;
-          // The other side must be evaluable against the current bindings
-          // (no references to the new table).
-          if (maybe_left->kind == Expr::Kind::kColumnRef &&
-              maybe_left->table_name == rb.alias) {
-            continue;
-          }
-          equis.push_back({maybe_left, rcol->id});
-          matched = true;
-        }
-      }
-      if (!matched) residual.push_back(c);
-    }
+    ExtractJoinEquis(on_conjuncts, right, rb.alias, &equis, &residual);
 
     // Index join if the equi columns cover the right table's PK in order.
     bool index_join = equis.size() == right.primary.column_ids.size();
@@ -844,7 +372,8 @@ StatusOr<ResultSet> Executor::ExecSelect(const SelectStmt& stmt, TenantTxn* txn,
     } else {
       // Hash join (or nested loop when no equi columns exist).
       std::vector<Row> right_rows;
-      VELOCE_RETURN_IF_ERROR(ScanTable(right, nullptr, txn, params, &right_rows));
+      VELOCE_RETURN_IF_ERROR(
+          ScanTable(right, rb.alias, nullptr, txn, params, &right_rows));
       if (!equis.empty()) {
         std::multimap<std::string, const Row*> table;
         for (const Row& rrow : right_rows) {
@@ -928,37 +457,18 @@ StatusOr<ResultSet> Executor::ExecSelect(const SelectStmt& stmt, TenantTxn* txn,
     current = std::move(filtered);
   }
 
-  // Determine projection items.
-  std::vector<SelectItem> items;
-  if (stmt.items.empty()) {
-    // SELECT *: one column per bound table column.
-    for (const auto& binding : bindings) {
-      for (const auto& col : binding.desc.columns) {
-        SelectItem item;
-        item.expr = Expr::Column(binding.alias, col.name);
-        item.alias = col.name;
-        items.push_back(std::move(item));
-      }
-    }
-  } else {
-    for (const auto& item : stmt.items) {
-      SelectItem copy;
-      // Non-owning alias copy; expressions are borrowed via raw pointer
-      // below, so shallow references suffice. We must not deep-copy Exprs;
-      // instead remember pointers.
-      copy.alias = item.alias;
-      copy.expr = nullptr;
-      items.push_back(std::move(copy));
-    }
-  }
-
-  // For borrowed expressions, build a parallel pointer list.
+  // Determine projection items. SELECT * expands to one column per bound
+  // table column (owned expressions); otherwise items are borrowed.
+  std::vector<ExprPtr> star_exprs;
   std::vector<const Expr*> item_exprs;
   std::vector<std::string> item_names;
   if (stmt.items.empty()) {
-    for (auto& item : items) {
-      item_exprs.push_back(item.expr.get());
-      item_names.push_back(item.alias);
+    for (const auto& binding : bindings) {
+      for (const auto& col : binding.desc.columns) {
+        star_exprs.push_back(Expr::Column(binding.alias, col.name));
+        item_exprs.push_back(star_exprs.back().get());
+        item_names.push_back(col.name);
+      }
     }
   } else {
     for (const auto& item : stmt.items) {
@@ -1229,7 +739,8 @@ StatusOr<ResultSet> Executor::ExecUpdate(const UpdateStmt& stmt, TenantTxn* txn,
   VELOCE_RETURN_IF_ERROR(ValidateExpr(stmt.where.get(), bindings, params));
 
   std::vector<Row> rows;
-  VELOCE_RETURN_IF_ERROR(ScanTable(desc, stmt.where.get(), txn, params, &rows));
+  VELOCE_RETURN_IF_ERROR(
+      ScanTable(desc, stmt.table, stmt.where.get(), txn, params, &rows));
 
   ResultSet result;
   for (const Row& old_row : rows) {
@@ -1273,7 +784,8 @@ StatusOr<ResultSet> Executor::ExecDelete(const DeleteStmt& stmt, TenantTxn* txn,
   VELOCE_RETURN_IF_ERROR(ValidateExpr(stmt.where.get(), bindings, params));
 
   std::vector<Row> rows;
-  VELOCE_RETURN_IF_ERROR(ScanTable(desc, stmt.where.get(), txn, params, &rows));
+  VELOCE_RETURN_IF_ERROR(
+      ScanTable(desc, stmt.table, stmt.where.get(), txn, params, &rows));
   ResultSet result;
   for (const Row& row : rows) {
     EvalContext ctx{&bindings, &row, params, nullptr};

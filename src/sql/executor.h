@@ -5,8 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs_context.h"
 #include "sql/ast.h"
 #include "sql/catalog.h"
+#include "sql/eval.h"
 #include "sql/kv_connector.h"
 #include "sql/row.h"
 
@@ -21,32 +23,52 @@ struct ResultSet {
   std::string ToString() const;  ///< ascii table (examples / debugging)
 };
 
+/// Which execution engine handles SELECTs (docs/SQL_EXEC.md).
+enum class ExecEngine {
+  kAuto,        ///< vectorized when eligible, row engine otherwise (default)
+  kRow,         ///< row engine only
+  kVectorized,  ///< vectorized only; ineligible statements fail NotSupported
+};
+
 /// Executes parsed statements against the tenant's keyspace. DML always
 /// runs inside a transaction (the session supplies an explicit one, or the
 /// executor opens an implicit per-statement transaction); reads outside a
 /// transaction go through the non-transactional fast path at the current
 /// timestamp.
 ///
-/// Planning is deliberately simple but shaped like the real system:
+/// SELECT execution is two-engine (docs/SQL_EXEC.md): non-transactional
+/// reads dispatch to the vectorized columnar engine (sql/vec/) and fall
+/// back per-statement to the interpreted row engine for anything the
+/// vectorized planner does not cover (DML, transactional reads, plans it
+/// rejects). Planning is deliberately simple but shaped like the real
+/// system:
 ///  * WHERE conjuncts on a primary-key prefix become point gets or range
 ///    scans (index-constrained scans are "pushed down" in the sense that
 ///    only the constrained keyspan crosses the KV boundary);
 ///  * joins use an index join (per-row KV lookups) when the ON clause
 ///    covers the right table's primary key — the remote-lookup plan TPC-H
 ///    Q9 runs in the paper — and a hash join otherwise;
-///  * aggregates and GROUP BY evaluate in the SQL process, so full-scan
-///    aggregation pays the KV->SQL marshaling cost in Serverless mode (the
-///    TPC-H Q1 effect).
+///  * with kv_pushdown enabled, eligible filter+project+partial-aggregate
+///    fragments evaluate KV-side (sql/pushdown.h), so full-scan
+///    aggregation no longer pays the per-row KV->SQL marshaling cost in
+///    Serverless mode (the TPC-H Q1 effect).
 class Executor {
  public:
-  Executor(Catalog* catalog, KvConnector* connector)
-      : catalog_(catalog), connector_(connector) {}
+  Executor(Catalog* catalog, KvConnector* connector,
+           const obs::ObsContext& obs = {});
 
-  /// Enables row-filter/projection push-down (DESIGN.md Section 6) for
-  /// eligible scans: single-table, non-transactional reads whose residual
-  /// predicates are `column <op> constant` conjuncts on non-PK columns.
+  /// Enables row-filter/projection/partial-aggregate push-down (DESIGN.md
+  /// Section 6) for eligible scans: single-table, non-transactional reads
+  /// whose residual predicates are `column <op> constant` conjuncts on
+  /// non-PK columns.
   void set_pushdown_enabled(bool enabled) { pushdown_enabled_ = enabled; }
   bool pushdown_enabled() const { return pushdown_enabled_; }
+
+  void set_engine(ExecEngine engine) { engine_ = engine; }
+  ExecEngine engine() const { return engine_; }
+  /// Engine that executed the most recent SELECT: "vectorized", "row", or
+  /// "" before any SELECT ran (tests/benches).
+  const std::string& last_select_engine() const { return last_select_engine_; }
 
   /// Executes `stmt`. If `txn` is null, DML opens and commits an implicit
   /// transaction (the caller retries on TransactionRetry). `params` binds
@@ -54,15 +76,14 @@ class Executor {
   StatusOr<ResultSet> Execute(const Statement& stmt, TenantTxn* txn,
                               const std::vector<Datum>* params = nullptr);
 
-  struct Binding;       // table alias -> descriptor + row offset (internal)
-  struct EvalContext;   // bindings + current concatenated row + params
-
  private:
   StatusOr<ResultSet> ExecCreateTable(const CreateTableStmt& stmt);
   StatusOr<ResultSet> ExecCreateIndex(const CreateIndexStmt& stmt, TenantTxn* txn);
   StatusOr<ResultSet> ExecDropTable(const DropTableStmt& stmt);
   StatusOr<ResultSet> ExecInsert(const InsertStmt& stmt, TenantTxn* txn,
                                  const std::vector<Datum>* params);
+  StatusOr<ResultSet> DispatchSelect(const SelectStmt& stmt, TenantTxn* txn,
+                                     const std::vector<Datum>* params);
   StatusOr<ResultSet> ExecSelect(const SelectStmt& stmt, TenantTxn* txn,
                                  const std::vector<Datum>* params);
   StatusOr<ResultSet> ExecUpdate(const UpdateStmt& stmt, TenantTxn* txn,
@@ -71,10 +92,13 @@ class Executor {
                                  const std::vector<Datum>* params);
 
   /// Scans `desc` rows satisfying the PK constraints derivable from
-  /// `where` (point get / prefix scan / full scan). Remaining filtering
-  /// happens at a higher level. `needed_columns` (nullable) lists the
-  /// column ids the caller will read — the projection push-down input.
-  Status ScanTable(const TableDescriptor& desc, const Expr* where, TenantTxn* txn,
+  /// `where` (point get / prefix scan / full scan). `alias` is the
+  /// binding name `where` qualifies the table's columns with. Remaining
+  /// filtering happens at a higher level. `needed_columns` (nullable)
+  /// lists the column ids the caller will read — the projection push-down
+  /// input.
+  Status ScanTable(const TableDescriptor& desc, const std::string& alias,
+                   const Expr* where, TenantTxn* txn,
                    const std::vector<Datum>* params, std::vector<Row>* rows,
                    const std::vector<uint32_t>* needed_columns = nullptr);
 
@@ -85,6 +109,14 @@ class Executor {
   Catalog* catalog_;
   KvConnector* connector_;
   bool pushdown_enabled_ = false;
+  ExecEngine engine_ = ExecEngine::kAuto;
+  std::string last_select_engine_;
+
+  // Executor-level observability (docs/OBSERVABILITY.md).
+  obs::Counter* rows_scanned_c_ = nullptr;   // veloce_sql_rows_scanned_total
+  obs::Counter* batches_c_ = nullptr;        // veloce_sql_batches_total
+  obs::Counter* engine_vec_c_ = nullptr;     // veloce_sql_exec_engine_total{engine=vectorized}
+  obs::Counter* engine_row_c_ = nullptr;     // veloce_sql_exec_engine_total{engine=row}
 };
 
 }  // namespace veloce::sql

@@ -12,7 +12,7 @@ Session::Session(uint64_t id, Catalog* catalog, KvConnector* connector,
       catalog_(catalog),
       connector_(connector),
       obs_(obs),
-      executor_(catalog, connector) {
+      executor_(catalog, connector, obs) {
   statements_c_ = obs_.metrics_or_noop()->counter(
       "veloce_sql_statements_total",
       {{"tenant", std::to_string(connector != nullptr ? connector->tenant_id() : 0)}});
@@ -84,6 +84,20 @@ StatusOr<ResultSet> Session::ExecuteStmt(const std::string& sql,
         enabled = value == "on" || value == "true" || value == "1";
       }
       executor_.set_pushdown_enabled(enabled);
+      // Engine selection (docs/SQL_EXEC.md): `SET vectorize = on|off|force`.
+      // Default (unset) is on — vectorized when eligible, row otherwise.
+      auto vectorize = settings_.find("vectorize");
+      ExecEngine engine = ExecEngine::kAuto;
+      if (vectorize != settings_.end()) {
+        std::string value = vectorize->second;
+        for (char& c : value) c = static_cast<char>(std::tolower(c));
+        if (value == "off" || value == "false" || value == "0") {
+          engine = ExecEngine::kRow;
+        } else if (value == "force") {
+          engine = ExecEngine::kVectorized;
+        }
+      }
+      executor_.set_engine(engine);
       StatusOr<ResultSet> result = executor_.Execute(*stmt, txn_.get(), &params);
       if (!result.ok() && txn_ != nullptr &&
           (result.status().code() == Code::kTransactionAborted ||

@@ -57,6 +57,11 @@ class Session {
   /// Cumulative statements executed (metrics).
   uint64_t statements_executed() const { return statements_executed_; }
 
+  /// Engine that executed the most recent SELECT (tests/benches).
+  const std::string& last_select_engine() const {
+    return executor_.last_select_engine();
+  }
+
   // --- migration ----------------------------------------------------------
   /// Serialized session state, embedding `revival_token` — the internal
   /// credential that lets the proxy resume the session on another node

@@ -1,0 +1,55 @@
+#ifndef VELOCE_SQL_VEC_VEC_EXEC_H_
+#define VELOCE_SQL_VEC_VEC_EXEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/catalog.h"
+#include "sql/executor.h"
+#include "sql/kv_connector.h"
+
+namespace veloce::sql::vec {
+
+/// The vectorized (columnar, batch-at-a-time) SELECT engine: MVCC scan
+/// entries decode directly into typed ColumnBatches, expressions evaluate
+/// as column kernels over selection vectors, and aggregation / hash joins
+/// operate batch-wise. Eligible filter+project+partial-aggregate fragments
+/// additionally push below the scan (sql/pushdown.h). Semantics are
+/// bit-identical to the interpreted row engine — the dispatcher treats the
+/// two as interchangeable and the randomized differential test in
+/// tests/sql_vec_test.cc enforces it.
+class VecExecutor {
+ public:
+  VecExecutor(Catalog* catalog, KvConnector* connector, bool pushdown_enabled)
+      : catalog_(catalog),
+        connector_(connector),
+        pushdown_enabled_(pushdown_enabled) {}
+
+  /// Plans and executes a non-transactional SELECT. NotSupported means
+  /// "not covered by this engine" — the dispatcher re-runs the statement
+  /// on the row engine (which also reproduces exact error messages for
+  /// statements this engine declines at plan time). Any other status is
+  /// final: for covered statements both engines return the same rows, and
+  /// runtime errors carry the same status code (messages may differ when
+  /// batch evaluation surfaces a different failing row first).
+  StatusOr<ResultSet> ExecSelect(const SelectStmt& stmt,
+                                 const std::vector<Datum>* params);
+
+  /// Rows (or, for pushed aggregation fragments, partial-aggregate rows)
+  /// received from the KV layer.
+  uint64_t rows_scanned() const { return rows_scanned_; }
+  /// Column batches decoded from KV scan entries.
+  uint64_t batches() const { return batches_; }
+
+ private:
+  Catalog* catalog_;
+  KvConnector* connector_;
+  bool pushdown_enabled_;
+  uint64_t rows_scanned_ = 0;
+  uint64_t batches_ = 0;
+};
+
+}  // namespace veloce::sql::vec
+
+#endif  // VELOCE_SQL_VEC_VEC_EXEC_H_

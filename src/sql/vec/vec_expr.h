@@ -1,0 +1,98 @@
+#ifndef VELOCE_SQL_VEC_VEC_EXPR_H_
+#define VELOCE_SQL_VEC_VEC_EXPR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/eval.h"
+#include "sql/vec/column_batch.h"
+
+namespace veloce::sql::vec {
+
+/// An evaluated expression over one batch: either a constant (every row
+/// sees the same datum), a borrowed batch column, or an owned result
+/// column. Owned columns are sized to the batch and only valid at the
+/// selected rows.
+struct Vec {
+  bool is_const = false;
+  Datum const_val;
+  const ColumnVector* ref = nullptr;
+  ColumnVector owned;
+
+  const ColumnVector* col() const { return ref != nullptr ? ref : &owned; }
+  /// Static result type. kNull only for constant NULL.
+  TypeKind static_type() const {
+    return is_const ? const_val.kind() : col()->type;
+  }
+  bool IsNullAt(uint32_t i) const {
+    return is_const ? const_val.is_null() : col()->IsNull(i);
+  }
+  int64_t IntAt(uint32_t i) const {
+    return is_const ? const_val.int_value() : col()->IntAt(i);
+  }
+  double DoubleAt(uint32_t i) const {
+    return is_const ? const_val.double_value() : col()->DoubleAt(i);
+  }
+  double AsDoubleAt(uint32_t i) const {
+    return is_const ? const_val.AsDouble() : col()->AsDoubleAt(i);
+  }
+  std::string_view StringAt(uint32_t i) const {
+    return is_const ? std::string_view(const_val.string_value())
+                    : col()->StringAt(i);
+  }
+  bool TruthyAt(uint32_t i) const;
+  Datum DatumAt(uint32_t i) const {
+    return is_const ? const_val : col()->GetDatum(i);
+  }
+  void EncodeKeyAt(uint32_t i, std::string* dst) const {
+    if (is_const) {
+      const_val.EncodeKey(dst);
+    } else {
+      col()->EncodeKeyAt(i, dst);
+    }
+  }
+  /// Hash-identity bytes (see ColumnVector::AppendHashKeyAt) — injective,
+  /// not ordered, not EncodeKey-compatible.
+  void AppendHashKeyAt(uint32_t i, std::string* dst) const;
+
+  void MakeConst(Datum d) {
+    is_const = true;
+    ref = nullptr;
+    const_val = std::move(d);
+  }
+  /// Prepares `owned` with `t`-typed slots, all NULL, sized to n.
+  ColumnVector* MakeOwned(TypeKind t, size_t n) {
+    is_const = false;
+    ref = nullptr;
+    owned.Init(t);
+    owned.Resize(n);
+    return &owned;
+  }
+};
+
+struct VecEvalCtx {
+  const ColumnBatch* batch = nullptr;
+  const std::vector<Datum>* params = nullptr;
+  /// Column-ref resolution computed at plan time: expression node ->
+  /// position in the batch (== position in the concatenated row).
+  const std::map<const Expr*, int>* col_positions = nullptr;
+};
+
+/// Evaluates `expr` for the selected rows of the batch. Error/NULL/coercion
+/// semantics match the scalar Eval in sql/eval.h exactly, including per-row
+/// short-circuit of AND/OR (the right side only evaluates for rows the
+/// left side doesn't decide — so data-dependent errors surface for the
+/// same set of rows as in the row engine).
+Status EvalVec(const Expr& expr, const VecEvalCtx& ctx, const SelVector& sel,
+               Vec* out);
+
+/// Evaluates `expr` as a filter, narrowing `sel` to the rows where it is
+/// truthy. ANDs narrow sequentially; ORs evaluate the right side only over
+/// rows the left side rejected.
+Status EvalFilter(const Expr& expr, const VecEvalCtx& ctx, SelVector* sel);
+
+}  // namespace veloce::sql::vec
+
+#endif  // VELOCE_SQL_VEC_VEC_EXPR_H_

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
+#include "kv/keys.h"
 #include "sql/pushdown.h"
 #include "sql/row.h"
 #include "sql/sql_node.h"
@@ -28,6 +29,135 @@ TEST(PushdownSpecTest, RoundTrip) {
 
 TEST(PushdownSpecTest, DecodeGarbageFails) {
   EXPECT_FALSE(PushdownSpec::Decode("\xff\xff\xff garbage").ok());
+}
+
+TEST(PushdownSpecTest, AggregationFragmentRoundTrip) {
+  PushdownSpec spec;
+  spec.filters.push_back({4, PushdownOp::kLe, Datum::Int(19980902)});
+  spec.group_by = {2, 3};
+  PushdownAggregate count;
+  count.func = AggFunc::kCount;
+  count.input = std::make_unique<PushdownExpr>();
+  count.input->kind = PushdownExpr::Kind::kStar;
+  spec.aggregates.push_back(std::move(count));
+  // SUM(extprice * (1 - discount)): an arithmetic tree over two columns.
+  PushdownAggregate sum;
+  sum.func = AggFunc::kSum;
+  sum.input = std::make_unique<PushdownExpr>();
+  sum.input->kind = PushdownExpr::Kind::kBinary;
+  sum.input->op = BinOp::kMul;
+  sum.input->left = std::make_unique<PushdownExpr>();
+  sum.input->left->kind = PushdownExpr::Kind::kColumn;
+  sum.input->left->column_id = 5;
+  sum.input->right = std::make_unique<PushdownExpr>();
+  sum.input->right->kind = PushdownExpr::Kind::kBinary;
+  sum.input->right->op = BinOp::kSub;
+  sum.input->right->left = std::make_unique<PushdownExpr>();
+  sum.input->right->left->kind = PushdownExpr::Kind::kLiteral;
+  sum.input->right->left->literal = Datum::Double(1.0);
+  sum.input->right->right = std::make_unique<PushdownExpr>();
+  sum.input->right->right->kind = PushdownExpr::Kind::kColumn;
+  sum.input->right->right->column_id = 6;
+  spec.aggregates.push_back(std::move(sum));
+
+  auto decoded = *PushdownSpec::Decode(spec.Encode());
+  EXPECT_TRUE(decoded.has_aggregation());
+  EXPECT_EQ(decoded.group_by, (std::vector<uint32_t>{2, 3}));
+  ASSERT_EQ(decoded.aggregates.size(), 2u);
+  EXPECT_EQ(decoded.aggregates[0].func, AggFunc::kCount);
+  EXPECT_EQ(decoded.aggregates[0].input->kind, PushdownExpr::Kind::kStar);
+  EXPECT_EQ(decoded.aggregates[1].func, AggFunc::kSum);
+  const PushdownExpr& in = *decoded.aggregates[1].input;
+  ASSERT_EQ(in.kind, PushdownExpr::Kind::kBinary);
+  EXPECT_EQ(in.op, BinOp::kMul);
+  EXPECT_EQ(in.left->column_id, 5u);
+  EXPECT_EQ(in.right->left->literal.double_value(), 1.0);
+  EXPECT_EQ(in.right->right->column_id, 6u);
+  // Re-encoding the decoded spec is byte-stable.
+  EXPECT_EQ(decoded.Encode(), spec.Encode());
+}
+
+TEST(PushdownSpecTest, FilterOnlyEncodingIsBackwardCompatible) {
+  // Specs without an aggregation fragment keep the original frozen wire
+  // shape (no trailing sections), so pre-fragment KV nodes decode them and
+  // post-fragment nodes decode pre-fragment bytes.
+  PushdownSpec spec;
+  spec.filters.push_back({2, PushdownOp::kGt, Datum::Int(1)});
+  spec.projection = {2, 3};
+  std::string legacy;
+  PutVarint64(&legacy, 1);        // one filter
+  PutVarint32(&legacy, 2);        // column 2
+  legacy.push_back(static_cast<char>(PushdownOp::kGt));
+  Datum::Int(1).EncodeValue(&legacy);
+  PutVarint64(&legacy, 2);        // two projected columns
+  PutVarint32(&legacy, 2);
+  PutVarint32(&legacy, 3);
+  EXPECT_EQ(spec.Encode(), legacy);
+  auto decoded = *PushdownSpec::Decode(legacy);
+  EXPECT_FALSE(decoded.has_aggregation());
+  EXPECT_EQ(decoded.projection, (std::vector<uint32_t>{2, 3}));
+}
+
+TEST(PushdownSpecTest, MakeFilterSpecSortsAndDedupesProjection) {
+  // Needed columns arrive in expression-reference order with repeats
+  // (SELECT id, a + h, b * 2 WHERE a > 0 yields a,h,b,a). The projected
+  // row value must keep ascending-id order or the decoders' merge walk
+  // silently drops the out-of-order columns.
+  TableDescriptor desc;
+  desc.id = 100;
+  desc.columns = {{1, "id", TypeKind::kInt, false},
+                  {2, "a", TypeKind::kInt, true},
+                  {3, "b", TypeKind::kDouble, true},
+                  {6, "h", TypeKind::kInt, true}};
+  desc.primary.column_ids = {1};
+  ScanConstraints plan;
+  const std::vector<uint32_t> needed = {1, 2, 6, 3, 2};
+  PushdownSpec spec = MakeFilterSpec(plan, &needed, desc);
+  EXPECT_EQ(spec.projection, (std::vector<uint32_t>{2, 3, 6}));
+}
+
+TEST(PartialAggRowCodecTest, RoundTrip) {
+  std::vector<Datum> groups = {Datum::String("A"), Datum::Null()};
+  std::vector<AggState> states(3);
+  states[0].count = 7;              // COUNT
+  states[1].count = 5;              // SUM(int): wrapped int sum + mirror
+  states[1].isum = int64_t{1} << 62;
+  states[1].sum = 4.6e18;
+  states[1].sum_is_int = true;
+  states[2].count = 4;              // MIN/MAX carrier
+  states[2].has_minmax = true;
+  states[2].min = Datum::Double(-1.5);
+  states[2].max = Datum::Double(99.25);
+
+  std::vector<Datum> got_groups;
+  std::vector<AggState> got_states;
+  ASSERT_TRUE(DecodePartialAggRow(EncodePartialAggRow(groups, states),
+                                  &got_groups, &got_states)
+                  .ok());
+  ASSERT_EQ(got_groups.size(), 2u);
+  EXPECT_EQ(got_groups[0].string_value(), "A");
+  EXPECT_TRUE(got_groups[1].is_null());
+  ASSERT_EQ(got_states.size(), 3u);
+  EXPECT_EQ(got_states[0].count, 7u);
+  EXPECT_EQ(got_states[1].isum, int64_t{1} << 62);
+  EXPECT_EQ(got_states[1].sum, 4.6e18);
+  EXPECT_TRUE(got_states[1].sum_is_int);
+  EXPECT_TRUE(got_states[2].has_minmax);
+  EXPECT_EQ(got_states[2].min.double_value(), -1.5);
+  EXPECT_EQ(got_states[2].max.double_value(), 99.25);
+}
+
+TEST(PartialAggRowCodecTest, TruncatedInputFails) {
+  std::vector<Datum> groups = {Datum::Int(1)};
+  std::vector<AggState> states(1);
+  states[0].count = 3;
+  const std::string full = EncodePartialAggRow(groups, states);
+  std::vector<Datum> g;
+  std::vector<AggState> s;
+  for (size_t cut = 1; cut < full.size(); ++cut) {
+    EXPECT_FALSE(DecodePartialAggRow(Slice(full.data(), cut), &g, &s).ok())
+        << "cut " << cut;
+  }
 }
 
 class PushdownEvalTest : public ::testing::Test {
@@ -175,6 +305,48 @@ TEST_F(PushdownEndToEndTest, RangeFiltersPushDown) {
   Exec("SET kv_pushdown = on");
   ResultSet rs = Exec("SELECT COUNT(*) FROM t WHERE grp > 2 AND grp <= 5");
   EXPECT_EQ(rs.rows[0][0].int_value(), 30);
+}
+
+TEST_F(PushdownEndToEndTest, GroupByMergesAcrossRanges) {
+  // Split the table so the aggregation fragment produces one partial state
+  // per group per range segment; the SQL side must merge them.
+  TableDescriptor desc = *node_->catalog()->GetTable("t");
+  for (int split : {25, 50, 75}) {
+    const std::string key = kv::AddTenantPrefix(
+        node_->tenant_id(),
+        EncodePrimaryKeyFromDatums(desc, {Datum::Int(split)}));
+    VELOCE_CHECK_OK(cluster_->SplitRange(key));
+  }
+  ResultSet off = Exec(
+      "SELECT grp, COUNT(*), SUM(id), MIN(id), MAX(id) FROM t "
+      "GROUP BY grp ORDER BY grp");
+  Exec("SET kv_pushdown = on");
+  ResultSet on = Exec(
+      "SELECT grp, COUNT(*), SUM(id), MIN(id), MAX(id) FROM t "
+      "GROUP BY grp ORDER BY grp");
+  ASSERT_EQ(on.rows.size(), off.rows.size());
+  for (size_t i = 0; i < on.rows.size(); ++i) {
+    for (size_t j = 0; j < on.rows[i].size(); ++j) {
+      EXPECT_EQ(on.rows[i][j].Compare(off.rows[i][j]), 0)
+          << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST_F(PushdownEndToEndTest, AggregationFragmentShrinksMarshal) {
+  // With the fragment pushed, only per-group partial states cross the
+  // SQL/KV boundary instead of every (wide) row.
+  sql::KvConnector* connector = node_->connector();
+  const char* sql = "SELECT grp, COUNT(*) FROM t GROUP BY grp ORDER BY grp";
+  (void)Exec(sql);  // warm
+  uint64_t m0 = connector->marshaled_bytes();
+  (void)Exec(sql);
+  const uint64_t bytes_off = connector->marshaled_bytes() - m0;
+  Exec("SET kv_pushdown = on");
+  m0 = connector->marshaled_bytes();
+  (void)Exec(sql);
+  const uint64_t bytes_on = connector->marshaled_bytes() - m0;
+  EXPECT_LT(bytes_on, bytes_off / 3) << bytes_on << " vs " << bytes_off;
 }
 
 TEST_F(PushdownEndToEndTest, TransactionalScansBypassPushdown) {
