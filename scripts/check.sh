@@ -51,6 +51,15 @@ bench_smoke() {
   else
     grep -q '"multi_writer_speedup"' "${json}"
   fi
+  echo "==> bench smoke (bench_txn_throughput)"
+  (cd "${out}" && ../bench/bench_txn_throughput)  # exit 0 enforces the >= 3x gate
+  json="${out}/BENCH_txn_throughput.json"
+  [[ -s "${json}" ]] || { echo "missing ${json}" >&2; exit 1; }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "${json}"
+  else
+    grep -q '"uncontended_speedup_8t"' "${json}"
+  fi
   echo "==> bench smoke (bench_sql_exec)"
   (cd "${out}" && ../bench/bench_sql_exec)  # exit 0 enforces the >= 5x gate
   json="${out}/BENCH_sql_exec.json"

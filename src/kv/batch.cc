@@ -85,7 +85,11 @@ std::string BatchRequest::Encode() const {
   PutTimestamp(&out, ts);
   PutFixed64(&out, txn_id);
   PutFixed32(&out, static_cast<uint32_t>(txn_priority));
-  out.push_back(allow_follower_reads ? 1 : 0);
+  uint8_t flags = 0;
+  if (allow_follower_reads) flags |= 1;
+  if (commit_txn) flags |= 2;
+  if (can_forward_ts) flags |= 4;
+  out.push_back(static_cast<char>(flags));
   PutVarint64(&out, requests.size());
   for (const auto& r : requests) {
     out.push_back(static_cast<char>(r.type));
@@ -107,7 +111,10 @@ StatusOr<BatchRequest> BatchRequest::Decode(Slice data) {
       data.empty()) {
     return Status::Corruption("bad batch request header");
   }
-  req.allow_follower_reads = data[0] != 0;
+  const uint8_t flags = static_cast<uint8_t>(data[0]);
+  req.allow_follower_reads = (flags & 1) != 0;
+  req.commit_txn = (flags & 2) != 0;
+  req.can_forward_ts = (flags & 4) != 0;
   data.RemovePrefix(1);
   if (!GetVarint64(&data, &count)) {
     return Status::Corruption("bad batch request header");
@@ -148,6 +155,8 @@ std::string BatchResponse::Encode() const {
   std::string out;
   PutTimestamp(&out, now);
   PutTimestamp(&out, bumped_write_ts);
+  PutTimestamp(&out, commit_ts);
+  PutTimestamp(&out, one_pc_rejected_ts);
   PutVarint64(&out, responses.size());
   for (const auto& r : responses) {
     out.push_back(r.found ? 1 : 0);
@@ -166,6 +175,8 @@ StatusOr<BatchResponse> BatchResponse::Decode(Slice data) {
   BatchResponse resp;
   uint64_t count = 0;
   if (!GetTimestamp(&data, &resp.now) || !GetTimestamp(&data, &resp.bumped_write_ts) ||
+      !GetTimestamp(&data, &resp.commit_ts) ||
+      !GetTimestamp(&data, &resp.one_pc_rejected_ts) ||
       !GetVarint64(&data, &count)) {
     return Status::Corruption("bad batch response header");
   }

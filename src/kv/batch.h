@@ -54,6 +54,16 @@ struct BatchRequest {
   /// replica instead of the leaseholder (Section 3.2.5: follower reads,
   /// used for META-range lookups during multi-region cold starts).
   bool allow_follower_reads = false;
+  /// One-phase commit: the batch carries the transaction's entire write set
+  /// (writes only, single range) and the server commits it atomically at a
+  /// single timestamp, skipping the txn-record/intent dance. The response
+  /// carries commit_ts on success or one_pc_rejected_ts when the commit
+  /// timestamp had to move and can_forward_ts is false.
+  bool commit_txn = false;
+  /// With commit_txn: true iff the txn performed no reads, so the server
+  /// may forward the commit timestamp past timestamp-cache/closed-timestamp
+  /// constraints without a client-side read refresh.
+  bool can_forward_ts = false;
 
   /// Optional request trace; stages below the connector (admission wait,
   /// replication, storage) record spans here. Never serialized — a real
@@ -93,6 +103,14 @@ struct BatchResponse {
   /// If the batch's writes were pushed above the request timestamp by the
   /// timestamp cache, the new write timestamp (txn must commit at or above).
   Timestamp bumped_write_ts;
+  /// One-phase commit (BatchRequest::commit_txn): the timestamp the txn
+  /// committed at. Empty if the batch was not a 1PC commit.
+  Timestamp commit_ts;
+  /// One-phase commit refusal: the commit timestamp would have to move here
+  /// but the request forbade forwarding (can_forward_ts == false). Nothing
+  /// was written; the client refreshes its read spans to this timestamp and
+  /// retries (or falls back to the general commit path).
+  Timestamp one_pc_rejected_ts;
 
   /// Total response payload bytes — eCPU model feature.
   size_t PayloadBytes() const;

@@ -33,6 +33,26 @@ KVCluster::KVCluster(KVClusterOptions options)
   replica_moves_c_ = metrics_->counter("veloce_kv_replica_moves_total");
   splits_c_ = metrics_->counter("veloce_kv_range_splits_total");
   intent_conflicts_c_ = metrics_->counter("veloce_kv_intent_conflicts_total");
+  txn_metrics_.commits_1pc =
+      metrics_->counter("veloce_txn_commits_total", {{"path", "1pc"}});
+  txn_metrics_.commits_parallel =
+      metrics_->counter("veloce_txn_commits_total", {{"path", "parallel"}});
+  txn_metrics_.commits_classic =
+      metrics_->counter("veloce_txn_commits_total", {{"path", "classic"}});
+  txn_metrics_.retries = metrics_->counter("veloce_txn_retries_total");
+  txn_metrics_.pushes = metrics_->counter("veloce_txn_pushes_total");
+  txn_metrics_.recoveries =
+      metrics_->counter("veloce_txn_staging_recoveries_total");
+  txn_metrics_.commit_latency = metrics_->histogram("veloce_txn_commit_latency_ns");
+  TimestampOracleOptions oracle_opts;
+  oracle_opts.batch_size = options_.timestamp_batch_size;
+  oracle_opts.refill_threshold = options_.timestamp_refill_threshold;
+  oracle_opts.executor = options_.engine_options.background_executor;
+  oracle_opts.sync_refills =
+      metrics_->counter("veloce_txn_oracle_refills_total", {{"mode", "sync"}});
+  oracle_opts.async_refills =
+      metrics_->counter("veloce_txn_oracle_refills_total", {{"mode", "async"}});
+  oracle_ = std::make_unique<TimestampOracle>(&hlc_, oracle_opts);
   lease_gauge_cb_ = metrics_->AddCollectCallback([this] {
     std::lock_guard<std::recursive_mutex> l(mu_);
     std::vector<double> counts(nodes_.size(), 0);
@@ -132,17 +152,23 @@ StatusOr<NodeId> KVCluster::PickReadNodeLocked(const RangeState& range,
 
 StatusOr<BatchResponse> KVCluster::Send(const BatchRequest& req) {
   std::lock_guard<std::recursive_mutex> l(mu_);
+  if (req.commit_txn) return ExecuteOnePhaseLocked(req);
   BatchResponse resp;
   const bool read_only = req.IsReadOnly();
   std::vector<bool> counted(nodes_.size(), false);
+  // Highest timestamp of a non-transactional write this batch applied; fed
+  // to the oracle so later BeginTxn reads observe it (session guarantee).
+  Timestamp applied_write_ts;
 
-  for (const auto& r : req.requests) {
+  for (size_t i = 0; i < req.requests.size(); ++i) {
+    const RequestUnion& r = req.requests[i];
     RangeState* range = LookupRangeLocked(r.key);
     if (range == nullptr) return Status::NotFound("no range for key");
     VELOCE_RETURN_IF_ERROR(CheckTenantBoundsLocked(req, r.key, r.end_key));
     VELOCE_ASSIGN_OR_RETURN(NodeId serving_node, PickReadNodeLocked(*range, req, r));
-    if ((r.type == RequestType::kPut || r.type == RequestType::kDelete) &&
-        !nodes_[range->desc.leaseholder]->live()) {
+    const bool is_write =
+        r.type == RequestType::kPut || r.type == RequestType::kDelete;
+    if (is_write && !nodes_[range->desc.leaseholder]->live()) {
       return Status::Unavailable("leaseholder node is not live");
     }
     KVNode* leaseholder = nodes_[serving_node].get();
@@ -154,6 +180,31 @@ StatusOr<BatchResponse> KVCluster::Send(const BatchRequest& req) {
     if (!counted[leaseholder->id()]) {
       counted[leaseholder->id()] = true;
       leaseholder->RecordBatch(read_only);
+    }
+
+    if (is_write && req.txn_id != 0) {
+      // Pipelined intent batches: gather the contiguous run of this txn's
+      // writes landing on the same range and execute them as one group —
+      // one timestamp, one WriteBatch, one replication round.
+      std::vector<const RequestUnion*> group;
+      group.push_back(&r);
+      size_t j = i + 1;
+      for (; j < req.requests.size(); ++j) {
+        const RequestUnion& nxt = req.requests[j];
+        const bool nxt_write =
+            nxt.type == RequestType::kPut || nxt.type == RequestType::kDelete;
+        if (!nxt_write || !range->desc.Contains(nxt.key)) break;
+        VELOCE_RETURN_IF_ERROR(CheckTenantBoundsLocked(req, nxt.key, nxt.end_key));
+        group.push_back(&nxt);
+      }
+      for (const RequestUnion* w : group) {
+        leaseholder->RecordWriteRequest(w->key.size() + w->value.size());
+      }
+      obs::ScopedSpan span(req.trace, "storage_write");
+      VELOCE_RETURN_IF_ERROR(ExecuteTxnWriteGroupLocked(range, req, group, &resp));
+      for (size_t k = 0; k < group.size(); ++k) resp.responses.emplace_back();
+      i = j - 1;
+      continue;
     }
 
     ResponseUnion out;
@@ -174,12 +225,15 @@ StatusOr<BatchResponse> KVCluster::Send(const BatchRequest& req) {
       case RequestType::kDelete: {
         leaseholder->RecordWriteRequest(r.key.size() + r.value.size());
         obs::ScopedSpan span(req.trace, "storage_write");
-        VELOCE_RETURN_IF_ERROR(ExecuteWriteLocked(range, req, r, &resp));
+        Timestamp applied;
+        VELOCE_RETURN_IF_ERROR(ExecuteWriteLocked(range, req, r, &resp, &applied));
+        if (applied_write_ts < applied) applied_write_ts = applied;
         break;
       }
     }
     resp.responses.push_back(std::move(out));
   }
+  if (!applied_write_ts.IsEmpty()) oracle_->Observe(applied_write_ts);
   resp.now = hlc_.Now();
   return resp;
 }
@@ -188,9 +242,15 @@ Status KVCluster::HandleConflictLocked(RangeState* range, Slice key,
                                        const IntentMeta& intent,
                                        const BatchRequest& req, bool for_write) {
   intent_conflicts_c_->Inc();
+  txn_metrics_.pushes->Inc();
   const auto push_type = for_write ? TxnRegistry::PushType::kAbort
                                    : TxnRegistry::PushType::kTimestamp;
   PushResult pr = txn_registry_.Push(intent.txn_id, req.txn_priority, push_type, req.ts);
+  if (!pr.pushed && pr.pushee_status == TxnStatus::kStaging) {
+    // The owner is mid-parallel-commit (possibly implicitly committed, or
+    // abandoned). Run the recovery procedure to find out.
+    VELOCE_ASSIGN_OR_RETURN(pr, RecoverStagedTxnLocked(intent.txn_id));
+  }
   if (!pr.pushed) {
     return Status::WriteIntentError("conflicting intent of txn " +
                                     std::to_string(intent.txn_id));
@@ -216,6 +276,10 @@ Status KVCluster::HandleConflictLocked(RangeState* range, Slice key,
                                                          req.ts.Next()));
         break;
       }
+      case TxnStatus::kStaging:
+        // Recovery above always resolves staging to committed/aborted or
+        // returns an error; a successful push never reports staging.
+        return Status::Internal("push resolved to staging");
     }
   }
   return Status::OK();
@@ -326,7 +390,8 @@ Status KVCluster::ExecuteReadLocked(RangeState* range, const BatchRequest& req,
 }
 
 Status KVCluster::ExecuteWriteLocked(RangeState* range, const BatchRequest& req,
-                                     const RequestUnion& r, BatchResponse* resp) {
+                                     const RequestUnion& r, BatchResponse* resp,
+                                     Timestamp* applied_ts) {
   storage::Engine* engine = LeaseholderEngineLocked(*range);
   if (engine == nullptr) {
     return Status::Unavailable("leaseholder has no engine (failed crash-restart)");
@@ -369,7 +434,212 @@ Status KVCluster::ExecuteWriteLocked(RangeState* range, const BatchRequest& req,
     resp->bumped_write_ts = write_ts;
   }
   hlc_.Update(write_ts);
+  if (applied_ts != nullptr) *applied_ts = write_ts;
   return Status::OK();
+}
+
+Status KVCluster::ExecuteTxnWriteGroupLocked(
+    RangeState* range, const BatchRequest& req,
+    const std::vector<const RequestUnion*>& writes, BatchResponse* resp) {
+  storage::Engine* engine = LeaseholderEngineLocked(*range);
+  if (engine == nullptr) {
+    return Status::Unavailable("leaseholder has no engine (failed crash-restart)");
+  }
+  // One timestamp for the whole group: the maximum over every key's
+  // timestamp-cache constraint, the closed timestamp, and the request's.
+  Timestamp group_ts = req.ts.IsEmpty() ? hlc_.Now() : req.ts;
+  for (const RequestUnion* r : writes) {
+    const Timestamp max_read = range->tscache.MaxReadTimestamp(r->key);
+    if (group_ts <= max_read) group_ts = max_read.Next();
+  }
+  const Timestamp closed = ClosedTimestamp();
+  if (group_ts <= closed) group_ts = closed.Next();
+
+  // Foreign intents block writers (write-write conflicts abort or wait).
+  for (const RequestUnion* r : writes) {
+    for (int attempt = 0;; ++attempt) {
+      VELOCE_ASSIGN_OR_RETURN(auto intent, MvccGetIntent(engine, r->key));
+      if (!intent.has_value() || intent->txn_id == req.txn_id) break;
+      if (attempt >= kMaxConflictRetries) {
+        return Status::WriteIntentError("too many conflict retries");
+      }
+      VELOCE_RETURN_IF_ERROR(HandleConflictLocked(range, r->key, *intent, req, true));
+    }
+  }
+
+  VELOCE_RETURN_IF_ERROR(txn_registry_.BumpWriteTimestamp(req.txn_id, group_ts));
+  storage::WriteBatch batch;
+  uint64_t bytes = 0;
+  for (const RequestUnion* r : writes) {
+    MvccPutIntent(&batch, r->key, req.txn_id, group_ts,
+                  r->type == RequestType::kDelete, r->value);
+    bytes += r->key.size() + r->value.size();
+  }
+  {
+    obs::ScopedSpan span(req.trace, "replication");
+    VELOCE_RETURN_IF_ERROR(ReplicateLocked(range, batch, req.tenant_id));
+  }
+  range->approx_bytes += bytes;
+  if (group_ts > req.ts && resp->bumped_write_ts < group_ts) {
+    resp->bumped_write_ts = group_ts;
+  }
+  hlc_.Update(group_ts);
+  return Status::OK();
+}
+
+StatusOr<BatchResponse> KVCluster::ExecuteOnePhaseLocked(const BatchRequest& req) {
+  if (req.txn_id == 0) return Status::InvalidArgument("1pc commit requires a txn");
+  if (req.requests.empty()) return Status::InvalidArgument("empty 1pc commit");
+  RangeState* range = LookupRangeLocked(req.requests[0].key);
+  if (range == nullptr) return Status::NotFound("no range for key");
+  for (const auto& r : req.requests) {
+    if (r.type != RequestType::kPut && r.type != RequestType::kDelete) {
+      return Status::InvalidArgument("1pc batch must contain only writes");
+    }
+    VELOCE_RETURN_IF_ERROR(CheckTenantBoundsLocked(req, r.key, r.end_key));
+    if (!range->desc.Contains(r.key)) {
+      return Status::NotSupported("1pc batch spans ranges");
+    }
+  }
+  if (!nodes_[range->desc.leaseholder]->live()) {
+    return Status::Unavailable("leaseholder node is not live");
+  }
+  storage::Engine* engine = LeaseholderEngineLocked(*range);
+  if (engine == nullptr) {
+    return Status::Unavailable("leaseholder has no engine (failed crash-restart)");
+  }
+  KVNode* leaseholder = nodes_[range->desc.leaseholder].get();
+  if (interceptor_) {
+    VELOCE_RETURN_IF_ERROR(interceptor_(leaseholder->id(), req));
+  }
+  leaseholder->RecordBatch(false);
+  for (const auto& r : req.requests) {
+    leaseholder->RecordWriteRequest(r.key.size() + r.value.size());
+  }
+
+  Timestamp ts = req.ts.IsEmpty() ? hlc_.Now() : req.ts;
+  for (const auto& r : req.requests) {
+    const Timestamp max_read = range->tscache.MaxReadTimestamp(r.key);
+    if (ts <= max_read) ts = max_read.Next();
+  }
+  const Timestamp closed = ClosedTimestamp();
+  if (ts <= closed) ts = closed.Next();
+
+  for (const auto& r : req.requests) {
+    for (int attempt = 0;; ++attempt) {
+      VELOCE_ASSIGN_OR_RETURN(auto intent, MvccGetIntent(engine, r.key));
+      if (!intent.has_value()) break;
+      if (intent->txn_id == req.txn_id) {
+        // The txn already flushed intents; 1PC no longer applies and the
+        // client falls back to the general commit path.
+        return Status::NotSupported("txn holds intents; 1pc unavailable");
+      }
+      if (attempt >= kMaxConflictRetries) {
+        return Status::WriteIntentError("too many conflict retries");
+      }
+      VELOCE_RETURN_IF_ERROR(HandleConflictLocked(range, r.key, *intent, req, true));
+    }
+  }
+
+  VELOCE_ASSIGN_OR_RETURN(TxnRecord rec, txn_registry_.Get(req.txn_id));
+  if (rec.status == TxnStatus::kAborted) {
+    return Status::TransactionAborted("aborted by a concurrent pusher");
+  }
+  if (rec.status != TxnStatus::kPending) {
+    return Status::Internal("1pc commit on a non-pending txn");
+  }
+  if (ts < rec.write_ts) ts = rec.write_ts;
+  BatchResponse resp;
+  if (ts > req.ts && !req.can_forward_ts) {
+    // The commit timestamp must move but the txn performed reads. Nothing
+    // is written; the client refreshes its read spans and retries.
+    resp.one_pc_rejected_ts = ts;
+    resp.now = hlc_.Now();
+    return resp;
+  }
+  // Point of no return: commit the record, then write committed versions
+  // directly — no intents, no separate resolution round.
+  VELOCE_RETURN_IF_ERROR(txn_registry_.Commit(req.txn_id, ts));
+  storage::WriteBatch batch;
+  uint64_t bytes = 0;
+  for (const auto& r : req.requests) {
+    if (r.type == RequestType::kDelete) {
+      MvccPutTombstone(&batch, r.key, ts);
+    } else {
+      MvccPutValue(&batch, r.key, ts, r.value);
+    }
+    bytes += r.key.size() + r.value.size();
+  }
+  {
+    obs::ScopedSpan span(req.trace, "replication");
+    VELOCE_RETURN_IF_ERROR(ReplicateLocked(range, batch, req.tenant_id));
+  }
+  range->approx_bytes += bytes;
+  hlc_.Update(ts);
+  oracle_->Observe(ts);
+  resp.responses.resize(req.requests.size());
+  resp.commit_ts = ts;
+  resp.now = hlc_.Now();
+  return resp;
+}
+
+StatusOr<PushResult> KVCluster::RecoverStagedTxnLocked(TxnId id) {
+  VELOCE_ASSIGN_OR_RETURN(TxnRecord rec, txn_registry_.Get(id));
+  if (rec.status != TxnStatus::kStaging) {
+    // Finalized while we were deciding to recover.
+    PushResult pr;
+    pr.pushee_status = rec.status;
+    pr.pushed = rec.status != TxnStatus::kPending;
+    pr.commit_ts = rec.write_ts;
+    return pr;
+  }
+  txn_metrics_.recoveries->Inc();
+  // Commit condition: every declared in-flight write holds this txn's
+  // intent at or below staged_ts.
+  std::vector<std::string> missing;
+  for (const auto& key : rec.in_flight_writes) {
+    RangeState* range = LookupRangeLocked(key);
+    storage::Engine* engine =
+        range != nullptr ? LeaseholderEngineLocked(*range) : nullptr;
+    if (engine == nullptr) {
+      return Status::Unavailable("cannot verify staged write (range unavailable)");
+    }
+    VELOCE_ASSIGN_OR_RETURN(auto intent, MvccGetIntent(engine, key));
+    if (!intent.has_value() || intent->txn_id != id || intent->ts > rec.staged_ts) {
+      missing.push_back(key);
+    }
+  }
+  if (missing.empty()) {
+    // Implicitly committed: finalize on the coordinator's behalf. The
+    // coordinator's own CommitTxn later is an idempotent no-op.
+    Status s = txn_registry_.Commit(id, rec.staged_ts);
+    if (!s.ok()) return s;
+    oracle_->Observe(rec.staged_ts);
+    PushResult pr;
+    pr.pushee_status = TxnStatus::kCommitted;
+    pr.pushed = true;
+    pr.commit_ts = rec.staged_ts;
+    return pr;
+  }
+  const bool expired = clock_->Now() - rec.last_heartbeat > TxnRegistry::kExpiration;
+  if (!expired) {
+    // A live parallel commit is still in flight; back off and let the
+    // coordinator finish.
+    return Status::WriteIntentError("txn " + std::to_string(id) +
+                                    " is committing (staged)");
+  }
+  // Abandoned staging that never completed. Poison the missing keys in the
+  // tscache at staged_ts so a late pipelined write cannot land at or below
+  // it and retroactively satisfy the stale staging, then abort.
+  for (const auto& key : missing) {
+    RangeState* range = LookupRangeLocked(key);
+    if (range != nullptr) range->tscache.RecordRead(key, rec.staged_ts);
+  }
+  VELOCE_RETURN_IF_ERROR(txn_registry_.Abort(id));
+  PushResult pr;
+  pr.pushee_status = TxnStatus::kAborted;
+  pr.pushed = true;
+  return pr;
 }
 
 Status KVCluster::ReplicateLocked(RangeState* range, const storage::WriteBatch& batch,
@@ -572,15 +842,46 @@ Status KVCluster::DestroyTenantKeyspace(TenantId id) {
 // --- Transactions -----------------------------------------------------------
 
 TxnRecord KVCluster::BeginTxn(int32_t priority) {
-  return txn_registry_.Begin(hlc_.Now(), priority);
+  return txn_registry_.Begin(oracle_->Next(), priority);
+}
+
+Status KVCluster::StageTxn(TxnId id, const std::vector<std::string>& in_flight_keys,
+                           Timestamp* staged_ts) {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  VELOCE_ASSIGN_OR_RETURN(TxnRecord rec, txn_registry_.Get(id));
+  if (rec.status == TxnStatus::kAborted) {
+    return Status::TransactionAborted("aborted by a concurrent pusher");
+  }
+  if (rec.status == TxnStatus::kCommitted) {
+    // A concurrent recovery proved every in-flight write present and
+    // finalized the txn already; report its commit timestamp.
+    if (staged_ts != nullptr) *staged_ts = rec.write_ts;
+    return Status::OK();
+  }
+  const Timestamp ts = rec.write_ts;
+  VELOCE_RETURN_IF_ERROR(txn_registry_.Stage(id, ts, in_flight_keys));
+  oracle_->Observe(ts);
+  if (staged_ts != nullptr) *staged_ts = ts;
+  return Status::OK();
 }
 
 Status KVCluster::CommitTxn(TxnId id, const std::vector<std::string>& intent_keys,
                             Timestamp* commit_ts) {
   std::lock_guard<std::recursive_mutex> l(mu_);
   VELOCE_ASSIGN_OR_RETURN(TxnRecord rec, txn_registry_.Get(id));
-  const Timestamp ts = rec.write_ts;
+  Timestamp ts = rec.write_ts;
+  if (rec.status == TxnStatus::kStaging) {
+    if (rec.write_ts > rec.staged_ts) {
+      // A pipelined write got bumped past the staged timestamp after
+      // staging; the commit condition fails until the coordinator
+      // refreshes and re-stages.
+      return Status::TransactionRetry(
+          "staged txn has bumped in-flight writes; refresh and re-stage");
+    }
+    ts = rec.staged_ts;
+  }
   VELOCE_RETURN_IF_ERROR(txn_registry_.Commit(id, ts));
+  oracle_->Observe(ts);
   for (const auto& key : intent_keys) {
     RangeState* range = LookupRangeLocked(key);
     if (range == nullptr) continue;

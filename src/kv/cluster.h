@@ -16,6 +16,7 @@
 #include "kv/keys.h"
 #include "kv/node.h"
 #include "kv/range.h"
+#include "kv/timestamp_oracle.h"
 #include "kv/txn.h"
 
 namespace veloce::kv {
@@ -36,6 +37,11 @@ struct KVClusterOptions {
   /// by follower replicas; writes are always pushed above the closed
   /// timestamp so follower reads stay consistent.
   Nanos closed_timestamp_interval = 3 * kSecond;
+  /// Batched timestamp oracle: HLC timestamps reserved per refill and the
+  /// cache level that triggers an async prefetch (on
+  /// engine_options.background_executor when one is configured).
+  uint32_t timestamp_batch_size = 256;
+  uint32_t timestamp_refill_threshold = 64;
   /// Telemetry injection shared by the cluster, its nodes and their
   /// engines (per-node series carry a node=<id> label). When obs.metrics
   /// is null the cluster owns a private registry. obs.clock is a fallback
@@ -91,6 +97,11 @@ class KVCluster {
   obs::MetricsRegistry* metrics() const { return metrics_; }
   HybridLogicalClock* hlc() { return &hlc_; }
   TxnRegistry* txn_registry() { return &txn_registry_; }
+  TimestampOracle* timestamp_oracle() { return oracle_.get(); }
+  /// The executor shared with the storage engines (null = none configured).
+  storage::BackgroundExecutor* background_executor() const {
+    return options_.engine_options.background_executor;
+  }
 
   /// Adds a KV node at runtime (the paper's future-work automatic KV
   /// scaling, Section 8). The node starts empty; move replicas onto it
@@ -132,8 +143,16 @@ class KVCluster {
 
   // --- Transactions (client-side coordination) -----------------------------
   TxnRecord BeginTxn(int32_t priority = 0);
-  /// Commits: finalizes the record, then resolves the given intents.
-  /// commit_ts receives the final commit timestamp.
+  /// Parallel commit, phase 1: moves the record to STAGING at its current
+  /// write timestamp with `in_flight_keys` as the commit condition. The
+  /// staged timestamp is returned; once the coordinator proves every
+  /// in-flight write succeeded at or below it, the txn is committed and the
+  /// client may be acknowledged before intent resolution.
+  Status StageTxn(TxnId id, const std::vector<std::string>& in_flight_keys,
+                  Timestamp* staged_ts);
+  /// Commits: finalizes the record (at staged_ts when staging), then
+  /// resolves the given intents. commit_ts (optional) receives the final
+  /// commit timestamp.
   Status CommitTxn(TxnId id, const std::vector<std::string>& intent_keys,
                    Timestamp* commit_ts);
   Status AbortTxn(TxnId id, const std::vector<std::string>& intent_keys);
@@ -180,6 +199,20 @@ class KVCluster {
     fragment_hook_ = std::move(hook);
   }
 
+  /// Transaction hot-path telemetry, shared with client-side coordinators
+  /// (kv::Transaction increments the per-path commit counters and records
+  /// commit latency; the cluster itself counts pushes and recoveries).
+  struct TxnMetricSet {
+    obs::Counter* commits_1pc = nullptr;       ///< veloce_txn_commits_total{path=1pc}
+    obs::Counter* commits_parallel = nullptr;  ///< {path=parallel}
+    obs::Counter* commits_classic = nullptr;   ///< {path=classic}
+    obs::Counter* retries = nullptr;           ///< veloce_txn_retries_total
+    obs::Counter* pushes = nullptr;            ///< veloce_txn_pushes_total
+    obs::Counter* recoveries = nullptr;        ///< veloce_txn_staging_recoveries_total
+    obs::HistogramMetric* commit_latency = nullptr;  ///< veloce_txn_commit_latency_ns
+  };
+  const TxnMetricSet& txn_metrics() const { return txn_metrics_; }
+
  private:
   struct RangeState {
     RangeDescriptor desc;
@@ -201,7 +234,28 @@ class KVCluster {
                                       const BatchRequest& req,
                                       const RequestUnion& r) const;
   Status ExecuteWriteLocked(RangeState* range, const BatchRequest& req,
-                            const RequestUnion& r, BatchResponse* resp);
+                            const RequestUnion& r, BatchResponse* resp,
+                            Timestamp* applied_ts);
+  /// Executes a contiguous run of transactional writes landing on one range
+  /// as a single unit: one timestamp for the group, one BumpWriteTimestamp,
+  /// one storage WriteBatch, one replication round — the server half of
+  /// pipelined intent batches.
+  Status ExecuteTxnWriteGroupLocked(RangeState* range, const BatchRequest& req,
+                                    const std::vector<const RequestUnion*>& writes,
+                                    BatchResponse* resp);
+  /// One-phase commit: the batch carries the txn's entire buffered write
+  /// set; commits at a single timestamp with committed versions written
+  /// directly (no intents, no separate record round). NotSupported when the
+  /// writes span ranges (the client falls back to the general path).
+  StatusOr<BatchResponse> ExecuteOnePhaseLocked(const BatchRequest& req);
+  /// Parallel-commit status recovery: a pusher found `id` in STAGING. If
+  /// every declared in-flight write holds an intent at or below staged_ts
+  /// the txn is implicitly committed and is finalized here; if a write is
+  /// missing and the record expired, the txn is aborted (with the missing
+  /// keys' timestamps poisoned in the tscache so a late write cannot
+  /// retroactively satisfy the stale staging); otherwise the pusher backs
+  /// off (WriteIntentError).
+  StatusOr<PushResult> RecoverStagedTxnLocked(TxnId id);
   /// Replicates a storage batch to the range's live replicas (quorum
   /// required). Attributes payload bytes to the tenant on each node.
   Status ReplicateLocked(RangeState* range, const storage::WriteBatch& batch,
@@ -220,6 +274,7 @@ class KVCluster {
   Clock* clock_;
   HybridLogicalClock hlc_;
   TxnRegistry txn_registry_;
+  std::unique_ptr<TimestampOracle> oracle_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::ObsContext obs_;  // resolved context handed to nodes/engines
@@ -238,6 +293,7 @@ class KVCluster {
   obs::Counter* replica_moves_c_ = nullptr;
   obs::Counter* splits_c_ = nullptr;
   obs::Counter* intent_conflicts_c_ = nullptr;
+  TxnMetricSet txn_metrics_;
   // Declared last: unregisters (and stops touching cluster state) before
   // any other member is destroyed.
   obs::MetricsRegistry::CallbackToken lease_gauge_cb_;

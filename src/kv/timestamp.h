@@ -2,6 +2,7 @@
 #define VELOCE_KV_TIMESTAMP_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/clock.h"
@@ -49,29 +50,54 @@ struct Timestamp {
 
 /// Hybrid logical clock: monotonic, never behind the physical clock, and
 /// advanced by observed remote timestamps so causally-related events order
-/// correctly across nodes.
+/// correctly across nodes. Thread-safe: the TimestampOracle refills batches
+/// from background-executor threads while foreground writes fold in
+/// observed timestamps.
 class HybridLogicalClock {
  public:
   explicit HybridLogicalClock(Clock* physical) : physical_(physical) {}
 
   /// Returns a timestamp strictly greater than any previously returned.
-  Timestamp Now() {
+  Timestamp Now() { return GenerateTimestamps(1); }
+
+  /// Reserves `count` contiguous timestamps, all strictly greater than any
+  /// previously handed out, and returns the first. The whole batch shares
+  /// one wall value — the i-th reserved timestamp is
+  /// {first.wall, first.logical + i} — so holders can enumerate the batch
+  /// without further clock traffic (ytsaurus ITimestampProvider shape).
+  Timestamp GenerateTimestamps(uint32_t count) {
+    if (count == 0) count = 1;
+    std::lock_guard<std::mutex> l(mu_);
     const Nanos wall = physical_->Now();
+    Timestamp first;
     if (wall > last_.wall) {
-      last_ = {wall, 0};
+      first = {wall, 0};
     } else {
-      last_ = last_.Next();
+      first = last_.Next();
     }
-    return last_;
+    // The batch must fit in one wall value's logical space.
+    if (UINT32_MAX - first.logical < count - 1) {
+      first = {first.wall + 1, 0};
+    }
+    last_ = {first.wall, first.logical + (count - 1)};
+    return first;
   }
 
   /// Folds in a timestamp observed from another node.
   void Update(Timestamp remote) {
+    std::lock_guard<std::mutex> l(mu_);
     if (last_ < remote) last_ = remote;
+  }
+
+  /// Highest timestamp handed out or observed so far.
+  Timestamp Latest() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return last_;
   }
 
  private:
   Clock* physical_;
+  mutable std::mutex mu_;
   Timestamp last_;
 };
 

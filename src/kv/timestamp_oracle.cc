@@ -1,0 +1,91 @@
+#include "kv/timestamp_oracle.h"
+
+namespace veloce::kv {
+
+TimestampOracle::TimestampOracle(HybridLogicalClock* hlc,
+                                 TimestampOracleOptions options)
+    : core_(std::make_shared<Core>()) {
+  core_->hlc = hlc;
+  core_->options = options;
+  if (core_->options.batch_size == 0) core_->options.batch_size = 1;
+}
+
+TimestampOracle::~TimestampOracle() {
+  // Detach from the HLC under the lock: an async refill already running on
+  // the executor either sees the old pointer while we wait for the lock (the
+  // HLC outlives the oracle inside KVCluster) or null afterwards and no-ops.
+  std::lock_guard<std::mutex> l(core_->mu);
+  core_->hlc = nullptr;
+}
+
+uint32_t TimestampOracle::RemainingLocked(const Core& core) {
+  if (!core.have) return 0;
+  // Window shares one wall value by construction.
+  return core.end.logical - core.next.logical + 1;
+}
+
+void TimestampOracle::RefillLocked(Core* core) {
+  const uint32_t n = core->options.batch_size;
+  const Timestamp first = core->hlc->GenerateTimestamps(n);
+  core->next = first;
+  core->end = {first.wall, first.logical + (n - 1)};
+  core->have = true;
+}
+
+Timestamp TimestampOracle::Next() {
+  Core& c = *core_;
+  std::lock_guard<std::mutex> l(c.mu);
+  if (!c.have) {
+    RefillLocked(&c);
+    ++c.sync_refills;
+    if (c.options.sync_refills != nullptr) c.options.sync_refills->Inc();
+  }
+  const Timestamp ts = c.next;
+  if (c.next == c.end) {
+    c.have = false;
+  } else {
+    c.next = c.next.Next();
+  }
+  if (c.options.executor != nullptr && !c.refill_pending &&
+      RemainingLocked(c) < c.options.refill_threshold) {
+    c.refill_pending = true;
+    std::weak_ptr<Core> weak = core_;
+    c.options.executor->Schedule([weak] {
+      std::shared_ptr<Core> core = weak.lock();
+      if (core == nullptr) return;
+      std::lock_guard<std::mutex> l(core->mu);
+      core->refill_pending = false;
+      if (core->hlc == nullptr) return;  // oracle shut down
+      RefillLocked(core.get());
+      ++core->async_refills;
+      if (core->options.async_refills != nullptr) core->options.async_refills->Inc();
+    });
+  }
+  return ts;
+}
+
+void TimestampOracle::Observe(Timestamp committed) {
+  Core& c = *core_;
+  std::lock_guard<std::mutex> l(c.mu);
+  // Make sure the next refill draws above the commit even if the caller's
+  // HLC update races with a concurrent refill.
+  if (c.hlc != nullptr) c.hlc->Update(committed);
+  if (!c.have) return;
+  if (committed >= c.end) {
+    c.have = false;  // commit jumped past the window; refill lazily
+  } else if (committed >= c.next) {
+    c.next = committed.Next();  // fast-forward within the window
+  }
+}
+
+uint64_t TimestampOracle::sync_refills() const {
+  std::lock_guard<std::mutex> l(core_->mu);
+  return core_->sync_refills;
+}
+
+uint64_t TimestampOracle::async_refills() const {
+  std::lock_guard<std::mutex> l(core_->mu);
+  return core_->async_refills;
+}
+
+}  // namespace veloce::kv

@@ -1,0 +1,87 @@
+#ifndef VELOCE_KV_TIMESTAMP_ORACLE_H_
+#define VELOCE_KV_TIMESTAMP_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "kv/timestamp.h"
+#include "obs/metrics.h"
+#include "storage/background.h"
+
+namespace veloce::kv {
+
+/// Options for the batched timestamp oracle.
+struct TimestampOracleOptions {
+  /// Timestamps reserved from the HLC per refill.
+  uint32_t batch_size = 256;
+  /// When fewer than this many cached timestamps remain, an asynchronous
+  /// prefetch of the next batch is scheduled (null executor = sync only).
+  uint32_t refill_threshold = 64;
+  storage::BackgroundExecutor* executor = nullptr;
+  /// Refill telemetry (may be null): labeled sync/async counters.
+  obs::Counter* sync_refills = nullptr;
+  obs::Counter* async_refills = nullptr;
+};
+
+/// Batched timestamp provider in the shape of ytsaurus's ITimestampProvider:
+/// instead of hitting the cluster HLC for every transaction begin, the
+/// oracle reserves contiguous batches via GenerateTimestamps(count) and
+/// hands them out one at a time, refilling asynchronously on a
+/// BackgroundExecutor before the cache runs dry.
+///
+/// Session guarantee: a timestamp returned by Next() must exceed every
+/// commit timestamp acknowledged before the call — otherwise a new
+/// transaction could miss data a previous one durably committed. The
+/// cluster enforces this by calling Observe(commit_ts) on every commit ack
+/// path; Observe fast-forwards the cached window past the observed
+/// timestamp (cheap when the commit landed inside the window — the common
+/// case, since commit timestamps derive from oracle-issued read timestamps)
+/// or invalidates it when the commit jumped beyond the window.
+class TimestampOracle {
+ public:
+  TimestampOracle(HybridLogicalClock* hlc, TimestampOracleOptions options);
+  ~TimestampOracle();
+
+  TimestampOracle(const TimestampOracle&) = delete;
+  TimestampOracle& operator=(const TimestampOracle&) = delete;
+
+  /// Next cached timestamp; strictly greater than any previously returned
+  /// and than any timestamp passed to Observe() before this call.
+  Timestamp Next();
+
+  /// Records an acknowledged commit timestamp: future Next() results are
+  /// strictly greater than `committed`.
+  void Observe(Timestamp committed);
+
+  /// Refill statistics (tests; the obs counters mirror these).
+  uint64_t sync_refills() const;
+  uint64_t async_refills() const;
+
+ private:
+  // Shared with async refill tasks: a task holds a weak_ptr so a refill
+  // scheduled on a long-lived executor can outlive the oracle (and the
+  // cluster that owns it) safely. The destructor nulls `hlc` under the
+  // mutex; a late task then drops out without touching freed memory.
+  struct Core {
+    std::mutex mu;
+    HybridLogicalClock* hlc = nullptr;
+    TimestampOracleOptions options;
+    // Cached window [next, end], inclusive; empty when !have. The window
+    // always shares one wall value (GenerateTimestamps guarantees it).
+    Timestamp next;
+    Timestamp end;
+    bool have = false;
+    bool refill_pending = false;
+    uint64_t sync_refills = 0;
+    uint64_t async_refills = 0;
+  };
+
+  static void RefillLocked(Core* core);
+  static uint32_t RemainingLocked(const Core& core);
+
+  std::shared_ptr<Core> core_;
+};
+
+}  // namespace veloce::kv
+
+#endif  // VELOCE_KV_TIMESTAMP_ORACLE_H_

@@ -1,10 +1,31 @@
 #include "kv/transaction.h"
 
+#include <utility>
+
 namespace veloce::kv {
 
+namespace {
+
+// Read-span ends are exclusive; the empty string means +infinity.
+bool EndReaches(const std::string& end, const std::string& key) {
+  return end.empty() || end >= key;
+}
+
+std::string MaxEnd(const std::string& a, const std::string& b) {
+  if (a.empty() || b.empty()) return std::string();
+  return a > b ? a : b;
+}
+
+}  // namespace
+
 Transaction::Transaction(KVCluster* cluster, TenantId tenant, int32_t priority,
-                         Sender sender)
-    : cluster_(cluster), sender_(std::move(sender)), tenant_(tenant) {
+                         Sender sender, TxnOptions options)
+    : cluster_(cluster),
+      sender_(std::move(sender)),
+      options_(options),
+      tenant_(tenant) {
+  executor_ = options_.executor != nullptr ? options_.executor
+                                           : cluster_->background_executor();
   record_ = cluster_->BeginTxn(priority);
   max_write_ts_ = record_.write_ts;
 }
@@ -32,11 +53,55 @@ StatusOr<BatchResponse> Transaction::SendTracked(const BatchRequest& req) {
   return resp;
 }
 
+void Transaction::AddReadSpan(const std::string& start, const std::string& end) {
+  std::string s = start;
+  std::string e = end;
+  // Merge with a predecessor span that reaches s (overlapping or adjacent).
+  auto it = read_spans_.upper_bound(s);
+  if (it != read_spans_.begin()) {
+    auto prev = std::prev(it);
+    if (EndReaches(prev->second, s)) {
+      s = prev->first;
+      e = MaxEnd(e, prev->second);
+      read_spans_.erase(prev);
+    }
+  }
+  // Absorb successor spans the merged span now reaches.
+  for (auto nit = read_spans_.lower_bound(s);
+       nit != read_spans_.end() && EndReaches(e, nit->first);) {
+    e = MaxEnd(e, nit->second);
+    nit = read_spans_.erase(nit);
+  }
+  read_spans_[std::move(s)] = std::move(e);
+}
+
+bool Transaction::AnyKeyInSpan(const std::set<std::string>& keys, Slice start,
+                               Slice end) {
+  auto it = keys.lower_bound(start.ToString());
+  return it != keys.end() && (end.empty() || Slice(*it) < end);
+}
+
 Status Transaction::Get(Slice key, std::optional<std::string>* value) {
+  if (finalized_) return Status::Internal("txn already finalized");
+  // Read-your-writes from the buffer: the value does not depend on database
+  // state, so no read span is needed.
+  auto bit = buffer_.find(key.ToString());
+  if (bit != buffer_.end()) {
+    if (bit->second.tombstone) {
+      value->reset();
+    } else {
+      *value = bit->second.value;
+    }
+    return Status::OK();
+  }
+  // Reading a key we flushed requires the pipelined intent to be applied.
+  if (intent_keys_.count(key.ToString()) != 0) {
+    VELOCE_RETURN_IF_ERROR(WaitPipeline());
+  }
   BatchRequest req = MakeRequest();
   req.AddGet(key);
   VELOCE_ASSIGN_OR_RETURN(BatchResponse resp, SendTracked(req));
-  read_spans_.emplace_back(key.ToString(), key.ToString() + std::string(1, '\0'));
+  AddReadSpan(key.ToString(), key.ToString() + std::string(1, '\0'));
   if (resp.responses[0].found) {
     *value = std::move(resp.responses[0].value);
   } else {
@@ -46,67 +111,315 @@ Status Transaction::Get(Slice key, std::optional<std::string>* value) {
 }
 
 Status Transaction::Put(Slice key, Slice value) {
+  if (finalized_) return Status::Internal("txn already finalized");
+  if (options_.buffer_writes) {
+    buffer_[key.ToString()] = {value.ToString(), false};
+    if (buffer_.size() >= options_.max_buffered_writes) return Flush();
+    return Status::OK();
+  }
   BatchRequest req = MakeRequest();
   req.AddPut(key, value);
+  intent_keys_.insert(key.ToString());
+  if (options_.pipeline_writes && executor_ != nullptr) {
+    req.trace = nullptr;  // pipelined batches run on executor threads
+    EnqueuePipelined(std::move(req));
+    return Status::OK();
+  }
   VELOCE_ASSIGN_OR_RETURN(BatchResponse resp, SendTracked(req));
   (void)resp;
-  intent_keys_.insert(key.ToString());
   return Status::OK();
 }
 
 Status Transaction::Delete(Slice key) {
+  if (finalized_) return Status::Internal("txn already finalized");
+  if (options_.buffer_writes) {
+    buffer_[key.ToString()] = {std::string(), true};
+    if (buffer_.size() >= options_.max_buffered_writes) return Flush();
+    return Status::OK();
+  }
   BatchRequest req = MakeRequest();
   req.AddDelete(key);
+  intent_keys_.insert(key.ToString());
+  if (options_.pipeline_writes && executor_ != nullptr) {
+    req.trace = nullptr;
+    EnqueuePipelined(std::move(req));
+    return Status::OK();
+  }
   VELOCE_ASSIGN_OR_RETURN(BatchResponse resp, SendTracked(req));
   (void)resp;
-  intent_keys_.insert(key.ToString());
   return Status::OK();
 }
 
 Status Transaction::Scan(Slice start, Slice end, uint64_t limit,
                          std::vector<MvccScanEntry>* rows, std::string* resume_key) {
+  if (finalized_) return Status::Internal("txn already finalized");
+  // Buffered writes in the span must become intents to be visible to the
+  // MVCC scan; flushed ones must have been applied.
+  auto bit = buffer_.lower_bound(start.ToString());
+  if (bit != buffer_.end() && (end.empty() || Slice(bit->first) < end)) {
+    VELOCE_RETURN_IF_ERROR(Flush());
+  }
+  if (AnyKeyInSpan(intent_keys_, start, end)) {
+    VELOCE_RETURN_IF_ERROR(WaitPipeline());
+  }
   BatchRequest req = MakeRequest();
   req.AddScan(start, end, limit);
   VELOCE_ASSIGN_OR_RETURN(BatchResponse resp, SendTracked(req));
-  read_spans_.emplace_back(start.ToString(), end.ToString());
+  AddReadSpan(start.ToString(), end.ToString());
   *rows = std::move(resp.responses[0].rows);
   if (resume_key != nullptr) *resume_key = resp.responses[0].resume_key;
   return Status::OK();
 }
 
-Status Transaction::Commit() {
-  if (finalized_) return Status::Internal("txn already finalized");
-  // Refresh: if our write timestamp was pushed above our read timestamp, we
-  // may commit only if nothing we read changed in between.
-  if (max_write_ts_ > record_.read_ts && !read_spans_.empty()) {
-    for (const auto& [start, end] : read_spans_) {
-      VELOCE_ASSIGN_OR_RETURN(bool changed,
-                              cluster_->AnyNewerVersions(tenant_, start, end,
-                                                         record_.read_ts,
-                                                         max_write_ts_));
-      if (changed) {
-        (void)Rollback();
-        return Status::TransactionRetry("read refresh failed; retry txn");
-      }
+Status Transaction::Flush() {
+  if (buffer_.empty()) return Status::OK();
+  BatchRequest req = MakeRequest();
+  for (auto& [key, w] : buffer_) {
+    if (w.tombstone) {
+      req.AddDelete(key);
+    } else {
+      req.AddPut(key, w.value);
+    }
+    intent_keys_.insert(key);
+  }
+  buffer_.clear();
+  if (options_.pipeline_writes && executor_ != nullptr) {
+    req.trace = nullptr;
+    EnqueuePipelined(std::move(req));
+    return Status::OK();
+  }
+  VELOCE_ASSIGN_OR_RETURN(BatchResponse resp, SendTracked(req));
+  (void)resp;
+  return Status::OK();
+}
+
+void Transaction::EnqueuePipelined(BatchRequest req) {
+  ++batches_sent_;
+  if (pipeline_ == nullptr) pipeline_ = std::make_shared<PipelineState>();
+  auto st = pipeline_;
+  bool need_drainer = false;
+  {
+    std::lock_guard<std::mutex> l(st->mu);
+    st->queue.push_back(std::move(req));
+    ++st->outstanding;
+    if (!st->draining) {
+      st->draining = true;
+      need_drainer = true;
     }
   }
+  if (need_drainer) {
+    // One drainer at a time keeps batches strictly FIFO (intent ordering)
+    // and bounds executor usage to a single slot per transaction.
+    Sender send = sender_;
+    if (!send) {
+      KVCluster* cluster = cluster_;
+      send = [cluster](const BatchRequest& r) { return cluster->Send(r); };
+    }
+    executor_->Schedule(
+        [st, send = std::move(send)] { DrainPipeline(st, send); });
+  }
+}
+
+void Transaction::DrainPipeline(std::shared_ptr<PipelineState> st, Sender send) {
+  for (;;) {
+    BatchRequest req;
+    {
+      std::lock_guard<std::mutex> l(st->mu);
+      if (st->queue.empty()) {
+        st->draining = false;
+        st->cv.notify_all();
+        return;
+      }
+      req = std::move(st->queue.front());
+      st->queue.pop_front();
+    }
+    StatusOr<BatchResponse> resp = send(req);
+    std::lock_guard<std::mutex> l(st->mu);
+    if (resp.ok()) {
+      if (st->max_bump < resp->bumped_write_ts) st->max_bump = resp->bumped_write_ts;
+    } else if (st->first_error.ok()) {
+      st->first_error = resp.status();
+    }
+    --st->outstanding;
+    st->cv.notify_all();
+  }
+}
+
+Status Transaction::WaitPipeline() {
+  if (pipeline_ == nullptr) return Status::OK();
+  auto st = pipeline_;
+  std::unique_lock<std::mutex> l(st->mu);
+  if (executor_ != nullptr && executor_->single_threaded()) {
+    // Blocking would deadlock a single-threaded executor; assist instead.
+    while (st->outstanding > 0) {
+      l.unlock();
+      executor_->RunQueued();
+      l.lock();
+    }
+  } else {
+    st->cv.wait(l, [&] { return st->outstanding == 0; });
+  }
+  if (max_write_ts_ < st->max_bump) max_write_ts_ = st->max_bump;
+  return st->first_error;
+}
+
+Status Transaction::RefreshReads(Timestamp to) {
+  if (!(record_.read_ts < to)) return Status::OK();
+  for (const auto& [start, end] : read_spans_) {
+    VELOCE_ASSIGN_OR_RETURN(bool changed,
+                            cluster_->AnyNewerVersions(tenant_, start, end,
+                                                       record_.read_ts, to));
+    if (changed) return Status::TransactionRetry("read refresh failed; retry txn");
+  }
+  record_.read_ts = to;
+  return Status::OK();
+}
+
+Status Transaction::TryOnePhaseCommit(Nanos start_ns) {
+  const KVCluster::TxnMetricSet& m = cluster_->txn_metrics();
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    BatchRequest req = MakeRequest();
+    req.commit_txn = true;
+    req.can_forward_ts = read_spans_.empty();
+    for (const auto& [key, w] : buffer_) {
+      if (w.tombstone) {
+        req.AddDelete(key);
+      } else {
+        req.AddPut(key, w.value);
+      }
+    }
+    VELOCE_ASSIGN_OR_RETURN(BatchResponse resp, SendTracked(req));
+    if (!resp.one_pc_rejected_ts.IsEmpty()) {
+      // The commit timestamp must move and we performed reads: refresh up
+      // to the rejected timestamp and retry at it.
+      m.retries->Inc();
+      VELOCE_RETURN_IF_ERROR(RefreshReads(resp.one_pc_rejected_ts));
+      continue;
+    }
+    commit_ts_ = resp.commit_ts;
+    finalized_ = true;
+    buffer_.clear();
+    RecordCommit(m.commits_1pc, start_ns);
+    return Status::OK();
+  }
+  return Status::NotSupported("1pc commit kept getting pushed");
+}
+
+Status Transaction::Commit() {
+  if (finalized_) return Status::Internal("txn already finalized");
+  const KVCluster::TxnMetricSet& m = cluster_->txn_metrics();
+  const Nanos start_ns = cluster_->clock()->Now();
+
+  // One-phase fast path: every write is still buffered (no intents laid),
+  // so the whole write set can commit server-side in one batch.
+  if (options_.one_phase_commit && intent_keys_.empty() && !buffer_.empty()) {
+    Status s = TryOnePhaseCommit(start_ns);
+    if (s.ok()) return s;
+    if (s.code() == Code::kTransactionAborted || s.IsTransactionRetry()) {
+      (void)Rollback();
+      return s;
+    }
+    if (s.code() != Code::kNotSupported) return s;
+    // NotSupported: multi-range write set, or 1PC raced out. Fall through
+    // to the general path.
+  }
+
+  Status fs = Flush();
+  if (!fs.ok()) {
+    (void)Rollback();
+    return fs;
+  }
   std::vector<std::string> keys(intent_keys_.begin(), intent_keys_.end());
+
+  if (options_.parallel_commit && !keys.empty()) {
+    // Parallel commit: stage while pipelined intent writes may still be in
+    // flight. STAGING + all declared writes proven present IS the commit.
+    Timestamp staged;
+    Status ss = cluster_->StageTxn(record_.id, keys, &staged);
+    if (!ss.ok()) {
+      if (ss.code() == Code::kTransactionAborted) (void)Rollback();
+      return ss;
+    }
+    Status ps = WaitPipeline();
+    if (!ps.ok()) {
+      (void)Rollback();
+      return ps;
+    }
+    if (max_write_ts_ > staged) {
+      // An in-flight write was bumped past the staged timestamp; the
+      // commit condition fails there, so re-stage at the bumped time.
+      m.retries->Inc();
+      ss = cluster_->StageTxn(record_.id, keys, &staged);
+      if (!ss.ok()) {
+        if (ss.code() == Code::kTransactionAborted) (void)Rollback();
+        return ss;
+      }
+    }
+    if (staged > record_.read_ts) {
+      Status rs = RefreshReads(staged);
+      if (!rs.ok()) {
+        (void)Rollback();
+        return rs;
+      }
+    }
+    // Implicitly committed: ack the client now; resolution follows.
+    commit_ts_ = staged;
+    finalized_ = true;
+    RecordCommit(m.commits_parallel, start_ns);
+    if (options_.async_finalize && executor_ != nullptr) {
+      KVCluster* cluster = cluster_;
+      const TxnId txn_id = record_.id;
+      executor_->Schedule([cluster, txn_id, keys] {
+        (void)cluster->CommitTxn(txn_id, keys, nullptr);
+      });
+    } else {
+      // Already acked; a concurrent recovery may have finalized the record
+      // for us, in which case this is an idempotent no-op.
+      (void)cluster_->CommitTxn(record_.id, keys, nullptr);
+    }
+    return Status::OK();
+  }
+
+  // Classic path (and read-only commits): drain the pipeline, refresh if
+  // our write timestamp moved above our read timestamp, then commit and
+  // resolve before acking.
+  Status ps = WaitPipeline();
+  if (!ps.ok()) {
+    (void)Rollback();
+    return ps;
+  }
+  if (max_write_ts_ > record_.read_ts && !read_spans_.empty()) {
+    Status rs = RefreshReads(max_write_ts_);
+    if (!rs.ok()) {
+      (void)Rollback();
+      return rs;
+    }
+  }
   Status s = cluster_->CommitTxn(record_.id, keys, &commit_ts_);
   if (!s.ok()) {
-    if (s.code() == Code::kTransactionAborted) {
-      (void)Rollback();
-    }
+    if (s.code() == Code::kTransactionAborted) (void)Rollback();
     return s;
   }
   finalized_ = true;
+  RecordCommit(m.commits_classic, start_ns);
   return Status::OK();
 }
 
 Status Transaction::Rollback() {
   if (finalized_) return Status::OK();
   finalized_ = true;
+  // The drainer must quiesce before the coordinator is torn down (and the
+  // abort must not race queued intent writes).
+  (void)WaitPipeline();
+  buffer_.clear();
   std::vector<std::string> keys(intent_keys_.begin(), intent_keys_.end());
   return cluster_->AbortTxn(record_.id, keys);
+}
+
+void Transaction::RecordCommit(obs::Counter* path_counter, Nanos start_ns) {
+  path_counter->Inc();
+  cluster_->txn_metrics().commit_latency->Record(
+      static_cast<int64_t>(cluster_->clock()->Now() - start_ns));
 }
 
 }  // namespace veloce::kv

@@ -1,7 +1,13 @@
 #ifndef VELOCE_KV_TRANSACTION_H_
 #define VELOCE_KV_TRANSACTION_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -10,6 +16,48 @@
 #include "kv/cluster.h"
 
 namespace veloce::kv {
+
+/// Commit-path knobs for a client-side transaction coordinator. The
+/// defaults enable the whole hot path: writes are buffered until they must
+/// become intents, flushed intent batches are pipelined (the client does
+/// not wait for them), single-range write-only commits take the one-phase
+/// fast path, and everything else commits in parallel (STAGING record +
+/// in-flight write proof, acking the client before intent resolution).
+struct TxnOptions {
+  /// Hold Put/Delete in a client-side buffer instead of writing an intent
+  /// per statement. Enables 1PC; reads-own-writes are served from the
+  /// buffer.
+  bool buffer_writes = true;
+  /// Flushed intent batches return after enqueueing; Commit() proves they
+  /// all succeeded. Requires an executor (falls back to sync sends).
+  bool pipeline_writes = true;
+  /// Write-only txns whose buffered writes land in one range commit
+  /// server-side in a single batch at a single timestamp.
+  bool one_phase_commit = true;
+  /// Commit via STAGING with the pipelined writes as the commit condition;
+  /// the client is acked one round trip before intents resolve.
+  bool parallel_commit = true;
+  /// Buffer flush threshold (writes, not bytes).
+  size_t max_buffered_writes = 128;
+  /// After a parallel-commit ack, resolve intents on the executor instead
+  /// of inline. Off by default: the cluster must outlive the task, which
+  /// only controlled callers (benches draining the executor) guarantee.
+  bool async_finalize = false;
+  /// Executor for pipelined flushes / async finalize. Null = the cluster's
+  /// background executor; if that is also null, sends are synchronous.
+  storage::BackgroundExecutor* executor = nullptr;
+
+  /// The pre-overhaul behaviour: synchronous intent per write, refresh +
+  /// committed record + resolution all before the ack.
+  static TxnOptions Classic() {
+    TxnOptions o;
+    o.buffer_writes = false;
+    o.pipeline_writes = false;
+    o.one_phase_commit = false;
+    o.parallel_commit = false;
+    return o;
+  }
+};
 
 /// Client-side transaction coordinator: tracks the keys it wrote (for
 /// intent resolution at commit/rollback) and the spans it read (for the
@@ -24,15 +72,20 @@ namespace veloce::kv {
 ///  * commit at write_ts; if write_ts > read_ts the txn first verifies no
 ///    foreign commit landed in its read spans within (read_ts, write_ts]
 ///    (refresh), else it must retry.
+///
+/// Not thread-safe: one thread drives the coordinator. The internal write
+/// pipeline runs on the executor and is synchronized separately.
 class Transaction {
  public:
   /// Pluggable transport: how batches reach the KV layer. The default sends
   /// in-process; the SQL layer substitutes a sender that marshals through
   /// the authorized service (modeling the separate-process boundary).
+  /// With pipelining the sender is also invoked from executor threads and
+  /// must be thread-safe.
   using Sender = std::function<StatusOr<BatchResponse>(const BatchRequest&)>;
 
   Transaction(KVCluster* cluster, TenantId tenant, int32_t priority = 0,
-              Sender sender = nullptr);
+              Sender sender = nullptr, TxnOptions options = {});
   ~Transaction();
 
   Transaction(const Transaction&) = delete;
@@ -46,6 +99,10 @@ class Transaction {
   Status Scan(Slice start, Slice end, uint64_t limit,
               std::vector<MvccScanEntry>* rows, std::string* resume_key = nullptr);
 
+  /// Turns buffered writes into (pipelined) intent writes. Idempotent; a
+  /// no-op when nothing is buffered.
+  Status Flush();
+
   /// Commits; returns TransactionRetry if refresh fails (caller re-runs) or
   /// TransactionAborted if a pusher won.
   Status Commit();
@@ -57,26 +114,71 @@ class Transaction {
   bool finalized() const { return finalized_; }
   /// Number of KV batches this transaction issued (eCPU feature probe).
   uint64_t batches_sent() const { return batches_sent_; }
+  /// Coalesced read spans currently tracked (refresh cost probe).
+  size_t read_span_count() const { return read_spans_.size(); }
 
   /// Attaches a request trace: every batch this transaction issues carries
   /// it (see BatchRequest::trace). Caller keeps ownership; clear with null.
   void set_trace(obs::TraceContext* trace) { trace_ = trace; }
 
  private:
+  struct BufferedWrite {
+    std::string value;
+    bool tombstone = false;
+  };
+
+  /// Shared with pipelined flush tasks; outlives the coordinator only in
+  /// the sense that tasks hold the state alive — every public exit path
+  /// waits for the pipeline to drain before touching coordinator fields.
+  struct PipelineState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<BatchRequest> queue;
+    bool draining = false;     ///< a drainer task is scheduled/running
+    size_t outstanding = 0;    ///< queued + in-flight batches
+    Status first_error = Status::OK();
+    Timestamp max_bump;        ///< max bumped_write_ts across batches
+  };
+
   BatchRequest MakeRequest() const;
   StatusOr<BatchResponse> SendTracked(const BatchRequest& req);
+  /// Records [start, end) as read (end empty = +inf; point reads pass
+  /// key..key+'\0'), merging overlapping/adjacent spans.
+  void AddReadSpan(const std::string& start, const std::string& end);
+  /// True if any tracked key in `keys` intersects [start, end).
+  static bool AnyKeyInSpan(const std::set<std::string>& keys, Slice start,
+                           Slice end);
+  /// Enqueues a flushed batch on the pipeline (schedules a drainer if none
+  /// is running).
+  void EnqueuePipelined(BatchRequest req);
+  /// Drains queued batches one at a time, in order (single-drainer FIFO).
+  static void DrainPipeline(std::shared_ptr<PipelineState> st, Sender send);
+  /// Blocks until every pipelined batch completed; folds bumps into
+  /// max_write_ts_ and returns the pipeline's first error (sticky).
+  Status WaitPipeline();
+  /// Verifies no foreign commit landed in the read spans within
+  /// (read_ts, to]; on success advances read_ts to `to`.
+  Status RefreshReads(Timestamp to);
+  /// The one-phase commit attempt loop. OK = committed; NotSupported =
+  /// caller falls back to the general path; anything else is final.
+  Status TryOnePhaseCommit(Nanos start_ns);
+  void RecordCommit(obs::Counter* path_counter, Nanos start_ns);
 
   KVCluster* cluster_;
   Sender sender_;
+  storage::BackgroundExecutor* executor_ = nullptr;
+  TxnOptions options_;
   obs::TraceContext* trace_ = nullptr;
   TenantId tenant_;
   TxnRecord record_;
   Timestamp max_write_ts_;  ///< highest bumped write timestamp observed
-  std::set<std::string> intent_keys_;
-  std::vector<std::pair<std::string, std::string>> read_spans_;  // [start,end)
+  std::map<std::string, BufferedWrite> buffer_;  ///< not yet intents
+  std::set<std::string> intent_keys_;            ///< flushed (or in flight)
+  std::map<std::string, std::string> read_spans_;  ///< start -> end, coalesced
+  std::shared_ptr<PipelineState> pipeline_;
   Timestamp commit_ts_;
   bool finalized_ = false;
-  uint64_t batches_sent_ = 0;
+  std::atomic<uint64_t> batches_sent_{0};
 };
 
 }  // namespace veloce::kv

@@ -26,7 +26,8 @@ StatusOr<TxnRecord> TxnRegistry::Heartbeat(TxnId id) {
   std::lock_guard<std::mutex> l(mu_);
   auto it = records_.find(id);
   if (it == records_.end()) return Status::NotFound("no txn record");
-  if (it->second.status == TxnStatus::kPending) {
+  if (it->second.status == TxnStatus::kPending ||
+      it->second.status == TxnStatus::kStaging) {
     it->second.last_heartbeat = clock_->Now();
   }
   return it->second;
@@ -36,10 +37,34 @@ Status TxnRegistry::BumpWriteTimestamp(TxnId id, Timestamp ts) {
   std::lock_guard<std::mutex> l(mu_);
   auto it = records_.find(id);
   if (it == records_.end()) return Status::NotFound("no txn record");
-  if (it->second.status != TxnStatus::kPending) {
+  // A staging txn's write_ts may still move (a late pipelined write got
+  // bumped); the gap between write_ts and staged_ts then fails the commit
+  // condition until the coordinator refreshes and re-stages.
+  if (it->second.status != TxnStatus::kPending &&
+      it->second.status != TxnStatus::kStaging) {
     return Status::TransactionAborted("txn no longer pending");
   }
   if (it->second.write_ts < ts) it->second.write_ts = ts;
+  return Status::OK();
+}
+
+Status TxnRegistry::Stage(TxnId id, Timestamp commit_ts,
+                          std::vector<std::string> in_flight_writes) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = records_.find(id);
+  if (it == records_.end()) return Status::NotFound("no txn record");
+  TxnRecord& rec = it->second;
+  if (rec.status == TxnStatus::kAborted) {
+    return Status::TransactionAborted("aborted by a concurrent pusher");
+  }
+  if (rec.status == TxnStatus::kCommitted) {
+    return Status::Internal("cannot stage a committed txn");
+  }
+  rec.status = TxnStatus::kStaging;
+  rec.staged_ts = commit_ts;
+  if (rec.write_ts < commit_ts) rec.write_ts = commit_ts;
+  rec.in_flight_writes = std::move(in_flight_writes);
+  rec.last_heartbeat = clock_->Now();
   return Status::OK();
 }
 
@@ -54,6 +79,7 @@ Status TxnRegistry::Commit(TxnId id, Timestamp commit_ts) {
   if (rec.status == TxnStatus::kCommitted) return Status::OK();
   rec.status = TxnStatus::kCommitted;
   rec.write_ts = commit_ts;
+  rec.in_flight_writes.clear();
   rec.last_heartbeat = clock_->Now();
   return Status::OK();
 }
@@ -66,6 +92,7 @@ Status TxnRegistry::Abort(TxnId id) {
     return Status::Internal("cannot abort a committed txn");
   }
   it->second.status = TxnStatus::kAborted;
+  it->second.in_flight_writes.clear();
   return Status::OK();
 }
 
@@ -82,6 +109,15 @@ PushResult TxnRegistry::Push(TxnId pushee, int32_t pusher_priority,
     return result;
   }
   TxnRecord& rec = it->second;
+  if (rec.status == TxnStatus::kStaging) {
+    // A staged txn may already be implicitly committed; neither aborting
+    // nor bumping is legal here. The caller must run the parallel-commit
+    // recovery procedure against the declared in-flight writes.
+    result.pushee_status = TxnStatus::kStaging;
+    result.commit_ts = rec.staged_ts;
+    result.pushed = false;
+    return result;
+  }
   if (rec.status != TxnStatus::kPending) {
     result.pushee_status = rec.status;
     result.commit_ts = rec.write_ts;
@@ -115,8 +151,10 @@ size_t TxnRegistry::GarbageCollect() {
   const Nanos cutoff = clock_->Now() - kExpiration;
   size_t removed = 0;
   for (auto it = records_.begin(); it != records_.end();) {
-    if (it->second.status != TxnStatus::kPending &&
-        it->second.last_heartbeat < cutoff) {
+    const TxnStatus st = it->second.status;
+    const bool finalized =
+        st == TxnStatus::kCommitted || st == TxnStatus::kAborted;
+    if (finalized && it->second.last_heartbeat < cutoff) {
       it = records_.erase(it);
       ++removed;
     } else {

@@ -14,7 +14,17 @@
 
 namespace veloce::kv {
 
-enum class TxnStatus : uint8_t { kPending = 0, kCommitted = 1, kAborted = 2 };
+enum class TxnStatus : uint8_t {
+  kPending = 0,
+  kCommitted = 1,
+  kAborted = 2,
+  /// Parallel commit: the coordinator declared its commit timestamp and the
+  /// set of writes still in flight. The txn is implicitly committed once
+  /// every declared write holds an intent at or below staged_ts; a pusher
+  /// that finds the record staged runs the recovery procedure instead of
+  /// pushing (see KVCluster::RecoverStagedTxnLocked).
+  kStaging = 3,
+};
 
 /// A transaction record: the authoritative state used to resolve intent
 /// conflicts. In CockroachDB these live in the range holding the txn's
@@ -28,6 +38,13 @@ struct TxnRecord {
   Timestamp write_ts;    ///< provisional commit timestamp (>= read_ts)
   int32_t priority = 0;
   Nanos last_heartbeat = 0;
+  /// Parallel commit (status == kStaging): the declared commit timestamp
+  /// and the writes whose success is the commit condition. staged_ts is
+  /// pinned at Stage() time; write_ts may move above it if a late
+  /// pipelined write gets bumped, which makes the commit condition fail
+  /// and forces the coordinator to refresh and re-stage.
+  Timestamp staged_ts;
+  std::vector<std::string> in_flight_writes;
 };
 
 /// Outcome of a PushTxn attempt.
@@ -37,7 +54,8 @@ struct PushResult {
   /// True if the push succeeded (pushee aborted, finalized, or its
   /// timestamp moved above the pusher's).
   bool pushed = false;
-  /// Commit timestamp when pushee_status == kCommitted.
+  /// Commit timestamp when pushee_status == kCommitted; the staged
+  /// timestamp when pushee_status == kStaging.
   Timestamp commit_ts;
 };
 
@@ -58,26 +76,38 @@ class TxnRegistry {
   /// Refreshes liveness; returns the current record.
   StatusOr<TxnRecord> Heartbeat(TxnId id);
 
-  /// Moves write_ts forward (never backward) for a pending txn.
+  /// Moves write_ts forward (never backward) for a pending or staging txn.
   Status BumpWriteTimestamp(TxnId id, Timestamp ts);
 
-  /// Transitions pending -> committed at `commit_ts`. Fails with
+  /// Transitions pending|staging -> staging: declares commit timestamp
+  /// `commit_ts` with `in_flight_writes` as the commit condition. Re-staging
+  /// (after a refresh moved the commit timestamp up) is allowed. Fails with
+  /// TransactionAborted if a pusher won, Internal if already committed.
+  Status Stage(TxnId id, Timestamp commit_ts,
+               std::vector<std::string> in_flight_writes);
+
+  /// Transitions pending|staging -> committed at `commit_ts`. Fails with
   /// TransactionAborted if the record was aborted by a pusher.
   Status Commit(TxnId id, Timestamp commit_ts);
 
-  /// Transitions pending -> aborted (idempotent; committed stays committed).
+  /// Transitions pending|staging -> aborted (idempotent; committed stays
+  /// committed).
   Status Abort(TxnId id);
 
   /// Push: attempts to resolve a conflict with `pushee`. An expired pushee
   /// is aborted outright. Otherwise a higher-priority pusher aborts the
   /// pushee (kPushAbort) or bumps its timestamp above push_to (kPushTs);
   /// ties break toward the pushee (writers win, matching the default CRDB
-  /// behaviour of making readers wait).
+  /// behaviour of making readers wait). A staging pushee is never pushed
+  /// here: the result carries pushed=false and the staged timestamp, and
+  /// the caller must run parallel-commit recovery.
   enum class PushType { kAbort, kTimestamp };
   PushResult Push(TxnId pushee, int32_t pusher_priority, PushType type,
                   Timestamp push_to);
 
-  /// Removes finalized records older than kExpiration (GC).
+  /// Removes committed/aborted records older than kExpiration (GC).
+  /// Staging records are never collected — they may still be implicitly
+  /// committed and only recovery may finalize them.
   size_t GarbageCollect();
 
   size_t size() const;

@@ -74,7 +74,9 @@ StatusOr<kv::BatchResponse> KvConnector::SendPrefixed(const kv::BatchRequest& re
   if (!needs_marshal) {
     const Nanos cpu0 = ThreadCpuNanos();
     auto resp = service_->Send(cert_, req);
-    kv_cpu_nanos_ += ThreadCpuNanos() - cpu0;
+    const Nanos cpu = ThreadCpuNanos() - cpu0;
+    std::lock_guard<std::mutex> l(acct_mu_);
+    kv_cpu_nanos_ += cpu;
     return resp;
   }
   // Cross-process / cross-node: pay the real serialize/deserialize cost
@@ -82,10 +84,11 @@ StatusOr<kv::BatchResponse> KvConnector::SendPrefixed(const kv::BatchRequest& re
   // does (pgwire over TLS / gRPC checksums every record). The marshaling
   // CPU stays on the SQL side of the boundary.
   Nanos marshal_cpu = 0;
-  const uint64_t marshaled_before = marshaled_bytes_;
+  Nanos kv_cpu = 0;
+  uint64_t marshaled = 0;
   Nanos marshal0 = ThreadCpuNanos();
   const std::string wire_req = req.Encode();
-  marshaled_bytes_ += wire_req.size();
+  marshaled += wire_req.size();
   const uint32_t req_crc = crc32c::Value(wire_req.data(), wire_req.size());
   if (crc32c::Value(wire_req.data(), wire_req.size()) != req_crc) {
     return Status::Corruption("request frame checksum mismatch");
@@ -98,10 +101,10 @@ StatusOr<kv::BatchResponse> KvConnector::SendPrefixed(const kv::BatchRequest& re
   marshal_cpu += ThreadCpuNanos() - marshal0;
   const Nanos cpu0 = ThreadCpuNanos();
   VELOCE_ASSIGN_OR_RETURN(kv::BatchResponse resp, service_->Send(cert_, decoded_req));
-  kv_cpu_nanos_ += ThreadCpuNanos() - cpu0;
+  kv_cpu += ThreadCpuNanos() - cpu0;
   marshal0 = ThreadCpuNanos();
   const std::string wire_resp = resp.Encode();
-  marshaled_bytes_ += wire_resp.size();
+  marshaled += wire_resp.size();
   const uint32_t resp_crc = crc32c::Value(wire_resp.data(), wire_resp.size());
   if (crc32c::Value(wire_resp.data(), wire_resp.size()) != resp_crc) {
     return Status::Corruption("response frame checksum mismatch");
@@ -121,7 +124,7 @@ StatusOr<kv::BatchResponse> KvConnector::SendPrefixed(const kv::BatchRequest& re
       std::string framed;
       PutFixed32(&framed, crc32c::Mask(crc32c::Value(envelope.data(), envelope.size())));
       framed.append(envelope);
-      marshaled_bytes_ += framed.size();
+      marshaled += framed.size();
       // Receiver side: verify and re-materialize the row.
       Slice in(framed);
       uint32_t masked = 0;
@@ -138,7 +141,12 @@ StatusOr<kv::BatchResponse> KvConnector::SendPrefixed(const kv::BatchRequest& re
     }
   }
   marshal_cpu += ThreadCpuNanos() - marshal0;
-  marshaled_bytes_c_->Inc(marshaled_bytes_ - marshaled_before);
+  {
+    std::lock_guard<std::mutex> l(acct_mu_);
+    marshaled_bytes_ += marshaled;
+    kv_cpu_nanos_ += kv_cpu;
+  }
+  marshaled_bytes_c_->Inc(marshaled);
   marshal_cpu_ns_c_->Inc(static_cast<uint64_t>(marshal_cpu));
   if (req.trace != nullptr) req.trace->AddDuration("marshal", marshal_cpu);
   return decoded;
@@ -147,6 +155,7 @@ StatusOr<kv::BatchResponse> KvConnector::SendPrefixed(const kv::BatchRequest& re
 void KvConnector::CountFeatures(const kv::BatchRequest& req,
                                 const kv::BatchResponse& resp) {
   const bool read_only = req.IsReadOnly();
+  std::lock_guard<std::mutex> l(acct_mu_);
   if (read_only) {
     features_.read_batches += 1;
     features_.read_requests += static_cast<double>(req.requests.size());
@@ -168,7 +177,7 @@ std::unique_ptr<TenantTxn> KvConnector::BeginTransaction(int32_t priority) {
     return resp;
   };
   auto txn = std::make_unique<kv::Transaction>(cluster_, cert_.tenant_id, priority,
-                                               std::move(sender));
+                                               std::move(sender), txn_options_);
   return std::make_unique<TenantTxn>(std::move(txn), prefix_);
 }
 

@@ -2,6 +2,7 @@
 #define VELOCE_SQL_KV_CONNECTOR_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "billing/ecpu_model.h"
@@ -59,6 +60,7 @@ class TenantTxn {
     return Status::OK();
   }
 
+  Status Flush() { return txn_->Flush(); }
   Status Commit() { return txn_->Commit(); }
   Status Rollback() { return txn_->Rollback(); }
   bool finalized() const { return txn_->finalized(); }
@@ -96,12 +98,27 @@ class KvConnector {
   /// (marshaled + authorized), with logical keys.
   std::unique_ptr<TenantTxn> BeginTransaction(int32_t priority = 0);
 
+  /// Commit-path options applied to transactions started after the call
+  /// (SET txn_mode switches between the fast defaults and Classic()). A
+  /// null executor resolves to the cluster's background executor.
+  void set_txn_options(const kv::TxnOptions& options) { txn_options_ = options; }
+  const kv::TxnOptions& txn_options() const { return txn_options_; }
+
   /// Cumulative eCPU feature counters for this SQL node.
-  const billing::IntervalFeatures& features() const { return features_; }
-  void ResetFeatures() { features_ = {}; }
+  billing::IntervalFeatures features() const {
+    std::lock_guard<std::mutex> l(acct_mu_);
+    return features_;
+  }
+  void ResetFeatures() {
+    std::lock_guard<std::mutex> l(acct_mu_);
+    features_ = {};
+  }
 
   /// Bytes pushed through the wire codec (Serverless mode only).
-  uint64_t marshaled_bytes() const { return marshaled_bytes_; }
+  uint64_t marshaled_bytes() const {
+    std::lock_guard<std::mutex> l(acct_mu_);
+    return marshaled_bytes_;
+  }
 
   /// The KV node this SQL process is colocated with in Traditional mode
   /// (requests to ranges led elsewhere are remote RPCs and marshal).
@@ -111,7 +128,10 @@ class KvConnector {
   /// boundary), measured per call. In production this is the part of a
   /// tenant's cost that cannot be directly attributed and must be modeled;
   /// benches use it to calibrate and evaluate the estimated-CPU model.
-  Nanos kv_cpu_nanos() const { return kv_cpu_nanos_; }
+  Nanos kv_cpu_nanos() const {
+    std::lock_guard<std::mutex> l(acct_mu_);
+    return kv_cpu_nanos_;
+  }
 
   /// Request trace attached to every batch this connector sends until
   /// cleared (the session sets it around each statement). The marshal path
@@ -128,11 +148,16 @@ class KvConnector {
   tenant::TenantCert cert_;
   ProcessMode mode_;
   std::string prefix_;
-  billing::IntervalFeatures features_;
+  kv::TxnOptions txn_options_;
   kv::NodeId home_node_ = 0;
+  obs::TraceContext* current_trace_ = nullptr;
+
+  /// Pipelined transaction batches invoke the sender from executor
+  /// threads; the accounting they touch is guarded here.
+  mutable std::mutex acct_mu_;
+  billing::IntervalFeatures features_;
   uint64_t marshaled_bytes_ = 0;
   Nanos kv_cpu_nanos_ = 0;
-  obs::TraceContext* current_trace_ = nullptr;
 
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -46,6 +46,17 @@ StatusOr<ResultSet> Session::ExecuteStmt(const std::string& sql,
           if (txn_ != nullptr) {
             return Status::InvalidArgument("transaction already open");
           }
+          // `SET txn_mode = classic|fast` picks the commit path for
+          // explicit transactions (docs/TXN.md). Default: fast (buffered
+          // writes, pipelining, 1PC, parallel commit).
+          auto mode = settings_.find("txn_mode");
+          kv::TxnOptions opts;
+          if (mode != settings_.end()) {
+            std::string value = mode->second;
+            for (char& c : value) c = static_cast<char>(std::tolower(c));
+            if (value == "classic") opts = kv::TxnOptions::Classic();
+          }
+          connector_->set_txn_options(opts);
           txn_ = connector_->BeginTransaction();
           return ResultSet{};
         }

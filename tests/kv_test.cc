@@ -713,9 +713,13 @@ TEST_F(TransactionTest, DestructorRollsBack) {
 TEST_F(TransactionTest, WriteWriteConflictBlocksSecondWriter) {
   Transaction t1(cluster_.get(), 10);
   ASSERT_TRUE(t1.Put(Key(10, "contended"), "t1").ok());
+  // Buffered writes conflict only once flushed as intents.
+  ASSERT_TRUE(t1.Flush().ok());
   Transaction t2(cluster_.get(), 10);
-  // Equal priority, healthy t1: t2's write must fail with an intent error.
-  EXPECT_TRUE(t2.Put(Key(10, "contended"), "t2").IsWriteIntentError());
+  // Equal priority, healthy t1: t2's flushed write must fail with an
+  // intent error.
+  ASSERT_TRUE(t2.Put(Key(10, "contended"), "t2").ok());
+  EXPECT_TRUE(t2.Flush().IsWriteIntentError());
   ASSERT_TRUE(t1.Commit().ok());
   // After t1 finishes, t2 can proceed.
   ASSERT_TRUE(t2.Put(Key(10, "contended"), "t2").ok());
@@ -728,8 +732,10 @@ TEST_F(TransactionTest, WriteWriteConflictBlocksSecondWriter) {
 TEST_F(TransactionTest, HighPriorityWriterAbortsLowPriority) {
   Transaction low(cluster_.get(), 10, /*priority=*/0);
   ASSERT_TRUE(low.Put(Key(10, "k"), "low").ok());
+  ASSERT_TRUE(low.Flush().ok());
   Transaction high(cluster_.get(), 10, /*priority=*/100);
   ASSERT_TRUE(high.Put(Key(10, "k"), "high").ok());
+  ASSERT_TRUE(high.Flush().ok());
   ASSERT_TRUE(high.Commit().ok());
   EXPECT_EQ(low.Commit().code(), Code::kTransactionAborted);
   BatchRequest get = Req(10);
@@ -774,9 +780,11 @@ TEST_F(TransactionTest, RefreshAllowsCommitWhenReadSetUnchanged) {
   get.AddGet(Key(10, "write-key"));
   ASSERT_TRUE(cluster_->Send(get).ok());
   ASSERT_TRUE(txn.Put(Key(10, "write-key"), "v").ok());
-  // Nothing in the read set changed: refresh passes and the commit lands.
+  // Nothing in the read set changed: refresh passes and the commit lands
+  // above the timestamp the txn started reading at.
+  const Timestamp initial_read_ts = txn.read_ts();
   ASSERT_TRUE(txn.Commit().ok());
-  EXPECT_GT(txn.commit_ts(), txn.read_ts());
+  EXPECT_GT(txn.commit_ts(), initial_read_ts);
 }
 
 TEST_F(TransactionTest, RefreshFailsWhenReadSetChanged) {

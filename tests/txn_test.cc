@@ -1,0 +1,572 @@
+// Transaction hot-path suite: the batched timestamp oracle, parallel-commit
+// staging/recovery, read-span coalescing, per-path commit telemetry, and a
+// seeded differential check that the classic, buffered-1PC, and fully
+// pipelined/parallel commit paths produce identical committed state.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "kv/cluster.h"
+#include "kv/keys.h"
+#include "kv/timestamp.h"
+#include "kv/timestamp_oracle.h"
+#include "kv/transaction.h"
+#include "kv/txn.h"
+#include "storage/background.h"
+
+namespace veloce::kv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HLC batch reservation
+// ---------------------------------------------------------------------------
+
+TEST(HlcBatchTest, GenerateTimestampsReservesContiguousWindow) {
+  ManualClock physical(1000);
+  HybridLogicalClock hlc(&physical);
+  const Timestamp first = hlc.GenerateTimestamps(10);
+  // The whole batch shares one wall value; the i-th reserved timestamp is
+  // {first.wall, first.logical + i}.
+  const Timestamp last = {first.wall, first.logical + 9};
+  EXPECT_EQ(hlc.Latest(), last);
+  // Nothing else may be handed out inside the reserved window.
+  const Timestamp after = hlc.Now();
+  EXPECT_GT(after, last);
+  // A second batch sits strictly above the first.
+  const Timestamp second = hlc.GenerateTimestamps(10);
+  EXPECT_GT(second, after);
+}
+
+TEST(HlcBatchTest, BatchNeverStraddlesWallValues) {
+  ManualClock physical(1000);
+  HybridLogicalClock hlc(&physical);
+  // Push the logical component near the top of its range.
+  hlc.Update({2000, UINT32_MAX - 3});
+  const Timestamp first = hlc.GenerateTimestamps(16);
+  // 16 timestamps no longer fit at wall=2000; the batch moves to a fresh
+  // wall value so holders can enumerate it as {wall, logical + i}.
+  EXPECT_EQ(first.logical, 0u);
+  EXPECT_GT(first.wall, 2000);
+}
+
+// ---------------------------------------------------------------------------
+// Batched timestamp oracle
+// ---------------------------------------------------------------------------
+
+TEST(OracleTest, BatchAmortizesClockTraffic) {
+  ManualClock physical(1000);
+  HybridLogicalClock hlc(&physical);
+  TimestampOracleOptions opts;
+  opts.batch_size = 8;
+  opts.refill_threshold = 0;  // no prefetch: count exact refills
+  TimestampOracle oracle(&hlc, opts);
+  Timestamp prev = oracle.Next();
+  for (int i = 1; i < 8; ++i) {
+    const Timestamp t = oracle.Next();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  EXPECT_EQ(oracle.sync_refills(), 1u);  // 8 Next() calls, one HLC trip
+  oracle.Next();
+  EXPECT_EQ(oracle.sync_refills(), 2u);
+}
+
+TEST(OracleTest, ObserveInsideWindowFastForwards) {
+  ManualClock physical(1000);
+  HybridLogicalClock hlc(&physical);
+  TimestampOracleOptions opts;
+  opts.batch_size = 100;
+  opts.refill_threshold = 0;
+  TimestampOracle oracle(&hlc, opts);
+  const Timestamp first = oracle.Next();
+  const Timestamp committed = {first.wall, first.logical + 50};
+  oracle.Observe(committed);
+  // Session guarantee: the next timestamp exceeds the observed commit, and
+  // the fast-forward did not force a new HLC batch.
+  EXPECT_GT(oracle.Next(), committed);
+  EXPECT_EQ(oracle.sync_refills(), 1u);
+}
+
+TEST(OracleTest, ObserveBeyondWindowInvalidates) {
+  ManualClock physical(1000);
+  HybridLogicalClock hlc(&physical);
+  TimestampOracleOptions opts;
+  opts.batch_size = 100;
+  opts.refill_threshold = 0;
+  TimestampOracle oracle(&hlc, opts);
+  oracle.Next();
+  const Timestamp committed = {999999, 5};  // far past the cached window
+  oracle.Observe(committed);
+  EXPECT_GT(oracle.Next(), committed);
+  EXPECT_EQ(oracle.sync_refills(), 2u);  // window was discarded and refilled
+}
+
+TEST(OracleTest, AsyncRefillRunsOnExecutor) {
+  ManualClock physical(1000);
+  HybridLogicalClock hlc(&physical);
+  storage::ThreadPoolExecutor pool(2);
+  TimestampOracleOptions opts;
+  opts.batch_size = 16;
+  opts.refill_threshold = 8;
+  opts.executor = &pool;
+  TimestampOracle oracle(&hlc, opts);
+  // Draw the cache below the refill threshold, then let the prefetch land.
+  for (int i = 0; i < 12; ++i) oracle.Next();
+  pool.Drain();
+  EXPECT_GE(oracle.async_refills(), 1u);
+  // The refilled window keeps handing out strictly increasing timestamps.
+  Timestamp prev = oracle.Next();
+  for (int i = 0; i < 32; ++i) {
+    const Timestamp t = oracle.Next();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+// TSan target (label `txn`): foreground Next() callers race with executor
+// refills and Observe(); every handed-out timestamp must stay globally
+// unique and per-thread strictly monotonic.
+TEST(OracleTest, MonotonicUnderConcurrentRefills) {
+  ManualClock physical(1000);  // frozen wall clock: logical-only pressure
+  HybridLogicalClock hlc(&physical);
+  storage::ThreadPoolExecutor pool(4);
+  TimestampOracleOptions opts;
+  opts.batch_size = 8;  // small batches: constant refill churn
+  opts.refill_threshold = 4;
+  opts.executor = &pool;
+  TimestampOracle oracle(&hlc, opts);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<Timestamp>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&oracle, &seen, t] {
+      seen[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        const Timestamp ts = oracle.Next();
+        seen[t].push_back(ts);
+        if ((i & 63) == 0) oracle.Observe(ts);  // commit-ack interleaving
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  pool.Drain();
+
+  std::set<std::pair<Nanos, uint32_t>> unique;
+  for (const auto& per_thread : seen) {
+    for (size_t i = 0; i < per_thread.size(); ++i) {
+      if (i > 0) {
+        EXPECT_LT(per_thread[i - 1], per_thread[i]);
+      }
+      unique.emplace(per_thread[i].wall, per_thread[i].logical);
+    }
+  }
+  EXPECT_EQ(unique.size(), static_cast<size_t>(kThreads) * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// TxnRegistry staging transitions
+// ---------------------------------------------------------------------------
+
+class TxnRegistryStagingTest : public ::testing::Test {
+ protected:
+  TxnRegistryStagingTest() : clock_(1000), registry_(&clock_) {}
+
+  ManualClock clock_;
+  TxnRegistry registry_;
+};
+
+TEST_F(TxnRegistryStagingTest, StageDeclaresCommitCondition) {
+  const TxnRecord rec = registry_.Begin({100, 0}, 0);
+  ASSERT_TRUE(registry_.Stage(rec.id, {100, 5}, {"a", "b"}).ok());
+  const TxnRecord staged = *registry_.Get(rec.id);
+  EXPECT_EQ(staged.status, TxnStatus::kStaging);
+  EXPECT_EQ(staged.staged_ts, (Timestamp{100, 5}));
+  EXPECT_GE(staged.write_ts, staged.staged_ts);
+  ASSERT_EQ(staged.in_flight_writes.size(), 2u);
+}
+
+TEST_F(TxnRegistryStagingTest, PushLeavesStagingForRecovery) {
+  const TxnRecord rec = registry_.Begin({100, 0}, 0);
+  ASSERT_TRUE(registry_.Stage(rec.id, {100, 5}, {"a"}).ok());
+  // Even a max-priority abort push cannot touch a staged record — it may
+  // already be implicitly committed. The pusher must run recovery.
+  const PushResult pr = registry_.Push(rec.id, INT32_MAX,
+                                       TxnRegistry::PushType::kAbort,
+                                       Timestamp{200, 0});
+  EXPECT_FALSE(pr.pushed);
+  EXPECT_EQ(pr.pushee_status, TxnStatus::kStaging);
+  EXPECT_EQ(pr.commit_ts, (Timestamp{100, 5}));
+  EXPECT_EQ(registry_.Get(rec.id)->status, TxnStatus::kStaging);
+}
+
+TEST_F(TxnRegistryStagingTest, ReStagingAfterBumpMovesCommitCondition) {
+  const TxnRecord rec = registry_.Begin({100, 0}, 0);
+  ASSERT_TRUE(registry_.Stage(rec.id, {100, 5}, {"a"}).ok());
+  // A late pipelined write got bumped above the staged timestamp: the
+  // commit condition fails and the coordinator refreshes + re-stages.
+  ASSERT_TRUE(registry_.BumpWriteTimestamp(rec.id, {150, 0}).ok());
+  ASSERT_TRUE(registry_.Stage(rec.id, {150, 0}, {"a", "b"}).ok());
+  const TxnRecord staged = *registry_.Get(rec.id);
+  EXPECT_EQ(staged.staged_ts, (Timestamp{150, 0}));
+  EXPECT_EQ(staged.in_flight_writes.size(), 2u);
+}
+
+TEST_F(TxnRegistryStagingTest, StageFailsAfterPusherAborts) {
+  const TxnRecord rec = registry_.Begin({100, 0}, 0);
+  ASSERT_TRUE(registry_.Abort(rec.id).ok());
+  const Status s = registry_.Stage(rec.id, {100, 5}, {"a"});
+  EXPECT_EQ(s.code(), Code::kTransactionAborted);
+}
+
+TEST_F(TxnRegistryStagingTest, CommitFinalizesStagedRecord) {
+  const TxnRecord rec = registry_.Begin({100, 0}, 0);
+  ASSERT_TRUE(registry_.Stage(rec.id, {100, 5}, {"a"}).ok());
+  ASSERT_TRUE(registry_.Commit(rec.id, {100, 5}).ok());
+  const TxnRecord committed = *registry_.Get(rec.id);
+  EXPECT_EQ(committed.status, TxnStatus::kCommitted);
+  EXPECT_EQ(committed.write_ts, (Timestamp{100, 5}));
+  EXPECT_TRUE(committed.in_flight_writes.empty());
+  // Commit is idempotent (recovery may have finalized first).
+  EXPECT_TRUE(registry_.Commit(rec.id, {100, 5}).ok());
+}
+
+TEST_F(TxnRegistryStagingTest, GcCollectsFinalizedButNeverStaging) {
+  const TxnRecord committed = registry_.Begin({100, 0}, 0);
+  const TxnRecord aborted = registry_.Begin({100, 0}, 0);
+  const TxnRecord staged = registry_.Begin({100, 0}, 0);
+  const TxnRecord pending = registry_.Begin({100, 0}, 0);
+  ASSERT_TRUE(registry_.Commit(committed.id, {100, 1}).ok());
+  ASSERT_TRUE(registry_.Abort(aborted.id).ok());
+  ASSERT_TRUE(registry_.Stage(staged.id, {100, 2}, {"a"}).ok());
+  clock_.Advance(TxnRegistry::kExpiration + 1);
+  EXPECT_EQ(registry_.GarbageCollect(), 2u);  // committed + aborted
+  EXPECT_EQ(registry_.size(), 2u);
+  // The staged record may still be implicitly committed; only recovery may
+  // finalize it. The pending record is abandoned but not yet finalized.
+  EXPECT_EQ(registry_.Get(staged.id)->status, TxnStatus::kStaging);
+  EXPECT_EQ(registry_.Get(pending.id)->status, TxnStatus::kPending);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-commit recovery at the cluster
+// ---------------------------------------------------------------------------
+
+class TxnRecoveryTest : public ::testing::Test {
+ protected:
+  TxnRecoveryTest() : clock_(10 * kSecond) {
+    KVClusterOptions opts;
+    opts.num_nodes = 3;
+    opts.replication_factor = 3;
+    opts.clock = &clock_;
+    cluster_ = std::make_unique<KVCluster>(opts);
+    VELOCE_CHECK_OK(cluster_->CreateTenantKeyspace(10));
+  }
+
+  std::string Key(const std::string& k) { return AddTenantPrefix(10, k); }
+
+  Status WriteIntent(const TxnRecord& rec, const std::string& key,
+                     const std::string& value) {
+    BatchRequest req;
+    req.tenant_id = 10;
+    req.ts = rec.read_ts;
+    req.txn_id = rec.id;
+    req.txn_priority = rec.priority;
+    req.AddPut(key, value);
+    return cluster_->Send(req).status();
+  }
+
+  StatusOr<BatchResponse> Read(const std::string& key) {
+    BatchRequest req;
+    req.tenant_id = 10;
+    req.ts = cluster_->Now();
+    req.AddGet(key);
+    return cluster_->Send(req);
+  }
+
+  double Recoveries() {
+    return cluster_->metrics()->Sum("veloce_txn_staging_recoveries_total");
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<KVCluster> cluster_;
+};
+
+TEST_F(TxnRecoveryTest, RecoveryCommitsImplicitlyCommittedTxn) {
+  const TxnRecord rec = cluster_->BeginTxn();
+  ASSERT_TRUE(WriteIntent(rec, Key("a"), "va").ok());
+  ASSERT_TRUE(WriteIntent(rec, Key("b"), "vb").ok());
+  Timestamp staged;
+  ASSERT_TRUE(cluster_->StageTxn(rec.id, {Key("a"), Key("b")}, &staged).ok());
+
+  // Every declared write holds an intent at or below staged_ts, so the txn
+  // is implicitly committed: a conflicting reader's push triggers recovery,
+  // which finalizes the record and lets the read observe the value.
+  auto resp = Read(Key("a"));
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_TRUE(resp->responses[0].found);
+  EXPECT_EQ(resp->responses[0].value, "va");
+  EXPECT_EQ(Recoveries(), 1.0);
+
+  const TxnRecord after = *cluster_->txn_registry()->Get(rec.id);
+  EXPECT_EQ(after.status, TxnStatus::kCommitted);
+  EXPECT_EQ(after.write_ts, staged);
+
+  // The coordinator's own commit arrives later and is an idempotent no-op
+  // landing on the same timestamp recovery chose.
+  Timestamp commit_ts;
+  ASSERT_TRUE(cluster_->CommitTxn(rec.id, {Key("a"), Key("b")}, &commit_ts).ok());
+  EXPECT_EQ(commit_ts, staged);
+  auto b = Read(Key("b"));
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->responses[0].found);
+}
+
+TEST_F(TxnRecoveryTest, RecoveryBacksOffWhileCoordinatorIsLive) {
+  const TxnRecord rec = cluster_->BeginTxn();
+  ASSERT_TRUE(WriteIntent(rec, Key("a"), "va").ok());
+  // Declare a write that has not landed yet: the commit condition is not
+  // provable, and the record is fresh — the pusher must wait.
+  Timestamp staged;
+  ASSERT_TRUE(cluster_->StageTxn(rec.id, {Key("a"), Key("b")}, &staged).ok());
+
+  const Status s = Read(Key("a")).status();
+  EXPECT_TRUE(s.IsWriteIntentError()) << s.ToString();
+  EXPECT_EQ(Recoveries(), 1.0);
+  EXPECT_EQ(cluster_->txn_registry()->Get(rec.id)->status, TxnStatus::kStaging);
+}
+
+TEST_F(TxnRecoveryTest, RecoveryAbortsExpiredStagingAndFencesLateWrites) {
+  const TxnRecord rec = cluster_->BeginTxn();
+  ASSERT_TRUE(WriteIntent(rec, Key("a"), "va").ok());
+  Timestamp staged;
+  ASSERT_TRUE(cluster_->StageTxn(rec.id, {Key("a"), Key("b")}, &staged).ok());
+
+  // The coordinator dies: the record expires with the commit condition
+  // unprovable, so recovery aborts it and the reader proceeds.
+  clock_.Advance(TxnRegistry::kExpiration + kSecond);
+  auto resp = Read(Key("a"));
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_FALSE(resp->responses[0].found);
+  EXPECT_EQ(cluster_->txn_registry()->Get(rec.id)->status, TxnStatus::kAborted);
+
+  // A late pipelined write from the dead coordinator cannot land and
+  // retroactively satisfy the stale staging.
+  const Status late = WriteIntent(rec, Key("b"), "vb");
+  EXPECT_EQ(late.code(), Code::kTransactionAborted) << late.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator paths: span coalescing, telemetry, pipelining, differential
+// ---------------------------------------------------------------------------
+
+class TxnPathTest : public ::testing::Test {
+ protected:
+  TxnPathTest() {
+    KVClusterOptions opts;
+    opts.num_nodes = 3;
+    opts.replication_factor = 3;
+    cluster_ = std::make_unique<KVCluster>(opts);
+    VELOCE_CHECK_OK(cluster_->CreateTenantKeyspace(10));
+  }
+
+  std::string Key(const std::string& k) { return AddTenantPrefix(10, k); }
+
+  double CommitCount(const std::string& path) {
+    return cluster_->metrics()->Value("veloce_txn_commits_total",
+                                      {{"path", path}});
+  }
+
+  std::unique_ptr<KVCluster> cluster_;
+};
+
+TEST_F(TxnPathTest, ReadSpansCoalesce) {
+  Transaction txn(cluster_.get(), 10);
+  std::optional<std::string> value;
+  ASSERT_TRUE(txn.Get(Key("a"), &value).ok());
+  ASSERT_TRUE(txn.Get(Key("c"), &value).ok());
+  EXPECT_EQ(txn.read_span_count(), 2u);
+  // A scan covering both point reads absorbs them into one span.
+  std::vector<MvccScanEntry> rows;
+  ASSERT_TRUE(txn.Scan(Key("a"), Key("d"), 0, &rows).ok());
+  EXPECT_EQ(txn.read_span_count(), 1u);
+  // A point read inside the merged span adds nothing.
+  ASSERT_TRUE(txn.Get(Key("b"), &value).ok());
+  EXPECT_EQ(txn.read_span_count(), 1u);
+  // A disjoint read opens a second span.
+  ASSERT_TRUE(txn.Get(Key("z"), &value).ok());
+  EXPECT_EQ(txn.read_span_count(), 2u);
+  ASSERT_TRUE(txn.Commit().ok());
+}
+
+TEST_F(TxnPathTest, CommitPathCountersDistinguishPaths) {
+  {
+    // Write-only, single range, still buffered at commit: 1PC.
+    Transaction txn(cluster_.get(), 10);
+    ASSERT_TRUE(txn.Put(Key("p1"), "v").ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  EXPECT_EQ(CommitCount("1pc"), 1.0);
+  {
+    // An explicit flush lays intents, so commit goes through STAGING.
+    Transaction txn(cluster_.get(), 10);
+    ASSERT_TRUE(txn.Put(Key("p2"), "v").ok());
+    ASSERT_TRUE(txn.Flush().ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  EXPECT_EQ(CommitCount("parallel"), 1.0);
+  {
+    Transaction txn(cluster_.get(), 10, 0, nullptr, TxnOptions::Classic());
+    ASSERT_TRUE(txn.Put(Key("p3"), "v").ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  EXPECT_EQ(CommitCount("classic"), 1.0);
+  EXPECT_EQ(CommitCount("1pc"), 1.0);
+  EXPECT_EQ(CommitCount("parallel"), 1.0);
+}
+
+TEST_F(TxnPathTest, OracleObservesAcknowledgedCommits) {
+  Transaction txn(cluster_.get(), 10);
+  ASSERT_TRUE(txn.Put(Key("obs"), "v").ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  // Session guarantee: a transaction started after the commit ack must read
+  // above the commit timestamp, or it would miss the committed write.
+  const TxnRecord next = cluster_->BeginTxn();
+  EXPECT_GT(next.read_ts, txn.commit_ts());
+}
+
+TEST_F(TxnPathTest, PipelinedFlushesProveBeforeParallelCommit) {
+  storage::ThreadPoolExecutor pool(2);
+  TxnOptions opts;
+  opts.executor = &pool;
+  opts.max_buffered_writes = 16;  // force several pipelined intent batches
+  {
+    Transaction txn(cluster_.get(), 10, 0, nullptr, opts);
+    std::optional<std::string> value;
+    for (int i = 0; i < 60; ++i) {
+      const std::string k = "pipe" + std::to_string(100 + i);
+      ASSERT_TRUE(txn.Put(Key(k), "v" + std::to_string(i)).ok());
+    }
+    // Reading an already-flushed key must wait for its in-flight batch.
+    ASSERT_TRUE(txn.Get(Key("pipe100"), &value).ok());
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, "v0");
+    ASSERT_TRUE(txn.Commit().ok());
+    EXPECT_GE(txn.batches_sent(), 4u);  // 3 pipelined flushes + final
+  }
+  pool.Drain();
+  BatchRequest scan;
+  scan.tenant_id = 10;
+  scan.ts = cluster_->Now();
+  scan.AddScan(Key("pipe"), Key("pipf"), 0);
+  auto resp = cluster_->Send(scan);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->responses[0].rows.size(), 60u);
+}
+
+// Differential check: the same seeded op script runs against three clusters
+// whose transactions use (1) the classic path, (2) buffered writes + 1PC
+// only, and (3) the full pipelined/parallel hot path. Every read observation
+// and the final committed state must be identical.
+std::vector<std::string> RunScript(const TxnOptions& opts) {
+  KVClusterOptions copts;
+  copts.num_nodes = 3;
+  copts.replication_factor = 3;
+  KVCluster cluster(copts);
+  VELOCE_CHECK_OK(cluster.CreateTenantKeyspace(10));
+
+  std::vector<std::string> log;
+  Random rng(0xD1FFE7);
+  auto key = [&](uint64_t i) {
+    return AddTenantPrefix(10, "k" + std::to_string(10 + i));
+  };
+  for (int t = 0; t < 25; ++t) {
+    Transaction txn(&cluster, 10, 0, nullptr, opts);
+    const uint64_t nops = 1 + rng.Uniform(6);
+    bool aborted = false;
+    for (uint64_t i = 0; i < nops && !aborted; ++i) {
+      const uint64_t kind = rng.Uniform(10);
+      if (kind < 4) {
+        const Status s =
+            txn.Put(key(rng.Uniform(24)), "v" + std::to_string(rng.Next() % 1000));
+        if (!s.ok()) aborted = true;
+      } else if (kind < 5) {
+        if (!txn.Delete(key(rng.Uniform(24))).ok()) aborted = true;
+      } else if (kind < 8) {
+        std::optional<std::string> value;
+        const Status s = txn.Get(key(rng.Uniform(24)), &value);
+        if (!s.ok()) {
+          aborted = true;
+        } else {
+          log.push_back("get:" + (value.has_value() ? *value : "<miss>"));
+        }
+      } else {
+        uint64_t a = rng.Uniform(24), b = rng.Uniform(24);
+        if (a > b) std::swap(a, b);
+        std::vector<MvccScanEntry> rows;
+        const Status s = txn.Scan(key(a), key(b + 1), 0, &rows);
+        if (!s.ok()) {
+          aborted = true;
+        } else {
+          std::string line = "scan:";
+          for (const auto& row : rows) line += row.key + "=" + row.value + ",";
+          log.push_back(std::move(line));
+        }
+      }
+    }
+    if (aborted) {
+      (void)txn.Rollback();
+      log.push_back("txn:aborted-midway");
+    } else if (rng.Uniform(10) < 9) {
+      log.push_back("commit:" + std::to_string(static_cast<int>(txn.Commit().code())));
+    } else {
+      log.push_back("rollback:" +
+                    std::to_string(static_cast<int>(txn.Rollback().code())));
+    }
+  }
+  // Final committed state, observed outside any transaction.
+  BatchRequest scan;
+  scan.tenant_id = 10;
+  scan.ts = cluster.Now();
+  scan.AddScan(AddTenantPrefix(10, "k"), AddTenantPrefix(10, "l"), 0);
+  auto resp = cluster.Send(scan);
+  VELOCE_CHECK_OK(resp.status());
+  std::string fin = "final:";
+  for (const auto& row : resp->responses[0].rows) {
+    fin += row.key + "=" + row.value + ",";
+  }
+  log.push_back(std::move(fin));
+  return log;
+}
+
+TEST(TxnDifferentialTest, CommitPathsProduceIdenticalState) {
+  const std::vector<std::string> classic = RunScript(TxnOptions::Classic());
+
+  TxnOptions buffered_1pc;
+  buffered_1pc.pipeline_writes = false;
+  buffered_1pc.parallel_commit = false;
+  const std::vector<std::string> buffered = RunScript(buffered_1pc);
+
+  storage::ThreadPoolExecutor pool(4);
+  TxnOptions fast;
+  fast.executor = &pool;
+  fast.max_buffered_writes = 4;  // exercise mid-txn pipelined flushes
+  const std::vector<std::string> pipelined = RunScript(fast);
+  pool.Drain();
+
+  EXPECT_EQ(classic, buffered);
+  EXPECT_EQ(classic, pipelined);
+}
+
+}  // namespace
+}  // namespace veloce::kv
