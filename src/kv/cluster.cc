@@ -557,9 +557,12 @@ StatusOr<BatchResponse> KVCluster::ExecuteOnePhaseLocked(const BatchRequest& req
     resp.now = hlc_.Now();
     return resp;
   }
-  // Point of no return: commit the record, then write committed versions
-  // directly — no intents, no separate resolution round.
-  VELOCE_RETURN_IF_ERROR(txn_registry_.Commit(req.txn_id, ts));
+  // Write committed versions directly — no intents, no separate resolution
+  // round. Replication must succeed BEFORE the record commits: the cluster
+  // mutex is held throughout, so no pusher can observe the gap, and a
+  // replication failure (quorum loss, WAL fault) leaves the record pending
+  // — the client's Rollback still works and the registry never claims a
+  // commit that wrote nothing.
   storage::WriteBatch batch;
   uint64_t bytes = 0;
   for (const auto& r : req.requests) {
@@ -574,6 +577,7 @@ StatusOr<BatchResponse> KVCluster::ExecuteOnePhaseLocked(const BatchRequest& req
     obs::ScopedSpan span(req.trace, "replication");
     VELOCE_RETURN_IF_ERROR(ReplicateLocked(range, batch, req.tenant_id));
   }
+  VELOCE_RETURN_IF_ERROR(txn_registry_.Commit(req.txn_id, ts));
   range->approx_bytes += bytes;
   hlc_.Update(ts);
   oracle_->Observe(ts);
@@ -583,7 +587,8 @@ StatusOr<BatchResponse> KVCluster::ExecuteOnePhaseLocked(const BatchRequest& req
   return resp;
 }
 
-StatusOr<PushResult> KVCluster::RecoverStagedTxnLocked(TxnId id) {
+StatusOr<PushResult> KVCluster::RecoverStagedTxnLocked(TxnId id,
+                                                       bool coordinator_abandoned) {
   VELOCE_ASSIGN_OR_RETURN(TxnRecord rec, txn_registry_.Get(id));
   if (rec.status != TxnStatus::kStaging) {
     // Finalized while we were deciding to recover.
@@ -621,7 +626,9 @@ StatusOr<PushResult> KVCluster::RecoverStagedTxnLocked(TxnId id) {
     pr.commit_ts = rec.staged_ts;
     return pr;
   }
-  const bool expired = clock_->Now() - rec.last_heartbeat > TxnRegistry::kExpiration;
+  const bool expired =
+      coordinator_abandoned ||
+      clock_->Now() - rec.last_heartbeat > TxnRegistry::kExpiration;
   if (!expired) {
     // A live parallel commit is still in flight; back off and let the
     // coordinator finish.
@@ -846,7 +853,8 @@ TxnRecord KVCluster::BeginTxn(int32_t priority) {
 }
 
 Status KVCluster::StageTxn(TxnId id, const std::vector<std::string>& in_flight_keys,
-                           Timestamp* staged_ts) {
+                           Timestamp* staged_ts,
+                           std::optional<Timestamp> validated_ts) {
   std::lock_guard<std::recursive_mutex> l(mu_);
   VELOCE_ASSIGN_OR_RETURN(TxnRecord rec, txn_registry_.Get(id));
   if (rec.status == TxnStatus::kAborted) {
@@ -859,6 +867,15 @@ Status KVCluster::StageTxn(TxnId id, const std::vector<std::string>& in_flight_k
     return Status::OK();
   }
   const Timestamp ts = rec.write_ts;
+  if (validated_ts.has_value() && ts > *validated_ts) {
+    // Staging here would declare a commit timestamp the coordinator never
+    // validated its reads at — and once staged, a concurrent recovery may
+    // finalize the commit the moment the last declared intent lands. Hand
+    // back the refresh target instead; the record stays as it was.
+    if (staged_ts != nullptr) *staged_ts = ts;
+    return Status::TransactionRetry(
+        "write timestamp above validated reads; refresh and re-stage");
+  }
   VELOCE_RETURN_IF_ERROR(txn_registry_.Stage(id, ts, in_flight_keys));
   oracle_->Observe(ts);
   if (staged_ts != nullptr) *staged_ts = ts;
@@ -866,10 +883,19 @@ Status KVCluster::StageTxn(TxnId id, const std::vector<std::string>& in_flight_k
 }
 
 Status KVCluster::CommitTxn(TxnId id, const std::vector<std::string>& intent_keys,
-                            Timestamp* commit_ts) {
+                            Timestamp* commit_ts,
+                            std::optional<Timestamp> validated_ts) {
   std::lock_guard<std::recursive_mutex> l(mu_);
   VELOCE_ASSIGN_OR_RETURN(TxnRecord rec, txn_registry_.Get(id));
   Timestamp ts = rec.write_ts;
+  if (rec.status == TxnStatus::kPending && validated_ts.has_value() &&
+      ts > *validated_ts) {
+    // A pusher moved the write timestamp after the coordinator's refresh;
+    // committing would finalize reads never validated at `ts`.
+    if (commit_ts != nullptr) *commit_ts = ts;
+    return Status::TransactionRetry(
+        "write timestamp above validated reads; refresh and retry");
+  }
   if (rec.status == TxnStatus::kStaging) {
     if (rec.write_ts > rec.staged_ts) {
       // A pipelined write got bumped past the staged timestamp after
@@ -894,6 +920,24 @@ Status KVCluster::CommitTxn(TxnId id, const std::vector<std::string>& intent_key
   if (commit_ts != nullptr) *commit_ts = ts;
   hlc_.Update(ts);
   return Status::OK();
+}
+
+StatusOr<PushResult> KVCluster::ResolveAbandonedStaging(TxnId id) {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  return RecoverStagedTxnLocked(id, /*coordinator_abandoned=*/true);
+}
+
+size_t KVCluster::GarbageCollectTxns() {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  // Expired staging records (the coordinator died mid-parallel-commit) are
+  // finalized through the recovery procedure — implicit commit when every
+  // declared write is present, abort with tscache fencing otherwise — so
+  // they cannot accumulate forever. Failures (e.g. a range temporarily
+  // unavailable) leave the record for the next sweep.
+  for (const TxnId id : txn_registry_.ExpiredStaging()) {
+    (void)RecoverStagedTxnLocked(id);
+  }
+  return txn_registry_.GarbageCollect();
 }
 
 Status KVCluster::AbortTxn(TxnId id, const std::vector<std::string>& intent_keys) {

@@ -145,17 +145,44 @@ class KVCluster {
   TxnRecord BeginTxn(int32_t priority = 0);
   /// Parallel commit, phase 1: moves the record to STAGING at its current
   /// write timestamp with `in_flight_keys` as the commit condition. The
-  /// staged timestamp is returned; once the coordinator proves every
-  /// in-flight write succeeded at or below it, the txn is committed and the
-  /// client may be acknowledged before intent resolution.
+  /// staged timestamp is returned; once every in-flight write is proven to
+  /// have succeeded at or below it, the txn is committed and the client may
+  /// be acknowledged before intent resolution.
+  ///
+  /// Staging makes the commit a distributed fact — a concurrent recovery
+  /// may finalize the txn the moment the last declared intent lands — so
+  /// the coordinator must have validated its reads up to the staged
+  /// timestamp BEFORE staging. Pass the refreshed read timestamp as
+  /// `validated_ts`: if the record's write timestamp has moved above it
+  /// (an in-flight write bump or a reader's push), nothing is staged,
+  /// `*staged_ts` receives the timestamp to refresh to, and
+  /// TransactionRetry is returned. nullopt skips the check (the txn
+  /// performed no reads).
   Status StageTxn(TxnId id, const std::vector<std::string>& in_flight_keys,
-                  Timestamp* staged_ts);
+                  Timestamp* staged_ts,
+                  std::optional<Timestamp> validated_ts = std::nullopt);
   /// Commits: finalizes the record (at staged_ts when staging), then
   /// resolves the given intents. commit_ts (optional) receives the final
-  /// commit timestamp.
+  /// commit timestamp. For a pending record, `validated_ts` guards the
+  /// same race as in StageTxn: if the write timestamp moved above it,
+  /// nothing commits, `*commit_ts` receives the refresh target, and
+  /// TransactionRetry is returned.
   Status CommitTxn(TxnId id, const std::vector<std::string>& intent_keys,
-                   Timestamp* commit_ts);
+                   Timestamp* commit_ts,
+                   std::optional<Timestamp> validated_ts = std::nullopt);
   Status AbortTxn(TxnId id, const std::vector<std::string>& intent_keys);
+  /// A coordinator abandoning its own parallel commit (a pipelined batch
+  /// failed after the record was staged, so whether the writes applied is
+  /// unknown) runs the recovery check instead of blindly aborting: the
+  /// result states whether the txn is committed (every declared write
+  /// present at or below staged_ts) or was safely aborted. The record must
+  /// be staging or already finalized.
+  StatusOr<PushResult> ResolveAbandonedStaging(TxnId id);
+  /// Txn-record GC: runs the recovery procedure on expired STAGING records
+  /// (finalizing them as implicitly-committed or aborted), then reaps old
+  /// finalized records. Returns records removed. Abandoned coordinators
+  /// therefore cannot leak staging records forever.
+  size_t GarbageCollectTxns();
   /// True if any key in [start,end) has a committed version in (after, upto]
   /// — the read-refresh check used to move a txn's read timestamp forward.
   StatusOr<bool> AnyNewerVersions(TenantId tenant, Slice start, Slice end,
@@ -254,8 +281,11 @@ class KVCluster {
   /// missing and the record expired, the txn is aborted (with the missing
   /// keys' timestamps poisoned in the tscache so a late write cannot
   /// retroactively satisfy the stale staging); otherwise the pusher backs
-  /// off (WriteIntentError).
-  StatusOr<PushResult> RecoverStagedTxnLocked(TxnId id);
+  /// off (WriteIntentError). `coordinator_abandoned` skips the liveness
+  /// backoff: the coordinator itself gave up on the commit (equivalent to
+  /// an expired record), so a missing write aborts immediately.
+  StatusOr<PushResult> RecoverStagedTxnLocked(TxnId id,
+                                              bool coordinator_abandoned = false);
   /// Replicates a storage batch to the range's live replicas (quorum
   /// required). Attributes payload bytes to the tenant on each node.
   Status ReplicateLocked(RangeState* range, const storage::WriteBatch& batch,

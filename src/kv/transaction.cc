@@ -333,36 +333,74 @@ Status Transaction::Commit() {
 
   if (options_.parallel_commit && !keys.empty()) {
     // Parallel commit: stage while pipelined intent writes may still be in
-    // flight. STAGING + all declared writes proven present IS the commit.
+    // flight. STAGING + all declared writes proven present IS the commit —
+    // a concurrent pusher's recovery may finalize the txn the moment the
+    // last intent lands — so reads MUST be validated up to the staged
+    // timestamp BEFORE staging. StageTxn enforces this: it refuses to
+    // stage above the validated timestamp and hands back the refresh
+    // target instead.
     Timestamp staged;
-    Status ss = cluster_->StageTxn(record_.id, keys, &staged);
+    Status ss;
+    for (int attempt = 0;; ++attempt) {
+      const Timestamp intended =
+          record_.read_ts < max_write_ts_ ? max_write_ts_ : record_.read_ts;
+      if (record_.read_ts < intended) {
+        Status rs = RefreshReads(intended);
+        if (!rs.ok()) {
+          // Never staged: the record is still pending, so aborting cannot
+          // contradict a recovery.
+          (void)Rollback();
+          return rs;
+        }
+      }
+      ss = cluster_->StageTxn(record_.id, keys, &staged, record_.read_ts);
+      if (ss.IsTransactionRetry() && attempt < 3) {
+        // The server-side write timestamp moved above what we validated
+        // (an in-flight write bump or a reader's push); `staged` carries
+        // the target to refresh to.
+        m.retries->Inc();
+        if (max_write_ts_ < staged) max_write_ts_ = staged;
+        continue;
+      }
+      break;
+    }
     if (!ss.ok()) {
-      if (ss.code() == Code::kTransactionAborted) (void)Rollback();
+      // Nothing was staged; the txn is pending (or already aborted by a
+      // pusher), so rolling back is safe.
+      if (ss.code() == Code::kTransactionAborted || ss.IsTransactionRetry()) {
+        (void)Rollback();
+      }
       return ss;
     }
     Status ps = WaitPipeline();
     if (!ps.ok()) {
-      (void)Rollback();
-      return ps;
+      // A batch failed after the txn was staged; its writes may still have
+      // applied server-side. Settle the outcome via the recovery check —
+      // never a blind rollback, which could race a recovery that proves
+      // the commit condition.
+      return ResolveIndeterminateCommit(ps, keys, start_ns);
     }
     if (max_write_ts_ > staged) {
-      // An in-flight write was bumped past the staged timestamp; the
-      // commit condition fails there, so re-stage at the bumped time.
+      // A late in-flight write landed above the staged timestamp. Its
+      // intent sits above `staged`, so the commit condition there provably
+      // fails and no recovery can have committed the record; refreshing
+      // and re-staging (or aborting) is still safe.
       m.retries->Inc();
-      ss = cluster_->StageTxn(record_.id, keys, &staged);
-      if (!ss.ok()) {
-        if (ss.code() == Code::kTransactionAborted) (void)Rollback();
-        return ss;
-      }
-    }
-    if (staged > record_.read_ts) {
-      Status rs = RefreshReads(staged);
+      Status rs = RefreshReads(max_write_ts_);
       if (!rs.ok()) {
         (void)Rollback();
         return rs;
       }
+      ss = cluster_->StageTxn(record_.id, keys, &staged, record_.read_ts);
+      if (!ss.ok()) {
+        if (ss.code() == Code::kTransactionAborted || ss.IsTransactionRetry()) {
+          (void)Rollback();
+        }
+        return ss;
+      }
     }
-    // Implicitly committed: ack the client now; resolution follows.
+    // Implicitly committed, with reads validated at the staged timestamp:
+    // ack the client now; resolution follows.
     commit_ts_ = staged;
     finalized_ = true;
     RecordCommit(m.commits_parallel, start_ns);
@@ -382,27 +420,78 @@ Status Transaction::Commit() {
 
   // Classic path (and read-only commits): drain the pipeline, refresh if
   // our write timestamp moved above our read timestamp, then commit and
-  // resolve before acking.
+  // resolve before acking. CommitTxn re-checks that nothing pushed the
+  // write timestamp past what was validated (a reader's push can race the
+  // refresh) and sends us around the loop again when it did.
   Status ps = WaitPipeline();
   if (!ps.ok()) {
     (void)Rollback();
     return ps;
   }
-  if (max_write_ts_ > record_.read_ts && !read_spans_.empty()) {
-    Status rs = RefreshReads(max_write_ts_);
-    if (!rs.ok()) {
-      (void)Rollback();
-      return rs;
+  Status s;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    if (max_write_ts_ > record_.read_ts && !read_spans_.empty()) {
+      Status rs = RefreshReads(max_write_ts_);
+      if (!rs.ok()) {
+        (void)Rollback();
+        return rs;
+      }
     }
+    Timestamp committed;
+    s = cluster_->CommitTxn(record_.id, keys, &committed,
+                            read_spans_.empty()
+                                ? std::nullopt
+                                : std::optional<Timestamp>(record_.read_ts));
+    if (s.IsTransactionRetry() && !committed.IsEmpty()) {
+      // `committed` carries the bumped write timestamp to validate up to.
+      m.retries->Inc();
+      if (max_write_ts_ < committed) max_write_ts_ = committed;
+      continue;
+    }
+    if (s.ok()) commit_ts_ = committed;
+    break;
   }
-  Status s = cluster_->CommitTxn(record_.id, keys, &commit_ts_);
   if (!s.ok()) {
-    if (s.code() == Code::kTransactionAborted) (void)Rollback();
+    if (s.code() == Code::kTransactionAborted || s.IsTransactionRetry()) {
+      (void)Rollback();
+    }
     return s;
   }
   finalized_ = true;
   RecordCommit(m.commits_classic, start_ns);
   return Status::OK();
+}
+
+Status Transaction::ResolveIndeterminateCommit(const Status& pipeline_error,
+                                               const std::vector<std::string>& keys,
+                                               Nanos start_ns) {
+  const KVCluster::TxnMetricSet& m = cluster_->txn_metrics();
+  // Whatever the outcome, this coordinator is done driving the commit; the
+  // destructor must not issue another rollback.
+  finalized_ = true;
+  StatusOr<PushResult> pr = cluster_->ResolveAbandonedStaging(record_.id);
+  if (pr.ok() && pr->pushee_status == TxnStatus::kCommitted) {
+    // Every declared write is present at or below the staged timestamp —
+    // the "failed" batch did apply, and reads were validated there before
+    // staging. The txn IS committed; resolve intents and ack.
+    commit_ts_ = pr->commit_ts;
+    (void)cluster_->CommitTxn(record_.id, keys, nullptr);
+    RecordCommit(m.commits_parallel, start_ns);
+    return Status::OK();
+  }
+  if (pr.ok() && pr->pushee_status == TxnStatus::kAborted) {
+    // A declared write is provably missing (and late writes are fenced in
+    // the tscache), so the txn never was implicitly committed. Clean up
+    // the intents that did land and surface the original failure.
+    (void)cluster_->AbortTxn(record_.id, keys);
+    return pipeline_error;
+  }
+  // Neither provable (e.g. a range was unavailable during the check): the
+  // commit outcome is unknown and must not be reported as a clean abort —
+  // a recovery may yet finalize it as committed.
+  return Status::Unavailable("txn " + std::to_string(record_.id) +
+                             " commit result unknown after pipeline failure: " +
+                             pipeline_error.ToString());
 }
 
 Status Transaction::Rollback() {

@@ -104,7 +104,11 @@ class Transaction {
   Status Flush();
 
   /// Commits; returns TransactionRetry if refresh fails (caller re-runs) or
-  /// TransactionAborted if a pusher won.
+  /// TransactionAborted if a pusher won. Either error guarantees the txn
+  /// did not and will not commit. Unavailable with "result unknown" is the
+  /// one exception: a pipelined batch failed after the commit was staged
+  /// and the outcome could not be resolved either way — the caller must
+  /// not assume the writes are absent.
   Status Commit();
   Status Rollback();
 
@@ -162,6 +166,16 @@ class Transaction {
   /// The one-phase commit attempt loop. OK = committed; NotSupported =
   /// caller falls back to the general path; anything else is final.
   Status TryOnePhaseCommit(Nanos start_ns);
+  /// A pipelined batch failed after the txn was staged: the failed batch
+  /// may still have applied server-side, so the commit outcome is
+  /// indeterminate and a blind rollback could contradict a concurrent
+  /// recovery. Runs the recovery check to settle it: OK when the commit
+  /// condition holds (the txn IS committed), the pipeline error when the
+  /// txn was safely aborted, Unavailable("result unknown") when neither
+  /// could be proven.
+  Status ResolveIndeterminateCommit(const Status& pipeline_error,
+                                    const std::vector<std::string>& keys,
+                                    Nanos start_ns);
   void RecordCommit(obs::Counter* path_counter, Nanos start_ns);
 
   KVCluster* cluster_;

@@ -164,6 +164,18 @@ size_t TxnRegistry::GarbageCollect() {
   return removed;
 }
 
+std::vector<TxnId> TxnRegistry::ExpiredStaging() const {
+  std::lock_guard<std::mutex> l(mu_);
+  const Nanos cutoff = clock_->Now() - kExpiration;
+  std::vector<TxnId> out;
+  for (const auto& [id, rec] : records_) {
+    if (rec.status == TxnStatus::kStaging && rec.last_heartbeat < cutoff) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
 size_t TxnRegistry::size() const {
   std::lock_guard<std::mutex> l(mu_);
   return records_.size();

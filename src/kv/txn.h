@@ -106,9 +106,17 @@ class TxnRegistry {
                   Timestamp push_to);
 
   /// Removes committed/aborted records older than kExpiration (GC).
-  /// Staging records are never collected — they may still be implicitly
-  /// committed and only recovery may finalize them.
+  /// Staging records are never collected here — they may still be
+  /// implicitly committed and only the recovery procedure may finalize
+  /// them. KVCluster::GarbageCollectTxns() runs recovery on expired
+  /// staging records (listed by ExpiredStaging) before calling this, so
+  /// abandoned coordinators do not leak records forever.
   size_t GarbageCollect();
+
+  /// Staging records whose heartbeat is past kExpiration: candidates for
+  /// the cluster-level recovery sweep (commit-condition check, then
+  /// finalize), after which plain GC can reap them.
+  std::vector<TxnId> ExpiredStaging() const;
 
   size_t size() const;
 

@@ -366,6 +366,79 @@ TEST_F(TxnRecoveryTest, RecoveryAbortsExpiredStagingAndFencesLateWrites) {
   EXPECT_EQ(late.code(), Code::kTransactionAborted) << late.ToString();
 }
 
+TEST_F(TxnRecoveryTest, StageRefusesUnvalidatedWriteTimestamp) {
+  const TxnRecord rec = cluster_->BeginTxn();
+  ASSERT_TRUE(WriteIntent(rec, Key("a"), "va").ok());
+  // A reader pushed the write timestamp above what the coordinator
+  // validated its reads at. Staging anyway would let a concurrent recovery
+  // commit the txn with unvalidated reads — StageTxn must refuse, hand
+  // back the refresh target, and leave the record pending.
+  const Timestamp bumped{20 * kSecond, 0};
+  ASSERT_TRUE(cluster_->txn_registry()->BumpWriteTimestamp(rec.id, bumped).ok());
+  Timestamp staged;
+  const Status s = cluster_->StageTxn(rec.id, {Key("a")}, &staged, rec.read_ts);
+  EXPECT_TRUE(s.IsTransactionRetry()) << s.ToString();
+  EXPECT_EQ(staged, bumped);
+  EXPECT_EQ(cluster_->txn_registry()->Get(rec.id)->status, TxnStatus::kPending);
+  // Validated up to the bump, staging proceeds at it.
+  ASSERT_TRUE(cluster_->StageTxn(rec.id, {Key("a")}, &staged, bumped).ok());
+  EXPECT_EQ(staged, bumped);
+  EXPECT_EQ(cluster_->txn_registry()->Get(rec.id)->status, TxnStatus::kStaging);
+}
+
+TEST_F(TxnRecoveryTest, CommitRefusesUnvalidatedWriteTimestamp) {
+  const TxnRecord rec = cluster_->BeginTxn();
+  ASSERT_TRUE(WriteIntent(rec, Key("a"), "va").ok());
+  const Timestamp bumped{20 * kSecond, 0};
+  ASSERT_TRUE(cluster_->txn_registry()->BumpWriteTimestamp(rec.id, bumped).ok());
+  Timestamp target;
+  const Status s = cluster_->CommitTxn(rec.id, {Key("a")}, &target, rec.read_ts);
+  EXPECT_TRUE(s.IsTransactionRetry()) << s.ToString();
+  EXPECT_EQ(target, bumped);
+  EXPECT_EQ(cluster_->txn_registry()->Get(rec.id)->status, TxnStatus::kPending);
+}
+
+TEST_F(TxnRecoveryTest, GcSweepAbortsExpiredUnprovableStaging) {
+  // Coordinator died right after staging with a declared write missing:
+  // the record must not leak forever.
+  const TxnRecord rec = cluster_->BeginTxn();
+  ASSERT_TRUE(WriteIntent(rec, Key("a"), "va").ok());
+  Timestamp staged;
+  ASSERT_TRUE(cluster_->StageTxn(rec.id, {Key("a"), Key("b")}, &staged).ok());
+  // A fresh staging record is left alone by the sweep.
+  EXPECT_EQ(cluster_->GarbageCollectTxns(), 0u);
+  EXPECT_EQ(cluster_->txn_registry()->Get(rec.id)->status, TxnStatus::kStaging);
+  // Past expiration the sweep runs recovery: the commit condition is
+  // unprovable, so the record is aborted and reaped in the same pass.
+  clock_.Advance(TxnRegistry::kExpiration + kSecond);
+  EXPECT_EQ(cluster_->GarbageCollectTxns(), 1u);
+  EXPECT_TRUE(cluster_->txn_registry()->Get(rec.id).status().IsNotFound());
+  // The leftover intent resolves as aborted on the next contact (unknown
+  // record => aborted), so the write stays invisible.
+  auto resp = Read(Key("a"));
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_FALSE(resp->responses[0].found);
+}
+
+TEST_F(TxnRecoveryTest, GcSweepCommitsExpiredImplicitlyCommittedStaging) {
+  // Coordinator died after every declared write landed: the sweep's
+  // recovery pass must finalize the txn as COMMITTED, not abort it.
+  const TxnRecord rec = cluster_->BeginTxn();
+  ASSERT_TRUE(WriteIntent(rec, Key("a"), "va").ok());
+  Timestamp staged;
+  ASSERT_TRUE(cluster_->StageTxn(rec.id, {Key("a")}, &staged).ok());
+  clock_.Advance(TxnRegistry::kExpiration + kSecond);
+  EXPECT_EQ(cluster_->GarbageCollectTxns(), 0u);  // finalized now, reaped later
+  EXPECT_EQ(cluster_->txn_registry()->Get(rec.id)->status, TxnStatus::kCommitted);
+  auto resp = Read(Key("a"));
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_TRUE(resp->responses[0].found);
+  EXPECT_EQ(resp->responses[0].value, "va");
+  clock_.Advance(TxnRegistry::kExpiration + kSecond);
+  EXPECT_EQ(cluster_->GarbageCollectTxns(), 1u);
+  EXPECT_TRUE(cluster_->txn_registry()->Get(rec.id).status().IsNotFound());
+}
+
 // ---------------------------------------------------------------------------
 // Coordinator paths: span coalescing, telemetry, pipelining, differential
 // ---------------------------------------------------------------------------
@@ -472,6 +545,105 @@ TEST_F(TxnPathTest, PipelinedFlushesProveBeforeParallelCommit) {
   auto resp = cluster_->Send(scan);
   ASSERT_TRUE(resp.ok()) << resp.status().ToString();
   EXPECT_EQ(resp->responses[0].rows.size(), 60u);
+}
+
+TEST_F(TxnPathTest, PipelineFailureAfterStagingCommitsWhenWritesApplied) {
+  // The second pipelined batch applies server-side but its response is
+  // lost. The coordinator cannot know whether the writes landed, and a
+  // blind rollback could contradict a concurrent recovery that proves the
+  // commit condition. The recovery check must settle it: here every
+  // declared write IS present, so the txn is committed and Commit succeeds.
+  int batch_no = 0;
+  Transaction::Sender sender =
+      [this, &batch_no](const BatchRequest& req) -> StatusOr<BatchResponse> {
+    auto resp = cluster_->Send(req);
+    if (resp.ok() && ++batch_no == 2) {
+      return Status::IOError("batch response lost after apply");
+    }
+    return resp;
+  };
+  storage::ThreadPoolExecutor pool(2);
+  TxnOptions opts;
+  opts.executor = &pool;
+  opts.max_buffered_writes = 2;  // three pipelined intent batches
+  Transaction txn(cluster_.get(), 10, 0, sender, opts);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(txn.Put(Key("pf" + std::to_string(i)), "v" + std::to_string(i)).ok());
+  }
+  const Status s = txn.Commit();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  pool.Drain();
+  EXPECT_EQ(cluster_->txn_registry()->Get(txn.id())->status, TxnStatus::kCommitted);
+  for (int i = 0; i < 6; ++i) {
+    BatchRequest req;
+    req.tenant_id = 10;
+    req.ts = cluster_->Now();
+    req.AddGet(Key("pf" + std::to_string(i)));
+    auto resp = cluster_->Send(req);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_TRUE(resp->responses[0].found) << "pf" << i;
+  }
+  EXPECT_EQ(CommitCount("parallel"), 1.0);
+}
+
+TEST_F(TxnPathTest, PipelineFailureAfterStagingAbortsWhenWritesMissing) {
+  // The second pipelined batch is dropped before reaching the cluster: the
+  // recovery check finds its declared writes missing, so the txn aborts
+  // atomically — the batches that did land are resolved away.
+  int batch_no = 0;
+  Transaction::Sender sender =
+      [this, &batch_no](const BatchRequest& req) -> StatusOr<BatchResponse> {
+    if (++batch_no == 2) return Status::IOError("batch dropped before apply");
+    return cluster_->Send(req);
+  };
+  storage::ThreadPoolExecutor pool(2);
+  TxnOptions opts;
+  opts.executor = &pool;
+  opts.max_buffered_writes = 2;
+  Transaction txn(cluster_.get(), 10, 0, sender, opts);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(txn.Put(Key("pd" + std::to_string(i)), "v" + std::to_string(i)).ok());
+  }
+  const Status s = txn.Commit();
+  EXPECT_EQ(s.code(), Code::kIOError) << s.ToString();
+  EXPECT_TRUE(txn.finalized());
+  pool.Drain();
+  EXPECT_EQ(cluster_->txn_registry()->Get(txn.id())->status, TxnStatus::kAborted);
+  for (int i = 0; i < 6; ++i) {
+    BatchRequest req;
+    req.tenant_id = 10;
+    req.ts = cluster_->Now();
+    req.AddGet(Key("pd" + std::to_string(i)));
+    auto resp = cluster_->Send(req);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_FALSE(resp->responses[0].found) << "pd" << i;
+  }
+  EXPECT_EQ(CommitCount("parallel"), 0.0);
+}
+
+TEST_F(TxnPathTest, OnePhaseReplicationFailureLeavesRecordUncommitted) {
+  // Quorum is lost before the 1PC batch replicates: the registry must not
+  // claim COMMITTED for a txn that wrote nothing, and the client's
+  // rollback must still work.
+  cluster_->SetNodeLive(1, false);
+  cluster_->SetNodeLive(2, false);
+  Transaction txn(cluster_.get(), 10);
+  ASSERT_TRUE(txn.Put(Key("q1"), "v").ok());
+  const Status s = txn.Commit();
+  EXPECT_EQ(s.code(), Code::kUnavailable) << s.ToString();
+  EXPECT_EQ(cluster_->txn_registry()->Get(txn.id())->status, TxnStatus::kPending);
+  EXPECT_TRUE(txn.Rollback().ok());
+  EXPECT_EQ(cluster_->txn_registry()->Get(txn.id())->status, TxnStatus::kAborted);
+  cluster_->SetNodeLive(1, true);
+  cluster_->SetNodeLive(2, true);
+  BatchRequest req;
+  req.tenant_id = 10;
+  req.ts = cluster_->Now();
+  req.AddGet(Key("q1"));
+  auto resp = cluster_->Send(req);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_FALSE(resp->responses[0].found);
+  EXPECT_EQ(CommitCount("1pc"), 0.0);
 }
 
 // Differential check: the same seeded op script runs against three clusters
