@@ -82,7 +82,18 @@ chaos_smoke() {
   echo "chaos smoke OK"
 }
 
-# Scenario smoke: all four built-in "cluster weather" scenarios at a fixed
+# Partition-chaos smoke: the netfault suite (ReplicaTransport seam, seeded
+# FaultyMesh, epoch leases, replica catch-up, linearizability checker) with
+# the seeded partition-chaos harness pinned to a fixed seed and a bounded
+# iteration count.
+netfault_smoke() {
+  echo "==> partition-chaos smoke (netfault suite, fixed seed)"
+  VELOCE_NETFAULT_SEED=0x9E7F VELOCE_NETFAULT_ITERS=100 \
+    ctest --test-dir build -L '^netfault$' --output-on-failure -j "${JOBS}"
+  echo "partition-chaos smoke OK"
+}
+
+# Scenario smoke: all five built-in "cluster weather" scenarios at a fixed
 # seed in fast mode (compressed timelines), each asserting its invariants
 # and emitting a parseable BENCH_<scenario>.json; plus the scenario-labeled
 # test suite (determinism + snapshot schema).
@@ -92,7 +103,7 @@ scenario_smoke() {
   mkdir -p "${out}"
   ./build/bench/bench_scenarios --fast --seed=0xC10D --out="${out}"
   local name
-  for name in black-friday tenant-stampede az-outage rolling-upgrade-under-chaos; do
+  for name in black-friday tenant-stampede az-outage rolling-upgrade-under-chaos gray-partition; do
     local json="${out}/BENCH_${name}.json"
     [[ -s "${json}" ]] || { echo "missing ${json}" >&2; exit 1; }
     if command -v python3 >/dev/null 2>&1; then
@@ -114,11 +125,11 @@ scenario_full() {
 }
 
 case "${1:-}" in
-  "")     run_preset release; bench_smoke; chaos_smoke; scenario_smoke ;;
+  "")     run_preset release; bench_smoke; chaos_smoke; netfault_smoke; scenario_smoke ;;
   --asan) run_preset asan ;;
   --tsan) run_preset tsan ;;
-  --full) run_preset release; bench_smoke; chaos_smoke; scenario_smoke; scenario_full ;;
-  --all)  run_preset release; bench_smoke; chaos_smoke; scenario_smoke; run_preset asan; run_preset tsan ;;
+  --full) run_preset release; bench_smoke; chaos_smoke; netfault_smoke; scenario_smoke; scenario_full ;;
+  --all)  run_preset release; bench_smoke; chaos_smoke; netfault_smoke; scenario_smoke; run_preset asan; run_preset tsan ;;
   *)      echo "usage: scripts/check.sh [--asan|--tsan|--full|--all]" >&2; exit 2 ;;
 esac
 

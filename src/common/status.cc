@@ -20,6 +20,7 @@ std::string_view CodeName(Code code) {
     case Code::kDeadlineExceeded: return "DeadlineExceeded";
     case Code::kNotSupported: return "NotSupported";
     case Code::kInternal: return "Internal";
+    case Code::kLeaseEpochMismatch: return "LeaseEpochMismatch";
   }
   return "Unknown";
 }

@@ -29,6 +29,8 @@ enum class Code : int {
   kDeadlineExceeded = 13,
   kNotSupported = 14,
   kInternal = 15,
+  kLeaseEpochMismatch = 16,  // write at a replica whose lease epoch expired;
+                             // retry against the current leaseholder
 };
 
 /// Human-readable name of a code ("NotFound", "Unauthorized", ...).
@@ -64,6 +66,7 @@ class Status {
   static Status DeadlineExceeded(std::string_view msg) { return Status(Code::kDeadlineExceeded, msg); }
   static Status NotSupported(std::string_view msg) { return Status(Code::kNotSupported, msg); }
   static Status Internal(std::string_view msg) { return Status(Code::kInternal, msg); }
+  static Status LeaseEpochMismatch(std::string_view msg) { return Status(Code::kLeaseEpochMismatch, msg); }
 
   Status(Code code, std::string_view msg) : code_(code), msg_(msg) {}
 
@@ -77,6 +80,7 @@ class Status {
   bool IsTransactionRetry() const { return code_ == Code::kTransactionRetry; }
   bool IsWriteIntentError() const { return code_ == Code::kWriteIntentError; }
   bool IsResourceExhausted() const { return code_ == Code::kResourceExhausted; }
+  bool IsLeaseEpochMismatch() const { return code_ == Code::kLeaseEpochMismatch; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

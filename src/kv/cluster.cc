@@ -33,6 +33,20 @@ KVCluster::KVCluster(KVClusterOptions options)
   replica_moves_c_ = metrics_->counter("veloce_kv_replica_moves_total");
   splits_c_ = metrics_->counter("veloce_kv_range_splits_total");
   intent_conflicts_c_ = metrics_->counter("veloce_kv_intent_conflicts_total");
+  replica_catchups_replay_c_ =
+      metrics_->counter("veloce_kv_replica_catchups_total", {{"mode", "replay"}});
+  replica_catchups_snapshot_c_ =
+      metrics_->counter("veloce_kv_replica_catchups_total", {{"mode", "snapshot"}});
+  replica_demotions_c_ = metrics_->counter("veloce_kv_replica_demotions_total");
+  catchup_records_c_ = metrics_->counter("veloce_kv_replica_catchup_records_total");
+  lease_epoch_mismatch_c_ =
+      metrics_->counter("veloce_kv_lease_epoch_mismatches_total");
+  epoch_bumps_c_ = metrics_->counter("veloce_kv_liveness_epoch_bumps_total");
+  heartbeat_failures_c_ =
+      metrics_->counter("veloce_kv_heartbeat_rounds_failed_total");
+  replication_delay_h_ = metrics_->histogram("veloce_kv_replication_delay_ns");
+  transport_ =
+      options_.transport != nullptr ? options_.transport : &passthrough_;
   txn_metrics_.commits_1pc =
       metrics_->counter("veloce_txn_commits_total", {{"path", "1pc"}});
   txn_metrics_.commits_parallel =
@@ -73,6 +87,7 @@ KVCluster::KVCluster(KVClusterOptions options)
     nodes_.push_back(std::make_unique<KVNode>(static_cast<NodeId>(i), region,
                                               options_.engine_options, obs_));
   }
+  liveness_.resize(nodes_.size());
   // One range covering the whole keyspace, replicated on the first RF nodes.
   RangeDescriptor desc;
   desc.range_id = next_range_id_++;
@@ -138,16 +153,27 @@ StatusOr<NodeId> KVCluster::PickReadNodeLocked(const RangeState& range,
                                                const BatchRequest& req,
                                                const RequestUnion& r) const {
   const NodeId leaseholder = range.desc.leaseholder;
-  if (nodes_[leaseholder]->live()) return leaseholder;
-  // Follower read: stale enough and explicitly allowed.
+  const bool holder_live = nodes_[leaseholder]->live();
+  if (holder_live && LeaseValidLocked(range)) return leaseholder;
+  // Follower read: stale enough and explicitly allowed. Only a fully
+  // caught-up replica may serve one — a replica behind the range log could
+  // be missing writes below the closed timestamp.
   const bool is_read = r.type == RequestType::kGet || r.type == RequestType::kScan;
   if (is_read && req.allow_follower_reads && !req.ts.IsEmpty() &&
       req.ts <= ClosedTimestamp()) {
     for (NodeId n : range.desc.replicas) {
-      if (nodes_[n]->live()) return n;
+      if (nodes_[n]->live() && nodes_[n]->engine() != nullptr &&
+          range.log.Applied(n) == range.log.committed_index()) {
+        return n;
+      }
     }
   }
-  return Status::Unavailable("leaseholder node is not live");
+  if (!holder_live) return Status::Unavailable("leaseholder node is not live");
+  lease_epoch_mismatch_c_->Inc();
+  return Status::LeaseEpochMismatch(
+      "range " + std::to_string(range.desc.range_id) + " lease (epoch " +
+      std::to_string(range.desc.lease_epoch) + ") is no longer valid at node " +
+      std::to_string(leaseholder));
 }
 
 StatusOr<BatchResponse> KVCluster::Send(const BatchRequest& req) {
@@ -255,34 +281,35 @@ Status KVCluster::HandleConflictLocked(RangeState* range, Slice key,
     return Status::WriteIntentError("conflicting intent of txn " +
                                     std::to_string(intent.txn_id));
   }
-  // Apply the outcome to every live replica's engine. A null engine is a
-  // node whose crash-restart failed (docs/ROBUSTNESS.md); it catches up on
-  // a successful reopen like a dead node would.
-  for (NodeId n : range->desc.replicas) {
-    if (!nodes_[n]->live() || nodes_[n]->engine() == nullptr) continue;
-    storage::Engine* engine = nodes_[n]->engine();
-    switch (pr.pushee_status) {
-      case TxnStatus::kCommitted:
-        VELOCE_RETURN_IF_ERROR(
-            MvccResolveIntent(engine, key, intent.txn_id, true, pr.commit_ts));
-        break;
-      case TxnStatus::kAborted:
-        VELOCE_RETURN_IF_ERROR(
-            MvccResolveIntent(engine, key, intent.txn_id, false, Timestamp()));
-        break;
-      case TxnStatus::kPending: {
-        // Timestamp push: rewrite the intent above the reader.
-        VELOCE_RETURN_IF_ERROR(MvccUpdateIntentTimestamp(engine, key, intent.txn_id,
-                                                         req.ts.Next()));
-        break;
-      }
-      case TxnStatus::kStaging:
-        // Recovery above always resolves staging to committed/aborted or
-        // returns an error; a successful push never reports staging.
-        return Status::Internal("push resolved to staging");
-    }
+  // Apply the outcome through the range log so every replica — including
+  // ones that are dead or partitioned right now — converges on the same
+  // engine state when it catches up. (Resolutions used to bypass the log
+  // and silently diverge any replica that missed them.)
+  LogRecord rec;
+  rec.key = key.ToString();
+  rec.txn_id = intent.txn_id;
+  switch (pr.pushee_status) {
+    case TxnStatus::kCommitted:
+      rec.kind = LogRecord::Kind::kResolveIntent;
+      rec.commit = true;
+      rec.ts = pr.commit_ts;
+      break;
+    case TxnStatus::kAborted:
+      rec.kind = LogRecord::Kind::kResolveIntent;
+      rec.commit = false;
+      break;
+    case TxnStatus::kPending:
+      // Timestamp push: rewrite the intent above the reader.
+      rec.kind = LogRecord::Kind::kUpdateIntentTs;
+      rec.ts = req.ts.Next();
+      break;
+    case TxnStatus::kStaging:
+      // Recovery above always resolves staging to committed/aborted or
+      // returns an error; a successful push never reports staging.
+      return Status::Internal("push resolved to staging");
   }
-  return Status::OK();
+  return ReplicateRecordLocked(range, std::move(rec), nullptr,
+                               /*require_quorum=*/false);
 }
 
 Status KVCluster::ExecuteReadLocked(RangeState* range, const BatchRequest& req,
@@ -396,6 +423,7 @@ Status KVCluster::ExecuteWriteLocked(RangeState* range, const BatchRequest& req,
   if (engine == nullptr) {
     return Status::Unavailable("leaseholder has no engine (failed crash-restart)");
   }
+  VELOCE_RETURN_IF_ERROR(CheckLeaseLocked(*range));
   Timestamp write_ts = req.ts.IsEmpty() ? hlc_.Now() : req.ts;
   // Serializability: never write below a timestamp someone already read at,
   // nor at or below the closed timestamp (follower reads rely on it).
@@ -445,6 +473,7 @@ Status KVCluster::ExecuteTxnWriteGroupLocked(
   if (engine == nullptr) {
     return Status::Unavailable("leaseholder has no engine (failed crash-restart)");
   }
+  VELOCE_RETURN_IF_ERROR(CheckLeaseLocked(*range));
   // One timestamp for the whole group: the maximum over every key's
   // timestamp-cache constraint, the closed timestamp, and the request's.
   Timestamp group_ts = req.ts.IsEmpty() ? hlc_.Now() : req.ts;
@@ -508,6 +537,7 @@ StatusOr<BatchResponse> KVCluster::ExecuteOnePhaseLocked(const BatchRequest& req
   if (engine == nullptr) {
     return Status::Unavailable("leaseholder has no engine (failed crash-restart)");
   }
+  VELOCE_RETURN_IF_ERROR(CheckLeaseLocked(*range));
   KVNode* leaseholder = nodes_[range->desc.leaseholder].get();
   if (interceptor_) {
     VELOCE_RETURN_IF_ERROR(interceptor_(leaseholder->id(), req));
@@ -651,26 +681,269 @@ StatusOr<PushResult> KVCluster::RecoverStagedTxnLocked(TxnId id,
 
 Status KVCluster::ReplicateLocked(RangeState* range, const storage::WriteBatch& batch,
                                   TenantId tenant) {
-  // A replica whose crash-restart failed has no engine; it cannot accept
-  // the write or count toward quorum, exactly like a dead node.
-  int live = 0;
-  for (NodeId n : range->desc.replicas) {
-    if (nodes_[n]->live() && nodes_[n]->engine() != nullptr) ++live;
+  LogRecord rec;
+  rec.kind = LogRecord::Kind::kBatch;
+  rec.payload = batch.rep();
+  rec.tenant = tenant;
+  return ReplicateRecordLocked(range, std::move(rec), &batch,
+                               /*require_quorum=*/true);
+}
+
+Status KVCluster::ApplyRecordLocked(KVNode* node, const LogRecord& rec,
+                                    const storage::WriteBatch* batch,
+                                    uint32_t copies) {
+  storage::Engine* engine = node->engine();
+  if (engine == nullptr) {
+    return Status::Unavailable("node " + std::to_string(node->id()) +
+                               " has no engine (failed crash-restart)");
   }
-  const int quorum = static_cast<int>(range->desc.replicas.size()) / 2 + 1;
-  if (live < quorum) {
-    return Status::Unavailable("quorum unavailable for range " +
-                               std::to_string(range->desc.range_id));
+  storage::WriteBatch decoded;
+  if (rec.kind == LogRecord::Kind::kBatch && batch == nullptr) {
+    VELOCE_RETURN_IF_ERROR(decoded.SetContents(rec.payload));
+    batch = &decoded;
   }
-  range->log.Append(batch.rep());
-  for (NodeId n : range->desc.replicas) {
-    if (!nodes_[n]->live() || nodes_[n]->engine() == nullptr) {
-      continue;  // will catch up on restart (not modeled)
+  for (uint32_t c = 0; c < copies; ++c) {
+    switch (rec.kind) {
+      case LogRecord::Kind::kBatch:
+        VELOCE_RETURN_IF_ERROR(engine->Write(*batch));
+        // Duplicate deliveries are a network artifact, not client bytes.
+        if (c == 0 && rec.tenant != 0) {
+          node->AddTenantWriteBytes(rec.tenant, batch->PayloadBytes());
+        }
+        break;
+      case LogRecord::Kind::kResolveIntent:
+        // A no-op when the intent is already gone, so replays and
+        // duplicates are safe.
+        VELOCE_RETURN_IF_ERROR(
+            MvccResolveIntent(engine, rec.key, rec.txn_id, rec.commit, rec.ts));
+        break;
+      case LogRecord::Kind::kUpdateIntentTs:
+        VELOCE_RETURN_IF_ERROR(
+            MvccUpdateIntentTimestamp(engine, rec.key, rec.txn_id, rec.ts));
+        break;
     }
-    VELOCE_RETURN_IF_ERROR(nodes_[n]->engine()->Write(batch));
-    nodes_[n]->AddTenantWriteBytes(tenant, batch.PayloadBytes());
   }
   return Status::OK();
+}
+
+Status KVCluster::ReplicateRecordLocked(RangeState* range, LogRecord rec,
+                                        const storage::WriteBatch* batch,
+                                        bool require_quorum) {
+  const NodeId leader = range->desc.leaseholder;
+  const bool leader_up = NodeUpLocked(leader);
+  if (require_quorum && !leader_up) {
+    return Status::Unavailable("leaseholder node is not live");
+  }
+  const uint64_t next_index = range->log.committed_index() + 1;
+
+  // Phase 1: ask the transport which replicas this round can reach. The
+  // leaseholder applies locally (no network hop). A replica whose
+  // crash-restart failed has no engine; it cannot accept the write or
+  // count toward quorum, exactly like a dead node.
+  struct Delivery {
+    NodeId node = 0;
+    bool up = false;
+    LinkDecision d;
+  };
+  std::vector<Delivery> plan;
+  plan.reserve(range->desc.replicas.size());
+  int acks = leader_up ? 1 : 0;
+  Nanos max_delay = 0;
+  for (NodeId n : range->desc.replicas) {
+    if (n == leader) continue;
+    Delivery del;
+    del.node = n;
+    del.up = NodeUpLocked(n);
+    if (del.up) {
+      del.d = transport_->DeliverReplication(leader, n, next_index);
+      if (del.d.ack) ++acks;
+      if (del.d.delay > max_delay) max_delay = del.d.delay;
+    } else {
+      del.d.deliver = false;
+      del.d.ack = false;
+    }
+    plan.push_back(del);
+  }
+  const int quorum = static_cast<int>(range->desc.replicas.size()) / 2 + 1;
+  if (require_quorum && acks < quorum) {
+    return Status::Unavailable("quorum unreachable for range " +
+                               std::to_string(range->desc.range_id));
+  }
+
+  // Phase 2: the leaseholder applies first, so a local engine failure
+  // rejects the round with nothing logged anywhere (the failed write can
+  // never resurface through catch-up).
+  if (leader_up) {
+    VELOCE_RETURN_IF_ERROR(ApplyRecordLocked(nodes_[leader].get(), rec, batch, 1));
+  }
+  const uint64_t index = range->log.Append(std::move(rec));
+  const LogRecord& stored = range->log.records().back();
+  if (leader_up) range->log.SetApplied(leader, index);
+
+  // Phase 3: deliver to the remotes the transport reached. An undelivered
+  // message, a lost ack, or a minority engine failure demotes that replica
+  // to needs-catch-up rather than failing a batch that has quorum.
+  int applied = leader_up ? 1 : 0;
+  for (const Delivery& del : plan) {
+    if (!del.up || !del.d.deliver) {
+      if (del.up && del.d.ack) {
+        // A phantom ack: the message never arrived yet the ack did —
+        // physically impossible on a real network, supplied only by the
+        // linearizability checker's self-test transport. The leaseholder
+        // can only trust what it is told, so the replica is recorded as
+        // applied, poisoning quorum and catch-up bookkeeping exactly as a
+        // lying replica would.
+        ++applied;
+        range->log.SetApplied(del.node, index);
+        continue;
+      }
+      if (del.up) replica_demotions_c_->Inc();
+      continue;
+    }
+    // A replica that missed earlier rounds replays the gap first so its
+    // applied position stays contiguous.
+    if (range->log.Applied(del.node) < index - 1) {
+      if (!CatchUpReplicaLocked(range, del.node, index - 1).ok()) {
+        replica_demotions_c_->Inc();
+        continue;
+      }
+      if (range->log.Applied(del.node) >= index) {
+        ++applied;  // snapshot catch-up already covered this record
+        continue;
+      }
+    }
+    Status s = ApplyRecordLocked(nodes_[del.node].get(), stored, batch, del.d.copies);
+    if (!s.ok()) {
+      replica_demotions_c_->Inc();
+      continue;
+    }
+    ++applied;
+    // Without the ack the leaseholder must assume the worst and re-replay
+    // later (idempotent), so only an acked apply advances the position.
+    if (del.d.ack) range->log.SetApplied(del.node, index);
+  }
+  if (require_quorum && applied < quorum) {
+    // A majority of planned engine writes failed after the reachability
+    // check. The record stays in the log (the leaseholder applied it), so
+    // the write is indeterminate — the "result unknown" class the txn
+    // layer already handles.
+    return Status::Unavailable("replication quorum lost for range " +
+                               std::to_string(range->desc.range_id));
+  }
+  if (max_delay > 0) replication_delay_h_->Record(max_delay);
+  TruncateLogLocked(range);
+  return Status::OK();
+}
+
+Status KVCluster::CatchUpReplicaLocked(RangeState* range, NodeId node,
+                                       uint64_t limit) {
+  KVNode* n = nodes_[node].get();
+  if (n->engine() == nullptr) {
+    return Status::Unavailable("replica has no engine");
+  }
+  const uint64_t committed = range->log.committed_index();
+  if (limit > committed) limit = committed;
+  const uint64_t applied = range->log.Applied(node);
+  if (applied >= limit) return Status::OK();
+  if (!range->log.CanReplayFrom(applied)) {
+    // The log was truncated past this replica's position: full-span
+    // snapshot transfer from a caught-up replica.
+    VELOCE_RETURN_IF_ERROR(SnapshotReplicaLocked(range, node));
+    range->log.SetApplied(node, committed);
+    replica_catchups_snapshot_c_->Inc();
+    return Status::OK();
+  }
+  uint64_t replayed = 0;
+  for (const LogRecord& rec : range->log.records()) {
+    if (rec.index <= applied) continue;
+    if (rec.index > limit) break;
+    VELOCE_RETURN_IF_ERROR(ApplyRecordLocked(n, rec, nullptr, 1));
+    range->log.SetApplied(node, rec.index);
+    ++replayed;
+  }
+  if (replayed > 0) {
+    replica_catchups_replay_c_->Inc();
+    catchup_records_c_->Inc(replayed);
+  }
+  return Status::OK();
+}
+
+Status KVCluster::SnapshotReplicaLocked(RangeState* range, NodeId to) {
+  storage::Engine* dst = nodes_[to]->engine();
+  if (dst == nullptr) return Status::Unavailable("snapshot target has no engine");
+  // Source: a fully-applied replica, preferring the leaseholder.
+  const uint64_t committed = range->log.committed_index();
+  storage::Engine* src = nullptr;
+  const NodeId leader = range->desc.leaseholder;
+  if (leader != to && nodes_[leader]->engine() != nullptr &&
+      range->log.Applied(leader) == committed) {
+    src = nodes_[leader]->engine();
+  } else {
+    for (NodeId n : range->desc.replicas) {
+      if (n == to || nodes_[n]->engine() == nullptr) continue;
+      if (range->log.Applied(n) != committed) continue;
+      src = nodes_[n]->engine();
+      break;
+    }
+  }
+  if (src == nullptr) {
+    return Status::Unavailable("no caught-up source replica for snapshot");
+  }
+  const std::string start_engine = EncodeIntentKey(range->desc.start_key);
+  std::string end_engine;
+  if (!range->desc.end_key.empty()) {
+    OrderedPutString(&end_engine, range->desc.end_key);
+  }
+  // Clear the stale span first: the lagging replica may hold engine keys
+  // (e.g. intent slots) the source has since deleted, and a pure copy
+  // would resurrect them.
+  {
+    auto it = dst->NewBoundedIterator(start_engine, end_engine);
+    storage::WriteBatch del;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      del.Delete(it->key());
+      if (del.ByteSize() > (1 << 20)) {
+        VELOCE_RETURN_IF_ERROR(dst->Write(del));
+        del.Clear();
+      }
+    }
+    if (del.Count() > 0) VELOCE_RETURN_IF_ERROR(dst->Write(del));
+  }
+  auto iter = src->NewBoundedIterator(start_engine, end_engine);
+  storage::WriteBatch batch;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    batch.Put(iter->key(), iter->value());
+    if (batch.ByteSize() > (1 << 20)) {  // apply in ~1MB chunks
+      VELOCE_RETURN_IF_ERROR(dst->Write(batch));
+      batch.Clear();
+    }
+  }
+  if (batch.Count() > 0) VELOCE_RETURN_IF_ERROR(dst->Write(batch));
+  return Status::OK();
+}
+
+void KVCluster::TruncateLogLocked(RangeState* range) {
+  uint64_t floor = range->log.committed_index();
+  for (NodeId n : range->desc.replicas) {
+    floor = std::min(floor, range->log.Applied(n));
+  }
+  range->log.TruncateTo(floor);
+}
+
+bool KVCluster::LeaseValidLocked(const RangeState& range) const {
+  if (!liveness_enabled_) return true;
+  const NodeLiveness& lv = liveness_[range.desc.leaseholder];
+  if (range.desc.lease_epoch != lv.epoch || lv.expired) return false;
+  return clock_->Now() - lv.last_heartbeat <= options_.liveness_duration;
+}
+
+Status KVCluster::CheckLeaseLocked(const RangeState& range) {
+  if (LeaseValidLocked(range)) return Status::OK();
+  lease_epoch_mismatch_c_->Inc();
+  return Status::LeaseEpochMismatch(
+      "range " + std::to_string(range.desc.range_id) + " lease (epoch " +
+      std::to_string(range.desc.lease_epoch) + ") is no longer valid at node " +
+      std::to_string(range.desc.leaseholder));
 }
 
 // --- Node scaling ------------------------------------------------------------
@@ -680,6 +953,9 @@ StatusOr<NodeId> KVCluster::AddNode(const std::string& region) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(
       std::make_unique<KVNode>(id, region, options_.engine_options, obs_));
+  NodeLiveness lv;
+  lv.last_heartbeat = clock_->Now();
+  liveness_.push_back(lv);
   return id;
 }
 
@@ -729,9 +1005,12 @@ Status KVCluster::MoveReplica(RangeId range_id, NodeId from, NodeId to) {
   for (NodeId& replica : range->desc.replicas) {
     if (replica == from) replica = to;
   }
+  range->log.EraseReplica(from);
+  range->log.SetApplied(to, range->log.committed_index());
   replica_moves_c_->Inc();
   if (range->desc.leaseholder == from) {
     range->desc.leaseholder = to;
+    range->desc.lease_epoch = liveness_[to].epoch;
     range->log.BumpTerm();
     lease_moves_c_->Inc();
   }
@@ -911,11 +1190,14 @@ Status KVCluster::CommitTxn(TxnId id, const std::vector<std::string>& intent_key
   for (const auto& key : intent_keys) {
     RangeState* range = LookupRangeLocked(key);
     if (range == nullptr) continue;
-    for (NodeId n : range->desc.replicas) {
-      if (!nodes_[n]->live()) continue;
-      VELOCE_RETURN_IF_ERROR(
-          MvccResolveIntent(nodes_[n]->engine(), key, id, true, ts));
-    }
+    LogRecord rec;
+    rec.kind = LogRecord::Kind::kResolveIntent;
+    rec.key = key;
+    rec.txn_id = id;
+    rec.commit = true;
+    rec.ts = ts;
+    VELOCE_RETURN_IF_ERROR(ReplicateRecordLocked(range, std::move(rec), nullptr,
+                                                 /*require_quorum=*/false));
   }
   if (commit_ts != nullptr) *commit_ts = ts;
   hlc_.Update(ts);
@@ -947,11 +1229,13 @@ Status KVCluster::AbortTxn(TxnId id, const std::vector<std::string>& intent_keys
   for (const auto& key : intent_keys) {
     RangeState* range = LookupRangeLocked(key);
     if (range == nullptr) continue;
-    for (NodeId n : range->desc.replicas) {
-      if (!nodes_[n]->live()) continue;
-      VELOCE_RETURN_IF_ERROR(
-          MvccResolveIntent(nodes_[n]->engine(), key, id, false, Timestamp()));
-    }
+    LogRecord rec;
+    rec.kind = LogRecord::Kind::kResolveIntent;
+    rec.key = key;
+    rec.txn_id = id;
+    rec.commit = false;
+    VELOCE_RETURN_IF_ERROR(ReplicateRecordLocked(range, std::move(rec), nullptr,
+                                                 /*require_quorum=*/false));
   }
   return Status::OK();
 }
@@ -1006,9 +1290,147 @@ uint64_t KVCluster::RangeLogCommittedIndex(RangeId id) const {
   return it == ranges_.end() ? 0 : it->second->log.committed_index();
 }
 
+uint64_t KVCluster::RangeReplicaApplied(RangeId id, NodeId node) const {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  auto it = ranges_.find(id);
+  return it == ranges_.end() ? 0 : it->second->log.Applied(node);
+}
+
+// --- Heartbeat liveness / epoch leases / catch-up ----------------------------
+
+void KVCluster::set_transport(ReplicaTransport* transport) {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  transport_ = transport != nullptr ? transport : &passthrough_;
+}
+
+bool KVCluster::liveness_enabled() const {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  return liveness_enabled_;
+}
+
+uint64_t KVCluster::NodeLivenessEpoch(NodeId id) const {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  return id < liveness_.size() ? liveness_[id].epoch : 0;
+}
+
+bool KVCluster::NodeLivenessValid(NodeId id) const {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  if (!liveness_enabled_) return true;
+  if (id >= liveness_.size()) return false;
+  const NodeLiveness& lv = liveness_[id];
+  return !lv.expired &&
+         clock_->Now() - lv.last_heartbeat <= options_.liveness_duration;
+}
+
+void KVCluster::TickHeartbeats() {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  const Nanos now = clock_->Now();
+  if (!liveness_enabled_) {
+    // Arming grace period: every node starts with a fresh record and gets
+    // one full liveness_duration to prove itself.
+    liveness_enabled_ = true;
+    for (NodeLiveness& lv : liveness_) lv.last_heartbeat = now;
+  }
+  // Heartbeat round: an up node refreshes its record iff its heartbeats
+  // reach a majority of the cluster (itself included) — a minority-side
+  // node of a partition cannot, so its record ages out.
+  const int majority = static_cast<int>(nodes_.size()) / 2 + 1;
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (!NodeUpLocked(n)) continue;
+    int reached = 1;  // self
+    for (NodeId m = 0; m < nodes_.size(); ++m) {
+      if (m == n || !NodeUpLocked(m)) continue;
+      if (transport_->DeliverHeartbeat(n, m)) ++reached;
+    }
+    if (reached >= majority) {
+      NodeLiveness& lv = liveness_[n];
+      lv.last_heartbeat = now;
+      lv.expired = false;  // the epoch stays bumped; only freshness returns
+    } else {
+      heartbeat_failures_c_->Inc();
+    }
+  }
+  // Expiry: bump the epoch once per transition, invalidating every lease
+  // granted under the old epoch — the split-brain fence.
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    NodeLiveness& lv = liveness_[n];
+    const bool stale =
+        !NodeUpLocked(n) || now - lv.last_heartbeat > options_.liveness_duration;
+    if (stale && !lv.expired) {
+      lv.expired = true;
+      ++lv.epoch;
+      epoch_bumps_c_->Inc();
+    }
+  }
+  // Lease maintenance + catch-up: invalid leases move to a caught-up
+  // replica with valid liveness; lagging replicas reachable through the
+  // transport replay what they missed.
+  for (auto& [rid, state] : ranges_) {
+    MaybeReassignLeaseLocked(state.get());
+    const uint64_t committed = state->log.committed_index();
+    for (NodeId r : state->desc.replicas) {
+      if (r == state->desc.leaseholder || !NodeUpLocked(r)) continue;
+      if (state->log.Applied(r) >= committed) continue;
+      if (!transport_->DeliverHeartbeat(state->desc.leaseholder, r)) continue;
+      (void)CatchUpReplicaLocked(state.get(), r, committed);
+    }
+    TruncateLogLocked(state.get());
+  }
+}
+
+void KVCluster::MaybeReassignLeaseLocked(RangeState* range) {
+  if (!liveness_enabled_) return;
+  if (nodes_[range->desc.leaseholder]->live() && LeaseValidLocked(*range)) return;
+  const Nanos now = clock_->Now();
+  const uint64_t committed = range->log.committed_index();
+  for (NodeId n : range->desc.replicas) {
+    if (!NodeUpLocked(n)) continue;
+    const NodeLiveness& lv = liveness_[n];
+    if (lv.expired || now - lv.last_heartbeat > options_.liveness_duration) {
+      continue;
+    }
+    // The incoming leaseholder must hold everything the log committed —
+    // a behind replica serving reads would un-linearize acked writes.
+    if (range->log.Applied(n) < committed &&
+        !CatchUpReplicaLocked(range, n, committed).ok()) {
+      continue;
+    }
+    if (range->desc.leaseholder == n && range->desc.lease_epoch == lv.epoch) {
+      return;  // current lease is actually fine
+    }
+    range->desc.leaseholder = n;
+    range->desc.lease_epoch = lv.epoch;
+    range->log.BumpTerm();
+    lease_moves_c_->Inc();
+    return;
+  }
+}
+
+Status KVCluster::CatchUpNode(NodeId id) {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  if (id >= nodes_.size()) return Status::InvalidArgument("no such node");
+  if (nodes_[id]->engine() == nullptr) {
+    return Status::Unavailable("node has no engine (failed crash-restart)");
+  }
+  Status first = Status::OK();
+  for (auto& [rid, state] : ranges_) {
+    if (!state->desc.HasReplica(id)) continue;
+    Status s = CatchUpReplicaLocked(state.get(), id, state->log.committed_index());
+    if (!s.ok() && first.ok()) first = s;
+    TruncateLogLocked(state.get());
+  }
+  return first;
+}
+
 void KVCluster::SetNodeLive(NodeId id, bool live) {
   nodes_[id]->SetLive(live);
-  if (!live) ShedLeases(id);
+  if (!live) {
+    ShedLeases(id);
+    return;
+  }
+  // A returning node replays what it missed before serving again, so it
+  // rejoins converged and counts toward quorum with real data.
+  (void)CatchUpNode(id);
 }
 
 void KVCluster::ShedLeases(NodeId id) {
@@ -1018,6 +1440,7 @@ void KVCluster::ShedLeases(NodeId id) {
     for (NodeId n : state->desc.replicas) {
       if (n != id && nodes_[n]->live()) {
         state->desc.leaseholder = n;
+        state->desc.lease_epoch = liveness_[n].epoch;
         state->log.BumpTerm();
         lease_moves_c_->Inc();
         break;
@@ -1038,6 +1461,7 @@ void KVCluster::BalanceLeases() {
       if (nodes_[candidate]->live()) {
         if (state->desc.leaseholder != candidate) {
           state->desc.leaseholder = candidate;
+          state->desc.lease_epoch = liveness_[candidate].epoch;
           state->log.BumpTerm();
           lease_moves_c_->Inc();
         }

@@ -16,6 +16,7 @@
 #include "kv/keys.h"
 #include "kv/node.h"
 #include "kv/range.h"
+#include "kv/replica_transport.h"
 #include "kv/timestamp_oracle.h"
 #include "kv/txn.h"
 
@@ -47,6 +48,15 @@ struct KVClusterOptions {
   /// is null the cluster owns a private registry. obs.clock is a fallback
   /// for `clock` above.
   obs::ObsContext obs;
+  /// Heartbeat-driven liveness: how long a node's liveness record stays
+  /// valid past its last successful heartbeat round. Epoch-based lease
+  /// enforcement arms on the first TickHeartbeats() call; until then
+  /// leases behave exactly as before (no epochs, test-flipped liveness).
+  Nanos liveness_duration = 3 * kSecond;
+  /// Seam for leaseholder→replica deliveries and node heartbeats (see
+  /// kv/replica_transport.h). Null = in-process passthrough, bit-identical
+  /// to direct engine writes. Swappable later with set_transport().
+  ReplicaTransport* transport = nullptr;
 };
 
 /// Hook invoked for every batch executed at a leaseholder, before the work
@@ -193,7 +203,33 @@ class KVCluster {
   StatusOr<RangeDescriptor> LookupRange(Slice key) const;
   int CountLeases(NodeId node) const;
   uint64_t RangeLogCommittedIndex(RangeId id) const;
+  /// Highest contiguously applied log index of one replica of `id`
+  /// (partition-tolerance introspection; 0 for unknown range/replica).
+  uint64_t RangeReplicaApplied(RangeId id, NodeId node) const;
   void SetNodeLive(NodeId id, bool live);
+
+  // --- Heartbeat liveness / epoch leases / catch-up ------------------------
+  /// Swaps the replica transport (null restores the passthrough). Not
+  /// thread-safe to set while serving.
+  void set_transport(ReplicaTransport* transport);
+  /// Runs one heartbeat round: every up node that can reach a majority of
+  /// its peers (through the transport) refreshes its liveness record;
+  /// nodes that cannot expire and have their epoch bumped, invalidating
+  /// every lease granted under the old epoch. Expired or orphaned leases
+  /// move to a caught-up replica with valid liveness, and lagging-but-
+  /// reachable replicas are caught up. The first call arms epoch-based
+  /// lease enforcement for the rest of the cluster's lifetime.
+  void TickHeartbeats();
+  bool liveness_enabled() const;
+  /// Current liveness epoch of a node (1 until its first expiry).
+  uint64_t NodeLivenessEpoch(NodeId id) const;
+  /// Whether the node's liveness record is valid right now (always true
+  /// before TickHeartbeats arms enforcement).
+  bool NodeLivenessValid(NodeId id) const;
+  /// Replays (or snapshots) every range replica on `id` up to its range's
+  /// committed log position — the heal/restart convergence path. Bypasses
+  /// the transport: healing is an explicit admin/recovery action.
+  Status CatchUpNode(NodeId id);
   /// Moves leases off `node` to another live replica (liveness failure).
   void ShedLeases(NodeId id);
   /// Rebalances leases evenly across live nodes (round-robin).
@@ -286,10 +322,47 @@ class KVCluster {
   /// an expired record), so a missing write aborts immediately.
   StatusOr<PushResult> RecoverStagedTxnLocked(TxnId id,
                                               bool coordinator_abandoned = false);
-  /// Replicates a storage batch to the range's live replicas (quorum
-  /// required). Attributes payload bytes to the tenant on each node.
+  /// Replicates a storage batch to the range's replicas through the
+  /// transport (quorum of acks required). Attributes payload bytes to the
+  /// tenant on each node that applies.
   Status ReplicateLocked(RangeState* range, const storage::WriteBatch& batch,
                          TenantId tenant);
+  /// The general replication path: appends `rec` to the range log and
+  /// delivers it per the transport's link decisions. The leaseholder
+  /// applies first (a local failure rejects the round with nothing
+  /// logged); remotes that the round does not reach, or whose engines
+  /// fail, are demoted to needs-catch-up instead of failing the batch —
+  /// as long as an ack quorum holds. `require_quorum=false` (intent
+  /// resolutions) logs and applies best-effort like the pre-epoch
+  /// behaviour. `batch` optionally carries the already-parsed WriteBatch
+  /// for kBatch records so the hot path skips re-decoding rec.payload.
+  Status ReplicateRecordLocked(RangeState* range, LogRecord rec,
+                               const storage::WriteBatch* batch,
+                               bool require_quorum);
+  /// Applies one log record to one node's engine `copies` times
+  /// (duplicates model the network; every record kind is idempotent).
+  Status ApplyRecordLocked(KVNode* node, const LogRecord& rec,
+                           const storage::WriteBatch* batch, uint32_t copies);
+  /// Brings one replica's applied position up to min(limit, committed) by
+  /// in-order replay, or by snapshot transfer when the log has been
+  /// truncated past its position.
+  Status CatchUpReplicaLocked(RangeState* range, NodeId node, uint64_t limit);
+  /// Snapshot transfer: clears the target's engine keyspan for the range
+  /// and copies it from a fully-applied replica.
+  Status SnapshotReplicaLocked(RangeState* range, NodeId to);
+  /// Drops fully-applied log prefixes (bounded retention while lagging).
+  void TruncateLogLocked(RangeState* range);
+  /// True while the leaseholder's lease is valid: liveness enforcement off,
+  /// or epoch matches and the holder's liveness has not expired.
+  bool LeaseValidLocked(const RangeState& range) const;
+  /// LeaseValidLocked as a Status (LeaseEpochMismatch + counter on reject).
+  Status CheckLeaseLocked(const RangeState& range);
+  /// Moves an invalid/orphaned lease to a caught-up replica whose liveness
+  /// is valid (catching it up first if needed).
+  void MaybeReassignLeaseLocked(RangeState* range);
+  bool NodeUpLocked(NodeId id) const {
+    return nodes_[id]->live() && nodes_[id]->engine() != nullptr;
+  }
   /// Handles a foreign intent encountered by a read/write. Pushes the owner
   /// and resolves the intent if the push succeeds. Returns OK if the caller
   /// should retry its operation, WriteIntentError if it must back off.
@@ -319,10 +392,30 @@ class KVCluster {
   ScanPushdownHook pushdown_hook_;
   ScanFragmentHook fragment_hook_;
 
+  /// Per-node liveness record driven by TickHeartbeats. The epoch bumps
+  /// once per expiry; leases remember the epoch they were granted under.
+  struct NodeLiveness {
+    uint64_t epoch = 1;
+    Nanos last_heartbeat = 0;
+    bool expired = false;  ///< epoch already bumped for the current expiry
+  };
+  std::vector<NodeLiveness> liveness_;
+  bool liveness_enabled_ = false;
+  PassthroughTransport passthrough_;
+  ReplicaTransport* transport_ = nullptr;  // resolved in the constructor
+
   obs::Counter* lease_moves_c_ = nullptr;
   obs::Counter* replica_moves_c_ = nullptr;
   obs::Counter* splits_c_ = nullptr;
   obs::Counter* intent_conflicts_c_ = nullptr;
+  obs::Counter* replica_catchups_replay_c_ = nullptr;
+  obs::Counter* replica_catchups_snapshot_c_ = nullptr;
+  obs::Counter* replica_demotions_c_ = nullptr;
+  obs::Counter* catchup_records_c_ = nullptr;
+  obs::Counter* lease_epoch_mismatch_c_ = nullptr;
+  obs::Counter* epoch_bumps_c_ = nullptr;
+  obs::Counter* heartbeat_failures_c_ = nullptr;
+  obs::HistogramMetric* replication_delay_h_ = nullptr;
   TxnMetricSet txn_metrics_;
   // Declared last: unregisters (and stops touching cluster state) before
   // any other member is destroyed.

@@ -1,0 +1,173 @@
+#include "kv/linearizability.h"
+
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+namespace veloce::kv {
+
+size_t HistoryRecorder::BeginWrite(std::string key, std::string value) {
+  std::lock_guard<std::mutex> l(mu_);
+  HistoryOp op;
+  op.kind = HistoryOp::Kind::kWrite;
+  op.key = std::move(key);
+  op.value = std::move(value);
+  op.invoke = ++clock_;
+  ops_.push_back(std::move(op));
+  return ops_.size() - 1;
+}
+
+size_t HistoryRecorder::BeginRead(std::string key) {
+  std::lock_guard<std::mutex> l(mu_);
+  HistoryOp op;
+  op.kind = HistoryOp::Kind::kRead;
+  op.key = std::move(key);
+  op.invoke = ++clock_;
+  ops_.push_back(std::move(op));
+  return ops_.size() - 1;
+}
+
+void HistoryRecorder::EndWrite(size_t id, bool ok, bool maybe) {
+  std::lock_guard<std::mutex> l(mu_);
+  HistoryOp& op = ops_[id];
+  op.acked = ok;
+  op.maybe = !ok && maybe;
+  // A maybe-write never completes: with no upper bound on when it might
+  // take effect, any later read may still observe it.
+  if (!op.maybe) op.complete = ++clock_;
+}
+
+void HistoryRecorder::EndRead(size_t id, bool ok, bool found,
+                              std::string value) {
+  std::lock_guard<std::mutex> l(mu_);
+  HistoryOp& op = ops_[id];
+  op.acked = ok;
+  op.found = found;
+  op.value = std::move(value);
+  op.complete = ++clock_;
+}
+
+std::vector<HistoryOp> HistoryRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<HistoryOp> out;
+  out.reserve(ops_.size());
+  for (const HistoryOp& op : ops_) {
+    // A failed read observed nothing — it constrains nothing.
+    if (op.kind == HistoryOp::Kind::kRead && !op.acked) continue;
+    out.push_back(op);
+  }
+  return out;
+}
+
+size_t HistoryRecorder::size() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return ops_.size();
+}
+
+namespace {
+
+/// Wing–Gong search over one key's register history. State is (set of
+/// linearized ops, index of the last linearized write); identical states
+/// reached by different interleavings are memoized away.
+class KeySearch {
+ public:
+  explicit KeySearch(std::vector<HistoryOp> ops) : ops_(std::move(ops)) {}
+
+  bool Check() {
+    n_ = ops_.size();
+    cur_.assign((n_ + 63) / 64, 0);
+    required_total_ = 0;
+    for (const HistoryOp& op : ops_) {
+      if (op.acked) ++required_total_;
+    }
+    required_done_ = 0;
+    return Dfs(-1);
+  }
+
+ private:
+  bool Test(size_t i) const { return (cur_[i >> 6] >> (i & 63)) & 1; }
+  void Set(size_t i) { cur_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Clear(size_t i) { cur_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+  std::string MemoKey(int val) const {
+    std::string key(reinterpret_cast<const char*>(cur_.data()),
+                    cur_.size() * sizeof(uint64_t));
+    key.append(reinterpret_cast<const char*>(&val), sizeof(val));
+    return key;
+  }
+
+  bool Dfs(int val) {
+    if (required_done_ == required_total_) return true;
+    if (!memo_.insert(MemoKey(val)).second) return false;
+    for (size_t i = 0; i < n_; ++i) {
+      if (Test(i)) continue;
+      const HistoryOp& op = ops_[i];
+      // Minimality: i may go next only if no other pending op that MUST be
+      // linearized completed before i was invoked. Maybe-writes never
+      // block (complete = forever) and may be omitted entirely.
+      bool blocked = false;
+      for (size_t j = 0; j < n_ && !blocked; ++j) {
+        if (j == i || Test(j)) continue;
+        blocked = ops_[j].acked && ops_[j].complete < op.invoke;
+      }
+      if (blocked) continue;
+      int next_val = val;
+      if (op.kind == HistoryOp::Kind::kRead) {
+        if (op.found) {
+          if (val < 0 || ops_[static_cast<size_t>(val)].value != op.value) {
+            continue;
+          }
+        } else if (val >= 0) {
+          continue;
+        }
+      } else {
+        next_val = static_cast<int>(i);
+      }
+      Set(i);
+      if (op.acked) ++required_done_;
+      if (Dfs(next_val)) return true;
+      if (op.acked) --required_done_;
+      Clear(i);
+    }
+    return false;
+  }
+
+  std::vector<HistoryOp> ops_;
+  size_t n_ = 0;
+  size_t required_total_ = 0;
+  size_t required_done_ = 0;
+  std::vector<uint64_t> cur_;
+  std::unordered_set<std::string> memo_;
+};
+
+}  // namespace
+
+LinearizabilityResult CheckLinearizability(const std::vector<HistoryOp>& ops) {
+  LinearizabilityResult result;
+  std::map<std::string, std::vector<HistoryOp>> by_key;
+  for (const HistoryOp& op : ops) {
+    // Failed-definite ops never took effect and observed nothing.
+    if (!op.acked && !op.maybe) continue;
+    by_key[op.key].push_back(op);
+    ++result.ops_checked;
+  }
+  for (auto& [key, key_ops] : by_key) {
+    ++result.keys_checked;
+    const size_t total = key_ops.size();
+    size_t acked = 0;
+    for (const HistoryOp& op : key_ops) {
+      if (op.acked) ++acked;
+    }
+    KeySearch search(std::move(key_ops));
+    if (!search.Check()) {
+      result.ok = false;
+      result.explanation = "key \"" + key + "\": no valid linearization of " +
+                           std::to_string(total) + " ops (" +
+                           std::to_string(acked) + " acked)";
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace veloce::kv

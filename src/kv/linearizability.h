@@ -1,0 +1,84 @@
+#ifndef VELOCE_KV_LINEARIZABILITY_H_
+#define VELOCE_KV_LINEARIZABILITY_H_
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace veloce::kv {
+
+/// One client-observed operation in a history. Times are drawn from a
+/// single monotonic logical clock (the recorder's), so invoke/complete
+/// intervals are comparable across threads.
+struct HistoryOp {
+  enum class Kind : uint8_t { kWrite = 0, kRead = 1 };
+  static constexpr uint64_t kForever = std::numeric_limits<uint64_t>::max();
+
+  Kind kind = Kind::kWrite;
+  std::string key;
+  std::string value;   ///< written value, or value a read returned
+  bool found = true;   ///< reads: key existed (false = observed "no value")
+  bool acked = false;  ///< the client saw success
+  /// Indeterminate outcome: the op MAY have taken effect ("result unknown"
+  /// errors — e.g. quorum lost after the log append). Linearization may
+  /// include or exclude it. Acked ops are never maybe.
+  bool maybe = false;
+  uint64_t invoke = 0;
+  uint64_t complete = kForever;  ///< maybe-ops never complete (no upper bound)
+};
+
+/// Thread-safe recorder wrapping a sequence of KV calls with invoke /
+/// complete timestamps from one logical clock. The test harness calls
+/// BeginWrite/BeginRead before issuing the real operation and the matching
+/// End* after, then hands Snapshot() to CheckLinearizability.
+class HistoryRecorder {
+ public:
+  /// Returns the op id to pass to the matching End call.
+  size_t BeginWrite(std::string key, std::string value);
+  size_t BeginRead(std::string key);
+
+  /// `ok`: client saw success. `maybe`: failure was of the "result
+  /// unknown" class (op may still have applied). Failed-definite writes
+  /// are kept as non-acked non-maybe ops (they must NOT appear in any
+  /// linearization); failed reads are dropped at snapshot time.
+  void EndWrite(size_t id, bool ok, bool maybe);
+  /// `found=false` records a read that observed no value for the key.
+  void EndRead(size_t id, bool ok, bool found, std::string value);
+
+  std::vector<HistoryOp> Snapshot() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t clock_ = 0;
+  std::vector<HistoryOp> ops_;
+};
+
+struct LinearizabilityResult {
+  bool ok = true;
+  std::string explanation;  ///< first violating key + why, when !ok
+  size_t keys_checked = 0;
+  size_t ops_checked = 0;
+};
+
+/// Checks a history of per-key register operations for linearizability
+/// (Wing–Gong style exhaustive search with memoization, run independently
+/// per key — keys are independent registers, so the product search
+/// factorizes). Rules:
+///   - acked ops must all be linearized, in some order consistent with
+///     real-time precedence (complete(a) < invoke(b) => a before b);
+///   - maybe-writes may be linearized anywhere after their invoke, or
+///     omitted entirely;
+///   - failed-definite writes are never linearized;
+///   - each read must return the value of the latest linearized write to
+///     its key (or found=false when there is none).
+/// Histories are expected to be bounded (hundreds of ops per key); the
+/// memoized search is exponential in the worst case but small histories
+/// with real-time order constraints prune hard.
+LinearizabilityResult CheckLinearizability(const std::vector<HistoryOp>& ops);
+
+}  // namespace veloce::kv
+
+#endif  // VELOCE_KV_LINEARIZABILITY_H_

@@ -2,6 +2,7 @@
 #define VELOCE_KV_RANGE_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -28,6 +29,12 @@ struct RangeDescriptor {
   TenantId tenant_id = 0; ///< owning tenant (0 for pre-tenant system ranges)
   std::vector<NodeId> replicas;
   NodeId leaseholder = 0;
+  /// Liveness epoch of the leaseholder when the lease was granted. Once
+  /// heartbeat-driven liveness is armed (KVCluster::TickHeartbeats), a
+  /// lease is valid only while the holder's epoch still matches: an
+  /// isolated leaseholder's epoch bumps on expiry, so its stale lease
+  /// rejects writes with LeaseEpochMismatch instead of serving split-brain.
+  uint64_t lease_epoch = 1;
 
   bool Contains(Slice key) const {
     if (Slice(key) < Slice(start_key)) return false;
@@ -41,19 +48,89 @@ struct RangeDescriptor {
   }
 };
 
+/// One replicated mutation of a range. Everything that touches a replica's
+/// engine flows through a record so a lagging replica can replay the exact
+/// same sequence and converge byte-identically — including intent
+/// resolutions, which previously bypassed the log and diverged dead
+/// replicas forever.
+struct LogRecord {
+  enum class Kind : uint8_t {
+    kBatch = 0,           ///< serialized storage::WriteBatch (payload)
+    kResolveIntent = 1,   ///< MvccResolveIntent(key, txn_id, commit, ts)
+    kUpdateIntentTs = 2,  ///< MvccUpdateIntentTimestamp(key, txn_id, ts)
+  };
+  Kind kind = Kind::kBatch;
+  uint64_t index = 0;
+  std::string payload;  ///< kBatch: WriteBatch::rep()
+  std::string key;      ///< resolve/update target
+  uint64_t txn_id = 0;
+  bool commit = false;
+  Timestamp ts;
+  TenantId tenant = 0;  ///< kBatch: tenant charged for write bytes (0 = none)
+
+  size_t ApproxBytes() const { return payload.size() + key.size() + 64; }
+};
+
 /// The replication log of one range — a deliberately compact Raft: a single
 /// stable leader (the leaseholder), a term that bumps on lease transfer,
-/// and synchronous quorum commit. Enough structure to exercise lease
-/// movement and per-node lease counting (Fig 12) without full Raft
-/// machinery; documented as a substitution in DESIGN.md.
+/// and synchronous quorum commit. Records are retained (bounded) with a
+/// per-replica applied position so replicas cut off by a partition or crash
+/// can catch up by in-order replay; replicas that fall behind the retained
+/// window take a snapshot transfer instead. Documented as a substitution in
+/// DESIGN.md.
 class ReplicationLog {
  public:
-  uint64_t Append(const std::string& payload) {
+  /// Retention caps: a fully-applied prefix is always truncated eagerly,
+  /// but while some replica lags the log keeps at most this much before
+  /// forcing that replica onto the snapshot path.
+  static constexpr size_t kMaxRetainedRecords = 4096;
+  static constexpr size_t kMaxRetainedBytes = 4ull << 20;
+
+  uint64_t Append(LogRecord rec) {
     entries_committed_++;
-    bytes_committed_ += payload.size();
+    bytes_committed_ += rec.payload.size();
+    rec.index = entries_committed_;
+    retained_bytes_ += rec.ApproxBytes();
+    records_.push_back(std::move(rec));
     return entries_committed_;
   }
   void BumpTerm() { ++term_; }
+
+  /// Highest contiguously applied index for one replica (0 = nothing).
+  uint64_t Applied(NodeId node) const {
+    auto it = applied_.find(node);
+    return it == applied_.end() ? 0 : it->second;
+  }
+  void SetApplied(NodeId node, uint64_t index) { applied_[node] = index; }
+  void EraseReplica(NodeId node) { applied_.erase(node); }
+
+  /// Index of the oldest retained record (committed_index()+1 when empty).
+  uint64_t first_index() const {
+    return records_.empty() ? entries_committed_ + 1 : records_.front().index;
+  }
+
+  /// True when replay can serve a replica at `applied` (no truncation gap).
+  bool CanReplayFrom(uint64_t applied) const {
+    return applied + 1 >= first_index();
+  }
+
+  /// Records with index > `applied`, oldest first.
+  const std::deque<LogRecord>& records() const { return records_; }
+
+  /// Drops every record at or below `floor` (the minimum applied position
+  /// across the replica set), then enforces the retention caps; replicas
+  /// whose position falls before first_index() must snapshot.
+  void TruncateTo(uint64_t floor) {
+    while (!records_.empty() && records_.front().index <= floor) {
+      retained_bytes_ -= records_.front().ApproxBytes();
+      records_.pop_front();
+    }
+    while (records_.size() > kMaxRetainedRecords ||
+           (retained_bytes_ > kMaxRetainedBytes && !records_.empty())) {
+      retained_bytes_ -= records_.front().ApproxBytes();
+      records_.pop_front();
+    }
+  }
 
   uint64_t term() const { return term_; }
   uint64_t committed_index() const { return entries_committed_; }
@@ -63,6 +140,9 @@ class ReplicationLog {
   uint64_t term_ = 1;
   uint64_t entries_committed_ = 0;
   uint64_t bytes_committed_ = 0;
+  size_t retained_bytes_ = 0;
+  std::deque<LogRecord> records_;
+  std::map<NodeId, uint64_t> applied_;
 };
 
 /// Read-timestamp cache for one range: remembers the maximum timestamp at

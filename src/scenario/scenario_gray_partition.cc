@@ -1,0 +1,224 @@
+// "gray-partition": a three-region deployment (one KV node per region,
+// RF=3) suffers an *asymmetric* network failure — one node can receive
+// but not send — that then hardens into a full isolation before healing.
+// Unlike az-outage, the afflicted node never crashes: it stays up and
+// convinced it is healthy, which is exactly the split-brain trap.
+// Heartbeat-driven liveness must expire its lease epoch (outbound
+// heartbeats can't reach a majority), writes must fail over to the
+// surviving quorum via epoch-mismatch redirects rather than acking on a
+// stale lease, and on heal the straggling replica must converge through
+// log catch-up. The whole fault trajectory — the partition schedule plus
+// a lossy per-link profile (drop/duplicate/delay) — derives from the one
+// scenario seed through the FaultyMesh.
+
+#include <cstdio>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/logging.h"
+#include "scenario/env_builder.h"
+#include "scenario/scenarios.h"
+#include "sim/faulty_mesh.h"
+
+namespace veloce::scenario {
+namespace {
+
+class GrayPartition final : public Scenario {
+ public:
+  std::string_view name() const override { return "gray-partition"; }
+  std::string_view description() const override {
+    return "asymmetric partition hardens to full isolation, then heals";
+  }
+
+  void Run(ScenarioContext& ctx) override {
+    const Nanos total = (ctx.fast() ? 60 : 180) * kSecond;
+    const Nanos gray_at = total / 4;      // outbound-only loss begins
+    const Nanos isolate_at = total / 2;   // hardens to a full partition
+    const Nanos heal_at = 3 * total / 4;  // links restored, catch-up
+    const Nanos cadence = 250 * kMilli;
+    const Nanos tick = 500 * kMilli;  // heartbeat/liveness cadence
+    const Nanos liveness = 2 * kSecond;
+    const uint32_t kNodes = 3;
+    const uint32_t victim = 1;  // round-robin regions: node 1 = us-west1
+
+    // The mesh outlives the cluster (declared first), so the transport
+    // pointer installed below stays valid for the cluster's whole life.
+    sim::FaultyMesh mesh(ctx.seed());
+
+    ServerlessEnv env =
+        ScenarioEnvBuilder()
+            .Seed(ctx.seed())
+            .KvNodes(static_cast<int>(kNodes))
+            .Replication(3)
+            .Regions({"us-east1", "us-west1", "europe-west1"})
+            .Tune([liveness](serverless::ServerlessCluster::Options* o) {
+              o->kv.liveness_duration = liveness;
+            })
+            .BuildServerless();
+    serverless::ServerlessCluster& cluster = *env.cluster;
+    cluster.kv_cluster()->set_transport(&mesh);
+    auto meta = cluster.CreateTenant("prod");
+    VELOCE_CHECK(meta.ok());
+    const kv::TenantId tenant = meta->id;
+
+    ctx.report()->AddParam("regions", 3);
+    ctx.report()->AddParam("replication_factor", 3);
+    ctx.report()->AddParam("liveness_s", static_cast<double>(liveness) / kSecond);
+    ctx.report()->AddParam("gray_at_s", static_cast<double>(gray_at) / kSecond);
+    ctx.report()->AddParam("isolate_at_s",
+                           static_cast<double>(isolate_at) / kSecond);
+    ctx.report()->AddParam("heal_at_s", static_cast<double>(heal_at) / kSecond);
+
+    Timeline tl(cluster.loop(), ctx.log());
+    // Arm liveness at t=0 and keep the heartbeat rounds coming for the
+    // whole run (including the post-load settle window): lease expiry,
+    // reassignment, and background catch-up all ride on these ticks.
+    cluster.kv_cluster()->TickHeartbeats();
+    tl.Every(tick, total + 4 * kSecond, "heartbeat-tick",
+             [&cluster] { cluster.kv_cluster()->TickHeartbeats(); });
+
+    tl.At(gray_at, "gray partition: node 1 outbound dead + lossy links",
+          [&mesh, kNodes, victim] {
+            // Asymmetric: the victim hears everyone but reaches no one. Its
+            // own heartbeats can't assemble a majority, so its liveness
+            // (and with it any lease it holds) must expire — while inbound
+            // replication keeps it *almost* caught up, the gray trap.
+            for (uint32_t other = 0; other < kNodes; ++other) {
+              if (other != victim) mesh.PartitionLink(victim, other);
+            }
+            sim::MeshProfile lossy;
+            lossy.drop = 0.03;
+            lossy.dup = 0.02;
+            lossy.reorder = 0.01;
+            lossy.delay_base = kMilli;
+            lossy.delay_jitter = 2 * kMilli;
+            mesh.set_profile(lossy);
+          });
+    tl.At(isolate_at, "full partition: node 1 isolated",
+          [&mesh, kNodes, victim] { mesh.Isolate(victim, kNodes); });
+    tl.At(heal_at, "partition healed", [&cluster, &ctx, &tl, &mesh, kNodes] {
+      mesh.HealAll();
+      mesh.set_profile({});
+      for (uint32_t id = 0; id < kNodes; ++id) {
+        const Status s = cluster.kv_cluster()->CatchUpNode(id);
+        if (!s.ok()) ctx.Log(tl.Elapsed(), "catch-up-failed", s.ToString());
+      }
+      cluster.kv_cluster()->BalanceLeases();
+    });
+
+    auto conn = cluster.ConnectSync(tenant);
+    VELOCE_CHECK(conn.ok());
+    VELOCE_CHECK_OK(
+        cluster.ExecuteSync(*conn, "CREATE TABLE writes (id INT PRIMARY KEY)")
+            .status());
+
+    Histogram latency, healthy_latency, fault_latency, healed_latency;
+    int64_t acked = 0, failed = 0;
+    int64_t gray_failed = 0, isolated_failed = 0, healed_failed = 0;
+    Random pacing(ctx.SubSeed("pacing"));
+    int64_t writes_issued = 0;
+    // Writes fail over but are never lost: ids are unique per *issue* (not
+    // per ack), so an indeterminate outcome (row durable, error returned)
+    // can't collide with a later write — final_rows is bracketed by
+    // [acked, issued] instead of forced equal to acked.
+    for (Nanos t = cadence; t <= total; t += cadence) {
+      cluster.loop()->RunUntil(tl.start() + t +
+                               static_cast<Nanos>(pacing.Uniform(50 * kMilli)));
+      const Nanos t0 = cluster.loop()->Now();
+      auto st = cluster.ExecuteSync(
+          *conn,
+          "INSERT INTO writes VALUES (" + std::to_string(writes_issued) + ")",
+          /*idempotent=*/false);
+      ++writes_issued;
+      const Nanos took = cluster.loop()->Now() - t0;
+      latency.Record(took);
+      if (t <= gray_at) healthy_latency.Record(took);
+      if (t > gray_at && t <= heal_at) fault_latency.Record(took);
+      // Post-heal margin: one liveness interval for redirects/reassignment
+      // to quiesce before the "back to normal" bar applies.
+      if (t > heal_at + liveness) healed_latency.Record(took);
+      if (st.ok()) {
+        ++acked;
+      } else {
+        ++failed;
+        if (t > gray_at && t <= isolate_at) ++gray_failed;
+        if (t > isolate_at && t <= heal_at) ++isolated_failed;
+        if (t > heal_at + liveness) ++healed_failed;
+        ctx.Log(tl.Elapsed(), "write-failed", st.status().ToString());
+      }
+      if (writes_issued % 40 == 0) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "acked=%lld failed=%lld p99=%.2fms",
+                      static_cast<long long>(acked),
+                      static_cast<long long>(failed),
+                      static_cast<double>(latency.P99()) / kMilli);
+        ctx.Log(tl.Elapsed(), "progress", buf);
+      }
+    }
+    cluster.loop()->RunUntil(tl.start() + total + 5 * kSecond);
+
+    auto count = cluster.ExecuteSync(*conn, "SELECT COUNT(*) FROM writes");
+    VELOCE_CHECK(count.ok());
+    const double final_rows = count->rows[0][0].int_value();
+
+    obs::MetricsRegistry* m = cluster.metrics();
+    const double epoch_bumps = m->Sum("veloce_kv_liveness_epoch_bumps_total");
+    const double epoch_mismatches =
+        m->Sum("veloce_kv_lease_epoch_mismatches_total");
+    const double catchups = m->Sum("veloce_kv_replica_catchups_total");
+    const double demotions = m->Sum("veloce_kv_replica_demotions_total");
+    const double redirects = m->Sum("veloce_serverless_lease_redirects_total");
+
+    BenchReport* r = ctx.report();
+    r->AddMetric("writes_issued", writes_issued);
+    r->AddMetric("writes_acked", acked);
+    r->AddMetric("writes_failed", failed);
+    r->AddMetric("final_rows", final_rows);
+    r->AddMetric("gray_write_failures", gray_failed);
+    r->AddMetric("isolated_write_failures", isolated_failed);
+    r->AddMetric("write_p99_ms", static_cast<double>(latency.P99()) / kMilli);
+    r->AddMetric("healthy_write_p99_ms",
+                 static_cast<double>(healthy_latency.P99()) / kMilli);
+    r->AddMetric("fault_write_p99_ms",
+                 static_cast<double>(fault_latency.P99()) / kMilli);
+    r->AddMetric("healed_write_p99_ms",
+                 static_cast<double>(healed_latency.P99()) / kMilli);
+    r->AddMetric("lease_epoch_bumps", epoch_bumps);
+    r->AddMetric("lease_epoch_mismatches", epoch_mismatches);
+    r->AddMetric("replica_catchups", catchups);
+    r->AddMetric("replica_demotions", demotions);
+    r->AddMetric("lease_redirects", redirects);
+    r->AddMetric("mesh_delivered", static_cast<double>(mesh.stats().delivered));
+    r->AddMetric("mesh_dropped", static_cast<double>(mesh.stats().dropped));
+    r->AddMetric("mesh_duplicated",
+                 static_cast<double>(mesh.stats().duplicated));
+    r->AddMetric("mesh_blocked", static_cast<double>(mesh.stats().blocked));
+
+    // Every acked write survives the partition + catch-up; rows beyond
+    // acked can only come from indeterminate failures (durable but
+    // error-returned), never from thin air.
+    r->AssertGe("no_acked_write_loss", final_rows, static_cast<double>(acked),
+                "acked INSERTs survive the gray partition and heal");
+    r->AssertLe("no_phantom_rows", final_rows,
+                static_cast<double>(writes_issued),
+                "every durable row traces to an issued INSERT");
+    r->AssertGe("lease_epoch_bumped", epoch_bumps, 1,
+                "the muted node's liveness epoch expired (no silent lease)");
+    r->AssertGe("replica_caught_up", catchups, 1,
+                "the partitioned replica converged via log catch-up");
+    r->AssertEq("healed_write_failures", static_cast<double>(healed_failed), 0,
+                "after heal + one liveness interval, writes are clean");
+    r->AssertGe("acked_fraction",
+                static_cast<double>(acked) /
+                    static_cast<double>(writes_issued ? writes_issued : 1),
+                0.6, "failover bounds the blackout to the liveness window");
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Scenario> MakeGrayPartition() {
+  return std::make_unique<GrayPartition>();
+}
+
+}  // namespace veloce::scenario

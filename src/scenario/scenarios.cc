@@ -7,6 +7,7 @@ void RegisterBuiltinScenarios() {
   RegisterScenario("tenant-stampede", MakeTenantStampede);
   RegisterScenario("az-outage", MakeAzOutage);
   RegisterScenario("rolling-upgrade-under-chaos", MakeRollingUpgradeChaos);
+  RegisterScenario("gray-partition", MakeGrayPartition);
 }
 
 }  // namespace veloce::scenario

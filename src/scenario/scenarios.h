@@ -7,7 +7,7 @@
 
 namespace veloce::scenario {
 
-/// The four built-in "cluster weather" scenarios (docs/SCENARIOS.md).
+/// The five built-in "cluster weather" scenarios (docs/SCENARIOS.md).
 /// Each is registered by RegisterBuiltinScenarios() under the name noted.
 
 /// "black-friday": a multi-region tenant's demand ramps 10x, plateaus, and
@@ -34,6 +34,14 @@ std::unique_ptr<Scenario> MakeAzOutage();
 /// survive, acked writes match the final row count exactly, and the error
 /// rate stays at zero.
 std::unique_ptr<Scenario> MakeRollingUpgradeChaos();
+
+/// "gray-partition": one KV node loses outbound connectivity (it hears
+/// the cluster but can't reach it), then gets fully isolated, then
+/// heals — all over a seeded FaultyMesh with a lossy per-link profile.
+/// Asserts the muted node's lease epoch expires (no split-brain acks),
+/// writes fail over within the liveness window, the straggler converges
+/// via log catch-up on heal, and no acked write is ever lost.
+std::unique_ptr<Scenario> MakeGrayPartition();
 
 }  // namespace veloce::scenario
 

@@ -169,8 +169,12 @@ Status ServerlessCluster::CrashAndRestartKvNode(kv::NodeId id) {
     // The reboot failed (e.g. the disk fault persists): the node stays
     // down and sheds its leases; surviving replicas keep serving.
     kv_->SetNodeLive(id, false);
+    return restarted;
   }
-  return restarted;
+  // The reboot recovered only what its WALs held: replay whatever the
+  // replication log committed while the node was down so it converges
+  // with the leaseholder and counts toward quorum again.
+  return kv_->CatchUpNode(id);
 }
 
 }  // namespace veloce::serverless

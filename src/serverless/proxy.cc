@@ -20,6 +20,8 @@ Proxy::Proxy(sim::EventLoop* loop, SqlNodePool* pool, Options options)
       metrics_->counter("veloce_serverless_failover_retries_total");
   budget_exhausted_c_ =
       metrics_->counter("veloce_serverless_retry_budget_exhausted_total");
+  lease_redirects_c_ =
+      metrics_->counter("veloce_serverless_lease_redirects_total");
   failover_backoff_h_ =
       metrics_->histogram("veloce_serverless_failover_backoff_ns");
   gauge_cb_ = metrics_->AddCollectCallback([this] {
@@ -194,11 +196,31 @@ void Proxy::ExecuteAttempt(uint64_t conn_id, const std::string& sql,
       done(std::move(result));
       return;
     }
+    // Stale-lease (epoch mismatch) and stale-routing (range key mismatch)
+    // rejections are emitted before the offending batch touches any
+    // engine, so replaying them is safe even for non-idempotent work.
+    // Redirect: short pause (enough for a liveness tick to move the lease
+    // to a reachable replica), retry on the same session, no budget spent
+    // — blind exponential backoff would punish the tenant for a
+    // server-side routing change.
+    const Code code = result.status().code();
+    if ((code == Code::kLeaseEpochMismatch ||
+         code == Code::kRangeKeyMismatch) &&
+        attempt < options_.failover_max_attempts) {
+      lease_redirects_c_->Inc();
+      loop_->Schedule(options_.redirect_backoff,
+                      [this, conn_id, sql, idempotent, attempt,
+                       done = std::move(done)]() mutable {
+                        ExecuteAttempt(conn_id, sql, idempotent, attempt + 1,
+                                       std::move(done));
+                      });
+      return;
+    }
     // A request that reached the node and failed may have partially run;
     // only idempotent work is safe to replay, and only transient failures
     // are worth it. (A node that died *before* the attempt never saw the
     // request, so the pre-attempt path below retries unconditionally.)
-    if (!idempotent || result.status().code() != Code::kUnavailable) {
+    if (!idempotent || code != Code::kUnavailable) {
       done(std::move(result));
       return;
     }

@@ -42,6 +42,12 @@ class Proxy {
     double retry_budget_cap = 10.0;
     /// Tokens a tenant starts with (so its very first failure can retry).
     double retry_budget_initial = 5.0;
+    /// Pause before redirecting after a lease-epoch-mismatch / stale-range
+    /// rejection. These are definitive pre-apply rejections — the cluster
+    /// names a new leaseholder as soon as liveness expires the old lease —
+    /// so the redirect needs only enough delay for a heartbeat tick, not
+    /// the full failover backoff, and spends no retry-budget tokens.
+    Nanos redirect_backoff = 5 * kMilli;
 
     /// Proxy telemetry (connections, migrations, security rejections).
     /// Null metrics = private registry.
@@ -157,6 +163,7 @@ class Proxy {
   obs::Counter* failovers_c_ = nullptr;          ///< successful re-attaches
   obs::Counter* failover_retries_c_ = nullptr;   ///< retry attempts taken
   obs::Counter* budget_exhausted_c_ = nullptr;   ///< fails fast on empty budget
+  obs::Counter* lease_redirects_c_ = nullptr;    ///< stale-lease/range redirects
   obs::HistogramMetric* failover_backoff_h_ = nullptr;
   /// Declared last: unregisters before the state it reads is destroyed.
   obs::MetricsRegistry::CallbackToken gauge_cb_;

@@ -1,0 +1,54 @@
+#include "sim/faulty_mesh.h"
+
+namespace veloce::sim {
+
+kv::LinkDecision FaultyMesh::DeliverReplication(uint32_t from, uint32_t to,
+                                                uint64_t log_index) {
+  (void)log_index;
+  kv::LinkDecision d;
+  if (Blocked(from, to)) {
+    stats_.blocked++;
+    d.deliver = false;
+    d.ack = false;
+    return d;
+  }
+  // Drop and reorder collapse to the same observable outcome (the entry
+  // arrives later, in order, via catch-up replay), but are drawn separately
+  // so profiles can dial them independently.
+  if (rng_.Bernoulli(profile_.drop) || rng_.Bernoulli(profile_.reorder)) {
+    stats_.dropped++;
+    d.deliver = false;
+    d.ack = false;
+    return d;
+  }
+  if (rng_.Bernoulli(profile_.dup)) {
+    stats_.duplicated++;
+    d.copies = 2;
+  }
+  if (profile_.delay_base > 0 || profile_.delay_jitter > 0) {
+    d.delay = profile_.delay_base;
+    if (profile_.delay_jitter > 0) {
+      d.delay += static_cast<Nanos>(
+          rng_.Uniform(static_cast<uint64_t>(profile_.delay_jitter) + 1));
+    }
+    if (d.delay > 0) stats_.delayed++;
+  }
+  stats_.delivered++;
+  return d;
+}
+
+bool FaultyMesh::DeliverHeartbeat(uint32_t from, uint32_t to) {
+  if (Blocked(from, to)) {
+    stats_.blocked++;
+    return false;
+  }
+  // Heartbeats ride the same lossy links as replication traffic.
+  if (rng_.Bernoulli(profile_.drop)) {
+    stats_.dropped++;
+    return false;
+  }
+  stats_.delivered++;
+  return true;
+}
+
+}  // namespace veloce::sim

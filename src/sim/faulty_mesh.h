@@ -1,0 +1,92 @@
+#ifndef VELOCE_SIM_FAULTY_MESH_H_
+#define VELOCE_SIM_FAULTY_MESH_H_
+
+#include <cstdint>
+#include <set>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "kv/replica_transport.h"
+
+namespace veloce::sim {
+
+/// Per-link fault probabilities for a FaultyMesh. Probabilities apply
+/// independently per message; delays are uniform in
+/// [delay_base, delay_base + delay_jitter].
+struct MeshProfile {
+  double drop = 0.0;     ///< message lost in flight (replica stays behind)
+  double dup = 0.0;      ///< message delivered twice (idempotent apply)
+  double reorder = 0.0;  ///< message deferred; arrives later via catch-up
+  Nanos delay_base = 0;
+  Nanos delay_jitter = 0;
+};
+
+/// Seeded network fault mesh over the node graph: the chaos-injecting
+/// ReplicaTransport. Lives beside RegionTopology as the "unreliable" half
+/// of the network model — RegionTopology prices healthy links, FaultyMesh
+/// decides whether and how messages traverse them at all.
+///
+/// Faults compose from two layers, checked in order:
+///  1. A directed partition set (PartitionLink / Isolate): blocked links
+///     deliver nothing — heartbeats and replication both fail. Asymmetric
+///     (gray) partitions are just one direction blocked.
+///  2. A probabilistic profile (drop / duplicate / reorder / delay) drawn
+///     from a PRNG seeded via DeriveSeed, so one scenario seed fixes the
+///     whole fault trajectory.
+///
+/// Drop and reorder both surface as deliver=false: the cluster's catch-up
+/// replay later delivers the same records in order, which is exactly how a
+/// TCP-like stream resolves loss and reordering — retransmission with
+/// in-order delivery, never out-of-order apply. ack always equals deliver
+/// (this mesh models a lossy network, not a lying one; see the broken
+/// transport in the linearizability self-test for the latter).
+class FaultyMesh final : public kv::ReplicaTransport {
+ public:
+  explicit FaultyMesh(uint64_t seed)
+      : rng_(DeriveSeed(seed, "mesh")) {}
+
+  void set_profile(const MeshProfile& profile) { profile_ = profile; }
+  const MeshProfile& profile() const { return profile_; }
+
+  /// Blocks the directed link from → to (messages that way vanish).
+  void PartitionLink(uint32_t from, uint32_t to) {
+    blocked_.insert({from, to});
+  }
+  /// Blocks both directions between every pair (node, other).
+  void Isolate(uint32_t node, uint32_t cluster_size) {
+    for (uint32_t other = 0; other < cluster_size; ++other) {
+      if (other == node) continue;
+      blocked_.insert({node, other});
+      blocked_.insert({other, node});
+    }
+  }
+  void HealLink(uint32_t from, uint32_t to) { blocked_.erase({from, to}); }
+  void HealAll() { blocked_.clear(); }
+  bool Blocked(uint32_t from, uint32_t to) const {
+    return blocked_.count({from, to}) > 0;
+  }
+
+  kv::LinkDecision DeliverReplication(uint32_t from, uint32_t to,
+                                      uint64_t log_index) override;
+  bool DeliverHeartbeat(uint32_t from, uint32_t to) override;
+
+  struct Stats {
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;    ///< probabilistic drop or reorder-deferral
+    uint64_t duplicated = 0;
+    uint64_t delayed = 0;
+    uint64_t blocked = 0;    ///< killed by the partition set
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Random rng_;
+  MeshProfile profile_;
+  std::set<std::pair<uint32_t, uint32_t>> blocked_;
+  Stats stats_;
+};
+
+}  // namespace veloce::sim
+
+#endif  // VELOCE_SIM_FAULTY_MESH_H_

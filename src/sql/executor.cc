@@ -89,7 +89,11 @@ StatusOr<ResultSet> Executor::Execute(const Statement& stmt, TenantTxn* txn,
         if (!result.ok()) {
           (void)implicit->Rollback();
           last = result.status();
+          // Lease-epoch mismatch is a pre-apply routing rejection: the
+          // lease moved (or expired) under us; a fresh attempt reaches the
+          // new leaseholder.
           if (last.IsWriteIntentError() || last.IsTransactionRetry() ||
+              last.IsLeaseEpochMismatch() ||
               last.code() == Code::kTransactionAborted) {
             continue;
           }
@@ -98,7 +102,7 @@ StatusOr<ResultSet> Executor::Execute(const Statement& stmt, TenantTxn* txn,
         Status commit = implicit->Commit();
         if (commit.ok()) return result;
         last = commit;
-        if (!commit.IsTransactionRetry() &&
+        if (!commit.IsTransactionRetry() && !commit.IsLeaseEpochMismatch() &&
             commit.code() != Code::kTransactionAborted) {
           return commit;
         }

@@ -5,13 +5,16 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "kv/cluster.h"
 #include "kv/keys.h"
+#include "kv/linearizability.h"
 #include "kv/transaction.h"
 #include "obs/metrics.h"
 #include "sim/event_loop.h"
+#include "sim/faulty_mesh.h"
 #include "sim/sim_executor.h"
 #include "storage/background.h"
 #include "storage/engine.h"
@@ -761,6 +764,139 @@ TEST(FaultChaosTest, PipelinedTxnsNeverLoseAckedWrites) {
   // would degrade into a smoke test of the happy path.
   if (EnvOr("VELOCE_CHAOS_SEED", 0xC4A05u) == 0xC4A05u && iters >= 100) {
     EXPECT_GT(fault.injected(FaultOp::kAppend), 0u) << "no WAL fault ever fired";
+  }
+}
+
+/// Storage faults and network faults composed from ONE scenario seed: every
+/// iteration derives a disk-fault schedule (DeriveSeed "storage") and a
+/// mesh trajectory (DeriveSeed "mesh", inside FaultyMesh) from the same
+/// seed, runs a recorded workload against a 3-node replicated cluster
+/// while WAL appends fail, links drop/duplicate, and nodes get isolated —
+/// and asserts the per-key linearizability checker accepts the history on
+/// EVERY iteration. Seeded like the harnesses above (VELOCE_CHAOS_SEED /
+/// VELOCE_CHAOS_ITERS).
+TEST(FaultChaosTest, ComposedStorageAndNetworkFaultsStayLinearizable) {
+  const uint64_t iters = EnvOr("VELOCE_CHAOS_ITERS", 500);
+  const uint64_t base_seed = EnvOr("VELOCE_CHAOS_SEED", 0xC4A05u);
+  uint64_t storage_faults_fired = 0;
+  uint64_t mesh_faults_fired = 0;
+
+  for (uint64_t iter = 0; iter < iters; ++iter) {
+    const uint64_t seed = base_seed + iter;
+    SCOPED_TRACE("composed chaos iteration " + std::to_string(iter) +
+                 " seed " + std::to_string(seed));
+    Random rnd(seed);
+    auto base = NewMemEnv();
+    FaultInjectionEnv fault(base.get(), DeriveSeed(seed, "storage"));
+    ManualClock clock(100 * kSecond);
+    sim::FaultyMesh mesh(seed);
+    sim::MeshProfile profile;
+    profile.drop = rnd.NextDouble() * 0.25;
+    profile.dup = rnd.NextDouble() * 0.15;
+    profile.reorder = rnd.NextDouble() * 0.15;
+    mesh.set_profile(profile);
+
+    kv::KVClusterOptions copts;
+    copts.num_nodes = 3;
+    copts.replication_factor = 3;
+    copts.clock = &clock;
+    copts.transport = &mesh;
+    copts.liveness_duration = 2 * kSecond;
+    copts.engine_options.env = &fault;
+    copts.engine_options.sync_wal = true;
+    kv::KVCluster cluster(copts);
+    VELOCE_CHECK_OK(cluster.CreateTenantKeyspace(10));
+    cluster.TickHeartbeats();
+
+    // Transient WAL-append fault window on one node's engine, composed
+    // with whatever the mesh does to the links this iteration.
+    int rule_id = -1;
+    if (rnd.Uniform(2) == 0) {
+      FaultRule rule;
+      rule.op = FaultOp::kAppend;
+      rule.path_substr =
+          "kvnode-" + std::to_string(rnd.Uniform(3)) + "/wal-";
+      rule.skip = static_cast<int>(rnd.Uniform(6));
+      rule.count = 1 + static_cast<int>(rnd.Uniform(3));
+      rule_id = fault.AddRule(rule);
+    }
+
+    kv::HistoryRecorder history;
+    int next_value = 0;
+    const int ops = 15 + static_cast<int>(rnd.Uniform(15));
+    for (int i = 0; i < ops; ++i) {
+      const uint64_t dice = rnd.Uniform(12);
+      if (dice == 0) {
+        mesh.Isolate(static_cast<uint32_t>(rnd.Uniform(3)), 3);
+      } else if (dice == 1) {
+        const uint32_t from = static_cast<uint32_t>(rnd.Uniform(3));
+        mesh.PartitionLink(from, static_cast<uint32_t>((from + 1) % 3));
+      } else if (dice <= 3) {
+        mesh.HealAll();
+      }
+      clock.Advance(rnd.Uniform(700 * kMilli));
+      if (rnd.Uniform(3) == 0) cluster.TickHeartbeats();
+
+      const std::string key =
+          kv::AddTenantPrefix(10, "c" + std::to_string(rnd.Uniform(3)));
+      kv::BatchRequest req;
+      req.tenant_id = 10;
+      req.ts = cluster.Now();
+      if (rnd.Uniform(2) == 0) {
+        const std::string value = "v" + std::to_string(next_value++);
+        const size_t id = history.BeginWrite(key, value);
+        req.AddPut(key, value);
+        auto resp = cluster.Send(req);
+        // Conservative: any failure is "maybe applied" (sound — acked ops
+        // keep their strict obligations).
+        history.EndWrite(id, resp.ok(), /*maybe=*/!resp.ok());
+      } else {
+        const size_t id = history.BeginRead(key);
+        req.AddGet(key);
+        auto resp = cluster.Send(req);
+        if (resp.ok()) {
+          history.EndRead(id, true, resp->responses[0].found,
+                          resp->responses[0].value);
+        } else {
+          history.EndRead(id, false, false, "");
+        }
+      }
+    }
+
+    // Quiesce: lift both fault layers, let liveness recover, converge.
+    if (rule_id >= 0) fault.RemoveRule(rule_id);
+    mesh.HealAll();
+    clock.Advance(3 * kSecond);
+    cluster.TickHeartbeats();
+    cluster.TickHeartbeats();
+    for (kv::NodeId n = 0; n < 3; ++n) {
+      if (cluster.node(n)->engine() != nullptr) {
+        (void)cluster.node(n)->engine()->Resume();
+      }
+      ASSERT_TRUE(cluster.CatchUpNode(n).ok());
+    }
+    for (int k = 0; k < 3; ++k) {
+      const std::string key = kv::AddTenantPrefix(10, "c" + std::to_string(k));
+      const size_t id = history.BeginRead(key);
+      kv::BatchRequest req;
+      req.tenant_id = 10;
+      req.ts = cluster.Now();
+      req.AddGet(key);
+      auto resp = cluster.Send(req);
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+      history.EndRead(id, true, resp->responses[0].found,
+                      resp->responses[0].value);
+    }
+
+    const auto result = kv::CheckLinearizability(history.Snapshot());
+    ASSERT_TRUE(result.ok) << result.explanation;
+    storage_faults_fired += fault.injected(FaultOp::kAppend);
+    mesh_faults_fired += mesh.stats().dropped + mesh.stats().blocked;
+  }
+  // Both fault layers must actually bite under the default seed.
+  if (base_seed == 0xC4A05u && iters >= 100) {
+    EXPECT_GT(storage_faults_fired, 0u) << "no storage fault ever fired";
+    EXPECT_GT(mesh_faults_fired, 0u) << "no network fault ever fired";
   }
 }
 

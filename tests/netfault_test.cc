@@ -1,0 +1,596 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/codec.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "kv/cluster.h"
+#include "kv/keys.h"
+#include "kv/linearizability.h"
+#include "kv/mvcc.h"
+#include "obs/metrics.h"
+#include "sim/faulty_mesh.h"
+#include "storage/fault_env.h"
+
+namespace veloce::kv {
+namespace {
+
+uint64_t EnvOr(const char* name, uint64_t def) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? def : std::strtoull(v, nullptr, 0);
+}
+
+constexpr TenantId kTenant = 10;
+
+std::string K(const std::string& k) { return AddTenantPrefix(kTenant, k); }
+
+StatusOr<BatchResponse> PutKV(KVCluster* cluster, const std::string& key,
+                              const std::string& value) {
+  BatchRequest req;
+  req.tenant_id = kTenant;
+  req.ts = cluster->Now();
+  req.AddPut(K(key), value);
+  return cluster->Send(req);
+}
+
+StatusOr<BatchResponse> GetKV(KVCluster* cluster, const std::string& key) {
+  BatchRequest req;
+  req.tenant_id = kTenant;
+  req.ts = cluster->Now();
+  req.AddGet(K(key));
+  return cluster->Send(req);
+}
+
+/// Full engine-level (key, value) contents of one range's keyspan —
+/// includes MVCC versions and intent slots, so two replicas compare
+/// byte-identical only if they truly converged.
+std::vector<std::pair<std::string, std::string>> RangeSpan(
+    storage::Engine* engine, const RangeDescriptor& desc) {
+  const std::string lower = EncodeIntentKey(desc.start_key);
+  std::string upper;
+  if (!desc.end_key.empty()) OrderedPutString(&upper, desc.end_key);
+  std::vector<std::pair<std::string, std::string>> out;
+  auto it = engine->NewBoundedIterator(lower, upper);
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    out.emplace_back(it->key().ToString(), it->value().ToString());
+  }
+  return out;
+}
+
+/// Asserts every replica of every range holding tenant data is
+/// byte-identical to the leaseholder over the range's engine keyspan.
+void ExpectReplicasConverged(KVCluster* cluster) {
+  for (const RangeDescriptor& desc : cluster->Ranges()) {
+    if (desc.tenant_id != kTenant) continue;
+    auto lead = RangeSpan(cluster->node(desc.leaseholder)->engine(), desc);
+    for (NodeId r : desc.replicas) {
+      if (r == desc.leaseholder) continue;
+      auto replica = RangeSpan(cluster->node(r)->engine(), desc);
+      ASSERT_EQ(lead.size(), replica.size())
+          << "range " << desc.range_id << " replica " << r << " has "
+          << replica.size() << " engine keys vs leaseholder's " << lead.size();
+      for (size_t i = 0; i < lead.size(); ++i) {
+        ASSERT_EQ(lead[i], replica[i])
+            << "range " << desc.range_id << " replica " << r
+            << " diverges at engine key #" << i;
+      }
+    }
+  }
+}
+
+std::unique_ptr<KVCluster> MakeCluster(Clock* clock,
+                                       ReplicaTransport* transport,
+                                       Nanos liveness = 3 * kSecond) {
+  KVClusterOptions opts;
+  opts.num_nodes = 3;
+  opts.replication_factor = 3;
+  opts.clock = clock;
+  opts.transport = transport;
+  opts.liveness_duration = liveness;
+  auto cluster = std::make_unique<KVCluster>(opts);
+  VELOCE_CHECK_OK(cluster->CreateTenantKeyspace(kTenant));
+  return cluster;
+}
+
+RangeDescriptor TenantRange(KVCluster* cluster, const std::string& key) {
+  auto desc = cluster->LookupRange(K(key));
+  VELOCE_CHECK_OK(desc.status());
+  return *desc;
+}
+
+// ---------------------------------------------------------------------------
+// Transport seam
+// ---------------------------------------------------------------------------
+
+/// A healthy FaultyMesh (no profile, no partitions) must behave exactly
+/// like the built-in passthrough: same responses, all replicas current.
+TEST(ReplicaTransportTest, HealthyMeshIsPassthrough) {
+  ManualClock clock(100 * kSecond);
+  sim::FaultyMesh mesh(42);
+  auto meshed = MakeCluster(&clock, &mesh);
+  auto plain = MakeCluster(&clock, nullptr);
+
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "k" + std::to_string(i % 7);
+    const std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(PutKV(meshed.get(), key, value).ok());
+    ASSERT_TRUE(PutKV(plain.get(), key, value).ok());
+  }
+  for (int i = 0; i < 7; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    auto a = GetKV(meshed.get(), key);
+    auto b = GetKV(plain.get(), key);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->responses[0].value, b->responses[0].value);
+  }
+  ExpectReplicasConverged(meshed.get());
+  ExpectReplicasConverged(plain.get());
+  const RangeDescriptor desc = TenantRange(meshed.get(), "k0");
+  for (NodeId r : desc.replicas) {
+    EXPECT_EQ(meshed->RangeReplicaApplied(desc.range_id, r),
+              meshed->RangeLogCommittedIndex(desc.range_id));
+  }
+}
+
+TEST(ReplicaTransportTest, FaultyMeshIsDeterministic) {
+  sim::MeshProfile profile;
+  profile.drop = 0.2;
+  profile.dup = 0.1;
+  profile.delay_base = kMilli;
+  profile.delay_jitter = 2 * kMilli;
+  sim::FaultyMesh a(7), b(7), c(8);
+  a.set_profile(profile);
+  b.set_profile(profile);
+  c.set_profile(profile);
+  bool c_diverged = false;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    const LinkDecision da = a.DeliverReplication(0, 1 + i % 2, i);
+    const LinkDecision db = b.DeliverReplication(0, 1 + i % 2, i);
+    const LinkDecision dc = c.DeliverReplication(0, 1 + i % 2, i);
+    ASSERT_EQ(da.deliver, db.deliver);
+    ASSERT_EQ(da.copies, db.copies);
+    ASSERT_EQ(da.delay, db.delay);
+    ASSERT_EQ(a.DeliverHeartbeat(1, 2), b.DeliverHeartbeat(1, 2));
+    c_diverged |= (da.deliver != dc.deliver || da.delay != dc.delay);
+    (void)c.DeliverHeartbeat(1, 2);
+  }
+  EXPECT_TRUE(c_diverged) << "different seeds produced identical trajectories";
+  EXPECT_GT(a.stats().dropped, 0u);
+  EXPECT_GT(a.stats().duplicated, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-based leases (acceptance criterion a)
+// ---------------------------------------------------------------------------
+
+TEST(EpochLeaseTest, PartitionedLeaseholderRejectsWithEpochMismatch) {
+  ManualClock clock(100 * kSecond);
+  sim::FaultyMesh mesh(0xEB0C);
+  auto cluster = MakeCluster(&clock, &mesh);
+
+  ASSERT_TRUE(PutKV(cluster.get(), "key", "before").ok());
+  cluster->TickHeartbeats();  // arm epoch-based lease enforcement
+  ASSERT_TRUE(cluster->liveness_enabled());
+
+  const RangeDescriptor before = TenantRange(cluster.get(), "key");
+  const NodeId old_holder = before.leaseholder;
+  const uint64_t old_epoch = cluster->NodeLivenessEpoch(old_holder);
+  mesh.Isolate(old_holder, 3);
+
+  // Phase 1 — lease still valid but quorum unreachable: the write is
+  // rejected outright. No ack, nothing applied anywhere.
+  auto during = PutKV(cluster.get(), "key", "split-brain");
+  ASSERT_FALSE(during.ok());
+  EXPECT_EQ(during.status().code(), Code::kUnavailable)
+      << during.status().ToString();
+
+  // Phase 2 — liveness expires: the same write now fails with the epoch
+  // fence, the error the proxy/txn layers classify as redirectable.
+  clock.Advance(4 * kSecond);
+  auto expired = PutKV(cluster.get(), "key", "split-brain");
+  ASSERT_FALSE(expired.ok());
+  EXPECT_TRUE(expired.status().IsLeaseEpochMismatch())
+      << expired.status().ToString();
+  auto read = GetKV(cluster.get(), "key");
+  ASSERT_FALSE(read.ok());  // stale leaseholder cannot serve reads either
+
+  // Heartbeat tick: the isolated node's epoch bumps and the lease moves to
+  // a caught-up majority-side replica. The retry (= the redirect) succeeds.
+  cluster->TickHeartbeats();
+  EXPECT_EQ(cluster->NodeLivenessEpoch(old_holder), old_epoch + 1);
+  EXPECT_FALSE(cluster->NodeLivenessValid(old_holder));
+  const RangeDescriptor after = TenantRange(cluster.get(), "key");
+  EXPECT_NE(after.leaseholder, old_holder);
+  ASSERT_TRUE(PutKV(cluster.get(), "key", "after-failover").ok());
+  auto reread = GetKV(cluster.get(), "key");
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread->responses[0].value, "after-failover");
+
+  // The epoch fence fired for both the expired put and the stale read.
+  EXPECT_EQ(cluster->metrics()->Sum("veloce_kv_lease_epoch_mismatches_total"),
+            2.0);
+
+  // Heal: the deposed leaseholder rejoins, catches up, and converges.
+  mesh.HealAll();
+  clock.Advance(kSecond);
+  cluster->TickHeartbeats();  // regains fresh liveness
+  ASSERT_TRUE(cluster->CatchUpNode(old_holder).ok());
+  ExpectReplicasConverged(cluster.get());
+}
+
+// ---------------------------------------------------------------------------
+// Replica catch-up (acceptance criterion b + satellite: crash/heal)
+// ---------------------------------------------------------------------------
+
+TEST(CatchUpTest, HealedMinorityReplicaConverges) {
+  ManualClock clock(100 * kSecond);
+  sim::FaultyMesh mesh(0xCA7C);
+  auto cluster = MakeCluster(&clock, &mesh);
+
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        PutKV(cluster.get(), "k" + std::to_string(i % 5), "w0-" + std::to_string(i))
+            .ok());
+  }
+  const RangeDescriptor desc = TenantRange(cluster.get(), "k0");
+  NodeId victim = 0;
+  for (NodeId r : desc.replicas) {
+    if (r != desc.leaseholder) victim = r;
+  }
+
+  // Crash the minority replica mid-workload; quorum (2/3) keeps serving.
+  cluster->SetNodeLive(victim, false);
+  for (int i = 20; i < 60; ++i) {
+    ASSERT_TRUE(
+        PutKV(cluster.get(), "k" + std::to_string(i % 5), "w1-" + std::to_string(i))
+            .ok());
+  }
+  const uint64_t committed = cluster->RangeLogCommittedIndex(desc.range_id);
+  EXPECT_LT(cluster->RangeReplicaApplied(desc.range_id, victim), committed);
+
+  // Heal: SetNodeLive(true) replays the missed suffix of the range log.
+  cluster->SetNodeLive(victim, true);
+  EXPECT_GE(cluster->RangeReplicaApplied(desc.range_id, victim), committed);
+  ExpectReplicasConverged(cluster.get());
+  EXPECT_GT(cluster->metrics()->Sum("veloce_kv_replica_catchups_total"), 0.0);
+  EXPECT_GT(cluster->metrics()->Sum("veloce_kv_replica_catchup_records_total"),
+            0.0);
+
+  // The healed replica counts toward quorum again: cut a *different*
+  // replica's links; writes must still reach a majority through the healed
+  // one.
+  NodeId other = 0;
+  for (NodeId r : desc.replicas) {
+    if (r != desc.leaseholder && r != victim) other = r;
+  }
+  mesh.Isolate(other, 3);
+  for (int i = 60; i < 70; ++i) {
+    ASSERT_TRUE(
+        PutKV(cluster.get(), "k" + std::to_string(i % 5), "w2-" + std::to_string(i))
+            .ok())
+        << "healed replica did not count toward quorum";
+  }
+  EXPECT_EQ(cluster->RangeReplicaApplied(desc.range_id, victim),
+            cluster->RangeLogCommittedIndex(desc.range_id));
+}
+
+/// A replica that falls behind further than the log's retention window
+/// converges through the snapshot path instead of replay.
+TEST(CatchUpTest, SnapshotPathWhenLogTruncated) {
+  ManualClock clock(100 * kSecond);
+  auto cluster = MakeCluster(&clock, nullptr);
+
+  ASSERT_TRUE(PutKV(cluster.get(), "k", "seed").ok());
+  const RangeDescriptor desc = TenantRange(cluster.get(), "k");
+  NodeId victim = 0;
+  for (NodeId r : desc.replicas) {
+    if (r != desc.leaseholder) victim = r;
+  }
+  cluster->SetNodeLive(victim, false);
+  // Push the retained window past the victim's applied position: large
+  // values overflow ReplicationLog::kMaxRetainedBytes quickly.
+  const std::string big(64 << 10, 'x');
+  for (int i = 0; i < 80; ++i) {
+    ASSERT_TRUE(PutKV(cluster.get(), "big" + std::to_string(i % 8), big).ok());
+  }
+  cluster->SetNodeLive(victim, true);
+  EXPECT_EQ(cluster->RangeReplicaApplied(desc.range_id, victim),
+            cluster->RangeLogCommittedIndex(desc.range_id));
+  ExpectReplicasConverged(cluster.get());
+  EXPECT_GT(cluster->metrics()->Value("veloce_kv_replica_catchups_total",
+                                      {{"mode", "snapshot"}}),
+            0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: minority engine-write failure demotes instead of failing
+// ---------------------------------------------------------------------------
+
+TEST(CatchUpTest, MinorityEngineFailureDemotesNotFails) {
+  auto base = storage::NewMemEnv();
+  storage::FaultInjectionEnv fault(base.get(), 0xD3);
+
+  KVClusterOptions opts;
+  opts.num_nodes = 3;
+  opts.replication_factor = 3;
+  opts.engine_options.env = &fault;
+  opts.engine_options.sync_wal = true;
+  auto cluster = std::make_unique<KVCluster>(opts);
+  VELOCE_CHECK_OK(cluster->CreateTenantKeyspace(kTenant));
+
+  ASSERT_TRUE(PutKV(cluster.get(), "k", "healthy").ok());
+  const RangeDescriptor desc = TenantRange(cluster.get(), "k");
+  NodeId victim = 0;
+  for (NodeId r : desc.replicas) {
+    if (r != desc.leaseholder) victim = r;
+  }
+
+  // Every WAL append on the victim's engine fails while the rule is live:
+  // its replica apply errors mid-loop, after the leaseholder applied.
+  storage::FaultRule rule;
+  rule.op = storage::FaultOp::kAppend;
+  rule.path_substr = "kvnode-" + std::to_string(victim) + "/";
+  rule.count = 1000000;
+  const int rule_id = fault.AddRule(rule);
+
+  const double demotions_before =
+      cluster->metrics()->Sum("veloce_kv_replica_demotions_total");
+  // Quorum (leaseholder + healthy replica) holds: the batch must succeed,
+  // the victim is demoted to needs-catch-up.
+  auto resp = PutKV(cluster.get(), "k", "during-fault");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_GT(cluster->metrics()->Sum("veloce_kv_replica_demotions_total"),
+            demotions_before);
+  EXPECT_LT(cluster->RangeReplicaApplied(desc.range_id, victim),
+            cluster->RangeLogCommittedIndex(desc.range_id));
+
+  fault.RemoveRule(rule_id);
+  (void)cluster->node(victim)->engine()->Resume();
+  ASSERT_TRUE(cluster->CatchUpNode(victim).ok());
+  EXPECT_EQ(cluster->RangeReplicaApplied(desc.range_id, victim),
+            cluster->RangeLogCommittedIndex(desc.range_id));
+  ExpectReplicasConverged(cluster.get());
+  EXPECT_GT(cluster->metrics()->Sum("veloce_kv_replica_catchups_total"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Linearizability checker: unit tests
+// ---------------------------------------------------------------------------
+
+HistoryOp Op(HistoryOp::Kind kind, const std::string& key,
+             const std::string& value, bool acked, uint64_t invoke,
+             uint64_t complete) {
+  HistoryOp op;
+  op.kind = kind;
+  op.key = key;
+  op.value = value;
+  op.acked = acked;
+  op.invoke = invoke;
+  op.complete = complete;
+  return op;
+}
+
+TEST(LinearizabilityTest, AcceptsSequentialHistory) {
+  std::vector<HistoryOp> h;
+  h.push_back(Op(HistoryOp::Kind::kWrite, "a", "1", true, 1, 2));
+  h.push_back(Op(HistoryOp::Kind::kRead, "a", "1", true, 3, 4));
+  h.push_back(Op(HistoryOp::Kind::kWrite, "a", "2", true, 5, 6));
+  h.push_back(Op(HistoryOp::Kind::kRead, "a", "2", true, 7, 8));
+  const auto r = CheckLinearizability(h);
+  EXPECT_TRUE(r.ok) << r.explanation;
+  EXPECT_EQ(r.keys_checked, 1u);
+  EXPECT_EQ(r.ops_checked, 4u);
+}
+
+TEST(LinearizabilityTest, AcceptsConcurrentOverlap) {
+  // w(1) overlaps w(2) and the read: r=2 is valid with order w1, w2, r.
+  std::vector<HistoryOp> h;
+  h.push_back(Op(HistoryOp::Kind::kWrite, "a", "1", true, 1, 10));
+  h.push_back(Op(HistoryOp::Kind::kWrite, "a", "2", true, 2, 9));
+  h.push_back(Op(HistoryOp::Kind::kRead, "a", "2", true, 3, 8));
+  EXPECT_TRUE(CheckLinearizability(h).ok);
+}
+
+TEST(LinearizabilityTest, RejectsStaleRead) {
+  // w(1) completed strictly before the read, yet the read saw nothing.
+  std::vector<HistoryOp> h;
+  h.push_back(Op(HistoryOp::Kind::kWrite, "a", "1", true, 1, 2));
+  HistoryOp read = Op(HistoryOp::Kind::kRead, "a", "", true, 3, 4);
+  read.found = false;
+  h.push_back(read);
+  const auto r = CheckLinearizability(h);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.explanation.find("\"a\""), std::string::npos);
+}
+
+TEST(LinearizabilityTest, RejectsValueFromNowhere) {
+  std::vector<HistoryOp> h;
+  h.push_back(Op(HistoryOp::Kind::kWrite, "a", "1", true, 1, 2));
+  h.push_back(Op(HistoryOp::Kind::kRead, "a", "ghost", true, 3, 4));
+  EXPECT_FALSE(CheckLinearizability(h).ok);
+}
+
+TEST(LinearizabilityTest, MaybeWriteMayOrMayNotApply) {
+  // An indeterminate write may be read...
+  std::vector<HistoryOp> h1;
+  HistoryOp maybe = Op(HistoryOp::Kind::kWrite, "a", "m", false, 1,
+                       HistoryOp::kForever);
+  maybe.maybe = true;
+  h1.push_back(maybe);
+  h1.push_back(Op(HistoryOp::Kind::kRead, "a", "m", true, 2, 3));
+  EXPECT_TRUE(CheckLinearizability(h1).ok);
+  // ...or never surface.
+  std::vector<HistoryOp> h2;
+  h2.push_back(maybe);
+  HistoryOp miss = Op(HistoryOp::Kind::kRead, "a", "", true, 2, 3);
+  miss.found = false;
+  h2.push_back(miss);
+  EXPECT_TRUE(CheckLinearizability(h2).ok);
+  // ...but it cannot flicker: once read, a strictly-later read (no
+  // overlap) cannot observe its absence.
+  std::vector<HistoryOp> h3;
+  h3.push_back(maybe);
+  h3.push_back(Op(HistoryOp::Kind::kRead, "a", "m", true, 2, 3));
+  HistoryOp later_miss = Op(HistoryOp::Kind::kRead, "a", "", true, 4, 5);
+  later_miss.found = false;
+  h3.push_back(later_miss);
+  EXPECT_FALSE(CheckLinearizability(h3).ok);
+}
+
+TEST(LinearizabilityTest, FailedDefiniteWriteNeverApplies) {
+  std::vector<HistoryOp> h;
+  h.push_back(Op(HistoryOp::Kind::kWrite, "a", "rejected", false, 1, 2));
+  h.push_back(Op(HistoryOp::Kind::kRead, "a", "rejected", true, 3, 4));
+  EXPECT_FALSE(CheckLinearizability(h).ok);
+}
+
+// ---------------------------------------------------------------------------
+// Checker self-test (the "deliberately broken transport" criterion)
+// ---------------------------------------------------------------------------
+
+/// A lying transport: acks every delivery without ever performing it.
+/// Physically impossible on a real network — it exists to manufacture a
+/// split-brain history and prove the checker catches it.
+class LyingTransport final : public ReplicaTransport {
+ public:
+  LinkDecision DeliverReplication(uint32_t, uint32_t, uint64_t) override {
+    LinkDecision d;
+    d.deliver = false;
+    d.ack = true;
+    return d;
+  }
+  bool DeliverHeartbeat(uint32_t, uint32_t) override { return true; }
+};
+
+TEST(LinearizabilityTest, CheckerRejectsBrokenTransport) {
+  ManualClock clock(100 * kSecond);
+  LyingTransport lying;
+  auto cluster = MakeCluster(&clock, &lying);
+  HistoryRecorder history;
+
+  // Acked write: the leaseholder applied it; every "replicated" copy is a
+  // phantom ack.
+  size_t w = history.BeginWrite("key", "v1");
+  auto put = PutKV(cluster.get(), "key", "v1");
+  history.EndWrite(w, put.ok(), /*maybe=*/false);
+  ASSERT_TRUE(put.ok());
+
+  // The leaseholder dies; a phantom-acked replica takes the lease and
+  // serves a read that has never seen v1 — split-brain made visible.
+  const RangeDescriptor desc = TenantRange(cluster.get(), "key");
+  cluster->SetNodeLive(desc.leaseholder, false);
+  size_t r = history.BeginRead("key");
+  auto get = GetKV(cluster.get(), "key");
+  ASSERT_TRUE(get.ok()) << get.status().ToString();
+  history.EndRead(r, true, get->responses[0].found, get->responses[0].value);
+
+  const auto result = CheckLinearizability(history.Snapshot());
+  EXPECT_FALSE(result.ok)
+      << "checker accepted a history produced by a lying transport";
+}
+
+// ---------------------------------------------------------------------------
+// Seeded partition-chaos harness (acceptance criterion c)
+// ---------------------------------------------------------------------------
+
+/// Runs a short seeded workload against a 3-node cluster behind a FaultyMesh
+/// that drops, duplicates, delays, and asymmetrically partitions links,
+/// with heartbeat ticks and clock advancement interleaved. Every operation
+/// is recorded; the history must check out linearizable for EVERY seed.
+void RunPartitionChaosIteration(uint64_t seed) {
+  Random rnd(DeriveSeed(seed, "netfault-harness"));
+  ManualClock clock(100 * kSecond);
+  sim::FaultyMesh mesh(seed);
+  sim::MeshProfile profile;
+  profile.drop = rnd.NextDouble() * 0.3;
+  profile.dup = rnd.NextDouble() * 0.2;
+  profile.reorder = rnd.NextDouble() * 0.2;
+  profile.delay_base = rnd.Uniform(2 * kMilli);
+  profile.delay_jitter = rnd.Uniform(5 * kMilli);
+  mesh.set_profile(profile);
+
+  auto cluster = MakeCluster(&clock, &mesh, /*liveness=*/2 * kSecond);
+  cluster->TickHeartbeats();
+
+  HistoryRecorder history;
+  const int kKeys = 3;
+  int next_value = 0;
+  const int ops = 30 + static_cast<int>(rnd.Uniform(30));
+  for (int i = 0; i < ops; ++i) {
+    // Mutate the partition set occasionally: isolate one node, cut one
+    // directed link (a gray, asymmetric partition), or heal.
+    const uint64_t dice = rnd.Uniform(12);
+    if (dice == 0) {
+      mesh.Isolate(static_cast<uint32_t>(rnd.Uniform(3)), 3);
+    } else if (dice == 1) {
+      const uint32_t from = static_cast<uint32_t>(rnd.Uniform(3));
+      mesh.PartitionLink(from, static_cast<uint32_t>((from + 1) % 3));
+    } else if (dice <= 3) {
+      mesh.HealAll();
+    }
+    clock.Advance(rnd.Uniform(800 * kMilli));
+    if (rnd.Uniform(3) == 0) cluster->TickHeartbeats();
+
+    const std::string key = "k" + std::to_string(rnd.Uniform(kKeys));
+    if (rnd.Uniform(2) == 0) {
+      const std::string value = "v" + std::to_string(next_value++);
+      const size_t id = history.BeginWrite(key, value);
+      auto resp = PutKV(cluster.get(), key, value);
+      // Any failure is conservatively "maybe": sound (acked stays strict),
+      // and robust to new indeterminate failure modes.
+      history.EndWrite(id, resp.ok(), /*maybe=*/!resp.ok());
+    } else {
+      const size_t id = history.BeginRead(key);
+      auto resp = GetKV(cluster.get(), key);
+      if (resp.ok()) {
+        history.EndRead(id, true, resp->responses[0].found,
+                        resp->responses[0].value);
+      } else {
+        history.EndRead(id, false, false, "");
+      }
+    }
+  }
+  // Quiesce: heal everything, let liveness recover, converge all replicas.
+  mesh.HealAll();
+  clock.Advance(3 * kSecond);
+  cluster->TickHeartbeats();
+  cluster->TickHeartbeats();
+  for (NodeId n = 0; n < 3; ++n) {
+    ASSERT_TRUE(cluster->CatchUpNode(n).ok());
+  }
+  ExpectReplicasConverged(cluster.get());
+
+  // Final acked reads must see the converged state too.
+  for (int k = 0; k < kKeys; ++k) {
+    const std::string key = "k" + std::to_string(k);
+    const size_t id = history.BeginRead(key);
+    auto resp = GetKV(cluster.get(), key);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    history.EndRead(id, true, resp->responses[0].found,
+                    resp->responses[0].value);
+  }
+
+  const auto result = CheckLinearizability(history.Snapshot());
+  ASSERT_TRUE(result.ok) << "seed " << seed << ": " << result.explanation;
+}
+
+TEST(PartitionChaosTest, LinearizableAcrossSeeds) {
+  const uint64_t iters = EnvOr("VELOCE_NETFAULT_ITERS", 200);
+  const uint64_t base_seed = EnvOr("VELOCE_NETFAULT_SEED", 0x9E7F);
+  for (uint64_t iter = 0; iter < iters; ++iter) {
+    const uint64_t seed = base_seed + iter;
+    SCOPED_TRACE("partition chaos iteration " + std::to_string(iter) +
+                 " seed " + std::to_string(seed));
+    RunPartitionChaosIteration(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace veloce::kv

@@ -192,13 +192,40 @@ TEST(TimestampCacheTest, PointOverflowSafe) {
 TEST(ReplicationLogTest, AppendsAndTerms) {
   kv::ReplicationLog log;
   EXPECT_EQ(log.term(), 1u);
-  EXPECT_EQ(log.Append("cmd1"), 1u);
-  EXPECT_EQ(log.Append("cmd22"), 2u);
+  kv::LogRecord r1;
+  r1.payload = "cmd1";
+  kv::LogRecord r2;
+  r2.payload = "cmd22";
+  EXPECT_EQ(log.Append(std::move(r1)), 1u);
+  EXPECT_EQ(log.Append(std::move(r2)), 2u);
   EXPECT_EQ(log.committed_index(), 2u);
   EXPECT_EQ(log.committed_bytes(), 9u);
   log.BumpTerm();
   EXPECT_EQ(log.term(), 2u);
   EXPECT_EQ(log.committed_index(), 2u);  // term change preserves the log
+}
+
+TEST(ReplicationLogTest, AppliedTrackingAndTruncation) {
+  kv::ReplicationLog log;
+  for (int i = 0; i < 10; ++i) {
+    kv::LogRecord rec;
+    rec.payload = "cmd" + std::to_string(i);
+    log.Append(std::move(rec));
+  }
+  log.SetApplied(0, 10);
+  log.SetApplied(1, 4);
+  EXPECT_EQ(log.Applied(0), 10u);
+  EXPECT_EQ(log.Applied(1), 4u);
+  EXPECT_EQ(log.Applied(7), 0u);  // unknown replica: nothing applied
+  EXPECT_EQ(log.first_index(), 1u);
+  EXPECT_TRUE(log.CanReplayFrom(4));
+  log.TruncateTo(4);  // min applied across {10, 4}
+  EXPECT_EQ(log.first_index(), 5u);
+  EXPECT_TRUE(log.CanReplayFrom(4));
+  EXPECT_FALSE(log.CanReplayFrom(2));  // truncated away: snapshot path
+  log.TruncateTo(10);
+  EXPECT_EQ(log.first_index(), 11u);  // empty log: committed + 1
+  EXPECT_EQ(log.committed_index(), 10u);
 }
 
 }  // namespace

@@ -204,7 +204,7 @@ TEST(EnvBuilderTest, WithFaultEnvWiresInjectionUnderTheEngines) {
 TEST(ScenarioRegistryTest, BuiltinsAreRegistered) {
   RegisterBuiltinScenarios();
   const auto names = ScenarioNames();
-  for (const char* want : {"az-outage", "black-friday",
+  for (const char* want : {"az-outage", "black-friday", "gray-partition",
                            "rolling-upgrade-under-chaos", "tenant-stampede"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), want), names.end())
         << want;
@@ -291,7 +291,8 @@ TEST_P(ScenarioDeterminismTest, DifferentSeedDifferentTrace) {
 INSTANTIATE_TEST_SUITE_P(AllBuiltins, ScenarioDeterminismTest,
                          ::testing::Values("black-friday", "tenant-stampede",
                                            "az-outage",
-                                           "rolling-upgrade-under-chaos"),
+                                           "rolling-upgrade-under-chaos",
+                                           "gray-partition"),
                          [](const auto& info) {
                            std::string name = info.param;
                            for (char& c : name) {
