@@ -691,7 +691,7 @@ Status KVCluster::ReplicateLocked(RangeState* range, const storage::WriteBatch& 
 
 Status KVCluster::ApplyRecordLocked(KVNode* node, const LogRecord& rec,
                                     const storage::WriteBatch* batch,
-                                    uint32_t copies) {
+                                    uint32_t copies, bool charge_tenant) {
   storage::Engine* engine = node->engine();
   if (engine == nullptr) {
     return Status::Unavailable("node " + std::to_string(node->id()) +
@@ -706,8 +706,9 @@ Status KVCluster::ApplyRecordLocked(KVNode* node, const LogRecord& rec,
     switch (rec.kind) {
       case LogRecord::Kind::kBatch:
         VELOCE_RETURN_IF_ERROR(engine->Write(*batch));
-        // Duplicate deliveries are a network artifact, not client bytes.
-        if (c == 0 && rec.tenant != 0) {
+        // Duplicate deliveries and catch-up replays are a network
+        // artifact, not client bytes.
+        if (c == 0 && charge_tenant && rec.tenant != 0) {
           node->AddTenantWriteBytes(rec.tenant, batch->PayloadBytes());
         }
         break;
@@ -857,7 +858,8 @@ Status KVCluster::CatchUpReplicaLocked(RangeState* range, NodeId node,
   for (const LogRecord& rec : range->log.records()) {
     if (rec.index <= applied) continue;
     if (rec.index > limit) break;
-    VELOCE_RETURN_IF_ERROR(ApplyRecordLocked(n, rec, nullptr, 1));
+    VELOCE_RETURN_IF_ERROR(
+        ApplyRecordLocked(n, rec, nullptr, 1, /*charge_tenant=*/false));
     range->log.SetApplied(node, rec.index);
     ++replayed;
   }
@@ -973,14 +975,28 @@ Status KVCluster::MoveReplica(RangeId range_id, NodeId from, NodeId to) {
   if (to >= nodes_.size() || !nodes_[to]->live()) {
     return Status::Unavailable("target node not available");
   }
-  // Snapshot transfer: copy the range's engine keyspan from a live replica
-  // (prefer the leaseholder) into the target engine.
-  NodeId source = range->desc.leaseholder;
-  if (!nodes_[source]->live()) {
-    source = from;
-    if (!nodes_[source]->live()) {
-      return Status::Unavailable("no live source replica for snapshot");
+  // Snapshot transfer: copy the range's engine keyspan from a live,
+  // fully-applied replica (prefer the leaseholder, then the outgoing
+  // replica) into the target engine. A behind source would record the
+  // target as caught-up while missing acked writes, so a lagging candidate
+  // is caught up first or skipped.
+  const uint64_t committed = range->log.committed_index();
+  NodeId source = 0;
+  bool have_source = false;
+  auto try_source = [&](NodeId n) {
+    if (have_source || !NodeUpLocked(n)) return;
+    if (range->log.Applied(n) < committed &&
+        !CatchUpReplicaLocked(range, n, committed).ok()) {
+      return;
     }
+    source = n;
+    have_source = true;
+  };
+  try_source(range->desc.leaseholder);
+  try_source(from);
+  for (NodeId n : range->desc.replicas) try_source(n);
+  if (!have_source) {
+    return Status::Unavailable("no caught-up source replica for move");
   }
   storage::Engine* src_engine = nodes_[source]->engine();
   storage::Engine* dst_engine = nodes_[to]->engine();
@@ -1006,7 +1022,9 @@ Status KVCluster::MoveReplica(RangeId range_id, NodeId from, NodeId to) {
     if (replica == from) replica = to;
   }
   range->log.EraseReplica(from);
-  range->log.SetApplied(to, range->log.committed_index());
+  // The source was verified (or caught up) to `committed` above, so the
+  // copied snapshot really does cover every committed record.
+  range->log.SetApplied(to, committed);
   replica_moves_c_->Inc();
   if (range->desc.leaseholder == from) {
     range->desc.leaseholder = to;
@@ -1437,15 +1455,24 @@ void KVCluster::ShedLeases(NodeId id) {
   std::lock_guard<std::recursive_mutex> l(mu_);
   for (auto& [rid, state] : ranges_) {
     if (state->desc.leaseholder != id) continue;
+    const uint64_t committed = state->log.committed_index();
     for (NodeId n : state->desc.replicas) {
-      if (n != id && nodes_[n]->live()) {
-        state->desc.leaseholder = n;
-        state->desc.lease_epoch = liveness_[n].epoch;
-        state->log.BumpTerm();
-        lease_moves_c_->Inc();
-        break;
+      if (n == id || !NodeUpLocked(n)) continue;
+      // The incoming leaseholder must hold everything the log committed —
+      // a behind replica serving reads would un-linearize acked writes.
+      if (state->log.Applied(n) < committed &&
+          !CatchUpReplicaLocked(state.get(), n, committed).ok()) {
+        continue;
       }
+      state->desc.leaseholder = n;
+      state->desc.lease_epoch = liveness_[n].epoch;
+      state->log.BumpTerm();
+      lease_moves_c_->Inc();
+      break;
     }
+    // No caught-up candidate: the lease stays put (and invalid, if the
+    // holder is down) until the next heartbeat tick can repair it —
+    // an unavailable range beats a divergent leaseholder.
   }
 }
 
@@ -1454,19 +1481,25 @@ void KVCluster::BalanceLeases() {
   size_t next = 0;
   for (auto& [start, rid] : by_start_) {
     RangeState* state = ranges_[rid].get();
-    // Pick the next live replica in round-robin order over the replica set.
+    const uint64_t committed = state->log.committed_index();
+    // Pick the next live, caught-up replica in round-robin order over the
+    // replica set; a behind candidate that cannot replay the gap is skipped
+    // rather than handed a lease over a divergent engine.
     for (size_t i = 0; i < state->desc.replicas.size(); ++i) {
       const NodeId candidate =
           state->desc.replicas[(next + i) % state->desc.replicas.size()];
-      if (nodes_[candidate]->live()) {
-        if (state->desc.leaseholder != candidate) {
-          state->desc.leaseholder = candidate;
-          state->desc.lease_epoch = liveness_[candidate].epoch;
-          state->log.BumpTerm();
-          lease_moves_c_->Inc();
-        }
-        break;
+      if (!NodeUpLocked(candidate)) continue;
+      if (state->log.Applied(candidate) < committed &&
+          !CatchUpReplicaLocked(state, candidate, committed).ok()) {
+        continue;
       }
+      if (state->desc.leaseholder != candidate) {
+        state->desc.leaseholder = candidate;
+        state->desc.lease_epoch = liveness_[candidate].epoch;
+        state->log.BumpTerm();
+        lease_moves_c_->Inc();
+      }
+      break;
     }
     ++next;
   }

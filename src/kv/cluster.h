@@ -341,8 +341,12 @@ class KVCluster {
                                bool require_quorum);
   /// Applies one log record to one node's engine `copies` times
   /// (duplicates model the network; every record kind is idempotent).
+  /// `charge_tenant` is false on catch-up replay: a replayed record may
+  /// already have been applied (delivered but unacked), and its bytes were
+  /// attributed at original delivery.
   Status ApplyRecordLocked(KVNode* node, const LogRecord& rec,
-                           const storage::WriteBatch* batch, uint32_t copies);
+                           const storage::WriteBatch* batch, uint32_t copies,
+                           bool charge_tenant = true);
   /// Brings one replica's applied position up to min(limit, committed) by
   /// in-order replay, or by snapshot transfer when the log has been
   /// truncated past its position.

@@ -360,6 +360,178 @@ TEST(CatchUpTest, MinorityEngineFailureDemotesNotFails) {
 }
 
 // ---------------------------------------------------------------------------
+// Lease/replica handoff safety: only caught-up replicas take over
+// ---------------------------------------------------------------------------
+
+/// Returns the first replica in descriptor order that is not the
+/// leaseholder — the candidate ShedLeases considers first.
+NodeId FirstFollower(const RangeDescriptor& desc) {
+  for (NodeId r : desc.replicas) {
+    if (r != desc.leaseholder) return r;
+  }
+  VELOCE_CHECK(false);
+  return 0;
+}
+
+/// A replica demoted to needs-catch-up (dropped deliveries) must not take
+/// the lease as-is when the old holder dies: ShedLeases catches the
+/// candidate up first, so the new leaseholder never serves reads missing
+/// acked writes.
+TEST(LeaseSafetyTest, ShedLeasesCatchesUpBehindReplica) {
+  ManualClock clock(100 * kSecond);
+  sim::FaultyMesh mesh(0x5AFE);
+  auto cluster = MakeCluster(&clock, &mesh);
+
+  ASSERT_TRUE(PutKV(cluster.get(), "k", "w0").ok());
+  const RangeDescriptor desc = TenantRange(cluster.get(), "k");
+  const NodeId leader = desc.leaseholder;
+  const NodeId victim = FirstFollower(desc);
+
+  // Drop every delivery to the victim; quorum (leaseholder + the other
+  // replica) keeps acking writes the victim never sees.
+  mesh.PartitionLink(leader, victim);
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(PutKV(cluster.get(), "k", "w" + std::to_string(i)).ok());
+  }
+  const uint64_t committed = cluster->RangeLogCommittedIndex(desc.range_id);
+  ASSERT_LT(cluster->RangeReplicaApplied(desc.range_id, victim), committed);
+
+  // Network heals, then the leaseholder dies. The lease must land on a
+  // replica holding every committed record.
+  mesh.HealAll();
+  cluster->SetNodeLive(leader, false);
+  const RangeDescriptor after = TenantRange(cluster.get(), "k");
+  ASSERT_NE(after.leaseholder, leader);
+  EXPECT_EQ(cluster->RangeReplicaApplied(desc.range_id, after.leaseholder),
+            committed)
+      << "lease landed on a behind replica";
+  auto read = GetKV(cluster.get(), "k");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->responses[0].value, "w10");  // the last acked write
+}
+
+/// BalanceLeases round-robins leases across replicas; any replica it hands
+/// a lease must hold every committed record afterwards.
+TEST(LeaseSafetyTest, BalanceLeasesOnlyGrantsCaughtUpLeaseholders) {
+  ManualClock clock(100 * kSecond);
+  sim::FaultyMesh mesh(0xBA1A);
+  auto cluster = MakeCluster(&clock, &mesh);
+
+  ASSERT_TRUE(PutKV(cluster.get(), "k", "w0").ok());
+  const RangeDescriptor desc = TenantRange(cluster.get(), "k");
+  const NodeId leader = desc.leaseholder;
+  const NodeId victim = FirstFollower(desc);
+
+  mesh.PartitionLink(leader, victim);
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(PutKV(cluster.get(), "k", "w" + std::to_string(i)).ok());
+  }
+  ASSERT_LT(cluster->RangeReplicaApplied(desc.range_id, victim),
+            cluster->RangeLogCommittedIndex(desc.range_id));
+
+  // Rebalance while the victim is still behind (catch-up replays from the
+  // shared log, so the partition does not block it). Every lease must land
+  // on a fully-applied replica.
+  cluster->BalanceLeases();
+  for (const RangeDescriptor& d : cluster->Ranges()) {
+    EXPECT_EQ(cluster->RangeReplicaApplied(d.range_id, d.leaseholder),
+              cluster->RangeLogCommittedIndex(d.range_id))
+        << "range " << d.range_id << " lease landed on a behind replica";
+  }
+  auto read = GetKV(cluster.get(), "k");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->responses[0].value, "w10");
+}
+
+/// MoveReplica records the target as fully applied, so its snapshot source
+/// must itself hold every committed record — even right after a leader
+/// death left a recently-behind replica in the survivor set.
+TEST(LeaseSafetyTest, MoveReplicaSnapshotsFromCaughtUpSource) {
+  ManualClock clock(100 * kSecond);
+  sim::FaultyMesh mesh(0x30FE);
+  auto cluster = MakeCluster(&clock, &mesh);
+
+  ASSERT_TRUE(PutKV(cluster.get(), "k", "w0").ok());
+  const RangeDescriptor desc = TenantRange(cluster.get(), "k");
+  const NodeId leader = desc.leaseholder;
+  const NodeId victim = FirstFollower(desc);
+
+  mesh.PartitionLink(leader, victim);
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(PutKV(cluster.get(), "k", "w" + std::to_string(i)).ok());
+  }
+  mesh.HealAll();
+  cluster->SetNodeLive(leader, false);  // lease moves to a caught-up replica
+
+  // Replace the dead leader's replica with a fresh node: the snapshot must
+  // come from a fully-applied source, and the target's recorded position
+  // must match what its engine actually holds.
+  auto added = cluster->AddNode();
+  ASSERT_TRUE(added.ok());
+  ASSERT_TRUE(cluster->MoveReplica(desc.range_id, leader, *added).ok());
+  EXPECT_EQ(cluster->RangeReplicaApplied(desc.range_id, *added),
+            cluster->RangeLogCommittedIndex(desc.range_id));
+  const RangeDescriptor after = TenantRange(cluster.get(), "k");
+  EXPECT_EQ(RangeSpan(cluster->node(after.leaseholder)->engine(), after),
+            RangeSpan(cluster->node(*added)->engine(), after));
+
+  // The new replica serves in quorum with the dead leader gone.
+  ASSERT_TRUE(PutKV(cluster.get(), "k", "w11").ok());
+  auto read = GetKV(cluster.get(), "k");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->responses[0].value, "w11");
+  ExpectReplicasConverged(cluster.get());
+}
+
+// ---------------------------------------------------------------------------
+// Tenant byte attribution: catch-up replay is not re-charged
+// ---------------------------------------------------------------------------
+
+/// Delivers everything but loses the ack from one replica, so the
+/// leaseholder re-replays records that replica already applied.
+class LostAckTransport final : public ReplicaTransport {
+ public:
+  LinkDecision DeliverReplication(uint32_t, uint32_t to, uint64_t) override {
+    LinkDecision d;
+    if (to == victim) d.ack = false;
+    return d;
+  }
+  bool DeliverHeartbeat(uint32_t, uint32_t) override { return true; }
+
+  static constexpr uint32_t kNoVictim = UINT32_MAX;
+  uint32_t victim = kNoVictim;
+};
+
+TEST(TenantAccountingTest, CatchUpReplayDoesNotDoubleChargeWriteBytes) {
+  ManualClock clock(100 * kSecond);
+  LostAckTransport transport;
+  auto cluster = MakeCluster(&clock, &transport);
+
+  ASSERT_TRUE(PutKV(cluster.get(), "k", "w0").ok());
+  const RangeDescriptor desc = TenantRange(cluster.get(), "k");
+  const NodeId victim = FirstFollower(desc);
+  transport.victim = victim;
+
+  // Each write applies (and charges) on the victim, but the lost ack keeps
+  // its recorded position behind — so every subsequent write re-replays the
+  // previous, already-applied record first.
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(PutKV(cluster.get(), "k", "w" + std::to_string(i)).ok());
+  }
+  transport.victim = LostAckTransport::kNoVictim;
+  ASSERT_TRUE(PutKV(cluster.get(), "k", "w6").ok());  // final replay + heal
+
+  ExpectReplicasConverged(cluster.get());
+  const uint64_t leader_bytes =
+      cluster->node(desc.leaseholder)->TenantWriteBytes(kTenant);
+  ASSERT_GT(leader_bytes, 0u);
+  for (NodeId r : desc.replicas) {
+    EXPECT_EQ(cluster->node(r)->TenantWriteBytes(kTenant), leader_bytes)
+        << "replica " << r << " was charged for replayed records";
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Linearizability checker: unit tests
 // ---------------------------------------------------------------------------
 
