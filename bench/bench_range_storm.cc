@@ -1,0 +1,237 @@
+// Range-storm scale bench: the range-scale data plane at paper scale —
+// 10,000 tenants and >= 100,000 ranges in one directory — measured with
+// real wall-clock latency, not the sim clock.
+//
+// Phases:
+//   1. herd    — create 10k tenant keyspaces, shatter each into 10 ranges
+//   2. traffic — addressed reads/writes through a client-side range
+//                directory cache over the full directory (wall-clock p50/p99)
+//   3. heat    — drive hot load on a tenant subset until load splits fire
+//   4. move    — pipelined replica move streams under continuing writes
+//   5. cool    — idle sweeps fuse the herd back (tenant-cooldown merges)
+//
+// After every phase the full directory invariant sweep runs (keyspace
+// partition, tenant alignment, lease-epoch sanity). Emits
+// BENCH_range_storm_scale.json with gates: >= 100k ranges sustained,
+// load splits > 0, merges > 0, and wall-clock read p99 bounded.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "kv/cluster.h"
+#include "kv/keys.h"
+#include "scenario/report.h"
+#include "tests/range_storm_harness.h"
+
+namespace veloce {
+namespace {
+
+using kv::storm::RangeStormHarness;
+using kv::storm::StormOptions;
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double Percentile(std::vector<double>* v, double p) {
+  if (v->empty()) return 0;
+  std::sort(v->begin(), v->end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(v->size()));
+  return (*v)[std::min(idx, v->size() - 1)];
+}
+
+int Main() {
+  const char* env_tenants = std::getenv("VELOCE_RANGESTORM_TENANTS");
+  const int n_tenants =
+      env_tenants != nullptr ? std::atoi(env_tenants) : 10000;
+  const int splits_per_tenant = 9;  // 10 ranges per tenant
+  const int hot_tenants = 64;
+  const int reads = 20000;
+
+  StormOptions opts;
+  opts.seed = 0xB16;
+  opts.nodes = 5;
+  opts.replication = 3;
+  opts.tenants = n_tenants;
+  opts.keys_per_tenant = 16;
+  opts.check_linearizability = false;  // the storm tests own that proof
+  opts.heartbeats = false;             // no fault weather at scale
+
+  ManualClock clock(100 * kSecond);
+  kv::KVClusterOptions co = RangeStormHarness::ClusterOptions(opts, &clock);
+  auto cluster = std::make_unique<kv::KVCluster>(co);
+  RangeStormHarness storm(opts, &clock, cluster.get());
+
+  scenario::BenchReport report("range_storm_scale");
+  report.AddParam("tenants", n_tenants);
+  report.AddParam("splits_per_tenant", splits_per_tenant);
+  report.AddParam("hot_tenants", hot_tenants);
+  report.AddParam("reads", reads);
+
+  // Phase 1 — herd: 10k tenant keyspaces, each shattered into 10 ranges.
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < n_tenants; ++i) {
+    VELOCE_CHECK_OK(cluster->CreateTenantKeyspace(storm.tenant(i)));
+  }
+  const double create_ms = ElapsedMs(t0);
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < n_tenants; ++i) {
+    for (int s = 1; s <= splits_per_tenant; ++s) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "k%03d", s * 100);
+      VELOCE_CHECK_OK(
+          cluster->SplitRange(kv::AddTenantPrefix(storm.tenant(i), buf)));
+    }
+  }
+  const double shatter_ms = ElapsedMs(t0);
+  const uint64_t peak_ranges = cluster->Ranges().size();
+  std::printf("herd: %d tenants, %llu ranges (create %.0fms, shatter %.0fms)\n",
+              n_tenants, static_cast<unsigned long long>(peak_ranges),
+              create_ms, shatter_ms);
+  std::string violation = storm.CheckInvariants();
+  VELOCE_CHECK(violation.empty()) << violation;
+
+  // Phase 2 — traffic: addressed ops through the directory cache over the
+  // whole herd. Writes seed values; reads measure the wall-clock route.
+  Random rnd(0x7AFF1C);
+  t0 = std::chrono::steady_clock::now();
+  int write_ok = 0;
+  const int writes = n_tenants / 2;
+  for (int i = 0; i < writes; ++i) {
+    const int t = static_cast<int>(rnd.Uniform(n_tenants));
+    kv::BatchRequest req;
+    req.AddPut(storm.Key(t, static_cast<int>(rnd.Uniform(16))),
+               "v" + std::to_string(i));
+    if (storm.SendAddressed(t, std::move(req)).ok()) ++write_ok;
+    clock.Advance(kMicro);
+  }
+  const double write_ms = ElapsedMs(t0);
+  std::vector<double> read_lat_ms;
+  read_lat_ms.reserve(static_cast<size_t>(reads));
+  int read_ok = 0;
+  for (int i = 0; i < reads; ++i) {
+    const int t = static_cast<int>(rnd.Uniform(n_tenants));
+    kv::BatchRequest req;
+    req.AddGet(storm.Key(t, static_cast<int>(rnd.Uniform(16))));
+    const auto r0 = std::chrono::steady_clock::now();
+    if (storm.SendAddressed(t, std::move(req)).ok()) ++read_ok;
+    read_lat_ms.push_back(ElapsedMs(r0));
+  }
+  const double read_p50 = Percentile(&read_lat_ms, 0.50);
+  const double read_p99 = Percentile(&read_lat_ms, 0.99);
+  std::printf("traffic: %d/%d writes ok (%.0fms), %d/%d reads ok, "
+              "p50 %.4fms p99 %.4fms\n",
+              write_ok, writes, write_ms, read_ok, reads, read_p50, read_p99);
+
+  // Phase 3 — heat: hammer a tenant subset until load splits fire.
+  uint64_t load_splits = 0;
+  for (int round = 0; round < 30 && load_splits == 0; ++round) {
+    for (int rep = 0; rep < 20; ++rep) {
+      for (int h = 0; h < hot_tenants; ++h) {
+        kv::BatchRequest req;
+        req.AddGet(storm.Key(h, static_cast<int>(rnd.Uniform(4))));
+        (void)storm.SendAddressed(h, std::move(req));
+      }
+      clock.Advance(5 * kMilli);
+    }
+    auto splits = cluster->MaybeSplitRanges();
+    VELOCE_CHECK(splits.ok());
+    load_splits += static_cast<uint64_t>(*splits);
+  }
+  const uint64_t max_ranges = cluster->Ranges().size();
+  std::printf("heat: %llu load splits, %llu ranges at peak\n",
+              static_cast<unsigned long long>(load_splits),
+              static_cast<unsigned long long>(max_ranges));
+  violation = storm.CheckInvariants();
+  VELOCE_CHECK(violation.empty()) << violation;
+
+  // Phase 4 — move: pipelined replica move under continuing writes.
+  auto hot = cluster->LookupRange(kv::TenantPrefix(storm.tenant(0)));
+  VELOCE_CHECK_OK(hot.status());
+  kv::NodeId spare = 0;
+  for (kv::NodeId n = 0; n < 5; ++n) {
+    if (!hot->HasReplica(n)) spare = n;
+  }
+  t0 = std::chrono::steady_clock::now();
+  VELOCE_CHECK_OK(
+      cluster->StartReplicaMove(hot->range_id, hot->replicas[0], spare));
+  int move_steps = 0;
+  for (bool done = false; !done; ++move_steps) {
+    auto step = cluster->StepReplicaMove(hot->range_id, 4 << 10);
+    VELOCE_CHECK_OK(step.status());
+    done = *step;
+    kv::BatchRequest req;
+    req.AddPut(storm.Key(0, move_steps % 16), "during-move");
+    VELOCE_CHECK(storm.SendAddressed(0, std::move(req)).ok());
+  }
+  VELOCE_CHECK_OK(cluster->FinishReplicaMove(hot->range_id));
+  const double move_ms = ElapsedMs(t0);
+  std::printf("move: pipelined cutover after %d chunks (%.1fms)\n",
+              move_steps, move_ms);
+
+  // Phase 5 — cool: idle merge sweeps fuse the herd back.
+  t0 = std::chrono::steady_clock::now();
+  uint64_t merges = 0;
+  for (int idle = 0; idle < 3;) {
+    clock.Advance(2 * kSecond);
+    auto merged = cluster->MaybeMergeRanges();
+    VELOCE_CHECK(merged.ok());
+    if (*merged > 0) {
+      merges += static_cast<uint64_t>(*merged);
+      idle = 0;
+    } else {
+      ++idle;
+    }
+  }
+  const double cool_ms = ElapsedMs(t0);
+  const uint64_t final_ranges = cluster->Ranges().size();
+  std::printf("cool: %llu merges, %llu final ranges (%.0fms)\n",
+              static_cast<unsigned long long>(merges),
+              static_cast<unsigned long long>(final_ranges), cool_ms);
+  violation = storm.CheckInvariants();
+  VELOCE_CHECK(violation.empty()) << violation;
+
+  report.AddMetric("peak_ranges", peak_ranges);
+  report.AddMetric("max_ranges", max_ranges);
+  report.AddMetric("final_ranges", final_ranges);
+  report.AddMetric("create_ms", create_ms);
+  report.AddMetric("shatter_ms", shatter_ms);
+  report.AddMetric("load_splits", load_splits);
+  report.AddMetric("merges", merges);
+  report.AddMetric("move_chunks", static_cast<int64_t>(move_steps));
+  report.AddMetric("move_ms", move_ms);
+  report.AddMetric("cool_ms", cool_ms);
+  report.AddMetric("writes_ok", static_cast<int64_t>(write_ok));
+  report.AddMetric("reads_ok", static_cast<int64_t>(read_ok));
+  report.AddMetric("read_p50_ms", read_p50);
+  report.AddMetric("read_p99_ms", read_p99);
+  report.AddMetric("cache_hits", storm.stats().cache_hits);
+  report.AddMetric("cache_misses", storm.stats().cache_misses);
+  report.AddMetric("redirects", storm.stats().redirects);
+
+  report.Gate("peak_ranges", static_cast<double>(max_ranges), 100000.0);
+  report.Gate("load_splits", static_cast<double>(load_splits), 1.0);
+  report.Gate("merges", static_cast<double>(merges), 1.0);
+  // Wall-clock read p99 through a 100k-range directory: the cached route
+  // must stay well under a millisecond on any reasonable machine.
+  report.AssertLe("read_p99_ms", read_p99, 2.0,
+                  "cached route latency at 100k ranges");
+
+  auto path = report.WriteFile(".");
+  VELOCE_CHECK(path.ok());
+  std::printf("wrote %s\n%s\n", path->c_str(), report.Summary().c_str());
+  return report.passed() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace veloce
+
+int main() { return veloce::Main(); }

@@ -93,7 +93,18 @@ netfault_smoke() {
   echo "partition-chaos smoke OK"
 }
 
-# Scenario smoke: all five built-in "cluster weather" scenarios at a fixed
+# Range-storm smoke: the rangestorm-labeled suite (load splits, cooldown
+# merges, directory cache, pipelined moves) at a fixed seed with a bounded
+# seed sweep, so the composed split/merge/rebalance invariants run on every
+# check.sh pass without the suite's default 100-seed scale.
+rangestorm_smoke() {
+  echo "==> range-storm smoke (rangestorm suite, fixed seed)"
+  VELOCE_RANGESTORM_SEEDS=20 VELOCE_RANGESTORM_ITERS=8 \
+    ctest --test-dir build -L '^rangestorm$' --output-on-failure -j "${JOBS}"
+  echo "range-storm smoke OK"
+}
+
+# Scenario smoke: all six built-in "cluster weather" scenarios at a fixed
 # seed in fast mode (compressed timelines), each asserting its invariants
 # and emitting a parseable BENCH_<scenario>.json; plus the scenario-labeled
 # test suite (determinism + snapshot schema).
@@ -103,7 +114,7 @@ scenario_smoke() {
   mkdir -p "${out}"
   ./build/bench/bench_scenarios --fast --seed=0xC10D --out="${out}"
   local name
-  for name in black-friday tenant-stampede az-outage rolling-upgrade-under-chaos gray-partition; do
+  for name in black-friday tenant-stampede az-outage rolling-upgrade-under-chaos gray-partition range-storm; do
     local json="${out}/BENCH_${name}.json"
     [[ -s "${json}" ]] || { echo "missing ${json}" >&2; exit 1; }
     if command -v python3 >/dev/null 2>&1; then
@@ -124,12 +135,32 @@ scenario_full() {
   echo "scenario full OK"
 }
 
+# Range-storm scale bench: 10k tenants / >= 100k ranges through the full
+# split/merge/move/directory data plane. Exit 0 enforces the bench's
+# internal gates (peak >= 100k ranges, load splits and merges fire,
+# wall-clock p99 bound). Unlike the scenario snapshots this one carries
+# wall-clock timings, so it stays in build/bench-smoke, not the repo root.
+rangestorm_full() {
+  echo "==> range-storm scale bench (10k tenants)"
+  local out="build/bench-smoke"
+  mkdir -p "${out}"
+  (cd "${out}" && ../bench/bench_range_storm)
+  local json="${out}/BENCH_range_storm_scale.json"
+  [[ -s "${json}" ]] || { echo "missing ${json}" >&2; exit 1; }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "${json}"
+  else
+    grep -q '"passed":true' "${json}"
+  fi
+  echo "range-storm scale OK"
+}
+
 case "${1:-}" in
-  "")     run_preset release; bench_smoke; chaos_smoke; netfault_smoke; scenario_smoke ;;
+  "")     run_preset release; bench_smoke; chaos_smoke; netfault_smoke; rangestorm_smoke; scenario_smoke ;;
   --asan) run_preset asan ;;
   --tsan) run_preset tsan ;;
-  --full) run_preset release; bench_smoke; chaos_smoke; netfault_smoke; scenario_smoke; scenario_full ;;
-  --all)  run_preset release; bench_smoke; chaos_smoke; netfault_smoke; scenario_smoke; run_preset asan; run_preset tsan ;;
+  --full) run_preset release; bench_smoke; chaos_smoke; netfault_smoke; rangestorm_smoke; scenario_smoke; scenario_full; rangestorm_full ;;
+  --all)  run_preset release; bench_smoke; chaos_smoke; netfault_smoke; rangestorm_smoke; scenario_smoke; run_preset asan; run_preset tsan ;;
   *)      echo "usage: scripts/check.sh [--asan|--tsan|--full|--all]" >&2; exit 2 ;;
 esac
 

@@ -90,6 +90,7 @@ std::string BatchRequest::Encode() const {
   if (commit_txn) flags |= 2;
   if (can_forward_ts) flags |= 4;
   out.push_back(static_cast<char>(flags));
+  PutVarint64(&out, range_id);
   PutVarint64(&out, requests.size());
   for (const auto& r : requests) {
     out.push_back(static_cast<char>(r.type));
@@ -116,7 +117,7 @@ StatusOr<BatchRequest> BatchRequest::Decode(Slice data) {
   req.commit_txn = (flags & 2) != 0;
   req.can_forward_ts = (flags & 4) != 0;
   data.RemovePrefix(1);
-  if (!GetVarint64(&data, &count)) {
+  if (!GetVarint64(&data, &req.range_id) || !GetVarint64(&data, &count)) {
     return Status::Corruption("bad batch request header");
   }
   req.txn_priority = static_cast<int32_t>(prio);

@@ -20,6 +20,10 @@ namespace veloce::kv {
 using TenantId = uint64_t;
 constexpr TenantId kSystemTenantId = 1;
 
+/// Range identifier (see kv/range.h; declared here so BatchRequest can
+/// carry range addressing without a circular include).
+using RangeId = uint64_t;
+
 /// The KV API request types the SQL layer issues (the paper's GET/PUT/
 /// DELETE/SCAN vocabulary). A BatchRequest groups several into one RPC —
 /// the batching whose cost behaviour Fig 5 models.
@@ -64,6 +68,13 @@ struct BatchRequest {
   /// may forward the commit timestamp past timestamp-cache/closed-timestamp
   /// constraints without a client-side read refresh.
   bool can_forward_ts = false;
+  /// Range addressing from a client-side directory cache (0 = unaddressed;
+  /// the server resolves keys through the directory as before). An
+  /// addressed batch whose range no longer exists or no longer contains the
+  /// batch's keys is rejected with RangeKeyMismatch so the client
+  /// invalidates its cache entry and retries with a fresh descriptor —
+  /// never silently served by the wrong range.
+  RangeId range_id = 0;
 
   /// Optional request trace; stages below the connector (admission wait,
   /// replication, storage) record spans here. Never serialized — a real

@@ -31,7 +31,17 @@ KVCluster::KVCluster(KVClusterOptions options)
   obs_.metrics = metrics_;
   lease_moves_c_ = metrics_->counter("veloce_kv_lease_moves_total");
   replica_moves_c_ = metrics_->counter("veloce_kv_replica_moves_total");
-  splits_c_ = metrics_->counter("veloce_kv_range_splits_total");
+  splits_manual_c_ =
+      metrics_->counter("veloce_kv_range_splits_total", {{"reason", "manual"}});
+  splits_size_c_ =
+      metrics_->counter("veloce_kv_range_splits_total", {{"reason", "size"}});
+  splits_load_c_ =
+      metrics_->counter("veloce_kv_range_splits_total", {{"reason", "load"}});
+  merges_manual_c_ =
+      metrics_->counter("veloce_kv_range_merges_total", {{"reason", "manual"}});
+  merges_cooldown_c_ =
+      metrics_->counter("veloce_kv_range_merges_total", {{"reason", "cooldown"}});
+  range_mismatch_c_ = metrics_->counter("veloce_kv_range_mismatches_total");
   intent_conflicts_c_ = metrics_->counter("veloce_kv_intent_conflicts_total");
   replica_catchups_replay_c_ =
       metrics_->counter("veloce_kv_replica_catchups_total", {{"mode", "replay"}});
@@ -70,14 +80,26 @@ KVCluster::KVCluster(KVClusterOptions options)
   lease_gauge_cb_ = metrics_->AddCollectCallback([this] {
     std::lock_guard<std::recursive_mutex> l(mu_);
     std::vector<double> counts(nodes_.size(), 0);
+    // Load is sampled in aggregate (total/max QPS, cooled count) rather
+    // than per range: at 100k ranges a per-range series would swamp the
+    // registry, and splits/merges key off per-range state directly.
+    const Nanos now = clock_->Now();
+    double qps_total = 0, qps_max = 0, cooled = 0;
     for (const auto& [rid, state] : ranges_) {
       counts[state->desc.leaseholder] += 1;
+      const double qps = state->load.Qps(now);
+      qps_total += qps;
+      if (qps > qps_max) qps_max = qps;
+      if (state->cooled_since >= 0) cooled += 1;
     }
     for (NodeId n = 0; n < nodes_.size(); ++n) {
       metrics_->gauge("veloce_kv_leases", {{"node", std::to_string(n)}})
           ->Set(counts[n]);
     }
     metrics_->gauge("veloce_kv_ranges")->Set(static_cast<double>(ranges_.size()));
+    metrics_->gauge("veloce_kv_range_qps_total")->Set(qps_total);
+    metrics_->gauge("veloce_kv_range_qps_max")->Set(qps_max);
+    metrics_->gauge("veloce_kv_ranges_cooled")->Set(cooled);
   });
   for (int i = 0; i < options_.num_nodes; ++i) {
     std::string region = "local";
@@ -118,6 +140,29 @@ KVCluster::RangeState* KVCluster::LookupRangeLocked(Slice key) {
   --it;
   RangeState* range = ranges_[it->second].get();
   if (!range->desc.Contains(key)) return nullptr;
+  return range;
+}
+
+StatusOr<KVCluster::RangeState*> KVCluster::ResolveRangeLocked(
+    const BatchRequest& req, Slice key) {
+  if (req.range_id == 0) {
+    RangeState* range = LookupRangeLocked(key);
+    if (range == nullptr) return Status::NotFound("no range for key");
+    return range;
+  }
+  auto it = ranges_.find(req.range_id);
+  if (it == ranges_.end()) {
+    range_mismatch_c_->Inc();
+    return Status::RangeKeyMismatch("range " + std::to_string(req.range_id) +
+                                    " no longer exists (merged away)");
+  }
+  RangeState* range = it->second.get();
+  if (!range->desc.Contains(key)) {
+    range_mismatch_c_->Inc();
+    return Status::RangeKeyMismatch(
+        "key outside range " + std::to_string(req.range_id) +
+        " (span changed since the descriptor was cached)");
+  }
   return range;
 }
 
@@ -186,11 +231,14 @@ StatusOr<BatchResponse> KVCluster::Send(const BatchRequest& req) {
   // to the oracle so later BeginTxn reads observe it (session guarantee).
   Timestamp applied_write_ts;
 
+  const Nanos load_now = clock_->Now();
   for (size_t i = 0; i < req.requests.size(); ++i) {
     const RequestUnion& r = req.requests[i];
-    RangeState* range = LookupRangeLocked(r.key);
-    if (range == nullptr) return Status::NotFound("no range for key");
+    VELOCE_ASSIGN_OR_RETURN(RangeState * range, ResolveRangeLocked(req, r.key));
     VELOCE_RETURN_IF_ERROR(CheckTenantBoundsLocked(req, r.key, r.end_key));
+    range->load.Record(load_now, r.key, 1.0,
+                       1.0 + static_cast<double>(r.key.size() + r.value.size()) /
+                                 1024.0);
     VELOCE_ASSIGN_OR_RETURN(NodeId serving_node, PickReadNodeLocked(*range, req, r));
     const bool is_write =
         r.type == RequestType::kPut || r.type == RequestType::kDelete;
@@ -221,6 +269,10 @@ StatusOr<BatchResponse> KVCluster::Send(const BatchRequest& req) {
             nxt.type == RequestType::kPut || nxt.type == RequestType::kDelete;
         if (!nxt_write || !range->desc.Contains(nxt.key)) break;
         VELOCE_RETURN_IF_ERROR(CheckTenantBoundsLocked(req, nxt.key, nxt.end_key));
+        range->load.Record(load_now, nxt.key, 1.0,
+                           1.0 + static_cast<double>(nxt.key.size() +
+                                                     nxt.value.size()) /
+                                     1024.0);
         group.push_back(&nxt);
       }
       for (const RequestUnion* w : group) {
@@ -519,16 +571,29 @@ Status KVCluster::ExecuteTxnWriteGroupLocked(
 StatusOr<BatchResponse> KVCluster::ExecuteOnePhaseLocked(const BatchRequest& req) {
   if (req.txn_id == 0) return Status::InvalidArgument("1pc commit requires a txn");
   if (req.requests.empty()) return Status::InvalidArgument("empty 1pc commit");
-  RangeState* range = LookupRangeLocked(req.requests[0].key);
-  if (range == nullptr) return Status::NotFound("no range for key");
+  VELOCE_ASSIGN_OR_RETURN(RangeState * range,
+                          ResolveRangeLocked(req, req.requests[0].key));
+  const Nanos load_now = clock_->Now();
   for (const auto& r : req.requests) {
     if (r.type != RequestType::kPut && r.type != RequestType::kDelete) {
       return Status::InvalidArgument("1pc batch must contain only writes");
     }
     VELOCE_RETURN_IF_ERROR(CheckTenantBoundsLocked(req, r.key, r.end_key));
     if (!range->desc.Contains(r.key)) {
+      if (req.range_id != 0) {
+        // The cached descriptor went stale mid-batch (a split moved part of
+        // the write set); redirect rather than reporting a spurious
+        // spans-ranges fallback.
+        range_mismatch_c_->Inc();
+        return Status::RangeKeyMismatch(
+            "1pc write set no longer fits range " +
+            std::to_string(req.range_id));
+      }
       return Status::NotSupported("1pc batch spans ranges");
     }
+    range->load.Record(load_now, r.key, 1.0,
+                       1.0 + static_cast<double>(r.key.size() + r.value.size()) /
+                                 1024.0);
   }
   if (!nodes_[range->desc.leaseholder]->live()) {
     return Status::Unavailable("leaseholder node is not live");
@@ -929,6 +994,13 @@ void KVCluster::TruncateLogLocked(RangeState* range) {
   for (NodeId n : range->desc.replicas) {
     floor = std::min(floor, range->log.Applied(n));
   }
+  if (range->pending_move.has_value()) {
+    // A pipelined move pins retention at its snapshot floor so the cutover
+    // can replay the delta. The ReplicationLog's hard caps still apply (the
+    // pin bounds the common case, not memory); if they force past the
+    // floor, FinishReplicaMove falls back to a fresh snapshot.
+    floor = std::min(floor, range->pending_move->snapshot_floor);
+  }
   range->log.TruncateTo(floor);
 }
 
@@ -963,23 +1035,42 @@ StatusOr<NodeId> KVCluster::AddNode(const std::string& region) {
 
 Status KVCluster::MoveReplica(RangeId range_id, NodeId from, NodeId to) {
   std::lock_guard<std::recursive_mutex> l(mu_);
+  VELOCE_RETURN_IF_ERROR(StartReplicaMove(range_id, from, to));
+  while (true) {
+    StatusOr<bool> done = StepReplicaMove(range_id);
+    if (!done.ok()) {
+      (void)AbortReplicaMove(range_id);
+      return done.status();
+    }
+    if (*done) break;
+  }
+  Status s = FinishReplicaMove(range_id);
+  if (!s.ok()) (void)AbortReplicaMove(range_id);
+  return s;
+}
+
+Status KVCluster::StartReplicaMove(RangeId range_id, NodeId from, NodeId to) {
+  std::lock_guard<std::recursive_mutex> l(mu_);
   auto it = ranges_.find(range_id);
   if (it == ranges_.end()) return Status::NotFound("no such range");
   RangeState* range = it->second.get();
+  if (range->pending_move.has_value()) {
+    return Status::Unavailable("replica move already in progress");
+  }
   if (!range->desc.HasReplica(from)) {
     return Status::InvalidArgument("source node holds no replica");
   }
   if (range->desc.HasReplica(to)) {
     return Status::InvalidArgument("target node already holds a replica");
   }
-  if (to >= nodes_.size() || !nodes_[to]->live()) {
+  if (to >= nodes_.size() || !nodes_[to]->live() ||
+      nodes_[to]->engine() == nullptr) {
     return Status::Unavailable("target node not available");
   }
-  // Snapshot transfer: copy the range's engine keyspan from a live,
-  // fully-applied replica (prefer the leaseholder, then the outgoing
-  // replica) into the target engine. A behind source would record the
-  // target as caught-up while missing acked writes, so a lagging candidate
-  // is caught up first or skipped.
+  // Snapshot source: a live, fully-applied replica (prefer the leaseholder,
+  // then the outgoing replica). A behind candidate is caught up first or
+  // skipped — a lagging source would record the target as caught-up while
+  // missing acked writes.
   const uint64_t committed = range->log.committed_index();
   NodeId source = 0;
   bool have_source = false;
@@ -998,39 +1089,163 @@ Status KVCluster::MoveReplica(RangeId range_id, NodeId from, NodeId to) {
   if (!have_source) {
     return Status::Unavailable("no caught-up source replica for move");
   }
-  storage::Engine* src_engine = nodes_[source]->engine();
-  storage::Engine* dst_engine = nodes_[to]->engine();
-  const std::string start_engine = EncodeIntentKey(range->desc.start_key);
-  std::string end_engine;
+  PendingMove move;
+  move.from = from;
+  move.to = to;
+  move.source = source;
+  move.snapshot_floor = committed;  // log truncation pinned here until Finish
+  range->pending_move = move;
+  return Status::OK();
+}
+
+StatusOr<bool> KVCluster::StepReplicaMove(RangeId range_id, size_t max_bytes) {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  auto it = ranges_.find(range_id);
+  if (it == ranges_.end()) return Status::NotFound("no such range");
+  RangeState* range = it->second.get();
+  if (!range->pending_move.has_value()) {
+    return Status::InvalidArgument("no replica move in progress");
+  }
+  PendingMove& move = *range->pending_move;
+  if (move.copy_done) return true;
+  if (!nodes_[move.to]->live() || nodes_[move.to]->engine() == nullptr) {
+    return Status::Unavailable("move target lost mid-stream");
+  }
+  storage::Engine* dst = nodes_[move.to]->engine();
+  const std::string span_start = EncodeIntentKey(range->desc.start_key);
+  std::string span_end;
   if (!range->desc.end_key.empty()) {
-    OrderedPutString(&end_engine, range->desc.end_key);
+    OrderedPutString(&span_end, range->desc.end_key);
   }
-  auto iter = src_engine->NewBoundedIterator(start_engine, end_engine);
-  storage::WriteBatch batch;
-  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
-    batch.Put(iter->key(), iter->value());
-    if (batch.ByteSize() > (1 << 20)) {  // apply in ~1MB chunks
-      VELOCE_RETURN_IF_ERROR(dst_engine->Write(batch));
-      batch.Clear();
+  const std::string chunk_start = move.cursor.empty() ? span_start : move.cursor;
+  if (move.clearing) {
+    // Phase 1: wipe the target's stale span (a node that held this span in
+    // an earlier life may still carry engine keys — e.g. intent slots —
+    // the source has since deleted; a pure copy would resurrect them).
+    auto iter = dst->NewBoundedIterator(chunk_start, span_end);
+    storage::WriteBatch del;
+    std::string last;
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+      last = iter->key().ToString();
+      del.Delete(iter->key());
+      if (del.ByteSize() >= max_bytes) break;
     }
+    if (del.Count() > 0) {
+      VELOCE_RETURN_IF_ERROR(dst->Write(del));
+      move.cursor = last + '\0';
+      return false;
+    }
+    move.clearing = false;
+    move.cursor.clear();
+    return false;
   }
-  if (batch.Count() > 0) {
-    VELOCE_RETURN_IF_ERROR(dst_engine->Write(batch));
+  // Phase 2: stream the span from the source in ~max_bytes chunks. The
+  // source keeps serving (and applying new writes) throughout; anything it
+  // applies above the snapshot floor is re-delivered by Finish's delta
+  // replay, and records are idempotent, so overlap is harmless.
+  if (!NodeUpLocked(move.source)) {
+    return Status::Unavailable("move source lost mid-stream");
   }
-  // Swap the descriptor entry.
+  storage::Engine* src = nodes_[move.source]->engine();
+  auto iter = src->NewBoundedIterator(chunk_start, span_end);
+  storage::WriteBatch batch;
+  std::string last;
+  bool more = false;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    if (batch.ByteSize() >= max_bytes) {
+      more = true;
+      break;
+    }
+    last = iter->key().ToString();
+    batch.Put(iter->key(), iter->value());
+  }
+  if (batch.Count() > 0) VELOCE_RETURN_IF_ERROR(dst->Write(batch));
+  if (!more) {
+    move.copy_done = true;
+    return true;
+  }
+  move.cursor = last + '\0';
+  return false;
+}
+
+Status KVCluster::FinishReplicaMove(RangeId range_id) {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  auto it = ranges_.find(range_id);
+  if (it == ranges_.end()) return Status::NotFound("no such range");
+  RangeState* range = it->second.get();
+  if (!range->pending_move.has_value()) {
+    return Status::InvalidArgument("no replica move in progress");
+  }
+  const PendingMove move = *range->pending_move;
+  if (!move.copy_done) {
+    return Status::InvalidArgument("span copy still in progress");
+  }
+  KVNode* target = nodes_[move.to].get();
+  if (!target->live() || target->engine() == nullptr) {
+    return Status::Unavailable("move target lost before cutover");
+  }
+  const uint64_t committed = range->log.committed_index();
+  if (range->log.CanReplayFrom(move.snapshot_floor)) {
+    // Delta replay: every mutation committed since the snapshot floor, in
+    // order. Uncharged — the bytes were attributed at original delivery.
+    for (const LogRecord& rec : range->log.records()) {
+      if (rec.index <= move.snapshot_floor) continue;
+      VELOCE_RETURN_IF_ERROR(
+          ApplyRecordLocked(target, rec, nullptr, 1, /*charge_tenant=*/false));
+    }
+  } else {
+    // Retention caps force-truncated past the floor (the pin bounds the
+    // common case, not memory): fall back to a fresh full snapshot taken
+    // under the lock, which is trivially consistent at `committed`.
+    VELOCE_RETURN_IF_ERROR(SnapshotReplicaLocked(range, move.to));
+  }
+  // Atomic cutover: the descriptor swap, applied position, generation bump,
+  // and (if needed) lease handoff all land together under the cluster lock.
   for (NodeId& replica : range->desc.replicas) {
-    if (replica == from) replica = to;
+    if (replica == move.from) replica = move.to;
   }
-  range->log.EraseReplica(from);
-  // The source was verified (or caught up) to `committed` above, so the
-  // copied snapshot really does cover every committed record.
-  range->log.SetApplied(to, committed);
+  range->log.EraseReplica(move.from);
+  range->log.SetApplied(move.to, committed);
+  range->desc.generation++;
   replica_moves_c_->Inc();
-  if (range->desc.leaseholder == from) {
-    range->desc.leaseholder = to;
-    range->desc.lease_epoch = liveness_[to].epoch;
+  if (range->desc.leaseholder == move.from) {
+    range->desc.leaseholder = move.to;
+    range->desc.lease_epoch = liveness_[move.to].epoch;
     range->log.BumpTerm();
     lease_moves_c_->Inc();
+  }
+  range->pending_move.reset();
+  TruncateLogLocked(range);  // unpin
+  return Status::OK();
+}
+
+Status KVCluster::AbortReplicaMove(RangeId range_id) {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  auto it = ranges_.find(range_id);
+  if (it == ranges_.end()) return Status::NotFound("no such range");
+  RangeState* range = it->second.get();
+  if (!range->pending_move.has_value()) return Status::OK();
+  const PendingMove move = *range->pending_move;
+  range->pending_move.reset();
+  TruncateLogLocked(range);  // unpin
+  // Best-effort wipe of the partially streamed span from the target.
+  storage::Engine* dst = nodes_[move.to]->engine();
+  if (dst != nullptr) {
+    const std::string span_start = EncodeIntentKey(range->desc.start_key);
+    std::string span_end;
+    if (!range->desc.end_key.empty()) {
+      OrderedPutString(&span_end, range->desc.end_key);
+    }
+    auto iter = dst->NewBoundedIterator(span_start, span_end);
+    storage::WriteBatch del;
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+      del.Delete(iter->key());
+      if (del.ByteSize() > (1 << 20)) {
+        VELOCE_RETURN_IF_ERROR(dst->Write(del));
+        del.Clear();
+      }
+    }
+    if (del.Count() > 0) VELOCE_RETURN_IF_ERROR(dst->Write(del));
   }
   return Status::OK();
 }
@@ -1510,20 +1725,39 @@ Status KVCluster::SplitRange(Slice split_key) {
   return SplitRangeLocked(split_key);
 }
 
-Status KVCluster::SplitRangeLocked(Slice split_key) {
+Status KVCluster::SplitRangeLocked(Slice split_key, SplitReason reason) {
   RangeState* range = LookupRangeLocked(split_key);
   if (range == nullptr) return Status::NotFound("no range for split key");
   if (range->desc.start_key == split_key.ToString()) {
     return Status::OK();  // already a boundary
   }
+  if (range->pending_move.has_value()) {
+    return Status::Unavailable("replica move in progress; split deferred");
+  }
   RangeDescriptor right = range->desc;
   right.range_id = next_range_id_++;
   right.start_key = split_key.ToString();
+  // The fallible step (the directory insert) runs before the left range
+  // mutates and before any counter moves: an aborted split leaves the
+  // directory, the left range, and the metrics exactly as they were.
+  VELOCE_RETURN_IF_ERROR(AddRangeLocked(right));
+  RangeState* right_state = ranges_[right.range_id].get();
   range->desc.end_key = split_key.ToString();
   range->approx_bytes /= 2;  // rough: data divides between halves
-  VELOCE_RETURN_IF_ERROR(AddRangeLocked(right));
-  ranges_[right.range_id]->approx_bytes = range->approx_bytes;
-  splits_c_->Inc();
+  right_state->approx_bytes = range->approx_bytes;
+  // Each half inherits half the parent's load; key samples restart on both
+  // sides (old samples may fall outside the new spans).
+  range->load.OnSplit();
+  right_state->load = range->load;
+  range->cooled_since = -1;
+  right_state->cooled_since = -1;
+  range->desc.generation++;
+  right_state->desc.generation = range->desc.generation;
+  switch (reason) {
+    case SplitReason::kManual: splits_manual_c_->Inc(); break;
+    case SplitReason::kSize: splits_size_c_->Inc(); break;
+    case SplitReason::kLoad: splits_load_c_->Inc(); break;
+  }
   return Status::OK();
 }
 
@@ -1533,12 +1767,14 @@ StatusOr<int> KVCluster::MaybeSplitRanges() {
   // Collect candidates first; splitting mutates the maps.
   std::vector<RangeId> oversized;
   for (const auto& [rid, state] : ranges_) {
+    if (state->pending_move.has_value()) continue;
     if (state->approx_bytes > options_.range_split_bytes) oversized.push_back(rid);
   }
   for (RangeId rid : oversized) {
     RangeState* state = ranges_[rid].get();
     // Find an approximate midpoint key by scanning the leaseholder engine.
     storage::Engine* engine = LeaseholderEngineLocked(*state);
+    if (engine == nullptr) continue;  // leaseholder down; next sweep
     std::string end_bound;
     if (!state->desc.end_key.empty()) {
       OrderedPutString(&end_bound, state->desc.end_key);
@@ -1562,10 +1798,194 @@ StatusOr<int> KVCluster::MaybeSplitRanges() {
       }
     }
     if (mid_key.empty()) continue;
-    VELOCE_RETURN_IF_ERROR(SplitRangeLocked(mid_key));
+    VELOCE_RETURN_IF_ERROR(SplitRangeLocked(mid_key, SplitReason::kSize));
     ++splits;
   }
+  // Load splits: a hot range divides at a key drawn from its own sample
+  // reservoir — no engine scan, which is what keeps this sweep cheap at
+  // 100k ranges. Any sampled key is tenant-aligned by construction (it was
+  // served by this range, and ranges never span tenants).
+  if (options_.load_split_qps > 0) {
+    const Nanos now = clock_->Now();
+    std::vector<RangeId> hot;
+    for (const auto& [rid, state] : ranges_) {
+      if (state->pending_move.has_value()) continue;
+      if (state->load.Qps(now) > options_.load_split_qps) hot.push_back(rid);
+    }
+    for (RangeId rid : hot) {
+      RangeState* state = ranges_[rid].get();
+      const std::string hot_key = state->load.SuggestSplitKey(state->desc.start_key);
+      if (hot_key.empty() || !state->desc.Contains(hot_key)) continue;
+      VELOCE_RETURN_IF_ERROR(SplitRangeLocked(hot_key, SplitReason::kLoad));
+      ++splits;
+    }
+  }
   return splits;
+}
+
+// --- Range merges ------------------------------------------------------------
+
+bool KVCluster::CanMergeLocked(const RangeState& left, const RangeState& right,
+                               Nanos now) const {
+  if (left.pending_move.has_value() || right.pending_move.has_value()) {
+    return false;
+  }
+  // Never fuse ranges across tenants: the per-tenant keyspace partitioning
+  // is the storage half of cluster virtualization.
+  if (left.desc.tenant_id != right.desc.tenant_id) return false;
+  if (left.desc.end_key.empty() || left.desc.end_key != right.desc.start_key) {
+    return false;
+  }
+  // Hysteresis: both sides must have dwelled below the QPS threshold.
+  if (left.cooled_since < 0 || now - left.cooled_since < options_.merge_dwell) {
+    return false;
+  }
+  if (right.cooled_since < 0 || now - right.cooled_since < options_.merge_dwell) {
+    return false;
+  }
+  // Keep the merged range well under the split threshold so a merge never
+  // immediately re-triggers a size split (split/merge flapping).
+  const uint64_t cap = options_.merge_max_bytes != 0
+                           ? options_.merge_max_bytes
+                           : options_.range_split_bytes / 2;
+  if (left.approx_bytes + right.approx_bytes > cap) return false;
+  // The merged range keeps the left range's lease, so that lease must be
+  // valid right now — the merge can never install (or later resurrect) a
+  // stale epoch.
+  if (!LeaseValidLocked(left) || !NodeUpLocked(left.desc.leaseholder)) {
+    return false;
+  }
+  return true;
+}
+
+Status KVCluster::MergeRangesLocked(RangeState* left, RangeState* right,
+                                    obs::Counter* reason_counter) {
+  if (left->desc.tenant_id != right->desc.tenant_id) {
+    return Status::InvalidArgument("merge would fuse ranges across tenants");
+  }
+  if (left->desc.end_key.empty() || left->desc.end_key != right->desc.start_key) {
+    return Status::InvalidArgument("ranges are not adjacent");
+  }
+  if (left->pending_move.has_value() || right->pending_move.has_value()) {
+    return Status::Unavailable("replica move in progress; merge deferred");
+  }
+  // Align the replica sets: the merged range has one replica set and one
+  // log, so every right-side replica on a node outside the left set moves
+  // onto one of left's nodes first. A failed move vetoes the merge.
+  if (left->desc.replicas.size() != right->desc.replicas.size()) {
+    return Status::InvalidArgument("replica sets differ in size");
+  }
+  std::vector<NodeId> extras;   // right's nodes not in left's set
+  std::vector<NodeId> missing;  // left's nodes right lacks
+  for (NodeId n : right->desc.replicas) {
+    if (!left->desc.HasReplica(n)) extras.push_back(n);
+  }
+  for (NodeId n : left->desc.replicas) {
+    if (!right->desc.HasReplica(n)) missing.push_back(n);
+  }
+  for (size_t i = 0; i < extras.size(); ++i) {
+    VELOCE_RETURN_IF_ERROR(MoveReplica(right->desc.range_id, extras[i], missing[i]));
+  }
+  // Every replica must be reachable and fully applied on BOTH logs: the
+  // right log dies with the merge, and a replica missing right-side records
+  // would silently diverge under the surviving left log.
+  const NodeId leader = left->desc.leaseholder;
+  const uint64_t left_committed = left->log.committed_index();
+  const uint64_t right_committed = right->log.committed_index();
+  for (NodeId n : left->desc.replicas) {
+    if (!NodeUpLocked(n)) {
+      return Status::Unavailable("replica down; merge deferred");
+    }
+    if (n != leader && !transport_->DeliverHeartbeat(leader, n)) {
+      return Status::Unavailable("replica unreachable; merge deferred");
+    }
+    VELOCE_RETURN_IF_ERROR(CatchUpReplicaLocked(left, n, left_committed));
+    VELOCE_RETURN_IF_ERROR(CatchUpReplicaLocked(right, n, right_committed));
+    if (left->log.Applied(n) < left_committed ||
+        right->log.Applied(n) < right_committed) {
+      return Status::Unavailable("replica behind; merge deferred");
+    }
+  }
+  // Commit: widen left over right's span and fold in its read constraints
+  // and load. Left's (validated) lease carries over unchanged; right's
+  // lease epoch is discarded with its descriptor, so a stale epoch can
+  // never resurrect through a merge.
+  const Nanos now = clock_->Now();
+  const std::string right_start = right->desc.start_key;
+  const RangeId right_id = right->desc.range_id;
+  left->desc.end_key = right->desc.end_key;
+  left->approx_bytes += right->approx_bytes;
+  left->tscache.MergeFrom(right->tscache);
+  left->load.Absorb(right->load, now);
+  left->load.ResetSamples();
+  left->cooled_since = -1;
+  left->desc.generation =
+      std::max(left->desc.generation, right->desc.generation) + 1;
+  by_start_.erase(right_start);
+  ranges_.erase(right_id);  // invalidates `right`
+  reason_counter->Inc();
+  TruncateLogLocked(left);
+  return Status::OK();
+}
+
+Status KVCluster::MergeRanges(RangeId left_id) {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  auto it = ranges_.find(left_id);
+  if (it == ranges_.end()) return Status::NotFound("no such range");
+  RangeState* left = it->second.get();
+  if (left->desc.end_key.empty()) {
+    return Status::InvalidArgument("range has no right neighbour");
+  }
+  auto nit = by_start_.find(left->desc.end_key);
+  if (nit == by_start_.end()) {
+    return Status::NotFound("no right neighbour in directory");
+  }
+  RangeState* right = ranges_[nit->second].get();
+  VELOCE_RETURN_IF_ERROR(CheckLeaseLocked(*left));
+  return MergeRangesLocked(left, right, merges_manual_c_);
+}
+
+StatusOr<int> KVCluster::MaybeMergeRanges() {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  const Nanos now = clock_->Now();
+  // Pass 1: advance the cooldown dwell clocks.
+  for (auto& [rid, state] : ranges_) {
+    if (state->load.Qps(now) < options_.merge_qps_threshold) {
+      if (state->cooled_since < 0) state->cooled_since = now;
+    } else {
+      state->cooled_since = -1;
+    }
+  }
+  // Pass 2: fuse dwelled-cold adjacent pairs left to right. After a merge
+  // the surviving range may absorb its next neighbour in the same sweep
+  // (the byte cap bounds the chain), so the cursor only advances on a
+  // skipped pair.
+  int merges = 0;
+  auto it = by_start_.begin();
+  while (it != by_start_.end()) {
+    RangeState* left = ranges_[it->second].get();
+    if (left->desc.end_key.empty()) break;  // last range
+    auto nit = by_start_.find(left->desc.end_key);
+    if (nit == by_start_.end()) {
+      ++it;  // directory seam (shouldn't happen); skip defensively
+      continue;
+    }
+    RangeState* right = ranges_[nit->second].get();
+    if (!CanMergeLocked(*left, *right, now) ||
+        !MergeRangesLocked(left, right, merges_cooldown_c_).ok()) {
+      it = nit;
+      continue;
+    }
+    ++merges;
+  }
+  return merges;
+}
+
+double KVCluster::RangeQps(Slice key) const {
+  std::lock_guard<std::recursive_mutex> l(mu_);
+  auto* self = const_cast<KVCluster*>(this);
+  RangeState* range = self->LookupRangeLocked(key);
+  return range == nullptr ? 0.0 : range->load.Qps(clock_->Now());
 }
 
 }  // namespace veloce::kv

@@ -30,6 +30,19 @@ struct KVClusterOptions {
   /// Ranges larger than this (approximate ingested bytes) are split by
   /// MaybeSplitRanges().
   uint64_t range_split_bytes = 64ull << 20;
+  /// Load-based splits: a range whose decayed QPS exceeds this is split at
+  /// a sampled hot-key boundary by MaybeSplitRanges(). 0 disables (size
+  /// splits only — the pre-existing behaviour).
+  double load_split_qps = 0;
+  /// Cooldown merges: a range counts as "cooled" while its decayed QPS
+  /// stays below this threshold.
+  double merge_qps_threshold = 32.0;
+  /// How long both neighbours must stay cooled before MaybeMergeRanges()
+  /// fuses them (hysteresis against split/merge flapping).
+  Nanos merge_dwell = 10 * kSecond;
+  /// Merged ranges must stay below this (0 = half of range_split_bytes),
+  /// so a merge never immediately re-triggers a size split.
+  uint64_t merge_max_bytes = 0;
   /// Region per node; sized to num_nodes or empty (all "local").
   std::vector<std::string> node_regions;
   /// Template for each node's engine (dir is overridden per node).
@@ -119,10 +132,33 @@ class KVCluster {
   StatusOr<NodeId> AddNode(const std::string& region = "local");
 
   /// Moves one replica of `range_id` from node `from` to node `to`:
-  /// copies the range's keyspan into the target engine (snapshot
+  /// streams the range's keyspan into the target engine (snapshot
   /// transfer), then swaps the descriptor entry. The leaseholder moves too
-  /// if it was `from`.
+  /// if it was `from`. Implemented as Start/Step*/Finish below, driven to
+  /// completion in one call.
   Status MoveReplica(RangeId range_id, NodeId from, NodeId to);
+
+  // --- Pipelined replica moves --------------------------------------------
+  /// Begins a snapshot-pipelined replica move: records the committed log
+  /// position as the snapshot floor (pinning log truncation there) and
+  /// selects a caught-up source replica. The range keeps serving reads and
+  /// writes for the whole copy; only Finish's cutover is atomic. One move
+  /// per range at a time; splits and merges skip ranges mid-move.
+  Status StartReplicaMove(RangeId range_id, NodeId from, NodeId to);
+  /// Copies the next ~`max_bytes` of the span (after first clearing the
+  /// target's stale span, also chunked). Returns true when the copy is
+  /// complete and FinishReplicaMove may run. Callers release the cluster
+  /// between calls, so writes interleave with the stream; every mutation
+  /// after the snapshot floor is re-delivered by Finish's delta replay
+  /// (records are idempotent, so overlap with streamed state is safe).
+  StatusOr<bool> StepReplicaMove(RangeId range_id, size_t max_bytes = 1 << 20);
+  /// Atomic cutover: replays the log delta above the snapshot floor to the
+  /// target (falling back to a full snapshot if retention caps truncated
+  /// past it), swaps the descriptor entry, and unpins the log.
+  Status FinishReplicaMove(RangeId range_id);
+  /// Cancels an in-flight move: unpins the log and wipes the partially
+  /// streamed span from the target engine.
+  Status AbortReplicaMove(RangeId range_id);
 
   /// Spreads replicas across all live nodes: ranges on overloaded nodes
   /// move one replica each toward the emptiest nodes. Returns moves made.
@@ -236,8 +272,22 @@ class KVCluster {
   void BalanceLeases();
   /// Splits the range containing `split_key` at that key.
   Status SplitRange(Slice split_key);
-  /// Size-triggered splits across all ranges; returns number of splits.
+  /// Size-triggered splits across all ranges, plus — when
+  /// options.load_split_qps > 0 — load-triggered splits of hot ranges at a
+  /// sampled hot-key boundary. Returns number of splits.
   StatusOr<int> MaybeSplitRanges();
+  /// Merges `left_id` with its right neighbour (admin/test path). Refuses
+  /// to fuse across tenant boundaries, over an invalid lease, or while
+  /// either side has a replica move in flight.
+  Status MergeRanges(RangeId left_id);
+  /// Cooldown sweep: adjacent ranges of one tenant whose load stayed below
+  /// merge_qps_threshold for merge_dwell are fused, so scale-to-zero
+  /// shrinks the range count. Replica sets are aligned (via replica moves)
+  /// when they drifted apart; unreachable replicas veto the merge. Returns
+  /// merges performed.
+  StatusOr<int> MaybeMergeRanges();
+  /// Decayed QPS of the range owning `key` (introspection; 0 when absent).
+  double RangeQps(Slice key) const;
 
   /// Garbage-collects MVCC versions older than `threshold` across the
   /// tenant's keyspace, on every node's engine. Returns versions removed
@@ -277,12 +327,32 @@ class KVCluster {
   const TxnMetricSet& txn_metrics() const { return txn_metrics_; }
 
  private:
+  /// In-flight pipelined replica move (one per range). The snapshot floor
+  /// pins log truncation so Finish can replay the delta; the cursor resumes
+  /// the chunked span copy across Step calls.
+  struct PendingMove {
+    NodeId from = 0;
+    NodeId to = 0;
+    NodeId source = 0;
+    uint64_t snapshot_floor = 0;
+    std::string cursor;      ///< next engine key to process ("" = span start)
+    bool clearing = true;    ///< phase 1 wipes the target's stale span
+    bool copy_done = false;
+  };
+
   struct RangeState {
     RangeDescriptor desc;
     TimestampCache tscache;
     ReplicationLog log;
     uint64_t approx_bytes = 0;
+    RangeLoadTracker load;
+    /// Clock time the range's load first dropped below the merge threshold
+    /// (-1 = currently hot); MaybeMergeRanges maintains it.
+    Nanos cooled_since = -1;
+    std::optional<PendingMove> pending_move;
   };
+
+  enum class SplitReason { kManual, kSize, kLoad };
 
   // All Locked methods require mu_.
   RangeState* LookupRangeLocked(Slice key);
@@ -374,7 +444,19 @@ class KVCluster {
                               const IntentMeta& intent, const BatchRequest& req,
                               bool for_write);
   Status AddRangeLocked(RangeDescriptor desc);
-  Status SplitRangeLocked(Slice split_key);
+  Status SplitRangeLocked(Slice split_key,
+                          SplitReason reason = SplitReason::kManual);
+  /// Resolves an addressed batch (req.range_id != 0) against the directory:
+  /// the range must still exist and contain `key`, else RangeKeyMismatch
+  /// (the client invalidates its cache entry and retries).
+  StatusOr<RangeState*> ResolveRangeLocked(const BatchRequest& req, Slice key);
+  /// Fuses `right` into `left` (spans must be adjacent, tenants equal,
+  /// replica sets identical and fully caught up on both logs).
+  Status MergeRangesLocked(RangeState* left, RangeState* right,
+                           obs::Counter* reason_counter);
+  /// Merge eligibility under the cooldown policy (MaybeMergeRanges).
+  bool CanMergeLocked(const RangeState& left, const RangeState& right,
+                      Nanos now) const;
   storage::Engine* LeaseholderEngineLocked(const RangeState& range);
 
   KVClusterOptions options_;
@@ -410,7 +492,14 @@ class KVCluster {
 
   obs::Counter* lease_moves_c_ = nullptr;
   obs::Counter* replica_moves_c_ = nullptr;
-  obs::Counter* splits_c_ = nullptr;
+  /// Split/merge counters, labeled by trigger; incremented only after the
+  /// directory mutation committed (aborted splits/merges are never counted).
+  obs::Counter* splits_manual_c_ = nullptr;
+  obs::Counter* splits_size_c_ = nullptr;
+  obs::Counter* splits_load_c_ = nullptr;
+  obs::Counter* merges_manual_c_ = nullptr;
+  obs::Counter* merges_cooldown_c_ = nullptr;
+  obs::Counter* range_mismatch_c_ = nullptr;
   obs::Counter* intent_conflicts_c_ = nullptr;
   obs::Counter* replica_catchups_replay_c_ = nullptr;
   obs::Counter* replica_catchups_snapshot_c_ = nullptr;

@@ -32,6 +32,14 @@ void TimestampCache::RecordReadSpan(Slice start, Slice end, Timestamp ts) {
   spans_.push_back({start.ToString(), end.ToString(), ts});
 }
 
+void TimestampCache::MergeFrom(const TimestampCache& other) {
+  if (low_water_ < other.low_water_) low_water_ = other.low_water_;
+  for (const auto& [k, t] : other.points_) RecordRead(k, t);
+  for (const auto& span : other.spans_) {
+    RecordReadSpan(span.start, span.end, span.ts);
+  }
+}
+
 Timestamp TimestampCache::MaxReadTimestamp(Slice key) const {
   Timestamp max = low_water_;
   auto it = points_.find(key.view());

@@ -1,6 +1,8 @@
 #ifndef VELOCE_KV_RANGE_H_
 #define VELOCE_KV_RANGE_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -9,14 +11,14 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "kv/batch.h"
 #include "kv/timestamp.h"
 
 namespace veloce::kv {
 
-using RangeId = uint64_t;
-using NodeId = uint32_t;
+using NodeId = uint32_t;  // RangeId lives in kv/batch.h (range addressing)
 
 /// Descriptor of one range (shard): its keyspan, replica placement, and
 /// current leaseholder. Ranges never span tenant boundaries (the KV layer
@@ -35,6 +37,12 @@ struct RangeDescriptor {
   /// isolated leaseholder's epoch bumps on expiry, so its stale lease
   /// rejects writes with LeaseEpochMismatch instead of serving split-brain.
   uint64_t lease_epoch = 1;
+  /// Bumped whenever the range's span or replica set changes (split, merge,
+  /// replica move). Directory caches key their entries on it: an addressed
+  /// request whose key no longer falls in the range redirects with
+  /// RangeKeyMismatch, and the refreshed descriptor's higher generation
+  /// supersedes any overlapping cached entry.
+  uint64_t generation = 1;
 
   bool Contains(Slice key) const {
     if (Slice(key) < Slice(start_key)) return false;
@@ -46,6 +54,121 @@ struct RangeDescriptor {
     }
     return false;
   }
+};
+
+/// Per-range load statistics: exponentially-decayed request and CPU-cost
+/// rates plus a small reservoir of recently-touched keys. The rates drive
+/// load-based splits (hot ranges divide at a sampled key boundary) and
+/// cooldown merges (adjacent cold ranges of one tenant re-fuse); the
+/// reservoir supplies the split point without scanning the engine, which is
+/// what keeps split decisions O(1) at 100k ranges.
+///
+/// Decay is half-life based and evaluated lazily on access, so the tracker
+/// is exact under a manual/sim clock and needs no background timer.
+class RangeLoadTracker {
+ public:
+  static constexpr Nanos kHalfLife = 2 * kSecond;
+  static constexpr size_t kMaxKeySamples = 16;
+
+  /// Records `count` requests costing `cost` abstract CPU units touching
+  /// `key` at time `now`.
+  void Record(Nanos now, Slice key, double count, double cost) {
+    DecayTo(now);
+    requests_ += count;
+    cost_ += cost;
+    // Deterministic reservoir sampling: the n-th observation replaces a
+    // slot with probability k/n, using a counter-seeded xorshift so two
+    // identical op sequences sample identical split keys.
+    ++observations_;
+    if (samples_.size() < kMaxKeySamples) {
+      samples_.push_back(key.ToString());
+    } else {
+      const uint64_t r = Mix(observations_);
+      if (r % observations_ < kMaxKeySamples) {
+        samples_[r % kMaxKeySamples] = key.ToString();
+      }
+    }
+  }
+
+  /// Decayed requests/second as of `now`.
+  double Qps(Nanos now) const {
+    const_cast<RangeLoadTracker*>(this)->DecayTo(now);
+    // The EWMA holds "requests in the trailing half-life window"; divide by
+    // the window to express a rate.
+    return requests_ / (static_cast<double>(kHalfLife) / kSecond);
+  }
+  /// Decayed CPU cost units/second as of `now`.
+  double CpuRate(Nanos now) const {
+    const_cast<RangeLoadTracker*>(this)->DecayTo(now);
+    return cost_ / (static_cast<double>(kHalfLife) / kSecond);
+  }
+
+  /// A key strictly inside (start, +inf) splitting the sampled keys roughly
+  /// in half; empty when the samples cannot produce a valid boundary.
+  std::string SuggestSplitKey(Slice start) const {
+    std::vector<std::string> keys;
+    keys.reserve(samples_.size());
+    for (const std::string& k : samples_) {
+      if (Slice(k) > start) keys.push_back(k);
+    }
+    if (keys.size() < 2) return "";
+    std::sort(keys.begin(), keys.end());
+    const std::string& mid = keys[keys.size() / 2];
+    // A midpoint equal to the smallest sample would make an empty left half.
+    if (mid == keys.front()) return "";
+    return mid;
+  }
+
+  /// Split/merge bookkeeping: restarts sampling (rates persist — a freshly
+  /// split hot range is still hot, but its old samples may lie outside the
+  /// new span).
+  void ResetSamples() {
+    samples_.clear();
+    observations_ = 0;
+  }
+
+  /// Range split: each half keeps half the parent's decayed rates and
+  /// restarts sampling. The caller copies the tracker to the right half
+  /// after calling this on the left.
+  void OnSplit() {
+    requests_ /= 2;
+    cost_ /= 2;
+    ResetSamples();
+  }
+
+  /// Folds another tracker in (range merge): rates add, samples interleave.
+  void Absorb(const RangeLoadTracker& other, Nanos now) {
+    DecayTo(now);
+    const_cast<RangeLoadTracker&>(other).DecayTo(now);
+    requests_ += other.requests_;
+    cost_ += other.cost_;
+    for (const std::string& k : other.samples_) {
+      if (samples_.size() < kMaxKeySamples) samples_.push_back(k);
+    }
+  }
+
+ private:
+  static uint64_t Mix(uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return x;
+  }
+  void DecayTo(Nanos now) {
+    if (now <= last_decay_) return;
+    const double halves =
+        static_cast<double>(now - last_decay_) / static_cast<double>(kHalfLife);
+    const double factor = std::pow(0.5, halves);
+    requests_ *= factor;
+    cost_ *= factor;
+    last_decay_ = now;
+  }
+
+  double requests_ = 0;
+  double cost_ = 0;
+  Nanos last_decay_ = 0;
+  uint64_t observations_ = 0;
+  std::vector<std::string> samples_;
 };
 
 /// One replicated mutation of a range. Everything that touches a replica's
@@ -158,6 +281,11 @@ class TimestampCache {
 
   void RecordRead(Slice key, Timestamp ts);
   void RecordReadSpan(Slice start, Slice end, Timestamp ts);
+
+  /// Folds another range's cache in (range merge): every point and span is
+  /// carried over so no read constraint is lost; cap overflow degrades to
+  /// the low-water mark exactly as organic growth does.
+  void MergeFrom(const TimestampCache& other);
 
   /// Highest read timestamp recorded for `key`.
   Timestamp MaxReadTimestamp(Slice key) const;

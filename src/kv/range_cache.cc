@@ -1,0 +1,78 @@
+#include "kv/range_cache.h"
+
+namespace veloce::kv {
+
+namespace {
+
+/// True when [a_start, a_end) and [b_start, b_end) intersect (empty end =
+/// +infinity).
+bool SpansOverlap(const std::string& a_start, const std::string& a_end,
+                  const std::string& b_start, const std::string& b_end) {
+  if (!a_end.empty() && a_end <= b_start) return false;
+  if (!b_end.empty() && b_end <= a_start) return false;
+  return true;
+}
+
+}  // namespace
+
+std::optional<RangeDescriptor> RangeDirectoryCache::Lookup(Slice key) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = by_start_.upper_bound(key);
+  if (it == by_start_.begin()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  --it;
+  if (!it->second.Contains(key)) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void RangeDirectoryCache::Insert(const RangeDescriptor& desc) {
+  std::lock_guard<std::mutex> l(mu_);
+  // Find every cached entry overlapping the new span. Start from the entry
+  // at or before desc.start_key (its span may reach into ours).
+  auto it = by_start_.upper_bound(desc.start_key);
+  if (it != by_start_.begin()) --it;
+  while (it != by_start_.end()) {
+    if (!desc.end_key.empty() && it->first >= desc.end_key) break;
+    if (SpansOverlap(it->second.start_key, it->second.end_key, desc.start_key,
+                     desc.end_key)) {
+      if (it->second.generation > desc.generation) return;  // newer entry wins
+      it = by_start_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  by_start_[desc.start_key] = desc;
+}
+
+void RangeDirectoryCache::Invalidate(Slice key) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = by_start_.upper_bound(key);
+  if (it == by_start_.begin()) return;
+  --it;
+  if (!it->second.Contains(key)) return;
+  by_start_.erase(it);
+  ++stats_.invalidations;
+}
+
+void RangeDirectoryCache::Clear() {
+  std::lock_guard<std::mutex> l(mu_);
+  by_start_.clear();
+}
+
+size_t RangeDirectoryCache::size() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return by_start_.size();
+}
+
+RangeDirectoryCache::Stats RangeDirectoryCache::stats() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return stats_;
+}
+
+}  // namespace veloce::kv

@@ -1,0 +1,60 @@
+#ifndef VELOCE_KV_RANGE_CACHE_H_
+#define VELOCE_KV_RANGE_CACHE_H_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "kv/range.h"
+
+namespace veloce::kv {
+
+/// Client-side range directory cache (the SQL/proxy half of range
+/// addressing). Callers resolve keys here instead of consulting the KV
+/// directory on every batch, attach the descriptor's range_id to the
+/// request, and invalidate-and-refresh when the server answers
+/// RangeKeyMismatch — the same retryable-redirect classification the
+/// proxy already applies to lease-epoch mismatches.
+///
+/// Entries are keyed on start_key and carry the descriptor's generation:
+/// inserting a fresh descriptor evicts every overlapping entry of a lower
+/// (or equal) generation, so a split/merge/move redirect converges in one
+/// refresh. Staleness is always recoverable: the worst a stale entry can
+/// cause is one RangeKeyMismatch round-trip, never a wrong-range read.
+///
+/// Thread-safe; pipelined transaction batches hit the cache from executor
+/// threads.
+class RangeDirectoryCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;
+  };
+
+  /// Descriptor whose span contains `key`, if cached.
+  std::optional<RangeDescriptor> Lookup(Slice key);
+
+  /// Caches `desc`, evicting overlapping entries. An overlapping entry
+  /// with a strictly higher generation wins instead (the insert is
+  /// dropped): a racing refresh never rolls the cache backwards.
+  void Insert(const RangeDescriptor& desc);
+
+  /// Drops the entry whose span contains `key` (server said mismatch).
+  void Invalidate(Slice key);
+
+  void Clear();
+
+  size_t size() const;
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, RangeDescriptor, std::less<>> by_start_;
+  Stats stats_;
+};
+
+}  // namespace veloce::kv
+
+#endif  // VELOCE_KV_RANGE_CACHE_H_

@@ -24,7 +24,10 @@ class TenantStampede final : public Scenario {
   }
 
   void Run(ScenarioContext& ctx) override {
-    const int n_tenants = ctx.fast() ? 8 : 40;
+    // Full mode is the paper-scale herd: ten thousand scaled-to-zero
+    // tenants waking inside one second (fast mode keeps the CI smoke
+    // small). The BENCH schema is identical at both scales.
+    const int n_tenants = ctx.fast() ? 8 : 10000;
     const Nanos window = kSecond;  // all wakes land inside this
     const size_t warm_pool = 4;
 

@@ -8,6 +8,7 @@ void RegisterBuiltinScenarios() {
   RegisterScenario("az-outage", MakeAzOutage);
   RegisterScenario("rolling-upgrade-under-chaos", MakeRollingUpgradeChaos);
   RegisterScenario("gray-partition", MakeGrayPartition);
+  RegisterScenario("range-storm", MakeRangeStorm);
 }
 
 }  // namespace veloce::scenario

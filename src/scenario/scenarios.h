@@ -7,7 +7,7 @@
 
 namespace veloce::scenario {
 
-/// The five built-in "cluster weather" scenarios (docs/SCENARIOS.md).
+/// The six built-in "cluster weather" scenarios (docs/SCENARIOS.md).
 /// Each is registered by RegisterBuiltinScenarios() under the name noted.
 
 /// "black-friday": a multi-region tenant's demand ramps 10x, plateaus, and
@@ -42,6 +42,15 @@ std::unique_ptr<Scenario> MakeRollingUpgradeChaos();
 /// writes fail over within the liveness window, the straggler converges
 /// via log catch-up on heal, and no acked write is ever lost.
 std::unique_ptr<Scenario> MakeGrayPartition();
+
+/// "range-storm": tenant herds heat up and cool down while the range-scale
+/// data plane churns — load-based splits, tenant-cooldown merges,
+/// pipelined replica moves, and cached-directory clients, under seeded
+/// partition weather. Asserts the directory invariants every iteration
+/// (keyspace partition, tenant alignment, no stale lease epochs),
+/// linearizability of the whole run, that splits AND merges both fire,
+/// that the directory converges back, and a modeled read p99 gate.
+std::unique_ptr<Scenario> MakeRangeStorm();
 
 }  // namespace veloce::scenario
 

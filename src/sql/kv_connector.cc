@@ -25,6 +25,12 @@ KvConnector::KvConnector(tenant::AuthorizedKvService* service, kv::KVCluster* cl
   batches_c_ = metrics_->counter("veloce_sql_kv_batches_total", labels);
   marshaled_bytes_c_ = metrics_->counter("veloce_sql_marshaled_bytes_total", labels);
   marshal_cpu_ns_c_ = metrics_->counter("veloce_sql_marshal_cpu_ns_total", labels);
+  range_cache_hits_c_ =
+      metrics_->counter("veloce_sql_range_cache_hits_total", labels);
+  range_cache_misses_c_ =
+      metrics_->counter("veloce_sql_range_cache_misses_total", labels);
+  range_cache_invalidations_c_ =
+      metrics_->counter("veloce_sql_range_cache_invalidations_total", labels);
 }
 
 StatusOr<kv::BatchResponse> KvConnector::Send(kv::BatchRequest req) {
@@ -39,7 +45,7 @@ StatusOr<kv::BatchResponse> KvConnector::Send(kv::BatchRequest req) {
     }
   }
   if (req.ts.IsEmpty()) req.ts = cluster_->Now();
-  VELOCE_ASSIGN_OR_RETURN(kv::BatchResponse resp, SendPrefixed(req));
+  VELOCE_ASSIGN_OR_RETURN(kv::BatchResponse resp, SendAddressed(req));
   // Strip the prefix from returned row keys before handing to SQL.
   for (auto& r : resp.responses) {
     for (auto& row : r.rows) {
@@ -53,6 +59,56 @@ StatusOr<kv::BatchResponse> KvConnector::Send(kv::BatchRequest req) {
   return resp;
 }
 
+std::optional<kv::RangeDescriptor> KvConnector::CachedRange(Slice key) {
+  std::optional<kv::RangeDescriptor> desc = range_cache_.Lookup(key);
+  if (desc.has_value()) {
+    range_cache_hits_c_->Inc();
+    return desc;
+  }
+  range_cache_misses_c_->Inc();
+  auto fresh = cluster_->LookupRange(key);
+  if (!fresh.ok()) return std::nullopt;
+  range_cache_.Insert(*fresh);
+  return *fresh;
+}
+
+StatusOr<kv::BatchResponse> KvConnector::SendAddressed(kv::BatchRequest req) {
+  // Resolve through the client-side directory cache: when one cached range
+  // covers every request key, attach its range id so the server can reject
+  // a stale route with RangeKeyMismatch instead of silently re-resolving.
+  // A mismatch invalidates the entry, refreshes from the directory, and
+  // retries — the same retryable-redirect class the proxy applies to
+  // lease-epoch mismatches — so cache staleness is always recoverable.
+  // Batches no single range covers go unaddressed (range_id == 0), which
+  // preserves the multi-range behaviour (scans, spanning write sets).
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    req.range_id = 0;
+    if (!req.requests.empty()) {
+      std::optional<kv::RangeDescriptor> desc = CachedRange(req.requests[0].key);
+      if (desc.has_value()) {
+        bool covers = true;
+        for (const auto& r : req.requests) {
+          if (!desc->Contains(r.key)) {
+            covers = false;
+            break;
+          }
+        }
+        if (covers) req.range_id = desc->range_id;
+      }
+    }
+    StatusOr<kv::BatchResponse> resp = SendPrefixed(req);
+    if (resp.ok() || !resp.status().IsRangeKeyMismatch() || req.range_id == 0) {
+      return resp;
+    }
+    range_cache_.Invalidate(req.requests[0].key);
+    range_cache_invalidations_c_->Inc();
+  }
+  // Defensive: the directory churned through three refreshes; fall back to
+  // server-side resolution rather than retrying forever.
+  req.range_id = 0;
+  return SendPrefixed(req);
+}
+
 StatusOr<kv::BatchResponse> KvConnector::SendPrefixed(const kv::BatchRequest& req) {
   batches_c_->Inc();
   // The Traditional (colocated) deployment is not marshal-free: DistSQL
@@ -64,8 +120,11 @@ StatusOr<kv::BatchResponse> KvConnector::SendPrefixed(const kv::BatchRequest& re
   if (!needs_marshal) {
     for (const auto& r : req.requests) {
       if (r.type == kv::RequestType::kScan) continue;  // DistSQL-local
-      auto range = cluster_->LookupRange(r.key);
-      if (range.ok() && range->leaseholder != home_node_) {
+      // The leaseholder check routes through the directory cache (filled on
+      // miss); a stale entry can only mispredict the marshal *cost* — the
+      // correctness of routing is the server's, via range addressing.
+      std::optional<kv::RangeDescriptor> range = CachedRange(r.key);
+      if (range.has_value() && range->leaseholder != home_node_) {
         needs_marshal = true;
         break;
       }
@@ -172,7 +231,7 @@ std::unique_ptr<TenantTxn> KvConnector::BeginTransaction(int32_t priority) {
   // tracks intent keys in prefixed form for resolution); route them through
   // the marshal/authorize path and count features.
   auto sender = [this](const kv::BatchRequest& req) -> StatusOr<kv::BatchResponse> {
-    VELOCE_ASSIGN_OR_RETURN(kv::BatchResponse resp, SendPrefixed(req));
+    VELOCE_ASSIGN_OR_RETURN(kv::BatchResponse resp, SendAddressed(req));
     CountFeatures(req, resp);
     return resp;
   };

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "billing/ecpu_model.h"
+#include "kv/range_cache.h"
 #include "kv/transaction.h"
 #include "obs/obs_context.h"
 #include "obs/trace.h"
@@ -139,8 +140,19 @@ class KvConnector {
   void set_current_trace(obs::TraceContext* trace) { current_trace_ = trace; }
   obs::TraceContext* current_trace() const { return current_trace_; }
 
+  /// Client-side range directory cache (introspection/tests). Every batch
+  /// this connector sends resolves through it; RangeKeyMismatch redirects
+  /// invalidate and refresh.
+  kv::RangeDirectoryCache* range_cache() { return &range_cache_; }
+
  private:
+  /// Resolves the batch through the range directory cache, attaches the
+  /// range id when one cached range covers every request key, and handles
+  /// RangeKeyMismatch redirects (invalidate → refresh → retry, bounded).
+  StatusOr<kv::BatchResponse> SendAddressed(kv::BatchRequest req);
   StatusOr<kv::BatchResponse> SendPrefixed(const kv::BatchRequest& req);
+  /// Cache lookup with miss-fill from the cluster directory.
+  std::optional<kv::RangeDescriptor> CachedRange(Slice key);
   void CountFeatures(const kv::BatchRequest& req, const kv::BatchResponse& resp);
 
   tenant::AuthorizedKvService* service_;
@@ -159,11 +171,16 @@ class KvConnector {
   uint64_t marshaled_bytes_ = 0;
   Nanos kv_cpu_nanos_ = 0;
 
+  kv::RangeDirectoryCache range_cache_;
+
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* batches_c_ = nullptr;
   obs::Counter* marshaled_bytes_c_ = nullptr;
   obs::Counter* marshal_cpu_ns_c_ = nullptr;
+  obs::Counter* range_cache_hits_c_ = nullptr;
+  obs::Counter* range_cache_misses_c_ = nullptr;
+  obs::Counter* range_cache_invalidations_c_ = nullptr;
 };
 
 }  // namespace veloce::sql

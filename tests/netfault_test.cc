@@ -17,6 +17,7 @@
 #include "obs/metrics.h"
 #include "sim/faulty_mesh.h"
 #include "storage/fault_env.h"
+#include "tests/range_storm_harness.h"
 
 namespace veloce::kv {
 namespace {
@@ -762,6 +763,112 @@ TEST(PartitionChaosTest, LinearizableAcrossSeeds) {
     RunPartitionChaosIteration(seed);
     if (::testing::Test::HasFatalFailure()) return;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Range-storm slice under partitions (splits/merges/moves + fault weather)
+// ---------------------------------------------------------------------------
+
+/// A fixed-seed slice of the range storm (tests/range_storm_harness.h) with
+/// FaultyMesh partitions layered on top of the split/merge/move churn: the
+/// harness asserts the directory invariants every iteration — including
+/// that no lease ever carries an epoch ahead of its holder's liveness
+/// record — and the whole run must linearize.
+TEST(RangeStormSliceTest, StormUnderPartitionsIsLinearizable) {
+  ManualClock clock(100 * kSecond);
+  const uint64_t seed = EnvOr("VELOCE_RANGESTORM_SEED", 0x570A);
+  sim::FaultyMesh mesh(seed);
+  storm::StormOptions opts;
+  opts.seed = seed;
+  opts.nodes = 3;
+  opts.replication = 3;
+  opts.tenants = 2;
+  opts.keys_per_tenant = 12;
+  opts.iterations = 16;
+  opts.ops_per_iteration = 24;
+  opts.mesh = &mesh;
+  KVClusterOptions co = storm::RangeStormHarness::ClusterOptions(opts, &clock);
+  co.transport = &mesh;
+  auto cluster = std::make_unique<KVCluster>(co);
+  for (int i = 0; i < opts.tenants; ++i) {
+    ASSERT_TRUE(cluster
+                    ->CreateTenantKeyspace(opts.first_tenant +
+                                           static_cast<TenantId>(i))
+                    .ok());
+  }
+  storm::RangeStormHarness storm(opts, &clock, cluster.get());
+  ASSERT_EQ(storm.Run(), "");
+  // After the storm quiesces (mesh healed, every node caught up), all
+  // replicas of all tenant ranges must be byte-identical.
+  for (const RangeDescriptor& desc : cluster->Ranges()) {
+    if (desc.tenant_id == 0) continue;
+    auto lead = RangeSpan(cluster->node(desc.leaseholder)->engine(), desc);
+    for (NodeId r : desc.replicas) {
+      if (r == desc.leaseholder) continue;
+      EXPECT_EQ(lead, RangeSpan(cluster->node(r)->engine(), desc))
+          << "range " << desc.range_id << " replica " << r << " diverged";
+    }
+  }
+}
+
+/// A merge adopts the left range's *validated* lease, never the right's.
+/// Scenario: one node holds both neighbours' leases, gets partitioned, and
+/// only the left range fails over (bumping the holder's liveness epoch).
+/// The right range still carries a lease stamped with the deposed epoch.
+/// Merging must not resurrect it: the merged range serves under the
+/// surviving lease, and its epoch can never be ahead of its holder's
+/// liveness record.
+TEST(RangeStormSliceTest, MergeNeverResurrectsStaleLeaseEpoch) {
+  ManualClock clock(100 * kSecond);
+  sim::FaultyMesh mesh(0x5EA1);
+  auto cluster = MakeCluster(&clock, &mesh);
+  ASSERT_TRUE(PutKV(cluster.get(), "a", "left").ok());
+  ASSERT_TRUE(PutKV(cluster.get(), "z", "right").ok());
+  ASSERT_TRUE(cluster->SplitRange(K("m")).ok());
+  cluster->TickHeartbeats();  // arm epoch-based lease enforcement
+
+  const RangeDescriptor left0 = TenantRange(cluster.get(), "a");
+  const RangeDescriptor right0 = TenantRange(cluster.get(), "z");
+  // The split inherits the parent's leaseholder, so one node holds both.
+  ASSERT_EQ(left0.leaseholder, right0.leaseholder);
+  const NodeId old_holder = left0.leaseholder;
+  const uint64_t old_epoch = cluster->NodeLivenessEpoch(old_holder);
+
+  // Partition the holder, expire its liveness, and fail over only the
+  // left range (the right sees no traffic, so its lease stays stale).
+  mesh.Isolate(old_holder, 3);
+  clock.Advance(4 * kSecond);
+  cluster->TickHeartbeats();
+  ASSERT_EQ(cluster->NodeLivenessEpoch(old_holder), old_epoch + 1);
+  ASSERT_TRUE(PutKV(cluster.get(), "a", "failover").ok());
+  const RangeDescriptor left1 = TenantRange(cluster.get(), "a");
+  ASSERT_NE(left1.leaseholder, old_holder);
+
+  // Heal; the deposed node regains liveness at the bumped epoch.
+  mesh.HealAll();
+  clock.Advance(kSecond);
+  cluster->TickHeartbeats();
+  ASSERT_TRUE(cluster->CatchUpNode(old_holder).ok());
+
+  ASSERT_TRUE(cluster->MergeRanges(left1.range_id).ok());
+  const RangeDescriptor merged = TenantRange(cluster.get(), "z");
+  EXPECT_EQ(merged.range_id, left1.range_id);
+  EXPECT_EQ(merged.leaseholder, left1.leaseholder);
+  EXPECT_EQ(merged.lease_epoch, left1.lease_epoch);
+  // The stale (old_holder, old_epoch) lease is gone for good, and the
+  // merged lease is consistent with liveness.
+  EXPECT_FALSE(merged.leaseholder == old_holder &&
+               merged.lease_epoch == old_epoch);
+  EXPECT_LE(merged.lease_epoch,
+            cluster->NodeLivenessEpoch(merged.leaseholder));
+
+  // The merged range serves both halves of the keyspace.
+  ASSERT_TRUE(PutKV(cluster.get(), "z", "post-merge").ok());
+  auto a = GetKV(cluster.get(), "a");
+  auto z = GetKV(cluster.get(), "z");
+  ASSERT_TRUE(a.ok() && z.ok());
+  EXPECT_EQ(a->responses[0].value, "failover");
+  EXPECT_EQ(z->responses[0].value, "post-merge");
 }
 
 }  // namespace

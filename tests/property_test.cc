@@ -4,11 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 
 #include "common/logging.h"
 #include "common/random.h"
 #include "kv/mvcc.h"
+#include "kv/cluster.h"
+#include "kv/keys.h"
 #include "kv/range.h"
 #include "storage/engine.h"
 
@@ -226,6 +229,195 @@ TEST(ReplicationLogTest, AppliedTrackingAndTruncation) {
   log.TruncateTo(10);
   EXPECT_EQ(log.first_index(), 11u);  // empty log: committed + 1
   EXPECT_EQ(log.committed_index(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Range directory: arbitrary split/merge/move interleavings keep the
+// keyspace a partition (no gaps, no overlaps, tenant-aligned)
+// ---------------------------------------------------------------------------
+
+/// One randomized directory mutation. Operands are raw draws; the applier
+/// reduces them modulo whatever is currently valid, so every (kind, a, b,
+/// c) triple is applicable to any directory state — which is what makes
+/// shrinking by plain subsequence removal sound.
+struct DirOp {
+  enum class Kind { kSplit, kMerge, kMove } kind;
+  uint64_t a = 0, b = 0, c = 0;
+
+  std::string ToString() const {
+    const char* names[] = {"split", "merge", "move"};
+    return std::string(names[static_cast<int>(kind)]) + "(" +
+           std::to_string(a) + "," + std::to_string(b) + "," +
+           std::to_string(c) + ")";
+  }
+};
+
+constexpr int kDirTenants = 3;
+constexpr int kDirNodes = 4;
+
+std::vector<DirOp> GenDirOps(uint64_t seed, int n) {
+  Random rng(seed);
+  std::vector<DirOp> ops;
+  ops.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    DirOp op;
+    const uint64_t k = rng.Uniform(10);
+    // Splits weighted heaviest so directories actually grow.
+    op.kind = k < 5   ? DirOp::Kind::kSplit
+              : k < 8 ? DirOp::Kind::kMerge
+                      : DirOp::Kind::kMove;
+    op.a = rng.Next();
+    op.b = rng.Next();
+    op.c = rng.Next();
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+/// Replays `ops` against a fresh cluster, checking the partition invariant
+/// after every step. Individual ops are allowed to be rejected (merge
+/// guards, move guards) — the property is about the directory's shape, not
+/// op success. Returns "" or the violation (with the op index).
+std::string ApplyDirOps(const std::vector<DirOp>& ops) {
+  ManualClock clock(100 * kSecond);
+  kv::KVClusterOptions co;
+  co.num_nodes = kDirNodes;
+  co.replication_factor = 3;
+  co.clock = &clock;
+  auto cluster = std::make_unique<kv::KVCluster>(co);
+  for (int t = 0; t < kDirTenants; ++t) {
+    VELOCE_CHECK_OK(cluster->CreateTenantKeyspace(10 + t));
+  }
+
+  auto check = [&cluster]() -> std::string {
+    std::vector<kv::RangeDescriptor> ranges = cluster->Ranges();
+    std::sort(ranges.begin(), ranges.end(),
+              [](const kv::RangeDescriptor& x, const kv::RangeDescriptor& y) {
+                return x.start_key < y.start_key;
+              });
+    if (ranges.empty() || !ranges.front().start_key.empty()) {
+      return "first range does not start at -inf";
+    }
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      const kv::RangeDescriptor& d = ranges[i];
+      if (i + 1 == ranges.size()) {
+        if (!d.end_key.empty()) return "last range does not end at +inf";
+      } else if (d.end_key.empty() || d.end_key != ranges[i + 1].start_key) {
+        return "gap/overlap after range " + std::to_string(d.range_id);
+      }
+      if (d.tenant_id != 0) {
+        if (d.start_key < kv::TenantPrefix(d.tenant_id) ||
+            d.end_key.empty() ||
+            d.end_key > kv::TenantPrefixEnd(d.tenant_id)) {
+          return "range " + std::to_string(d.range_id) +
+                 " escapes tenant " + std::to_string(d.tenant_id);
+        }
+      }
+    }
+    return "";
+  };
+
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const DirOp& op = ops[i];
+    switch (op.kind) {
+      case DirOp::Kind::kSplit: {
+        const kv::TenantId t = 10 + static_cast<kv::TenantId>(op.a % kDirTenants);
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "k%03d",
+                      static_cast<int>(op.b % 64));
+        (void)cluster->SplitRange(kv::AddTenantPrefix(t, buf));
+        break;
+      }
+      case DirOp::Kind::kMerge: {
+        const auto ranges = cluster->Ranges();
+        const auto& d = ranges[op.a % ranges.size()];
+        (void)cluster->MergeRanges(d.range_id);
+        break;
+      }
+      case DirOp::Kind::kMove: {
+        const auto ranges = cluster->Ranges();
+        const auto& d = ranges[op.a % ranges.size()];
+        const kv::NodeId from =
+            d.replicas[op.b % d.replicas.size()];
+        const kv::NodeId to = static_cast<kv::NodeId>(op.c % kDirNodes);
+        (void)cluster->MoveReplica(d.range_id, from, to);
+        break;
+      }
+    }
+    std::string err = check();
+    if (!err.empty()) {
+      return "after op #" + std::to_string(i) + " " + ops[i].ToString() +
+             ": " + err;
+    }
+  }
+  return "";
+}
+
+/// Greedy delta-debugging: repeatedly try dropping chunks (halving sizes
+/// down to single ops); keep any removal that still fails. Returns the
+/// minimized sequence.
+std::vector<DirOp> ShrinkDirOps(
+    std::vector<DirOp> ops,
+    const std::function<bool(const std::vector<DirOp>&)>& fails) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t chunk = std::max<size_t>(1, ops.size() / 2); chunk >= 1;
+         chunk /= 2) {
+      for (size_t at = 0; at + chunk <= ops.size();) {
+        std::vector<DirOp> candidate = ops;
+        candidate.erase(candidate.begin() + static_cast<long>(at),
+                        candidate.begin() + static_cast<long>(at + chunk));
+        if (fails(candidate)) {
+          ops = std::move(candidate);
+          progress = true;
+        } else {
+          at += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+  return ops;
+}
+
+class DirectoryPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DirectoryPropertyTest, InterleavingsKeepKeyspacePartitioned) {
+  const auto ops = GenDirOps(GetParam(), 60);
+  std::string violation = ApplyDirOps(ops);
+  if (!violation.empty()) {
+    // Shrink before failing so the report carries a minimal reproducer.
+    const auto minimal = ShrinkDirOps(
+        ops, [](const std::vector<DirOp>& c) { return !ApplyDirOps(c).empty(); });
+    std::string repro;
+    for (const DirOp& op : minimal) repro += "  " + op.ToString() + "\n";
+    FAIL() << violation << "\nminimal reproducer (" << minimal.size()
+           << " ops):\n"
+           << repro;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectoryPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// The shrinker itself must minimize: against a synthetic failure predicate
+// ("sequence contains a merge and a move"), any failing sequence reduces
+// to exactly those two ops.
+TEST(DirectoryPropertyTest, ShrinkerFindsMinimalReproducer) {
+  auto fails = [](const std::vector<DirOp>& ops) {
+    bool merge = false, move = false;
+    for (const DirOp& op : ops) {
+      merge |= op.kind == DirOp::Kind::kMerge;
+      move |= op.kind == DirOp::Kind::kMove;
+    }
+    return merge && move;
+  };
+  const auto ops = GenDirOps(99, 60);
+  ASSERT_TRUE(fails(ops)) << "generator produced no merge+move ops";
+  const auto minimal = ShrinkDirOps(ops, fails);
+  ASSERT_EQ(minimal.size(), 2u);
+  EXPECT_TRUE(fails(minimal));
 }
 
 }  // namespace

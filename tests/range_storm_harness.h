@@ -1,0 +1,530 @@
+#ifndef VELOCE_TESTS_RANGE_STORM_HARNESS_H_
+#define VELOCE_TESTS_RANGE_STORM_HARNESS_H_
+
+// Composed range-storm harness: one scenario seed drives client traffic
+// through per-client range-directory caches while load-based splits,
+// cooldown merges, and pipelined replica moves churn the directory
+// underneath — with optional FaultyMesh weather on top. After every
+// iteration the harness checks the range-scale data-plane invariants:
+//
+//   * the range directory is a partition of the keyspace (no gaps, no
+//     overlaps, first range starts at -inf, last ends at +inf);
+//   * no range spans a tenant boundary (merges never fuse tenants);
+//   * no lease carries an epoch newer than its holder's liveness epoch
+//     (merges/moves never resurrect a stale lease);
+//   * directory-cache staleness is always recoverable: an addressed batch
+//     bounced with RangeKeyMismatch succeeds after invalidate + refresh.
+//
+// Every client op is recorded into a HistoryRecorder so runs can be
+// checked linearizable (Wing–Gong) at the end. Shared by
+// tests/range_storm_test.cc (100-seed sweep, netfault composition) and
+// bench/bench_range_storm.cc (the 10k-tenant / 100k-range scale run).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/codec.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "kv/cluster.h"
+#include "kv/keys.h"
+#include "kv/linearizability.h"
+#include "kv/mvcc.h"
+#include "kv/range_cache.h"
+#include "sim/faulty_mesh.h"
+#include "storage/engine.h"
+
+namespace veloce::kv::storm {
+
+struct StormOptions {
+  uint64_t seed = 0xC10D;
+  int nodes = 5;
+  int replication = 3;
+  int tenants = 6;
+  kv::TenantId first_tenant = 10;
+  int keys_per_tenant = 24;
+  int iterations = 20;
+  int ops_per_iteration = 48;
+  /// Fraction of iterations (from the start) during which the whole herd
+  /// is driven hot; afterwards only the first tenant keeps traffic, so the
+  /// rest cool below the merge threshold and shrink back.
+  double hot_fraction = 0.55;
+  double load_split_qps = 8.0;
+  double merge_qps_threshold = 2.0;
+  Nanos merge_dwell = 4 * kSecond;
+  /// Fault weather (optional): the mesh must already be installed as the
+  /// cluster transport by the caller via cluster->set_transport(mesh).
+  sim::FaultyMesh* mesh = nullptr;
+  /// Heartbeat liveness ticks + epoch leases armed during the run.
+  bool heartbeats = true;
+  bool check_linearizability = true;
+  /// Trajectory observer: called after every iteration's invariant sweep
+  /// with the iteration index, cooling flag, current range count, and the
+  /// running stats — scenario runs log this as the event-log trajectory.
+  std::function<void(int iter, bool cooling, size_t ranges,
+                     const struct StormStats& stats)>
+      on_iteration;
+};
+
+struct StormStats {
+  uint64_t writes = 0;
+  uint64_t reads = 0;
+  uint64_t write_failures = 0;  ///< indeterminate under faults (maybe ops)
+  uint64_t read_failures = 0;
+  uint64_t redirects = 0;  ///< RangeKeyMismatch bounces recovered by refresh
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t splits = 0;
+  uint64_t merges = 0;
+  uint64_t moves_finished = 0;
+  uint64_t max_ranges = 0;
+  uint64_t final_ranges = 0;
+  /// Modeled per-read latency in ms: deterministic function of the op's
+  /// route (base cost + cache-miss fill + one round-trip per redirect), so
+  /// one seed yields byte-identical percentiles.
+  std::vector<double> read_latency_ms;
+
+  double ReadLatencyP99() const {
+    if (read_latency_ms.empty()) return 0;
+    std::vector<double> v = read_latency_ms;
+    std::sort(v.begin(), v.end());
+    return v[std::min(v.size() - 1, (v.size() * 99) / 100)];
+  }
+};
+
+/// Engine contents of one tenant's keyspan, assembled range by range from
+/// each range's leaseholder in span order — the "logical bytes" of the
+/// tenant. Split+merge round-trips must leave this byte-identical.
+inline std::vector<std::pair<std::string, std::string>> TenantSpanContents(
+    KVCluster* cluster, TenantId tenant) {
+  const std::string span_start = TenantPrefix(tenant);
+  const std::string span_end = TenantPrefixEnd(tenant);
+  std::vector<RangeDescriptor> ranges = cluster->Ranges();
+  std::sort(ranges.begin(), ranges.end(),
+            [](const RangeDescriptor& a, const RangeDescriptor& b) {
+              return a.start_key < b.start_key;
+            });
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const RangeDescriptor& desc : ranges) {
+    if (!desc.end_key.empty() && desc.end_key <= span_start) continue;
+    if (desc.start_key >= span_end) break;
+    const std::string lo =
+        EncodeIntentKey(std::max(desc.start_key, span_start));
+    std::string hi;
+    OrderedPutString(&hi, desc.end_key.empty()
+                              ? span_end
+                              : std::min(desc.end_key, span_end));
+    storage::Engine* engine = cluster->node(desc.leaseholder)->engine();
+    VELOCE_CHECK(engine != nullptr);
+    auto it = engine->NewBoundedIterator(lo, hi);
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      out.emplace_back(it->key().ToString(), it->value().ToString());
+    }
+  }
+  return out;
+}
+
+class RangeStormHarness {
+ public:
+  /// The caller owns clock + cluster (and the mesh, when any) so tests can
+  /// compose extra behaviour (manual splits, fault schedules) around the
+  /// storm. The cluster must already have the tenants' keyspaces created.
+  RangeStormHarness(StormOptions opts, ManualClock* clock, KVCluster* cluster)
+      : opts_(std::move(opts)),
+        clock_(clock),
+        cluster_(cluster),
+        rnd_(DeriveSeed(opts_.seed, "range-storm")),
+        weather_(DeriveSeed(opts_.seed, "storm-weather")) {
+    caches_.reserve(static_cast<size_t>(opts_.tenants));
+    for (int i = 0; i < opts_.tenants; ++i) {
+      caches_.push_back(std::make_unique<RangeDirectoryCache>());
+    }
+  }
+
+  /// Options for a cluster suitable for the storm (callers may tune
+  /// further before constructing the KVCluster).
+  static KVClusterOptions ClusterOptions(const StormOptions& opts,
+                                         ManualClock* clock) {
+    KVClusterOptions co;
+    co.num_nodes = opts.nodes;
+    co.replication_factor = opts.replication;
+    co.clock = clock;
+    co.load_split_qps = opts.load_split_qps;
+    co.merge_qps_threshold = opts.merge_qps_threshold;
+    co.merge_dwell = opts.merge_dwell;
+    co.liveness_duration = 2 * kSecond;
+    return co;
+  }
+
+  const StormStats& stats() const { return stats_; }
+  HistoryRecorder* history() { return &history_; }
+
+  TenantId tenant(int i) const {
+    return opts_.first_tenant + static_cast<TenantId>(i);
+  }
+  std::string Key(int tenant_idx, int key_idx) const {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "k%03d", key_idx);
+    return AddTenantPrefix(tenant(tenant_idx), buf);
+  }
+
+  /// Runs the full storm. Returns the first invariant violation ("" = the
+  /// run stayed clean). Callers assert on emptiness so gtest/bench report
+  /// the exact broken invariant.
+  std::string Run() {
+    if (opts_.heartbeats) cluster_->TickHeartbeats();
+    const int hot_until = static_cast<int>(opts_.iterations * opts_.hot_fraction);
+    for (int iter = 0; iter < opts_.iterations; ++iter) {
+      const bool cooling = iter >= hot_until;
+      RunIteration(iter, cooling);
+      std::string err = CheckInvariants();
+      if (!err.empty()) {
+        return "iteration " + std::to_string(iter) + ": " + err;
+      }
+      const size_t ranges = cluster_->Ranges().size();
+      stats_.max_ranges = std::max(stats_.max_ranges, static_cast<uint64_t>(ranges));
+      if (opts_.on_iteration) opts_.on_iteration(iter, cooling, ranges, stats_);
+    }
+    Quiesce();
+    std::string err = CheckInvariants();
+    if (!err.empty()) return "post-quiesce: " + err;
+    stats_.final_ranges = cluster_->Ranges().size();
+    if (opts_.check_linearizability) {
+      const LinearizabilityResult lin = CheckLinearizability(history_.Snapshot());
+      if (!lin.ok) return "linearizability: " + lin.explanation;
+    }
+    return "";
+  }
+
+  /// One addressed client batch through the per-tenant directory cache:
+  /// attach the cached range id, and on RangeKeyMismatch invalidate +
+  /// refresh + retry. Mirrors sql::KvConnector::SendAddressed at the KV
+  /// layer. `redirects` (optional) receives the bounce count for the op.
+  StatusOr<BatchResponse> SendAddressed(int tenant_idx, BatchRequest req,
+                                        int* redirects = nullptr,
+                                        bool* cache_miss = nullptr) {
+    RangeDirectoryCache& cache = *caches_[static_cast<size_t>(tenant_idx)];
+    req.tenant_id = tenant(tenant_idx);
+    if (req.ts.IsEmpty()) req.ts = cluster_->Now();
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      req.range_id = 0;
+      std::optional<RangeDescriptor> desc = cache.Lookup(req.requests[0].key);
+      if (desc.has_value()) {
+        ++stats_.cache_hits;
+      } else {
+        ++stats_.cache_misses;
+        if (cache_miss != nullptr) *cache_miss = true;
+        auto fresh = cluster_->LookupRange(req.requests[0].key);
+        if (fresh.ok()) {
+          cache.Insert(*fresh);
+          desc = *fresh;
+        }
+      }
+      if (desc.has_value()) {
+        bool covers = true;
+        for (const auto& r : req.requests) {
+          if (!desc->Contains(r.key)) {
+            covers = false;
+            break;
+          }
+        }
+        if (covers) req.range_id = desc->range_id;
+      }
+      StatusOr<BatchResponse> resp = cluster_->Send(req);
+      if (resp.ok() || !resp.status().IsRangeKeyMismatch() ||
+          req.range_id == 0) {
+        return resp;
+      }
+      ++stats_.redirects;
+      if (redirects != nullptr) ++*redirects;
+      cache.Invalidate(req.requests[0].key);
+    }
+    // The "always recoverable" invariant: a redirect loop that does not
+    // converge within the bound is a staleness bug, not churn.
+    return Status::Internal("range cache redirect loop did not converge");
+  }
+
+  /// The per-iteration invariant sweep, callable standalone by tests.
+  std::string CheckInvariants() {
+    std::vector<RangeDescriptor> ranges = cluster_->Ranges();
+    std::sort(ranges.begin(), ranges.end(),
+              [](const RangeDescriptor& a, const RangeDescriptor& b) {
+                return a.start_key < b.start_key;
+              });
+    if (ranges.empty()) return "directory is empty";
+    if (!ranges.front().start_key.empty()) {
+      return "first range does not start at -inf";
+    }
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      const RangeDescriptor& d = ranges[i];
+      const bool last = i + 1 == ranges.size();
+      if (last) {
+        if (!d.end_key.empty()) return "last range does not end at +inf";
+      } else {
+        if (d.end_key.empty()) {
+          return "interior range " + std::to_string(d.range_id) +
+                 " ends at +inf (overlap)";
+        }
+        if (d.end_key != ranges[i + 1].start_key) {
+          return "gap/overlap after range " + std::to_string(d.range_id);
+        }
+      }
+      // Tenant alignment: a range owned by tenant t must stay inside t's
+      // keyspan, and no range may straddle a tenant-prefix boundary — the
+      // "merge never fuses ranges across tenants" invariant.
+      if (d.tenant_id != 0) {
+        const std::string lo = TenantPrefix(d.tenant_id);
+        const std::string hi = TenantPrefixEnd(d.tenant_id);
+        if (d.start_key < lo || d.end_key.empty() || d.end_key > hi) {
+          return "range " + std::to_string(d.range_id) +
+                 " escapes tenant " + std::to_string(d.tenant_id) +
+                 " keyspan";
+        }
+      }
+      if (!d.start_key.empty() && !d.end_key.empty() &&
+          d.start_key[0] == '\xFE' && d.end_key[0] == '\xFE' &&
+          d.start_key.size() >= 9 && d.end_key.size() >= 9) {
+        auto t_start = DecodeTenantFromKey(d.start_key);
+        // end_key may be exactly the next tenant's prefix (exclusive).
+        std::string end_for_tenant = d.end_key;
+        auto t_end = DecodeTenantFromKey(end_for_tenant);
+        if (t_start.ok() && t_end.ok() && *t_end != *t_start &&
+            !(end_for_tenant == TenantPrefixEnd(*t_start))) {
+          return "range " + std::to_string(d.range_id) +
+                 " spans tenants " + std::to_string(*t_start) + ".." +
+                 std::to_string(*t_end);
+        }
+      }
+      // Lease-epoch sanity: a lease can never carry an epoch newer than
+      // its holder's liveness record (a merge or move that resurrected a
+      // discarded lease would trip this).
+      if (d.lease_epoch > cluster_->NodeLivenessEpoch(d.leaseholder)) {
+        return "range " + std::to_string(d.range_id) +
+               " lease epoch ahead of node liveness";
+      }
+    }
+    return "";
+  }
+
+ private:
+  void RunIteration(int iter, bool cooling) {
+    const int hot_tenants = cooling ? 1 : opts_.tenants;
+    for (int op = 0; op < opts_.ops_per_iteration; ++op) {
+      // Zipf-ish key choice: half the ops land on an 1/4 slice of the
+      // keyspace so the hot range's sample reservoir sees a clear median.
+      const int t = static_cast<int>(rnd_.Uniform(
+          static_cast<uint64_t>(hot_tenants)));
+      const int span = opts_.keys_per_tenant;
+      const int k = rnd_.Uniform(2) == 0
+                        ? static_cast<int>(rnd_.Uniform(
+                              static_cast<uint64_t>(std::max(1, span / 4))))
+                        : static_cast<int>(rnd_.Uniform(
+                              static_cast<uint64_t>(span)));
+      std::string key = Key(t, k);
+      int redirects = 0;
+      bool miss = false;
+      if (rnd_.Uniform(3) != 0) {
+        // Failed writes under faults are recorded as "maybe" (sound but
+        // indeterminate), and the Wing–Gong search is exponential in the
+        // per-key maybe count — so the workload steers writes away from a
+        // key once it has accumulated a few, keeping the checker fast
+        // without weakening what it proves about the ops that did run.
+        for (int probe = 0; probe < opts_.keys_per_tenant &&
+                            maybe_writes_[key] >= kMaxMaybePerKey;
+             ++probe) {
+          key = Key(t, (k + probe + 1) % opts_.keys_per_tenant);
+        }
+        if (maybe_writes_[key] >= kMaxMaybePerKey) {
+          clock_->Advance(10 * kMilli);
+          continue;
+        }
+        const std::string value = "v" + std::to_string(next_value_++);
+        BatchRequest req;
+        req.AddPut(key, value);
+        const size_t id = history_.BeginWrite(key, value);
+        auto resp = SendAddressed(t, std::move(req), &redirects, &miss);
+        history_.EndWrite(id, resp.ok(), /*maybe=*/!resp.ok());
+        ++stats_.writes;
+        if (!resp.ok()) {
+          ++stats_.write_failures;
+          ++maybe_writes_[key];
+        }
+      } else {
+        BatchRequest req;
+        req.AddGet(key);
+        const size_t id = history_.BeginRead(key);
+        auto resp = SendAddressed(t, std::move(req), &redirects, &miss);
+        if (resp.ok()) {
+          history_.EndRead(id, true, resp->responses[0].found,
+                           resp->responses[0].value);
+        } else {
+          history_.EndRead(id, false, false, "");
+          ++stats_.read_failures;
+        }
+        ++stats_.reads;
+        // Deterministic latency model: leaseholder round-trip + directory
+        // fill on miss + one extra round-trip per redirect bounce.
+        stats_.read_latency_ms.push_back(0.35 + (miss ? 0.05 : 0.0) +
+                                         0.40 * redirects);
+      }
+      clock_->Advance(10 * kMilli);
+    }
+    // Cooling iterations advance further so dwell elapses and merges fire.
+    if (cooling) clock_->Advance(kSecond);
+
+    // Fault weather (optional): mutate the partition set, heal, tick.
+    if (opts_.mesh != nullptr) {
+      const uint64_t dice = weather_.Uniform(10);
+      const uint32_t n = static_cast<uint32_t>(
+          weather_.Uniform(static_cast<uint64_t>(opts_.nodes)));
+      if (dice == 0) {
+        opts_.mesh->Isolate(n, static_cast<uint32_t>(opts_.nodes));
+      } else if (dice == 1) {
+        opts_.mesh->PartitionLink(
+            n, (n + 1) % static_cast<uint32_t>(opts_.nodes));
+      } else if (dice <= 4) {
+        opts_.mesh->HealAll();
+      }
+    }
+    if (opts_.heartbeats && iter % 2 == 0) cluster_->TickHeartbeats();
+
+    // Control plane: split/merge sweeps every iteration; a pipelined
+    // replica move advances a couple of chunks per iteration so client
+    // traffic genuinely interleaves with the stream.
+    (void)StepPipelinedMove();
+    auto splits = cluster_->MaybeSplitRanges();
+    if (splits.ok()) stats_.splits += static_cast<uint64_t>(*splits);
+    auto merges = cluster_->MaybeMergeRanges();
+    if (merges.ok()) stats_.merges += static_cast<uint64_t>(*merges);
+    if (!move_in_flight_ && iter % 3 == 2) StartPipelinedMove();
+  }
+
+  void StartPipelinedMove() {
+    std::vector<RangeDescriptor> ranges = cluster_->Ranges();
+    if (ranges.empty()) return;
+    const RangeDescriptor& d =
+        ranges[rnd_.Uniform(static_cast<uint64_t>(ranges.size()))];
+    if (d.replicas.size() >= static_cast<size_t>(opts_.nodes)) return;
+    NodeId to = 0;
+    bool found = false;
+    for (NodeId n = 0; n < static_cast<NodeId>(opts_.nodes); ++n) {
+      if (!d.HasReplica(n)) {
+        to = n;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return;
+    NodeId from = d.replicas[rnd_.Uniform(
+        static_cast<uint64_t>(d.replicas.size()))];
+    if (cluster_->StartReplicaMove(d.range_id, from, to).ok()) {
+      move_in_flight_ = true;
+      move_range_ = d.range_id;
+    }
+  }
+
+  Status StepPipelinedMove() {
+    if (!move_in_flight_) return Status::OK();
+    for (int i = 0; i < 2; ++i) {
+      StatusOr<bool> done = cluster_->StepReplicaMove(move_range_, 8 << 10);
+      if (!done.ok()) {
+        (void)cluster_->AbortReplicaMove(move_range_);
+        move_in_flight_ = false;
+        return done.status();
+      }
+      if (*done) {
+        Status fin = cluster_->FinishReplicaMove(move_range_);
+        if (!fin.ok()) (void)cluster_->AbortReplicaMove(move_range_);
+        if (fin.ok()) ++stats_.moves_finished;
+        move_in_flight_ = false;
+        return fin;
+      }
+    }
+    return Status::OK();
+  }
+
+  void Quiesce() {
+    if (move_in_flight_) {
+      // Drive the in-flight move to completion (or abort it cleanly).
+      for (int i = 0; i < 10000 && move_in_flight_; ++i) {
+        if (!StepPipelinedMove().ok()) break;
+      }
+      if (move_in_flight_) {
+        (void)cluster_->AbortReplicaMove(move_range_);
+        move_in_flight_ = false;
+      }
+    }
+    if (opts_.mesh != nullptr) opts_.mesh->HealAll();
+    clock_->Advance(3 * kSecond);
+    if (opts_.heartbeats) {
+      cluster_->TickHeartbeats();
+      cluster_->TickHeartbeats();
+    }
+    for (NodeId n = 0; n < static_cast<NodeId>(opts_.nodes); ++n) {
+      (void)cluster_->CatchUpNode(n);
+    }
+    // Settle: with traffic gone every range cools, so repeated dwell
+    // periods of merge sweeps shrink the directory back toward one range
+    // per tenant — the storm must converge, not just survive. Each merge
+    // resets the fused range's cooldown, so a chain of k shards needs ~k
+    // dwells; sweep until a full dwell passes with no merges.
+    for (int idle = 0; idle < 8;) {
+      clock_->Advance(kSecond);
+      if (opts_.heartbeats) cluster_->TickHeartbeats();
+      auto merges = cluster_->MaybeMergeRanges();
+      if (merges.ok() && *merges > 0) {
+        stats_.merges += static_cast<uint64_t>(*merges);
+        idle = 0;
+      } else {
+        ++idle;
+      }
+    }
+    // Final acked read per touched key: pins the converged state into the
+    // history so split-brain during the storm cannot hide.
+    if (opts_.check_linearizability) {
+      for (int t = 0; t < opts_.tenants; ++t) {
+        for (int k = 0; k < opts_.keys_per_tenant; ++k) {
+          const std::string key = Key(t, k);
+          BatchRequest req;
+          req.AddGet(key);
+          const size_t id = history_.BeginRead(key);
+          auto resp = SendAddressed(t, std::move(req));
+          if (resp.ok()) {
+            history_.EndRead(id, true, resp->responses[0].found,
+                             resp->responses[0].value);
+          } else {
+            history_.EndRead(id, false, false, "");
+          }
+        }
+      }
+    }
+  }
+
+  StormOptions opts_;
+  ManualClock* clock_;
+  KVCluster* cluster_;
+  Random rnd_;
+  Random weather_;
+  std::vector<std::unique_ptr<RangeDirectoryCache>> caches_;
+  HistoryRecorder history_;
+  StormStats stats_;
+  uint64_t next_value_ = 0;
+  bool move_in_flight_ = false;
+  RangeId move_range_ = 0;
+  /// Indeterminate ("maybe") writes recorded so far, per key.
+  static constexpr int kMaxMaybePerKey = 6;
+  std::map<std::string, int> maybe_writes_;
+};
+
+}  // namespace veloce::kv::storm
+
+#endif  // VELOCE_TESTS_RANGE_STORM_HARNESS_H_

@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "kv/cluster.h"
+#include "kv/keys.h"
+#include "kv/range_cache.h"
+#include "obs/metrics.h"
+#include "sim/faulty_mesh.h"
+#include "tests/range_storm_harness.h"
+
+namespace veloce::kv {
+namespace {
+
+using storm::RangeStormHarness;
+using storm::StormOptions;
+using storm::StormStats;
+using storm::TenantSpanContents;
+
+uint64_t EnvOr(const char* name, uint64_t def) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? def : std::strtoull(v, nullptr, 0);
+}
+
+std::unique_ptr<KVCluster> MakeStormCluster(const StormOptions& opts,
+                                            ManualClock* clock,
+                                            ReplicaTransport* transport = nullptr,
+                                            obs::MetricsRegistry* metrics = nullptr) {
+  KVClusterOptions co = RangeStormHarness::ClusterOptions(opts, clock);
+  co.transport = transport;
+  co.obs.metrics = metrics;
+  auto cluster = std::make_unique<KVCluster>(co);
+  for (int i = 0; i < opts.tenants; ++i) {
+    VELOCE_CHECK_OK(cluster->CreateTenantKeyspace(
+        opts.first_tenant + static_cast<TenantId>(i)));
+  }
+  return cluster;
+}
+
+// ---------------------------------------------------------------------------
+// Composed storm: splits + merges + moves + cached clients, one seed
+// ---------------------------------------------------------------------------
+
+TEST(RangeStormTest, ComposedStormSingleSeed) {
+  ManualClock clock(100 * kSecond);
+  StormOptions opts;
+  opts.seed = EnvOr("VELOCE_RANGESTORM_SEED", 0xC10D);
+  opts.iterations = 30;
+  obs::MetricsRegistry metrics;
+  auto cluster = MakeStormCluster(opts, &clock, nullptr, &metrics);
+  RangeStormHarness storm(opts, &clock, cluster.get());
+
+  EXPECT_EQ(storm.Run(), "");
+
+  const StormStats& s = storm.stats();
+  // The storm must actually storm: hot load splits ranges, the cooldown
+  // phase merges them back, and clients observe the churn as redirects.
+  EXPECT_GT(s.splits, 0u) << "no load splits fired";
+  EXPECT_GT(s.merges, 0u) << "no cooldown merges fired";
+  EXPECT_GT(s.max_ranges, static_cast<uint64_t>(opts.tenants));
+  EXPECT_LT(s.final_ranges, s.max_ranges) << "merges did not shrink the directory";
+  EXPECT_GT(s.cache_hits, s.cache_misses) << "directory cache never warmed";
+  EXPECT_GT(s.redirects, 0u) << "clients never saw a stale route";
+  EXPECT_EQ(s.write_failures, 0u);  // no faults in this run
+
+  // Counter audit: the labeled split/merge counters agree with the
+  // harness's own tally (manual splits from CreateTenantKeyspace excluded).
+  EXPECT_EQ(static_cast<uint64_t>(
+                metrics.Value("veloce_kv_range_splits_total",
+                              {{"reason", "load"}})),
+            s.splits);
+  EXPECT_EQ(static_cast<uint64_t>(
+                metrics.Value("veloce_kv_range_merges_total",
+                              {{"reason", "cooldown"}})),
+            s.merges);
+  EXPECT_GT(metrics.Sum("veloce_kv_range_mismatches_total"), 0.0);
+}
+
+// Same seed, two independent runs: byte-identical storms — stats, latency
+// samples, and final directory all match.
+TEST(RangeStormTest, StormIsDeterministic) {
+  StormOptions opts;
+  opts.iterations = 12;
+  opts.tenants = 3;
+  auto run = [&](StormStats* out, std::vector<RangeDescriptor>* dir) {
+    ManualClock clock(100 * kSecond);
+    auto cluster = MakeStormCluster(opts, &clock);
+    RangeStormHarness storm(opts, &clock, cluster.get());
+    ASSERT_EQ(storm.Run(), "");
+    *out = storm.stats();
+    *dir = cluster->Ranges();
+  };
+  StormStats a, b;
+  std::vector<RangeDescriptor> dir_a, dir_b;
+  run(&a, &dir_a);
+  run(&b, &dir_b);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.splits, b.splits);
+  EXPECT_EQ(a.merges, b.merges);
+  EXPECT_EQ(a.redirects, b.redirects);
+  EXPECT_EQ(a.read_latency_ms, b.read_latency_ms);
+  ASSERT_EQ(dir_a.size(), dir_b.size());
+  for (size_t i = 0; i < dir_a.size(); ++i) {
+    EXPECT_EQ(dir_a[i].start_key, dir_b[i].start_key);
+    EXPECT_EQ(dir_a[i].end_key, dir_b[i].end_key);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 100-seed sweep (VELOCE_RANGESTORM_SEEDS / _ITERS override the scale)
+// ---------------------------------------------------------------------------
+
+TEST(RangeStormTest, InvariantsAcrossSeeds) {
+  const uint64_t seeds = EnvOr("VELOCE_RANGESTORM_SEEDS", 100);
+  const uint64_t iters = EnvOr("VELOCE_RANGESTORM_ITERS", 10);
+  uint64_t total_splits = 0;
+  uint64_t total_merges = 0;
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ManualClock clock(100 * kSecond);
+    StormOptions opts;
+    opts.seed = seed;
+    opts.tenants = 3;
+    opts.keys_per_tenant = 16;
+    opts.iterations = static_cast<int>(iters);
+    opts.ops_per_iteration = 32;
+    auto cluster = MakeStormCluster(opts, &clock);
+    RangeStormHarness storm(opts, &clock, cluster.get());
+    ASSERT_EQ(storm.Run(), "");
+    total_splits += storm.stats().splits;
+    total_merges += storm.stats().merges;
+    if (HasFatalFailure()) return;
+  }
+  // Across the sweep the storm must exercise both directions.
+  EXPECT_GT(total_splits, 0u);
+  EXPECT_GT(total_merges, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Split + merge round-trip: tenant bytes survive byte-identical
+// ---------------------------------------------------------------------------
+
+TEST(RangeStormTest, SplitMergeRoundTripByteIdentical) {
+  ManualClock clock(100 * kSecond);
+  StormOptions opts;
+  opts.tenants = 1;
+  auto cluster = MakeStormCluster(opts, &clock);
+  const TenantId tenant = opts.first_tenant;
+
+  for (int i = 0; i < 64; ++i) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "k%03d", i);
+    BatchRequest req;
+    req.tenant_id = tenant;
+    req.ts = cluster->Now();
+    req.AddPut(AddTenantPrefix(tenant, buf), "v" + std::to_string(i));
+    ASSERT_TRUE(cluster->Send(req).ok());
+  }
+  const auto before = TenantSpanContents(cluster.get(), tenant);
+  ASSERT_EQ(before.size(), 64u);
+  const size_t ranges_before = cluster->Ranges().size();
+
+  // Shatter the tenant into five ranges, then fuse them back.
+  for (const char* k : {"k010", "k020", "k030", "k040"}) {
+    ASSERT_TRUE(cluster->SplitRange(AddTenantPrefix(tenant, k)).ok());
+  }
+  EXPECT_EQ(cluster->Ranges().size(), ranges_before + 4);
+  EXPECT_EQ(TenantSpanContents(cluster.get(), tenant), before)
+      << "splitting alone changed the tenant's bytes";
+
+  // Merge left-to-right until the tenant is one range again.
+  for (int guard = 0; guard < 16; ++guard) {
+    bool merged = false;
+    for (const RangeDescriptor& d : cluster->Ranges()) {
+      if (d.tenant_id != tenant) continue;
+      if (cluster->MergeRanges(d.range_id).ok()) {
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) break;
+  }
+  EXPECT_EQ(cluster->Ranges().size(), ranges_before);
+  EXPECT_EQ(TenantSpanContents(cluster.get(), tenant), before)
+      << "split+merge round-trip is not byte-identical";
+}
+
+// ---------------------------------------------------------------------------
+// Merges never fuse across tenants
+// ---------------------------------------------------------------------------
+
+TEST(RangeStormTest, MergeRefusesTenantBoundary) {
+  ManualClock clock(100 * kSecond);
+  StormOptions opts;
+  opts.tenants = 2;  // consecutive ids: their keyspans are adjacent
+  auto cluster = MakeStormCluster(opts, &clock);
+  const TenantId left = opts.first_tenant;
+
+  auto desc = cluster->LookupRange(TenantPrefix(left));
+  ASSERT_TRUE(desc.ok());
+  ASSERT_EQ(desc->tenant_id, left);
+  // The right neighbour is tenant left+1's range — same replica sets, both
+  // idle; only the tenant guard stands between them.
+  Status s = cluster->MergeRanges(desc->range_id);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("tenant"), std::string::npos) << s.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Redirect contract: a stale cached route is always recoverable
+// ---------------------------------------------------------------------------
+
+TEST(RangeStormTest, StaleCacheRedirectRecovers) {
+  ManualClock clock(100 * kSecond);
+  StormOptions opts;
+  opts.tenants = 1;
+  obs::MetricsRegistry metrics;
+  auto cluster = MakeStormCluster(opts, &clock, nullptr, &metrics);
+  const TenantId tenant = opts.first_tenant;
+  const std::string key = AddTenantPrefix(tenant, "k050");
+
+  RangeDirectoryCache cache;
+  auto fresh = cluster->LookupRange(key);
+  ASSERT_TRUE(fresh.ok());
+  cache.Insert(*fresh);
+
+  // The directory splits behind the cache's back; the cached route now
+  // covers only the left half while `key` lives in the right.
+  ASSERT_TRUE(cluster->SplitRange(AddTenantPrefix(tenant, "k025")).ok());
+
+  BatchRequest req;
+  req.tenant_id = tenant;
+  req.ts = cluster->Now();
+  req.AddPut(key, "v");
+  req.range_id = cache.Lookup(key)->range_id;
+  auto resp = cluster->Send(req);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_TRUE(resp.status().IsRangeKeyMismatch()) << resp.status().ToString();
+  EXPECT_GT(metrics.Sum("veloce_kv_range_mismatches_total"), 0.0);
+
+  // Invalidate + refresh + retry: exactly one redirect recovers.
+  cache.Invalidate(key);
+  auto refreshed = cluster->LookupRange(key);
+  ASSERT_TRUE(refreshed.ok());
+  cache.Insert(*refreshed);
+  EXPECT_GT(refreshed->generation, fresh->generation);
+  req.range_id = cache.Lookup(key)->range_id;
+  EXPECT_TRUE(cluster->Send(req).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics audit: aborted splits/merges must not count
+// ---------------------------------------------------------------------------
+
+TEST(RangeStormTest, AbortedSplitsAndMergesDoNotCount) {
+  ManualClock clock(100 * kSecond);
+  StormOptions opts;
+  opts.tenants = 1;
+  opts.nodes = 4;  // leave one node without a replica for the move
+  obs::MetricsRegistry metrics;
+  auto cluster = MakeStormCluster(opts, &clock, nullptr, &metrics);
+  const TenantId tenant = opts.first_tenant;
+  const std::string split_key = AddTenantPrefix(tenant, "k032");
+
+  BatchRequest seed;
+  seed.tenant_id = tenant;
+  seed.ts = cluster->Now();
+  seed.AddPut(AddTenantPrefix(tenant, "k001"), "v");
+  ASSERT_TRUE(cluster->Send(seed).ok());
+
+  const double splits0 = metrics.Sum("veloce_kv_range_splits_total");
+  const double merges0 = metrics.Sum("veloce_kv_range_merges_total");
+
+  // A pending replica move defers splits and merges on the range — the
+  // rejected attempts must leave the counters untouched.
+  auto desc = cluster->LookupRange(split_key);
+  ASSERT_TRUE(desc.ok());
+  ASSERT_TRUE(
+      cluster->StartReplicaMove(desc->range_id, desc->replicas[0], 3).ok());
+  EXPECT_FALSE(cluster->SplitRange(split_key).ok());
+  EXPECT_FALSE(cluster->MergeRanges(desc->range_id).ok());
+  EXPECT_EQ(metrics.Sum("veloce_kv_range_splits_total"), splits0);
+  EXPECT_EQ(metrics.Sum("veloce_kv_range_merges_total"), merges0);
+
+  // Splitting at an existing boundary is a no-op, not a split.
+  ASSERT_TRUE(cluster->AbortReplicaMove(desc->range_id).ok());
+  ASSERT_TRUE(cluster->SplitRange(TenantPrefix(tenant)).ok());
+  EXPECT_EQ(metrics.Sum("veloce_kv_range_splits_total"), splits0);
+
+  // A real split counts exactly once, under reason=manual.
+  ASSERT_TRUE(cluster->SplitRange(split_key).ok());
+  EXPECT_EQ(metrics.Sum("veloce_kv_range_splits_total"), splits0 + 1);
+  EXPECT_EQ(metrics.Value("veloce_kv_range_splits_total",
+                          {{"reason", "manual"}}),
+            splits0 + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined move: writes land while the snapshot streams
+// ---------------------------------------------------------------------------
+
+TEST(RangeStormTest, PipelinedMoveAbsorbsConcurrentWrites) {
+  ManualClock clock(100 * kSecond);
+  StormOptions opts;
+  opts.tenants = 1;
+  opts.nodes = 4;
+  auto cluster = MakeStormCluster(opts, &clock);
+  const TenantId tenant = opts.first_tenant;
+  auto put = [&](int i, const std::string& v) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "k%03d", i);
+    BatchRequest req;
+    req.tenant_id = tenant;
+    req.ts = cluster->Now();
+    req.AddPut(AddTenantPrefix(tenant, buf), v);
+    return cluster->Send(req);
+  };
+  for (int i = 0; i < 32; ++i) ASSERT_TRUE(put(i, "pre").ok());
+
+  auto desc = cluster->LookupRange(TenantPrefix(tenant));
+  ASSERT_TRUE(desc.ok());
+  const NodeId from = desc->replicas[0];
+  ASSERT_TRUE(cluster->StartReplicaMove(desc->range_id, from, 3).ok());
+
+  // Stream the snapshot one small chunk at a time, interleaving fresh
+  // writes — the delta replay at cutover must carry them to the new
+  // replica.
+  bool done = false;
+  int written = 0;
+  while (!done) {
+    auto step = cluster->StepReplicaMove(desc->range_id, 512);
+    ASSERT_TRUE(step.ok()) << step.status().ToString();
+    done = *step;
+    ASSERT_TRUE(put(written % 32, "during" + std::to_string(written)).ok());
+    ++written;
+  }
+  ASSERT_GT(written, 1) << "snapshot finished in one chunk; shrink max_bytes";
+  ASSERT_TRUE(cluster->FinishReplicaMove(desc->range_id).ok());
+
+  auto moved = cluster->LookupRange(TenantPrefix(tenant));
+  ASSERT_TRUE(moved.ok());
+  EXPECT_FALSE(moved->HasReplica(from));
+  EXPECT_TRUE(moved->HasReplica(3));
+  EXPECT_GT(moved->generation, desc->generation);
+  // The new replica holds everything, including writes that raced the
+  // stream.
+  EXPECT_EQ(cluster->RangeReplicaApplied(moved->range_id, 3),
+            cluster->RangeLogCommittedIndex(moved->range_id));
+  auto lead = storm::TenantSpanContents(cluster.get(), tenant);
+  ASSERT_FALSE(lead.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Fault weather: storm under partitions stays linearizable
+// ---------------------------------------------------------------------------
+
+TEST(RangeStormTest, StormUnderPartitionsStaysLinearizable) {
+  const uint64_t seeds = EnvOr("VELOCE_RANGESTORM_FAULT_SEEDS", 10);
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ManualClock clock(100 * kSecond);
+    sim::FaultyMesh mesh(seed);
+    StormOptions opts;
+    opts.seed = seed;
+    opts.tenants = 2;
+    opts.keys_per_tenant = 12;
+    opts.iterations = 12;
+    opts.ops_per_iteration = 24;
+    opts.mesh = &mesh;
+    auto cluster = MakeStormCluster(opts, &clock, &mesh);
+    RangeStormHarness storm(opts, &clock, cluster.get());
+    ASSERT_EQ(storm.Run(), "");
+    if (HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace veloce::kv

@@ -205,7 +205,8 @@ TEST(ScenarioRegistryTest, BuiltinsAreRegistered) {
   RegisterBuiltinScenarios();
   const auto names = ScenarioNames();
   for (const char* want : {"az-outage", "black-friday", "gray-partition",
-                           "rolling-upgrade-under-chaos", "tenant-stampede"}) {
+                           "range-storm", "rolling-upgrade-under-chaos",
+                           "tenant-stampede"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), want), names.end())
         << want;
   }
@@ -292,7 +293,7 @@ INSTANTIATE_TEST_SUITE_P(AllBuiltins, ScenarioDeterminismTest,
                          ::testing::Values("black-friday", "tenant-stampede",
                                            "az-outage",
                                            "rolling-upgrade-under-chaos",
-                                           "gray-partition"),
+                                           "gray-partition", "range-storm"),
                          [](const auto& info) {
                            std::string name = info.param;
                            for (char& c : name) {
